@@ -1,0 +1,1 @@
+bench/table_header.ml: Format

@@ -1,0 +1,221 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   over the deterministic simulated clock (the substitute for the paper's
+   SPARCstation 10 — see DESIGN.md): Table 2, Table 3, the Figure 2
+   channel observables, the Figure 5/6 COMPFS modes, and the ablations.
+
+   Part 2 runs Bechamel wall-clock microbenchmarks of the same code paths
+   (one Test.make per table/figure group) under the near-zero cost model,
+   measuring the OCaml implementation itself. *)
+
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module W = Sp_benchlib.Workload
+
+let ps = Sp_vm.Vm_types.page_size
+
+let reset_world () =
+  Sp_sim.Simclock.reset ();
+  Sp_sim.Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: simulated tables                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulated_tables () =
+  let ppf = Format.std_formatter in
+  reset_world ();
+  Table_header.print ppf;
+  reset_world ();
+  let t2 = Sp_benchlib.Table2.run () in
+  Sp_benchlib.Table2.print ppf t2;
+  Format.fprintf ppf "@.";
+  reset_world ();
+  let t3 = Sp_benchlib.Table3.run () in
+  Sp_benchlib.Table3.print ppf t3;
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Figures.print ppf ();
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Ablations.print ppf (Sp_benchlib.Ablations.run_all ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Ablations.print_depth_sweep ppf (Sp_benchlib.Ablations.depth_sweep ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Macro.print ppf (Sp_benchlib.Macro.run ());
+  Format.fprintf ppf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel wall-clock benches                                 *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+module SS = Sp_core.Stackable
+module FF = Sp_core.File
+
+(* Table 2 paths: warm open / read / write / stat on the two-domain SFS. *)
+let bench_table2 =
+  let inst =
+    lazy
+      (Sp_sim.Cost_model.set Sp_sim.Cost_model.fast;
+       W.make_instance W.Stacked_two_domains)
+  in
+  let name = Sp_naming.Sname.of_string "bench" in
+  let data = Bytes.make ps 'b' in
+  Test.make_grouped ~name:"table2_sfs_paths"
+    [
+      Test.make ~name:"open"
+        (Staged.stage (fun () -> ignore (SS.open_file (Lazy.force inst).W.i_fs name)));
+      Test.make ~name:"read4k"
+        (Staged.stage (fun () ->
+             ignore (FF.read (Lazy.force inst).W.i_file ~pos:0 ~len:ps)));
+      Test.make ~name:"write4k"
+        (Staged.stage (fun () -> ignore (FF.write (Lazy.force inst).W.i_file ~pos:0 data)));
+      Test.make ~name:"stat"
+        (Staged.stage (fun () -> ignore (FF.stat (Lazy.force inst).W.i_file)));
+    ]
+
+(* Table 3 paths: the monolithic baseline. *)
+let bench_table3 =
+  let state =
+    lazy
+      (Sp_sim.Cost_model.set Sp_sim.Cost_model.fast;
+       let disk = Sp_blockdev.Disk.create ~blocks:2048 () in
+       let ufs = Sp_baseline.Unixfs.mkfs_and_mount disk in
+       let fd = Sp_baseline.Unixfs.creat ufs "bench" in
+       ignore (Sp_baseline.Unixfs.write ufs fd ~pos:0 (Bytes.make ps 'u'));
+       (ufs, fd))
+  in
+  let data = Bytes.make ps 'u' in
+  Test.make_grouped ~name:"table3_unixfs_paths"
+    [
+      Test.make ~name:"open"
+        (Staged.stage (fun () ->
+             let ufs, _ = Lazy.force state in
+             ignore (Sp_baseline.Unixfs.openf ufs "bench")));
+      Test.make ~name:"read4k"
+        (Staged.stage (fun () ->
+             let ufs, fd = Lazy.force state in
+             ignore (Sp_baseline.Unixfs.read ufs fd ~pos:0 ~len:ps)));
+      Test.make ~name:"write4k"
+        (Staged.stage (fun () ->
+             let ufs, fd = Lazy.force state in
+             ignore (Sp_baseline.Unixfs.write ufs fd ~pos:0 data)));
+      Test.make ~name:"fstat"
+        (Staged.stage (fun () ->
+             let ufs, fd = Lazy.force state in
+             ignore (Sp_baseline.Unixfs.fstat ufs fd)));
+    ]
+
+(* Figure 5/6 paths: COMPFS write+sync in both container modes. *)
+let bench_fig56 =
+  let make coherent tag =
+    lazy
+      (Sp_sim.Cost_model.set Sp_sim.Cost_model.fast;
+       let vmm = Sp_vm.Vmm.create ~node:tag ("vmm-" ^ tag) in
+       let disk = Sp_blockdev.Disk.create ~blocks:4096 () in
+       Sp_sfs.Disk_layer.mkfs disk;
+       let sfs =
+         Sp_coherency.Spring_sfs.make_split ~node:tag ~vmm ~name:("sfs-" ^ tag)
+           ~same_domain:false disk
+       in
+       let comp =
+         Sp_compfs.Compfs.make ~node:tag ~coherent ~vmm ~name:("comp-" ^ tag) ()
+       in
+       SS.stack_on comp sfs;
+       let f = SS.create comp (Sp_naming.Sname.of_string "bench") in
+       ignore (FF.write f ~pos:0 (Bytes.make ps 'c'));
+       FF.sync f;
+       f)
+  in
+  let fig5 = make false "wfig5" in
+  let fig6 = make true "wfig6" in
+  let data = Bytes.make ps 'c' in
+  Test.make_grouped ~name:"fig56_compfs_modes"
+    [
+      Test.make ~name:"incoherent_write_sync"
+        (Staged.stage (fun () ->
+             let f = Lazy.force fig5 in
+             ignore (FF.write f ~pos:0 data);
+             FF.sync f));
+      Test.make ~name:"coherent_write_sync"
+        (Staged.stage (fun () ->
+             let f = Lazy.force fig6 in
+             ignore (FF.write f ~pos:0 data);
+             FF.sync f));
+    ]
+
+(* Figure 7 / DFS paths: remote stat and read over the simulated network,
+   with and without CFS. *)
+let bench_dfs =
+  let state =
+    lazy
+      (Sp_sim.Cost_model.set Sp_sim.Cost_model.fast;
+       let net = Sp_dfs.Net.create () in
+       let vmm_a = Sp_vm.Vmm.create ~node:"wsrv" "vmm-wsrv" in
+       let disk = Sp_blockdev.Disk.create ~blocks:2048 () in
+       Sp_sfs.Disk_layer.mkfs disk;
+       let sfs =
+         Sp_coherency.Spring_sfs.make_split ~node:"wsrv" ~vmm:vmm_a ~name:"wsfs"
+           ~same_domain:false disk
+       in
+       let dfs = Sp_dfs.Dfs.make_server ~node:"wsrv" ~net ~vmm:vmm_a ~name:"wdfs" () in
+       SS.stack_on dfs sfs;
+       ignore (SS.create dfs (Sp_naming.Sname.of_string "bench"));
+       let import = Sp_dfs.Dfs.import ~net ~client_node:"wcli" dfs in
+       let remote = SS.open_file import (Sp_naming.Sname.of_string "bench") in
+       ignore (FF.write remote ~pos:0 (Bytes.make ps 'r'));
+       let vmm_b = Sp_vm.Vmm.create ~node:"wcli" "vmm-wcli" in
+       let cfs = Sp_cfs.Cfs.make ~node:"wcli" ~vmm:vmm_b ~name:"wcfs" () in
+       let local = Sp_cfs.Cfs.interpose cfs remote in
+       ignore (FF.stat local);
+       ignore (FF.read local ~pos:0 ~len:ps);
+       (remote, local))
+  in
+  Test.make_grouped ~name:"dfs_remote_paths"
+    [
+      Test.make ~name:"remote_stat_rpc"
+        (Staged.stage (fun () -> ignore (FF.stat (fst (Lazy.force state)))));
+      Test.make ~name:"remote_read4k_rpc"
+        (Staged.stage (fun () ->
+             ignore (FF.read (fst (Lazy.force state)) ~pos:0 ~len:ps)));
+      Test.make ~name:"cfs_stat_cached"
+        (Staged.stage (fun () -> ignore (FF.stat (snd (Lazy.force state)))));
+      Test.make ~name:"cfs_read4k_cached"
+        (Staged.stage (fun () ->
+             ignore (FF.read (snd (Lazy.force state)) ~pos:0 ~len:ps)));
+    ]
+
+let run_bechamel () =
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  let print_results name tbl =
+    Format.printf "@.Bechamel (wall clock): %s@." name;
+    Hashtbl.iter
+      (fun key result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Format.printf "  %-45s %12.0f ns/run@." key est
+        | _ -> Format.printf "  %-45s (no estimate)@." key)
+      tbl
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      print_results (Test.name test) results)
+    [ bench_table2; bench_table3; bench_fig56; bench_dfs ]
+
+let () =
+  simulated_tables ();
+  run_bechamel ()

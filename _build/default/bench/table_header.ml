@@ -1,0 +1,6 @@
+let print ppf =
+  Format.fprintf ppf
+    "springfs benchmark harness — reproduction of \"Extensible File Systems \
+     in Spring\" (SOSP '93)@.\
+     Simulated substrate: 40MHz-SPARCstation-class cost model \
+     (see DESIGN.md, EXPERIMENTS.md).@.@."

@@ -1,0 +1,1 @@
+examples/full_stack.ml: Bytes Format List Printf Sp_cfs Sp_core Sp_dfs Sp_naming Sp_node Sp_sfs Sp_sim Sp_vm String

@@ -1,0 +1,1 @@
+examples/mirror_and_attrs.ml: Bytes List Printf Sp_attrfs Sp_core Sp_mirrorfs Sp_naming Sp_node Sp_sfs String

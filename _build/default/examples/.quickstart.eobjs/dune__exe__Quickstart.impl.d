@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format List Printf Sp_compfs Sp_core Sp_naming Sp_node Sp_sfs Sp_sim Sp_vm String

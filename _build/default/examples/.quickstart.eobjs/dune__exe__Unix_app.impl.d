@@ -1,0 +1,1 @@
+examples/unix_app.ml: Bytes List Printf Sp_compfs Sp_core Sp_naming Sp_node Sp_sfs Sp_unix Sp_vm String

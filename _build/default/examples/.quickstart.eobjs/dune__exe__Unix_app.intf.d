@@ -1,0 +1,1 @@
+examples/unix_app.mli:

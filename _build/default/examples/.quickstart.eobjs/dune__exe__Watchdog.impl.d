@@ -1,0 +1,1 @@
+examples/watchdog.ml: Bytes Char List Printf Sp_core Sp_naming Sp_node Sp_obj Sp_sfs String

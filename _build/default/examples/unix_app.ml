@@ -1,0 +1,79 @@
+(* A "UNIX application" running over a stacked volume: Figure 1's UNIX
+   server, exercised as a tiny shell session (mkdir/cd/redirect/cp/ls)
+   against a compression+coherency stack, unaware of any of it.
+
+   Run with: dune exec examples/unix_app.exe *)
+
+module U = Sp_unix.Unix_emul
+module S = Sp_core.Stackable
+module N = Sp_node.Node
+
+let get what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ U.errno_to_string e)
+
+(* cp(1), three syscalls at a time. *)
+let cp p src dst =
+  let input = get "open src" (U.openf p src [ U.O_RDONLY ]) in
+  let output = get "open dst" (U.creat p dst) in
+  let rec loop () =
+    let chunk = get "read" (U.read p input 4096) in
+    if Bytes.length chunk > 0 then begin
+      ignore (get "write" (U.write p output chunk));
+      loop ()
+    end
+  in
+  loop ();
+  ignore (U.close p input);
+  ignore (U.close p output)
+
+let () =
+  let world = N.World.create () in
+  let alpha = N.World.add_node world "alpha" in
+  ignore (N.add_disk alpha ~name:"disk0" ~blocks:8192);
+  Sp_sfs.Disk_layer.mkfs (N.disk alpha "disk0");
+  let sfs = N.mount_sfs alpha ~disk_name:"disk0" ~name:"vol" in
+  let root = N.build_stack alpha ~base:sfs [ ("compfs", "comp0") ] in
+
+  (* The process sees a plain UNIX file system. *)
+  let p = U.create_process ~root () in
+  ignore (get "mkdir" (U.mkdir p "/home"));
+  ignore (get "mkdir" (U.mkdir p "/home/kernel-hacker"));
+  ignore (get "chdir" (U.chdir p "/home/kernel-hacker"));
+  Printf.printf "$ pwd\n%s\n" (U.getcwd p);
+
+  Printf.printf "$ cat > paper.txt\n";
+  let fd = get "creat" (U.creat p "paper.txt") in
+  let prose =
+    String.concat "\n"
+      (List.init 300 (fun i ->
+           Printf.sprintf "%03d  file systems compose like functions" i))
+  in
+  ignore (get "write" (U.write p fd (Bytes.of_string prose)));
+  ignore (get "fsync" (U.fsync p fd));
+  ignore (U.close p fd);
+
+  Printf.printf "$ cp paper.txt backup.txt\n";
+  cp p "paper.txt" "backup.txt";
+
+  Printf.printf "$ mv backup.txt archive.txt\n";
+  ignore (get "rename" (U.rename p "backup.txt" "archive.txt"));
+
+  Printf.printf "$ ls\n%s\n"
+    (String.concat "  " (get "readdir" (U.readdir p ".")));
+
+  let st = get "stat" (U.stat p "archive.txt") in
+  Printf.printf "$ stat archive.txt -> %d bytes\n" st.Sp_vm.Attr.len;
+
+  Printf.printf "$ head -c 42 archive.txt\n";
+  let fd = get "open" (U.openf p "archive.txt" [ U.O_RDONLY ]) in
+  Printf.printf "%s\n" (Bytes.to_string (get "read" (U.read p fd 42)));
+  ignore (U.close p fd);
+
+  (* Below the syscalls, the data is compressed; the app never noticed. *)
+  S.sync root;
+  Printf.printf "(below: logical %d bytes stored as %d on the volume)\n"
+    (Sp_compfs.Compfs.logical_bytes root
+       (Sp_naming.Sname.of_string "home/kernel-hacker/archive.txt"))
+    (Sp_compfs.Compfs.container_bytes root
+       (Sp_naming.Sname.of_string "home/kernel-hacker/archive.txt"))

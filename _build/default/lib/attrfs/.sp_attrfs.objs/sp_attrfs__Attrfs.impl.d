@@ -1,0 +1,1 @@
+lib/attrfs/attrfs.ml: Buffer Bytes Char Hashtbl List Option Printf Sp_core Sp_naming Sp_obj Sp_sim String

@@ -1,0 +1,1 @@
+lib/attrfs/attrfs.mli: Sp_core Sp_obj

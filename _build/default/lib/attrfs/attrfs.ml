@@ -1,0 +1,236 @@
+let shadow_prefix = ".xattr."
+
+type xattr_ops = {
+  xa_get : string -> string option;
+  xa_set : string -> string -> unit;
+  xa_remove : string -> unit;
+  xa_list : unit -> (string * string) list;
+}
+
+type Sp_obj.Exten.t += Xattr of xattr_ops
+
+let xattrs (f : Sp_core.File.t) =
+  Sp_obj.Exten.narrow f.Sp_core.File.f_exten (function
+    | Xattr ops -> Some ops
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow-file codec: u16 count, then per entry u16 klen, key, u32 vlen,
+   value.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let encode_pairs pairs =
+  let buf = Buffer.create 64 in
+  let u16 n =
+    Buffer.add_char buf (Char.chr (n land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff))
+  in
+  let u32 n =
+    u16 (n land 0xffff);
+    u16 ((n lsr 16) land 0xffff)
+  in
+  u16 (List.length pairs);
+  List.iter
+    (fun (k, v) ->
+      u16 (String.length k);
+      Buffer.add_string buf k;
+      u32 (String.length v);
+      Buffer.add_string buf v)
+    pairs;
+  Buffer.to_bytes buf
+
+let decode_pairs data =
+  let pos = ref 0 in
+  let u16 () =
+    let v = Bytes.get_uint16_le data !pos in
+    pos := !pos + 2;
+    v
+  in
+  let u32 () =
+    let lo = u16 () in
+    let hi = u16 () in
+    lo lor (hi lsl 16)
+  in
+  let str n =
+    let s = Bytes.sub_string data !pos n in
+    pos := !pos + n;
+    s
+  in
+  if Bytes.length data < 2 then []
+  else begin
+    let count = u16 () in
+    List.init count (fun _ ->
+        let k = str (u16 ()) in
+        let v = str (u32 ()) in
+        (k, v))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The layer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type layer = {
+  l_name : string;
+  l_domain : Sp_obj.Sdomain.t;
+  mutable l_lower : Sp_core.Stackable.t option;
+  l_wrapped : (string, Sp_core.File.t) Hashtbl.t;
+}
+
+let lower_of l =
+  match l.l_lower with
+  | Some fs -> fs
+  | None -> raise (Sp_core.Stackable.Stack_error (l.l_name ^ ": not stacked yet"))
+
+let is_shadow name =
+  String.length name >= String.length shadow_prefix
+  && String.sub name 0 (String.length shadow_prefix) = shadow_prefix
+
+let shadow_path path =
+  match List.rev (Sp_naming.Sname.components path) with
+  | [] -> invalid_arg "Attrfs: empty path"
+  | last :: rev_dirs ->
+      Sp_naming.Sname.of_components (List.rev ((shadow_prefix ^ last) :: rev_dirs))
+
+let read_pairs l path =
+  let lower = lower_of l in
+  match Sp_core.Stackable.open_file lower (shadow_path path) with
+  | shadow -> decode_pairs (Sp_core.File.read_all shadow)
+  | exception Sp_core.Fserr.No_such_file _ -> []
+
+let write_pairs l path pairs =
+  let lower = lower_of l in
+  let sp = shadow_path path in
+  let shadow =
+    match Sp_core.Stackable.open_file lower sp with
+    | f -> f
+    | exception Sp_core.Fserr.No_such_file _ -> Sp_core.Stackable.create lower sp
+  in
+  let data = encode_pairs pairs in
+  Sp_core.File.truncate shadow 0;
+  ignore (Sp_core.File.write shadow ~pos:0 data)
+
+let make_xattr_ops l path =
+  let sorted pairs = List.sort (fun (a, _) (b, _) -> String.compare a b) pairs in
+  {
+    xa_get = (fun k -> List.assoc_opt k (read_pairs l path));
+    xa_set =
+      (fun k v ->
+        let pairs = List.remove_assoc k (read_pairs l path) in
+        write_pairs l path (sorted ((k, v) :: pairs)));
+    xa_remove =
+      (fun k -> write_pairs l path (List.remove_assoc k (read_pairs l path)));
+    xa_list = (fun () -> sorted (read_pairs l path));
+  }
+
+(* The exported file forwards everything — including the memory object,
+   so mappings bind straight to the original pager — and adds the Xattr
+   extension. *)
+let wrap_file l path (lower : Sp_core.File.t) =
+  let key = Printf.sprintf "attrfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path) in
+  match Hashtbl.find_opt l.l_wrapped key with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          lower with
+          Sp_core.File.f_id = key;
+          f_domain = l.l_domain;
+          f_read = (fun ~pos ~len -> Sp_core.File.read lower ~pos ~len);
+          f_write = (fun ~pos data -> Sp_core.File.write lower ~pos data);
+          f_stat = (fun () -> Sp_core.File.stat lower);
+          f_set_attr = (fun a -> Sp_core.File.set_attr lower a);
+          f_truncate = (fun n -> Sp_core.File.truncate lower n);
+          f_sync = (fun () -> Sp_core.File.sync lower);
+          f_exten = Xattr (make_xattr_ops l path) :: lower.Sp_core.File.f_exten;
+        }
+      in
+      Hashtbl.replace l.l_wrapped key f;
+      f
+
+let rec make_ctx l ~path =
+  let label =
+    if Sp_naming.Sname.is_empty path then l.l_name
+    else l.l_name ^ "/" ^ Sp_naming.Sname.to_string path
+  in
+  let resolve1 component =
+    if is_shadow component then raise (Sp_naming.Context.Unbound (label ^ "/" ^ component));
+    let lower = lower_of l in
+    let sub = Sp_naming.Sname.append path component in
+    match Sp_naming.Context.resolve lower.Sp_core.Stackable.sfs_ctx sub with
+    | Sp_core.File.File f ->
+        Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns;
+        Sp_core.File.File (wrap_file l sub f)
+    | Sp_naming.Context.Context _ -> Sp_naming.Context.Context (make_ctx l ~path:sub)
+    | other -> other
+  in
+  let list () =
+    let lower = lower_of l in
+    List.filter
+      (fun n -> not (is_shadow n))
+      (Sp_naming.Context.list lower.Sp_core.Stackable.sfs_ctx path)
+  in
+  {
+    Sp_naming.Context.ctx_domain = l.l_domain;
+    ctx_label = label;
+    ctx_acl = (fun () -> Sp_naming.Acl.open_acl);
+    ctx_set_acl = (fun _ -> ());
+    ctx_resolve1 = resolve1;
+    ctx_bind1 =
+      (fun c o ->
+        Sp_naming.Context.bind (lower_of l).Sp_core.Stackable.sfs_ctx
+          (Sp_naming.Sname.append path c) o);
+    ctx_rebind1 =
+      (fun c o ->
+        Sp_naming.Context.rebind (lower_of l).Sp_core.Stackable.sfs_ctx
+          (Sp_naming.Sname.append path c) o);
+    ctx_unbind1 =
+      (fun c ->
+        Sp_naming.Context.unbind (lower_of l).Sp_core.Stackable.sfs_ctx
+          (Sp_naming.Sname.append path c));
+    ctx_list = list;
+  }
+
+let remove_shadow_if_any l path =
+  let lower = lower_of l in
+  match Sp_core.Stackable.remove lower (shadow_path path) with
+  | () -> ()
+  | exception Sp_core.Fserr.No_such_file _ -> ()
+
+let make ?(node = "local") ?domain ~name () =
+  let domain =
+    match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
+  in
+  let l = { l_name = name; l_domain = domain; l_lower = None; l_wrapped = Hashtbl.create 16 } in
+  let ctx = make_ctx l ~path:(Sp_naming.Sname.of_components []) in
+  {
+    Sp_core.Stackable.sfs_name = name;
+    sfs_type = "attrfs";
+    sfs_domain = domain;
+    sfs_ctx = ctx;
+    sfs_stack_on =
+      (fun under ->
+        match l.l_lower with
+        | Some _ ->
+            raise
+              (Sp_core.Stackable.Stack_error
+                 (name ^ ": attrfs stacks on exactly one file system"))
+        | None -> l.l_lower <- Some under);
+    sfs_unders = (fun () -> Option.to_list l.l_lower);
+    sfs_create =
+      (fun path -> wrap_file l path (Sp_core.Stackable.create (lower_of l) path));
+    sfs_mkdir = (fun path -> Sp_core.Stackable.mkdir (lower_of l) path);
+    sfs_remove =
+      (fun path ->
+        Hashtbl.remove l.l_wrapped
+          (Printf.sprintf "attrfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path));
+        remove_shadow_if_any l path;
+        Sp_core.Stackable.remove (lower_of l) path);
+    sfs_sync = (fun () -> Sp_core.Stackable.sync (lower_of l));
+    sfs_drop_caches = (fun () -> Sp_core.Stackable.drop_caches (lower_of l));
+  }
+
+let creator ?(node = "local") () =
+  {
+    Sp_core.Stackable.cr_type = "attrfs";
+    cr_create = (fun ~name -> make ~node ~name ());
+  }

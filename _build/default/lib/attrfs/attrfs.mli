@@ -1,0 +1,37 @@
+(** ATTRFS — an extended-attribute file system layer.
+
+    "Generalized attribute lists" are among the attribute extensions §4.3
+    anticipates, and the paper's answer to evolving interfaces is
+    subclassing plus [narrow] rather than untyped escape hatches like
+    [ioctl].  ATTRFS demonstrates exactly that: each exported file carries
+    an {!Xattr} extension, discovered by narrowing the file's extension
+    list, that stores arbitrary key/value pairs in a shadow file
+    ([".xattr.<name>"]) beside the real file in the underlying layer.
+    Shadow files are hidden from directory listings.
+
+    Data operations and the memory object pass straight through to the
+    underlying file, so mappings bind to the original pager (ATTRFS adds
+    no data path of its own). *)
+
+type xattr_ops = {
+  xa_get : string -> string option;
+  xa_set : string -> string -> unit;
+  xa_remove : string -> unit;
+  xa_list : unit -> (string * string) list;  (** sorted by key *)
+}
+
+type Sp_obj.Exten.t += Xattr of xattr_ops
+
+(** Narrow a file to its extended-attribute interface ([None] for files
+    not exported by an ATTRFS layer). *)
+val xattrs : Sp_core.File.t -> xattr_ops option
+
+val make :
+  ?node:string ->
+  ?domain:Sp_obj.Sdomain.t ->
+  name:string ->
+  unit ->
+  Sp_core.Stackable.t
+
+(** Creator (type ["attrfs"]). *)
+val creator : ?node:string -> unit -> Sp_core.Stackable.creator

@@ -1,0 +1,1 @@
+lib/baseline/unixfs.ml: Array Bytes Hashtbl Int32 List Sp_blockdev Sp_core Sp_naming Sp_obj Sp_sfs Sp_sim String

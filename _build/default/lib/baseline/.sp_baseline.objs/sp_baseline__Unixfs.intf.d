@@ -1,0 +1,1 @@
+lib/baseline/unixfs.mli: Sp_blockdev Sp_vm

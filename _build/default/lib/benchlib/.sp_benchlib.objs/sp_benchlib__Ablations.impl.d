@@ -1,0 +1,1 @@
+lib/benchlib/ablations.ml: Bytes Format List Printf Sp_blockdev Sp_cfs Sp_coherency Sp_compfs Sp_core Sp_cryptfs Sp_dfs Sp_naming Sp_sfs Sp_sim Sp_vm Workload

@@ -1,0 +1,1 @@
+lib/benchlib/ablations.mli: Format

@@ -1,0 +1,1 @@
+lib/benchlib/figures.ml: Bytes Format Sp_blockdev Sp_coherency Sp_compfs Sp_core Sp_naming Sp_sfs Sp_sim Sp_vm Workload

@@ -1,0 +1,1 @@
+lib/benchlib/figures.mli: Format

@@ -1,0 +1,1 @@
+lib/benchlib/macro.ml: Array Bytes Format List Printf Sp_core Sp_naming Sp_sim Sp_vm Workload

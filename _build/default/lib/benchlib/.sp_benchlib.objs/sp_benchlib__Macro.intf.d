@@ -1,0 +1,1 @@
+lib/benchlib/macro.mli: Format Workload

@@ -1,0 +1,1 @@
+lib/benchlib/table2.mli: Format

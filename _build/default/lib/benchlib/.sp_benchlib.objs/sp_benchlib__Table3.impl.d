@@ -1,0 +1,1 @@
+lib/benchlib/table3.ml: Bytes Format List Sp_baseline Sp_blockdev Sp_core Sp_naming Sp_sim Sp_vm String Workload

@@ -1,0 +1,1 @@
+lib/benchlib/table3.mli: Format

@@ -1,0 +1,1 @@
+lib/benchlib/workload.ml: Bytes Char Printf Sp_blockdev Sp_coherency Sp_core Sp_naming Sp_sfs Sp_sim Sp_vm

@@ -1,0 +1,1 @@
+lib/benchlib/workload.mli: Sp_blockdev Sp_core Sp_vm

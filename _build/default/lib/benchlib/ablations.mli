@@ -1,0 +1,30 @@
+(** Ablation benchmarks for the design points DESIGN.md calls out. *)
+
+type result = { label : string; baseline_ns : int; variant_ns : int; note : string }
+
+(** §6.4: split-domain open with and without the name cache. *)
+val name_cache : unit -> result
+
+(** §6.2 CFS: remote stat and 4KB read with and without CFS interposed. *)
+val cfs_stat : unit -> result
+
+val cfs_read : unit -> result
+
+(** Remote 4KB read through DFS file interface vs through a mapped remote
+    file (the VMM path CFS enables). *)
+val dfs_map_vs_rpc : unit -> result
+
+(** §8 extension: cold sequential read of a 128 KB file with the VMM
+    read-ahead window off vs 7 pages. *)
+val readahead : unit -> result
+
+(** Stacking-depth sweep: warm open and cached 4KB read cost for towers of
+    1..4 layers (the "without sacrificing performance" claim).  Returns
+    [(depth, open_ns, read_ns)] rows. *)
+val depth_sweep : unit -> (int * int * int) list
+
+val print_depth_sweep : Format.formatter -> (int * int * int) list -> unit
+
+val run_all : unit -> result list
+
+val print : Format.formatter -> result list -> unit

@@ -1,0 +1,108 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module W = Workload
+
+type result = {
+  config : Workload.config;
+  total_ns : int;
+  opens : int;
+  reads : int;
+  writes : int;
+  stats : int;
+}
+
+(* Deterministic xorshift, so every configuration sees the same operation
+   stream. *)
+let make_rng seed =
+  let state = ref (max 1 seed) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state mod bound
+
+(* Sprite-flavoured file sizes: most files are a few KB, a few are tens of
+   KB. *)
+let size_of_file rng =
+  match rng 10 with
+  | 0 | 1 | 2 | 3 -> 1024 + rng 1024
+  | 4 | 5 | 6 -> 4096 + rng 4096
+  | 7 | 8 -> 8192 + rng 8192
+  | _ -> 32768 + rng 16384
+
+let run_config ?(files = 40) ?(rounds = 6) config =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 (fun () ->
+      let inst = W.make_instance ~tag:"macro" config in
+      let fs = inst.W.i_fs in
+      let rng = make_rng 42 in
+      let names =
+        Array.init files (fun i -> Sp_naming.Sname.of_string (Printf.sprintf "f%03d" i))
+      in
+      (* Populate. *)
+      Array.iter
+        (fun n ->
+          let f = S.create fs n in
+          let size = size_of_file rng in
+          ignore (F.write f ~pos:0 (Bytes.make size 'm')))
+        names;
+      S.sync fs;
+      let opens = ref 0 and reads = ref 0 and writes = ref 0 and stats = ref 0 in
+      let t0 = Sp_sim.Simclock.now () in
+      for _round = 1 to rounds do
+        Array.iter
+          (fun n ->
+            (* Each open is followed by a handful of operations, the mix
+               skewed toward reads and stats as in the Sprite traces. *)
+            let f = S.open_file fs n in
+            incr opens;
+            let ops = 3 + rng 5 in
+            for _ = 1 to ops do
+              match rng 10 with
+              | 0 | 1 | 2 | 3 | 4 | 5 ->
+                  let len = 512 + rng 3584 in
+                  let attr = F.stat f in
+                  let pos = if attr.Sp_vm.Attr.len <= len then 0 else rng (attr.Sp_vm.Attr.len - len) in
+                  ignore (F.read f ~pos ~len);
+                  incr reads
+              | 6 | 7 ->
+                  ignore (F.stat f);
+                  incr stats
+              | _ ->
+                  let len = 256 + rng 1792 in
+                  let attr = F.stat f in
+                  let pos = if attr.Sp_vm.Attr.len <= len then 0 else rng (attr.Sp_vm.Attr.len - len) in
+                  ignore (F.write f ~pos (Bytes.make len 'w'));
+                  incr writes
+            done)
+          names
+      done;
+      {
+        config;
+        total_ns = Sp_sim.Simclock.now () - t0;
+        opens = !opens;
+        reads = !reads;
+        writes = !writes;
+        stats = !stats;
+      })
+
+let run () =
+  List.map run_config
+    [ W.Not_stacked; W.Stacked_one_domain; W.Stacked_two_domains ]
+
+let print ppf results =
+  match results with
+  | [] -> ()
+  | base :: _ ->
+      Format.fprintf ppf
+        "Macro workload (Sprite-style mix; %d opens, %d reads, %d writes, %d \
+         stats):@."
+        base.opens base.reads base.writes base.stats;
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %-22s %10.1f ms  (%5.1f%% vs not stacked)@."
+            (W.config_label r.config)
+            (float_of_int r.total_ns /. 1e6)
+            (100. *. float_of_int r.total_ns /. float_of_int base.total_ns))
+        results

@@ -1,0 +1,65 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module W = Workload
+
+let ps = Sp_vm.Vm_types.page_size
+
+type row = { operation : string; cached : bool option; ns : int array }
+
+let configs =
+  [| W.Not_stacked; W.Stacked_one_domain; W.Stacked_two_domains |]
+
+let measure_config config =
+  let inst = W.make_instance config in
+  let name = Sp_naming.Sname.of_string "bench" in
+  let data = Bytes.make ps 'w' in
+  let open_ns = W.avg_ns (fun () -> ignore (S.open_file inst.W.i_fs name)) in
+  let read_hot = W.avg_ns (fun () -> ignore (F.read inst.W.i_file ~pos:0 ~len:ps)) in
+  let write_hot =
+    W.avg_ns (fun () -> ignore (F.write inst.W.i_file ~pos:0 data))
+  in
+  let stat_hot = W.avg_ns (fun () -> ignore (F.stat inst.W.i_file)) in
+  let cool () = W.make_cold inst in
+  let read_cold =
+    W.avg_ns_cold ~cool (fun () -> ignore (F.read inst.W.i_file ~pos:0 ~len:ps))
+  in
+  let write_cold =
+    W.avg_ns_cold ~cool (fun () -> ignore (F.write inst.W.i_file ~pos:0 data))
+  in
+  let stat_cold =
+    W.avg_ns_cold ~cool (fun () -> ignore (F.stat inst.W.i_file))
+  in
+  [| open_ns; read_hot; read_cold; write_hot; write_cold; stat_hot; stat_cold |]
+
+let run () =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 (fun () ->
+      let per_config = Array.map measure_config configs in
+      let col i = Array.map (fun m -> m.(i)) per_config in
+      [
+        { operation = "open"; cached = None; ns = col 0 };
+        { operation = "4KB read"; cached = Some true; ns = col 1 };
+        { operation = "4KB read"; cached = Some false; ns = col 2 };
+        { operation = "4KB write"; cached = Some true; ns = col 3 };
+        { operation = "4KB write"; cached = Some false; ns = col 4 };
+        { operation = "stat"; cached = Some true; ns = col 5 };
+        { operation = "stat"; cached = Some false; ns = col 6 };
+      ])
+
+let print ppf rows =
+  Format.fprintf ppf
+    "Table 2: Spring SFS, simulated 1993 cost model (ms; %% vs not stacked)@.";
+  Format.fprintf ppf
+    "%-11s %-8s | %13s | %13s | %13s@." "Operation" "Cached?" "Not stacked"
+    "One domain" "Two domains";
+  Format.fprintf ppf "%s@." (String.make 65 '-');
+  List.iter
+    (fun row ->
+      let base = float_of_int row.ns.(0) in
+      let cell i =
+        Printf.sprintf "%s %4.0f%%" (W.ms row.ns.(i))
+          (100. *. float_of_int row.ns.(i) /. base)
+      in
+      Format.fprintf ppf "%-11s %-8s | %13s | %13s | %13s@." row.operation
+        (match row.cached with None -> "-" | Some true -> "yes" | Some false -> "no")
+        (cell 0) (cell 1) (cell 2))
+    rows

@@ -1,0 +1,16 @@
+(** Regenerates Table 2: "Spring Performance Measurements" — open / 4KB
+    read / 4KB write / stat, with and without caching by the coherency
+    layer, across the three stacking configurations. *)
+
+type row = {
+  operation : string;
+  cached : bool option;  (** [None] when the distinction does not apply (open) *)
+  ns : int array;  (** per-configuration simulated ns: [| mono; one; two |] *)
+}
+
+(** Run the workloads (under the [paper_1993] model) and return the rows. *)
+val run : unit -> row list
+
+(** Print the table in the paper's layout: time in ms and a percentage
+    normalised to the non-stacked column. *)
+val print : Format.formatter -> row list -> unit

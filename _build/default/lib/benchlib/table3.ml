@@ -1,0 +1,51 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module U = Sp_baseline.Unixfs
+module W = Workload
+
+let ps = Sp_vm.Vm_types.page_size
+
+type row = { operation : string; sunos_ns : int; spring_ns : int }
+
+let run () =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 (fun () ->
+      (* SunOS stand-in. *)
+      let disk = Sp_blockdev.Disk.create ~blocks:2048 () in
+      let ufs = U.mkfs_and_mount disk in
+      let fd = U.creat ufs "bench" in
+      let data = Bytes.make ps 'w' in
+      ignore (U.write ufs fd ~pos:0 data);
+      ignore (U.openf ufs "bench");
+      ignore (U.read ufs fd ~pos:0 ~len:ps);
+      ignore (U.fstat ufs fd);
+      let u_open = W.avg_ns (fun () -> ignore (U.openf ufs "bench")) in
+      let u_read = W.avg_ns (fun () -> ignore (U.read ufs fd ~pos:0 ~len:ps)) in
+      let u_write = W.avg_ns (fun () -> ignore (U.write ufs fd ~pos:0 data)) in
+      let u_stat = W.avg_ns (fun () -> ignore (U.fstat ufs fd)) in
+      (* Spring, production (two-domain) configuration. *)
+      let inst = W.make_instance W.Stacked_two_domains in
+      let name = Sp_naming.Sname.of_string "bench" in
+      let s_open = W.avg_ns (fun () -> ignore (S.open_file inst.W.i_fs name)) in
+      let s_read = W.avg_ns (fun () -> ignore (F.read inst.W.i_file ~pos:0 ~len:ps)) in
+      let s_write = W.avg_ns (fun () -> ignore (F.write inst.W.i_file ~pos:0 data)) in
+      let s_stat = W.avg_ns (fun () -> ignore (F.stat inst.W.i_file)) in
+      [
+        { operation = "open"; sunos_ns = u_open; spring_ns = s_open };
+        { operation = "4KB read"; sunos_ns = u_read; spring_ns = s_read };
+        { operation = "4KB write"; sunos_ns = u_write; spring_ns = s_write };
+        { operation = "fstat"; sunos_ns = u_stat; spring_ns = s_stat };
+      ])
+
+let print ppf rows =
+  Format.fprintf ppf
+    "Table 3: SunOS 4.1.3 baseline vs Spring SFS (simulated; paper: 2-7x)@.";
+  Format.fprintf ppf "%-10s | %12s | %12s | %8s@." "Operation" "SunOS (us)"
+    "Spring (us)" "ratio";
+  Format.fprintf ppf "%s@." (String.make 52 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s | %12.0f | %12.0f | %7.1fx@." r.operation
+        (float_of_int r.sunos_ns /. 1e3)
+        (float_of_int r.spring_ns /. 1e3)
+        (float_of_int r.spring_ns /. float_of_int r.sunos_ns))
+    rows

@@ -1,0 +1,13 @@
+(** Regenerates Table 3: SunOS 4.1.3 performance (the monolithic baseline)
+    and the Spring/SunOS ratios the surrounding text discusses ("Spring is
+    from 2 to 7 times slower than SunOS"). *)
+
+type row = {
+  operation : string;
+  sunos_ns : int;  (** baseline (monolithic) simulated time *)
+  spring_ns : int;  (** Spring SFS, two-domain configuration *)
+}
+
+val run : unit -> row list
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,86 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+
+let ps = Sp_vm.Vm_types.page_size
+
+type config = Not_stacked | Stacked_one_domain | Stacked_two_domains
+
+let config_label = function
+  | Not_stacked -> "not stacked"
+  | Stacked_one_domain -> "stacked, one domain"
+  | Stacked_two_domains -> "stacked, two domains"
+
+type instance = {
+  i_fs : Sp_core.Stackable.t;
+  i_vmm : Sp_vm.Vmm.t;
+  i_disk : Sp_blockdev.Disk.t;
+  i_file : Sp_core.File.t;
+}
+
+let counter = ref 0
+
+let pattern n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr ((i * 131) land 0xff))
+  done;
+  b
+
+let make_instance ?tag config =
+  incr counter;
+  let tag =
+    match tag with
+    | Some t -> Printf.sprintf "%s%d" t !counter
+    | None -> Printf.sprintf "bench%d" !counter
+  in
+  let vmm = Sp_vm.Vmm.create ~node:tag ("vmm-" ^ tag) in
+  let disk = Sp_blockdev.Disk.create ~label:("disk-" ^ tag) ~blocks:2048 () in
+  Sp_sfs.Disk_layer.mkfs disk;
+  let fs =
+    match config with
+    | Not_stacked -> Sp_coherency.Spring_sfs.make_mono ~node:tag ~vmm ~name:tag disk
+    | Stacked_one_domain ->
+        Sp_coherency.Spring_sfs.make_split ~node:tag ~vmm ~name:tag
+          ~same_domain:true disk
+    | Stacked_two_domains ->
+        Sp_coherency.Spring_sfs.make_split ~node:tag ~vmm ~name:tag
+          ~same_domain:false disk
+  in
+  let file = S.create fs (Sp_naming.Sname.of_string "bench") in
+  ignore (F.write file ~pos:0 (pattern ps));
+  (* Warm every path the cached rows measure. *)
+  ignore (S.open_file fs (Sp_naming.Sname.of_string "bench"));
+  ignore (F.read file ~pos:0 ~len:ps);
+  ignore (F.stat file);
+  { i_fs = fs; i_vmm = vmm; i_disk = disk; i_file = file }
+
+let avg_ns ?(iters = 50) f =
+  let t0 = Sp_sim.Simclock.now () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Sp_sim.Simclock.now () - t0) / iters
+
+let avg_ns_cold ?(iters = 10) ~cool f =
+  let total = ref 0 in
+  for _ = 1 to iters do
+    cool ();
+    let t0 = Sp_sim.Simclock.now () in
+    f ();
+    total := !total + (Sp_sim.Simclock.now () - t0)
+  done;
+  !total / iters
+
+(* Scramble the head so cold operations pay a real seek, as on a shared
+   1993 disk. *)
+let scramble_head disk =
+  let far = Sp_blockdev.Disk.block_count disk - 1 in
+  ignore (Sp_blockdev.Disk.read disk far)
+
+let make_cold inst =
+  S.sync inst.i_fs;
+  S.drop_caches inst.i_fs;
+  Sp_vm.Vmm.drop_caches inst.i_vmm;
+  scramble_head inst.i_disk
+
+let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6)

@@ -1,0 +1,39 @@
+(** Benchmark workloads and measurement helpers.
+
+    All measurements are of {e simulated} time under the [paper_1993] cost
+    model, mirroring the paper's methodology: "each data point is the
+    average of 5 runs of 10000 invocations of the given operation" — we
+    run fewer invocations because the simulation is deterministic (zero
+    variance), and report the per-operation average. *)
+
+(** The three SFS configurations of Table 2. *)
+type config = Not_stacked | Stacked_one_domain | Stacked_two_domains
+
+val config_label : config -> string
+
+(** A mounted SFS in the given configuration with a warm 4 KB benchmark
+    file named ["bench"]. *)
+type instance = {
+  i_fs : Sp_core.Stackable.t;
+  i_vmm : Sp_vm.Vmm.t;
+  i_disk : Sp_blockdev.Disk.t;
+  i_file : Sp_core.File.t;
+}
+
+(** Build an instance (fresh disk, fresh VMM, warmed caches).  [tag]
+    prefixes the generated unique instance name. *)
+val make_instance : ?tag:string -> config -> instance
+
+(** Average simulated nanoseconds per call of [f] over [iters] calls. *)
+val avg_ns : ?iters:int -> (unit -> unit) -> int
+
+(** Like {!avg_ns} but runs [cool ()] before each timed call (cache
+    dropping, disk-head scrambling). *)
+val avg_ns_cold : ?iters:int -> cool:(unit -> unit) -> (unit -> unit) -> int
+
+(** Evict the stack's caches and move the disk head somewhere far, so the
+    next operation behaves like the paper's uncached rows. *)
+val make_cold : instance -> unit
+
+(** Render a duration as milliseconds with two decimals (Table 2's unit). *)
+val ms : int -> string

@@ -1,0 +1,1 @@
+lib/blockdev/disk.ml: Array Bytes Printf Sp_sim

@@ -1,0 +1,1 @@
+lib/blockdev/disk.mli:

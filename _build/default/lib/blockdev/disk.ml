@@ -1,0 +1,66 @@
+let block_size = 4096
+
+type stats = { reads : int; writes : int; seeks : int }
+
+type t = {
+  label : string;
+  blocks : bytes array;
+  mutable head : int;  (* current head position, block index *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable seeks : int;
+}
+
+let create ?(label = "disk0") ~blocks () =
+  if blocks <= 0 then invalid_arg "Disk.create: blocks must be positive";
+  {
+    label;
+    blocks = Array.init blocks (fun _ -> Bytes.make block_size '\000');
+    head = 0;
+    reads = 0;
+    writes = 0;
+    seeks = 0;
+  }
+
+let label t = t.label
+let block_count t = Array.length t.blocks
+
+let check t n =
+  if n < 0 || n >= Array.length t.blocks then
+    invalid_arg (Printf.sprintf "Disk %s: block %d out of range" t.label n)
+
+(* Charge the latency of accessing block [n]: a seek (plus rotational delay)
+   unless the head is already adjacent, then the media transfer. *)
+let charge t n =
+  let model = Sp_sim.Cost_model.current () in
+  if n <> t.head && n <> t.head + 1 then begin
+    t.seeks <- t.seeks + 1;
+    Sp_sim.Simclock.advance (model.disk_seek_ns + model.disk_rotate_ns)
+  end;
+  Sp_sim.Simclock.advance model.disk_per_block_ns;
+  t.head <- n
+
+let read t n =
+  check t n;
+  charge t n;
+  t.reads <- t.reads + 1;
+  Sp_sim.Metrics.incr_disk_reads ();
+  Bytes.copy t.blocks.(n)
+
+let write t n data =
+  check t n;
+  if Bytes.length data > block_size then
+    invalid_arg (Printf.sprintf "Disk %s: write larger than a block" t.label);
+  charge t n;
+  t.writes <- t.writes + 1;
+  Sp_sim.Metrics.incr_disk_writes ();
+  let block = t.blocks.(n) in
+  Bytes.fill block 0 block_size '\000';
+  Bytes.blit data 0 block 0 (Bytes.length data)
+
+let stats t = { reads = t.reads; writes = t.writes; seeks = t.seeks }
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.seeks <- 0

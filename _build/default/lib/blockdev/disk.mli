@@ -1,0 +1,33 @@
+(** Simulated block device.
+
+    Substitute for the paper's 424 MB 4400 RPM SCSI disk: an in-memory
+    array of 4 KB blocks behind a latency model (seek distance + rotational
+    delay + media transfer), charged to the virtual clock.  Sequential
+    access to adjacent blocks skips the seek, which is enough to give the
+    disk layer's allocation policy observable consequences. *)
+
+(** Block size in bytes (4096, equal to the VM page size). *)
+val block_size : int
+
+type t
+
+type stats = { reads : int; writes : int; seeks : int }
+
+(** [create ~blocks ()] makes a zero-filled device of [blocks] blocks.
+    [label] defaults to ["disk0"]. *)
+val create : ?label:string -> blocks:int -> unit -> t
+
+val label : t -> string
+val block_count : t -> int
+
+(** [read t n] returns a copy of block [n].  Raises [Invalid_argument] on
+    out-of-range indices. *)
+val read : t -> int -> bytes
+
+(** [write t n data] stores [data] (at most one block; shorter data is
+    zero-padded) into block [n]. *)
+val write : t -> int -> bytes -> unit
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

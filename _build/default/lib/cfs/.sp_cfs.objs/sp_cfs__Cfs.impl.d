@@ -1,0 +1,1 @@
+lib/cfs/cfs.ml: Fun Hashtbl Sp_core Sp_obj Sp_vm

@@ -1,0 +1,1 @@
+lib/cfs/cfs.mli: Sp_core Sp_vm

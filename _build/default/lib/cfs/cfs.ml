@@ -1,0 +1,198 @@
+module V = Sp_vm.Vm_types
+
+type entry = {
+  e_remote : Sp_core.File.t;
+  mutable e_pager : V.pager_object option;  (* channel to the remote DFS *)
+  mutable e_fs_pager : V.fs_pager_ops option;
+  mutable e_attr : Sp_vm.Attr.t option;
+  mutable e_attr_dirty : bool;
+}
+
+type t = {
+  c_name : string;
+  c_domain : Sp_obj.Sdomain.t;
+  c_vmm : Sp_vm.Vmm.t;
+  c_files : (string, entry) Hashtbl.t;  (* by bind key *)
+  c_wrapped : (string, Sp_core.File.t) Hashtbl.t;
+  mutable c_pending : entry option;  (* entry being bound right now *)
+}
+
+let make ?(node = "local") ~vmm ~name () =
+  {
+    c_name = name;
+    c_domain = Sp_obj.Sdomain.create ~node ("cfs:" ^ name);
+    c_vmm = vmm;
+    c_files = Hashtbl.create 16;
+    c_wrapped = Hashtbl.create 16;
+    c_pending = None;
+  }
+
+(* CFS holds no page data (the VMM does), so its cache object only has to
+   answer the attribute subclass; data ranges are empty. *)
+let cache_object t e =
+  {
+    V.c_domain = t.c_domain;
+    c_label = "cfs-cache:" ^ e.e_remote.Sp_core.File.f_id;
+    c_flush_back = (fun ~offset:_ ~size:_ -> []);
+    c_deny_writes = (fun ~offset:_ ~size:_ -> []);
+    c_write_back = (fun ~offset:_ ~size:_ -> []);
+    c_delete_range = (fun ~offset:_ ~size:_ -> ());
+    c_zero_fill = (fun ~offset:_ ~size:_ -> ());
+    c_populate = (fun ~offset:_ ~access:_ _ -> ());
+    c_destroy = (fun () -> Hashtbl.remove t.c_files e.e_remote.Sp_core.File.f_id);
+    c_exten =
+      [
+        V.Fs_cache
+          {
+            V.fc_invalidate_attr =
+              (fun () ->
+                e.e_attr <- None;
+                e.e_attr_dirty <- false);
+            fc_write_back_attr =
+              (fun () ->
+                if e.e_attr_dirty then begin
+                  e.e_attr_dirty <- false;
+                  e.e_attr
+                end
+                else None);
+            fc_populate_attr =
+              (fun a ->
+                e.e_attr <- Some a;
+                e.e_attr_dirty <- false);
+          };
+      ];
+  }
+
+let manager t =
+  {
+    V.cm_id = "cfs:" ^ t.c_name;
+    cm_domain = t.c_domain;
+    cm_connect =
+      (fun ~key pager ->
+        let e =
+          match Hashtbl.find_opt t.c_files key with
+          | Some e -> e
+          | None -> (
+              match t.c_pending with
+              | Some e ->
+                  Hashtbl.replace t.c_files key e;
+                  e
+              | None -> failwith (t.c_name ^ ": connect for unknown file " ^ key))
+        in
+        e.e_pager <- Some pager;
+        e.e_fs_pager <- V.narrow_fs_pager pager;
+        cache_object t e);
+  }
+
+let fetch_attr e =
+  match e.e_attr with
+  | Some a -> a
+  | None ->
+      let a =
+        match (e.e_fs_pager, e.e_pager) with
+        | Some ops, Some pager -> V.fs_get_attr pager ops
+        | _ -> Sp_core.File.stat e.e_remote
+      in
+      e.e_attr <- Some a;
+      e.e_attr_dirty <- false;
+      a
+
+let attr_sync_down e =
+  if e.e_attr_dirty then begin
+    (match (e.e_attr, e.e_fs_pager, e.e_pager) with
+    | Some a, Some ops, Some pager -> V.fs_attr_sync pager ops a
+    | Some a, _, _ -> Sp_core.File.set_attr e.e_remote a
+    | None, _, _ -> ());
+    e.e_attr_dirty <- false
+  end
+
+let update_attr e f =
+  let a = fetch_attr e in
+  let a' = f a in
+  if not (Sp_vm.Attr.equal a a') then begin
+    e.e_attr <- Some a';
+    e.e_attr_dirty <- true
+  end
+
+let interpose t (remote : Sp_core.File.t) =
+  match Hashtbl.find_opt t.c_wrapped remote.Sp_core.File.f_id with
+  | Some f -> f
+  | None ->
+      (* The key the remote bind yields identifies the file at the server;
+         we index the entry the same way [cm_connect] will see it. *)
+      let e =
+        {
+          e_remote = remote;
+          e_pager = None;
+          e_fs_pager = None;
+          e_attr = None;
+          e_attr_dirty = false;
+        }
+      in
+      (* Bind as cache manager for the remote file; [cm_connect] installs
+         the entry under the bind key during the handshake. *)
+      t.c_pending <- Some e;
+      Fun.protect
+        ~finally:(fun () -> t.c_pending <- None)
+        (fun () -> ignore (V.bind remote.Sp_core.File.f_mem (manager t) V.Read_write));
+      let mapped =
+        Sp_core.File.mapped_ops ~vmm:t.c_vmm ~mem:remote.Sp_core.File.f_mem
+          ~get_attr:(fun () -> fetch_attr e)
+          ~set_attr_len:(fun len ->
+            let old = (fetch_attr e).Sp_vm.Attr.len in
+            if len > old then begin
+              (* Extensions are written through so the server-side length
+                 is authoritative for other clients. *)
+              V.set_length remote.Sp_core.File.f_mem len;
+              update_attr e (fun a -> Sp_vm.Attr.with_len a len)
+            end;
+            update_attr e Sp_vm.Attr.touch_mtime)
+      in
+      let f =
+        {
+          Sp_core.File.f_id = "cfs:" ^ t.c_name ^ ":" ^ remote.Sp_core.File.f_id;
+          f_domain = t.c_domain;
+          f_mem = remote.Sp_core.File.f_mem;
+          f_read =
+            (fun ~pos ~len ->
+              update_attr e Sp_vm.Attr.touch_atime;
+              mapped.Sp_core.File.mo_read ~pos ~len);
+          f_write = mapped.Sp_core.File.mo_write;
+          f_stat = (fun () -> fetch_attr e);
+          f_set_attr = (fun a -> update_attr e (fun _ -> a));
+          f_truncate =
+            (fun len ->
+              V.set_length remote.Sp_core.File.f_mem len;
+              e.e_attr <- None);
+          f_sync =
+            (fun () ->
+              mapped.Sp_core.File.mo_sync ();
+              attr_sync_down e;
+              Sp_core.File.sync e.e_remote);
+          f_exten = remote.Sp_core.File.f_exten;
+        }
+      in
+      Hashtbl.replace t.c_wrapped remote.Sp_core.File.f_id f;
+      f
+
+let wrap_import t (import : Sp_core.Stackable.t) =
+  let ctx =
+    Sp_core.Mapped_context.make ~domain:t.c_domain
+      ~label:("cfs:" ^ t.c_name ^ ":" ^ import.Sp_core.Stackable.sfs_name)
+      ~lower:import.Sp_core.Stackable.sfs_ctx ~wrap_file:(interpose t) ()
+  in
+  {
+    import with
+    Sp_core.Stackable.sfs_name = "cfs:" ^ import.Sp_core.Stackable.sfs_name;
+    sfs_type = "cfs";
+    sfs_ctx = ctx;
+    sfs_create =
+      (fun path -> interpose t (Sp_core.Stackable.create import path));
+    sfs_sync =
+      (fun () ->
+        Hashtbl.iter (fun _ f -> Sp_core.File.sync f) t.c_wrapped;
+        Sp_core.Stackable.sync import);
+  }
+
+let cached_attrs t =
+  Hashtbl.fold (fun _ e n -> if e.e_attr = None then n else n + 1) t.c_files 0

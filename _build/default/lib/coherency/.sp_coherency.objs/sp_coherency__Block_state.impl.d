@@ -1,0 +1,1 @@
+lib/coherency/block_state.ml: Hashtbl Int List Sp_vm

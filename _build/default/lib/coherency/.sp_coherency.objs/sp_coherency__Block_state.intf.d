@@ -1,0 +1,1 @@
+lib/coherency/block_state.mli: Sp_vm

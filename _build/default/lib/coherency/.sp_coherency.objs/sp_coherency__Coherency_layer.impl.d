@@ -1,0 +1,1 @@
+lib/coherency/coherency_layer.ml: Block_state Bytes Hashtbl List Option Printf Sp_core Sp_naming Sp_obj Sp_sim Sp_vm

@@ -1,0 +1,1 @@
+lib/coherency/coherency_layer.mli: Sp_core Sp_obj Sp_vm

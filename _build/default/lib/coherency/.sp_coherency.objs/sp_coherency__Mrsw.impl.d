@@ -1,0 +1,1 @@
+lib/coherency/mrsw.ml: Block_state List Option Sp_vm

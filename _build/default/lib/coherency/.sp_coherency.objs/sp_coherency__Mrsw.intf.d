@@ -1,0 +1,1 @@
+lib/coherency/mrsw.mli: Sp_vm

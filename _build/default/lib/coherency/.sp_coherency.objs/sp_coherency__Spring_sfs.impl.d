@@ -1,0 +1,1 @@
+lib/coherency/spring_sfs.ml: Coherency_layer Sp_core Sp_sfs

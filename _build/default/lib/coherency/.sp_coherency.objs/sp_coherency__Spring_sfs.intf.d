@@ -1,0 +1,1 @@
+lib/coherency/spring_sfs.mli: Sp_blockdev Sp_core Sp_vm

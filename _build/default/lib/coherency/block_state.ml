@@ -1,0 +1,58 @@
+type holder = { h_channel : int; mutable h_mode : Sp_vm.Vm_types.access }
+
+type t = (int, holder list ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let holders t idx =
+  match Hashtbl.find_opt t idx with Some l -> !l | None -> []
+
+let slot t idx =
+  match Hashtbl.find_opt t idx with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace t idx l;
+      l
+
+let record t idx ~ch ~mode =
+  let l = slot t idx in
+  match List.find_opt (fun h -> h.h_channel = ch) !l with
+  | Some h ->
+      (* Never silently downgrade: page-in RO while holding RW keeps RW. *)
+      if mode = Sp_vm.Vm_types.Read_write then h.h_mode <- mode
+  | None -> l := { h_channel = ch; h_mode = mode } :: !l
+
+let remove t idx ~ch =
+  match Hashtbl.find_opt t idx with
+  | None -> ()
+  | Some l ->
+      l := List.filter (fun h -> h.h_channel <> ch) !l;
+      if !l = [] then Hashtbl.remove t idx
+
+let downgrade t idx ~ch =
+  List.iter
+    (fun h -> if h.h_channel = ch then h.h_mode <- Sp_vm.Vm_types.Read_only)
+    (holders t idx)
+
+let remove_channel t ~ch =
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun idx l ->
+      l := List.filter (fun h -> h.h_channel <> ch) !l;
+      if !l = [] then doomed := idx :: !doomed)
+    t;
+  List.iter (Hashtbl.remove t) !doomed
+
+let populated_blocks t = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let invariant_holds t =
+  Hashtbl.fold
+    (fun _ l ok ->
+      ok
+      &&
+      let writers =
+        List.length (List.filter (fun h -> h.h_mode = Sp_vm.Vm_types.Read_write) !l)
+      in
+      writers = 0 || (writers = 1 && List.length !l = 1))
+    t true

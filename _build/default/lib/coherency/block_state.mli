@@ -1,0 +1,36 @@
+(** Per-block coherency state for the single-writer/multiple-readers
+    protocol (paper §6.2).
+
+    For each block of each file the layer tracks which pager–cache channels
+    hold the block and in which mode.  The invariant maintained by
+    {!Coherency_layer} is: at most one holder in read-write mode, and a
+    read-write holder is the only holder. *)
+
+type holder = { h_channel : int; mutable h_mode : Sp_vm.Vm_types.access }
+
+type t
+
+val create : unit -> t
+
+(** Holders of block [idx] (possibly empty). *)
+val holders : t -> int -> holder list
+
+(** Record channel [ch] as holding block [idx] in [mode] (upgrading or
+    adding as needed). *)
+val record : t -> int -> ch:int -> mode:Sp_vm.Vm_types.access -> unit
+
+(** Remove channel [ch] from block [idx]'s holders. *)
+val remove : t -> int -> ch:int -> unit
+
+(** Downgrade channel [ch] on block [idx] to read-only. *)
+val downgrade : t -> int -> ch:int -> unit
+
+(** Remove channel [ch] from every block (channel teardown). *)
+val remove_channel : t -> ch:int -> unit
+
+(** All block indices with at least one holder. *)
+val populated_blocks : t -> int list
+
+(** The protocol invariant: no block has two holders when one is
+    read-write.  Exposed for property tests. *)
+val invariant_holds : t -> bool

@@ -1,0 +1,547 @@
+module V = Sp_vm.Vm_types
+
+let ps = V.page_size
+
+type cfile = {
+  key : string;  (* cache key of the exported memory object *)
+  lower : Sp_core.File.t;
+  mutable lower_pager : V.pager_object option;
+  mutable lower_fs_pager : V.fs_pager_ops option;
+  state : Block_state.t;
+  mutable attr : Sp_vm.Attr.t option;
+  mutable attr_dirty : bool;
+}
+
+type layer = {
+  l_name : string;
+  l_domain : Sp_obj.Sdomain.t;
+  l_vmm : Sp_vm.Vmm.t;
+  l_embedded : bool;
+  mutable l_lower : Sp_core.Stackable.t option;
+  l_channels : Sp_vm.Pager_lib.t;  (* upper channels, all files *)
+  l_files : (string, cfile) Hashtbl.t;  (* keyed by lower file id *)
+  l_wrapped : (string, Sp_core.File.t * Sp_core.File.t) Hashtbl.t;
+      (* lower file id -> (lower file, wrapper); the stored lower validates
+         hits against identity reuse *)
+}
+
+let instances : (string, layer) Hashtbl.t = Hashtbl.create 4
+
+let layer_of (sfs : Sp_core.Stackable.t) =
+  match Hashtbl.find_opt instances sfs.Sp_core.Stackable.sfs_name with
+  | Some l -> l
+  | None -> invalid_arg (sfs.Sp_core.Stackable.sfs_name ^ ": not a coherency layer")
+
+let lower_of l =
+  match l.l_lower with
+  | Some fs -> fs
+  | None -> raise (Sp_core.Stackable.Stack_error (l.l_name ^ ": not stacked yet"))
+
+let lower_pager_of cf =
+  match cf.lower_pager with
+  | Some p -> p
+  | None -> failwith (cf.key ^ ": lower channel not established")
+
+(* ------------------------------------------------------------------ *)
+(* Attribute cache                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Before trusting our cached copy, recall dirty attributes from upper
+   cache managers that are file systems (fs_cache write-back): a layer
+   stacked on us may hold newer times/length, exactly as it may hold newer
+   page data.  Plain cache managers (VMMs) do not narrow and cost
+   nothing. *)
+let poll_upper_attrs l cf =
+  let recall ch =
+    match V.narrow_fs_cache ch.Sp_vm.Pager_lib.ch_cache with
+    | None -> ()
+    | Some ops -> (
+        match V.fs_write_back_attr ch.Sp_vm.Pager_lib.ch_cache ops with
+        | Some a ->
+            cf.attr <- Some a;
+            cf.attr_dirty <- true
+        | None -> ())
+  in
+  List.iter recall (Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:cf.key)
+
+let fetch_attr_l l cf =
+  poll_upper_attrs l cf;
+  match cf.attr with
+  | Some a -> a
+  | None ->
+      let a =
+        match (cf.lower_fs_pager, cf.lower_pager) with
+        | Some ops, Some pager -> V.fs_get_attr pager ops
+        | _ -> Sp_core.File.stat cf.lower
+      in
+      cf.attr <- Some a;
+      cf.attr_dirty <- false;
+      a
+
+(* Invalidate attribute caches of upper cache managers that are themselves
+   file systems (the fs_cache subclass protocol of §4.3). *)
+let invalidate_upper_attrs l cf ~except =
+  let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:cf.key in
+  List.iter
+    (fun ch ->
+      if ch.Sp_vm.Pager_lib.ch_id <> except then
+        match V.narrow_fs_cache ch.Sp_vm.Pager_lib.ch_cache with
+        | Some ops -> V.fs_invalidate_attr ch.Sp_vm.Pager_lib.ch_cache ops
+        | None -> ())
+    channels
+
+let update_attr l cf ~except f =
+  let a = fetch_attr_l l cf in
+  let a' = f a in
+  if not (Sp_vm.Attr.equal a a') then begin
+    cf.attr <- Some a';
+    cf.attr_dirty <- true;
+    invalidate_upper_attrs l cf ~except
+  end
+
+let attr_sync_down cf =
+  if cf.attr_dirty then begin
+    (match (cf.attr, cf.lower_fs_pager, cf.lower_pager) with
+    | Some a, Some ops, Some pager -> V.fs_attr_sync pager ops a
+    | Some a, _, _ ->
+        V.set_length cf.lower.Sp_core.File.f_mem a.Sp_vm.Attr.len;
+        Sp_core.File.set_attr cf.lower a
+    | None, _, _ -> ());
+    cf.attr_dirty <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The MRSW protocol                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let write_down cf extents =
+  let pager = lower_pager_of cf in
+  List.iter (fun e -> V.write_out pager ~offset:e.V.ext_offset e.V.ext_data) extents
+
+let cache_of_channel l id =
+  Option.map
+    (fun ch -> ch.Sp_vm.Pager_lib.ch_cache)
+    (Sp_vm.Pager_lib.find l.l_channels ~id)
+
+(* Make block [b] grantable to channel [me] in [access] mode by revoking
+   conflicting holders. *)
+let make_way l cf ~me ~access b =
+  let offset = b * ps in
+  let revoke (h : Block_state.holder) =
+    if h.Block_state.h_channel <> me then
+      match cache_of_channel l h.Block_state.h_channel with
+      | None -> Block_state.remove cf.state b ~ch:h.Block_state.h_channel
+      | Some cache -> (
+          match access with
+          | V.Read_write ->
+              write_down cf (V.flush_back cache ~offset ~size:ps);
+              Block_state.remove cf.state b ~ch:h.Block_state.h_channel
+          | V.Read_only ->
+              if h.Block_state.h_mode = V.Read_write then begin
+                write_down cf (V.deny_writes cache ~offset ~size:ps);
+                Block_state.downgrade cf.state b ~ch:h.Block_state.h_channel
+              end)
+  in
+  List.iter revoke (Block_state.holders cf.state b)
+
+let upper_pager l cf ~id =
+  let page_in ~offset ~size ~access =
+    let blocks = V.pages_covering ~offset ~size in
+    List.iter (make_way l cf ~me:id ~access) blocks;
+    let data = V.page_in (lower_pager_of cf) ~offset ~size ~access in
+    List.iter (fun b -> Block_state.record cf.state b ~ch:id ~mode:access) blocks;
+    data
+  in
+  let push retain ~offset data =
+    let pager = lower_pager_of cf in
+    (match retain with
+    | `Drop -> V.page_out pager ~offset data
+    | `Read_only -> V.write_out pager ~offset data
+    | `Same -> V.sync pager ~offset data);
+    let blocks = V.pages_covering ~offset ~size:(Bytes.length data) in
+    List.iter
+      (fun b ->
+        match retain with
+        | `Drop -> Block_state.remove cf.state b ~ch:id
+        | `Read_only ->
+            (* The caller retains the data read-only (Appendix B), so it
+               becomes/remains an RO holder eligible for revocation. *)
+            Block_state.record cf.state b ~ch:id ~mode:V.Read_only;
+            Block_state.downgrade cf.state b ~ch:id
+        | `Same -> ())
+      blocks
+  in
+  {
+    V.p_domain = l.l_domain;
+    p_label = cf.key;
+    p_page_in = page_in;
+    p_page_out = push `Drop;
+    p_write_out = push `Read_only;
+    p_sync = push `Same;
+    p_done_with =
+      (fun () ->
+        Block_state.remove_channel cf.state ~ch:id;
+        Sp_vm.Pager_lib.remove l.l_channels id);
+    p_exten =
+      [
+        V.Fs_pager
+          {
+            V.fp_get_attr = (fun () -> fetch_attr_l l cf);
+            fp_set_attr =
+              (fun a -> update_attr l cf ~except:id (fun _ -> a));
+            fp_attr_sync =
+              (fun a -> update_attr l cf ~except:id (fun _ -> a));
+          };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Acting as cache manager for the lower layer                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Coherency actions arriving from below are forwarded to every upper
+   cache; this is what lets coherent stacks be built out of non-coherent
+   layers (§6.3). *)
+let lower_cache_object l cf =
+  let on_range action ~offset ~size =
+    let collected = ref [] in
+    let blocks = V.pages_covering ~offset ~size in
+    let visit b =
+      let off = b * ps in
+      let revoke (h : Block_state.holder) =
+        match cache_of_channel l h.Block_state.h_channel with
+        | None -> Block_state.remove cf.state b ~ch:h.Block_state.h_channel
+        | Some cache -> (
+            match action with
+            | `Flush ->
+                collected := !collected @ V.flush_back cache ~offset:off ~size:ps;
+                Block_state.remove cf.state b ~ch:h.Block_state.h_channel
+            | `Deny ->
+                if h.Block_state.h_mode = V.Read_write then begin
+                  collected := !collected @ V.deny_writes cache ~offset:off ~size:ps;
+                  Block_state.downgrade cf.state b ~ch:h.Block_state.h_channel
+                end
+            | `Write_back ->
+                collected := !collected @ V.write_back cache ~offset:off ~size:ps
+            | `Delete ->
+                V.delete_range cache ~offset:off ~size:ps;
+                Block_state.remove cf.state b ~ch:h.Block_state.h_channel
+            | `Zero -> V.zero_fill cache ~offset:off ~size:ps)
+      in
+      List.iter revoke (Block_state.holders cf.state b)
+    in
+    List.iter visit blocks;
+    !collected
+  in
+  {
+    V.c_domain = l.l_domain;
+    c_label = "coh-cache:" ^ cf.key;
+    c_flush_back = (fun ~offset ~size -> on_range `Flush ~offset ~size);
+    c_deny_writes = (fun ~offset ~size -> on_range `Deny ~offset ~size);
+    c_write_back = (fun ~offset ~size -> on_range `Write_back ~offset ~size);
+    c_delete_range = (fun ~offset ~size -> ignore (on_range `Delete ~offset ~size));
+    c_zero_fill = (fun ~offset ~size -> ignore (on_range `Zero ~offset ~size));
+    c_populate = (fun ~offset:_ ~access:_ _ -> ());
+    c_destroy =
+      (fun () ->
+        (* Cascade: our backing identity is gone, so our exported identity
+           is too. *)
+        Sp_vm.Pager_lib.destroy_key l.l_channels ~key:cf.key;
+        Hashtbl.remove l.l_files cf.lower.Sp_core.File.f_id;
+        Hashtbl.remove l.l_wrapped cf.lower.Sp_core.File.f_id);
+    c_exten =
+      [
+        V.Fs_cache
+          {
+            V.fc_invalidate_attr =
+              (fun () ->
+                cf.attr <- None;
+                cf.attr_dirty <- false;
+                invalidate_upper_attrs l cf ~except:(-1));
+            fc_write_back_attr =
+              (fun () ->
+                if cf.attr_dirty then begin
+                  cf.attr_dirty <- false;
+                  cf.attr
+                end
+                else None);
+            fc_populate_attr =
+              (fun a ->
+                cf.attr <- Some a;
+                cf.attr_dirty <- false);
+          };
+      ];
+  }
+
+let manager l =
+  {
+    V.cm_id = "coh:" ^ l.l_name;
+    cm_domain = l.l_domain;
+    cm_connect =
+      (fun ~key pager ->
+        match Hashtbl.find_opt l.l_files key with
+        | None -> failwith (l.l_name ^ ": connect for unknown file " ^ key)
+        | Some cf ->
+            cf.lower_pager <- Some pager;
+            cf.lower_fs_pager <- V.narrow_fs_pager pager;
+            lower_cache_object l cf);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-file maintenance                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a coherency sweep to every populated block of [cf]. *)
+let sweep l cf action =
+  let visit b =
+    let off = b * ps in
+    let revoke (h : Block_state.holder) =
+      match cache_of_channel l h.Block_state.h_channel with
+      | None -> Block_state.remove cf.state b ~ch:h.Block_state.h_channel
+      | Some cache -> (
+          match action with
+          | `Write_back -> write_down cf (V.write_back cache ~offset:off ~size:ps)
+          | `Flush ->
+              write_down cf (V.flush_back cache ~offset:off ~size:ps);
+              Block_state.remove cf.state b ~ch:h.Block_state.h_channel)
+    in
+    List.iter revoke (Block_state.holders cf.state b)
+  in
+  List.iter visit (Block_state.populated_blocks cf.state)
+
+let sync_cfile l cf =
+  sweep l cf `Write_back;
+  attr_sync_down cf
+
+let drop_cfile_caches l cf =
+  sweep l cf `Flush;
+  attr_sync_down cf;
+  cf.attr <- None
+
+(* Shrinks must also discard stale cached pages beyond the new length:
+   push the boundary page's dirty data down, zero its cached tail, delete
+   fully-cut pages from every cache, then propagate the cut so the lower
+   layer frees the blocks. *)
+let truncate_cfile l cf len =
+  let old = (fetch_attr_l l cf).Sp_vm.Attr.len in
+  if len < old then begin
+    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:cf.key in
+    let cut = (len + ps - 1) / ps * ps in
+    if len mod ps <> 0 then begin
+      let edge = len - (len mod ps) in
+      List.iter
+        (fun ch ->
+          write_down cf
+            (V.write_back ch.Sp_vm.Pager_lib.ch_cache ~offset:edge ~size:ps);
+          V.zero_fill ch.Sp_vm.Pager_lib.ch_cache ~offset:len ~size:(cut - len))
+        channels
+    end;
+    if old > cut then
+      List.iter
+        (fun ch ->
+          V.delete_range ch.Sp_vm.Pager_lib.ch_cache ~offset:cut ~size:(old - cut))
+        channels;
+    List.iter
+      (fun b ->
+        if b * ps >= cut then
+          List.iter
+            (fun (h : Block_state.holder) ->
+              Block_state.remove cf.state b ~ch:h.Block_state.h_channel)
+            (Block_state.holders cf.state b))
+      (Block_state.populated_blocks cf.state);
+    V.set_length cf.lower.Sp_core.File.f_mem len
+  end;
+  update_attr l cf ~except:(-1) (fun a ->
+      Sp_vm.Attr.touch_mtime (Sp_vm.Attr.with_len a len))
+
+(* ------------------------------------------------------------------ *)
+(* Exported files                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_cfile l (lower : Sp_core.File.t) =
+  let cf =
+    {
+      key = Printf.sprintf "coh:%s:%s" l.l_name lower.Sp_core.File.f_id;
+      lower;
+      lower_pager = None;
+      lower_fs_pager = None;
+      state = Block_state.create ();
+      attr = None;
+      attr_dirty = false;
+    }
+  in
+  Hashtbl.replace l.l_files lower.Sp_core.File.f_id cf;
+  (* Establish our cache-manager channel to the lower file eagerly. *)
+  ignore (V.bind lower.Sp_core.File.f_mem (manager l) V.Read_write);
+  cf
+
+let make_memory_object l cf =
+  {
+    V.m_domain = l.l_domain;
+    m_label = cf.key;
+    m_bind =
+      (fun mgr _access ->
+        Sp_vm.Pager_lib.bind l.l_channels ~key:cf.key
+          ~make_pager:(fun ~id -> upper_pager l cf ~id)
+          mgr);
+    m_get_length = (fun () -> (fetch_attr_l l cf).Sp_vm.Attr.len);
+    m_set_length = (fun len -> truncate_cfile l cf len);
+  }
+
+let rec wrap_file l (lower : Sp_core.File.t) =
+  match Hashtbl.find_opt l.l_wrapped lower.Sp_core.File.f_id with
+  | Some (stored, f) when stored == lower -> f
+  | Some _ | None ->
+      let f = wrap_file_fresh l lower in
+      Hashtbl.replace l.l_wrapped lower.Sp_core.File.f_id (lower, f);
+      f
+
+and wrap_file_fresh l (lower : Sp_core.File.t) =
+  let cf = make_cfile l lower in
+  let mem = make_memory_object l cf in
+  let mapped =
+    Sp_core.File.mapped_ops ~vmm:l.l_vmm ~mem
+      ~get_attr:(fun () -> fetch_attr_l l cf)
+      ~set_attr_len:(fun len ->
+        update_attr l cf ~except:(-1) (fun a ->
+            Sp_vm.Attr.touch_mtime (Sp_vm.Attr.with_len a (max len a.Sp_vm.Attr.len))))
+  in
+  {
+    Sp_core.File.f_id = cf.key;
+    f_domain = l.l_domain;
+    f_mem = mem;
+    f_read =
+      (fun ~pos ~len ->
+        update_attr l cf ~except:(-1) Sp_vm.Attr.touch_atime;
+        mapped.Sp_core.File.mo_read ~pos ~len);
+    f_write = mapped.Sp_core.File.mo_write;
+    f_stat = (fun () -> fetch_attr_l l cf);
+    f_set_attr = (fun a -> update_attr l cf ~except:(-1) (fun _ -> a));
+    f_truncate = (fun len -> truncate_cfile l cf len);
+    f_sync =
+      (fun () ->
+        mapped.Sp_core.File.mo_sync ();
+        sync_cfile l cf;
+        Sp_core.File.sync lower);
+    f_exten = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The stackable layer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let iter_cfiles l f = Hashtbl.iter (fun _ cf -> f cf) l.l_files
+
+let make ?(node = "local") ?domain ?(embedded = false) ~vmm ~name () =
+  let domain =
+    match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
+  in
+  let l =
+    {
+      l_name = name;
+      l_domain = domain;
+      l_vmm = vmm;
+      l_embedded = embedded;
+      l_lower = None;
+      l_channels = Sp_vm.Pager_lib.create ();
+      l_files = Hashtbl.create 16;
+      l_wrapped = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace instances name l;
+  let ctx = ref None in
+  let get_ctx () =
+    match !ctx with
+    | Some c -> c
+    | None ->
+        let lower = lower_of l in
+        let charge_open (_ : Sp_core.File.t) =
+          if not l.l_embedded then
+            Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns
+        in
+        let c =
+          Sp_core.Mapped_context.make ~domain ~label:name
+            ~lower:lower.Sp_core.Stackable.sfs_ctx ~wrap_file:(wrap_file l)
+            ~on_file:charge_open ()
+        in
+        ctx := Some c;
+        c
+  in
+  let resolve_through component =
+    (get_ctx ()).Sp_naming.Context.ctx_resolve1 component
+  in
+  (* The exported context is a fixed record delegating to the lazily-built
+     mapped context, so the stackable value can exist before stack_on. *)
+  let exported_ctx =
+    {
+      Sp_naming.Context.ctx_domain = domain;
+      ctx_label = name;
+      ctx_acl = (fun () -> Sp_naming.Acl.open_acl);
+      ctx_set_acl = (fun _ -> ());
+      ctx_resolve1 = resolve_through;
+      ctx_bind1 = (fun c o -> (get_ctx ()).Sp_naming.Context.ctx_bind1 c o);
+      ctx_rebind1 = (fun c o -> (get_ctx ()).Sp_naming.Context.ctx_rebind1 c o);
+      ctx_unbind1 = (fun c -> (get_ctx ()).Sp_naming.Context.ctx_unbind1 c);
+      ctx_list = (fun () -> (get_ctx ()).Sp_naming.Context.ctx_list ());
+    }
+  in
+  let self =
+    {
+      Sp_core.Stackable.sfs_name = name;
+      sfs_type = "coherency";
+      sfs_domain = domain;
+      sfs_ctx = exported_ctx;
+      sfs_stack_on =
+        (fun under ->
+          match l.l_lower with
+          | Some _ ->
+              raise
+                (Sp_core.Stackable.Stack_error
+                   (name ^ ": coherency layer stacks on exactly one file system"))
+          | None -> l.l_lower <- Some under);
+      sfs_unders = (fun () -> Option.to_list l.l_lower);
+      sfs_create =
+        (fun path ->
+          let lower = lower_of l in
+          let lower_file = Sp_core.Stackable.create lower path in
+          wrap_file l lower_file);
+      sfs_mkdir = (fun path -> Sp_core.Stackable.mkdir (lower_of l) path);
+      sfs_remove =
+        (fun path ->
+          let lower = lower_of l in
+          (match Sp_core.Stackable.open_file lower path with
+          | lower_file -> (
+              match Hashtbl.find_opt l.l_files lower_file.Sp_core.File.f_id with
+              | Some cf ->
+                  sweep l cf `Flush;
+                  Sp_vm.Pager_lib.destroy_key l.l_channels ~key:cf.key;
+                  Hashtbl.remove l.l_files lower_file.Sp_core.File.f_id;
+                  Hashtbl.remove l.l_wrapped lower_file.Sp_core.File.f_id
+              | None ->
+                  Hashtbl.remove l.l_wrapped lower_file.Sp_core.File.f_id)
+          | exception _ -> ());
+          Sp_core.Stackable.remove lower path);
+      sfs_sync =
+        (fun () ->
+          iter_cfiles l (fun cf -> sync_cfile l cf);
+          Sp_core.Stackable.sync (lower_of l));
+      sfs_drop_caches = (fun () -> iter_cfiles l (fun cf -> drop_cfile_caches l cf));
+    }
+  in
+  self
+
+let creator ?(node = "local") ~vmm () =
+  {
+    Sp_core.Stackable.cr_type = "coherency";
+    cr_create = (fun ~name -> make ~node ~vmm ~name ());
+  }
+
+let channel_count sfs = Sp_vm.Pager_lib.channel_count (layer_of sfs).l_channels
+
+let invariant_holds sfs =
+  let l = layer_of sfs in
+  Hashtbl.fold (fun _ cf ok -> ok && Block_state.invariant_holds cf.state) l.l_files true
+
+let cached_attrs sfs =
+  let l = layer_of sfs in
+  Hashtbl.fold (fun _ cf n -> if cf.attr = None then n else n + 1) l.l_files 0

@@ -1,0 +1,63 @@
+(** Reusable single-writer/multiple-readers protocol over upper channels.
+
+    "Each pager is responsible for keeping its own files coherent" (§4.2.1)
+    — so every layer that exports files (COMPFS, CRYPTFS, MIRRORFS, ...)
+    runs this protocol across the pager–cache channels of each file,
+    exactly as the coherency layer does for its own.  The layer supplies
+    [write_down], which lands revoked dirty extents in its backing store
+    (compressing, encrypting, replicating... as the layer pleases). *)
+
+type t
+
+val create : unit -> t
+
+(** Revoke conflicting holders of the blocks in the range before granting
+    channel [me] the given access (deny writers for read-only grants,
+    flush everyone for read-write grants). *)
+val before_grant :
+  t ->
+  channels:Sp_vm.Pager_lib.t ->
+  key:string ->
+  me:int ->
+  access:Sp_vm.Vm_types.access ->
+  offset:int ->
+  size:int ->
+  write_down:(Sp_vm.Vm_types.extent -> unit) ->
+  unit
+
+(** Record channel [me] as holding the range in the given mode (call after
+    the data has been produced). *)
+val after_grant :
+  t -> me:int -> access:Sp_vm.Vm_types.access -> offset:int -> size:int -> unit
+
+(** Adjust holder state after channel [me] pushed data down with the given
+    retention semantics (page_out / write_out / sync). *)
+val on_push :
+  t ->
+  me:int ->
+  retain:[ `Drop | `Read_only | `Same ] ->
+  offset:int ->
+  size:int ->
+  unit
+
+(** Collect dirty data from every holder ([`Write_back] retains the
+    caches, [`Flush] empties them). *)
+val sweep :
+  t ->
+  channels:Sp_vm.Pager_lib.t ->
+  key:string ->
+  [ `Write_back | `Flush ] ->
+  write_down:(Sp_vm.Vm_types.extent -> unit) ->
+  unit
+
+(** Forget a channel entirely. *)
+val remove_channel : t -> ch:int -> unit
+
+(** Forget all holders of blocks with index >= [block] (after truncate). *)
+val drop_blocks_from : t -> block:int -> unit
+
+(** Forget everything (after the backing store changed under the layer). *)
+val clear : t -> unit
+
+(** The MRSW invariant over the tracked state. *)
+val invariant_holds : t -> bool

@@ -1,0 +1,22 @@
+let make_split ?(node = "local") ~vmm ~name ~same_domain disk =
+  let disk_name = name ^ ".disk" in
+  let base = Sp_sfs.Disk_layer.mount ~node ~name:disk_name disk in
+  let domain =
+    if same_domain then Some base.Sp_core.Stackable.sfs_domain else None
+  in
+  let coh = Coherency_layer.make ~node ?domain ~vmm ~name () in
+  Sp_core.Stackable.stack_on coh base;
+  coh
+
+let make_mono ?(node = "local") ~vmm ~name disk =
+  let disk_name = name ^ ".disk" in
+  let base = Sp_sfs.Disk_layer.mount ~node ~name:disk_name disk in
+  let coh =
+    Coherency_layer.make ~node ~domain:base.Sp_core.Stackable.sfs_domain
+      ~embedded:true ~vmm ~name ()
+  in
+  Sp_core.Stackable.stack_on coh base;
+  (* Present the pair as one non-stacked file system. *)
+  { coh with Sp_core.Stackable.sfs_type = "sfs_mono" }
+
+let disk_layer sfs = Sp_core.Stackable.sole_under sfs

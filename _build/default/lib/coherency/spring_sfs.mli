@@ -1,0 +1,35 @@
+(** The Spring storage file system (SFS), assembled per Figure 10: a
+    coherency layer stacked on the disk layer, all files exported via the
+    coherency layer.
+
+    Three configurations, matching the three columns of Table 2:
+    - {!make_mono} — "not stacked": the coherency machinery compiled into
+      the same layer as the disk code (the "regular C++ library" approach
+      §6.2 says the authors first planned), one domain, one open record;
+    - {!make_split} with [same_domain:true] — two layers, one domain;
+    - {!make_split} with [same_domain:false] — two layers, two domains
+      (the production arrangement, which lets the disk layer be locked in
+      physical memory while the coherency layer stays pageable). *)
+
+(** [make_split ~vmm ~name ~same_domain disk] mounts the disk layer on
+    [disk] and stacks a coherency layer on it.  Returns the top
+    (coherency) layer; the disk layer is reachable via [sfs_unders]. *)
+val make_split :
+  ?node:string ->
+  vmm:Sp_vm.Vmm.t ->
+  name:string ->
+  same_domain:bool ->
+  Sp_blockdev.Disk.t ->
+  Sp_core.Stackable.t
+
+(** [make_mono ~vmm ~name disk] is the non-stacked SFS: both halves share
+    one domain and one per-open record. *)
+val make_mono :
+  ?node:string ->
+  vmm:Sp_vm.Vmm.t ->
+  name:string ->
+  Sp_blockdev.Disk.t ->
+  Sp_core.Stackable.t
+
+(** The disk layer under an SFS built by this module. *)
+val disk_layer : Sp_core.Stackable.t -> Sp_core.Stackable.t

@@ -1,0 +1,1 @@
+lib/compfs/compfs.ml: Bytes Fun Hashtbl Int32 Int64 List Lz Option Printf Sp_coherency Sp_core Sp_naming Sp_obj Sp_sim Sp_vm

@@ -1,0 +1,1 @@
+lib/compfs/compfs.mli: Sp_core Sp_naming Sp_obj Sp_vm

@@ -1,0 +1,1 @@
+lib/compfs/lz.ml: Bytes Char Hashtbl Int32 List Option Printf

@@ -1,0 +1,1 @@
+lib/compfs/lz.mli:

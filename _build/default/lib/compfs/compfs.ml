@@ -1,0 +1,565 @@
+module V = Sp_vm.Vm_types
+
+let ps = V.page_size
+let magic = 0x43_4d_50_46l (* "CMPF" *)
+let chunk_magic = 0xc4a9
+
+(* Container layout: page 0 = header (magic, logical_len, tail); from byte
+   [ps] a log of chunks, each [u16 magic, u16 page_idx, u32 clen, data]. *)
+let chunk_header = 8
+
+type centry = {
+  e_key : string;
+  e_lower : Sp_core.File.t;
+  mutable e_pager : V.pager_object option;  (* the P3 of Figure 6 *)
+  idx : (int, int * int) Hashtbl.t;  (* logical page -> (data offset, clen) *)
+  mutable logical_len : int;
+  mutable tail : int;  (* end of the chunk log *)
+  mutable header_dirty : bool;
+  mutable stale : bool;  (* container changed under us (coherent mode) *)
+  e_state : Sp_coherency.Mrsw.t;  (* MRSW over our upper channels *)
+  mutable self_op : bool;
+      (* a container operation of our own is in flight: coherency echoes
+         it triggers below must not mark us stale *)
+}
+
+type layer = {
+  l_name : string;
+  l_domain : Sp_obj.Sdomain.t;
+  l_vmm : Sp_vm.Vmm.t;
+  l_coherent : bool;
+  mutable l_lower : Sp_core.Stackable.t option;
+  l_channels : Sp_vm.Pager_lib.t;
+  l_files : (string, centry) Hashtbl.t;  (* by lower file id *)
+  l_wrapped : (string, Sp_core.File.t * Sp_core.File.t) Hashtbl.t;
+      (* lower file id -> (lower file, wrapper) *)
+}
+
+let instances : (string, layer) Hashtbl.t = Hashtbl.create 4
+
+let layer_of (sfs : Sp_core.Stackable.t) =
+  match Hashtbl.find_opt instances sfs.Sp_core.Stackable.sfs_name with
+  | Some l -> l
+  | None -> invalid_arg (sfs.Sp_core.Stackable.sfs_name ^ ": not a compfs layer")
+
+let lower_of l =
+  match l.l_lower with
+  | Some fs -> fs
+  | None -> raise (Sp_core.Stackable.Stack_error (l.l_name ^ ": not stacked yet"))
+
+(* ------------------------------------------------------------------ *)
+(* Container access: plain file interface (Figure 5) or pager channel
+   (Figure 6)                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let container_read l e ~pos ~len =
+  match e.e_pager with
+  | Some pager when l.l_coherent ->
+      V.page_in pager ~offset:pos ~size:len ~access:V.Read_only
+  | _ -> Sp_core.File.read e.e_lower ~pos ~len
+
+let container_write l e ~pos data =
+  match e.e_pager with
+  | Some pager when l.l_coherent ->
+      e.self_op <- true;
+      Fun.protect ~finally:(fun () -> e.self_op <- false) @@ fun () ->
+      (* Extend the container length before pushing: lower layers are
+         entitled to clip page traffic beyond their file length. *)
+      let mem = e.e_lower.Sp_core.File.f_mem in
+      let needed = pos + Bytes.length data in
+      if V.get_length mem < needed then V.set_length mem needed;
+      (* write_out, not page_out: COMPFS's in-memory index is cached state
+         derived from the container, so it must stay registered as a
+         read-only holder to receive revocations (Figure 6). *)
+      V.write_out pager ~offset:pos data
+  | _ -> ignore (Sp_core.File.write e.e_lower ~pos data)
+
+let container_truncate l e len =
+  match e.e_pager with
+  | Some _ when l.l_coherent ->
+      e.self_op <- true;
+      Fun.protect
+        ~finally:(fun () -> e.self_op <- false)
+        (fun () -> V.set_length e.e_lower.Sp_core.File.f_mem len)
+  | _ -> Sp_core.File.truncate e.e_lower len
+
+(* ------------------------------------------------------------------ *)
+(* Header and index                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let write_header l e =
+  let b = Bytes.make 24 '\000' in
+  Bytes.set_int32_le b 0 magic;
+  Bytes.set_int64_le b 4 (Int64.of_int e.logical_len);
+  Bytes.set_int64_le b 12 (Int64.of_int e.tail);
+  container_write l e ~pos:0 b;
+  e.header_dirty <- false
+
+let scan_index l e =
+  Hashtbl.reset e.idx;
+  let rec go pos =
+    if pos + chunk_header <= e.tail then begin
+      let h = container_read l e ~pos ~len:chunk_header in
+      if Bytes.get_uint16_le h 0 <> chunk_magic then
+        raise (Sp_core.Fserr.Io_error (e.e_key ^ ": corrupt chunk log"));
+      let page = Bytes.get_uint16_le h 2 in
+      let clen = Int32.to_int (Bytes.get_int32_le h 4) in
+      Hashtbl.replace e.idx page (pos + chunk_header, clen);
+      go (pos + chunk_header + clen)
+    end
+  in
+  go ps;
+  e.stale <- false
+
+let load_header l e =
+  let h = container_read l e ~pos:0 ~len:24 in
+  if Bytes.length h < 24 || Bytes.get_int32_le h 0 <> magic then
+    raise (Sp_core.Fserr.Io_error (e.e_key ^ ": not a COMPFS container"));
+  e.logical_len <- Int64.to_int (Bytes.get_int64_le h 4);
+  e.tail <- Int64.to_int (Bytes.get_int64_le h 12);
+  scan_index l e
+
+(* Flush every upper cache of this file and drop its pages: the container
+   changed underneath us, so decompressed data is stale. *)
+let invalidate_upper l e =
+  let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:e.e_key in
+  let size = ((e.logical_len / ps) + 1) * ps in
+  List.iter
+    (fun ch -> V.delete_range ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size)
+    channels;
+  Sp_coherency.Mrsw.clear e.e_state
+
+let refresh_if_stale l e =
+  if e.stale then begin
+    invalidate_upper l e;
+    load_header l e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chunk I/O                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_logical_page l e page =
+  match Hashtbl.find_opt e.idx page with
+  | None -> Bytes.make ps '\000'
+  | Some (off, clen) ->
+      let compressed = container_read l e ~pos:off ~len:clen in
+      Sp_obj.Door.charge_cpu (Lz.work_units clen);
+      let data = Lz.decompress compressed in
+      if Bytes.length data = ps then data
+      else begin
+        let padded = Bytes.make ps '\000' in
+        Bytes.blit data 0 padded 0 (min ps (Bytes.length data));
+        padded
+      end
+
+let append_chunk l e page data =
+  Sp_obj.Door.charge_cpu (Lz.work_units (Bytes.length data));
+  let compressed = Lz.compress data in
+  let clen = Bytes.length compressed in
+  let h = Bytes.make chunk_header '\000' in
+  Bytes.set_uint16_le h 0 chunk_magic;
+  Bytes.set_uint16_le h 2 page;
+  Bytes.set_int32_le h 4 (Int32.of_int clen);
+  let at = e.tail in
+  container_write l e ~pos:at (Bytes.cat h compressed);
+  Hashtbl.replace e.idx page (at + chunk_header, clen);
+  e.tail <- at + chunk_header + clen;
+  e.header_dirty <- true
+
+let write_logical l e ~offset data =
+  let len = Bytes.length data in
+  let first = V.page_index offset in
+  let pages = V.pages_covering ~offset ~size:len in
+  List.iter
+    (fun page ->
+      let chunk =
+        if page * ps >= offset && (page + 1) * ps <= offset + len then
+          Bytes.sub data (page * ps - offset) ps
+        else begin
+          (* Partial page: read-modify-write. *)
+          let existing = read_logical_page l e page in
+          let from = max offset (page * ps) in
+          let upto = min (offset + len) ((page + 1) * ps) in
+          Bytes.blit data (from - offset) existing (from - (page * ps)) (upto - from);
+          existing
+        end
+      in
+      append_chunk l e page chunk)
+    pages;
+  ignore first
+
+(* Rewrite the chunk log densely: the compaction that realises the disk
+   savings. *)
+let compact l e =
+  let live =
+    List.sort compare (Hashtbl.fold (fun page loc acc -> (page, loc) :: acc) e.idx [])
+  in
+  let chunks =
+    List.map
+      (fun (page, (off, clen)) -> (page, container_read l e ~pos:off ~len:clen))
+      live
+  in
+  let cursor = ref ps in
+  Hashtbl.reset e.idx;
+  List.iter
+    (fun (page, compressed) ->
+      let clen = Bytes.length compressed in
+      let h = Bytes.make chunk_header '\000' in
+      Bytes.set_uint16_le h 0 chunk_magic;
+      Bytes.set_uint16_le h 2 page;
+      Bytes.set_int32_le h 4 (Int32.of_int clen);
+      container_write l e ~pos:!cursor (Bytes.cat h compressed);
+      Hashtbl.replace e.idx page (!cursor + chunk_header, clen);
+      cursor := !cursor + chunk_header + clen)
+    chunks;
+  e.tail <- !cursor;
+  write_header l e;
+  container_truncate l e !cursor
+
+(* ------------------------------------------------------------------ *)
+(* Acting as cache manager for the container (Figure 6)                *)
+(* ------------------------------------------------------------------ *)
+
+let lower_cache_object l e =
+  let mark () = if not e.self_op then e.stale <- true in
+  let gone ~offset:_ ~size:_ =
+    (* We hold no dirty container data (appends are written through), but
+       our decompressed view is now suspect. *)
+    mark ();
+    []
+  in
+  {
+    V.c_domain = l.l_domain;
+    c_label = "compfs-cache:" ^ e.e_key;
+    c_flush_back = gone;
+    c_deny_writes = (fun ~offset:_ ~size:_ -> []);
+    c_write_back = (fun ~offset:_ ~size:_ -> []);
+    c_delete_range = (fun ~offset:_ ~size:_ -> mark ());
+    c_zero_fill = (fun ~offset:_ ~size:_ -> mark ());
+    c_populate = (fun ~offset:_ ~access:_ _ -> mark ());
+    c_destroy =
+      (fun () ->
+        Sp_vm.Pager_lib.destroy_key l.l_channels ~key:e.e_key;
+        Hashtbl.remove l.l_files e.e_lower.Sp_core.File.f_id;
+        Hashtbl.remove l.l_wrapped e.e_lower.Sp_core.File.f_id);
+    c_exten = [];
+  }
+
+let manager l =
+  {
+    V.cm_id = "compfs:" ^ l.l_name;
+    cm_domain = l.l_domain;
+    cm_connect =
+      (fun ~key pager ->
+        match Hashtbl.find_opt l.l_files key with
+        | None -> failwith (l.l_name ^ ": connect for unknown file " ^ key)
+        | Some e ->
+            e.e_pager <- Some pager;
+            lower_cache_object l e);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Exported files                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let get_attr l e =
+  refresh_if_stale l e;
+  let a = Sp_core.File.stat e.e_lower in
+  Sp_vm.Attr.with_len a e.logical_len
+
+let truncate_entry l e len =
+  refresh_if_stale l e;
+  if len < e.logical_len then begin
+    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:e.e_key in
+    let cut = (len + ps - 1) / ps * ps in
+    (* Push dirty upper pages below the cut down before dropping anything,
+       zero the cached tail of the boundary page, then discard fully-cut
+       pages from every cache. *)
+    List.iter
+      (fun ch ->
+        let extents =
+          V.write_back ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:cut
+        in
+        List.iter
+          (fun x -> write_logical l e ~offset:x.V.ext_offset x.V.ext_data)
+          extents;
+        if len mod ps <> 0 then
+          V.zero_fill ch.Sp_vm.Pager_lib.ch_cache ~offset:len ~size:(cut - len);
+        V.delete_range ch.Sp_vm.Pager_lib.ch_cache ~offset:cut
+          ~size:(max ps (e.logical_len - cut)))
+      channels;
+    let keep = cut / ps in
+    Sp_coherency.Mrsw.drop_blocks_from e.e_state ~block:keep;
+    Hashtbl.iter
+      (fun page _ -> if page >= keep then Hashtbl.remove e.idx page)
+      (Hashtbl.copy e.idx);
+    if len mod ps <> 0 && Hashtbl.mem e.idx (len / ps) then begin
+      let edge = read_logical_page l e (len / ps) in
+      Bytes.fill edge (len mod ps) (ps - (len mod ps)) '\000';
+      append_chunk l e (len / ps) edge
+    end
+  end;
+  if len <> e.logical_len then begin
+    e.logical_len <- len;
+    e.header_dirty <- true
+  end
+
+let upper_pager l e ~id =
+  let write_down x = write_logical l e ~offset:x.V.ext_offset x.V.ext_data in
+  let page_in ~offset ~size ~access =
+    refresh_if_stale l e;
+    Sp_coherency.Mrsw.before_grant e.e_state ~channels:l.l_channels ~key:e.e_key
+      ~me:id ~access ~offset ~size ~write_down;
+    let out = Bytes.create size in
+    let rec go cursor =
+      if cursor < size then begin
+        let off = offset + cursor in
+        let page = V.page_index off in
+        let data = read_logical_page l e page in
+        let in_page = off - (page * ps) in
+        let n = min (size - cursor) (ps - in_page) in
+        Bytes.blit data in_page out cursor n;
+        go (cursor + n)
+      end
+    in
+    go 0;
+    Sp_coherency.Mrsw.after_grant e.e_state ~me:id ~access ~offset ~size;
+    out
+  in
+  let push retain ~offset data =
+    refresh_if_stale l e;
+    write_logical l e ~offset data;
+    Sp_coherency.Mrsw.on_push e.e_state ~me:id ~retain ~offset
+      ~size:(Bytes.length data)
+  in
+  {
+    V.p_domain = l.l_domain;
+    p_label = e.e_key;
+    p_page_in = page_in;
+    p_page_out = push `Drop;
+    p_write_out = push `Read_only;
+    p_sync = push `Same;
+    p_done_with =
+      (fun () ->
+        Sp_coherency.Mrsw.remove_channel e.e_state ~ch:id;
+        Sp_vm.Pager_lib.remove l.l_channels id);
+    p_exten =
+      [
+        V.Fs_pager
+          {
+            V.fp_get_attr = (fun () -> get_attr l e);
+            fp_set_attr = (fun a -> Sp_core.File.set_attr e.e_lower a);
+            fp_attr_sync =
+              (fun a ->
+                let len = a.Sp_vm.Attr.len in
+                if len < e.logical_len then truncate_entry l e len
+                else if len > e.logical_len then begin
+                  e.logical_len <- len;
+                  e.header_dirty <- true
+                end;
+                Sp_core.File.set_attr e.e_lower a);
+          };
+      ];
+  }
+
+let make_entry l (lower : Sp_core.File.t) ~fresh =
+  let e =
+    {
+      e_key = Printf.sprintf "compfs:%s:%s" l.l_name lower.Sp_core.File.f_id;
+      e_lower = lower;
+      e_pager = None;
+      idx = Hashtbl.create 16;
+      logical_len = 0;
+      tail = ps;
+      header_dirty = false;
+      stale = false;
+      e_state = Sp_coherency.Mrsw.create ();
+      self_op = false;
+    }
+  in
+  Hashtbl.replace l.l_files lower.Sp_core.File.f_id e;
+  if l.l_coherent then
+    ignore (V.bind lower.Sp_core.File.f_mem (manager l) V.Read_write);
+  if fresh then write_header l e else load_header l e;
+  e
+
+let make_memory_object l e =
+  {
+    V.m_domain = l.l_domain;
+    m_label = e.e_key;
+    m_bind =
+      (fun mgr _access ->
+        Sp_vm.Pager_lib.bind l.l_channels ~key:e.e_key
+          ~make_pager:(fun ~id -> upper_pager l e ~id)
+          mgr);
+    m_get_length =
+      (fun () ->
+        refresh_if_stale l e;
+        e.logical_len);
+    m_set_length = (fun len -> truncate_entry l e len);
+  }
+
+let sync_entry l e =
+  Sp_coherency.Mrsw.sweep e.e_state ~channels:l.l_channels ~key:e.e_key `Write_back
+    ~write_down:(fun x -> write_logical l e ~offset:x.V.ext_offset x.V.ext_data);
+  compact l e
+
+let wrap_entry l e =
+  let mem = make_memory_object l e in
+  let mapped =
+    Sp_core.File.mapped_ops ~vmm:l.l_vmm ~mem
+      ~get_attr:(fun () -> get_attr l e)
+      ~set_attr_len:(fun len ->
+        if len > e.logical_len then begin
+          e.logical_len <- len;
+          e.header_dirty <- true
+        end)
+  in
+  {
+    Sp_core.File.f_id = e.e_key;
+    f_domain = l.l_domain;
+    f_mem = mem;
+    f_read = mapped.Sp_core.File.mo_read;
+    f_write = mapped.Sp_core.File.mo_write;
+    f_stat = (fun () -> get_attr l e);
+    f_set_attr = (fun a -> Sp_core.File.set_attr e.e_lower a);
+    f_truncate = (fun len -> truncate_entry l e len);
+    f_sync =
+      (fun () ->
+        mapped.Sp_core.File.mo_sync ();
+        sync_entry l e;
+        Sp_core.File.sync e.e_lower);
+    f_exten = [];
+  }
+
+let wrap_file l ~fresh (lower : Sp_core.File.t) =
+  match Hashtbl.find_opt l.l_wrapped lower.Sp_core.File.f_id with
+  | Some (stored, f) when stored == lower -> f
+  | Some _ | None ->
+      let e = make_entry l lower ~fresh in
+      let f = wrap_entry l e in
+      Hashtbl.replace l.l_wrapped lower.Sp_core.File.f_id (lower, f);
+      f
+
+(* ------------------------------------------------------------------ *)
+(* The stackable layer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(node = "local") ?domain ?(coherent = true) ~vmm ~name () =
+  let domain =
+    match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
+  in
+  let l =
+    {
+      l_name = name;
+      l_domain = domain;
+      l_vmm = vmm;
+      l_coherent = coherent;
+      l_lower = None;
+      l_channels = Sp_vm.Pager_lib.create ();
+      l_files = Hashtbl.create 16;
+      l_wrapped = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace instances name l;
+  let ctx = ref None in
+  let get_ctx () =
+    match !ctx with
+    | Some c -> c
+    | None ->
+        let lower = lower_of l in
+        let charge_open (_ : Sp_core.File.t) =
+          Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns
+        in
+        let c =
+          Sp_core.Mapped_context.make ~domain ~label:name
+            ~lower:lower.Sp_core.Stackable.sfs_ctx
+            ~wrap_file:(wrap_file l ~fresh:false)
+            ~on_file:charge_open ()
+        in
+        ctx := Some c;
+        c
+  in
+  let exported_ctx =
+    {
+      Sp_naming.Context.ctx_domain = domain;
+      ctx_label = name;
+      ctx_acl = (fun () -> Sp_naming.Acl.open_acl);
+      ctx_set_acl = (fun _ -> ());
+      ctx_resolve1 = (fun c -> (get_ctx ()).Sp_naming.Context.ctx_resolve1 c);
+      ctx_bind1 = (fun c o -> (get_ctx ()).Sp_naming.Context.ctx_bind1 c o);
+      ctx_rebind1 = (fun c o -> (get_ctx ()).Sp_naming.Context.ctx_rebind1 c o);
+      ctx_unbind1 = (fun c -> (get_ctx ()).Sp_naming.Context.ctx_unbind1 c);
+      ctx_list = (fun () -> (get_ctx ()).Sp_naming.Context.ctx_list ());
+    }
+  in
+  {
+    Sp_core.Stackable.sfs_name = name;
+    sfs_type = "compfs";
+    sfs_domain = domain;
+    sfs_ctx = exported_ctx;
+    sfs_stack_on =
+      (fun under ->
+        match l.l_lower with
+        | Some _ ->
+            raise
+              (Sp_core.Stackable.Stack_error
+                 (name ^ ": compfs stacks on exactly one file system"))
+        | None -> l.l_lower <- Some under);
+    sfs_unders = (fun () -> Option.to_list l.l_lower);
+    sfs_create =
+      (fun path ->
+        let lower_file = Sp_core.Stackable.create (lower_of l) path in
+        wrap_file l ~fresh:true lower_file);
+    sfs_mkdir = (fun path -> Sp_core.Stackable.mkdir (lower_of l) path);
+    sfs_remove =
+      (fun path ->
+        let lower = lower_of l in
+        (match Sp_core.Stackable.open_file lower path with
+        | lf ->
+            (match Hashtbl.find_opt l.l_files lf.Sp_core.File.f_id with
+            | Some e -> Sp_vm.Pager_lib.destroy_key l.l_channels ~key:e.e_key
+            | None -> ());
+            Hashtbl.remove l.l_files lf.Sp_core.File.f_id;
+            Hashtbl.remove l.l_wrapped lf.Sp_core.File.f_id
+        | exception _ -> ());
+        Sp_core.Stackable.remove lower path);
+    sfs_sync =
+      (fun () ->
+        Hashtbl.iter (fun _ e -> sync_entry l e) l.l_files;
+        Sp_core.Stackable.sync (lower_of l));
+    sfs_drop_caches =
+      (fun () ->
+        Hashtbl.iter
+          (fun _ e ->
+            sync_entry l e;
+            e.stale <- true)
+          l.l_files);
+  }
+
+let creator ?(node = "local") ?(coherent = true) ~vmm () =
+  {
+    Sp_core.Stackable.cr_type = "compfs";
+    cr_create = (fun ~name -> make ~node ~coherent ~vmm ~name ());
+  }
+
+let entry_at sfs path =
+  let l = layer_of sfs in
+  let lower = lower_of l in
+  let lf = Sp_core.Stackable.open_file lower path in
+  match Hashtbl.find_opt l.l_files lf.Sp_core.File.f_id with
+  | Some e -> (l, e)
+  | None ->
+      ignore (wrap_file l ~fresh:false lf);
+      (l, Hashtbl.find l.l_files lf.Sp_core.File.f_id)
+
+let container_bytes sfs path =
+  let l, e = entry_at sfs path in
+  ignore l;
+  (Sp_core.File.stat e.e_lower).Sp_vm.Attr.len
+
+let logical_bytes sfs path =
+  let l, e = entry_at sfs path in
+  refresh_if_stale l e;
+  e.logical_len

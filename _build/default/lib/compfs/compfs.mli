@@ -1,0 +1,47 @@
+(** COMPFS — the compression file system layer (paper §4.2.1).
+
+    Stacked on one underlying file system, COMPFS "save[s] disk space by
+    compressing all data before writing it out and by uncompressing all
+    data read from the disk".  Each exported file is backed by a container
+    file in the underlying layer: a header page recording the logical
+    length and the log tail, followed by a log of per-page LZSS chunks; a
+    compaction pass at [sync] rewrites the log densely, realising the disk
+    savings.
+
+    Two stacking modes, matching Figures 5 and 6:
+    - [coherent:false] — COMPFS accesses the container through the plain
+      file interface; concurrent direct access to the underlying file is
+      {e not} kept coherent with the COMPFS view (a direct container write
+      leaves COMPFS's decompressed cache stale);
+    - [coherent:true] — COMPFS establishes itself as a cache manager for
+      the container (the C3–P3 connection), moving data through the
+      pager–cache channel; revocations from below invalidate COMPFS's
+      state, so direct container writes become visible upstream.
+
+    Upward, COMPFS is a non-coherent pager: per §6.3 a coherent stack is
+    obtained by stacking a coherency layer (or DFS) on top of it. *)
+
+(** [make ~vmm ~name ()] creates an instance; stack on exactly one
+    underlying file system.  [coherent] defaults to [true] (Figure 6). *)
+val make :
+  ?node:string ->
+  ?domain:Sp_obj.Sdomain.t ->
+  ?coherent:bool ->
+  vmm:Sp_vm.Vmm.t ->
+  name:string ->
+  unit ->
+  Sp_core.Stackable.t
+
+(** Creator (type ["compfs"]). *)
+val creator :
+  ?node:string -> ?coherent:bool -> vmm:Sp_vm.Vmm.t -> unit ->
+  Sp_core.Stackable.creator
+
+(** {1 Introspection} *)
+
+(** [container_bytes fs path] is the current size of the underlying
+    container for the file at [path] (compression-savings observable). *)
+val container_bytes : Sp_core.Stackable.t -> Sp_naming.Sname.t -> int
+
+(** Logical (uncompressed) length of the file at [path]. *)
+val logical_bytes : Sp_core.Stackable.t -> Sp_naming.Sname.t -> int

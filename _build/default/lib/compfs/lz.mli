@@ -1,0 +1,22 @@
+(** Self-contained LZSS compressor used by COMPFS.
+
+    Classic byte-oriented LZSS: tokens are grouped eight per flag byte; a
+    literal token is one byte, a match token packs a 12-bit backward
+    distance and a 4-bit length (3–18 bytes).  Input that does not shrink
+    is stored raw, so [compress] never expands by more than the 5-byte
+    header plus one byte.
+
+    Deterministic and dependency-free; the chunk size COMPFS feeds it is
+    one VM page. *)
+
+(** [compress data] returns the encoded form (including a header recording
+    the original length and encoding kind). *)
+val compress : bytes -> bytes
+
+(** [decompress data] inverts {!compress}.  Raises
+    [Invalid_argument] on a corrupt header or truncated stream. *)
+val decompress : bytes -> bytes
+
+(** Simulated CPU work units (≈ bytes touched) for compressing or
+    decompressing [n] bytes — charged by COMPFS to the virtual clock. *)
+val work_units : int -> int

@@ -1,0 +1,1 @@
+lib/core/cached_fs.ml: Hashtbl Option Sp_naming Sp_obj Stackable

@@ -1,0 +1,1 @@
+lib/core/cached_fs.mli: Sp_naming Sp_obj Stackable

@@ -1,0 +1,1 @@
+lib/core/file.ml: Bytes Sp_naming Sp_obj Sp_vm

@@ -1,0 +1,1 @@
+lib/core/file.mli: Sp_naming Sp_obj Sp_vm

@@ -1,0 +1,1 @@
+lib/core/fserr.ml: Printexc

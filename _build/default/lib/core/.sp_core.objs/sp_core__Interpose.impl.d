@@ -1,0 +1,1 @@
+lib/core/interpose.ml: File Fserr Hashtbl Sp_naming Sp_vm

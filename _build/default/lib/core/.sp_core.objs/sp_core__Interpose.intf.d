@@ -1,0 +1,1 @@
+lib/core/interpose.mli: File Sp_naming Sp_obj Sp_vm

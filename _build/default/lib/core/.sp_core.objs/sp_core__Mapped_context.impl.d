@@ -1,0 +1,1 @@
+lib/core/mapped_context.ml: File Hashtbl Sp_naming

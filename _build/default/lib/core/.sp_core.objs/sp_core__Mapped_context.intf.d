@@ -1,0 +1,1 @@
+lib/core/mapped_context.mli: File Sp_naming Sp_obj

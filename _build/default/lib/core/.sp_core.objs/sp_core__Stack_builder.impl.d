@@ -1,0 +1,1 @@
+lib/core/stack_builder.ml: List Sp_naming Stackable

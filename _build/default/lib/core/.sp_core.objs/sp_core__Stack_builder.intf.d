@@ -1,0 +1,1 @@
+lib/core/stack_builder.mli: Sp_naming Stackable

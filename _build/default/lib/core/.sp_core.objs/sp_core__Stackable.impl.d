@@ -1,0 +1,1 @@
+lib/core/stackable.ml: File Fserr Sp_naming Sp_obj

@@ -1,0 +1,1 @@
+lib/core/stackable.mli: File Sp_naming Sp_obj

@@ -1,0 +1,21 @@
+(** Name-cached view of a stackable file system (§6.4).
+
+    "We are currently implementing name caching in Spring in order to
+    eliminate the network overhead of remote name resolutions.  However,
+    this same implementation can be used, if necessary, to eliminate the
+    domain crossing overhead as well."
+
+    [attach fs] returns a file system whose context resolves through a
+    {!Sp_naming.Name_cache}; name-space mutations made through the view
+    (create, remove, rename, bind/unbind/rebind) invalidate the affected
+    entries.  Mutations made behind the view's back follow the usual
+    name-cache caveat: they are seen once the entry is invalidated or
+    evicted. *)
+
+(** [domain] is where the cache (and its context) lives — the client's
+    domain, defaulting to the user domain. *)
+val attach : ?capacity:int -> ?domain:Sp_obj.Sdomain.t -> Stackable.t -> Stackable.t
+
+(** Hit/miss statistics of a view created by {!attach}.  Raises
+    [Invalid_argument] on other file systems. *)
+val stats : Stackable.t -> Sp_naming.Name_cache.stats

@@ -1,0 +1,70 @@
+type t = {
+  f_id : string;
+  f_domain : Sp_obj.Sdomain.t;
+  f_mem : Sp_vm.Vm_types.memory_object;
+  f_read : pos:int -> len:int -> bytes;
+  f_write : pos:int -> bytes -> int;
+  f_stat : unit -> Sp_vm.Attr.t;
+  f_set_attr : Sp_vm.Attr.t -> unit;
+  f_truncate : int -> unit;
+  f_sync : unit -> unit;
+  f_exten : Sp_obj.Exten.t list;
+}
+
+type Sp_naming.Context.obj += File of t
+
+(* Data crossing the file interface is marshalled between client and
+   server buffers — a copy the monolithic baseline does not pay twice. *)
+let read f ~pos ~len =
+  let data = Sp_obj.Door.call f.f_domain (fun () -> f.f_read ~pos ~len) in
+  Sp_obj.Door.charge_copy (Bytes.length data);
+  data
+
+let write f ~pos data =
+  Sp_obj.Door.charge_copy (Bytes.length data);
+  Sp_obj.Door.call f.f_domain (fun () -> f.f_write ~pos data)
+let stat f = Sp_obj.Door.call f.f_domain f.f_stat
+let set_attr f attr = Sp_obj.Door.call f.f_domain (fun () -> f.f_set_attr attr)
+let truncate f len = Sp_obj.Door.call f.f_domain (fun () -> f.f_truncate len)
+let sync f = Sp_obj.Door.call f.f_domain f.f_sync
+
+let read_all f =
+  let attr = stat f in
+  read f ~pos:0 ~len:attr.Sp_vm.Attr.len
+
+let of_obj = function File f -> Some f | _ -> None
+
+type mapped_ops = {
+  mo_read : pos:int -> len:int -> bytes;
+  mo_write : pos:int -> bytes -> int;
+  mo_sync : unit -> unit;
+}
+
+let mapped_ops ~vmm ~mem ~get_attr ~set_attr_len =
+  let mapping = ref None in
+  let get_mapping () =
+    match !mapping with
+    | Some m -> m
+    | None ->
+        let m = Sp_vm.Vmm.map vmm mem in
+        mapping := Some m;
+        m
+  in
+  let mo_read ~pos ~len =
+    let attr = get_attr () in
+    let available = max 0 (attr.Sp_vm.Attr.len - pos) in
+    let len = max 0 (min len available) in
+    if len = 0 then Bytes.empty else Sp_vm.Vmm.read (get_mapping ()) ~pos ~len
+  in
+  let mo_write ~pos data =
+    let len = Bytes.length data in
+    if len > 0 then begin
+      Sp_vm.Vmm.write (get_mapping ()) ~pos data;
+      let attr = get_attr () in
+      if pos + len > attr.Sp_vm.Attr.len then set_attr_len (pos + len)
+      else set_attr_len attr.Sp_vm.Attr.len
+    end;
+    len
+  in
+  let mo_sync () = match !mapping with None -> () | Some m -> Sp_vm.Vmm.msync m in
+  { mo_read; mo_write; mo_sync }

@@ -1,0 +1,19 @@
+exception No_such_file of string
+exception Already_exists of string
+exception Is_directory of string
+exception Not_a_directory of string
+exception Directory_not_empty of string
+exception No_space of string
+exception Read_only of string
+exception Io_error of string
+
+let to_string = function
+  | No_such_file p -> "no such file: " ^ p
+  | Already_exists p -> "already exists: " ^ p
+  | Is_directory p -> "is a directory: " ^ p
+  | Not_a_directory p -> "not a directory: " ^ p
+  | Directory_not_empty p -> "directory not empty: " ^ p
+  | No_space what -> "no space: " ^ what
+  | Read_only what -> "read-only: " ^ what
+  | Io_error what -> "i/o error: " ^ what
+  | e -> Printexc.to_string e

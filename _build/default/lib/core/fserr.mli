@@ -1,0 +1,18 @@
+(** File-system errors shared by every layer. *)
+
+exception No_such_file of string
+exception Already_exists of string
+exception Is_directory of string
+exception Not_a_directory of string
+exception Directory_not_empty of string
+
+(** Device or table exhausted. *)
+exception No_space of string
+
+(** Layer or file refuses modification. *)
+exception Read_only of string
+
+exception Io_error of string
+
+(** Render any of the above (or any other exception via [Printexc]). *)
+val to_string : exn -> string

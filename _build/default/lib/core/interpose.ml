@@ -1,0 +1,85 @@
+type hooks = {
+  on_read : (File.t -> pos:int -> len:int -> bytes) option;
+  on_write : (File.t -> pos:int -> bytes -> int) option;
+  on_stat : (File.t -> Sp_vm.Attr.t) option;
+  on_truncate : (File.t -> int -> unit) option;
+  before : (string -> unit) option;
+}
+
+let no_hooks =
+  { on_read = None; on_write = None; on_stat = None; on_truncate = None; before = None }
+
+let logging_hooks ~log = { no_hooks with before = Some log }
+
+let read_only_hooks () =
+  {
+    no_hooks with
+    on_write = (Some (fun f ~pos:_ _ -> raise (Fserr.Read_only f.File.f_id)));
+    on_truncate = Some (fun f _ -> raise (Fserr.Read_only f.File.f_id));
+  }
+
+let interpose_file ~domain hooks (orig : File.t) =
+  let notify op = match hooks.before with None -> () | Some f -> f op in
+  {
+    orig with
+    File.f_domain = domain;
+    f_read =
+      (fun ~pos ~len ->
+        notify "read";
+        match hooks.on_read with
+        | Some h -> h orig ~pos ~len
+        | None -> File.read orig ~pos ~len);
+    f_write =
+      (fun ~pos data ->
+        notify "write";
+        match hooks.on_write with
+        | Some h -> h orig ~pos data
+        | None -> File.write orig ~pos data);
+    f_stat =
+      (fun () ->
+        notify "stat";
+        match hooks.on_stat with Some h -> h orig | None -> File.stat orig);
+    f_set_attr =
+      (fun attr ->
+        notify "set_attr";
+        File.set_attr orig attr);
+    f_truncate =
+      (fun len ->
+        notify "truncate";
+        match hooks.on_truncate with
+        | Some h -> h orig len
+        | None -> File.truncate orig len);
+    f_sync =
+      (fun () ->
+        notify "sync";
+        File.sync orig);
+  }
+
+let interpose_names ?principal ~domain ~root ~at ~select ~wrap () =
+  let original = Sp_naming.Context.resolve_context ?principal root at in
+  let memo : (string, File.t) Hashtbl.t = Hashtbl.create 8 in
+  let resolve1 component =
+    let obj =
+      Sp_naming.Context.resolve ?principal original
+        (Sp_naming.Sname.of_components [ component ])
+    in
+    match obj with
+    | File.File f when select component -> (
+        match Hashtbl.find_opt memo f.File.f_id with
+        | Some wrapped -> File.File wrapped
+        | None ->
+            let wrapped = wrap f in
+            Hashtbl.replace memo f.File.f_id wrapped;
+            File.File wrapped)
+    | other -> other
+  in
+  let interposer =
+    {
+      original with
+      Sp_naming.Context.ctx_domain = domain;
+      ctx_label = original.Sp_naming.Context.ctx_label ^ ":interposed";
+      ctx_resolve1 = resolve1;
+    }
+  in
+  Sp_naming.Context.rebind ?principal root at (Sp_naming.Context.Context interposer);
+  original

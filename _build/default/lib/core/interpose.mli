@@ -1,0 +1,51 @@
+(** Per-file interposition (paper §5) — watchdog-style semantics changes.
+
+    Spring provides general object interposition: an object [o1] can be
+    substituted for [o2] of type [foo] as long as [o1] is also of type
+    [foo]; [o1] decides per operation whether to forward or to implement
+    the functionality itself.  A second route is name-resolution-time
+    interposition: unbind the context where the file is bound and bind an
+    interposing context in its place, intercepting selected resolutions. *)
+
+(** Per-operation overrides.  An absent hook forwards to the original file;
+    a present hook receives the original and full control. *)
+type hooks = {
+  on_read : (File.t -> pos:int -> len:int -> bytes) option;
+  on_write : (File.t -> pos:int -> bytes -> int) option;
+  on_stat : (File.t -> Sp_vm.Attr.t) option;
+  on_truncate : (File.t -> int -> unit) option;
+  before : (string -> unit) option;
+      (** observer invoked with the operation name before every operation,
+          including forwarded ones *)
+}
+
+(** Hooks that forward everything (the identity interposer). *)
+val no_hooks : hooks
+
+(** Hooks that log each operation through [log]. *)
+val logging_hooks : log:(string -> unit) -> hooks
+
+(** Hooks that raise {!Fserr.Read_only} on [write]/[truncate]. *)
+val read_only_hooks : unit -> hooks
+
+(** [interpose_file ~domain hooks file] returns a file of the same type
+    that applies [hooks].  The memory object is forwarded unchanged, so
+    mappings still bind to the original pager — an interposer wanting to
+    see page traffic must itself act as a cache manager (as CFS does). *)
+val interpose_file : domain:Sp_obj.Sdomain.t -> hooks -> File.t -> File.t
+
+(** [interpose_names ~domain ~root ~at ~select ~wrap] replaces the context
+    bound at [at] under [root] with an interposing context: resolutions of
+    file names satisfying [select] return [wrap original] (memoised); all
+    other operations pass through.  Requires bind permission on [at]'s
+    parent, per the ACL.  Returns the original context so it can be
+    restored. *)
+val interpose_names :
+  ?principal:string ->
+  domain:Sp_obj.Sdomain.t ->
+  root:Sp_naming.Context.t ->
+  at:Sp_naming.Sname.t ->
+  select:(string -> bool) ->
+  wrap:(File.t -> File.t) ->
+  unit ->
+  Sp_naming.Context.t

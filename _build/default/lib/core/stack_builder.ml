@@ -1,0 +1,25 @@
+let stack ~creators ~base layers =
+  let add under (type_name, instance_name) =
+    let fs = Stackable.instantiate creators type_name ~name:instance_name in
+    Stackable.stack_on fs under;
+    fs
+  in
+  List.fold_left add base layers
+
+let expose ~root ~at fs = Sp_naming.Context.bind root at (Stackable.Fs fs)
+
+let resolve_fs root name =
+  match Sp_naming.Context.resolve root name with
+  | Stackable.Fs fs -> fs
+  | _ ->
+      raise
+        (Stackable.Stack_error
+           (Sp_naming.Sname.to_string name ^ ": not a stackable file system"))
+
+let layers fs =
+  let rec go acc fs =
+    match fs.Stackable.sfs_unders () with
+    | [ under ] -> go (fs :: acc) under
+    | _ -> fs :: acc
+  in
+  List.rev (go [] fs)

@@ -1,0 +1,29 @@
+(** Composing file-system stacks (paper §4.4–§4.5).
+
+    The configuration method: look a creator up under [/fs_creators],
+    [create] an instance, [stack_on] the underlying file system(s), then
+    bind the new instance — it is a naming context — somewhere in the name
+    space to expose its files. *)
+
+(** [stack ~creators ~base layers] builds a tower bottom-up: for each
+    [(type_name, instance_name)] in [layers], instantiate the creator and
+    stack it on the previous top.  Returns the final top (or [base] if
+    [layers] is empty). *)
+val stack :
+  creators:Sp_naming.Context.t ->
+  base:Stackable.t ->
+  (string * string) list ->
+  Stackable.t
+
+(** [expose ~root ~at fs] binds [fs] at name [at] under [root] — the
+    administrative decision of which file systems to export, and to whom
+    (the ACL of the target context governs who can resolve through it). *)
+val expose : root:Sp_naming.Context.t -> at:Sp_naming.Sname.t -> Stackable.t -> unit
+
+(** [resolve_fs root name] resolves a bound file system. *)
+val resolve_fs : Sp_naming.Context.t -> Sp_naming.Sname.t -> Stackable.t
+
+(** [layers fs] is the tower below (and including) [fs], top first,
+    following sole underlying links; stops at a layer with zero or several
+    underlays. *)
+val layers : Stackable.t -> Stackable.t list

@@ -1,0 +1,82 @@
+type t = {
+  sfs_name : string;
+  sfs_type : string;
+  sfs_domain : Sp_obj.Sdomain.t;
+  sfs_ctx : Sp_naming.Context.t;
+  sfs_stack_on : t -> unit;
+  sfs_unders : unit -> t list;
+  sfs_create : Sp_naming.Sname.t -> File.t;
+  sfs_mkdir : Sp_naming.Sname.t -> unit;
+  sfs_remove : Sp_naming.Sname.t -> unit;
+  sfs_sync : unit -> unit;
+  sfs_drop_caches : unit -> unit;
+}
+
+type creator = { cr_type : string; cr_create : name:string -> t }
+
+type Sp_naming.Context.obj += Fs of t | Creator of creator
+
+exception Stack_error of string
+
+let narrow_to_file path = function
+  | File.File f -> f
+  | Sp_naming.Context.Context _ | Fs _ ->
+      raise (Fserr.Is_directory (Sp_naming.Sname.to_string path))
+  | _ -> raise (Fserr.No_such_file (Sp_naming.Sname.to_string path))
+
+let open_file ?principal fs path =
+  match Sp_naming.Context.resolve ?principal fs.sfs_ctx path with
+  | o -> narrow_to_file path o
+  | exception Sp_naming.Context.Unbound _ ->
+      raise (Fserr.No_such_file (Sp_naming.Sname.to_string path))
+
+let open_file_cached ?principal cache fs path =
+  match Sp_naming.Name_cache.resolve cache ?principal fs.sfs_ctx path with
+  | o -> narrow_to_file path o
+  | exception Sp_naming.Context.Unbound _ ->
+      raise (Fserr.No_such_file (Sp_naming.Sname.to_string path))
+
+let create fs path = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_create path)
+let mkdir fs path = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_mkdir path)
+let remove fs path = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_remove path)
+let stack_on fs under = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_stack_on under)
+let sync fs = Sp_obj.Door.call fs.sfs_domain fs.sfs_sync
+let drop_caches fs = Sp_obj.Door.call fs.sfs_domain fs.sfs_drop_caches
+let listdir fs path = Sp_naming.Context.list fs.sfs_ctx path
+
+let rec base fs =
+  match fs.sfs_unders () with [ under ] -> base under | _ -> fs
+
+let rename fs ~src ~dst =
+  (* Bindings of a linear stack live in its base layer; perform the
+     relink there.  Upper layers re-wrap the same underlying file under
+     the new name automatically. *)
+  let b = base fs in
+  let file = open_file b src in
+  (match Sp_naming.Context.bind b.sfs_ctx dst (File.File file) with
+  | () -> ()
+  | exception Sp_naming.Context.Already_bound _ ->
+      raise (Fserr.Already_exists (Sp_naming.Sname.to_string dst)));
+  Sp_obj.Door.call b.sfs_domain (fun () -> b.sfs_remove src)
+
+let sole_under fs =
+  match fs.sfs_unders () with
+  | [ under ] -> under
+  | [] -> raise (Stack_error (fs.sfs_name ^ ": not stacked on anything"))
+  | _ -> raise (Stack_error (fs.sfs_name ^ ": stacked on several file systems"))
+
+let creator_binding type_name = Sp_naming.Sname.of_string (type_name ^ "_creator")
+
+let register_creator ctx creator =
+  Sp_naming.Context.bind ctx (creator_binding creator.cr_type) (Creator creator)
+
+let lookup_creator ctx type_name =
+  match Sp_naming.Context.resolve ctx (creator_binding type_name) with
+  | Creator c -> c
+  | _ -> raise (Stack_error (type_name ^ ": bound object is not a creator"))
+  | exception Sp_naming.Context.Unbound _ ->
+      raise (Stack_error (type_name ^ ": no such creator"))
+
+let instantiate ctx type_name ~name =
+  let creator = lookup_creator ctx type_name in
+  creator.cr_create ~name

@@ -1,0 +1,1 @@
+lib/cryptfs/cipher.ml: Bytes Char String

@@ -1,0 +1,1 @@
+lib/cryptfs/cipher.mli:

@@ -1,0 +1,1 @@
+lib/cryptfs/cryptfs.ml: Bytes Cipher Hashtbl List Option Printf Sp_coherency Sp_core Sp_naming Sp_obj Sp_sim Sp_vm

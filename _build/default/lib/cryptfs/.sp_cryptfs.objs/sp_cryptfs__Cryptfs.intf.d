@@ -1,0 +1,1 @@
+lib/cryptfs/cryptfs.mli: Sp_core Sp_obj Sp_vm

@@ -1,0 +1,30 @@
+let hash_key key =
+  (* FNV-1a over the key string. *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    key;
+  !h
+
+(* SplitMix64 step (on OCaml's 63-bit ints; plenty for a keystream). *)
+let mix z =
+  let z = z + 0x1e3779b97f4a7c15 in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
+  z lxor (z lsr 31)
+
+let apply ~key ~page data =
+  let n = Bytes.length data in
+  let out = Bytes.create n in
+  let seed = hash_key key lxor mix page in
+  let state = ref seed in
+  for i = 0 to n - 1 do
+    if i mod 8 = 0 then state := mix !state;
+    let ks = (!state lsr (8 * (i mod 8))) land 0xff in
+    Bytes.set out i (Char.chr (Char.code (Bytes.get data i) lxor ks))
+  done;
+  out
+
+let work_units n = n

@@ -1,0 +1,15 @@
+(** Keystream cipher used by CRYPTFS.
+
+    A position-dependent XOR keystream derived from (key, page index) with
+    a SplitMix64-style generator.  Encryption and decryption are the same
+    operation; ciphertext has exactly the plaintext's length, which is what
+    lets CRYPTFS map file pages 1:1 onto container pages.  (A real
+    deployment would use an authenticated wide-block cipher; the layer only
+    needs a deterministic length-preserving transform.) *)
+
+(** [apply ~key ~page data] encrypts/decrypts [data], which starts at the
+    beginning of logical page [page].  Returns a fresh buffer. *)
+val apply : key:string -> page:int -> bytes -> bytes
+
+(** Simulated CPU work units for transforming [n] bytes. *)
+val work_units : int -> int

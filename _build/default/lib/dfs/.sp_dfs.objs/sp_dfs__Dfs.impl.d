@@ -1,0 +1,1 @@
+lib/dfs/dfs.ml: Bytes Hashtbl List Net Option Printf Sp_coherency Sp_core Sp_naming Sp_obj Sp_vm

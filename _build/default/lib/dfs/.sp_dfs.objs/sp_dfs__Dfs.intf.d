@@ -1,0 +1,1 @@
+lib/dfs/dfs.mli: Net Sp_core Sp_vm

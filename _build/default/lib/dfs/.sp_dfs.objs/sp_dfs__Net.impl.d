@@ -1,0 +1,1 @@
+lib/dfs/net.ml: Sp_sim String

@@ -1,0 +1,47 @@
+(** DFS — the network-coherent distributed file system layer (Figure 7,
+    §4.2.2, §6.2).
+
+    DFS is "implemented as a coherency layer": the server embeds one,
+    stacked on the underlying file system, and serves remote cache
+    managers over the (simulated) network.  Two properties from the paper
+    hold structurally:
+
+    - {e local binds are forwarded}: the DFS layer's own naming context
+      returns the underlying files unchanged, so local clients share the
+      underlying cache object and DFS is not involved in local
+      page-in/page-out traffic;
+    - {e local and remote stay coherent}: the embedded coherency layer
+      binds to the underlying file as a cache manager, so local activity
+      revokes remote caches through the underlying layer's protocol, and
+      remote activity is pushed down the same channel.
+
+    [import] builds the client-side view on another node: names resolve
+    over the network, files are remote proxies whose memory objects
+    forward binds across the network (pager and cache objects are proxied
+    with network costs in both directions).  Without CFS interposed, every
+    file operation on an imported file goes to the remote DFS. *)
+
+(** Create a DFS server layer on [node]; stack it on exactly one
+    underlying file system.  Its naming context is the local (forwarding)
+    view. *)
+val make_server :
+  ?node:string ->
+  net:Net.t ->
+  vmm:Sp_vm.Vmm.t ->
+  name:string ->
+  unit ->
+  Sp_core.Stackable.t
+
+(** Creator (type ["dfs"]). *)
+val creator :
+  ?node:string -> net:Net.t -> vmm:Sp_vm.Vmm.t -> unit -> Sp_core.Stackable.creator
+
+(** [import ~net ~client_node server] is the remote client view of
+    [server] (a stackable made by {!make_server}) as seen from
+    [client_node]. *)
+val import :
+  net:Net.t -> client_node:string -> Sp_core.Stackable.t -> Sp_core.Stackable.t
+
+(** The embedded coherency layer of a server (tests: channel counts,
+    invariants). *)
+val coherency_of : Sp_core.Stackable.t -> Sp_core.Stackable.t

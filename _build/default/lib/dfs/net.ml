@@ -1,0 +1,23 @@
+type stats = { messages : int; bytes : int }
+
+type t = { mutable messages : int; mutable bytes : int }
+
+let create () = { messages = 0; bytes = 0 }
+
+let rpc t ~src ~dst ~bytes f =
+  if String.equal src dst then f ()
+  else begin
+    let model = Sp_sim.Cost_model.current () in
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes;
+    Sp_sim.Metrics.incr_net_messages ();
+    Sp_sim.Metrics.add_net_bytes bytes;
+    Sp_sim.Simclock.advance (model.net_rtt_ns + (bytes * model.net_per_byte_ns));
+    f ()
+  end
+
+let stats t : stats = { messages = t.messages; bytes = t.bytes }
+
+let reset_stats t =
+  t.messages <- 0;
+  t.bytes <- 0

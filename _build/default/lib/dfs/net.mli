@@ -1,0 +1,21 @@
+(** Simulated network between nodes.
+
+    Substitute for the paper's "private DFS protocol" transport: a
+    latency/bandwidth cost model plus counters.  All nodes live in one
+    process; an RPC is a cost-charged, metric-counted direct call.
+    Intra-node calls are free (and uncounted). *)
+
+type t
+
+type stats = { messages : int; bytes : int }
+
+val create : unit -> t
+
+(** [rpc t ~src ~dst ~bytes f] performs [f ()] as a remote invocation from
+    node [src] to node [dst] carrying [bytes] of payload (request +
+    response combined). *)
+val rpc : t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

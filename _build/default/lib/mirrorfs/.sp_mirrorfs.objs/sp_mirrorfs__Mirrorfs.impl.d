@@ -1,0 +1,1 @@
+lib/mirrorfs/mirrorfs.ml: Bytes Fun Hashtbl List Printf Sp_coherency Sp_core Sp_naming Sp_obj Sp_sim Sp_vm

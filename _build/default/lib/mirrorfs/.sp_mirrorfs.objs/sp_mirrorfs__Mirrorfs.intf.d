@@ -1,0 +1,1 @@
+lib/mirrorfs/mirrorfs.mli: Sp_core Sp_naming Sp_obj Sp_vm

@@ -1,0 +1,349 @@
+module V = Sp_vm.Vm_types
+
+let ps = V.page_size
+
+type replica = Primary | Secondary
+
+type layer = {
+  l_name : string;
+  l_domain : Sp_obj.Sdomain.t;
+  l_vmm : Sp_vm.Vmm.t;
+  mutable l_primary : Sp_core.Stackable.t option;
+  mutable l_secondary : Sp_core.Stackable.t option;
+  mutable l_degraded : replica option;
+  l_channels : Sp_vm.Pager_lib.t;
+  l_wrapped : (string, Sp_core.File.t) Hashtbl.t;  (* by path-independent key *)
+}
+
+let instances : (string, layer) Hashtbl.t = Hashtbl.create 4
+
+let layer_of (sfs : Sp_core.Stackable.t) =
+  match Hashtbl.find_opt instances sfs.Sp_core.Stackable.sfs_name with
+  | Some l -> l
+  | None -> invalid_arg (sfs.Sp_core.Stackable.sfs_name ^ ": not a mirrorfs layer")
+
+let replicas l =
+  match (l.l_primary, l.l_secondary) with
+  | Some p, Some s -> (p, s)
+  | _ -> raise (Sp_core.Stackable.Stack_error (l.l_name ^ ": needs two underlays"))
+
+(* The file pair backing one exported file. *)
+type pair = {
+  p_key : string;
+  p_prim : Sp_core.File.t;
+  p_sec : Sp_core.File.t;
+  p_state : Sp_coherency.Mrsw.t;
+}
+
+let read_source l pair =
+  match l.l_degraded with Some Primary -> pair.p_sec | _ -> pair.p_prim
+
+let write_targets l pair =
+  match l.l_degraded with
+  | Some Primary -> [ pair.p_sec ]
+  | Some Secondary -> [ pair.p_prim ]
+  | None -> [ pair.p_prim; pair.p_sec ]
+
+let pair_len l pair = (Sp_core.File.stat (read_source l pair)).Sp_vm.Attr.len
+
+let upper_pager l pair ~id =
+  let raw_push ~offset data =
+    let len = pair_len l pair in
+    let keep = min (Bytes.length data) (max 0 (len - offset)) in
+    if keep > 0 then
+      List.iter
+        (fun f -> ignore (Sp_core.File.write f ~pos:offset (Bytes.sub data 0 keep)))
+        (write_targets l pair)
+  in
+  let write_down x = raw_push ~offset:x.V.ext_offset x.V.ext_data in
+  let page_in ~offset ~size ~access =
+    Sp_coherency.Mrsw.before_grant pair.p_state ~channels:l.l_channels
+      ~key:pair.p_key ~me:id ~access ~offset ~size ~write_down;
+    let data = Sp_core.File.read (read_source l pair) ~pos:offset ~len:size in
+    let data =
+      if Bytes.length data = size then data
+      else begin
+        let padded = Bytes.make size '\000' in
+        Bytes.blit data 0 padded 0 (Bytes.length data);
+        padded
+      end
+    in
+    Sp_coherency.Mrsw.after_grant pair.p_state ~me:id ~access ~offset ~size;
+    data
+  in
+  let push retain ~offset data =
+    raw_push ~offset data;
+    Sp_coherency.Mrsw.on_push pair.p_state ~me:id ~retain ~offset
+      ~size:(Bytes.length data)
+  in
+  {
+    V.p_domain = l.l_domain;
+    p_label = pair.p_key;
+    p_page_in = page_in;
+    p_page_out = push `Drop;
+    p_write_out = push `Read_only;
+    p_sync = push `Same;
+    p_done_with =
+      (fun () ->
+        Sp_coherency.Mrsw.remove_channel pair.p_state ~ch:id;
+        Sp_vm.Pager_lib.remove l.l_channels id);
+    p_exten =
+      [
+        V.Fs_pager
+          {
+            V.fp_get_attr = (fun () -> Sp_core.File.stat (read_source l pair));
+            fp_set_attr =
+              (fun a -> List.iter (fun f -> Sp_core.File.set_attr f a) (write_targets l pair));
+            fp_attr_sync =
+              (fun a ->
+                List.iter
+                  (fun f ->
+                    V.set_length f.Sp_core.File.f_mem a.Sp_vm.Attr.len;
+                    Sp_core.File.set_attr f a)
+                  (write_targets l pair));
+          };
+      ];
+  }
+
+let truncate_pair l pair len =
+  let old = pair_len l pair in
+  if len < old then begin
+    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:pair.p_key in
+    let cut = (len + ps - 1) / ps * ps in
+    List.iter
+      (fun ch ->
+        let extents = V.write_back ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:cut in
+        List.iter
+          (fun x ->
+            List.iter
+              (fun f -> ignore (Sp_core.File.write f ~pos:x.V.ext_offset x.V.ext_data))
+              (write_targets l pair))
+          extents;
+        if len mod ps <> 0 then
+          V.zero_fill ch.Sp_vm.Pager_lib.ch_cache ~offset:len ~size:(cut - len);
+        V.delete_range ch.Sp_vm.Pager_lib.ch_cache ~offset:cut ~size:(max ps (old - cut)))
+      channels;
+    Sp_coherency.Mrsw.drop_blocks_from pair.p_state ~block:(cut / ps)
+  end;
+  List.iter (fun f -> Sp_core.File.truncate f len) (write_targets l pair)
+
+let wrap_pair l pair =
+  let mem =
+    {
+      V.m_domain = l.l_domain;
+      m_label = pair.p_key;
+      m_bind =
+        (fun mgr _access ->
+          Sp_vm.Pager_lib.bind l.l_channels ~key:pair.p_key
+            ~make_pager:(fun ~id -> upper_pager l pair ~id)
+            mgr);
+      m_get_length = (fun () -> pair_len l pair);
+      m_set_length = (fun len -> truncate_pair l pair len);
+    }
+  in
+  let mapped =
+    Sp_core.File.mapped_ops ~vmm:l.l_vmm ~mem
+      ~get_attr:(fun () -> Sp_core.File.stat (read_source l pair))
+      ~set_attr_len:(fun len ->
+        List.iter
+          (fun f ->
+            if (Sp_core.File.stat f).Sp_vm.Attr.len < len then
+              V.set_length f.Sp_core.File.f_mem len)
+          (write_targets l pair))
+  in
+  {
+    Sp_core.File.f_id = pair.p_key;
+    f_domain = l.l_domain;
+    f_mem = mem;
+    f_read = mapped.Sp_core.File.mo_read;
+    f_write = mapped.Sp_core.File.mo_write;
+    f_stat = (fun () -> Sp_core.File.stat (read_source l pair));
+    f_set_attr =
+      (fun a -> List.iter (fun f -> Sp_core.File.set_attr f a) (write_targets l pair));
+    f_truncate = (fun len -> truncate_pair l pair len);
+    f_sync =
+      (fun () ->
+        mapped.Sp_core.File.mo_sync ();
+        List.iter Sp_core.File.sync (write_targets l pair));
+    f_exten = [];
+  }
+
+(* The exported context resolves in BOTH lower file systems by path, so it
+   is built per-directory from the primary's listing. *)
+let rec make_ctx l ~path =
+  let label =
+    if Sp_naming.Sname.is_empty path then l.l_name
+    else l.l_name ^ "/" ^ Sp_naming.Sname.to_string path
+  in
+  let resolve1 component =
+    let prim, sec = replicas l in
+    let sub = Sp_naming.Sname.append path component in
+    let source = match l.l_degraded with Some Primary -> sec | _ -> prim in
+    match Sp_naming.Context.resolve source.Sp_core.Stackable.sfs_ctx sub with
+    | Sp_naming.Context.Context _ ->
+        Sp_naming.Context.Context (make_ctx l ~path:sub)
+    | Sp_core.File.File _ -> (
+        let key =
+          Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string sub)
+        in
+        match Hashtbl.find_opt l.l_wrapped key with
+        | Some f ->
+            Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns;
+            Sp_core.File.File f
+        | None ->
+            let p_prim = Sp_core.Stackable.open_file prim sub in
+            let p_sec =
+              match Sp_core.Stackable.open_file sec sub with
+              | f -> f
+              | exception Sp_core.Fserr.No_such_file _ when l.l_degraded = Some Secondary
+                ->
+                  (* Secondary lost the file during an outage: recreate it
+                     empty; repair will fill it. *)
+                  Sp_core.Stackable.create sec sub
+            in
+            let f = wrap_pair l { p_key = key; p_prim; p_sec; p_state = Sp_coherency.Mrsw.create () } in
+            Hashtbl.replace l.l_wrapped key f;
+            Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns;
+            Sp_core.File.File f)
+    | other -> other
+  in
+  let list () =
+    let prim, sec = replicas l in
+    let source = match l.l_degraded with Some Primary -> sec | _ -> prim in
+    Sp_naming.Context.list source.Sp_core.Stackable.sfs_ctx path
+  in
+  {
+    Sp_naming.Context.ctx_domain = l.l_domain;
+    ctx_label = label;
+    ctx_acl = (fun () -> Sp_naming.Acl.open_acl);
+    ctx_set_acl = (fun _ -> ());
+    ctx_resolve1 = resolve1;
+    ctx_bind1 = (fun _ _ -> invalid_arg (label ^ ": bind files via create"));
+    ctx_rebind1 = (fun _ _ -> invalid_arg (label ^ ": rebind unsupported"));
+    ctx_unbind1 =
+      (fun component ->
+        let prim, sec = replicas l in
+        let sub = Sp_naming.Sname.append path component in
+        Sp_vm.Pager_lib.destroy_key l.l_channels
+          ~key:(Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string sub));
+        Hashtbl.remove l.l_wrapped
+          (Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string sub));
+        (match l.l_degraded with
+        | Some Primary -> ()
+        | _ -> Sp_core.Stackable.remove prim sub);
+        match l.l_degraded with
+        | Some Secondary -> ()
+        | _ -> ( try Sp_core.Stackable.remove sec sub with Sp_core.Fserr.No_such_file _ -> ()));
+    ctx_list = list;
+  }
+
+let make ?(node = "local") ?domain ~vmm ~name () =
+  let domain =
+    match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
+  in
+  let l =
+    {
+      l_name = name;
+      l_domain = domain;
+      l_vmm = vmm;
+      l_primary = None;
+      l_secondary = None;
+      l_degraded = None;
+      l_channels = Sp_vm.Pager_lib.create ();
+      l_wrapped = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace instances name l;
+  let ctx = make_ctx l ~path:(Sp_naming.Sname.of_components []) in
+  {
+    Sp_core.Stackable.sfs_name = name;
+    sfs_type = "mirrorfs";
+    sfs_domain = domain;
+    sfs_ctx = ctx;
+    sfs_stack_on =
+      (fun under ->
+        match (l.l_primary, l.l_secondary) with
+        | None, _ -> l.l_primary <- Some under
+        | Some _, None -> l.l_secondary <- Some under
+        | Some _, Some _ ->
+            raise
+              (Sp_core.Stackable.Stack_error
+                 (name ^ ": mirrorfs stacks on exactly two file systems")));
+    sfs_unders =
+      (fun () -> List.filter_map Fun.id [ l.l_primary; l.l_secondary ]);
+    sfs_create =
+      (fun path ->
+        let prim, sec = replicas l in
+        let key =
+          Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path)
+        in
+        let p_prim = Sp_core.Stackable.create prim path in
+        let p_sec = Sp_core.Stackable.create sec path in
+        let f = wrap_pair l { p_key = key; p_prim; p_sec; p_state = Sp_coherency.Mrsw.create () } in
+        Hashtbl.replace l.l_wrapped key f;
+        f);
+    sfs_mkdir =
+      (fun path ->
+        let prim, sec = replicas l in
+        Sp_core.Stackable.mkdir prim path;
+        Sp_core.Stackable.mkdir sec path);
+    sfs_remove =
+      (fun path ->
+        let prim, sec = replicas l in
+        Sp_vm.Pager_lib.destroy_key l.l_channels
+          ~key:(Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path));
+        Hashtbl.remove l.l_wrapped
+          (Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path));
+        Sp_core.Stackable.remove prim path;
+        Sp_core.Stackable.remove sec path);
+    sfs_sync =
+      (fun () ->
+        Hashtbl.iter (fun _ f -> Sp_core.File.sync f) l.l_wrapped;
+        let prim, sec = replicas l in
+        (match l.l_degraded with
+        | Some Primary -> ()
+        | _ -> Sp_core.Stackable.sync prim);
+        match l.l_degraded with
+        | Some Secondary -> ()
+        | _ -> Sp_core.Stackable.sync sec);
+    sfs_drop_caches =
+      (fun () ->
+        let prim, sec = replicas l in
+        Sp_core.Stackable.drop_caches prim;
+        Sp_core.Stackable.drop_caches sec);
+  }
+
+let creator ?(node = "local") ~vmm () =
+  {
+    Sp_core.Stackable.cr_type = "mirrorfs";
+    cr_create = (fun ~name -> make ~node ~vmm ~name ());
+  }
+
+let set_degraded sfs replica = (layer_of sfs).l_degraded <- replica
+let degraded sfs = (layer_of sfs).l_degraded
+
+let lower_pair sfs path =
+  let l = layer_of sfs in
+  let prim, sec = replicas l in
+  (Sp_core.Stackable.open_file prim path, Sp_core.Stackable.open_file sec path)
+
+let verify sfs path =
+  let fp, fs = lower_pair sfs path in
+  Bytes.equal (Sp_core.File.read_all fp) (Sp_core.File.read_all fs)
+
+let repair sfs path =
+  let l = layer_of sfs in
+  let prim, sec = replicas l in
+  let source_fs, target_fs =
+    match l.l_degraded with Some Primary -> (sec, prim) | _ -> (prim, sec)
+  in
+  let source = Sp_core.Stackable.open_file source_fs path in
+  let target =
+    match Sp_core.Stackable.open_file target_fs path with
+    | f -> f
+    | exception Sp_core.Fserr.No_such_file _ -> Sp_core.Stackable.create target_fs path
+  in
+  let data = Sp_core.File.read_all source in
+  Sp_core.File.truncate target 0;
+  ignore (Sp_core.File.write target ~pos:0 data);
+  Sp_core.File.sync target

@@ -1,0 +1,36 @@
+(** MIRRORFS — a mirroring (replication) file system layer.
+
+    The fs4 of Figure 3: a layer whose implementation "uses two underlying
+    file systems to implement its function".  [stack_on] is called twice —
+    first the primary, then the secondary.  Writes go to both replicas;
+    reads are served from the primary, falling over to the secondary when
+    the primary is marked degraded (simulated device failure).  [verify]
+    compares replicas and [repair] copies the healthy replica over the
+    other, restoring redundancy after an outage. *)
+
+type replica = Primary | Secondary
+
+val make :
+  ?node:string ->
+  ?domain:Sp_obj.Sdomain.t ->
+  vmm:Sp_vm.Vmm.t ->
+  name:string ->
+  unit ->
+  Sp_core.Stackable.t
+
+(** Creator (type ["mirrorfs"]). *)
+val creator : ?node:string -> vmm:Sp_vm.Vmm.t -> unit -> Sp_core.Stackable.creator
+
+(** Mark a replica failed (reads and writes skip it) or clear the failure
+    with [None]. *)
+val set_degraded : Sp_core.Stackable.t -> replica option -> unit
+
+val degraded : Sp_core.Stackable.t -> replica option
+
+(** [verify fs path] is [true] when both replicas hold identical content
+    and length for the file at [path]. *)
+val verify : Sp_core.Stackable.t -> Sp_naming.Sname.t -> bool
+
+(** [repair fs path] copies the authoritative replica (the non-degraded
+    one, or the primary) over the other, then re-checks. *)
+val repair : Sp_core.Stackable.t -> Sp_naming.Sname.t -> unit

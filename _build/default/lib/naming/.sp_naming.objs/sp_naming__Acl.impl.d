@@ -1,0 +1,1 @@
+lib/naming/acl.ml: Format List String

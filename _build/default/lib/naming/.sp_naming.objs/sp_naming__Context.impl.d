@@ -1,0 +1,1 @@
+lib/naming/context.ml: Acl Format Hashtbl List Sname Sp_obj String

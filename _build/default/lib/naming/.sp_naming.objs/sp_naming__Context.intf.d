@@ -1,0 +1,1 @@
+lib/naming/context.mli: Acl Sname Sp_obj

@@ -1,0 +1,1 @@
+lib/naming/name_cache.ml: Context Hashtbl Sname

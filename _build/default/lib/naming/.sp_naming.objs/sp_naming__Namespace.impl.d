@@ -1,0 +1,1 @@
+lib/naming/namespace.ml: Context List Sname Sp_obj String

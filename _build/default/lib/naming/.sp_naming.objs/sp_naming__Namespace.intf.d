@@ -1,0 +1,1 @@
+lib/naming/namespace.mli: Context Sname Sp_obj

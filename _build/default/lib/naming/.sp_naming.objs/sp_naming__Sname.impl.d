@@ -1,0 +1,1 @@
+lib/naming/sname.ml: Format List String

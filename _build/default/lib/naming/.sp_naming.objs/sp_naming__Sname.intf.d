@@ -1,0 +1,1 @@
+lib/naming/sname.mli: Format

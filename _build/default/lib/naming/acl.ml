@@ -1,0 +1,23 @@
+type permission = Resolve | Bind | Unbind
+
+type t = (string * permission list) list
+
+let open_acl = [ ("*", [ Resolve; Bind; Unbind ]) ]
+
+let make entries = entries
+
+let permits acl ~principal perm =
+  let matches (who, perms) =
+    (String.equal who "*" || String.equal who principal) && List.mem perm perms
+  in
+  List.exists matches acl
+
+let grant acl ~principal perms = (principal, perms) :: acl
+
+let revoke acl ~principal =
+  List.filter (fun (who, _) -> not (String.equal who principal)) acl
+
+let pp_permission ppf = function
+  | Resolve -> Format.pp_print_string ppf "resolve"
+  | Bind -> Format.pp_print_string ppf "bind"
+  | Unbind -> Format.pp_print_string ppf "unbind"

@@ -1,0 +1,27 @@
+(** Access control lists for naming contexts.
+
+    Naming contexts are associated with ACLs (paper §5, footnote 3): an
+    interposer "has to be appropriately authenticated to be able to
+    manipulate the name space".  A principal is just a string identity. *)
+
+type permission = Resolve | Bind | Unbind
+
+type t
+
+(** ACL granting everything to everyone. *)
+val open_acl : t
+
+(** [make entries] builds an ACL from [(principal, permissions)] pairs.
+    The distinguished principal ["*"] matches anybody. *)
+val make : (string * permission list) list -> t
+
+(** [permits acl ~principal perm] checks authorisation. *)
+val permits : t -> principal:string -> permission -> bool
+
+(** [grant acl ~principal perms] returns an ACL extended with [perms]. *)
+val grant : t -> principal:string -> permission list -> t
+
+(** [revoke acl ~principal] removes all entries of [principal]. *)
+val revoke : t -> principal:string -> t
+
+val pp_permission : Format.formatter -> permission -> unit

@@ -1,0 +1,69 @@
+(** Naming contexts.
+
+    A context is an object containing a set of name bindings in which each
+    name is unique (paper §3.2).  Any object can be bound to any name; an
+    object may be bound under several names in several contexts.  Any domain
+    may implement a context, and an authenticated domain can bind its
+    context into any other context — this is what makes the name space
+    "largely orthogonal to the file system" and what file-system stacking
+    uses to arrange the exported name spaces.
+
+    The bound-object type is an extensible variant so that higher layers
+    (files, stackable file systems, creators) can be bound without this
+    library depending on them. *)
+
+(** Objects bindable in a context. *)
+type obj = ..
+
+type t = {
+  ctx_domain : Sp_obj.Sdomain.t;  (** serving domain *)
+  ctx_label : string;  (** diagnostic label *)
+  ctx_acl : unit -> Acl.t;
+  ctx_set_acl : Acl.t -> unit;
+  ctx_resolve1 : string -> obj;  (** resolve one component; raises {!Unbound} *)
+  ctx_bind1 : string -> obj -> unit;  (** raises {!Already_bound} *)
+  ctx_rebind1 : string -> obj -> unit;  (** bind, replacing any existing binding *)
+  ctx_unbind1 : string -> unit;  (** raises {!Unbound} *)
+  ctx_list : unit -> string list;  (** bound names, sorted *)
+}
+
+type obj += Context of t
+
+exception Unbound of string
+exception Already_bound of string
+exception Denied of string
+
+(** [make ~domain ~label ()] creates an empty hash-table-backed context
+    served by [domain].  [acl] defaults to {!Acl.open_acl}. *)
+val make : domain:Sp_obj.Sdomain.t -> label:string -> ?acl:Acl.t -> unit -> t
+
+(** {1 Compound-name operations}
+
+    These walk the context chain one component at a time, performing a door
+    invocation on each context's serving domain and checking its ACL against
+    [principal] (default ["user"]). *)
+
+(** Resolve a compound name to an object. *)
+val resolve : ?principal:string -> t -> Sname.t -> obj
+
+(** Resolve, requiring the result to be a context. *)
+val resolve_context : ?principal:string -> t -> Sname.t -> t
+
+(** Bind [obj] at [name]; all but the last component must resolve to
+    existing contexts. *)
+val bind : ?principal:string -> t -> Sname.t -> obj -> unit
+
+(** Like {!bind} but replaces an existing binding — the primitive used for
+    name-space interposition (paper §5). *)
+val rebind : ?principal:string -> t -> Sname.t -> obj -> unit
+
+val unbind : ?principal:string -> t -> Sname.t -> unit
+
+(** List the names bound in the context denoted by [name] (use an empty
+    name for the context itself). *)
+val list : ?principal:string -> t -> Sname.t -> string list
+
+(** [mkdir_path ctx name ~domain] resolves [name], creating intermediate
+    hash-table contexts (served by [domain]) as needed, and returns the
+    final context. *)
+val mkdir_path : ?principal:string -> t -> Sname.t -> domain:Sp_obj.Sdomain.t -> t

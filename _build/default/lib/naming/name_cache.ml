@@ -1,0 +1,41 @@
+type stats = { hits : int; misses : int; invalidations : int }
+
+type t = {
+  table : (string, Context.obj) Hashtbl.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create ~capacity () =
+  { table = Hashtbl.create capacity; capacity; hits = 0; misses = 0; invalidations = 0 }
+
+let evict_one t =
+  match Hashtbl.fold (fun k _ _ -> Some k) t.table None with
+  | Some k -> Hashtbl.remove t.table k
+  | None -> ()
+
+let resolve t ?principal root name =
+  let key = Sname.to_string name in
+  match Hashtbl.find_opt t.table key with
+  | Some o ->
+      t.hits <- t.hits + 1;
+      o
+  | None ->
+      t.misses <- t.misses + 1;
+      let o = Context.resolve ?principal root name in
+      if Hashtbl.length t.table >= t.capacity then evict_one t;
+      Hashtbl.replace t.table key o;
+      o
+
+let invalidate t name =
+  let key = Sname.to_string name in
+  if Hashtbl.mem t.table key then begin
+    t.invalidations <- t.invalidations + 1;
+    Hashtbl.remove t.table key
+  end
+
+let clear t = Hashtbl.reset t.table
+
+let stats t = { hits = t.hits; misses = t.misses; invalidations = t.invalidations }

@@ -1,0 +1,27 @@
+(** Name caching.
+
+    The paper (§6.4) observes that the open overhead of split-domain stacks
+    "can be eliminated" by name caching, which Spring was implementing to
+    remove remote name-resolution costs.  A [Name_cache.t] caches full
+    compound-name resolutions against one root context; hits avoid walking
+    the context chain (and hence all door crossings). *)
+
+type t
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+(** [create ~capacity ()] makes an empty cache.  When full, an arbitrary
+    entry is evicted (the 1993 prototype used a small direct-mapped
+    cache; eviction policy is not load-bearing for the experiments). *)
+val create : capacity:int -> unit -> t
+
+(** Resolve through the cache. *)
+val resolve : t -> ?principal:string -> Context.t -> Sname.t -> Context.obj
+
+(** Drop a cached entry (called after unbind/rebind of that name). *)
+val invalidate : t -> Sname.t -> unit
+
+(** Drop everything. *)
+val clear : t -> unit
+
+val stats : t -> stats

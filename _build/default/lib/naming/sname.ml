@@ -1,0 +1,25 @@
+type t = string list
+
+let of_components cs = cs
+
+let of_string s =
+  let raw = String.split_on_char '/' s in
+  let keep = function
+    | "" | "." -> None
+    | ".." -> invalid_arg "Sname.of_string: '..' is not supported"
+    | c -> Some c
+  in
+  List.filter_map keep raw
+
+let to_string = function [] -> "/" | cs -> String.concat "/" cs
+let components t = t
+let split = function [] -> None | c :: rest -> Some (c, rest)
+let is_empty t = t = []
+
+let single = function
+  | [ c ] -> c
+  | t -> invalid_arg ("Sname.single: " ^ to_string t)
+
+let append t c = t @ [ c ]
+let equal a b = List.equal String.equal a b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

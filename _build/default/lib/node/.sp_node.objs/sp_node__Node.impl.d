@@ -1,0 +1,1 @@
+lib/node/node.ml: Hashtbl Sp_attrfs Sp_blockdev Sp_coherency Sp_compfs Sp_core Sp_cryptfs Sp_dfs Sp_mirrorfs Sp_naming Sp_obj Sp_sfs Sp_unionfs Sp_versionfs Sp_vm

@@ -1,0 +1,1 @@
+lib/node/node.mli: Sp_blockdev Sp_core Sp_dfs Sp_naming Sp_obj Sp_vm

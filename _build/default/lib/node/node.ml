@@ -1,0 +1,93 @@
+type t = {
+  n_name : string;
+  n_vmm : Sp_vm.Vmm.t;
+  n_root : Sp_naming.Context.t;
+  n_creators : Sp_naming.Context.t;
+  n_disks : (string, Sp_blockdev.Disk.t) Hashtbl.t;
+  n_net : Sp_dfs.Net.t;
+}
+
+let name t = t.n_name
+let vmm t = t.n_vmm
+let root t = t.n_root
+let creators t = t.n_creators
+
+let add_disk t ~name ~blocks =
+  let disk = Sp_blockdev.Disk.create ~label:(t.n_name ^ ":" ^ name) ~blocks () in
+  Hashtbl.replace t.n_disks name disk;
+  disk
+
+let disk t name =
+  match Hashtbl.find_opt t.n_disks name with
+  | Some d -> d
+  | None -> invalid_arg (t.n_name ^ ": no such disk " ^ name)
+
+let namespace t ~domain = Sp_naming.Namespace.create ~shared:t.n_root ~domain
+
+let mount_sfs t ~disk_name ~name =
+  let sfs =
+    Sp_coherency.Spring_sfs.make_split ~node:t.n_name ~vmm:t.n_vmm ~name
+      ~same_domain:false (disk t disk_name)
+  in
+  let fs_dir =
+    Sp_naming.Context.mkdir_path t.n_root (Sp_naming.Sname.of_string "fs")
+      ~domain:(Sp_vm.Vmm.domain t.n_vmm)
+  in
+  Sp_naming.Context.bind fs_dir
+    (Sp_naming.Sname.of_string name)
+    (Sp_core.Stackable.Fs sfs);
+  sfs
+
+let build_stack t ~base layers =
+  Sp_core.Stack_builder.stack ~creators:t.n_creators ~base layers
+
+module World = struct
+  type world = { w_net : Sp_dfs.Net.t; mutable w_nodes : t list }
+
+  let create () = { w_net = Sp_dfs.Net.create (); w_nodes = [] }
+  let net w = w.w_net
+
+  let add_node w node_name =
+    let vmm = Sp_vm.Vmm.create ~node:node_name node_name in
+    let naming_domain = Sp_obj.Sdomain.create ~node:node_name "nameserver" in
+    let root = Sp_naming.Context.make ~domain:naming_domain ~label:"/" () in
+    let creators_ctx =
+      Sp_naming.Context.make ~domain:naming_domain ~label:"fs_creators" ()
+    in
+    Sp_naming.Context.bind root
+      (Sp_naming.Sname.of_string "fs_creators")
+      (Sp_naming.Context.Context creators_ctx);
+    let node =
+      {
+        n_name = node_name;
+        n_vmm = vmm;
+        n_root = root;
+        n_creators = creators_ctx;
+        n_disks = Hashtbl.create 4;
+        n_net = w.w_net;
+      }
+    in
+    (* Register every creator this repository provides, the way boot-time
+       configuration registers them in /fs_creators (§4.4). *)
+    let get_disk disk_name = disk node disk_name in
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_sfs.Disk_layer.creator ~node:node_name ~get_disk ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_coherency.Coherency_layer.creator ~node:node_name ~vmm ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_compfs.Compfs.creator ~node:node_name ~vmm ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_cryptfs.Cryptfs.creator ~node:node_name ~vmm ~key:"spring" ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_mirrorfs.Mirrorfs.creator ~node:node_name ~vmm ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_attrfs.Attrfs.creator ~node:node_name ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_unionfs.Unionfs.creator ~node:node_name ~vmm ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_versionfs.Versionfs.creator ~node:node_name ());
+    Sp_core.Stackable.register_creator creators_ctx
+      (Sp_dfs.Dfs.creator ~node:node_name ~net:w.w_net ~vmm ());
+    w.w_nodes <- node :: w.w_nodes;
+    node
+end

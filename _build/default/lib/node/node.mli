@@ -1,0 +1,56 @@
+(** A Spring node (Figure 1): nucleus + VMM, a name server holding the
+    shared root context, a [/fs_creators] context populated with every
+    file-system creator in this repository, and a [/dev] registry of
+    simulated disks.
+
+    Nodes belong to a {!World}, which provides the network connecting
+    them (for DFS). *)
+
+type t
+
+(** Node name, e.g. ["alpha"]. *)
+val name : t -> string
+
+(** The node's VMM. *)
+val vmm : t -> Sp_vm.Vmm.t
+
+(** The shared root naming context of the node. *)
+val root : t -> Sp_naming.Context.t
+
+(** The well-known creator registry context ([/fs_creators]). *)
+val creators : t -> Sp_naming.Context.t
+
+(** [add_disk t ~name ~blocks] creates (and registers under [/dev]) a
+    simulated disk. *)
+val add_disk : t -> name:string -> blocks:int -> Sp_blockdev.Disk.t
+
+(** Look a registered disk up. *)
+val disk : t -> string -> Sp_blockdev.Disk.t
+
+(** Fresh per-domain namespace over the shared root (paper §3.2). *)
+val namespace : t -> domain:Sp_obj.Sdomain.t -> Sp_naming.Namespace.t
+
+(** [mount_sfs t ~disk_name ~name] builds the standard Spring SFS
+    (coherency over disk layer) on a registered disk and binds it at
+    [/fs/<name>]. *)
+val mount_sfs : t -> disk_name:string -> name:string -> Sp_core.Stackable.t
+
+(** [build_stack t ~base layers] composes layers by creator type on top of
+    [base] (see {!Sp_core.Stack_builder.stack}). *)
+val build_stack :
+  t -> base:Sp_core.Stackable.t -> (string * string) list -> Sp_core.Stackable.t
+
+(** {1 Worlds} *)
+
+module World : sig
+  type world
+
+  val create : unit -> world
+
+  (** The network joining the world's nodes. *)
+  val net : world -> Sp_dfs.Net.t
+
+  (** [add_node w name] creates a node; its default encryption key for the
+      cryptfs creator is ["spring"]. *)
+  val add_node : world -> string -> t
+end

@@ -1,0 +1,1 @@
+lib/obj/door.ml: Fun Sdomain Sp_sim

@@ -1,0 +1,1 @@
+lib/obj/door.mli: Sdomain

@@ -1,0 +1,1 @@
+lib/obj/sdomain.ml: Format Int

@@ -1,0 +1,38 @@
+let user_domain = Sdomain.create ~node:"local" "user"
+let current_domain = ref user_domain
+let current () = !current_domain
+
+let charge_invocation target =
+  let model = Sp_sim.Cost_model.current () in
+  if Sdomain.equal !current_domain target then begin
+    Sp_sim.Metrics.incr_local_calls ();
+    Sp_sim.Simclock.advance model.local_call_ns
+  end
+  else begin
+    Sp_sim.Metrics.incr_cross_domain_calls ();
+    Sp_sim.Simclock.advance model.cross_domain_call_ns
+  end
+
+let call target f =
+  charge_invocation target;
+  let saved = !current_domain in
+  current_domain := target;
+  Fun.protect ~finally:(fun () -> current_domain := saved) f
+
+let from domain f =
+  let saved = !current_domain in
+  current_domain := domain;
+  Fun.protect ~finally:(fun () -> current_domain := saved) f
+
+let kernel_call () =
+  let model = Sp_sim.Cost_model.current () in
+  Sp_sim.Metrics.incr_kernel_calls ();
+  Sp_sim.Simclock.advance model.kernel_call_ns
+
+let charge_copy bytes =
+  let model = Sp_sim.Cost_model.current () in
+  Sp_sim.Simclock.advance (bytes * model.copy_per_byte_ns)
+
+let charge_cpu units =
+  let model = Sp_sim.Cost_model.current () in
+  Sp_sim.Simclock.advance (units * model.cpu_op_ns)

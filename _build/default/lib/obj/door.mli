@@ -1,0 +1,34 @@
+(** Location-independent object invocation.
+
+    Spring's stub technology "automatically chooses the optimal path
+    (procedure calls or cross-domain calls)" depending on whether client and
+    server share a domain (paper §6.4).  [call] reproduces that: it compares
+    the dynamic current domain against the target object's home domain and
+    charges the appropriate simulated cost, counting the event in
+    {!Sp_sim.Metrics}.  During the call the current domain becomes the
+    target's, so nested invocations account correctly. *)
+
+(** The domain the executing thread currently runs in.  The simulation
+    starts in a distinguished "user" domain. *)
+val current : unit -> Sdomain.t
+
+(** The initial user domain. *)
+val user_domain : Sdomain.t
+
+(** [call target f] invokes [f ()] as an operation of an object served by
+    domain [target]. *)
+val call : Sdomain.t -> (unit -> 'a) -> 'a
+
+(** [from domain f] runs [f ()] with [domain] as the current (client)
+    domain; used by tests and examples to stand for an application
+    program running in that domain. *)
+val from : Sdomain.t -> (unit -> 'a) -> 'a
+
+(** Charge a kernel trap (e.g. VMM entry) to the clock. *)
+val kernel_call : unit -> unit
+
+(** Charge [n] bytes of memory-copy work to the clock. *)
+val charge_copy : int -> unit
+
+(** Charge [n] units of CPU work (e.g. compression) to the clock. *)
+val charge_cpu : int -> unit

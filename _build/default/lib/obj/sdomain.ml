@@ -1,0 +1,14 @@
+type t = { id : int; name : string; node : string }
+
+let counter = ref 0
+
+let create ?(node = "local") name =
+  incr counter;
+  { id = !counter; name; node }
+
+let name t = t.name
+let node t = t.node
+let id t = t.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf t = Format.fprintf ppf "%s@%s#%d" t.name t.node t.id

@@ -1,0 +1,24 @@
+(** Spring domains.
+
+    A domain is an address space with a collection of threads; a given
+    domain may act as the server of some objects and the client of others
+    (paper §3.1).  In the simulation a domain is a named identity used by
+    {!Door} to decide whether an invocation is a local procedure call or a
+    cross-domain call, and by the VMM to name page-cache owners. *)
+
+type t
+
+(** [create ?node name] makes a fresh domain.  [node] identifies the machine
+    the domain runs on (defaults to ["local"]); two domains on different
+    nodes can never share a VMM. *)
+val create : ?node:string -> string -> t
+
+val name : t -> string
+val node : t -> string
+val id : t -> int
+
+(** Structural equality of domain identities. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sfs/bitmap.ml: Array Bytes Char Sp_blockdev

@@ -1,0 +1,1 @@
+lib/sfs/bitmap.mli: Sp_blockdev

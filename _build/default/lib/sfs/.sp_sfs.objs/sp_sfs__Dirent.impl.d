@@ -1,0 +1,1 @@
+lib/sfs/dirent.ml: Bytes Int32 Printf String

@@ -1,0 +1,1 @@
+lib/sfs/disk_layer.ml: Array Bitmap Bytes Dirent Hashtbl Inode Int32 Layout List Printf Sp_blockdev Sp_core Sp_naming Sp_obj Sp_sim Sp_vm String

@@ -1,0 +1,1 @@
+lib/sfs/disk_layer.mli: Sp_blockdev Sp_core Sp_obj

@@ -1,0 +1,1 @@
+lib/sfs/fsck.ml: Array Bitmap Bytes Dirent Format Hashtbl Inode Int32 Layout List Option Sp_blockdev

@@ -1,0 +1,1 @@
+lib/sfs/fsck.mli: Format Sp_blockdev

@@ -1,0 +1,1 @@
+lib/sfs/inode.ml: Array Bytes Hashtbl Int32 Int64 Layout List Option Printf Sp_blockdev Sp_core Sp_vm

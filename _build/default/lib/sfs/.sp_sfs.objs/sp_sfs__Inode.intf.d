@@ -1,0 +1,1 @@
+lib/sfs/inode.mli: Layout Sp_blockdev Sp_vm

@@ -1,0 +1,1 @@
+lib/sfs/layout.ml: Bytes Int32 Sp_blockdev Sp_core

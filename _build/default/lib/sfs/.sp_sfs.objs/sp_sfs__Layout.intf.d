@@ -1,0 +1,1 @@
+lib/sfs/layout.mli:

@@ -1,0 +1,74 @@
+let block_size = Sp_blockdev.Disk.block_size
+
+type t = {
+  disk : Sp_blockdev.Disk.t;
+  start : int;
+  blocks : bytes array;  (* cached copies *)
+  dirty : bool array;
+  bits : int;
+  mutable used : int;
+}
+
+let load disk ~start ~blocks ~bits =
+  let cached = Array.init blocks (fun i -> Sp_blockdev.Disk.read disk (start + i)) in
+  let count = ref 0 in
+  for i = 0 to bits - 1 do
+    let byte = Char.code (Bytes.get cached.(i / (block_size * 8)) (i / 8 mod block_size)) in
+    if byte land (1 lsl (i mod 8)) <> 0 then incr count
+  done;
+  {
+    disk;
+    start;
+    blocks = cached;
+    dirty = Array.make blocks false;
+    bits;
+    used = !count;
+  }
+
+let locate t i =
+  if i < 0 || i >= t.bits then invalid_arg "Bitmap: index out of range";
+  let block = i / (block_size * 8) in
+  let byte = i / 8 mod block_size in
+  let bit = i mod 8 in
+  (block, byte, bit)
+
+let is_set t i =
+  let block, byte, bit = locate t i in
+  Char.code (Bytes.get t.blocks.(block) byte) land (1 lsl bit) <> 0
+
+let set t i =
+  let block, byte, bit = locate t i in
+  let v = Char.code (Bytes.get t.blocks.(block) byte) in
+  if v land (1 lsl bit) = 0 then begin
+    Bytes.set t.blocks.(block) byte (Char.chr (v lor (1 lsl bit)));
+    t.dirty.(block) <- true;
+    t.used <- t.used + 1
+  end
+
+let clear t i =
+  let block, byte, bit = locate t i in
+  let v = Char.code (Bytes.get t.blocks.(block) byte) in
+  if v land (1 lsl bit) <> 0 then begin
+    Bytes.set t.blocks.(block) byte (Char.chr (v land lnot (1 lsl bit)));
+    t.dirty.(block) <- true;
+    t.used <- t.used - 1
+  end
+
+let find_free ?(from = 0) t =
+  let rec go i =
+    if i >= t.bits then None else if not (is_set t i) then Some i else go (i + 1)
+  in
+  let start = if from < 0 || from >= t.bits then 0 else from in
+  match go start with Some i -> Some i | None -> if start = 0 then None else go 0
+
+let used t = t.used
+let capacity t = t.bits
+
+let flush t =
+  Array.iteri
+    (fun i dirty ->
+      if dirty then begin
+        Sp_blockdev.Disk.write t.disk (t.start + i) t.blocks.(i);
+        t.dirty.(i) <- false
+      end)
+    t.dirty

@@ -1,0 +1,26 @@
+(** On-disk allocation bitmaps (inode and block bitmaps).
+
+    The bitmap blocks are cached in memory at mount and written back
+    lazily; [flush] persists dirty blocks.  Bit [i] set means unit [i] is
+    allocated. *)
+
+type t
+
+(** [load disk ~start ~blocks ~bits] reads the bitmap occupying [blocks]
+    device blocks from [start]; only the first [bits] bits are valid. *)
+val load : Sp_blockdev.Disk.t -> start:int -> blocks:int -> bits:int -> t
+
+val is_set : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+(** First clear bit at index >= [from] (default 0), or [None] if full. *)
+val find_free : ?from:int -> t -> int option
+
+(** Number of set bits. *)
+val used : t -> int
+
+val capacity : t -> int
+
+(** Write dirty bitmap blocks back to the device. *)
+val flush : t -> unit

@@ -1,0 +1,28 @@
+(** Directory entries.
+
+    A directory's data is an array of fixed-size 64-byte entries: inode
+    number, kind tag, and a name of up to {!max_name} bytes.  Free slots
+    have inode number 0 *and* an empty name (inode 0 is the root
+    directory, which is never itself an entry target's child... it is,
+    however, never stored as an entry because the root has no parent). *)
+
+(** Entry size in bytes. *)
+val entry_size : int
+
+(** Maximum name length in bytes. *)
+val max_name : int
+
+type t = { ino : int; is_dir : bool; name : string }
+
+(** [encode e] is the 64-byte on-disk form.  Raises [Invalid_argument] if
+    the name is empty, too long, or contains ['/'] or ['\000']. *)
+val encode : t -> bytes
+
+(** [decode b off] reads the entry at byte [off]; [None] for a free slot. *)
+val decode : bytes -> int -> t option
+
+(** The all-zero free slot. *)
+val free_slot : bytes
+
+(** Validate a file name (used by create/mkdir before touching the disk). *)
+val check_name : string -> unit

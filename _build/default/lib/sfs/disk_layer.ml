@@ -1,0 +1,747 @@
+let bs = Sp_blockdev.Disk.block_size
+
+type fs = {
+  name : string;
+  disk : Sp_blockdev.Disk.t;
+  layout : Layout.t;
+  domain : Sp_obj.Sdomain.t;
+  icache : Inode.cache;
+  ibitmap : Bitmap.t;
+  bbitmap : Bitmap.t;
+  channels : Sp_vm.Pager_lib.t;
+  files : (int, Sp_core.File.t) Hashtbl.t;
+  ctxs : (int, Sp_naming.Context.t) Hashtbl.t;
+  dcache : (int, Dirent.t list) Hashtbl.t;
+      (* directory-entry cache: with the i-node cache, lets open and stat
+         run without disk I/O (paper Table 2 note) *)
+  indcache : (int, bytes) Hashtbl.t;
+      (* indirect-block cache (write-through): metadata, like the i-node
+         cache, so sequential data I/O does not thrash the head between
+         indirect and data blocks *)
+}
+
+(* Registry linking exported stackable_fs values back to their state, for
+   the introspection API. *)
+let instances : (string, fs) Hashtbl.t = Hashtbl.create 4
+
+let fs_of (sfs : Sp_core.Stackable.t) =
+  match Hashtbl.find_opt instances sfs.Sp_core.Stackable.sfs_name with
+  | Some fs -> fs
+  | None -> invalid_arg (sfs.Sp_core.Stackable.sfs_name ^ ": not a disk layer")
+
+(* ------------------------------------------------------------------ *)
+(* Block allocation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_block fs =
+  match Bitmap.find_free ~from:fs.layout.Layout.data_start fs.bbitmap with
+  | Some b when b >= fs.layout.Layout.data_start ->
+      Bitmap.set fs.bbitmap b;
+      Sp_blockdev.Disk.write fs.disk b (Bytes.make bs '\000');
+      b
+  | Some _ | None -> raise (Sp_core.Fserr.No_space (fs.name ^ ": data blocks"))
+
+let free_block fs b = if b <> 0 then Bitmap.clear fs.bbitmap b
+
+(* ------------------------------------------------------------------ *)
+(* File-block mapping: direct, single and double indirect              *)
+(* ------------------------------------------------------------------ *)
+
+let ptr_get block i = Int32.to_int (Bytes.get_int32_le block (i * 4))
+let ptr_set block i v = Bytes.set_int32_le block (i * 4) (Int32.of_int v)
+let ppb = Layout.ptrs_per_block
+
+let read_indirect fs b =
+  match Hashtbl.find_opt fs.indcache b with
+  | Some data -> data
+  | None ->
+      let data = Sp_blockdev.Disk.read fs.disk b in
+      Hashtbl.replace fs.indcache b data;
+      data
+
+let write_indirect fs b data =
+  Hashtbl.replace fs.indcache b (Bytes.copy data);
+  Sp_blockdev.Disk.write fs.disk b data
+
+(* Disk block holding file block [n] of [inode], or 0 for a hole. *)
+let file_block fs inode n =
+  if n < Layout.n_direct then inode.Inode.direct.(n)
+  else
+    let n = n - Layout.n_direct in
+    if n < ppb then
+      if inode.Inode.indirect = 0 then 0
+      else ptr_get (read_indirect fs inode.Inode.indirect) n
+    else
+      let n = n - ppb in
+      if n >= ppb * ppb then
+        raise (Sp_core.Fserr.No_space (fs.name ^ ": file too large"))
+      else if inode.Inode.double_indirect = 0 then 0
+      else
+        let l1 = read_indirect fs inode.Inode.double_indirect in
+        let l2_block = ptr_get l1 (n / ppb) in
+        if l2_block = 0 then 0
+        else ptr_get (read_indirect fs l2_block) (n mod ppb)
+
+(* Like [file_block] but allocates missing blocks (and indirect blocks). *)
+let ensure_block fs ino inode n =
+  let dirty () = Inode.mark_dirty fs.icache ino in
+  if n < Layout.n_direct then begin
+    if inode.Inode.direct.(n) = 0 then begin
+      inode.Inode.direct.(n) <- alloc_block fs;
+      dirty ()
+    end;
+    inode.Inode.direct.(n)
+  end
+  else
+    let n' = n - Layout.n_direct in
+    if n' < ppb then begin
+      if inode.Inode.indirect = 0 then begin
+        inode.Inode.indirect <- alloc_block fs;
+        dirty ()
+      end;
+      let table = Bytes.copy (read_indirect fs inode.Inode.indirect) in
+      let b = ptr_get table n' in
+      if b <> 0 then b
+      else begin
+        let fresh = alloc_block fs in
+        ptr_set table n' fresh;
+        write_indirect fs inode.Inode.indirect table;
+        fresh
+      end
+    end
+    else begin
+      let n' = n' - ppb in
+      if n' >= ppb * ppb then
+        raise (Sp_core.Fserr.No_space (fs.name ^ ": file too large"));
+      if inode.Inode.double_indirect = 0 then begin
+        inode.Inode.double_indirect <- alloc_block fs;
+        dirty ()
+      end;
+      let l1 = Bytes.copy (read_indirect fs inode.Inode.double_indirect) in
+      let l2_block =
+        let b = ptr_get l1 (n' / ppb) in
+        if b <> 0 then b
+        else begin
+          let fresh = alloc_block fs in
+          ptr_set l1 (n' / ppb) fresh;
+          write_indirect fs inode.Inode.double_indirect l1;
+          fresh
+        end
+      in
+      let l2 = Bytes.copy (read_indirect fs l2_block) in
+      let b = ptr_get l2 (n' mod ppb) in
+      if b <> 0 then b
+      else begin
+        let fresh = alloc_block fs in
+        ptr_set l2 (n' mod ppb) fresh;
+        write_indirect fs l2_block l2;
+        fresh
+      end
+    end
+
+(* Free all blocks of file block index >= [from_block]. *)
+let free_blocks_from fs ino inode ~from_block =
+  let dirty () = Inode.mark_dirty fs.icache ino in
+  for i = max 0 from_block to Layout.n_direct - 1 do
+    if inode.Inode.direct.(i) <> 0 then begin
+      free_block fs inode.Inode.direct.(i);
+      inode.Inode.direct.(i) <- 0;
+      dirty ()
+    end
+  done;
+  if inode.Inode.indirect <> 0 then begin
+    let first = max 0 (from_block - Layout.n_direct) in
+    if first < ppb then begin
+      let table = Bytes.copy (read_indirect fs inode.Inode.indirect) in
+      let changed = ref false in
+      for i = first to ppb - 1 do
+        let b = ptr_get table i in
+        if b <> 0 then begin
+          free_block fs b;
+          ptr_set table i 0;
+          changed := true
+        end
+      done;
+      if first = 0 then begin
+        Hashtbl.remove fs.indcache inode.Inode.indirect;
+        free_block fs inode.Inode.indirect;
+        inode.Inode.indirect <- 0;
+        dirty ()
+      end
+      else if !changed then write_indirect fs inode.Inode.indirect table
+    end
+  end;
+  if inode.Inode.double_indirect <> 0 then begin
+    let first = max 0 (from_block - Layout.n_direct - ppb) in
+    let l1 = Bytes.copy (read_indirect fs inode.Inode.double_indirect) in
+    let l1_changed = ref false in
+    for i = (if first = 0 then 0 else first / ppb) to ppb - 1 do
+      let l2_block = ptr_get l1 i in
+      if l2_block <> 0 then begin
+        let lo = if i * ppb >= first then 0 else first mod ppb in
+        let l2 = Bytes.copy (read_indirect fs l2_block) in
+        let l2_changed = ref false in
+        for j = lo to ppb - 1 do
+          let b = ptr_get l2 j in
+          if b <> 0 then begin
+            free_block fs b;
+            ptr_set l2 j 0;
+            l2_changed := true
+          end
+        done;
+        if lo = 0 then begin
+          Hashtbl.remove fs.indcache l2_block;
+          free_block fs l2_block;
+          ptr_set l1 i 0;
+          l1_changed := true
+        end
+        else if !l2_changed then write_indirect fs l2_block l2
+      end
+    done;
+    if first = 0 then begin
+      Hashtbl.remove fs.indcache inode.Inode.double_indirect;
+      free_block fs inode.Inode.double_indirect;
+      inode.Inode.double_indirect <- 0;
+      dirty ()
+    end
+    else if !l1_changed then
+      write_indirect fs inode.Inode.double_indirect l1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Raw ranged I/O (ignores the inode length; holes read as zeros)      *)
+(* ------------------------------------------------------------------ *)
+
+let read_range fs inode ~pos ~len =
+  let out = Bytes.make len '\000' in
+  let rec go cursor =
+    if cursor < len then begin
+      let off = pos + cursor in
+      let b = file_block fs inode (off / bs) in
+      let in_block = off mod bs in
+      let n = min (len - cursor) (bs - in_block) in
+      if b <> 0 then begin
+        let data = Sp_blockdev.Disk.read fs.disk b in
+        Bytes.blit data in_block out cursor n
+      end;
+      go (cursor + n)
+    end
+  in
+  go 0;
+  out
+
+let write_range fs ino inode ~pos data =
+  let len = Bytes.length data in
+  let rec go cursor =
+    if cursor < len then begin
+      let off = pos + cursor in
+      let in_block = off mod bs in
+      let n = min (len - cursor) (bs - in_block) in
+      let b = ensure_block fs ino inode (off / bs) in
+      if n = bs then Sp_blockdev.Disk.write fs.disk b (Bytes.sub data cursor n)
+      else begin
+        let block = Sp_blockdev.Disk.read fs.disk b in
+        Bytes.blit data cursor block in_block n;
+        Sp_blockdev.Disk.write fs.disk b block
+      end;
+      go (cursor + n)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Inode allocation, length                                            *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_inode fs kind =
+  match Bitmap.find_free fs.ibitmap with
+  | None -> raise (Sp_core.Fserr.No_space (fs.name ^ ": inodes"))
+  | Some ino ->
+      Bitmap.set fs.ibitmap ino;
+      let now = Sp_sim.Simclock.now () in
+      let inode =
+        {
+          Inode.kind;
+          nlink = 1;
+          len = 0;
+          atime = now;
+          mtime = now;
+          ctime = now;
+          direct = Array.make Layout.n_direct 0;
+          indirect = 0;
+          double_indirect = 0;
+        }
+      in
+      Inode.put fs.icache ino inode;
+      (ino, inode)
+
+let set_length fs ino len =
+  let inode = Inode.get fs.icache ino in
+  if len < 0 then invalid_arg "Disk_layer.set_length: negative";
+  if len < inode.Inode.len then begin
+    let keep = (len + bs - 1) / bs in
+    free_blocks_from fs ino inode ~from_block:keep;
+    (* Zero the tail of the last kept block so re-extension reads zeros. *)
+    if len mod bs <> 0 then begin
+      let b = file_block fs inode (len / bs) in
+      if b <> 0 then begin
+        let block = Sp_blockdev.Disk.read fs.disk b in
+        Bytes.fill block (len mod bs) (bs - (len mod bs)) '\000';
+        Sp_blockdev.Disk.write fs.disk b block
+      end
+    end
+  end;
+  if len <> inode.Inode.len then begin
+    inode.Inode.len <- len;
+    inode.Inode.mtime <- Sp_sim.Simclock.now ();
+    Inode.mark_dirty fs.icache ino
+  end
+
+let free_inode fs ino =
+  (* The file's identity dies here: tear down every pager-cache channel so
+     a later file reusing this inode cannot alias stale caches. *)
+  Sp_vm.Pager_lib.destroy_key fs.channels
+    ~key:(Printf.sprintf "%s/ino%d" fs.name ino);
+  let inode = Inode.get fs.icache ino in
+  free_blocks_from fs ino inode ~from_block:0;
+  inode.Inode.kind <- Inode.Free;
+  inode.Inode.len <- 0;
+  inode.Inode.nlink <- 0;
+  Inode.mark_dirty fs.icache ino;
+  Bitmap.clear fs.ibitmap ino;
+  Hashtbl.remove fs.files ino;
+  Hashtbl.remove fs.ctxs ino;
+  Hashtbl.remove fs.dcache ino
+
+(* ------------------------------------------------------------------ *)
+(* Directories                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let es = Dirent.entry_size
+
+let dir_entries_uncached fs inode =
+  let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
+  let rec go off acc =
+    if off + es > Bytes.length data then List.rev acc
+    else
+      match Dirent.decode data off with
+      | Some e -> go (off + es) (e :: acc)
+      | None -> go (off + es) acc
+  in
+  go 0 []
+
+(* [ino] is only used as the cache key; [inode] must be its inode. *)
+let dir_entries_at fs ino inode =
+  match Hashtbl.find_opt fs.dcache ino with
+  | Some entries -> entries
+  | None ->
+      let entries = dir_entries_uncached fs inode in
+      Hashtbl.replace fs.dcache ino entries;
+      entries
+
+let dir_lookup fs ino inode name =
+  List.find_opt (fun e -> String.equal e.Dirent.name name) (dir_entries_at fs ino inode)
+
+let dir_add fs ino inode entry =
+  (* Reuse the first free slot, else append. *)
+  let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
+  let rec find_slot off =
+    if off + es > Bytes.length data then inode.Inode.len
+    else match Dirent.decode data off with Some _ -> find_slot (off + es) | None -> off
+  in
+  let slot = find_slot 0 in
+  write_range fs ino inode ~pos:slot (Dirent.encode entry);
+  if slot + es > inode.Inode.len then begin
+    inode.Inode.len <- slot + es;
+    Inode.mark_dirty fs.icache ino
+  end;
+  inode.Inode.mtime <- Sp_sim.Simclock.now ();
+  Inode.mark_dirty fs.icache ino;
+  Hashtbl.remove fs.dcache ino
+
+let dir_remove fs ino inode name =
+  let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
+  let rec go off =
+    if off + es > Bytes.length data then
+      raise (Sp_core.Fserr.No_such_file (fs.name ^ "/" ^ name))
+    else
+      match Dirent.decode data off with
+      | Some e when String.equal e.Dirent.name name ->
+          write_range fs ino inode ~pos:off Dirent.free_slot;
+          inode.Inode.mtime <- Sp_sim.Simclock.now ();
+          Inode.mark_dirty fs.icache ino;
+          Hashtbl.remove fs.dcache ino
+      | _ -> go (off + es)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Pager / memory objects                                              *)
+(* ------------------------------------------------------------------ *)
+
+let file_key fs ino = Printf.sprintf "%s/ino%d" fs.name ino
+
+let make_pager fs ino =
+  let get_attr () = Inode.to_attr (Inode.get fs.icache ino) in
+  let set_attr a =
+    let inode = Inode.get fs.icache ino in
+    Inode.apply_attr inode a;
+    Inode.mark_dirty fs.icache ino
+  in
+  let attr_sync (a : Sp_vm.Attr.t) =
+    let inode = Inode.get fs.icache ino in
+    if a.Sp_vm.Attr.len <> inode.Inode.len then set_length fs ino a.Sp_vm.Attr.len;
+    let inode = Inode.get fs.icache ino in
+    Inode.apply_attr inode a;
+    Inode.mark_dirty fs.icache ino
+  in
+  let write ~offset data =
+    let inode = Inode.get fs.icache ino in
+    write_range fs ino inode ~pos:offset data
+  in
+  {
+    Sp_vm.Vm_types.p_domain = fs.domain;
+    p_label = file_key fs ino;
+    p_page_in =
+      (fun ~offset ~size ~access:_ ->
+        let inode = Inode.get fs.icache ino in
+        read_range fs inode ~pos:offset ~len:size);
+    p_page_out = write;
+    p_write_out = write;
+    p_sync = write;
+    p_done_with = (fun () -> ());
+    p_exten =
+      [
+        Sp_vm.Vm_types.Fs_pager
+          {
+            Sp_vm.Vm_types.fp_get_attr = get_attr;
+            fp_set_attr = set_attr;
+            fp_attr_sync = attr_sync;
+          };
+      ];
+  }
+
+let make_memory_object fs ino =
+  {
+    Sp_vm.Vm_types.m_domain = fs.domain;
+    m_label = file_key fs ino;
+    m_bind =
+      (fun manager _access ->
+        Sp_vm.Pager_lib.bind fs.channels ~key:(file_key fs ino)
+          ~make_pager:(fun ~id:_ -> make_pager fs ino)
+          manager);
+    m_get_length = (fun () -> (Inode.get fs.icache ino).Inode.len);
+    m_set_length = (fun len -> set_length fs ino len);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File objects                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let flush_all fs =
+  Inode.flush fs.icache;
+  Bitmap.flush fs.ibitmap;
+  Bitmap.flush fs.bbitmap
+
+(* The disk layer serves read/write straight from the device: it has no
+   data cache (Table 2's "reads and writes to the disk layer do require
+   disk I/Os"). *)
+let make_file fs ino =
+  let get_attr () = Inode.to_attr (Inode.get fs.icache ino) in
+  {
+    Sp_core.File.f_id = file_key fs ino;
+    f_domain = fs.domain;
+    f_mem = make_memory_object fs ino;
+    f_read =
+      (fun ~pos ~len ->
+        let inode = Inode.get fs.icache ino in
+        let len = max 0 (min len (inode.Inode.len - pos)) in
+        if len = 0 then Bytes.empty
+        else begin
+          inode.Inode.atime <- Sp_sim.Simclock.now ();
+          Inode.mark_dirty fs.icache ino;
+          let data = read_range fs inode ~pos ~len in
+          Sp_obj.Door.charge_copy len;
+          data
+        end);
+    f_write =
+      (fun ~pos data ->
+        let inode = Inode.get fs.icache ino in
+        write_range fs ino inode ~pos data;
+        let len = Bytes.length data in
+        if pos + len > inode.Inode.len then inode.Inode.len <- pos + len;
+        inode.Inode.mtime <- Sp_sim.Simclock.now ();
+        Inode.mark_dirty fs.icache ino;
+        Sp_obj.Door.charge_copy len;
+        len);
+    f_stat = get_attr;
+    f_set_attr =
+      (fun a ->
+        let inode = Inode.get fs.icache ino in
+        Inode.apply_attr inode a;
+        Inode.mark_dirty fs.icache ino);
+    f_truncate = (fun len -> set_length fs ino len);
+    f_sync = (fun () -> flush_all fs);
+    f_exten = [];
+  }
+
+let file_of fs ino =
+  match Hashtbl.find_opt fs.files ino with
+  | Some f -> f
+  | None ->
+      let f = make_file fs ino in
+      Hashtbl.replace fs.files ino f;
+      f
+
+(* ------------------------------------------------------------------ *)
+(* Naming contexts over directories                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec ctx_of fs ino =
+  match Hashtbl.find_opt fs.ctxs ino with
+  | Some c -> c
+  | None ->
+      let c = make_ctx fs ino in
+      Hashtbl.replace fs.ctxs ino c;
+      c
+
+and make_ctx fs ino =
+  let label = Printf.sprintf "%s:dir%d" fs.name ino in
+  let dir () =
+    let inode = Inode.get fs.icache ino in
+    if inode.Inode.kind <> Inode.Dir then raise (Sp_core.Fserr.Not_a_directory label);
+    inode
+  in
+  let resolve1 component =
+    match dir_lookup fs ino (dir ()) component with
+    | None -> raise (Sp_naming.Context.Unbound (label ^ "/" ^ component))
+    | Some e ->
+        if e.Dirent.is_dir then Sp_naming.Context.Context (ctx_of fs e.Dirent.ino)
+        else begin
+          (* Resolving a file is an open: charge the per-layer open-file
+             state maintenance the paper's Table 2 measures. *)
+          Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns;
+          Sp_core.File.File (file_of fs e.Dirent.ino)
+        end
+  in
+  let bind1 component obj =
+    Dirent.check_name component;
+    let inode = dir () in
+    if dir_lookup fs ino inode component <> None then
+      raise (Sp_naming.Context.Already_bound (label ^ "/" ^ component));
+    match obj with
+    | Sp_core.File.File f ->
+        (* Hard link: only files of this very file system can live in its
+           directories. *)
+        let prefix = fs.name ^ "/ino" in
+        let id = f.Sp_core.File.f_id in
+        if not (String.length id > String.length prefix
+                && String.sub id 0 (String.length prefix) = prefix) then
+          invalid_arg (label ^ ": can bind only files of this file system");
+        let target =
+          int_of_string (String.sub id (String.length prefix)
+                           (String.length id - String.length prefix))
+        in
+        dir_add fs ino inode { Dirent.ino = target; is_dir = false; name = component };
+        let tnode = Inode.get fs.icache target in
+        tnode.Inode.nlink <- tnode.Inode.nlink + 1;
+        Inode.mark_dirty fs.icache target
+    | _ -> invalid_arg (label ^ ": disk layer binds only its own files")
+  in
+  let unbind1 component =
+    let inode = dir () in
+    match dir_lookup fs ino inode component with
+    | None -> raise (Sp_naming.Context.Unbound (label ^ "/" ^ component))
+    | Some e ->
+        if e.Dirent.is_dir then begin
+          let child = Inode.get fs.icache e.Dirent.ino in
+          if dir_entries_at fs e.Dirent.ino child <> [] then
+            raise (Sp_core.Fserr.Directory_not_empty (label ^ "/" ^ component));
+          dir_remove fs ino inode component;
+          free_inode fs e.Dirent.ino
+        end
+        else begin
+          dir_remove fs ino inode component;
+          let child = Inode.get fs.icache e.Dirent.ino in
+          child.Inode.nlink <- child.Inode.nlink - 1;
+          Inode.mark_dirty fs.icache e.Dirent.ino;
+          if child.Inode.nlink <= 0 then free_inode fs e.Dirent.ino
+        end
+  in
+  let rebind1 component obj =
+    (match dir_lookup fs ino (dir ()) component with
+    | Some _ -> unbind1 component
+    | None -> ());
+    bind1 component obj
+  in
+  let list () =
+    List.sort String.compare
+      (List.map (fun e -> e.Dirent.name) (dir_entries_at fs ino (dir ())))
+  in
+  {
+    Sp_naming.Context.ctx_domain = fs.domain;
+    ctx_label = label;
+    ctx_acl = (fun () -> Sp_naming.Acl.open_acl);
+    ctx_set_acl = (fun _ -> ());
+    ctx_resolve1 = resolve1;
+    ctx_bind1 = bind1;
+    ctx_rebind1 = rebind1;
+    ctx_unbind1 = unbind1;
+    ctx_list = list;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Path operations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk to the parent directory inode of [path]; returns (parent_ino, last). *)
+let walk_parent fs path =
+  let components = Sp_naming.Sname.components path in
+  match List.rev components with
+  | [] -> invalid_arg "Disk_layer: empty path"
+  | last :: rev_parents ->
+      let parents = List.rev rev_parents in
+      let step ino component =
+        let inode = Inode.get fs.icache ino in
+        if inode.Inode.kind <> Inode.Dir then
+          raise (Sp_core.Fserr.Not_a_directory component);
+        match dir_lookup fs ino inode component with
+        | Some e when e.Dirent.is_dir -> e.Dirent.ino
+        | Some _ -> raise (Sp_core.Fserr.Not_a_directory component)
+        | None -> raise (Sp_core.Fserr.No_such_file component)
+      in
+      (List.fold_left step 0 parents, last)
+
+let create_at fs path kind =
+  let parent, name = walk_parent fs path in
+  Dirent.check_name name;
+  let pnode = Inode.get fs.icache parent in
+  if pnode.Inode.kind <> Inode.Dir then raise (Sp_core.Fserr.Not_a_directory name);
+  if dir_lookup fs parent pnode name <> None then
+    raise (Sp_core.Fserr.Already_exists (Sp_naming.Sname.to_string path));
+  let ino, _inode = alloc_inode fs kind in
+  dir_add fs parent pnode { Dirent.ino; is_dir = kind = Inode.Dir; name };
+  ino
+
+(* ------------------------------------------------------------------ *)
+(* Mount / mkfs / creator                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mkfs disk =
+  let layout = Layout.compute ~total_blocks:(Sp_blockdev.Disk.block_count disk) in
+  Sp_blockdev.Disk.write disk 0 (Layout.encode_superblock layout);
+  (* Zero the bitmaps. *)
+  let zero = Bytes.make bs '\000' in
+  for i = layout.Layout.inode_bitmap_start
+      to layout.Layout.inode_table_start + layout.Layout.inode_table_blocks - 1 do
+    Sp_blockdev.Disk.write disk i zero
+  done;
+  let bbitmap =
+    Bitmap.load disk ~start:layout.Layout.block_bitmap_start
+      ~blocks:layout.Layout.block_bitmap_blocks ~bits:layout.Layout.total_blocks
+  in
+  for i = 0 to layout.Layout.data_start - 1 do
+    Bitmap.set bbitmap i
+  done;
+  Bitmap.flush bbitmap;
+  let ibitmap =
+    Bitmap.load disk ~start:layout.Layout.inode_bitmap_start
+      ~blocks:layout.Layout.inode_bitmap_blocks ~bits:layout.Layout.inode_count
+  in
+  Bitmap.set ibitmap 0;
+  Bitmap.flush ibitmap;
+  let icache = Inode.cache_create disk layout in
+  let now = Sp_sim.Simclock.now () in
+  Inode.put icache 0
+    {
+      Inode.kind = Inode.Dir;
+      nlink = 1;
+      len = 0;
+      atime = now;
+      mtime = now;
+      ctime = now;
+      direct = Array.make Layout.n_direct 0;
+      indirect = 0;
+      double_indirect = 0;
+    };
+  Inode.flush icache
+
+let mount ?(node = "local") ?domain ~name disk =
+  let layout = Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) in
+  let domain =
+    match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
+  in
+  let fs =
+    {
+      name;
+      disk;
+      layout;
+      domain;
+      icache = Inode.cache_create disk layout;
+      ibitmap =
+        Bitmap.load disk ~start:layout.Layout.inode_bitmap_start
+          ~blocks:layout.Layout.inode_bitmap_blocks ~bits:layout.Layout.inode_count;
+      bbitmap =
+        Bitmap.load disk ~start:layout.Layout.block_bitmap_start
+          ~blocks:layout.Layout.block_bitmap_blocks ~bits:layout.Layout.total_blocks;
+      channels = Sp_vm.Pager_lib.create ();
+      files = Hashtbl.create 32;
+      ctxs = Hashtbl.create 8;
+      dcache = Hashtbl.create 8;
+      indcache = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace instances name fs;
+  {
+    Sp_core.Stackable.sfs_name = name;
+    sfs_type = "sfs_disk";
+    sfs_domain = domain;
+    sfs_ctx = ctx_of fs 0;
+    sfs_stack_on =
+      (fun _ ->
+        raise (Sp_core.Stackable.Stack_error (name ^ ": base layers stack on devices")));
+    sfs_unders = (fun () -> []);
+    sfs_create =
+      (fun path ->
+        let ino = create_at fs path Inode.File in
+        file_of fs ino);
+    sfs_mkdir = (fun path -> ignore (create_at fs path Inode.Dir));
+    sfs_remove =
+      (fun path ->
+        let parent, name' = walk_parent fs path in
+        let ctx = ctx_of fs parent in
+        match ctx.Sp_naming.Context.ctx_unbind1 name' with
+        | () -> ()
+        | exception Sp_naming.Context.Unbound _ ->
+            raise (Sp_core.Fserr.No_such_file (Sp_naming.Sname.to_string path)));
+    sfs_sync = (fun () -> flush_all fs);
+    sfs_drop_caches =
+      (fun () ->
+        flush_all fs;
+        Inode.drop fs.icache;
+        Hashtbl.reset fs.dcache;
+        Hashtbl.reset fs.indcache);
+  }
+
+let creator ?(node = "local") ~get_disk () =
+  {
+    Sp_core.Stackable.cr_type = "sfs_disk";
+    cr_create =
+      (fun ~name ->
+        let disk = get_disk name in
+        (match Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) with
+        | _ -> ()
+        | exception Sp_core.Fserr.Io_error _ -> mkfs disk);
+        mount ~node ~name disk);
+  }
+
+let free_blocks sfs =
+  let fs = fs_of sfs in
+  Bitmap.capacity fs.bbitmap - Bitmap.used fs.bbitmap
+
+let free_inodes sfs =
+  let fs = fs_of sfs in
+  Bitmap.capacity fs.ibitmap - Bitmap.used fs.ibitmap
+
+let cached_inodes sfs = Inode.cached_count (fs_of sfs).icache
+let channel_count sfs = Sp_vm.Pager_lib.channel_count (fs_of sfs).channels

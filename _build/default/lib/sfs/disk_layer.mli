@@ -1,0 +1,48 @@
+(** The SFS disk layer.
+
+    Implements an on-disk UFS-compatible-in-spirit file system over a
+    simulated block device (paper §6.2, Figure 10).  It is a base layer: it
+    builds directly on a storage device and cannot be stacked on another
+    file system.  It does {e not} implement a coherency algorithm — the
+    coherency layer is stacked on top of it — and it does not cache file
+    data; its only private state is the i-node cache (plus the allocation
+    bitmaps), so open and stat are served without disk I/O while reads and
+    writes reach the device.
+
+    Files are exported with the full memory-object/pager contract: upper
+    cache managers bind to a file's memory object and receive a pager
+    backed by the device, with the [fs_pager] attribute subclass available
+    by narrowing. *)
+
+(** Format the device with an empty file system (root directory only). *)
+val mkfs : Sp_blockdev.Disk.t -> unit
+
+(** [mount ~name disk] mounts a formatted device and returns the layer as
+    a stackable file system.  [node] (default ["local"]) places the
+    serving domain; [domain] overrides it entirely (used to co-locate the
+    disk layer with another layer for the same-domain experiments).
+    Raises {!Sp_core.Fserr.Io_error} on an unformatted device. *)
+val mount :
+  ?node:string -> ?domain:Sp_obj.Sdomain.t -> name:string ->
+  Sp_blockdev.Disk.t -> Sp_core.Stackable.t
+
+(** [creator ~node ~get_disk] packages [mkfs]+[mount] as a stackable-fs
+    creator: [cr_create ~name] formats (if needed) and mounts
+    [get_disk name]. *)
+val creator :
+  ?node:string -> get_disk:(string -> Sp_blockdev.Disk.t) -> unit ->
+  Sp_core.Stackable.creator
+
+(** {1 Introspection (tests, tools)} *)
+
+(** Free data blocks remaining. *)
+val free_blocks : Sp_core.Stackable.t -> int
+
+(** Free inodes remaining. *)
+val free_inodes : Sp_core.Stackable.t -> int
+
+(** Number of cached inodes (the layer's "small state"). *)
+val cached_inodes : Sp_core.Stackable.t -> int
+
+(** Live pager–cache channels served by this layer (Figure 2's count). *)
+val channel_count : Sp_core.Stackable.t -> int

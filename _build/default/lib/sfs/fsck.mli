@@ -1,0 +1,23 @@
+(** Off-line consistency checker for the SFS on-disk format.
+
+    Reads the raw device (no mutation) and cross-checks the directory
+    graph, the inode table and the allocation bitmaps, UFS-fsck style.
+    Run it against a synced volume: in-memory caches of a live mount are
+    invisible to it. *)
+
+type problem =
+  | Unreachable_inode of int
+      (** allocated in the inode bitmap but not reachable from the root *)
+  | Free_inode_referenced of int * string
+      (** a directory entry names an inode the bitmap says is free *)
+  | Bad_kind of int * string  (** entry/inode kind disagree *)
+  | Block_out_of_range of int * int  (** (ino, block) pointer outside the data area *)
+  | Block_double_use of int  (** block referenced by two owners *)
+  | Block_not_allocated of int  (** referenced block marked free *)
+  | Block_leak of int  (** allocated block referenced by nobody *)
+  | Bad_nlink of int * int * int  (** (ino, expected, stored) *)
+
+val pp_problem : Format.formatter -> problem -> unit
+
+(** Run the check.  Returns [] for a consistent volume. *)
+val check : Sp_blockdev.Disk.t -> problem list

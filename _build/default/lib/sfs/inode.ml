@@ -1,0 +1,128 @@
+type kind = Free | File | Dir
+
+type t = {
+  mutable kind : kind;
+  mutable nlink : int;
+  mutable len : int;
+  mutable atime : int;
+  mutable mtime : int;
+  mutable ctime : int;
+  direct : int array;
+  mutable indirect : int;
+  mutable double_indirect : int;
+}
+
+let kind_to_int = function Free -> 0 | File -> 1 | Dir -> 2
+
+let kind_of_int = function
+  | 0 -> Free
+  | 1 -> File
+  | 2 -> Dir
+  | n -> raise (Sp_core.Fserr.Io_error (Printf.sprintf "bad inode kind %d" n))
+
+let encode t =
+  let b = Bytes.make Layout.inode_size '\000' in
+  Bytes.set_uint8 b 0 (kind_to_int t.kind);
+  Bytes.set_uint16_le b 2 t.nlink;
+  Bytes.set_int64_le b 8 (Int64.of_int t.len);
+  Bytes.set_int64_le b 16 (Int64.of_int t.atime);
+  Bytes.set_int64_le b 24 (Int64.of_int t.mtime);
+  Bytes.set_int64_le b 32 (Int64.of_int t.ctime);
+  Array.iteri
+    (fun i ptr -> Bytes.set_int32_le b (40 + (i * 4)) (Int32.of_int ptr))
+    t.direct;
+  Bytes.set_int32_le b (40 + (Layout.n_direct * 4)) (Int32.of_int t.indirect);
+  Bytes.set_int32_le b (44 + (Layout.n_direct * 4)) (Int32.of_int t.double_indirect);
+  b
+
+let decode b =
+  let i64 off = Int64.to_int (Bytes.get_int64_le b off) in
+  let i32 off = Int32.to_int (Bytes.get_int32_le b off) in
+  {
+    kind = kind_of_int (Bytes.get_uint8 b 0);
+    nlink = Bytes.get_uint16_le b 2;
+    len = i64 8;
+    atime = i64 16;
+    mtime = i64 24;
+    ctime = i64 32;
+    direct = Array.init Layout.n_direct (fun i -> i32 (40 + (i * 4)));
+    indirect = i32 (40 + (Layout.n_direct * 4));
+    double_indirect = i32 (44 + (Layout.n_direct * 4));
+  }
+
+let to_attr t =
+  {
+    Sp_vm.Attr.kind =
+      (match t.kind with
+      | Dir -> Sp_vm.Attr.Directory
+      | File | Free -> Sp_vm.Attr.Regular);
+    len = t.len;
+    atime = t.atime;
+    mtime = t.mtime;
+    ctime = t.ctime;
+    nlink = t.nlink;
+  }
+
+let apply_attr t (a : Sp_vm.Attr.t) =
+  t.atime <- a.atime;
+  t.mtime <- a.mtime;
+  t.ctime <- a.ctime
+
+type slot = { inode : t; mutable dirty : bool }
+
+type cache = {
+  disk : Sp_blockdev.Disk.t;
+  layout : Layout.t;
+  table : (int, slot) Hashtbl.t;
+}
+
+let cache_create disk layout = { disk; layout; table = Hashtbl.create 64 }
+
+let block_of c ino = c.layout.Layout.inode_table_start + (ino / Layout.inodes_per_block)
+let offset_of ino = ino mod Layout.inodes_per_block * Layout.inode_size
+
+let get c ino =
+  if ino < 0 || ino >= c.layout.Layout.inode_count then
+    invalid_arg (Printf.sprintf "Inode.get: inode %d out of range" ino);
+  match Hashtbl.find_opt c.table ino with
+  | Some slot -> slot.inode
+  | None ->
+      let block = Sp_blockdev.Disk.read c.disk (block_of c ino) in
+      let inode = decode (Bytes.sub block (offset_of ino) Layout.inode_size) in
+      Hashtbl.replace c.table ino { inode; dirty = false };
+      inode
+
+let mark_dirty c ino =
+  match Hashtbl.find_opt c.table ino with
+  | Some slot -> slot.dirty <- true
+  | None -> invalid_arg (Printf.sprintf "Inode.mark_dirty: inode %d not cached" ino)
+
+let put c ino inode = Hashtbl.replace c.table ino { inode; dirty = true }
+
+let flush c =
+  (* Group dirty inodes by table block to write each block once. *)
+  let by_block = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun ino slot ->
+      if slot.dirty then begin
+        let b = block_of c ino in
+        let group = Option.value (Hashtbl.find_opt by_block b) ~default:[] in
+        Hashtbl.replace by_block b ((ino, slot) :: group)
+      end)
+    c.table;
+  Hashtbl.iter
+    (fun block group ->
+      let data = Sp_blockdev.Disk.read c.disk block in
+      List.iter
+        (fun (ino, slot) ->
+          Bytes.blit (encode slot.inode) 0 data (offset_of ino) Layout.inode_size;
+          slot.dirty <- false)
+        group;
+      Sp_blockdev.Disk.write c.disk block data)
+    by_block
+
+let drop c =
+  flush c;
+  Hashtbl.reset c.table
+
+let cached_count c = Hashtbl.length c.table

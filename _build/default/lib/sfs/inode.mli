@@ -1,0 +1,53 @@
+(** On-disk inodes and the in-memory inode cache.
+
+    The disk layer's only private state is "basically an i-node cache"
+    (paper §6.2): parsed inodes are cached at first touch so that open and
+    stat need no disk I/O, and written back on [flush]. *)
+
+type kind = Free | File | Dir
+
+type t = {
+  mutable kind : kind;
+  mutable nlink : int;
+  mutable len : int;
+  mutable atime : int;
+  mutable mtime : int;
+  mutable ctime : int;
+  direct : int array;  (** [Layout.n_direct] block pointers; 0 = hole *)
+  mutable indirect : int;  (** single-indirect block pointer; 0 = none *)
+  mutable double_indirect : int;
+}
+
+val encode : t -> bytes
+val decode : bytes -> t
+
+(** Attribute view of an inode. *)
+val to_attr : t -> Sp_vm.Attr.t
+
+(** Apply the settable attribute fields (times, nlink; not len/kind). *)
+val apply_attr : t -> Sp_vm.Attr.t -> unit
+
+(** {1 Inode table cache} *)
+
+type cache
+
+val cache_create : Sp_blockdev.Disk.t -> Layout.t -> cache
+
+(** Fetch inode [ino], from memory if cached. *)
+val get : cache -> int -> t
+
+(** Mark inode [ino] dirty (must have been fetched). *)
+val mark_dirty : cache -> int -> unit
+
+(** [put c ino inode] installs a fresh in-memory inode (for allocation)
+    and marks it dirty. *)
+val put : cache -> int -> t -> unit
+
+(** Write dirty inodes back to the inode table. *)
+val flush : cache -> unit
+
+(** Drop clean cached inodes (dirty ones are flushed first). *)
+val drop : cache -> unit
+
+(** Number of cached inodes. *)
+val cached_count : cache -> int

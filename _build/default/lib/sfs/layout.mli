@@ -1,0 +1,44 @@
+(** On-disk layout of the SFS disk layer.
+
+    Block 0 holds the superblock; then the inode bitmap, the block bitmap,
+    the inode table, and the data region.  All sizes derive from the device
+    size at [mkfs] time, UFS-style (paper [14]). *)
+
+(** Bytes per inode slot on disk. *)
+val inode_size : int
+
+(** Inodes per block. *)
+val inodes_per_block : int
+
+(** Direct block pointers per inode. *)
+val n_direct : int
+
+(** Block pointers held by one indirect block. *)
+val ptrs_per_block : int
+
+type t = {
+  total_blocks : int;
+  inode_count : int;
+  inode_bitmap_start : int;  (** block index *)
+  inode_bitmap_blocks : int;
+  block_bitmap_start : int;
+  block_bitmap_blocks : int;
+  inode_table_start : int;
+  inode_table_blocks : int;
+  data_start : int;  (** first data block *)
+}
+
+(** Compute the layout for a device of [total_blocks] blocks.  Raises
+    [Invalid_argument] if the device is too small to hold any data. *)
+val compute : total_blocks:int -> t
+
+(** Maximum file size in bytes under this layout (direct + single
+    indirect + double indirect). *)
+val max_file_size : t -> int
+
+(** Serialise the superblock (includes a magic and the layout). *)
+val encode_superblock : t -> bytes
+
+(** Decode and validate a superblock, raising {!Sp_core.Fserr.Io_error} on
+    bad magic or version. *)
+val decode_superblock : bytes -> t

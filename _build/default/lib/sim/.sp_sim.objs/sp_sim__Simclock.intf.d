@@ -1,0 +1,1 @@
+lib/sim/simclock.mli: Format

@@ -1,0 +1,82 @@
+type snapshot = {
+  cross_domain_calls : int;
+  local_calls : int;
+  kernel_calls : int;
+  page_faults : int;
+  page_ins : int;
+  page_outs : int;
+  disk_reads : int;
+  disk_writes : int;
+  net_messages : int;
+  net_bytes : int;
+  coherency_actions : int;
+  attr_fetches : int;
+}
+
+let zero =
+  {
+    cross_domain_calls = 0;
+    local_calls = 0;
+    kernel_calls = 0;
+    page_faults = 0;
+    page_ins = 0;
+    page_outs = 0;
+    disk_reads = 0;
+    disk_writes = 0;
+    net_messages = 0;
+    net_bytes = 0;
+    coherency_actions = 0;
+    attr_fetches = 0;
+  }
+
+let state = ref zero
+
+let cross_domain_calls () = !state.cross_domain_calls
+
+let incr_cross_domain_calls () =
+  state := { !state with cross_domain_calls = !state.cross_domain_calls + 1 }
+
+let incr_local_calls () = state := { !state with local_calls = !state.local_calls + 1 }
+let incr_kernel_calls () = state := { !state with kernel_calls = !state.kernel_calls + 1 }
+let incr_page_faults () = state := { !state with page_faults = !state.page_faults + 1 }
+let incr_page_ins () = state := { !state with page_ins = !state.page_ins + 1 }
+let incr_page_outs () = state := { !state with page_outs = !state.page_outs + 1 }
+let incr_disk_reads () = state := { !state with disk_reads = !state.disk_reads + 1 }
+let incr_disk_writes () = state := { !state with disk_writes = !state.disk_writes + 1 }
+let incr_net_messages () = state := { !state with net_messages = !state.net_messages + 1 }
+let add_net_bytes n = state := { !state with net_bytes = !state.net_bytes + n }
+
+let incr_coherency_actions () =
+  state := { !state with coherency_actions = !state.coherency_actions + 1 }
+
+let incr_attr_fetches () = state := { !state with attr_fetches = !state.attr_fetches + 1 }
+let snapshot () = !state
+
+let diff ~before ~after =
+  {
+    cross_domain_calls = after.cross_domain_calls - before.cross_domain_calls;
+    local_calls = after.local_calls - before.local_calls;
+    kernel_calls = after.kernel_calls - before.kernel_calls;
+    page_faults = after.page_faults - before.page_faults;
+    page_ins = after.page_ins - before.page_ins;
+    page_outs = after.page_outs - before.page_outs;
+    disk_reads = after.disk_reads - before.disk_reads;
+    disk_writes = after.disk_writes - before.disk_writes;
+    net_messages = after.net_messages - before.net_messages;
+    net_bytes = after.net_bytes - before.net_bytes;
+    coherency_actions = after.coherency_actions - before.coherency_actions;
+    attr_fetches = after.attr_fetches - before.attr_fetches;
+  }
+
+let reset () = state := zero
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>cross_domain_calls=%d local_calls=%d kernel_calls=%d@ \
+     page_faults=%d page_ins=%d page_outs=%d@ \
+     disk_reads=%d disk_writes=%d@ \
+     net_messages=%d net_bytes=%d@ \
+     coherency_actions=%d attr_fetches=%d@]"
+    s.cross_domain_calls s.local_calls s.kernel_calls s.page_faults s.page_ins
+    s.page_outs s.disk_reads s.disk_writes s.net_messages s.net_bytes
+    s.coherency_actions s.attr_fetches

@@ -1,0 +1,46 @@
+(** Global event counters for the simulated system.
+
+    Tests use counter snapshots to assert structural properties that the
+    paper states qualitatively — e.g. "when the coherency layer caches data
+    there are no calls to the lower layer", or "local page traffic does not
+    involve DFS". *)
+
+type snapshot = {
+  cross_domain_calls : int;
+  local_calls : int;
+  kernel_calls : int;
+  page_faults : int;
+  page_ins : int;
+  page_outs : int;
+  disk_reads : int;
+  disk_writes : int;
+  net_messages : int;
+  net_bytes : int;
+  coherency_actions : int;  (** deny_writes/flush_back/write_back issued *)
+  attr_fetches : int;  (** fs_pager attribute fetches that left a layer *)
+}
+
+val cross_domain_calls : unit -> int
+val incr_cross_domain_calls : unit -> unit
+val incr_local_calls : unit -> unit
+val incr_kernel_calls : unit -> unit
+val incr_page_faults : unit -> unit
+val incr_page_ins : unit -> unit
+val incr_page_outs : unit -> unit
+val incr_disk_reads : unit -> unit
+val incr_disk_writes : unit -> unit
+val incr_net_messages : unit -> unit
+val add_net_bytes : int -> unit
+val incr_coherency_actions : unit -> unit
+val incr_attr_fetches : unit -> unit
+
+(** Capture the current counter values. *)
+val snapshot : unit -> snapshot
+
+(** [diff ~before ~after] is the per-counter difference. *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** Reset every counter to zero. *)
+val reset : unit -> unit
+
+val pp : Format.formatter -> snapshot -> unit

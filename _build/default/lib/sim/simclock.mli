@@ -1,0 +1,25 @@
+(** Virtual simulation clock.
+
+    All simulated costs in the system (domain crossings, disk seeks, network
+    round trips, per-byte copies) advance this clock rather than consuming
+    wall time.  The clock is a single global counter of nanoseconds, which is
+    adequate because the simulation is single-threaded and deterministic. *)
+
+(** Current virtual time in nanoseconds since [reset]. *)
+val now : unit -> int
+
+(** Advance the clock by the given number of nanoseconds.  Negative
+    increments are rejected with [Invalid_argument]. *)
+val advance : int -> unit
+
+(** Reset virtual time to zero.  Used by tests and by the benchmark harness
+    between measurement runs. *)
+val reset : unit -> unit
+
+(** [measure f] runs [f ()] and returns its result together with the virtual
+    time it consumed. *)
+val measure : (unit -> 'a) -> 'a * int
+
+(** Render a duration in nanoseconds as a human-friendly string, e.g.
+    ["1.20ms"], ["82us"]. *)
+val pp_duration : Format.formatter -> int -> unit

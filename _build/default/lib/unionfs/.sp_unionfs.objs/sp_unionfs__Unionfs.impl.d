@@ -1,0 +1,1 @@
+lib/unionfs/unionfs.ml: Bytes Hashtbl List Printf Sp_coherency Sp_core Sp_naming Sp_obj Sp_sim Sp_vm String

@@ -1,0 +1,29 @@
+(** UNIONFS — a union (overlay) file system layer.
+
+    A further demonstration of the architecture's claim that a layer may
+    stack on several file systems and "need not [have] a one-to-one
+    correspondence between the files exported by a given layer and its
+    underlying layers" (§4.1): the first [stack_on] supplies the writable
+    top branch, later calls supply read-only lower branches.  Name
+    resolution takes the first branch that binds the name; writes to a
+    file found in a lower branch copy it up to the top branch first;
+    removals of lower-branch files leave a whiteout in the top branch so
+    the name stays hidden.
+
+    Like the other transform layers it is a plain pager upward — stack a
+    coherency layer (or DFS) on top for multi-cache coherence. *)
+
+val make :
+  ?node:string ->
+  ?domain:Sp_obj.Sdomain.t ->
+  vmm:Sp_vm.Vmm.t ->
+  name:string ->
+  unit ->
+  Sp_core.Stackable.t
+
+(** Creator (type ["unionfs"]). *)
+val creator : ?node:string -> vmm:Sp_vm.Vmm.t -> unit -> Sp_core.Stackable.creator
+
+(** [branch_of fs path] tells which branch currently backs the file:
+    [`Top] or [`Lower n] (0-based index among the read-only branches). *)
+val branch_of : Sp_core.Stackable.t -> Sp_naming.Sname.t -> [ `Top | `Lower of int ]

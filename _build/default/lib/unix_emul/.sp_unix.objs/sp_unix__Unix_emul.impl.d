@@ -1,0 +1,1 @@
+lib/unix_emul/unix_emul.ml: Bytes Hashtbl Int List Result Sp_core Sp_naming Sp_vm String

@@ -1,0 +1,1 @@
+lib/unix_emul/unix_emul.mli: Sp_core Sp_vm

@@ -1,0 +1,225 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+
+type errno =
+  | ENOENT
+  | EEXIST
+  | EBADF
+  | EISDIR
+  | ENOTDIR
+  | ENOTEMPTY
+  | ENOSPC
+  | EACCES
+  | EIO
+  | EINVAL
+
+let errno_to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | EBADF -> "EBADF"
+  | EISDIR -> "EISDIR"
+  | ENOTDIR -> "ENOTDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ENOSPC -> "ENOSPC"
+  | EACCES -> "EACCES"
+  | EIO -> "EIO"
+  | EINVAL -> "EINVAL"
+
+type open_flag = O_RDONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND | O_EXCL
+
+(* An open-file description, shared between dup'ed descriptors. *)
+type ofd = {
+  o_file : F.t;
+  mutable o_offset : int;
+  o_append : bool;
+  o_writable : bool;
+}
+
+type process = {
+  p_root : S.t;
+  mutable p_cwd : string list;  (* absolute, as components *)
+  p_fds : (int, ofd) Hashtbl.t;
+  mutable p_next_fd : int;
+}
+
+type fd = int
+
+type whence = SEEK_SET | SEEK_CUR | SEEK_END
+
+let create_process ~root ?(cwd = "/") () =
+  {
+    p_root = root;
+    p_cwd = Sp_naming.Sname.components (Sp_naming.Sname.of_string cwd);
+    p_fds = Hashtbl.create 16;
+    p_next_fd = 3;  (* 0-2 reserved, as tradition demands *)
+  }
+
+(* Resolve a path string against the cwd.  Absolute paths start with '/'. *)
+let abspath p path =
+  let name = Sp_naming.Sname.of_string path in
+  if String.length path > 0 && path.[0] = '/' then name
+  else Sp_naming.Sname.of_components (p.p_cwd @ Sp_naming.Sname.components name)
+
+(* Map the typed errors of the stack onto errno. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Sp_core.Fserr.No_such_file _ -> Error ENOENT
+  | exception Sp_naming.Context.Unbound _ -> Error ENOENT
+  | exception Sp_core.Fserr.Already_exists _ -> Error EEXIST
+  | exception Sp_naming.Context.Already_bound _ -> Error EEXIST
+  | exception Sp_core.Fserr.Is_directory _ -> Error EISDIR
+  | exception Sp_core.Fserr.Not_a_directory _ -> Error ENOTDIR
+  | exception Sp_core.Fserr.Directory_not_empty _ -> Error ENOTEMPTY
+  | exception Sp_core.Fserr.No_space _ -> Error ENOSPC
+  | exception Sp_core.Fserr.Read_only _ -> Error EACCES
+  | exception Sp_naming.Context.Denied _ -> Error EACCES
+  | exception Sp_core.Fserr.Io_error _ -> Error EIO
+  | exception Invalid_argument _ -> Error EINVAL
+
+let ( let* ) = Result.bind
+
+let lookup_fd p fd =
+  match Hashtbl.find_opt p.p_fds fd with Some o -> Ok o | None -> Error EBADF
+
+let install p ofd =
+  let fd = p.p_next_fd in
+  p.p_next_fd <- fd + 1;
+  Hashtbl.replace p.p_fds fd ofd;
+  fd
+
+let openf p path flags =
+  let name = abspath p path in
+  let want_creat = List.mem O_CREAT flags in
+  let want_excl = List.mem O_EXCL flags in
+  let* file =
+    match guard (fun () -> S.open_file p.p_root name) with
+    | Ok f -> if want_creat && want_excl then Error EEXIST else Ok f
+    | Error ENOENT when want_creat -> guard (fun () -> S.create p.p_root name)
+    | Error e -> Error e
+  in
+  let* () =
+    if List.mem O_TRUNC flags then guard (fun () -> F.truncate file 0) else Ok ()
+  in
+  let writable = List.mem O_RDWR flags || want_creat || List.mem O_APPEND flags in
+  Ok
+    (install p
+       {
+         o_file = file;
+         o_offset = 0;
+         o_append = List.mem O_APPEND flags;
+         o_writable = writable;
+       })
+
+let creat p path = openf p path [ O_CREAT; O_RDWR; O_TRUNC ]
+let unlink p path = guard (fun () -> S.remove p.p_root (abspath p path))
+let mkdir p path = guard (fun () -> S.mkdir p.p_root (abspath p path))
+
+let rmdir p path =
+  let name = abspath p path in
+  let* listing = guard (fun () -> S.listdir p.p_root name) in
+  if listing <> [] then Error ENOTEMPTY
+  else guard (fun () -> S.remove p.p_root name)
+
+let rename p src dst =
+  guard (fun () -> S.rename p.p_root ~src:(abspath p src) ~dst:(abspath p dst))
+
+let link p src dst =
+  (* Hard links, like renames, are name-space operations performed where
+     the bindings live: the base of the stack. *)
+  let b = S.base p.p_root in
+  let* file = guard (fun () -> S.open_file b (abspath p src)) in
+  guard (fun () ->
+      Sp_naming.Context.bind b.S.sfs_ctx (abspath p dst) (F.File file))
+
+let stat p path =
+  let name = abspath p path in
+  match guard (fun () -> S.open_file p.p_root name) with
+  | Ok f -> guard (fun () -> F.stat f)
+  | Error EISDIR -> Ok (Sp_vm.Attr.fresh Sp_vm.Attr.Directory)
+  | Error e -> Error e
+
+let readdir p path = guard (fun () -> S.listdir p.p_root (abspath p path))
+
+let chdir p path =
+  let name = abspath p path in
+  let* obj = guard (fun () -> Sp_naming.Context.resolve p.p_root.S.sfs_ctx name) in
+  match obj with
+  | Sp_naming.Context.Context _ ->
+      p.p_cwd <- Sp_naming.Sname.components name;
+      Ok ()
+  | F.File _ -> Error ENOTDIR
+  | _ -> Error ENOTDIR
+
+let getcwd p = "/" ^ String.concat "/" p.p_cwd
+
+let read p fd len =
+  let* o = lookup_fd p fd in
+  if len < 0 then Error EINVAL
+  else
+    let* data = guard (fun () -> F.read o.o_file ~pos:o.o_offset ~len) in
+    o.o_offset <- o.o_offset + Bytes.length data;
+    Ok data
+
+let write p fd data =
+  let* o = lookup_fd p fd in
+  if not o.o_writable then Error EACCES
+  else begin
+    let pos =
+      if o.o_append then (F.stat o.o_file).Sp_vm.Attr.len else o.o_offset
+    in
+    let* n = guard (fun () -> F.write o.o_file ~pos data) in
+    o.o_offset <- pos + n;
+    Ok n
+  end
+
+let pread p fd ~pos ~len =
+  let* o = lookup_fd p fd in
+  if pos < 0 || len < 0 then Error EINVAL
+  else guard (fun () -> F.read o.o_file ~pos ~len)
+
+let pwrite p fd ~pos data =
+  let* o = lookup_fd p fd in
+  if pos < 0 then Error EINVAL
+  else if not o.o_writable then Error EACCES
+  else guard (fun () -> F.write o.o_file ~pos data)
+
+let lseek p fd offset whence =
+  let* o = lookup_fd p fd in
+  let* base =
+    match whence with
+    | SEEK_SET -> Ok 0
+    | SEEK_CUR -> Ok o.o_offset
+    | SEEK_END -> guard (fun () -> (F.stat o.o_file).Sp_vm.Attr.len)
+  in
+  let target = base + offset in
+  if target < 0 then Error EINVAL
+  else begin
+    o.o_offset <- target;
+    Ok target
+  end
+
+let fstat p fd =
+  let* o = lookup_fd p fd in
+  guard (fun () -> F.stat o.o_file)
+
+let ftruncate p fd len =
+  let* o = lookup_fd p fd in
+  if not o.o_writable then Error EACCES
+  else if len < 0 then Error EINVAL
+  else guard (fun () -> F.truncate o.o_file len)
+
+let fsync p fd =
+  let* o = lookup_fd p fd in
+  guard (fun () -> F.sync o.o_file)
+
+let dup p fd =
+  let* o = lookup_fd p fd in
+  Ok (install p o)
+
+let close p fd =
+  let* _ = lookup_fd p fd in
+  Hashtbl.remove p.p_fds fd;
+  Ok ()
+
+let open_fds p = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) p.p_fds [])

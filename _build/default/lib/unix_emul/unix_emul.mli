@@ -1,0 +1,66 @@
+(** UNIX emulation over the stackable file systems.
+
+    Figure 1 lists "UNIX" among the servers of a Spring node, and §3.1
+    notes that "support for running UNIX binaries is also provided [11]".
+    This module is that adapter: POSIX-flavoured, errno-style file
+    operations — per-process file descriptor tables, seek pointers, open
+    flags — implemented entirely on the strongly-typed file and naming
+    interfaces of any stackable file system.
+
+    All calls return [('a, errno) result] rather than raising; the
+    emulation maps the typed exceptions of the layers below onto classic
+    errno values. *)
+
+type errno = ENOENT | EEXIST | EBADF | EISDIR | ENOTDIR | ENOTEMPTY | ENOSPC | EACCES | EIO | EINVAL
+
+val errno_to_string : errno -> string
+
+(** A UNIX process: a root file system, a current working directory and a
+    file descriptor table. *)
+type process
+
+type fd = int
+
+val create_process : root:Sp_core.Stackable.t -> ?cwd:string -> unit -> process
+
+(** {1 Path calls} *)
+
+type open_flag = O_RDONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND | O_EXCL
+
+val openf : process -> string -> open_flag list -> (fd, errno) result
+val creat : process -> string -> (fd, errno) result
+val unlink : process -> string -> (unit, errno) result
+val mkdir : process -> string -> (unit, errno) result
+val rmdir : process -> string -> (unit, errno) result
+val rename : process -> string -> string -> (unit, errno) result
+val link : process -> string -> string -> (unit, errno) result
+val stat : process -> string -> (Sp_vm.Attr.t, errno) result
+val readdir : process -> string -> (string list, errno) result
+val chdir : process -> string -> (unit, errno) result
+val getcwd : process -> string
+
+(** {1 Descriptor calls} *)
+
+val read : process -> fd -> int -> (bytes, errno) result
+(** Sequential read at the seek pointer; advances it. *)
+
+val write : process -> fd -> bytes -> (int, errno) result
+(** Sequential write at the seek pointer (end of file under [O_APPEND]). *)
+
+val pread : process -> fd -> pos:int -> len:int -> (bytes, errno) result
+val pwrite : process -> fd -> pos:int -> bytes -> (int, errno) result
+
+type whence = SEEK_SET | SEEK_CUR | SEEK_END
+
+val lseek : process -> fd -> int -> whence -> (int, errno) result
+val fstat : process -> fd -> (Sp_vm.Attr.t, errno) result
+val ftruncate : process -> fd -> int -> (unit, errno) result
+val fsync : process -> fd -> (unit, errno) result
+val dup : process -> fd -> (fd, errno) result
+(** The duplicate shares the open-file description (seek pointer), as in
+    UNIX. *)
+
+val close : process -> fd -> (unit, errno) result
+
+(** Open descriptors (diagnostics). *)
+val open_fds : process -> fd list

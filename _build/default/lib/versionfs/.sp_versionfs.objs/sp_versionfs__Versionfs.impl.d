@@ -1,0 +1,1 @@
+lib/versionfs/versionfs.ml: Bytes Hashtbl Int List Option Printf Sp_core Sp_naming Sp_obj Sp_sim String

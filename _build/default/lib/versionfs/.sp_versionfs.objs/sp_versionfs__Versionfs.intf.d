@@ -1,0 +1,1 @@
+lib/versionfs/versionfs.mli: Sp_core Sp_naming Sp_obj

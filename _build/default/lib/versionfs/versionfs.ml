@@ -1,0 +1,200 @@
+let version_prefix = ".v"
+
+type layer = {
+  l_name : string;
+  l_domain : Sp_obj.Sdomain.t;
+  mutable l_lower : Sp_core.Stackable.t option;
+  l_wrapped : (string, Sp_core.File.t) Hashtbl.t;
+}
+
+let instances : (string, layer) Hashtbl.t = Hashtbl.create 4
+
+let layer_of (sfs : Sp_core.Stackable.t) =
+  match Hashtbl.find_opt instances sfs.Sp_core.Stackable.sfs_name with
+  | Some l -> l
+  | None -> invalid_arg (sfs.Sp_core.Stackable.sfs_name ^ ": not a versionfs layer")
+
+let lower_of l =
+  match l.l_lower with
+  | Some fs -> fs
+  | None -> raise (Sp_core.Stackable.Stack_error (l.l_name ^ ": not stacked yet"))
+
+(* ".v<digits>.<rest>" *)
+let is_version_name name =
+  String.length name > 3
+  && String.sub name 0 2 = version_prefix
+  &&
+  let rec digits i =
+    if i >= String.length name then false
+    else
+      match name.[i] with
+      | '0' .. '9' -> digits (i + 1)
+      | '.' -> i > 2
+      | _ -> false
+  in
+  digits 2
+
+let split_path path =
+  match List.rev (Sp_naming.Sname.components path) with
+  | [] -> invalid_arg "Versionfs: empty path"
+  | last :: rev_dirs -> (List.rev rev_dirs, last)
+
+let version_path path n =
+  let dirs, last = split_path path in
+  Sp_naming.Sname.of_components (dirs @ [ Printf.sprintf "%s%d.%s" version_prefix n last ])
+
+(* Version numbers present for [path], by scanning the lower directory. *)
+let versions_of l path =
+  let lower = lower_of l in
+  let dirs, last = split_path path in
+  let listing =
+    Sp_core.Stackable.listdir lower (Sp_naming.Sname.of_components dirs)
+  in
+  let suffix = "." ^ last in
+  List.filter_map
+    (fun name ->
+      if not (is_version_name name) then None
+      else
+        let body = String.sub name 2 (String.length name - 2) in
+        match String.index_opt body '.' with
+        | Some dot
+          when String.sub body dot (String.length body - dot) = suffix ->
+            int_of_string_opt (String.sub body 0 dot)
+        | _ -> None)
+    listing
+  |> List.sort Int.compare
+
+let snapshot sfs path =
+  let l = layer_of sfs in
+  let lower = lower_of l in
+  let current = Sp_core.Stackable.open_file lower path in
+  let n = match List.rev (versions_of l path) with [] -> 1 | hd :: _ -> hd + 1 in
+  let vfile = Sp_core.Stackable.create lower (version_path path n) in
+  let data = Sp_core.File.read_all current in
+  if Bytes.length data > 0 then ignore (Sp_core.File.write vfile ~pos:0 data);
+  Sp_core.File.sync vfile;
+  n
+
+let versions sfs path = versions_of (layer_of sfs) path
+
+let open_version sfs path n =
+  let l = layer_of sfs in
+  let lower = lower_of l in
+  let vfile = Sp_core.Stackable.open_file lower (version_path path n) in
+  (* Versions are immutable history: serve them through a read-only
+     interposer (the §5 machinery). *)
+  Sp_core.Interpose.interpose_file ~domain:l.l_domain
+    (Sp_core.Interpose.read_only_hooks ())
+    vfile
+
+let restore sfs path n =
+  let l = layer_of sfs in
+  let lower = lower_of l in
+  let vfile = Sp_core.Stackable.open_file lower (version_path path n) in
+  let current = Sp_core.Stackable.open_file lower path in
+  let data = Sp_core.File.read_all vfile in
+  Sp_core.File.truncate current 0;
+  if Bytes.length data > 0 then ignore (Sp_core.File.write current ~pos:0 data);
+  Sp_core.File.sync current
+
+let drop_version sfs path n =
+  let l = layer_of sfs in
+  Sp_core.Stackable.remove (lower_of l) (version_path path n)
+
+(* The exported file forwards everything (data path untouched). *)
+let wrap_file l path (lower : Sp_core.File.t) =
+  let key =
+    Printf.sprintf "versionfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path)
+  in
+  match Hashtbl.find_opt l.l_wrapped key with
+  | Some f -> f
+  | None ->
+      let f = { lower with Sp_core.File.f_id = key } in
+      Hashtbl.replace l.l_wrapped key f;
+      f
+
+let rec make_ctx l ~path =
+  let label =
+    if Sp_naming.Sname.is_empty path then l.l_name
+    else l.l_name ^ "/" ^ Sp_naming.Sname.to_string path
+  in
+  let resolve1 component =
+    if is_version_name component then
+      raise (Sp_naming.Context.Unbound (label ^ "/" ^ component));
+    let lower = lower_of l in
+    let sub = Sp_naming.Sname.append path component in
+    match Sp_naming.Context.resolve lower.Sp_core.Stackable.sfs_ctx sub with
+    | Sp_core.File.File f ->
+        Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns;
+        Sp_core.File.File (wrap_file l sub f)
+    | Sp_naming.Context.Context _ -> Sp_naming.Context.Context (make_ctx l ~path:sub)
+    | other -> other
+  in
+  let list () =
+    List.filter
+      (fun n -> not (is_version_name n))
+      (Sp_core.Stackable.listdir (lower_of l) path)
+  in
+  {
+    Sp_naming.Context.ctx_domain = l.l_domain;
+    ctx_label = label;
+    ctx_acl = (fun () -> Sp_naming.Acl.open_acl);
+    ctx_set_acl = (fun _ -> ());
+    ctx_resolve1 = resolve1;
+    ctx_bind1 =
+      (fun c o ->
+        Sp_naming.Context.bind (lower_of l).Sp_core.Stackable.sfs_ctx
+          (Sp_naming.Sname.append path c) o);
+    ctx_rebind1 =
+      (fun c o ->
+        Sp_naming.Context.rebind (lower_of l).Sp_core.Stackable.sfs_ctx
+          (Sp_naming.Sname.append path c) o);
+    ctx_unbind1 =
+      (fun c ->
+        Sp_naming.Context.unbind (lower_of l).Sp_core.Stackable.sfs_ctx
+          (Sp_naming.Sname.append path c));
+    ctx_list = list;
+  }
+
+let make ?(node = "local") ?domain ~name () =
+  let domain =
+    match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
+  in
+  let l =
+    { l_name = name; l_domain = domain; l_lower = None; l_wrapped = Hashtbl.create 16 }
+  in
+  Hashtbl.replace instances name l;
+  {
+    Sp_core.Stackable.sfs_name = name;
+    sfs_type = "versionfs";
+    sfs_domain = domain;
+    sfs_ctx = make_ctx l ~path:(Sp_naming.Sname.of_components []);
+    sfs_stack_on =
+      (fun under ->
+        match l.l_lower with
+        | Some _ ->
+            raise
+              (Sp_core.Stackable.Stack_error
+                 (name ^ ": versionfs stacks on exactly one file system"))
+        | None -> l.l_lower <- Some under);
+    sfs_unders = (fun () -> Option.to_list l.l_lower);
+    sfs_create =
+      (fun path -> wrap_file l path (Sp_core.Stackable.create (lower_of l) path));
+    sfs_mkdir = (fun path -> Sp_core.Stackable.mkdir (lower_of l) path);
+    sfs_remove =
+      (fun path ->
+        let l' = l in
+        (* Removing the current file keeps its history; versions are
+           dropped explicitly. *)
+        Hashtbl.remove l'.l_wrapped
+          (Printf.sprintf "versionfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path));
+        Sp_core.Stackable.remove (lower_of l) path);
+    sfs_sync = (fun () -> Sp_core.Stackable.sync (lower_of l));
+    sfs_drop_caches = (fun () -> Sp_core.Stackable.drop_caches (lower_of l));
+  }
+
+let creator ?(node = "local") () =
+  {
+    Sp_core.Stackable.cr_type = "versionfs";
+    cr_create = (fun ~name -> make ~node ~name ());
+  }

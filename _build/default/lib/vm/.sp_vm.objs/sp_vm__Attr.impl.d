@@ -1,0 +1,1 @@
+lib/vm/attr.ml: Format Sp_sim

@@ -1,0 +1,1 @@
+lib/vm/pager_lib.ml: Hashtbl List Option Sp_obj String Vm_types

@@ -1,0 +1,1 @@
+lib/vm/pager_lib.mli: Sp_obj Vm_types

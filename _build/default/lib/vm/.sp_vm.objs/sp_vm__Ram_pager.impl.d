@@ -1,0 +1,1 @@
+lib/vm/ram_pager.ml: Bytes Pager_lib Sp_obj Vm_types

@@ -1,0 +1,1 @@
+lib/vm/ram_pager.mli: Pager_lib Vm_types

@@ -1,0 +1,1 @@
+lib/vm/vm_types.ml: Attr List Sp_obj Sp_sim

@@ -1,0 +1,1 @@
+lib/vm/vm_types.mli: Attr Sp_obj

@@ -1,0 +1,1 @@
+lib/vm/vmm.ml: Bytes Fun Hashtbl Int List Printf Sp_obj Sp_sim Vm_types

@@ -1,0 +1,1 @@
+lib/vm/vmm.mli: Sp_obj Vm_types

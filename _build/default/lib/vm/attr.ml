@@ -1,0 +1,31 @@
+type kind = Regular | Directory
+
+type t = {
+  kind : kind;
+  len : int;
+  atime : int;
+  mtime : int;
+  ctime : int;
+  nlink : int;
+}
+
+let fresh kind =
+  let now = Sp_sim.Simclock.now () in
+  { kind; len = 0; atime = now; mtime = now; ctime = now; nlink = 1 }
+
+let touch_atime t = { t with atime = Sp_sim.Simclock.now () }
+
+let touch_mtime t =
+  let now = Sp_sim.Simclock.now () in
+  { t with mtime = now; ctime = now }
+
+let with_len t len = { t with len }
+
+let equal a b =
+  a.kind = b.kind && a.len = b.len && a.atime = b.atime && a.mtime = b.mtime
+  && a.ctime = b.ctime && a.nlink = b.nlink
+
+let pp ppf t =
+  let kind = match t.kind with Regular -> "file" | Directory -> "dir" in
+  Format.fprintf ppf "{%s len=%d atime=%d mtime=%d nlink=%d}" kind t.len t.atime
+    t.mtime t.nlink

@@ -1,0 +1,65 @@
+type channel = {
+  ch_id : int;
+  ch_key : string;
+  ch_manager_id : string;
+  ch_manager_domain : Sp_obj.Sdomain.t;
+  ch_pager : Vm_types.pager_object;
+  ch_cache : Vm_types.cache_object;
+}
+
+type t = { mutable next_id : int; table : (string * string, channel) Hashtbl.t }
+
+let create () = { next_id = 0; table = Hashtbl.create 16 }
+
+let bind t ~key ~make_pager (manager : Vm_types.cache_manager) =
+  let slot = (manager.cm_id, key) in
+  match Hashtbl.find_opt t.table slot with
+  | Some ch -> { Vm_types.cr_key = key; cr_channel_id = ch.ch_id }
+  | None ->
+      t.next_id <- t.next_id + 1;
+      let id = t.next_id in
+      let pager = make_pager ~id in
+      let cache =
+        Sp_obj.Door.call manager.cm_domain (fun () -> manager.cm_connect ~key pager)
+      in
+      let ch =
+        {
+          ch_id = id;
+          ch_key = key;
+          ch_manager_id = manager.cm_id;
+          ch_manager_domain = manager.cm_domain;
+          ch_pager = pager;
+          ch_cache = cache;
+        }
+      in
+      Hashtbl.replace t.table slot ch;
+      { Vm_types.cr_key = key; cr_channel_id = ch.ch_id }
+
+let channels_for_key t ~key =
+  Hashtbl.fold
+    (fun (_, k) ch acc -> if String.equal k key then ch :: acc else acc)
+    t.table []
+
+let channels t = Hashtbl.fold (fun _ ch acc -> ch :: acc) t.table []
+
+let find t ~id =
+  Hashtbl.fold
+    (fun _ ch acc -> if ch.ch_id = id then Some ch else acc)
+    t.table None
+
+let remove t id =
+  let slot =
+    Hashtbl.fold
+      (fun slot ch acc -> if ch.ch_id = id then Some slot else acc)
+      t.table None
+  in
+  Option.iter (Hashtbl.remove t.table) slot
+
+let destroy_key t ~key =
+  List.iter
+    (fun ch ->
+      Vm_types.destroy_cache ch.ch_cache;
+      remove t ch.ch_id)
+    (channels_for_key t ~key)
+
+let channel_count t = Hashtbl.length t.table

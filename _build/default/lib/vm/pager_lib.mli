@@ -1,0 +1,57 @@
+(** Channel registry for pagers.
+
+    Implements the bind handshake of paper §3.3.2: "when a pager receives a
+    bind operation, it must determine if there is already a pager–cache
+    object connection for the memory object at the given [cache manager].
+    If there is no connection, the pager contacts the [manager], and the two
+    exchange pager and cache objects."  Every file-system layer embeds one
+    registry. *)
+
+type channel = {
+  ch_id : int;
+  ch_key : string;  (** identity of the cached memory object *)
+  ch_manager_id : string;
+  ch_manager_domain : Sp_obj.Sdomain.t;
+  ch_pager : Vm_types.pager_object;  (** the pager's end *)
+  ch_cache : Vm_types.cache_object;  (** the manager's end *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [bind t ~key ~make_pager manager access] finds the channel for
+    [(manager, key)] or establishes one: [make_pager ~id] builds the
+    pager's end (the pre-assigned channel id lets pagers key per-channel
+    coherency state), the manager's [cm_connect] is invoked (a door call
+    into the manager's domain) to obtain the cache object, and the channel
+    is recorded.  Returns the cache rights to hand back from the memory
+    object's bind. *)
+val bind :
+  t ->
+  key:string ->
+  make_pager:(id:int -> Vm_types.pager_object) ->
+  Vm_types.cache_manager ->
+  Vm_types.cache_rights
+
+(** All live channels caching [key] — the set a coherency protocol ranges
+    over. *)
+val channels_for_key : t -> key:string -> channel list
+
+(** All live channels. *)
+val channels : t -> channel list
+
+(** [find t ~id] returns the channel with that id, if live. *)
+val find : t -> id:int -> channel option
+
+(** Forget a channel (after [done_with] or cache destruction). *)
+val remove : t -> int -> unit
+
+(** Tear down every channel caching [key]: invoke [destroy_cache] on each
+    manager's cache object (Appendix A) and forget the channel.  Pagers
+    call this when the backing object is deleted, so a later object that
+    reuses the identity cannot alias stale caches. *)
+val destroy_key : t -> key:string -> unit
+
+(** Number of live channels (Figure 2's observable). *)
+val channel_count : t -> int

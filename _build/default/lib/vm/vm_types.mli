@@ -1,0 +1,156 @@
+(** The stackable pager architecture: cache, pager and memory objects.
+
+    These are the interfaces of Appendices A and B of the paper, plus the
+    [fs_cache] / [fs_pager] attribute subclasses of §4.3 and the two-way
+    channel-establishment protocol of §3.3.2:
+
+    - a {e cache object} is implemented by a cache manager (the VMM, or a
+      file-system layer acting as a cache manager) and invoked by pagers to
+      perform coherency actions;
+    - a {e pager object} is implemented by a pager (a file-system layer or a
+      plain storage pager) and invoked by cache managers to move data;
+    - a {e memory object} is an abstraction of memory that can be mapped; it
+      has no paging operations — its [bind] operation locates or creates a
+      pager–cache channel and returns [cache_rights] that let the caller
+      unify equivalent memory objects (the separation Spring contrasts with
+      Mach in Table 1).
+
+    Invoke operations only through the call helpers in this module: they
+    perform the door invocation (charging local or cross-domain cost) and
+    maintain the event counters used by tests and benchmarks. *)
+
+(** Access mode of cached data. *)
+type access = Read_only | Read_write
+
+(** A modified range returned to a pager by a coherency action. *)
+type extent = { ext_offset : int; ext_data : bytes }
+
+type cache_object = {
+  c_domain : Sp_obj.Sdomain.t;
+  c_label : string;
+  c_flush_back : offset:int -> size:int -> extent list;
+      (** remove data from the cache, returning modified blocks *)
+  c_deny_writes : offset:int -> size:int -> extent list;
+      (** downgrade read-write blocks to read-only, returning modified blocks *)
+  c_write_back : offset:int -> size:int -> extent list;
+      (** return modified blocks; data retained in the same mode *)
+  c_delete_range : offset:int -> size:int -> unit;
+      (** remove data from the cache; nothing returned *)
+  c_zero_fill : offset:int -> size:int -> unit;
+      (** declare a range zero-filled *)
+  c_populate : offset:int -> access:access -> bytes -> unit;
+      (** introduce data into the cache *)
+  c_destroy : unit -> unit;
+  c_exten : Sp_obj.Exten.t list;
+}
+
+type pager_object = {
+  p_domain : Sp_obj.Sdomain.t;
+  p_label : string;
+  p_page_in : offset:int -> size:int -> access:access -> bytes;
+      (** bring data from the pager in the requested mode *)
+  p_page_out : offset:int -> bytes -> unit;
+      (** write data to the pager; caller retains nothing *)
+  p_write_out : offset:int -> bytes -> unit;
+      (** write data to the pager; caller retains it read-only *)
+  p_sync : offset:int -> bytes -> unit;
+      (** write data to the pager; caller retains its mode *)
+  p_done_with : unit -> unit;
+      (** the cache manager closes its end of the channel *)
+  p_exten : Sp_obj.Exten.t list;
+}
+
+(** Token identifying a pager–cache channel; equivalent memory objects yield
+    rights with equal [cr_key], letting cache managers share cached pages. *)
+type cache_rights = { cr_key : string; cr_channel_id : int }
+
+(** The identity a cache manager presents when binding.  When the pager sets
+    up a new channel it calls [cm_connect] with its pager object; the
+    manager answers with the cache object of its end. *)
+type cache_manager = {
+  cm_id : string;
+  cm_domain : Sp_obj.Sdomain.t;
+  cm_connect : key:string -> pager_object -> cache_object;
+}
+
+type memory_object = {
+  m_domain : Sp_obj.Sdomain.t;
+  m_label : string;
+  m_bind : cache_manager -> access -> cache_rights;
+  m_get_length : unit -> int;
+  m_set_length : int -> unit;
+}
+
+(** {1 File-attribute subclasses (paper §4.3)} *)
+
+(** Operations added by [fs_pager], the file-system subclass of a pager
+    object. *)
+type fs_pager_ops = {
+  fp_get_attr : unit -> Attr.t;  (** fetch authoritative attributes *)
+  fp_set_attr : Attr.t -> unit;  (** explicit attribute update *)
+  fp_attr_sync : Attr.t -> unit;  (** write back attributes cached upstream *)
+}
+
+(** Operations added by [fs_cache], the file-system subclass of a cache
+    object, letting the pager engage the manager in attribute coherency. *)
+type fs_cache_ops = {
+  fc_invalidate_attr : unit -> unit;
+  fc_write_back_attr : unit -> Attr.t option;
+      (** surrender dirty cached attributes, if any *)
+  fc_populate_attr : Attr.t -> unit;
+}
+
+type Sp_obj.Exten.t += Fs_pager of fs_pager_ops | Fs_cache of fs_cache_ops
+
+(** Narrow a pager object to its file-system subclass. *)
+val narrow_fs_pager : pager_object -> fs_pager_ops option
+
+(** Narrow a cache object to its file-system subclass. *)
+val narrow_fs_cache : cache_object -> fs_cache_ops option
+
+(** {1 Call helpers}
+
+    Each performs a door invocation on the serving domain and updates
+    {!Sp_sim.Metrics}. *)
+
+val flush_back : cache_object -> offset:int -> size:int -> extent list
+val deny_writes : cache_object -> offset:int -> size:int -> extent list
+val write_back : cache_object -> offset:int -> size:int -> extent list
+val delete_range : cache_object -> offset:int -> size:int -> unit
+val zero_fill : cache_object -> offset:int -> size:int -> unit
+val populate : cache_object -> offset:int -> access:access -> bytes -> unit
+val destroy_cache : cache_object -> unit
+val page_in : pager_object -> offset:int -> size:int -> access:access -> bytes
+val page_out : pager_object -> offset:int -> bytes -> unit
+val write_out : pager_object -> offset:int -> bytes -> unit
+val sync : pager_object -> offset:int -> bytes -> unit
+val done_with : pager_object -> unit
+val bind : memory_object -> cache_manager -> access -> cache_rights
+val get_length : memory_object -> int
+val set_length : memory_object -> int -> unit
+
+(** Attribute helpers; they charge the door of the given pager/cache
+    object's domain, as the subclass operations travel on the same
+    connection. *)
+
+val fs_get_attr : pager_object -> fs_pager_ops -> Attr.t
+val fs_set_attr : pager_object -> fs_pager_ops -> Attr.t -> unit
+val fs_attr_sync : pager_object -> fs_pager_ops -> Attr.t -> unit
+val fs_invalidate_attr : cache_object -> fs_cache_ops -> unit
+val fs_write_back_attr : cache_object -> fs_cache_ops -> Attr.t option
+val fs_populate_attr : cache_object -> fs_cache_ops -> Attr.t -> unit
+
+(** {1 Page geometry} *)
+
+(** System page/block size in bytes (4096). *)
+val page_size : int
+
+(** [page_index off] is the page number containing byte [off]. *)
+val page_index : int -> int
+
+(** [page_base off] is the byte offset of the start of [off]'s page. *)
+val page_base : int -> int
+
+(** [pages_covering ~offset ~size] enumerates the page indices that
+    intersect the byte range. *)
+val pages_covering : offset:int -> size:int -> int list

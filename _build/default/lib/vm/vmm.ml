@@ -1,0 +1,367 @@
+let ps = Vm_types.page_size
+
+type page = {
+  mutable data : bytes;
+  mutable mode : Vm_types.access;
+  mutable dirty : bool;
+  mutable used : int;  (* LRU tick *)
+}
+
+type entry = {
+  e_key : string;
+  pages : (int, page) Hashtbl.t;
+  mutable pager : Vm_types.pager_object option;
+  mutable mapped : int;  (* live mapping count *)
+  mutable last_fault : int;  (* page index, for sequential-run detection *)
+}
+
+type t = {
+  vmm_domain : Sp_obj.Sdomain.t;
+  vmm_name : string;
+  entries : (string, entry) Hashtbl.t;
+  mutable readahead_pages : int;
+  mutable capacity : int option;
+  mutable tick : int;
+  mutable evicted : int;
+  mutable evicting : bool;  (* reentrancy guard: page-out of a dirty victim
+                               may fault pages back in through lower layers *)
+}
+
+type mapping = {
+  m_vmm : t;
+  m_entry : entry;
+  m_mem : Vm_types.memory_object;
+  mutable m_live : bool;
+}
+
+let create ~node name =
+  {
+    vmm_domain = Sp_obj.Sdomain.create ~node ("vmm:" ^ name);
+    vmm_name = name;
+    entries = Hashtbl.create 32;
+    readahead_pages = 0;
+    capacity = None;
+    tick = 0;
+    evicted = 0;
+    evicting = false;
+  }
+
+let domain t = t.vmm_domain
+
+let entry_for t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e =
+        { e_key = key; pages = Hashtbl.create 16; pager = None; mapped = 0;
+          last_fault = min_int }
+      in
+      Hashtbl.replace t.entries key e;
+      e
+
+(* Collect modified extents for pages intersecting [offset, offset+size),
+   applying [update] to each intersecting page and dropping those for which
+   [update] returns [false]. *)
+let scan_range entry ~offset ~size ~collect_dirty ~clear_dirty ~downgrade ~drop =
+  let extents = ref [] in
+  let doomed = ref [] in
+  let visit idx =
+    match Hashtbl.find_opt entry.pages idx with
+    | None -> ()
+    | Some page ->
+        if collect_dirty && page.dirty then
+          extents :=
+            { Vm_types.ext_offset = idx * ps; ext_data = Bytes.copy page.data }
+            :: !extents;
+        if clear_dirty then page.dirty <- false;
+        if downgrade && page.mode = Vm_types.Read_write then
+          page.mode <- Vm_types.Read_only;
+        if drop then doomed := idx :: !doomed
+  in
+  List.iter visit (Vm_types.pages_covering ~offset ~size);
+  List.iter (Hashtbl.remove entry.pages) !doomed;
+  List.sort
+    (fun a b -> Int.compare a.Vm_types.ext_offset b.Vm_types.ext_offset)
+    !extents
+
+let touch t page =
+  t.tick <- t.tick + 1;
+  page.used <- t.tick
+
+let total_cached_pages t =
+  Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.pages) t.entries 0
+
+(* Evict the least-recently-used page, pushing dirty contents to the
+   owning pager first. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ entry ->
+      Hashtbl.iter
+        (fun idx page ->
+          match !victim with
+          | Some (_, _, best) when best.used <= page.used -> ()
+          | _ -> victim := Some (entry, idx, page))
+        entry.pages)
+    t.entries;
+  match !victim with
+  | None -> ()
+  | Some (entry, idx, page) ->
+      (* Remove before the dirty push: the push may recurse into this VMM
+         and must not pick the same victim again. *)
+      Hashtbl.remove entry.pages idx;
+      t.evicted <- t.evicted + 1;
+      if page.dirty then
+        match entry.pager with
+        | Some pager ->
+            Sp_obj.Door.call t.vmm_domain (fun () ->
+                Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data))
+        | None -> ()
+
+(* Insert a page, honouring the capacity bound.  While a victim's dirty
+   data is being pushed out, nested insertions are admitted unconditionally
+   (the recursion's working set is effectively pinned), so the cache may
+   briefly overshoot rather than livelock. *)
+let insert_page t entry idx page =
+  (match t.capacity with
+  | Some cap when not t.evicting ->
+      t.evicting <- true;
+      Fun.protect
+        ~finally:(fun () -> t.evicting <- false)
+        (fun () ->
+          let guard = ref (2 * cap) in
+          while total_cached_pages t >= cap && !guard > 0 do
+            evict_one t;
+            decr guard
+          done)
+  | _ -> ());
+  touch t page;
+  Hashtbl.replace entry.pages idx page
+
+let make_cache_object t entry =
+  {
+    Vm_types.c_domain = t.vmm_domain;
+    c_label = Printf.sprintf "cache:%s:%s" t.vmm_name entry.e_key;
+    c_flush_back =
+      (fun ~offset ~size ->
+        scan_range entry ~offset ~size ~collect_dirty:true ~clear_dirty:true
+          ~downgrade:false ~drop:true);
+    c_deny_writes =
+      (fun ~offset ~size ->
+        scan_range entry ~offset ~size ~collect_dirty:true ~clear_dirty:true
+          ~downgrade:true ~drop:false);
+    c_write_back =
+      (fun ~offset ~size ->
+        scan_range entry ~offset ~size ~collect_dirty:true ~clear_dirty:true
+          ~downgrade:false ~drop:false);
+    c_delete_range =
+      (fun ~offset ~size ->
+        ignore
+          (scan_range entry ~offset ~size ~collect_dirty:false ~clear_dirty:false
+             ~downgrade:false ~drop:true));
+    c_zero_fill =
+      (fun ~offset ~size ->
+        let zero_page idx =
+          let page_off = idx * ps in
+          if offset <= page_off && page_off + ps <= offset + size then
+            insert_page t entry idx
+              { data = Bytes.make ps '\000'; mode = Vm_types.Read_only; dirty = false;
+                used = 0 }
+          else
+            match Hashtbl.find_opt entry.pages idx with
+            | None -> ()
+            | Some page ->
+                let from = max offset page_off in
+                let upto = min (offset + size) (page_off + ps) in
+                Bytes.fill page.data (from - page_off) (upto - from) '\000'
+        in
+        List.iter zero_page (Vm_types.pages_covering ~offset ~size));
+    c_populate =
+      (fun ~offset ~access data ->
+        if offset mod ps <> 0 then invalid_arg "populate: unaligned offset";
+        let total = Bytes.length data in
+        let insert idx =
+          let rel = (idx * ps) - offset in
+          let chunk = Bytes.make ps '\000' in
+          let n = min ps (total - rel) in
+          Bytes.blit data rel chunk 0 n;
+          insert_page t entry idx { data = chunk; mode = access; dirty = false; used = 0 }
+        in
+        List.iter insert (Vm_types.pages_covering ~offset ~size:total));
+    c_destroy =
+      (fun () ->
+        Hashtbl.reset entry.pages;
+        entry.pager <- None);
+    c_exten = [];
+  }
+
+let manager t =
+  {
+    Vm_types.cm_id = "vmm:" ^ t.vmm_name;
+    cm_domain = t.vmm_domain;
+    cm_connect =
+      (fun ~key pager ->
+        let entry = entry_for t key in
+        entry.pager <- Some pager;
+        make_cache_object t entry);
+  }
+
+let map t mem =
+  Sp_obj.Door.kernel_call ();
+  let rights = Vm_types.bind mem (manager t) Vm_types.Read_write in
+  let entry = entry_for t rights.Vm_types.cr_key in
+  entry.mapped <- entry.mapped + 1;
+  { m_vmm = t; m_entry = entry; m_mem = mem; m_live = true }
+
+let pager_of entry =
+  match entry.pager with
+  | Some p -> p
+  | None -> failwith ("Vmm: no pager bound for cache entry " ^ entry.e_key)
+
+let fault m idx access =
+  let model = Sp_sim.Cost_model.current () in
+  Sp_sim.Metrics.incr_page_faults ();
+  Sp_sim.Simclock.advance model.page_fault_ns;
+  let entry = m.m_entry in
+  let pager = pager_of entry in
+  (* Read-ahead: a read fault continuing a sequential run asks the pager
+     for more than strictly needed; anything extra comes back read-only. *)
+  let extra =
+    if access = Vm_types.Read_only && idx = entry.last_fault + 1 then
+      m.m_vmm.readahead_pages
+    else 0
+  in
+  entry.last_fault <- idx;
+  let size = (1 + extra) * ps in
+  let data =
+    Sp_obj.Door.call m.m_vmm.vmm_domain (fun () ->
+        Vm_types.page_in pager ~offset:(idx * ps) ~size ~access)
+  in
+  let slice i =
+    let from = i * ps in
+    let available = Bytes.length data - from in
+    if available >= ps then Some (Bytes.sub data from ps)
+    else if available > 0 then begin
+      let padded = Bytes.make ps '\000' in
+      Bytes.blit data from padded 0 available;
+      Some padded
+    end
+    else None
+  in
+  let first =
+    match slice 0 with Some d -> d | None -> Bytes.make ps '\000'
+  in
+  let page = { data = first; mode = access; dirty = false; used = 0 } in
+  insert_page m.m_vmm entry idx page;
+  for i = 1 to extra do
+    match slice i with
+    | Some d ->
+        if not (Hashtbl.mem entry.pages (idx + i)) then
+          insert_page m.m_vmm entry (idx + i)
+            { data = d; mode = Vm_types.Read_only; dirty = false; used = 0 }
+    | None -> ()
+  done;
+  page
+
+let ensure m idx access =
+  match Hashtbl.find_opt m.m_entry.pages idx with
+  | Some page when access = Vm_types.Read_only ->
+      touch m.m_vmm page;
+      page
+  | Some page when page.mode = Vm_types.Read_write ->
+      touch m.m_vmm page;
+      page
+  | Some _ -> fault m idx Vm_types.Read_write
+  | None -> fault m idx access
+
+let check_live m = if not m.m_live then failwith "Vmm: access through unmapped mapping"
+
+let read m ~pos ~len =
+  check_live m;
+  if len < 0 || pos < 0 then invalid_arg "Vmm.read";
+  let out = Bytes.create len in
+  let rec go cursor =
+    if cursor < len then begin
+      let off = pos + cursor in
+      let idx = Vm_types.page_index off in
+      let page = ensure m idx Vm_types.Read_only in
+      let in_page = off - (idx * ps) in
+      let n = min (len - cursor) (ps - in_page) in
+      Bytes.blit page.data in_page out cursor n;
+      go (cursor + n)
+    end
+  in
+  go 0;
+  Sp_obj.Door.charge_copy len;
+  out
+
+let write m ~pos data =
+  check_live m;
+  if pos < 0 then invalid_arg "Vmm.write";
+  let len = Bytes.length data in
+  let rec go cursor =
+    if cursor < len then begin
+      let off = pos + cursor in
+      let idx = Vm_types.page_index off in
+      let page = ensure m idx Vm_types.Read_write in
+      let in_page = off - (idx * ps) in
+      let n = min (len - cursor) (ps - in_page) in
+      Bytes.blit data cursor page.data in_page n;
+      page.dirty <- true;
+      go (cursor + n)
+    end
+  in
+  go 0;
+  Sp_obj.Door.charge_copy len
+
+let push_dirty vmm entry =
+  match entry.pager with
+  | None -> ()
+  | Some pager ->
+      let flush idx (page : page) acc = if page.dirty then (idx, page) :: acc else acc in
+      let dirty = Hashtbl.fold flush entry.pages [] in
+      let ordered = List.sort (fun (a, _) (b, _) -> Int.compare a b) dirty in
+      let out (idx, page) =
+        Sp_obj.Door.call vmm.vmm_domain (fun () ->
+            Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data));
+        page.dirty <- false
+      in
+      List.iter out ordered
+
+let msync m =
+  check_live m;
+  Sp_obj.Door.kernel_call ();
+  push_dirty m.m_vmm m.m_entry
+
+let unmap m =
+  if m.m_live then begin
+    m.m_live <- false;
+    Sp_obj.Door.kernel_call ();
+    push_dirty m.m_vmm m.m_entry;
+    m.m_entry.mapped <- max 0 (m.m_entry.mapped - 1)
+  end
+
+let memory_object m = m.m_mem
+let cached_pages m = Hashtbl.length m.m_entry.pages
+
+let drop_caches t =
+  let drop _key entry =
+    push_dirty t entry;
+    Hashtbl.reset entry.pages
+  in
+  Hashtbl.iter drop t.entries
+
+let entry_count t = Hashtbl.length t.entries
+
+let set_readahead t ~pages =
+  if pages < 0 then invalid_arg "Vmm.set_readahead";
+  t.readahead_pages <- pages
+
+let readahead t = t.readahead_pages
+
+let set_capacity t ~pages =
+  match pages with
+  | Some n when n <= 0 -> invalid_arg "Vmm.set_capacity"
+  | _ -> t.capacity <- pages
+
+let evictions t = t.evicted

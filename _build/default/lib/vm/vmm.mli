@@ -1,0 +1,91 @@
+(** Per-node virtual memory manager.
+
+    The VMM handles mapping, sharing and caching of local memory, depending
+    on external pagers for backing store (paper §3.3.1).  It is the primary
+    cache manager in the system: when a memory object is mapped, the VMM
+    binds to it, and the returned cache rights' key unifies equivalent
+    memory objects so that their pages are cached once.
+
+    Pages stay cached after unmap (that is the point of a page cache); the
+    pager remains responsible for their coherency through the cache object
+    the VMM implements for each channel. *)
+
+type t
+
+(** A memory object mapped into an address space. *)
+type mapping
+
+(** [create ~node name] makes the VMM of machine [node].  Its serving
+    domain is the nucleus domain of that node. *)
+val create : node:string -> string -> t
+
+val domain : t -> Sp_obj.Sdomain.t
+
+(** The VMM's cache-manager identity (handed to memory-object binds). *)
+val manager : t -> Vm_types.cache_manager
+
+(** Map a memory object.  Performs a kernel call and a bind on the memory
+    object. *)
+val map : t -> Vm_types.memory_object -> mapping
+
+(** Drop the mapping (pages stay cached; dirty pages are pushed to the
+    pager with [sync] first so no updates are lost if the entry is later
+    evicted). *)
+val unmap : mapping -> unit
+
+(** [read m ~pos ~len] copies bytes out of the mapping, faulting pages in
+    read-only as needed.  Reading beyond the pager's data yields the bytes
+    the pager returns (zero-filled). *)
+val read : mapping -> pos:int -> len:int -> bytes
+
+(** [write m ~pos data] copies bytes into the mapping, faulting pages in
+    read-write (upgrading read-only pages) as needed.  Does not change the
+    memory object's length — file layers do that explicitly. *)
+val write : mapping -> pos:int -> bytes -> unit
+
+(** Push dirty pages to the pager ([sync]: data retained in current mode). *)
+val msync : mapping -> unit
+
+(** The memory object backing this mapping. *)
+val memory_object : mapping -> Vm_types.memory_object
+
+(** Number of pages currently cached under the mapping's cache key. *)
+val cached_pages : mapping -> int
+
+(** Write back and drop every cached page of every entry (used to simulate
+    memory pressure / cold caches in benchmarks). *)
+val drop_caches : t -> unit
+
+(** Number of distinct cache entries (≈ bound channels) the VMM holds. *)
+val entry_count : t -> int
+
+(** {1 Read-ahead (paper §8)}
+
+    The paper's open problem: "allow a cache manager to convey to the
+    pager the maximum and minimum amount of data required during a
+    page-in; the pager is then given the opportunity to return more data
+    than strictly needed."  When read-ahead is enabled and a read fault
+    continues a sequential run, the VMM requests up to [pages] extra
+    pages in the same page-in; whatever the pager actually returns beyond
+    the faulting page is populated read-only. *)
+
+(** Set the read-ahead window in pages (0 disables; the default). *)
+val set_readahead : t -> pages:int -> unit
+
+val readahead : t -> int
+
+(** {1 Memory pressure}
+
+    Real VMMs cache under a physical-memory budget.  With a capacity set,
+    inserting a page beyond the budget evicts the least-recently-used
+    cached page first (pushing it to its pager with [sync] if dirty). *)
+
+(** Bound the page cache to [pages] pages ([None] = unbounded, the
+    default).  Raises [Invalid_argument] on a non-positive bound. *)
+val set_capacity : t -> pages:int option -> unit
+
+(** Total pages currently cached across all entries. *)
+val total_cached_pages : t -> int
+
+(** Pages evicted so far. *)
+val evictions : t -> int

@@ -1,0 +1,1 @@
+test/test_attrfs.ml: Alcotest Array Bytes Hashtbl List QCheck2 Sp_attrfs Sp_coherency Sp_core Sp_vm Util

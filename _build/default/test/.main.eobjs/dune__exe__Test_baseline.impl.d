@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Sp_baseline Sp_blockdev Sp_core Sp_sfs Sp_sim Sp_vm Util

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Array Bytes Fun List QCheck2 Sp_blockdev Sp_sim Util

@@ -1,0 +1,1 @@
+test/test_cfs.ml: Alcotest Sp_cfs Sp_coherency Sp_core Sp_dfs Sp_vm Util

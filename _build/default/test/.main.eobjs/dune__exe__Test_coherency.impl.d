@@ -1,0 +1,1 @@
+test/test_coherency.ml: Alcotest Array Bytes List Printf QCheck2 Sp_blockdev Sp_coherency Sp_core Sp_obj Sp_sim Sp_vm Util

@@ -1,0 +1,1 @@
+test/test_compfs.ml: Alcotest Bytes Char Int32 Int64 List QCheck2 Sp_coherency Sp_compfs Sp_core Sp_vm String Util

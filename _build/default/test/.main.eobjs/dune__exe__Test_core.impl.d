@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Char Fun List Sp_coherency Sp_compfs Sp_core Sp_naming Sp_obj Sp_sim Sp_vm Test_naming Util

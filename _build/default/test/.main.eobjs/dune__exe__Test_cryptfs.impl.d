@@ -1,0 +1,1 @@
+test/test_cryptfs.ml: Alcotest Bytes List QCheck2 Sp_coherency Sp_core Sp_cryptfs Sp_vm Util

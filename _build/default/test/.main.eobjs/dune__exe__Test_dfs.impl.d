@@ -1,0 +1,1 @@
+test/test_dfs.ml: Alcotest Bytes List QCheck2 Sp_coherency Sp_core Sp_dfs Sp_vm Util

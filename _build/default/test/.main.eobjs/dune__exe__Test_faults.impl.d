@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Bytes Printf Sp_baseline Sp_blockdev Sp_coherency Sp_compfs Sp_core Sp_cryptfs Sp_mirrorfs Sp_naming Sp_obj Sp_sfs Sp_vm Util

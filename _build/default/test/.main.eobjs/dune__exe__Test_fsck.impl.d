@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bytes Format List Printf Sp_blockdev Sp_coherency Sp_compfs Sp_core Sp_naming Sp_sfs Sp_vm String Util

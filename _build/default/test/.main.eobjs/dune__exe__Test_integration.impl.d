@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Format Hashtbl List Option Printf Sp_coherency Sp_compfs Sp_core Sp_dfs Sp_naming Sp_node Sp_sfs Sp_vm String Util

@@ -1,0 +1,1 @@
+test/test_mirrorfs.ml: Alcotest List Sp_coherency Sp_core Sp_mirrorfs Sp_vm Util

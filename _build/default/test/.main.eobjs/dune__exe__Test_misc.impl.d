@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bytes Format List Sp_coherency Sp_core Sp_obj Sp_sfs Sp_sim Sp_unix Sp_versionfs Sp_vm String Util

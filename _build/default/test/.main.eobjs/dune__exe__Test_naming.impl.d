@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Array Hashtbl List Printf QCheck2 Sp_naming Sp_obj Sp_sim String Util

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Sp_core Sp_dfs Sp_naming Sp_node Sp_obj Sp_sfs Test_naming Util

@@ -1,0 +1,1 @@
+test/test_obj.ml: Alcotest Sp_obj Sp_sim Util

@@ -1,0 +1,1 @@
+test/test_sfs.ml: Alcotest Array Bytes Hashtbl List Option QCheck2 Sp_blockdev Sp_core Sp_naming Sp_obj Sp_sfs Sp_vm String Util

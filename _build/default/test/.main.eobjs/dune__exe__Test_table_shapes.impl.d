@@ -1,0 +1,1 @@
+test/test_table_shapes.ml: Alcotest Float Printf Sp_baseline Sp_benchlib Sp_blockdev Sp_coherency Sp_core Sp_naming Sp_sim Sp_vm Util

@@ -1,0 +1,1 @@
+test/test_unionfs.ml: Alcotest Bytes List QCheck2 Sp_coherency Sp_core Sp_unionfs Sp_vm String Util

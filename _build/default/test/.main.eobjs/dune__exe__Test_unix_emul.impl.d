@@ -1,0 +1,1 @@
+test/test_unix_emul.ml: Alcotest Bytes Fmt Sp_coherency Sp_compfs Sp_core Sp_unix Sp_vm Util

@@ -1,0 +1,1 @@
+test/test_versionfs.ml: Alcotest Sp_coherency Sp_core Sp_versionfs Sp_vm Util

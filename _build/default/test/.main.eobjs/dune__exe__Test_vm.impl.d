@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bytes List Printf QCheck2 Sp_sim Sp_vm Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Bytes Char QCheck2 QCheck_alcotest Sp_blockdev Sp_naming Sp_sfs Sp_sim

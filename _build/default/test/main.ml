@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "springfs"
+    [
+      ("sim", Test_sim.suite);
+      ("obj", Test_obj.suite);
+      ("naming", Test_naming.suite);
+      ("vm", Test_vm.suite);
+      ("blockdev", Test_blockdev.suite);
+      ("sfs", Test_sfs.suite);
+      ("coherency", Test_coherency.suite);
+      ("core", Test_core.suite);
+      ("compfs", Test_compfs.suite);
+      ("cryptfs", Test_cryptfs.suite);
+      ("mirrorfs", Test_mirrorfs.suite);
+      ("attrfs", Test_attrfs.suite);
+      ("unionfs", Test_unionfs.suite);
+      ("versionfs", Test_versionfs.suite);
+      ("unix_emul", Test_unix_emul.suite);
+      ("misc", Test_misc.suite);
+      ("dfs", Test_dfs.suite);
+      ("cfs", Test_cfs.suite);
+      ("baseline", Test_baseline.suite);
+      ("node", Test_node.suite);
+      ("integration", Test_integration.suite);
+      ("faults", Test_faults.suite);
+      ("fsck", Test_fsck.suite);
+      ("table_shapes", Test_table_shapes.suite);
+    ]

@@ -1,0 +1,162 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module A = Sp_attrfs.Attrfs
+
+let make_stack () =
+  let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+  let sfs =
+    Sp_coherency.Spring_sfs.make_split ~vmm ~name:"sfs" ~same_domain:false
+      (Util.fresh_disk ())
+  in
+  let attr = A.make ~name:"attrfs" () in
+  S.stack_on attr sfs;
+  (vmm, sfs, attr)
+
+let xattr_of f =
+  match A.xattrs f with
+  | Some ops -> ops
+  | None -> Alcotest.fail "file should narrow to xattrs"
+
+let test_narrow () =
+  Util.in_world (fun () ->
+      let _vmm, sfs, attr = make_stack () in
+      let f = S.create attr (Util.name "x") in
+      Alcotest.(check bool) "attrfs file narrows" true (A.xattrs f <> None);
+      let lower = S.open_file sfs (Util.name "x") in
+      Alcotest.(check bool) "plain file does not narrow" true (A.xattrs lower = None))
+
+let test_set_get_remove () =
+  Util.in_world (fun () ->
+      let _vmm, _sfs, attr = make_stack () in
+      let f = S.create attr (Util.name "doc") in
+      let xa = xattr_of f in
+      Alcotest.(check (option string)) "missing" None (xa.A.xa_get "author");
+      xa.A.xa_set "author" "khalidi";
+      xa.A.xa_set "venue" "sosp93";
+      Alcotest.(check (option string)) "get" (Some "khalidi") (xa.A.xa_get "author");
+      xa.A.xa_set "author" "nelson";
+      Alcotest.(check (option string)) "overwrite" (Some "nelson") (xa.A.xa_get "author");
+      Alcotest.(check (list (pair string string)))
+        "list sorted"
+        [ ("author", "nelson"); ("venue", "sosp93") ]
+        (xa.A.xa_list ());
+      xa.A.xa_remove "author";
+      Alcotest.(check (option string)) "removed" None (xa.A.xa_get "author");
+      Alcotest.(check (list (pair string string))) "one left" [ ("venue", "sosp93") ]
+        (xa.A.xa_list ()))
+
+let test_data_passthrough () =
+  Util.in_world (fun () ->
+      let _vmm, sfs, attr = make_stack () in
+      let f = S.create attr (Util.name "d") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "payload"));
+      let xa = xattr_of f in
+      xa.A.xa_set "k" "v";
+      Util.check_str "data unaffected by xattrs" "payload" (F.read f ~pos:0 ~len:7);
+      Alcotest.(check int) "length unaffected" 7 (F.stat f).Sp_vm.Attr.len;
+      (* Data is readable below, unchanged. *)
+      Util.check_str "lower data identical" "payload"
+        (F.read (S.open_file sfs (Util.name "d")) ~pos:0 ~len:7))
+
+let test_shadow_hidden () =
+  Util.in_world (fun () ->
+      let _vmm, sfs, attr = make_stack () in
+      let f = S.create attr (Util.name "visible") in
+      (xattr_of f).A.xa_set "k" "v";
+      Alcotest.(check (list string)) "attrfs hides shadows" [ "visible" ]
+        (S.listdir attr (Util.name "/"));
+      (* The shadow exists in the lower layer (administratively visible). *)
+      Alcotest.(check (list string)) "lower shows both"
+        [ ".xattr.visible"; "visible" ]
+        (S.listdir sfs (Util.name "/"));
+      (* Shadows cannot be resolved through attrfs. *)
+      Alcotest.check_raises "shadow unresolvable"
+        (Sp_core.Fserr.No_such_file ".xattr.visible") (fun () ->
+          ignore (S.open_file attr (Util.name ".xattr.visible"))))
+
+let test_xattrs_persist () =
+  Util.in_world (fun () ->
+      let _vmm, sfs, attr = make_stack () in
+      let f = S.create attr (Util.name "p") in
+      (xattr_of f).A.xa_set "colour" "blue";
+      S.sync attr;
+      (* A fresh attrfs instance over the same lower layer sees them. *)
+      let attr2 = A.make ~name:"attrfs2" () in
+      S.stack_on attr2 sfs;
+      let f2 = S.open_file attr2 (Util.name "p") in
+      Alcotest.(check (option string)) "persisted" (Some "blue")
+        ((xattr_of f2).A.xa_get "colour"))
+
+let test_remove_cleans_shadow () =
+  Util.in_world (fun () ->
+      let _vmm, sfs, attr = make_stack () in
+      let f = S.create attr (Util.name "gone") in
+      (xattr_of f).A.xa_set "k" "v";
+      S.remove attr (Util.name "gone");
+      Alcotest.(check (list string)) "shadow removed below" []
+        (S.listdir sfs (Util.name "/")))
+
+let test_subdirectories () =
+  Util.in_world (fun () ->
+      let _vmm, _sfs, attr = make_stack () in
+      S.mkdir attr (Util.name "dir");
+      let f = S.create attr (Util.name "dir/f") in
+      (xattr_of f).A.xa_set "nested" "yes";
+      let again = S.open_file attr (Util.name "dir/f") in
+      Alcotest.(check (option string)) "nested xattr" (Some "yes")
+        ((xattr_of again).A.xa_get "nested");
+      Alcotest.(check (list string)) "nested listing hides shadow" [ "f" ]
+        (S.listdir attr (Util.name "dir")))
+
+let test_binary_values () =
+  Util.in_world (fun () ->
+      let _vmm, _sfs, attr = make_stack () in
+      let f = S.create attr (Util.name "bin") in
+      let xa = xattr_of f in
+      let v = Bytes.to_string (Util.pattern_bytes 300) in
+      xa.A.xa_set "blob" v;
+      Alcotest.(check (option string)) "binary value roundtrip" (Some v)
+        (xa.A.xa_get "blob"))
+
+let prop_xattr_model =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (triple (int_range 0 4) (string_size (int_range 0 10)) bool))
+  in
+  Util.qcheck_case ~count:30 "xattr ops match assoc-list model" gen (fun ops ->
+      Util.in_world (fun () ->
+          let _vmm, _sfs, attr = make_stack () in
+          let f = S.create attr (Util.name "prop") in
+          let xa = xattr_of f in
+          let keys = [| "a"; "b"; "c"; "d"; "e" |] in
+          let model = Hashtbl.create 8 in
+          List.iter
+            (fun (ki, v, is_set) ->
+              let k = keys.(ki) in
+              if is_set then begin
+                xa.A.xa_set k v;
+                Hashtbl.replace model k v
+              end
+              else begin
+                xa.A.xa_remove k;
+                Hashtbl.remove model k
+              end)
+            ops;
+          let expected =
+            List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+          in
+          xa.A.xa_list () = expected))
+
+let suite =
+  [
+    Alcotest.test_case "narrow to xattrs" `Quick test_narrow;
+    Alcotest.test_case "set/get/remove/list" `Quick test_set_get_remove;
+    Alcotest.test_case "data passthrough" `Quick test_data_passthrough;
+    Alcotest.test_case "shadow files hidden" `Quick test_shadow_hidden;
+    Alcotest.test_case "xattrs persist" `Quick test_xattrs_persist;
+    Alcotest.test_case "remove cleans shadow" `Quick test_remove_cleans_shadow;
+    Alcotest.test_case "subdirectories" `Quick test_subdirectories;
+    Alcotest.test_case "binary values" `Quick test_binary_values;
+    prop_xattr_model;
+  ]

@@ -1,0 +1,117 @@
+module U = Sp_baseline.Unixfs
+
+let make () = U.mkfs_and_mount (Sp_blockdev.Disk.create ~blocks:2048 ())
+
+let test_create_write_read () =
+  Util.in_world (fun () ->
+      let fs = make () in
+      let fd = U.creat fs "hello" in
+      Alcotest.(check int) "written" 5 (U.write fs fd ~pos:0 (Util.bytes_of_string "hello"));
+      Util.check_str "read" "hello" (U.read fs fd ~pos:0 ~len:10);
+      Alcotest.(check int) "fstat len" 5 (U.fstat fs fd).Sp_vm.Attr.len)
+
+let test_open_existing () =
+  Util.in_world (fun () ->
+      let fs = make () in
+      let fd = U.creat fs "f" in
+      ignore (U.write fs fd ~pos:0 (Util.bytes_of_string "x"));
+      let fd2 = U.openf fs "f" in
+      Util.check_str "reopen" "x" (U.read fs fd2 ~pos:0 ~len:1);
+      Alcotest.check_raises "missing" (Sp_core.Fserr.No_such_file "nope") (fun () ->
+          ignore (U.openf fs "nope")))
+
+let test_dirs_and_unlink () =
+  Util.in_world (fun () ->
+      let fs = make () in
+      U.mkdir fs "d";
+      let fd = U.creat fs "d/inner" in
+      ignore (U.write fs fd ~pos:0 (Util.bytes_of_string "deep"));
+      Util.check_str "nested" "deep" (U.read fs (U.openf fs "d/inner") ~pos:0 ~len:4);
+      U.unlink fs "d/inner";
+      Alcotest.check_raises "unlinked" (Sp_core.Fserr.No_such_file "d/inner")
+        (fun () -> ignore (U.openf fs "d/inner")))
+
+let test_buffer_cache () =
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:2048 () in
+      let fs = U.mkfs_and_mount disk in
+      let fd = U.creat fs "cached" in
+      ignore (U.write fs fd ~pos:0 (Util.pattern_bytes 4096));
+      ignore (U.read fs fd ~pos:0 ~len:4096);
+      Sp_blockdev.Disk.reset_stats disk;
+      for _ = 1 to 10 do
+        ignore (U.read fs fd ~pos:0 ~len:4096);
+        ignore (U.fstat fs fd);
+        ignore (U.openf fs "cached")
+      done;
+      let s = Sp_blockdev.Disk.stats disk in
+      Alcotest.(check int) "warm ops need no disk reads" 0 s.Sp_blockdev.Disk.reads;
+      Alcotest.(check int) "write-back: no disk writes yet" 0 s.Sp_blockdev.Disk.writes)
+
+let test_persistence () =
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:2048 () in
+      let fs = U.mkfs_and_mount disk in
+      let fd = U.creat fs "p" in
+      ignore (U.write fs fd ~pos:0 (Util.bytes_of_string "durable"));
+      U.sync fs;
+      let fs2 = U.mount disk in
+      Util.check_str "remount" "durable" (U.read fs2 (U.openf fs2 "p") ~pos:0 ~len:7))
+
+let test_interop_with_disk_layer () =
+  (* Same on-disk format: a volume written by the baseline is readable by
+     the Spring disk layer, and vice versa. *)
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:2048 () in
+      let fs = U.mkfs_and_mount disk in
+      let fd = U.creat fs "cross" in
+      ignore (U.write fs fd ~pos:0 (Util.bytes_of_string "one format"));
+      U.sync fs;
+      let spring = Sp_sfs.Disk_layer.mount ~name:"spring-view" disk in
+      let f = Sp_core.Stackable.open_file spring (Util.name "cross") in
+      Util.check_str "spring reads baseline volume" "one format"
+        (Sp_core.File.read f ~pos:0 ~len:10))
+
+let test_drop_caches () =
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:2048 () in
+      let fs = U.mkfs_and_mount disk in
+      let fd = U.creat fs "cold" in
+      ignore (U.write fs fd ~pos:0 (Util.pattern_bytes 4096));
+      U.drop_caches fs;
+      Sp_blockdev.Disk.reset_stats disk;
+      ignore (U.read fs (U.openf fs "cold") ~pos:0 ~len:4096);
+      Alcotest.(check bool) "cold read hits disk" true
+        ((Sp_blockdev.Disk.stats disk).Sp_blockdev.Disk.reads > 0))
+
+let test_costs_are_syscall_scale () =
+  (* With the paper model, a warm open must cost far less than a Spring
+     cross-domain stack open — the structural premise of Table 3. *)
+  Util.in_world ~model:Sp_sim.Cost_model.paper_1993 (fun () ->
+      let fs = make () in
+      let fd = U.creat fs "timed" in
+      ignore (U.write fs fd ~pos:0 (Util.pattern_bytes 4096));
+      ignore (U.openf fs "timed");
+      (* warm *)
+      let t0 = Sp_sim.Simclock.now () in
+      ignore (U.openf fs "timed");
+      let open_ns = Sp_sim.Simclock.now () - t0 in
+      Alcotest.(check bool) "open ~100-200us" true
+        (open_ns > 50_000 && open_ns < 300_000);
+      let t0 = Sp_sim.Simclock.now () in
+      ignore (U.fstat fs fd);
+      let stat_ns = Sp_sim.Simclock.now () - t0 in
+      Alcotest.(check bool) "fstat tens of us" true (stat_ns < 60_000))
+
+let suite =
+  [
+    Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+    Alcotest.test_case "open existing" `Quick test_open_existing;
+    Alcotest.test_case "dirs and unlink" `Quick test_dirs_and_unlink;
+    Alcotest.test_case "buffer cache" `Quick test_buffer_cache;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "interop with spring disk layer" `Quick
+      test_interop_with_disk_layer;
+    Alcotest.test_case "drop caches" `Quick test_drop_caches;
+    Alcotest.test_case "syscall-scale costs" `Quick test_costs_are_syscall_scale;
+  ]

@@ -1,0 +1,110 @@
+module D = Sp_blockdev.Disk
+
+let test_read_write_roundtrip () =
+  Util.in_world (fun () ->
+      let disk = D.create ~blocks:8 () in
+      let data = Util.pattern_bytes D.block_size in
+      D.write disk 3 data;
+      Util.check_bytes "roundtrip" data (D.read disk 3))
+
+let test_short_write_zero_pads () =
+  Util.in_world (fun () ->
+      let disk = D.create ~blocks:4 () in
+      D.write disk 0 (Util.bytes_of_string "abc");
+      let back = D.read disk 0 in
+      Util.check_str "payload" "abc" (Bytes.sub back 0 3);
+      Alcotest.(check char) "padded" '\000' (Bytes.get back 3))
+
+let test_bounds () =
+  Util.in_world (fun () ->
+      let disk = D.create ~blocks:4 () in
+      Alcotest.check_raises "read oob"
+        (Invalid_argument "Disk disk0: block 4 out of range") (fun () ->
+          ignore (D.read disk 4));
+      Alcotest.check_raises "negative"
+        (Invalid_argument "Disk disk0: block -1 out of range") (fun () ->
+          ignore (D.read disk (-1))))
+
+let test_oversize_write_rejected () =
+  Util.in_world (fun () ->
+      let disk = D.create ~blocks:4 () in
+      Alcotest.check_raises "too big"
+        (Invalid_argument "Disk disk0: write larger than a block") (fun () ->
+          D.write disk 0 (Bytes.create (D.block_size + 1))))
+
+let test_latency_model () =
+  Util.in_world ~model:Sp_sim.Cost_model.paper_1993 (fun () ->
+      let model = Sp_sim.Cost_model.paper_1993 in
+      let disk = D.create ~blocks:64 () in
+      (* Head starts at 0: first access to block 0 costs transfer only. *)
+      let t0 = Sp_sim.Simclock.now () in
+      ignore (D.read disk 0);
+      Alcotest.(check int) "sequential from head position"
+        model.Sp_sim.Cost_model.disk_per_block_ns
+        (Sp_sim.Simclock.now () - t0);
+      (* Adjacent block: no seek. *)
+      let t1 = Sp_sim.Simclock.now () in
+      ignore (D.read disk 1);
+      Alcotest.(check int) "adjacent block skips seek"
+        model.Sp_sim.Cost_model.disk_per_block_ns
+        (Sp_sim.Simclock.now () - t1);
+      (* Far block: seek + rotate + transfer. *)
+      let t2 = Sp_sim.Simclock.now () in
+      ignore (D.read disk 50);
+      Alcotest.(check int) "random block seeks"
+        (model.Sp_sim.Cost_model.disk_seek_ns
+        + model.Sp_sim.Cost_model.disk_rotate_ns
+        + model.Sp_sim.Cost_model.disk_per_block_ns)
+        (Sp_sim.Simclock.now () - t2))
+
+let test_stats () =
+  Util.in_world (fun () ->
+      let disk = D.create ~blocks:16 () in
+      ignore (D.read disk 0);
+      ignore (D.read disk 9);
+      D.write disk 2 (Bytes.create 1);
+      let s = D.stats disk in
+      Alcotest.(check int) "reads" 2 s.D.reads;
+      Alcotest.(check int) "writes" 1 s.D.writes;
+      Alcotest.(check bool) "seeks counted" true (s.D.seeks >= 1);
+      D.reset_stats disk;
+      Alcotest.(check int) "reset" 0 (D.stats disk).D.reads)
+
+let test_metrics_integration () =
+  Util.in_world (fun () ->
+      let disk = D.create ~blocks:4 () in
+      let before = Sp_sim.Metrics.snapshot () in
+      ignore (D.read disk 0);
+      D.write disk 1 (Bytes.create 4);
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "global disk reads" 1 d.Sp_sim.Metrics.disk_reads;
+      Alcotest.(check int) "global disk writes" 1 d.Sp_sim.Metrics.disk_writes)
+
+let prop_blocks_independent =
+  let gen = QCheck2.Gen.(list_size (int_range 1 16) (int_range 0 15)) in
+  Util.qcheck_case ~count:50 "writes to one block never leak to another" gen
+    (fun targets ->
+      Util.in_world (fun () ->
+          let disk = D.create ~blocks:16 () in
+          let model = Array.make 16 (Bytes.make D.block_size '\000') in
+          List.iteri
+            (fun i b ->
+              let data = Util.pattern_bytes ~seed:(i + 7) D.block_size in
+              D.write disk b data;
+              model.(b) <- data)
+            targets;
+          Array.to_list model
+          |> List.mapi (fun i expected -> Bytes.equal (D.read disk i) expected)
+          |> List.for_all Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_read_write_roundtrip;
+    Alcotest.test_case "short write zero pads" `Quick test_short_write_zero_pads;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "oversize write rejected" `Quick test_oversize_write_rejected;
+    Alcotest.test_case "latency model" `Quick test_latency_model;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "metrics integration" `Quick test_metrics_integration;
+    prop_blocks_independent;
+  ]

@@ -1,0 +1,120 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+
+let make_world () =
+  let net = Sp_dfs.Net.create () in
+  let vmm_a = Sp_vm.Vmm.create ~node:"alpha" "vmm_a" in
+  let sfs =
+    Sp_coherency.Spring_sfs.make_split ~node:"alpha" ~vmm:vmm_a ~name:"sfs"
+      ~same_domain:false (Util.fresh_disk ())
+  in
+  let dfs = Sp_dfs.Dfs.make_server ~node:"alpha" ~net ~vmm:vmm_a ~name:"dfs" () in
+  S.stack_on dfs sfs;
+  let import = Sp_dfs.Dfs.import ~net ~client_node:"beta" dfs in
+  let vmm_b = Sp_vm.Vmm.create ~node:"beta" "vmm_b" in
+  let cfs = Sp_cfs.Cfs.make ~node:"beta" ~vmm:vmm_b ~name:"cfs0" () in
+  (net, sfs, dfs, import, cfs)
+
+let test_interposed_io () =
+  Util.in_world (fun () ->
+      let _net, _sfs, dfs, import, cfs = make_world () in
+      ignore (S.create dfs (Util.name "f"));
+      let remote = S.open_file import (Util.name "f") in
+      let local = Sp_cfs.Cfs.interpose cfs remote in
+      ignore (F.write local ~pos:0 (Util.bytes_of_string "cfs cached"));
+      Util.check_str "read through cfs" "cfs cached" (F.read local ~pos:0 ~len:10);
+      (* Idempotent interposition. *)
+      Alcotest.(check bool) "same wrapper" true
+        (Sp_cfs.Cfs.interpose cfs remote == local))
+
+let test_attr_caching_cuts_network () =
+  Util.in_world (fun () ->
+      let net, _sfs, dfs, import, cfs = make_world () in
+      ignore (S.create dfs (Util.name "a"));
+      let local = Sp_cfs.Cfs.interpose cfs (S.open_file import (Util.name "a")) in
+      ignore (F.stat local);
+      (* warm the attr cache *)
+      Sp_dfs.Net.reset_stats net;
+      for _ = 1 to 20 do
+        ignore (F.stat local)
+      done;
+      Alcotest.(check int) "cached stats cross no network" 0
+        (Sp_dfs.Net.stats net).Sp_dfs.Net.messages)
+
+let test_data_caching_cuts_network () =
+  Util.in_world (fun () ->
+      let net, _sfs, dfs, import, cfs = make_world () in
+      ignore (S.create dfs (Util.name "d"));
+      let local = Sp_cfs.Cfs.interpose cfs (S.open_file import (Util.name "d")) in
+      ignore (F.write local ~pos:0 (Util.bytes_of_string "stay local"));
+      ignore (F.read local ~pos:0 ~len:10);
+      Sp_dfs.Net.reset_stats net;
+      for _ = 1 to 20 do
+        ignore (F.read local ~pos:0 ~len:10)
+      done;
+      Alcotest.(check int) "cached reads cross no network" 0
+        (Sp_dfs.Net.stats net).Sp_dfs.Net.messages)
+
+let test_without_cfs_everything_is_remote () =
+  Util.in_world (fun () ->
+      let net, _sfs, dfs, import, _cfs = make_world () in
+      ignore (S.create dfs (Util.name "r"));
+      let remote = S.open_file import (Util.name "r") in
+      ignore (F.stat remote);
+      Sp_dfs.Net.reset_stats net;
+      for _ = 1 to 5 do
+        ignore (F.stat remote)
+      done;
+      Alcotest.(check bool) "uninterposed stats all go remote" true
+        ((Sp_dfs.Net.stats net).Sp_dfs.Net.messages >= 5))
+
+let test_attr_invalidation_from_server () =
+  (* A server-side change invalidates CFS's cached attributes via the
+     fs_cache channel, so the client sees fresh values. *)
+  Util.in_world (fun () ->
+      let _net, sfs, dfs, import, cfs = make_world () in
+      ignore (S.create dfs (Util.name "inv"));
+      let local = Sp_cfs.Cfs.interpose cfs (S.open_file import (Util.name "inv")) in
+      Alcotest.(check int) "initially empty" 0 (F.stat local).Sp_vm.Attr.len;
+      (* Write through the server's local SFS path. *)
+      let server_file = S.open_file sfs (Util.name "inv") in
+      ignore (F.write server_file ~pos:0 (Util.bytes_of_string "grown!"));
+      Alcotest.(check int) "cfs view refreshed" 6 (F.stat local).Sp_vm.Attr.len)
+
+let test_local_writes_reach_server () =
+  Util.in_world (fun () ->
+      let _net, sfs, dfs, import, cfs = make_world () in
+      ignore (S.create dfs (Util.name "w"));
+      let local = Sp_cfs.Cfs.interpose cfs (S.open_file import (Util.name "w")) in
+      ignore (F.write local ~pos:0 (Util.bytes_of_string "to the server"));
+      F.sync local;
+      Util.check_str "server sees data" "to the server"
+        (F.read (S.open_file sfs (Util.name "w")) ~pos:0 ~len:13))
+
+let test_wrap_import () =
+  Util.in_world (fun () ->
+      let net, _sfs, dfs, import, cfs = make_world () in
+      S.mkdir dfs (Util.name "sub");
+      ignore (S.create dfs (Util.name "sub/x"));
+      let cached_view = Sp_cfs.Cfs.wrap_import cfs import in
+      let f = S.open_file cached_view (Util.name "sub/x") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "wrapped"));
+      ignore (F.stat f);
+      Sp_dfs.Net.reset_stats net;
+      ignore (F.stat f);
+      ignore (F.read f ~pos:0 ~len:7);
+      Alcotest.(check int) "whole name space interposed" 0
+        (Sp_dfs.Net.stats net).Sp_dfs.Net.messages)
+
+let suite =
+  [
+    Alcotest.test_case "interposed io" `Quick test_interposed_io;
+    Alcotest.test_case "attr caching cuts network" `Quick test_attr_caching_cuts_network;
+    Alcotest.test_case "data caching cuts network" `Quick test_data_caching_cuts_network;
+    Alcotest.test_case "without cfs: all remote" `Quick
+      test_without_cfs_everything_is_remote;
+    Alcotest.test_case "attr invalidation from server" `Quick
+      test_attr_invalidation_from_server;
+    Alcotest.test_case "local writes reach server" `Quick test_local_writes_reach_server;
+    Alcotest.test_case "wrap_import" `Quick test_wrap_import;
+  ]

@@ -1,0 +1,352 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module V = Sp_vm.Vm_types
+module CL = Sp_coherency.Coherency_layer
+
+let ps = V.page_size
+
+(* An SFS (coherency on disk) plus the node VMM. *)
+let make_sfs ?(blocks = 2048) ?(same_domain = false) () =
+  let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+  let disk = Util.fresh_disk ~blocks () in
+  let sfs = Sp_coherency.Spring_sfs.make_split ~vmm ~name:"sfs" ~same_domain disk in
+  (vmm, disk, sfs)
+
+let test_basic_io () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "a.txt") in
+      let n = F.write f ~pos:0 (Util.bytes_of_string "through the stack") in
+      Alcotest.(check int) "written" 17 n;
+      Util.check_str "read back" "through the stack" (F.read f ~pos:0 ~len:50);
+      Alcotest.(check int) "stat length" 17 (F.stat f).Sp_vm.Attr.len)
+
+let test_reopen_same_object () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      ignore (S.create sfs (Util.name "f"));
+      let a = S.open_file sfs (Util.name "f") in
+      let b = S.open_file sfs (Util.name "f") in
+      Alcotest.(check bool) "memoised wrapper" true (a == b))
+
+let test_data_persisted_on_sync () =
+  Util.in_world (fun () ->
+      let vmm, disk, sfs = make_sfs () in
+      ignore vmm;
+      let f = S.create sfs (Util.name "p") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "durable"));
+      S.sync sfs;
+      (* Remount the device cold: both layers fresh. *)
+      let vmm2 = Sp_vm.Vmm.create ~node:"local" "vmm2" in
+      let sfs2 =
+        Sp_coherency.Spring_sfs.make_split ~vmm:vmm2 ~name:"sfs2" ~same_domain:false
+          disk
+      in
+      let f2 = S.open_file sfs2 (Util.name "p") in
+      Util.check_str "persisted through coherency layer" "durable"
+        (F.read f2 ~pos:0 ~len:7);
+      Alcotest.(check int) "length persisted" 7 (F.stat f2).Sp_vm.Attr.len)
+
+let test_cached_read_no_lower_calls () =
+  (* Table 2: when the coherency layer caches data, no calls go to the
+     lower layer. *)
+  Util.in_world (fun () ->
+      let _vmm, disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "c") in
+      ignore (F.write f ~pos:0 (Util.pattern_bytes 4096));
+      ignore (F.read f ~pos:0 ~len:4096);
+      (* warm *)
+      Sp_blockdev.Disk.reset_stats disk;
+      let before = Sp_sim.Metrics.snapshot () in
+      ignore (F.read f ~pos:0 ~len:4096);
+      ignore (F.stat f);
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "no page-ins" 0 d.Sp_sim.Metrics.page_ins;
+      Alcotest.(check int) "no attr fetches" 0 d.Sp_sim.Metrics.attr_fetches;
+      Alcotest.(check int) "no disk reads" 0
+        (Sp_blockdev.Disk.stats disk).Sp_blockdev.Disk.reads)
+
+let test_uncached_read_hits_disk () =
+  Util.in_world (fun () ->
+      let _vmm, disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "u") in
+      ignore (F.write f ~pos:0 (Util.pattern_bytes 4096));
+      S.sync sfs;
+      S.drop_caches sfs;
+      Sp_vm.Vmm.drop_caches _vmm;
+      Sp_blockdev.Disk.reset_stats disk;
+      ignore (F.read f ~pos:0 ~len:4096);
+      Alcotest.(check bool) "cold read reaches the device" true
+        ((Sp_blockdev.Disk.stats disk).Sp_blockdev.Disk.reads > 0))
+
+let test_mapped_sharing_with_file_io () =
+  (* A client mapping the coherency file and the layer's own read/write
+     path share the node VMM's page cache (cache unification). *)
+  Util.in_world (fun () ->
+      let vmm, _disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "shared") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "via file api"));
+      let m = Sp_vm.Vmm.map vmm f.F.f_mem in
+      Util.check_str "mapping sees file writes" "via file api"
+        (Sp_vm.Vmm.read m ~pos:0 ~len:12);
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "VIA");
+      Util.check_str "file api sees mapped writes" "VIA file api"
+        (F.read f ~pos:0 ~len:12))
+
+let test_mrsw_two_cache_managers () =
+  (* Two distinct VMMs (as on two nodes) cache one file; the protocol must
+     revoke the writer before serving the reader and vice versa. *)
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "m") in
+      ignore (F.write f ~pos:0 (Util.pattern_bytes ps));
+      S.sync sfs;
+      let vmm_a = Sp_vm.Vmm.create ~node:"a" "vmm_a" in
+      let vmm_b = Sp_vm.Vmm.create ~node:"b" "vmm_b" in
+      let ma = Sp_vm.Vmm.map vmm_a f.F.f_mem in
+      let mb = Sp_vm.Vmm.map vmm_b f.F.f_mem in
+      (* A writes. *)
+      Sp_vm.Vmm.write ma ~pos:0 (Util.bytes_of_string "from A");
+      Alcotest.(check bool) "invariant after A writes" true (CL.invariant_holds sfs);
+      (* B reads: must see A's write (deny_writes + write-down + page_in). *)
+      Util.check_str "B sees A's write without any sync" "from A"
+        (Sp_vm.Vmm.read mb ~pos:0 ~len:6);
+      Alcotest.(check bool) "invariant after B reads" true (CL.invariant_holds sfs);
+      (* B writes; A reads back. *)
+      Sp_vm.Vmm.write mb ~pos:0 (Util.bytes_of_string "from B");
+      Util.check_str "A sees B's write" "from B" (Sp_vm.Vmm.read ma ~pos:0 ~len:6);
+      Alcotest.(check bool) "invariant at the end" true (CL.invariant_holds sfs))
+
+let test_writer_revoked_on_second_writer () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "w") in
+      ignore (F.write f ~pos:0 (Util.pattern_bytes ps));
+      let vmm_a = Sp_vm.Vmm.create ~node:"a" "vmm_a" in
+      let vmm_b = Sp_vm.Vmm.create ~node:"b" "vmm_b" in
+      let ma = Sp_vm.Vmm.map vmm_a f.F.f_mem in
+      let mb = Sp_vm.Vmm.map vmm_b f.F.f_mem in
+      Sp_vm.Vmm.write ma ~pos:0 (Util.bytes_of_string "AAAA");
+      Sp_vm.Vmm.write mb ~pos:4 (Util.bytes_of_string "BBBB");
+      Alcotest.(check bool) "invariant" true (CL.invariant_holds sfs);
+      (* Both updates must survive (flush_back wrote A's copy down before
+         B paged the block in read-write). *)
+      Util.check_str "both writers' updates merged" "AAAABBBB"
+        (Sp_vm.Vmm.read mb ~pos:0 ~len:8);
+      (* A refaults and sees the merge too. *)
+      Util.check_str "A sees merge" "AAAABBBB" (Sp_vm.Vmm.read ma ~pos:0 ~len:8))
+
+let test_file_io_coherent_with_remote_mapping () =
+  (* Local file read/write (through the layer's own mapping) versus a
+     foreign VMM mapping: the §4.5 claim that all access paths stay
+     coherent. *)
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "x") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "local v1"));
+      let vmm_r = Sp_vm.Vmm.create ~node:"remote" "vmm_r" in
+      let mr = Sp_vm.Vmm.map vmm_r f.F.f_mem in
+      Util.check_str "remote sees local write" "local v1"
+        (Sp_vm.Vmm.read mr ~pos:0 ~len:8);
+      Sp_vm.Vmm.write mr ~pos:6 (Util.bytes_of_string "v2");
+      Util.check_str "local sees remote write" "local v2" (F.read f ~pos:0 ~len:8);
+      Alcotest.(check bool) "invariant" true (CL.invariant_holds sfs))
+
+let test_attr_caching_and_invalidation () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "attrs") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "0123"));
+      ignore (F.stat f);
+      let before = Sp_sim.Metrics.snapshot () in
+      ignore (F.stat f);
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "stat served from attr cache" 0
+        d.Sp_sim.Metrics.attr_fetches;
+      (* Length growth via write is reflected without refetch. *)
+      ignore (F.write f ~pos:4 (Util.bytes_of_string "4567"));
+      Alcotest.(check int) "length tracked in cache" 8 (F.stat f).Sp_vm.Attr.len)
+
+let test_attr_sync_reaches_disk_layer () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let base = Sp_coherency.Spring_sfs.disk_layer sfs in
+      let f = S.create sfs (Util.name "al") in
+      ignore (F.write f ~pos:0 (Util.pattern_bytes 100));
+      (* Before sync the disk layer may hold a stale length... *)
+      S.sync sfs;
+      (* ...but after sync both layers agree. *)
+      let lower = S.open_file base (Util.name "al") in
+      Alcotest.(check int) "lower length after sync" 100
+        (F.stat lower).Sp_vm.Attr.len)
+
+let test_truncate_through_stack () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "t") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "0123456789"));
+      F.truncate f 4;
+      Alcotest.(check int) "upper length" 4 (F.stat f).Sp_vm.Attr.len;
+      Util.check_str "clipped" "0123" (F.read f ~pos:0 ~len:10);
+      (* Regrow: tail reads zeros (no stale cached data). *)
+      ignore (F.write f ~pos:6 (Util.bytes_of_string "XY"));
+      Util.check_str "zeros in reopened gap" "0123\000\000XY" (F.read f ~pos:0 ~len:8))
+
+let test_remove_through_stack () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      ignore (S.create sfs (Util.name "dead"));
+      S.remove sfs (Util.name "dead");
+      Alcotest.check_raises "gone" (Sp_core.Fserr.No_such_file "dead") (fun () ->
+          ignore (S.open_file sfs (Util.name "dead")));
+      (* Re-creating under the same name works and is a fresh file. *)
+      let f = S.create sfs (Util.name "dead") in
+      Alcotest.(check int) "fresh file empty" 0 (F.stat f).Sp_vm.Attr.len)
+
+let test_dirs_through_stack () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      S.mkdir sfs (Util.name "d");
+      let f = S.create sfs (Util.name "d/inner") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "deep"));
+      let again = S.open_file sfs (Util.name "d/inner") in
+      Alcotest.(check bool) "same wrapper through dir" true (f == again);
+      Util.check_str "io" "deep" (F.read again ~pos:0 ~len:4);
+      Alcotest.(check (list string)) "listing" [ "inner" ]
+        (S.listdir sfs (Util.name "d")))
+
+let test_fig10_structure () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs () in
+      let layers = Sp_core.Stack_builder.layers sfs in
+      Alcotest.(check (list string)) "coherency over disk layer"
+        [ "coherency"; "sfs_disk" ]
+        (List.map (fun l -> l.S.sfs_type) layers))
+
+let test_same_domain_no_crossings_between_layers () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs ~same_domain:true () in
+      let layers = Sp_core.Stack_builder.layers sfs in
+      match layers with
+      | [ top; bottom ] ->
+          Alcotest.(check bool) "layers co-domained" true
+            (Sp_obj.Sdomain.equal top.S.sfs_domain bottom.S.sfs_domain)
+      | _ -> Alcotest.fail "expected two layers")
+
+let test_coherent_stack_of_noncoherent_layers () =
+  (* §6.3: stack a SECOND coherency layer on a full SFS; every exported
+     file stays coherent even though the middle is just another layer. *)
+  Util.in_world (fun () ->
+      let vmm, _disk, sfs = make_sfs () in
+      let top = CL.make ~vmm ~name:"coh2" () in
+      S.stack_on top sfs;
+      let f = S.create top (Util.name "n") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "nested stack"));
+      Util.check_str "io through double coherency" "nested stack"
+        (F.read f ~pos:0 ~len:12);
+      (* The same file via the middle layer stays coherent: the middle's
+         pager engages the top layer as a cache manager. *)
+      let mid_file = S.open_file sfs (Util.name "n") in
+      Util.check_str "middle view" "nested stack" (F.read mid_file ~pos:0 ~len:12);
+      Alcotest.(check bool) "invariants" true
+        (CL.invariant_holds top && CL.invariant_holds sfs))
+
+let test_stack_on_twice_rejected () =
+  Util.in_world (fun () ->
+      let vmm, _disk, sfs = make_sfs () in
+      let c = CL.make ~vmm ~name:"c2" () in
+      S.stack_on c sfs;
+      try
+        S.stack_on c sfs;
+        Alcotest.fail "second stack_on should fail"
+      with S.Stack_error _ -> ())
+
+let test_mono_behaves_like_split () =
+  Util.in_world (fun () ->
+      let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+      let disk = Util.fresh_disk () in
+      let sfs = Sp_coherency.Spring_sfs.make_mono ~vmm ~name:"mono" disk in
+      Alcotest.(check string) "type" "sfs_mono" sfs.S.sfs_type;
+      let f = S.create sfs (Util.name "m") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "mono data"));
+      Util.check_str "io" "mono data" (F.read f ~pos:0 ~len:9);
+      S.sync sfs;
+      (* same device readable via a split mount afterwards *)
+      let vmm2 = Sp_vm.Vmm.create ~node:"local" "vmm1" in
+      let sfs2 =
+        Sp_coherency.Spring_sfs.make_split ~vmm:vmm2 ~name:"verify"
+          ~same_domain:false disk
+      in
+      Util.check_str "readable via split mount" "mono data"
+        (F.read (S.open_file sfs2 (Util.name "m")) ~pos:0 ~len:9))
+
+let test_block_state_invariant_property =
+  (* Random interleaving of reads/writes from three cache managers never
+     violates the MRSW invariant and always reads back the latest write
+     per byte region. *)
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 40) (triple (int_range 0 2) (int_range 0 2) bool))
+  in
+  Util.qcheck_case ~count:25 "random MRSW schedule keeps invariant + data" gen
+    (fun ops ->
+      Util.in_world (fun () ->
+          let _vmm, _disk, sfs = make_sfs () in
+          let f = S.create sfs (Util.name "prop") in
+          ignore (F.write f ~pos:0 (Bytes.make (2 * ps) 'i'));
+          let vmms =
+            Array.init 3 (fun i ->
+                Sp_vm.Vmm.create ~node:(Printf.sprintf "n%d" i)
+                  (Printf.sprintf "v%d" i))
+          in
+          let maps = Array.map (fun vmm -> Sp_vm.Vmm.map vmm f.F.f_mem) vmms in
+          let model = Bytes.make (2 * ps) 'i' in
+          let ok = ref true in
+          List.iteri
+            (fun i (who, block, is_write) ->
+              let m = maps.(who) in
+              let pos = (block mod 2 * ps) + (i mod 100) in
+              if is_write then begin
+                let data = Util.pattern_bytes ~seed:(i + 31) 8 in
+                Sp_vm.Vmm.write m ~pos data;
+                Bytes.blit data 0 model pos 8
+              end
+              else begin
+                let got = Sp_vm.Vmm.read m ~pos ~len:8 in
+                if not (Bytes.equal got (Bytes.sub model pos 8)) then ok := false
+              end;
+              if not (CL.invariant_holds sfs) then ok := false)
+            ops;
+          !ok))
+
+let suite =
+  [
+    Alcotest.test_case "basic io through stack" `Quick test_basic_io;
+    Alcotest.test_case "reopen returns same object" `Quick test_reopen_same_object;
+    Alcotest.test_case "data persists via sync" `Quick test_data_persisted_on_sync;
+    Alcotest.test_case "cached ops make no lower calls" `Quick
+      test_cached_read_no_lower_calls;
+    Alcotest.test_case "uncached read hits disk" `Quick test_uncached_read_hits_disk;
+    Alcotest.test_case "mapping and file io share cache" `Quick
+      test_mapped_sharing_with_file_io;
+    Alcotest.test_case "MRSW: two cache managers" `Quick test_mrsw_two_cache_managers;
+    Alcotest.test_case "MRSW: writer revocation merges" `Quick
+      test_writer_revoked_on_second_writer;
+    Alcotest.test_case "file io coherent with foreign mapping" `Quick
+      test_file_io_coherent_with_remote_mapping;
+    Alcotest.test_case "attr caching + tracking" `Quick
+      test_attr_caching_and_invalidation;
+    Alcotest.test_case "attr sync reaches disk layer" `Quick
+      test_attr_sync_reaches_disk_layer;
+    Alcotest.test_case "truncate through stack" `Quick test_truncate_through_stack;
+    Alcotest.test_case "remove through stack" `Quick test_remove_through_stack;
+    Alcotest.test_case "directories through stack" `Quick test_dirs_through_stack;
+    Alcotest.test_case "fig10 structure" `Quick test_fig10_structure;
+    Alcotest.test_case "same-domain colocation" `Quick
+      test_same_domain_no_crossings_between_layers;
+    Alcotest.test_case "6.3: coherent stack of layers" `Quick
+      test_coherent_stack_of_noncoherent_layers;
+    Alcotest.test_case "stack_on twice rejected" `Quick test_stack_on_twice_rejected;
+    Alcotest.test_case "mono SFS" `Quick test_mono_behaves_like_split;
+    test_block_state_invariant_property;
+  ]

@@ -1,0 +1,159 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+
+let ps = Sp_vm.Vm_types.page_size
+
+let make_stack ?(key = "sekrit") () =
+  let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+  let disk = Util.fresh_disk ~blocks:2048 () in
+  let sfs = Sp_coherency.Spring_sfs.make_split ~vmm ~name:"sfs" ~same_domain:false disk in
+  let crypt = Sp_cryptfs.Cryptfs.make ~vmm ~name:"cryptfs" ~key () in
+  S.stack_on crypt sfs;
+  (vmm, sfs, crypt)
+
+let test_cipher_roundtrip () =
+  let data = Util.pattern_bytes 1000 in
+  let enc = Sp_cryptfs.Cipher.apply ~key:"k" ~page:3 data in
+  Alcotest.(check bool) "ciphertext differs" false (Bytes.equal enc data);
+  Util.check_bytes "roundtrip" data (Sp_cryptfs.Cipher.apply ~key:"k" ~page:3 enc)
+
+let test_cipher_page_and_key_dependent () =
+  let data = Bytes.make 64 'a' in
+  let e1 = Sp_cryptfs.Cipher.apply ~key:"k" ~page:0 data in
+  let e2 = Sp_cryptfs.Cipher.apply ~key:"k" ~page:1 data in
+  let e3 = Sp_cryptfs.Cipher.apply ~key:"other" ~page:0 data in
+  Alcotest.(check bool) "page-dependent" false (Bytes.equal e1 e2);
+  Alcotest.(check bool) "key-dependent" false (Bytes.equal e1 e3)
+
+let prop_cipher_roundtrip =
+  let gen = QCheck2.Gen.(pair (string_size (int_range 0 500)) (int_range 0 100)) in
+  Util.qcheck_case ~count:100 "cipher roundtrip" gen (fun (s, page) ->
+      let b = Bytes.of_string s in
+      Bytes.equal b
+        (Sp_cryptfs.Cipher.apply ~key:"k" ~page
+           (Sp_cryptfs.Cipher.apply ~key:"k" ~page b)))
+
+let test_basic_io () =
+  Util.in_world (fun () ->
+      let _vmm, _sfs, crypt = make_stack () in
+      let f = S.create crypt (Util.name "secret.txt") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "top secret data"));
+      Util.check_str "plaintext via layer" "top secret data" (F.read f ~pos:0 ~len:50);
+      Alcotest.(check int) "length passthrough" 15 (F.stat f).Sp_vm.Attr.len)
+
+let test_lower_holds_ciphertext () =
+  Util.in_world (fun () ->
+      let _vmm, sfs, crypt = make_stack () in
+      let f = S.create crypt (Util.name "c") in
+      let plain = Util.bytes_of_string "confidential!!" in
+      ignore (F.write f ~pos:0 plain);
+      F.sync f;
+      let lower = S.open_file sfs (Util.name "c") in
+      let raw = F.read_all lower in
+      Alcotest.(check int) "same length" (Bytes.length plain) (Bytes.length raw);
+      Alcotest.(check bool) "ciphertext differs from plaintext" false
+        (Bytes.equal raw plain);
+      (* And it is exactly the cipher of the plaintext. *)
+      Util.check_bytes "deterministic transform" plain
+        (Sp_cryptfs.Cipher.apply ~key:"sekrit" ~page:0 raw))
+
+let test_wrong_key_garbles () =
+  Util.in_world (fun () ->
+      let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+      let disk = Util.fresh_disk () in
+      let sfs =
+        Sp_coherency.Spring_sfs.make_split ~vmm ~name:"sfs" ~same_domain:false disk
+      in
+      let crypt1 = Sp_cryptfs.Cryptfs.make ~vmm ~name:"c1" ~key:"right" () in
+      S.stack_on crypt1 sfs;
+      let f = S.create crypt1 (Util.name "k") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "payload"));
+      F.sync f;
+      let crypt2 = Sp_cryptfs.Cryptfs.make ~vmm ~name:"c2" ~key:"wrong" () in
+      S.stack_on crypt2 sfs;
+      let f2 = S.open_file crypt2 (Util.name "k") in
+      Alcotest.(check bool) "wrong key yields garbage" false
+        (Bytes.equal (F.read f2 ~pos:0 ~len:7) (Util.bytes_of_string "payload")))
+
+let test_multi_page_and_offsets () =
+  Util.in_world (fun () ->
+      let _vmm, _sfs, crypt = make_stack () in
+      let f = S.create crypt (Util.name "big") in
+      let data = Util.pattern_bytes ((3 * ps) + 123) in
+      ignore (F.write f ~pos:0 data);
+      Util.check_bytes "full readback" data (F.read f ~pos:0 ~len:(Bytes.length data));
+      (* Cross-page unaligned read. *)
+      Util.check_bytes "unaligned window"
+        (Bytes.sub data (ps - 10) 50)
+        (F.read f ~pos:(ps - 10) ~len:50);
+      (* Unaligned overwrite. *)
+      let patch = Util.bytes_of_string "PATCHED" in
+      ignore (F.write f ~pos:(2 * ps) patch);
+      Util.check_str "patch visible" "PATCHED" (F.read f ~pos:(2 * ps) ~len:7))
+
+let test_truncate () =
+  Util.in_world (fun () ->
+      let _vmm, _sfs, crypt = make_stack () in
+      let f = S.create crypt (Util.name "t") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "0123456789"));
+      F.truncate f 4;
+      Alcotest.(check int) "len" 4 (F.stat f).Sp_vm.Attr.len;
+      Util.check_str "clipped" "0123" (F.read f ~pos:0 ~len:20))
+
+let test_persistence () =
+  Util.in_world (fun () ->
+      let _vmm, sfs, crypt = make_stack () in
+      let f = S.create crypt (Util.name "p") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "survive"));
+      S.sync crypt;
+      let vmm2 = Sp_vm.Vmm.create ~node:"local" "vmm2" in
+      let crypt2 = Sp_cryptfs.Cryptfs.make ~vmm:vmm2 ~name:"cryptfs2" ~key:"sekrit" () in
+      S.stack_on crypt2 sfs;
+      Util.check_str "reload with same key" "survive"
+        (F.read (S.open_file crypt2 (Util.name "p")) ~pos:0 ~len:7))
+
+let test_mapped_access () =
+  Util.in_world (fun () ->
+      let vmm, _sfs, crypt = make_stack () in
+      let f = S.create crypt (Util.name "m") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "mapped plaintext"));
+      let m = Sp_vm.Vmm.map vmm f.F.f_mem in
+      Util.check_str "mapping decrypts" "mapped plaintext"
+        (Sp_vm.Vmm.read m ~pos:0 ~len:16))
+
+let prop_cryptfs_model =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 10) (pair (int_range 0 (2 * ps)) (int_range 1 300)))
+  in
+  Util.qcheck_case ~count:20 "cryptfs random writes match model" gen (fun writes ->
+      Util.in_world (fun () ->
+          let _vmm, _sfs, crypt = make_stack () in
+          let f = S.create crypt (Util.name "prop") in
+          let size = (2 * ps) + 300 in
+          let model = Bytes.make size '\000' in
+          let len = ref 0 in
+          List.iteri
+            (fun i (pos, n) ->
+              let data = Util.pattern_bytes ~seed:(i + 91) n in
+              ignore (F.write f ~pos data);
+              Bytes.blit data 0 model pos n;
+              len := max !len (pos + n))
+            writes;
+          Bytes.equal (F.read f ~pos:0 ~len:size) (Bytes.sub model 0 !len)))
+
+let suite =
+  [
+    Alcotest.test_case "cipher roundtrip" `Quick test_cipher_roundtrip;
+    Alcotest.test_case "cipher page/key dependence" `Quick
+      test_cipher_page_and_key_dependent;
+    prop_cipher_roundtrip;
+    Alcotest.test_case "basic io" `Quick test_basic_io;
+    Alcotest.test_case "lower holds ciphertext" `Quick test_lower_holds_ciphertext;
+    Alcotest.test_case "wrong key garbles" `Quick test_wrong_key_garbles;
+    Alcotest.test_case "multi-page and offsets" `Quick test_multi_page_and_offsets;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "mapped access" `Quick test_mapped_access;
+    prop_cryptfs_model;
+  ]

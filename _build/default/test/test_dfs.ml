@@ -1,0 +1,215 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module V = Sp_vm.Vm_types
+
+let ps = V.page_size
+
+(* Server on node "alpha" exporting an SFS; client view on node "beta". *)
+let make_world () =
+  let net = Sp_dfs.Net.create () in
+  let vmm_a = Sp_vm.Vmm.create ~node:"alpha" "vmm_a" in
+  let sfs =
+    Sp_coherency.Spring_sfs.make_split ~node:"alpha" ~vmm:vmm_a ~name:"sfs"
+      ~same_domain:false (Util.fresh_disk ())
+  in
+  let dfs = Sp_dfs.Dfs.make_server ~node:"alpha" ~net ~vmm:vmm_a ~name:"dfs" () in
+  S.stack_on dfs sfs;
+  let import = Sp_dfs.Dfs.import ~net ~client_node:"beta" dfs in
+  (net, vmm_a, sfs, dfs, import)
+
+let test_remote_read_write () =
+  Util.in_world (fun () ->
+      let _net, _vmm_a, _sfs, dfs, import = make_world () in
+      ignore (S.create dfs (Util.name "shared.txt"));
+      let rf = S.open_file import (Util.name "shared.txt") in
+      let n = F.write rf ~pos:0 (Util.bytes_of_string "over the wire") in
+      Alcotest.(check int) "remote write" 13 n;
+      Util.check_str "remote read" "over the wire" (F.read rf ~pos:0 ~len:50))
+
+let test_remote_ops_use_network () =
+  Util.in_world (fun () ->
+      let net, _vmm_a, _sfs, dfs, import = make_world () in
+      ignore (S.create dfs (Util.name "f"));
+      Sp_dfs.Net.reset_stats net;
+      let rf = S.open_file import (Util.name "f") in
+      ignore (F.write rf ~pos:0 (Util.bytes_of_string "x"));
+      ignore (F.read rf ~pos:0 ~len:1);
+      ignore (F.stat rf);
+      let s = Sp_dfs.Net.stats net in
+      Alcotest.(check bool) "every remote op crossed the network" true
+        (s.Sp_dfs.Net.messages >= 4))
+
+let test_local_remote_coherence () =
+  (* A local client of the underlying SFS and a remote DFS client stay
+     coherent with no explicit sync — the §4.2.2 headline property. *)
+  Util.in_world (fun () ->
+      let _net, _vmm_a, sfs, dfs, import = make_world () in
+      ignore (S.create dfs (Util.name "c"));
+      let local = S.open_file sfs (Util.name "c") in
+      let remote = S.open_file import (Util.name "c") in
+      ignore (F.write local ~pos:0 (Util.bytes_of_string "from alpha"));
+      Util.check_str "remote sees local write" "from alpha"
+        (F.read remote ~pos:0 ~len:10);
+      ignore (F.write remote ~pos:5 (Util.bytes_of_string "beta!"));
+      Util.check_str "local sees remote write" "from beta!"
+        (F.read local ~pos:0 ~len:10))
+
+let test_remote_mapping_coherence () =
+  (* The remote client maps the file; local writes revoke its cached
+     pages over the network. *)
+  Util.in_world (fun () ->
+      let _net, _vmm_a, sfs, dfs, import = make_world () in
+      ignore (S.create dfs (Util.name "m"));
+      let local = S.open_file sfs (Util.name "m") in
+      ignore (F.write local ~pos:0 (Util.bytes_of_string "version one"));
+      let remote = S.open_file import (Util.name "m") in
+      let vmm_b = Sp_vm.Vmm.create ~node:"beta" "vmm_b" in
+      let mb = Sp_vm.Vmm.map vmm_b remote.F.f_mem in
+      Util.check_str "remote mapping faults data over net" "version one"
+        (Sp_vm.Vmm.read mb ~pos:0 ~len:11);
+      (* Local update; remote mapping must observe it. *)
+      ignore (F.write local ~pos:8 (Util.bytes_of_string "two"));
+      Util.check_str "remote mapping coherent" "version two"
+        (Sp_vm.Vmm.read mb ~pos:0 ~len:11);
+      (* Remote mapped write flows back. *)
+      Sp_vm.Vmm.write mb ~pos:0 (Util.bytes_of_string "VERSION");
+      Util.check_str "local sees remote mapped write" "VERSION two"
+        (F.read local ~pos:0 ~len:11);
+      Alcotest.(check bool) "dfs coherency invariant" true
+        (Sp_coherency.Coherency_layer.invariant_holds (Sp_dfs.Dfs.coherency_of dfs)))
+
+let test_fig7_local_binds_forwarded () =
+  (* Local clients of the DFS file use the same cache object as clients of
+     the underlying file: local paging does not involve DFS. *)
+  Util.in_world (fun () ->
+      let net, vmm_a, _sfs, dfs, _import = make_world () in
+      ignore (S.create dfs (Util.name "local"));
+      let via_dfs = S.open_file dfs (Util.name "local") in
+      ignore (F.write via_dfs ~pos:0 (Util.pattern_bytes ps));
+      Sp_dfs.Net.reset_stats net;
+      let m = Sp_vm.Vmm.map vmm_a via_dfs.F.f_mem in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:ps);
+      Alcotest.(check int) "no DFS channels for purely local use" 0
+        (Sp_coherency.Coherency_layer.channel_count (Sp_dfs.Dfs.coherency_of dfs));
+      Alcotest.(check int) "no network traffic for local paging" 0
+        (Sp_dfs.Net.stats net).Sp_dfs.Net.messages)
+
+let test_remote_namespace_ops () =
+  Util.in_world (fun () ->
+      let _net, _vmm_a, _sfs, _dfs, import = make_world () in
+      S.mkdir import (Util.name "rdir");
+      let f = S.create import (Util.name "rdir/leaf") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "made remotely"));
+      Alcotest.(check (list string)) "remote listing" [ "leaf" ]
+        (S.listdir import (Util.name "rdir"));
+      S.remove import (Util.name "rdir/leaf");
+      Alcotest.(check (list string)) "remote remove" []
+        (S.listdir import (Util.name "rdir")))
+
+let test_two_remote_clients () =
+  (* Two clients on different nodes share one file through the server;
+     DFS's coherency layer arbitrates. *)
+  Util.in_world (fun () ->
+      let net, _vmm_a, _sfs, dfs, _import = make_world () in
+      ignore (S.create dfs (Util.name "duo"));
+      let import_b = Sp_dfs.Dfs.import ~net ~client_node:"beta" dfs in
+      let import_c = Sp_dfs.Dfs.import ~net ~client_node:"gamma" dfs in
+      let fb = S.open_file import_b (Util.name "duo") in
+      let fc = S.open_file import_c (Util.name "duo") in
+      let vmm_b = Sp_vm.Vmm.create ~node:"beta" "vmm_b2" in
+      let vmm_c = Sp_vm.Vmm.create ~node:"gamma" "vmm_c" in
+      let mb = Sp_vm.Vmm.map vmm_b fb.F.f_mem in
+      let mc = Sp_vm.Vmm.map vmm_c fc.F.f_mem in
+      Sp_vm.Vmm.write mb ~pos:0 (Util.bytes_of_string "beta speaks");
+      Util.check_str "gamma sees beta" "beta speaks" (Sp_vm.Vmm.read mc ~pos:0 ~len:11);
+      Sp_vm.Vmm.write mc ~pos:0 (Util.bytes_of_string "gamma");
+      Util.check_str "beta sees gamma" "gammaspeaks"
+        (Sp_vm.Vmm.read mb ~pos:0 ~len:11);
+      Alcotest.(check bool) "invariant" true
+        (Sp_coherency.Coherency_layer.invariant_holds (Sp_dfs.Dfs.coherency_of dfs)))
+
+let test_remote_attr_via_fs_pager () =
+  Util.in_world (fun () ->
+      let _net, _vmm_a, _sfs, dfs, import = make_world () in
+      ignore (S.create dfs (Util.name "a"));
+      let rf = S.open_file import (Util.name "a") in
+      ignore (F.write rf ~pos:0 (Util.bytes_of_string "attrs"));
+      Alcotest.(check int) "remote stat length" 5 (F.stat rf).Sp_vm.Attr.len)
+
+let test_sync_persists_via_remote () =
+  Util.in_world (fun () ->
+      let _net, _vmm_a, sfs, _dfs, import = make_world () in
+      let rf = S.create import (Util.name "persist") in
+      ignore (F.write rf ~pos:0 (Util.bytes_of_string "remote data"));
+      S.sync import;
+      (* The data is now in the server's underlying file system. *)
+      Util.check_str "server holds data" "remote data"
+        (F.read (S.open_file sfs (Util.name "persist")) ~pos:0 ~len:11))
+
+(* Random interleaving of a local client and two remote mapped clients
+   against a byte-array model; every read must observe the latest write
+   regardless of who made it, and the DFS coherency invariant must hold
+   throughout. *)
+let prop_three_clients_linearize =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 30) (triple (int_range 0 2) (int_range 0 1) bool))
+  in
+  Util.qcheck_case ~count:15 "three-client dfs schedule stays coherent" gen
+    (fun ops ->
+      Util.in_world (fun () ->
+          let net, _vmm_a, sfs, dfs, _ = make_world () in
+          ignore (S.create dfs (Util.name "lin"));
+          let local = S.open_file sfs (Util.name "lin") in
+          ignore (F.write local ~pos:0 (Bytes.make (2 * ps) 'i'));
+          let client node =
+            let import = Sp_dfs.Dfs.import ~net ~client_node:node dfs in
+            let rf = S.open_file import (Util.name "lin") in
+            let vmm = Sp_vm.Vmm.create ~node (node ^ "-vmm") in
+            Sp_vm.Vmm.map vmm rf.F.f_mem
+          in
+          let mb = client "pb" and mc = client "pc" in
+          let model = Bytes.make (2 * ps) 'i' in
+          let ok = ref true in
+          List.iteri
+            (fun i (who, block, is_write) ->
+              let pos = (block * ps) + (i * 13 mod 256) in
+              if is_write then begin
+                let data = Util.pattern_bytes ~seed:(i + 71) 16 in
+                (match who with
+                | 0 -> ignore (F.write local ~pos data)
+                | 1 -> Sp_vm.Vmm.write mb ~pos data
+                | _ -> Sp_vm.Vmm.write mc ~pos data);
+                Bytes.blit data 0 model pos 16
+              end
+              else begin
+                let got =
+                  match who with
+                  | 0 -> F.read local ~pos ~len:16
+                  | 1 -> Sp_vm.Vmm.read mb ~pos ~len:16
+                  | _ -> Sp_vm.Vmm.read mc ~pos ~len:16
+                in
+                if not (Bytes.equal got (Bytes.sub model pos 16)) then ok := false
+              end;
+              if
+                not
+                  (Sp_coherency.Coherency_layer.invariant_holds
+                     (Sp_dfs.Dfs.coherency_of dfs))
+              then ok := false)
+            ops;
+          !ok))
+
+let suite =
+  [
+    Alcotest.test_case "remote read/write" `Quick test_remote_read_write;
+    Alcotest.test_case "remote ops use the network" `Quick test_remote_ops_use_network;
+    Alcotest.test_case "local/remote coherence" `Quick test_local_remote_coherence;
+    Alcotest.test_case "remote mapping coherence" `Quick test_remote_mapping_coherence;
+    Alcotest.test_case "fig7: local binds forwarded" `Quick
+      test_fig7_local_binds_forwarded;
+    Alcotest.test_case "remote namespace ops" `Quick test_remote_namespace_ops;
+    Alcotest.test_case "two remote clients" `Quick test_two_remote_clients;
+    Alcotest.test_case "remote attrs" `Quick test_remote_attr_via_fs_pager;
+    Alcotest.test_case "sync persists via remote" `Quick test_sync_persists_via_remote;
+    prop_three_clients_linearize;
+  ]

@@ -1,0 +1,213 @@
+(* Failure injection: resource exhaustion, corrupt on-disk state, and
+   administrative (ACL) denial, across the stack. *)
+
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module V = Sp_vm.Vm_types
+
+let ps = V.page_size
+
+let make_sfs ?(blocks = 64) () =
+  let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+  let disk = Util.fresh_disk ~blocks () in
+  (vmm, disk, Sp_coherency.Spring_sfs.make_split ~vmm ~name:"sfs" ~same_domain:false disk)
+
+let test_disk_full_through_coherency () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs ~blocks:48 () in
+      let f = S.create sfs (Util.name "filler") in
+      let chunk = Util.pattern_bytes ps in
+      (* Writes buffer in the cache; the exhaustion surfaces when data is
+         pushed to the disk layer. *)
+      Alcotest.(check bool) "no-space surfaces" true
+        (try
+           for i = 0 to 200 do
+             ignore (F.write f ~pos:(i * ps) chunk);
+             F.sync f
+           done;
+           false
+         with Sp_core.Fserr.No_space _ -> true))
+
+let test_disk_full_through_compfs () =
+  Util.in_world (fun () ->
+      let vmm, _disk, sfs = make_sfs ~blocks:48 () in
+      let comp = Sp_compfs.Compfs.make ~vmm ~name:"compfs-full" () in
+      S.stack_on comp sfs;
+      let f = S.create comp (Util.name "filler") in
+      (* Incompressible data defeats compression, so the container grows
+         until the base device fills. *)
+      Alcotest.(check bool) "no-space propagates through compfs" true
+        (try
+           for i = 0 to 200 do
+             ignore (F.write f ~pos:(i * ps) (Util.pattern_bytes ~seed:i ps));
+             F.sync f
+           done;
+           false
+         with Sp_core.Fserr.No_space _ -> true))
+
+let test_inode_exhaustion () =
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs ~blocks:64 () in
+      Alcotest.(check bool) "inode table exhausts cleanly" true
+        (try
+           for i = 0 to 200 do
+             ignore (S.create sfs (Util.name (Printf.sprintf "f%d" i)))
+           done;
+           false
+         with Sp_core.Fserr.No_space _ -> true);
+      (* The file system remains usable: removing frees an inode. *)
+      S.remove sfs (Util.name "f0");
+      ignore (S.create sfs (Util.name "recovered")))
+
+let test_corrupt_compfs_container () =
+  Util.in_world (fun () ->
+      let vmm, _disk, sfs = make_sfs ~blocks:256 () in
+      (* A file that was never a COMPFS container. *)
+      let raw = S.create sfs (Util.name "not-a-container") in
+      ignore (F.write raw ~pos:0 (Util.pattern_bytes 64));
+      let comp = Sp_compfs.Compfs.make ~vmm ~name:"compfs-corrupt" () in
+      S.stack_on comp sfs;
+      Alcotest.(check bool) "bad magic rejected, not crashed" true
+        (try
+           ignore (F.read (S.open_file comp (Util.name "not-a-container")) ~pos:0 ~len:4);
+           false
+         with Sp_core.Fserr.Io_error _ -> true))
+
+let test_corrupt_chunk_log () =
+  Util.in_world (fun () ->
+      let vmm, _disk, sfs = make_sfs ~blocks:256 () in
+      let comp = Sp_compfs.Compfs.make ~vmm ~name:"compfs-chunk" () in
+      S.stack_on comp sfs;
+      let f = S.create comp (Util.name "victim") in
+      ignore (F.write f ~pos:0 (Util.pattern_bytes ps));
+      S.sync comp;
+      (* Smash the chunk log (keep the header). *)
+      let container = S.open_file sfs (Util.name "victim") in
+      ignore (F.write container ~pos:ps (Bytes.make 64 '\255'));
+      F.sync container;
+      (* A fresh instance must reject the log, not loop or crash. *)
+      let vmm2 = Sp_vm.Vmm.create ~node:"local" "vmm2" in
+      let comp2 = Sp_compfs.Compfs.make ~vmm:vmm2 ~name:"compfs-chunk2" () in
+      S.stack_on comp2 sfs;
+      Alcotest.(check bool) "corrupt log rejected" true
+        (try
+           ignore (F.read (S.open_file comp2 (Util.name "victim")) ~pos:0 ~len:4);
+           false
+         with Sp_core.Fserr.Io_error _ | Invalid_argument _ -> true))
+
+let test_acl_restricted_export () =
+  (* "It is an administrative decision whether (and to whom) to expose the
+     files exported by the various file systems" (§4.1). *)
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs ~blocks:64 () in
+      ignore (S.create sfs (Util.name "payroll"));
+      let ns_domain = Sp_obj.Sdomain.create "ns" in
+      let acl =
+        Sp_naming.Acl.make
+          [ ("admin", [ Sp_naming.Acl.Resolve; Bind; Unbind ]) ]
+      in
+      let guarded = Sp_naming.Context.make ~domain:ns_domain ~label:"secure" ~acl () in
+      Sp_naming.Context.bind ~principal:"admin" guarded (Util.name "vol")
+        (S.Fs sfs);
+      (* Admin resolves through; others are denied at the context. *)
+      (match Sp_naming.Context.resolve ~principal:"admin" guarded (Util.name "vol") with
+      | S.Fs _ -> ()
+      | _ -> Alcotest.fail "admin should resolve");
+      Alcotest.(check bool) "stranger denied" true
+        (try
+           ignore (Sp_naming.Context.resolve ~principal:"guest" guarded (Util.name "vol"));
+           false
+         with Sp_naming.Context.Denied _ -> true))
+
+let test_write_to_missing_after_remove () =
+  (* A stale file object whose backing was removed: the disk layer frees
+     the inode; further use of the stale wrapper must not corrupt a file
+     that reuses the inode. *)
+  Util.in_world (fun () ->
+      let _vmm, _disk, sfs = make_sfs ~blocks:64 () in
+      let doomed = S.create sfs (Util.name "doomed") in
+      ignore (F.write doomed ~pos:0 (Util.bytes_of_string "old"));
+      S.remove sfs (Util.name "doomed");
+      let fresh = S.create sfs (Util.name "fresh") in
+      ignore (F.write fresh ~pos:0 (Util.bytes_of_string "new content"));
+      Util.check_str "fresh file intact" "new content" (F.read fresh ~pos:0 ~len:11))
+
+let test_mirror_double_degradation () =
+  Util.in_world (fun () ->
+      let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+      let mk n =
+        Sp_coherency.Spring_sfs.make_split ~vmm ~name:n ~same_domain:false
+          (Util.fresh_disk ())
+      in
+      let mirror = Sp_mirrorfs.Mirrorfs.make ~vmm ~name:"m2" () in
+      S.stack_on mirror (mk "ma");
+      S.stack_on mirror (mk "mb");
+      let f = S.create mirror (Util.name "x") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "v1"));
+      F.sync f;
+      (* Flip degradation back and forth; data must survive every flip. *)
+      Sp_mirrorfs.Mirrorfs.set_degraded mirror (Some Sp_mirrorfs.Mirrorfs.Primary);
+      Util.check_str "served by secondary" "v1" (F.read f ~pos:0 ~len:2);
+      Sp_mirrorfs.Mirrorfs.set_degraded mirror (Some Sp_mirrorfs.Mirrorfs.Secondary);
+      Util.check_str "served by primary" "v1" (F.read f ~pos:0 ~len:2);
+      Sp_mirrorfs.Mirrorfs.set_degraded mirror None;
+      Util.check_str "served by both" "v1" (F.read f ~pos:0 ~len:2))
+
+let test_unformatted_device_errors () =
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:64 () in
+      Alcotest.(check bool) "disk layer refuses" true
+        (try
+           ignore (Sp_sfs.Disk_layer.mount ~name:"um" disk);
+           false
+         with Sp_core.Fserr.Io_error _ -> true);
+      Alcotest.(check bool) "baseline refuses" true
+        (try
+           ignore (Sp_baseline.Unixfs.mount disk);
+           false
+         with Sp_core.Fserr.Io_error _ -> true))
+
+let test_inode_reuse_through_stack () =
+  (* Regression (found by the stress schedule): removing a file must
+     destroy its pager-cache channels all the way up, or a new file that
+     reuses the inode aliases stale caches. *)
+  Util.in_world (fun () ->
+      let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+      let disk = Util.fresh_disk ~blocks:4096 () in
+      let sfs =
+        Sp_coherency.Spring_sfs.make_split ~vmm ~name:"reuse-sfs" ~same_domain:false
+          disk
+      in
+      let top =
+        let crypt = Sp_cryptfs.Cryptfs.make ~vmm ~name:"reuse-crypt" ~key:"k" () in
+        S.stack_on crypt sfs;
+        let comp = Sp_compfs.Compfs.make ~vmm ~name:"reuse-comp" () in
+        S.stack_on comp crypt;
+        comp
+      in
+      let a = S.create top (Util.name "a") in
+      ignore (F.write a ~pos:0 (Util.pattern_bytes ~seed:1 5000));
+      S.remove top (Util.name "a");
+      (* "b" reuses a's inode in the base volume. *)
+      let b = S.create top (Util.name "b") in
+      ignore (F.write b ~pos:0 (Util.bytes_of_string "fresh file"));
+      Util.check_str "no aliasing of the recycled identity" "fresh file"
+        (F.read (S.open_file top (Util.name "b")) ~pos:0 ~len:10);
+      Alcotest.(check int) "fresh length" 10 (F.stat b).Sp_vm.Attr.len)
+
+let suite =
+  [
+    Alcotest.test_case "disk full through coherency" `Quick
+      test_disk_full_through_coherency;
+    Alcotest.test_case "disk full through compfs" `Quick test_disk_full_through_compfs;
+    Alcotest.test_case "inode exhaustion + recovery" `Quick test_inode_exhaustion;
+    Alcotest.test_case "corrupt compfs container" `Quick test_corrupt_compfs_container;
+    Alcotest.test_case "corrupt chunk log" `Quick test_corrupt_chunk_log;
+    Alcotest.test_case "acl-restricted export" `Quick test_acl_restricted_export;
+    Alcotest.test_case "inode reuse after remove" `Quick
+      test_write_to_missing_after_remove;
+    Alcotest.test_case "mirror degradation flips" `Quick test_mirror_double_degradation;
+    Alcotest.test_case "unformatted device" `Quick test_unformatted_device_errors;
+    Alcotest.test_case "inode reuse through stack (regression)" `Quick
+      test_inode_reuse_through_stack;
+  ]

@@ -1,0 +1,277 @@
+(* End-to-end scenarios from the paper: the §4.4 configuration method, the
+   §4.5 walk-through (DFS on COMPFS on SFS), and cross-layer towers. *)
+
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module N = Sp_node.Node
+
+let build_45_stack () =
+  let world = N.World.create () in
+  let alpha = N.World.add_node world "alpha" in
+  ignore (N.add_disk alpha ~name:"disk0" ~blocks:4096);
+  Sp_sfs.Disk_layer.mkfs (N.disk alpha "disk0");
+  let sfs = N.mount_sfs alpha ~disk_name:"disk0" ~name:"sfs0" in
+  (* §4.5: look up creators, create instances, stack COMPFS on SFS, DFS on
+     COMPFS, and export everything. *)
+  let compfs = S.instantiate (N.creators alpha) "compfs" ~name:"compfs0" in
+  S.stack_on compfs sfs;
+  let dfs = S.instantiate (N.creators alpha) "dfs" ~name:"dfs0" in
+  S.stack_on dfs compfs;
+  Sp_core.Stack_builder.expose ~root:(N.root alpha) ~at:(Util.name "fs/compfs0") compfs;
+  Sp_core.Stack_builder.expose ~root:(N.root alpha) ~at:(Util.name "fs/dfs0") dfs;
+  (world, alpha, sfs, compfs, dfs)
+
+let test_walkthrough_45 () =
+  Util.in_world (fun () ->
+      let world, _alpha, sfs, compfs, dfs = build_45_stack () in
+      (* A remote name lookup arrives through the private DFS protocol;
+         resolution cascades down the stack. *)
+      let import = Sp_dfs.Dfs.import ~net:(N.World.net world) ~client_node:"beta" dfs in
+      let rf = S.create import (Util.name "paper.txt") in
+      (* A remote write, then a remote read request: DFS page-in -> COMPFS
+         uncompresses -> SFS reads the disk. *)
+      let text = String.concat " " (List.init 5000 (fun _ -> "spring")) in
+      ignore (F.write rf ~pos:0 (Util.bytes_of_string text));
+      Util.check_str "remote read through three layers"
+        (String.sub text 0 40)
+        (F.read rf ~pos:0 ~len:40);
+      (* "At any point the underlying data may be accessed through
+         file_COMP or (compressed) through file_SFS.  All such accesses
+         will be coherent with each other and with remote DFS clients." *)
+      S.sync import;
+      let via_compfs = S.open_file compfs (Util.name "paper.txt") in
+      Util.check_str "COMPFS view coherent"
+        (String.sub text 0 40)
+        (F.read via_compfs ~pos:0 ~len:40);
+      let via_sfs = S.open_file sfs (Util.name "paper.txt") in
+      let container = F.read_all via_sfs in
+      Alcotest.(check bool) "SFS view holds the compressed container" true
+        (Bytes.length container < String.length text);
+      (* A local write via COMPFS is seen by the remote client. *)
+      ignore (F.write via_compfs ~pos:0 (Util.bytes_of_string "LOCAL!"));
+      Util.check_str "remote client sees local write" "LOCAL!"
+        (F.read rf ~pos:0 ~len:6))
+
+let test_fig3_graph () =
+  (* Figure 3: compression on one base volume; a mirror across two other
+     volumes; everything exposed side by side. *)
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      List.iter
+        (fun d ->
+          ignore (N.add_disk alpha ~name:d ~blocks:2048);
+          Sp_sfs.Disk_layer.mkfs (N.disk alpha d))
+        [ "d1"; "d2"; "d3" ];
+      let fs1 = N.mount_sfs alpha ~disk_name:"d1" ~name:"fs1" in
+      let fs2 = N.mount_sfs alpha ~disk_name:"d2" ~name:"fs2" in
+      let fs3 = N.build_stack alpha ~base:fs1 [ ("compfs", "fs3") ] in
+      let fs4 = S.instantiate (N.creators alpha) "mirrorfs" ~name:"fs4" in
+      S.stack_on fs4 fs1;
+      S.stack_on fs4 fs2;
+      Sp_core.Stack_builder.expose ~root:(N.root alpha) ~at:(Util.name "fs/fs3") fs3;
+      Sp_core.Stack_builder.expose ~root:(N.root alpha) ~at:(Util.name "fs/fs4") fs4;
+      (* fs3 (compression) works over fs1... *)
+      let f3 = S.create fs3 (Util.name "comp") in
+      ignore (F.write f3 ~pos:0 (Util.bytes_of_string "via fs3"));
+      Util.check_str "fs3 io" "via fs3" (F.read f3 ~pos:0 ~len:7);
+      (* ...and fs4 (mirroring) replicates over fs1+fs2 concurrently. *)
+      let f4 = S.create fs4 (Util.name "mirr") in
+      ignore (F.write f4 ~pos:0 (Util.bytes_of_string "via fs4"));
+      F.sync f4;
+      Util.check_str "replica on fs2" "via fs4"
+        (F.read (S.open_file fs2 (Util.name "mirr")) ~pos:0 ~len:7);
+      (* Administrative view: both exported. *)
+      Alcotest.(check (list string)) "exposed" [ "fs1"; "fs2"; "fs3"; "fs4" ]
+        (Sp_naming.Context.list (N.root alpha) (Util.name "fs")))
+
+let test_crypt_under_comp () =
+  (* A deeper tower: coherency over compression over encryption over SFS.
+     Exercises pager stacking depth 4. *)
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      ignore (N.add_disk alpha ~name:"d" ~blocks:4096);
+      Sp_sfs.Disk_layer.mkfs (N.disk alpha "d");
+      let sfs = N.mount_sfs alpha ~disk_name:"d" ~name:"base" in
+      let top =
+        N.build_stack alpha ~base:sfs
+          [ ("cryptfs", "crypt0"); ("compfs", "comp0"); ("coherency", "coh0") ]
+      in
+      let f = S.create top (Util.name "tower") in
+      let payload = Util.pattern_bytes 10_000 in
+      ignore (F.write f ~pos:0 payload);
+      Util.check_bytes "roundtrip through four layers" payload
+        (F.read f ~pos:0 ~len:10_000);
+      S.sync top;
+      (* The base volume holds neither plaintext nor the raw compressed
+         container (it is encrypted). *)
+      let base_file = S.open_file sfs (Util.name "tower") in
+      let raw = F.read_all base_file in
+      Alcotest.(check bool) "base is not plaintext" false
+        (Bytes.equal raw payload))
+
+let test_dfs_on_transform_tower () =
+  (* Regression: DFS serving a compfs-on-cryptfs tower exercises container
+     appends through a length-clipping lower layer. *)
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      ignore (N.add_disk alpha ~name:"d" ~blocks:8192);
+      Sp_sfs.Disk_layer.mkfs (N.disk alpha "d");
+      let sfs = N.mount_sfs alpha ~disk_name:"d" ~name:"base" in
+      let top =
+        N.build_stack alpha ~base:sfs [ ("cryptfs", "crypt0"); ("compfs", "comp0") ]
+      in
+      let f = S.create top (Util.name "payload") in
+      let text = Util.pattern_bytes 9000 in
+      ignore (F.write f ~pos:0 text);
+      S.sync top;
+      let dfs = N.build_stack alpha ~base:top [ ("dfs", "dfs0") ] in
+      let import =
+        Sp_dfs.Dfs.import ~net:(N.World.net world) ~client_node:"beta" dfs
+      in
+      let rf = S.open_file import (Util.name "payload") in
+      Alcotest.(check int) "remote length" 9000 (F.stat rf).Sp_vm.Attr.len;
+      Util.check_bytes "remote bytes identical" text (F.read rf ~pos:0 ~len:9000))
+
+let test_dfs_serves_compressed_savings () =
+  (* The intro's motivation: add compression to a distributed volume
+     without touching DFS or SFS. *)
+  Util.in_world (fun () ->
+      let world, _alpha, sfs, compfs, dfs = build_45_stack () in
+      ignore world;
+      let import = Sp_dfs.Dfs.import ~net:(N.World.net world) ~client_node:"beta" dfs in
+      let rf = S.create import (Util.name "log") in
+      let logtext = Bytes.of_string (String.concat "\n" (List.init 500 (fun i ->
+          Printf.sprintf "entry %d: status ok" i)))
+      in
+      ignore (F.write rf ~pos:0 logtext);
+      S.sync import;
+      let logical = Sp_compfs.Compfs.logical_bytes compfs (Util.name "log") in
+      let physical = Sp_compfs.Compfs.container_bytes compfs (Util.name "log") in
+      Alcotest.(check int) "logical size" (Bytes.length logtext) logical;
+      Alcotest.(check bool) "disk savings behind DFS" true (physical < logical);
+      ignore sfs)
+
+let test_tower_under_memory_pressure () =
+  (* The whole stack stays correct when the node VMM can cache only a
+     handful of pages: every eviction round-trips through the pager
+     protocol of each layer. *)
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      ignore (N.add_disk alpha ~name:"d" ~blocks:8192);
+      Sp_sfs.Disk_layer.mkfs (N.disk alpha "d");
+      let sfs = N.mount_sfs alpha ~disk_name:"d" ~name:"base" in
+      let top =
+        N.build_stack alpha ~base:sfs
+          [ ("cryptfs", "p-crypt"); ("compfs", "p-comp"); ("coherency", "p-coh") ]
+      in
+      Sp_vm.Vmm.set_capacity (N.vmm alpha) ~pages:(Some 6);
+      let f = S.create top (Util.name "pressure") in
+      let payload = Util.pattern_bytes (24 * 4096) in
+      ignore (F.write f ~pos:0 payload);
+      Util.check_bytes "large file correct under tiny cache" payload
+        (F.read f ~pos:0 ~len:(Bytes.length payload));
+      Alcotest.(check bool) "evictions actually occurred" true
+        (Sp_vm.Vmm.evictions (N.vmm alpha) > 10);
+      S.sync top;
+      Util.check_bytes "still correct after sync" (Bytes.sub payload 0 4096)
+        (F.read f ~pos:0 ~len:4096))
+
+let test_stress_full_stack_with_fsck () =
+  (* Capstone: a long random workload through a four-layer tower, verified
+     against an in-memory model, with MRSW invariants checked along the
+     way and an fsck of the base volume at the end. *)
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      ignore (N.add_disk alpha ~name:"d" ~blocks:8192);
+      Sp_sfs.Disk_layer.mkfs (N.disk alpha "d");
+      let sfs = N.mount_sfs alpha ~disk_name:"d" ~name:"stress-base" in
+      let top =
+        N.build_stack alpha ~base:sfs
+          [ ("cryptfs", "s-crypt"); ("compfs", "s-comp"); ("coherency", "s-coh") ]
+      in
+      let rng = ref 99 in
+      let next bound =
+        rng := ((!rng * 1103515245) + 12345) land 0x3fffffff;
+        !rng mod bound
+      in
+      let model : (string, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+      let live = ref [] in
+      let model_write name pos data =
+        let old = Option.value (Hashtbl.find_opt model name) ~default:Bytes.empty in
+        let len = max (Bytes.length old) (pos + Bytes.length data) in
+        let fresh = Bytes.make len '\000' in
+        Bytes.blit old 0 fresh 0 (Bytes.length old);
+        Bytes.blit data 0 fresh pos (Bytes.length data);
+        Hashtbl.replace model name fresh
+      in
+      for i = 0 to 80 do
+        (match next 5 with
+        | 0 ->
+            let name = Printf.sprintf "s%d" i in
+            ignore (S.create top (Util.name name));
+            Hashtbl.replace model name Bytes.empty;
+            live := name :: !live
+        | 1 when !live <> [] ->
+            let name = List.nth !live (next (List.length !live)) in
+            S.remove top (Util.name name);
+            Hashtbl.remove model name;
+            live := List.filter (fun n -> n <> name) !live
+        | 2 when !live <> [] ->
+            let name = List.nth !live (next (List.length !live)) in
+            let keep = next 6000 in
+            Sp_core.File.truncate (S.open_file top (Util.name name)) keep;
+            let old = Hashtbl.find model name in
+            let fresh = Bytes.make keep '\000' in
+            Bytes.blit old 0 fresh 0 (min keep (Bytes.length old));
+            Hashtbl.replace model name fresh
+        | _ when !live <> [] ->
+            let name = List.nth !live (next (List.length !live)) in
+            let pos = next 8000 and len = 1 + next 3000 in
+            let data = Util.pattern_bytes ~seed:(i + 17) len in
+            ignore (Sp_core.File.write (S.open_file top (Util.name name)) ~pos data);
+            model_write name pos data
+        | _ -> ());
+        if i mod 20 = 0 then begin
+          S.sync top;
+          Alcotest.(check bool) "coherency invariant holds mid-run" true
+            (Sp_coherency.Coherency_layer.invariant_holds sfs)
+        end
+      done;
+      (* Every surviving file matches the model. *)
+      Hashtbl.iter
+        (fun name expected ->
+          let f = S.open_file top (Util.name name) in
+          Alcotest.(check int) (name ^ " length") (Bytes.length expected)
+            (Sp_core.File.stat f).Sp_vm.Attr.len;
+          Util.check_bytes (name ^ " content") expected (Sp_core.File.read_all f))
+        model;
+      (* And the base volume is structurally sound. *)
+      S.sync top;
+      S.sync sfs;
+      let problems = Sp_sfs.Fsck.check (N.disk alpha "d") in
+      Alcotest.(check int)
+        (Printf.sprintf "fsck clean (%s)"
+           (String.concat "; "
+              (List.map (Format.asprintf "%a" Sp_sfs.Fsck.pp_problem) problems)))
+        0 (List.length problems))
+
+let suite =
+  [
+    Alcotest.test_case "4.5 walk-through: DFS on COMPFS on SFS" `Quick
+      test_walkthrough_45;
+    Alcotest.test_case "fig3: stack graph" `Quick test_fig3_graph;
+    Alcotest.test_case "four-layer tower" `Quick test_crypt_under_comp;
+    Alcotest.test_case "compression savings behind DFS" `Quick
+      test_dfs_serves_compressed_savings;
+    Alcotest.test_case "dfs over transform tower (regression)" `Quick
+      test_dfs_on_transform_tower;
+    Alcotest.test_case "tower under memory pressure" `Quick
+      test_tower_under_memory_pressure;
+    Alcotest.test_case "stress: tower + model + fsck" `Quick
+      test_stress_full_stack_with_fsck;
+  ]

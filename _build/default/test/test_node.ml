@@ -1,0 +1,86 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module N = Sp_node.Node
+
+let test_node_setup () =
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      Alcotest.(check string) "name" "alpha" (N.name alpha);
+      (* All creators registered under the well-known context. *)
+      let listed = Sp_naming.Context.list (N.root alpha) (Util.name "fs_creators") in
+      Alcotest.(check (list string)) "creators registered"
+        [
+          "attrfs_creator";
+          "coherency_creator";
+          "compfs_creator";
+          "cryptfs_creator";
+          "dfs_creator";
+          "mirrorfs_creator";
+          "sfs_disk_creator";
+          "unionfs_creator";
+          "versionfs_creator";
+        ]
+        listed)
+
+let test_mount_and_stack () =
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      ignore (N.add_disk alpha ~name:"disk0" ~blocks:2048);
+      Sp_sfs.Disk_layer.mkfs (N.disk alpha "disk0");
+      let sfs = N.mount_sfs alpha ~disk_name:"disk0" ~name:"vol0" in
+      (* Bound into the node name space. *)
+      let via_ns =
+        Sp_core.Stack_builder.resolve_fs (N.root alpha) (Util.name "fs/vol0")
+      in
+      Alcotest.(check string) "exposed at /fs/vol0" sfs.S.sfs_name via_ns.S.sfs_name;
+      (* Build the paper's §4.5 stack through creators. *)
+      let top =
+        N.build_stack alpha ~base:sfs [ ("compfs", "comp0"); ("dfs", "dfs0") ]
+      in
+      let f = S.create top (Util.name "hello") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "node world"));
+      Util.check_str "io through node-built stack" "node world"
+        (F.read f ~pos:0 ~len:10))
+
+let test_namespace_per_domain () =
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      let d1 = Sp_obj.Sdomain.create ~node:"alpha" "app1" in
+      let ns1 = N.namespace alpha ~domain:d1 in
+      Sp_naming.Namespace.customize ns1 (Util.name "private") (Test_naming.Leaf 9);
+      (* Visible through ns1, not through the shared root. *)
+      (match
+         Sp_naming.Context.resolve (Sp_naming.Namespace.as_context ns1)
+           (Util.name "private")
+       with
+      | Test_naming.Leaf 9 -> ()
+      | _ -> Alcotest.fail "customisation lost");
+      Alcotest.check_raises "shared root unaffected"
+        (Sp_naming.Context.Unbound "//private") (fun () ->
+          ignore (Sp_naming.Context.resolve (N.root alpha) (Util.name "private"))))
+
+let test_two_nodes_dfs () =
+  Util.in_world (fun () ->
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      let beta = N.World.add_node world "beta" in
+      ignore (N.add_disk alpha ~name:"disk0" ~blocks:2048);
+      Sp_sfs.Disk_layer.mkfs (N.disk alpha "disk0");
+      let sfs = N.mount_sfs alpha ~disk_name:"disk0" ~name:"vol0" in
+      let dfs = N.build_stack alpha ~base:sfs [ ("dfs", "dfs0") ] in
+      let import = Sp_dfs.Dfs.import ~net:(N.World.net world) ~client_node:(N.name beta) dfs in
+      let rf = S.create import (Util.name "x") in
+      ignore (F.write rf ~pos:0 (Util.bytes_of_string "cross-node"));
+      Util.check_str "beta reads alpha's volume" "cross-node"
+        (F.read rf ~pos:0 ~len:10))
+
+let suite =
+  [
+    Alcotest.test_case "node setup" `Quick test_node_setup;
+    Alcotest.test_case "mount and stack" `Quick test_mount_and_stack;
+    Alcotest.test_case "per-domain namespace" `Quick test_namespace_per_domain;
+    Alcotest.test_case "two nodes over dfs" `Quick test_two_nodes_dfs;
+  ]

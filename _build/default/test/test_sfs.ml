@@ -1,0 +1,468 @@
+module DL = Sp_sfs.Disk_layer
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module V = Sp_vm.Vm_types
+
+let ps = V.page_size
+
+let mount ?(blocks = 2048) ?name () =
+  let disk = Util.fresh_disk ~blocks () in
+  let name = Option.value name ~default:"sfs0" in
+  (disk, DL.mount ~name disk)
+
+(* --- Layout --- *)
+
+let test_layout_roundtrip () =
+  let layout = Sp_sfs.Layout.compute ~total_blocks:2048 in
+  let decoded = Sp_sfs.Layout.decode_superblock (Sp_sfs.Layout.encode_superblock layout) in
+  Alcotest.(check int) "total" layout.Sp_sfs.Layout.total_blocks
+    decoded.Sp_sfs.Layout.total_blocks;
+  Alcotest.(check int) "inodes" layout.Sp_sfs.Layout.inode_count
+    decoded.Sp_sfs.Layout.inode_count;
+  Alcotest.(check int) "data start" layout.Sp_sfs.Layout.data_start
+    decoded.Sp_sfs.Layout.data_start;
+  Alcotest.(check bool) "regions ordered" true
+    (decoded.Sp_sfs.Layout.inode_bitmap_start < decoded.Sp_sfs.Layout.block_bitmap_start
+    && decoded.Sp_sfs.Layout.block_bitmap_start < decoded.Sp_sfs.Layout.inode_table_start
+    && decoded.Sp_sfs.Layout.inode_table_start < decoded.Sp_sfs.Layout.data_start)
+
+let test_layout_rejects_tiny () =
+  Alcotest.check_raises "tiny device"
+    (Invalid_argument "Layout.compute: device too small") (fun () ->
+      ignore (Sp_sfs.Layout.compute ~total_blocks:4))
+
+let test_bad_superblock () =
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:64 () in
+      try
+        ignore (DL.mount ~name:"bad" disk);
+        Alcotest.fail "mounted an unformatted device"
+      with Sp_core.Fserr.Io_error _ -> ())
+
+(* --- Bitmap --- *)
+
+let test_bitmap_alloc_free () =
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:8 () in
+      let bm = Sp_sfs.Bitmap.load disk ~start:1 ~blocks:1 ~bits:100 in
+      Alcotest.(check (option int)) "first free" (Some 0) (Sp_sfs.Bitmap.find_free bm);
+      Sp_sfs.Bitmap.set bm 0;
+      Sp_sfs.Bitmap.set bm 1;
+      Alcotest.(check (option int)) "next free" (Some 2) (Sp_sfs.Bitmap.find_free bm);
+      Alcotest.(check int) "used" 2 (Sp_sfs.Bitmap.used bm);
+      Sp_sfs.Bitmap.clear bm 0;
+      Alcotest.(check (option int)) "freed slot reusable" (Some 0)
+        (Sp_sfs.Bitmap.find_free bm);
+      (* Persistence through flush/reload. *)
+      Sp_sfs.Bitmap.flush bm;
+      let bm2 = Sp_sfs.Bitmap.load disk ~start:1 ~blocks:1 ~bits:100 in
+      Alcotest.(check bool) "bit 1 persisted" true (Sp_sfs.Bitmap.is_set bm2 1);
+      Alcotest.(check bool) "bit 0 cleared" false (Sp_sfs.Bitmap.is_set bm2 0);
+      Alcotest.(check int) "used persisted" 1 (Sp_sfs.Bitmap.used bm2))
+
+let test_bitmap_full () =
+  Util.in_world (fun () ->
+      let disk = Sp_blockdev.Disk.create ~blocks:8 () in
+      let bm = Sp_sfs.Bitmap.load disk ~start:1 ~blocks:1 ~bits:8 in
+      for i = 0 to 7 do Sp_sfs.Bitmap.set bm i done;
+      Alcotest.(check (option int)) "full" None (Sp_sfs.Bitmap.find_free bm))
+
+(* --- Inode/Dirent codecs --- *)
+
+let test_inode_codec () =
+  let inode =
+    {
+      Sp_sfs.Inode.kind = Sp_sfs.Inode.File;
+      nlink = 3;
+      len = 123456;
+      atime = 111;
+      mtime = 222;
+      ctime = 333;
+      direct = Array.init Sp_sfs.Layout.n_direct (fun i -> i * 7);
+      indirect = 99;
+      double_indirect = 100;
+    }
+  in
+  let back = Sp_sfs.Inode.decode (Sp_sfs.Inode.encode inode) in
+  Alcotest.(check int) "len" inode.Sp_sfs.Inode.len back.Sp_sfs.Inode.len;
+  Alcotest.(check int) "nlink" 3 back.Sp_sfs.Inode.nlink;
+  Alcotest.(check int) "indirect" 99 back.Sp_sfs.Inode.indirect;
+  Alcotest.(check int) "double" 100 back.Sp_sfs.Inode.double_indirect;
+  Alcotest.(check bool) "direct" true
+    (back.Sp_sfs.Inode.direct = inode.Sp_sfs.Inode.direct);
+  Alcotest.(check bool) "kind" true (back.Sp_sfs.Inode.kind = Sp_sfs.Inode.File)
+
+let test_dirent_codec () =
+  let e = { Sp_sfs.Dirent.ino = 42; is_dir = true; name = "hello.txt" } in
+  let b = Sp_sfs.Dirent.encode e in
+  (match Sp_sfs.Dirent.decode b 0 with
+  | Some d ->
+      Alcotest.(check int) "ino" 42 d.Sp_sfs.Dirent.ino;
+      Alcotest.(check bool) "is_dir" true d.Sp_sfs.Dirent.is_dir;
+      Alcotest.(check string) "name" "hello.txt" d.Sp_sfs.Dirent.name
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check (option bool)) "free slot decodes to None" None
+    (Option.map (fun _ -> true) (Sp_sfs.Dirent.decode Sp_sfs.Dirent.free_slot 0))
+
+let test_dirent_name_validation () =
+  let bad name =
+    try
+      Sp_sfs.Dirent.check_name name;
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "slash" true (bad "a/b");
+  Alcotest.(check bool) "nul" true (bad "a\000b");
+  Alcotest.(check bool) "too long" true (bad (String.make 100 'x'));
+  Sp_sfs.Dirent.check_name "fine-name.txt"
+
+(* --- Disk layer: files --- *)
+
+let test_create_write_read () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let f = S.create fs (Util.name "hello.txt") in
+      let n = F.write f ~pos:0 (Util.bytes_of_string "hello spring") in
+      Alcotest.(check int) "bytes written" 12 n;
+      Util.check_str "read back" "hello spring" (F.read f ~pos:0 ~len:100);
+      Util.check_str "offset read" "spring" (F.read f ~pos:6 ~len:6);
+      let attr = F.stat f in
+      Alcotest.(check int) "length" 12 attr.Sp_vm.Attr.len;
+      Alcotest.(check bool) "regular" true
+        (attr.Sp_vm.Attr.kind = Sp_vm.Attr.Regular))
+
+let test_open_via_context () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      ignore (S.create fs (Util.name "a.txt"));
+      let f = S.open_file fs (Util.name "a.txt") in
+      Alcotest.(check string) "identity" "sfs0/ino1" f.F.f_id;
+      (* Same object on reopen. *)
+      let f2 = S.open_file fs (Util.name "a.txt") in
+      Alcotest.(check bool) "memoised" true (f == f2))
+
+let test_open_missing () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      Alcotest.check_raises "missing" (Sp_core.Fserr.No_such_file "nope") (fun () ->
+          ignore (S.open_file fs (Util.name "nope"))))
+
+let test_create_duplicate () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      ignore (S.create fs (Util.name "dup"));
+      Alcotest.check_raises "duplicate" (Sp_core.Fserr.Already_exists "dup")
+        (fun () -> ignore (S.create fs (Util.name "dup"))))
+
+let test_directories () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      S.mkdir fs (Util.name "sub");
+      S.mkdir fs (Util.name "sub/deep");
+      ignore (S.create fs (Util.name "sub/deep/f.txt"));
+      let f = S.open_file fs (Util.name "sub/deep/f.txt") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "nested"));
+      Util.check_str "nested file io" "nested" (F.read f ~pos:0 ~len:6);
+      Alcotest.(check (list string)) "listing" [ "deep" ]
+        (S.listdir fs (Util.name "sub"));
+      Alcotest.check_raises "opening a dir as file"
+        (Sp_core.Fserr.Is_directory "sub") (fun () ->
+          ignore (S.open_file fs (Util.name "sub"))))
+
+let test_remove () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let free0 = DL.free_inodes fs in
+      ignore (S.create fs (Util.name "gone"));
+      S.remove fs (Util.name "gone");
+      Alcotest.(check int) "inode freed" free0 (DL.free_inodes fs);
+      Alcotest.check_raises "open removed" (Sp_core.Fserr.No_such_file "gone")
+        (fun () -> ignore (S.open_file fs (Util.name "gone"))))
+
+let test_remove_nonempty_dir () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      S.mkdir fs (Util.name "d");
+      ignore (S.create fs (Util.name "d/f"));
+      (try
+         S.remove fs (Util.name "d");
+         Alcotest.fail "removed non-empty directory"
+       with Sp_core.Fserr.Directory_not_empty _ -> ());
+      S.remove fs (Util.name "d/f");
+      S.remove fs (Util.name "d");
+      Alcotest.(check (list string)) "root empty" [] (S.listdir fs (Util.name "/")))
+
+let test_hard_links () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let f = S.create fs (Util.name "orig") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "content"));
+      Sp_naming.Context.bind fs.S.sfs_ctx (Util.name "alias") (F.File f);
+      let via_alias = S.open_file fs (Util.name "alias") in
+      Util.check_str "alias reads same data" "content"
+        (F.read via_alias ~pos:0 ~len:7);
+      Alcotest.(check int) "nlink" 2 (F.stat f).Sp_vm.Attr.nlink;
+      (* Removing one name keeps the file. *)
+      S.remove fs (Util.name "orig");
+      Util.check_str "alias survives" "content"
+        (F.read (S.open_file fs (Util.name "alias")) ~pos:0 ~len:7);
+      (* Removing the last name frees the inode. *)
+      let free_before = DL.free_inodes fs in
+      S.remove fs (Util.name "alias");
+      Alcotest.(check int) "inode freed at last unlink" (free_before + 1)
+        (DL.free_inodes fs))
+
+let test_truncate () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let f = S.create fs (Util.name "t") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "0123456789"));
+      F.truncate f 4;
+      Alcotest.(check int) "len" 4 (F.stat f).Sp_vm.Attr.len;
+      Util.check_str "short read" "0123" (F.read f ~pos:0 ~len:100);
+      (* Re-extend: tail must read zeros, not stale data. *)
+      F.truncate f 10;
+      Util.check_str "zeros after regrow" "0123\000\000\000\000\000\000"
+        (F.read f ~pos:0 ~len:10))
+
+let test_holes () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let f = S.create fs (Util.name "sparse") in
+      let far = 5 * ps in
+      ignore (F.write f ~pos:far (Util.bytes_of_string "end"));
+      Alcotest.(check int) "len covers hole" (far + 3) (F.stat f).Sp_vm.Attr.len;
+      Util.check_str "hole reads zeros" "\000\000\000\000" (F.read f ~pos:100 ~len:4);
+      Util.check_str "data after hole" "end" (F.read f ~pos:far ~len:3))
+
+let test_large_file_indirect () =
+  Util.in_world (fun () ->
+      (* > 12 direct blocks: exercises single indirection; and beyond
+         12+1024 would need double indirection (device too small here), so
+         we stay at ~30 blocks for single and poke one double-indirect
+         block on a bigger device below. *)
+      let _disk, fs = mount ~blocks:4096 () in
+      let f = S.create fs (Util.name "big") in
+      let chunk = Util.pattern_bytes ps in
+      for i = 0 to 29 do
+        ignore (F.write f ~pos:(i * ps) chunk)
+      done;
+      Alcotest.(check int) "length" (30 * ps) (F.stat f).Sp_vm.Attr.len;
+      Util.check_bytes "block 0" chunk (F.read f ~pos:0 ~len:ps);
+      Util.check_bytes "block 20 (indirect)" chunk (F.read f ~pos:(20 * ps) ~len:ps);
+      (* Truncate to 1 block frees the rest. *)
+      let free_small = DL.free_blocks fs in
+      F.truncate f ps;
+      Alcotest.(check bool) "blocks freed" true (DL.free_blocks fs > free_small))
+
+let test_double_indirect () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount ~blocks:8192 () in
+      let f = S.create fs (Util.name "huge") in
+      (* File block 12 + 1024 + 3 lives in the double-indirect region. *)
+      let target = (12 + 1024 + 3) * ps in
+      ignore (F.write f ~pos:target (Util.bytes_of_string "deep"));
+      Util.check_str "double indirect io" "deep" (F.read f ~pos:target ~len:4);
+      Util.check_str "hole before" "\000" (F.read f ~pos:(13 * ps) ~len:1);
+      F.truncate f 0;
+      Alcotest.(check int) "empty after truncate" 0 (F.stat f).Sp_vm.Attr.len)
+
+let test_no_space () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount ~blocks:32 () in
+      let f = S.create fs (Util.name "filler") in
+      let chunk = Util.pattern_bytes ps in
+      try
+        for i = 0 to 63 do
+          ignore (F.write f ~pos:(i * ps) chunk)
+        done;
+        Alcotest.fail "expected No_space"
+      with Sp_core.Fserr.No_space _ -> ())
+
+let test_persistence_across_remount () =
+  Util.in_world (fun () ->
+      let disk = Util.fresh_disk () in
+      let fs = DL.mount ~name:"sfs0" disk in
+      S.mkdir fs (Util.name "d");
+      let f = S.create fs (Util.name "d/file") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "persistent data"));
+      S.sync fs;
+      (* Remount the same device under a fresh instance. *)
+      let fs2 = DL.mount ~name:"sfs0b" disk in
+      let f2 = S.open_file fs2 (Util.name "d/file") in
+      Util.check_str "data survived remount" "persistent data"
+        (F.read f2 ~pos:0 ~len:15);
+      Alcotest.(check int) "length survived" 15 (F.stat f2).Sp_vm.Attr.len)
+
+let test_stat_uses_inode_cache () =
+  Util.in_world (fun () ->
+      let disk, fs = mount () in
+      ignore (S.create fs (Util.name "cached"));
+      let f = S.open_file fs (Util.name "cached") in
+      ignore (F.stat f);
+      Sp_blockdev.Disk.reset_stats disk;
+      for _ = 1 to 10 do
+        ignore (F.stat f)
+      done;
+      Alcotest.(check int) "stat needs no disk I/O"
+        0 (Sp_blockdev.Disk.stats disk).Sp_blockdev.Disk.reads)
+
+let test_reads_hit_disk () =
+  (* "reads and writes to the disk layer do require disk I/Os" *)
+  Util.in_world (fun () ->
+      let disk, fs = mount () in
+      let f = S.create fs (Util.name "raw") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "data"));
+      Sp_blockdev.Disk.reset_stats disk;
+      ignore (F.read f ~pos:0 ~len:4);
+      Alcotest.(check bool) "read reaches device" true
+        ((Sp_blockdev.Disk.stats disk).Sp_blockdev.Disk.reads > 0))
+
+let test_pager_contract () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let f = S.create fs (Util.name "paged") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "page data"));
+      let vmm = Sp_vm.Vmm.create ~node:"local" "client" in
+      let m = Sp_vm.Vmm.map vmm f.F.f_mem in
+      Util.check_str "page_in serves file data" "page data"
+        (Sp_vm.Vmm.read m ~pos:0 ~len:9);
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "MAPPED));");
+      Sp_vm.Vmm.msync m;
+      Util.check_str "page_out reached the file" "MAPPED"
+        (F.read f ~pos:0 ~len:6);
+      Alcotest.(check int) "one channel" 1 (DL.channel_count fs))
+
+let test_fs_pager_narrow () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let f = S.create fs (Util.name "attrs") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "xyz"));
+      let vmm = Sp_vm.Vmm.create ~node:"local" "client" in
+      ignore (Sp_vm.Vmm.map vmm f.F.f_mem);
+      (* Find the channel pager at the disk layer and narrow it. *)
+      let fsx = S.open_file fs (Util.name "attrs") in
+      ignore fsx;
+      let rights = V.bind f.F.f_mem (Sp_vm.Vmm.manager vmm) V.Read_only in
+      Alcotest.(check string) "cache key is the file identity" "sfs0/ino1"
+        rights.V.cr_key;
+      (* The disk layer's pager must narrow to fs_pager. *)
+      let probe_manager =
+        {
+          V.cm_id = "probe";
+          cm_domain = Sp_obj.Sdomain.create "probe";
+          cm_connect =
+            (fun ~key:_ pager ->
+              (match V.narrow_fs_pager pager with
+              | Some ops ->
+                  let attr = V.fs_get_attr pager ops in
+                  Alcotest.(check int) "attr via fs_pager" 3 attr.Sp_vm.Attr.len
+              | None -> Alcotest.fail "disk layer pager should narrow to fs_pager");
+              {
+                V.c_domain = Sp_obj.Sdomain.create "probe-cache";
+                c_label = "probe";
+                c_flush_back = (fun ~offset:_ ~size:_ -> []);
+                c_deny_writes = (fun ~offset:_ ~size:_ -> []);
+                c_write_back = (fun ~offset:_ ~size:_ -> []);
+                c_delete_range = (fun ~offset:_ ~size:_ -> ());
+                c_zero_fill = (fun ~offset:_ ~size:_ -> ());
+                c_populate = (fun ~offset:_ ~access:_ _ -> ());
+                c_destroy = (fun () -> ());
+                c_exten = [];
+              });
+        }
+      in
+      ignore (V.bind f.F.f_mem probe_manager V.Read_only))
+
+let test_set_length_via_memory_object () =
+  Util.in_world (fun () ->
+      let _disk, fs = mount () in
+      let f = S.create fs (Util.name "m") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "0123456789"));
+      V.set_length f.F.f_mem 3;
+      Alcotest.(check int) "length set through memory object" 3
+        (V.get_length f.F.f_mem);
+      Alcotest.(check int) "stat agrees" 3 (F.stat f).Sp_vm.Attr.len)
+
+let test_creator () =
+  Util.in_world (fun () ->
+      let disks = Hashtbl.create 4 in
+      let get_disk name =
+        match Hashtbl.find_opt disks name with
+        | Some d -> d
+        | None ->
+            let d = Sp_blockdev.Disk.create ~label:name ~blocks:256 () in
+            Hashtbl.replace disks name d;
+            d
+      in
+      let creators =
+        Sp_naming.Context.make ~domain:(Sp_obj.Sdomain.create "creators")
+          ~label:"fs_creators" ()
+      in
+      S.register_creator creators (DL.creator ~get_disk ());
+      let fs = S.instantiate creators "sfs_disk" ~name:"vol1" in
+      Alcotest.(check string) "instance name" "vol1" fs.S.sfs_name;
+      ignore (S.create fs (Util.name "f"));
+      Alcotest.(check (list string)) "works" [ "f" ] (S.listdir fs (Util.name "/"));
+      Alcotest.check_raises "unknown creator"
+        (S.Stack_error "nope: no such creator") (fun () ->
+          ignore (S.instantiate creators "nope" ~name:"x")))
+
+let prop_random_io_matches_model =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 15) (pair (int_range 0 (6 * ps)) (int_range 1 300)))
+  in
+  Util.qcheck_case ~count:30 "sfs random writes match byte-array model" gen
+    (fun writes ->
+      Util.in_world (fun () ->
+          let _disk, fs = mount ~blocks:4096 () in
+          let f = S.create fs (Util.name "model") in
+          let size = (6 * ps) + 300 in
+          let model = Bytes.make size '\000' in
+          let file_len = ref 0 in
+          List.iteri
+            (fun i (pos, len) ->
+              let data = Util.pattern_bytes ~seed:(i + 13) len in
+              ignore (F.write f ~pos data);
+              Bytes.blit data 0 model pos len;
+              file_len := max !file_len (pos + len))
+            writes;
+          let actual = F.read f ~pos:0 ~len:size in
+          Bytes.equal actual (Bytes.sub model 0 !file_len)))
+
+let suite =
+  [
+    Alcotest.test_case "layout roundtrip" `Quick test_layout_roundtrip;
+    Alcotest.test_case "layout rejects tiny device" `Quick test_layout_rejects_tiny;
+    Alcotest.test_case "bad superblock" `Quick test_bad_superblock;
+    Alcotest.test_case "bitmap alloc/free/persist" `Quick test_bitmap_alloc_free;
+    Alcotest.test_case "bitmap full" `Quick test_bitmap_full;
+    Alcotest.test_case "inode codec" `Quick test_inode_codec;
+    Alcotest.test_case "dirent codec" `Quick test_dirent_codec;
+    Alcotest.test_case "dirent name validation" `Quick test_dirent_name_validation;
+    Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+    Alcotest.test_case "open via context" `Quick test_open_via_context;
+    Alcotest.test_case "open missing" `Quick test_open_missing;
+    Alcotest.test_case "create duplicate" `Quick test_create_duplicate;
+    Alcotest.test_case "directories" `Quick test_directories;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "remove non-empty dir" `Quick test_remove_nonempty_dir;
+    Alcotest.test_case "hard links" `Quick test_hard_links;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "holes" `Quick test_holes;
+    Alcotest.test_case "large file (indirect)" `Quick test_large_file_indirect;
+    Alcotest.test_case "double indirect" `Quick test_double_indirect;
+    Alcotest.test_case "no space" `Quick test_no_space;
+    Alcotest.test_case "persistence across remount" `Quick
+      test_persistence_across_remount;
+    Alcotest.test_case "stat uses inode cache" `Quick test_stat_uses_inode_cache;
+    Alcotest.test_case "reads hit the disk" `Quick test_reads_hit_disk;
+    Alcotest.test_case "pager contract" `Quick test_pager_contract;
+    Alcotest.test_case "fs_pager narrow" `Quick test_fs_pager_narrow;
+    Alcotest.test_case "set_length via memory object" `Quick
+      test_set_length_via_memory_object;
+    Alcotest.test_case "creator" `Quick test_creator;
+    prop_random_io_matches_model;
+  ]

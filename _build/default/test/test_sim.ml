@@ -1,0 +1,79 @@
+let test_clock_advances () =
+  Sp_sim.Simclock.reset ();
+  Alcotest.(check int) "starts at zero" 0 (Sp_sim.Simclock.now ());
+  Sp_sim.Simclock.advance 150;
+  Sp_sim.Simclock.advance 50;
+  Alcotest.(check int) "accumulates" 200 (Sp_sim.Simclock.now ())
+
+let test_clock_rejects_negative () =
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Simclock.advance: negative duration") (fun () ->
+      Sp_sim.Simclock.advance (-1))
+
+let test_measure () =
+  Sp_sim.Simclock.reset ();
+  let result, elapsed =
+    Sp_sim.Simclock.measure (fun () ->
+        Sp_sim.Simclock.advance 42;
+        "done")
+  in
+  Alcotest.(check string) "result" "done" result;
+  Alcotest.(check int) "elapsed" 42 elapsed
+
+let test_pp_duration () =
+  let s ns = Format.asprintf "%a" Sp_sim.Simclock.pp_duration ns in
+  Alcotest.(check string) "ns" "999ns" (s 999);
+  Alcotest.(check string) "us" "1.5us" (s 1_500);
+  Alcotest.(check string) "ms" "13.70ms" (s 13_700_000);
+  Alcotest.(check string) "s" "2.00s" (s 2_000_000_000)
+
+let test_cost_model_with_model () =
+  let before = Sp_sim.Cost_model.current () in
+  let inner =
+    Sp_sim.Cost_model.with_model Sp_sim.Cost_model.fast (fun () ->
+        (Sp_sim.Cost_model.current ()).Sp_sim.Cost_model.cross_domain_call_ns)
+  in
+  Alcotest.(check int) "fast model installed" 1 inner;
+  Alcotest.(check bool) "restored" true (Sp_sim.Cost_model.current () == before)
+
+let test_cost_model_restores_on_exn () =
+  let before = Sp_sim.Cost_model.current () in
+  (try
+     Sp_sim.Cost_model.with_model Sp_sim.Cost_model.fast (fun () ->
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after exception" true
+    (Sp_sim.Cost_model.current () == before)
+
+let test_metrics_diff () =
+  Sp_sim.Metrics.reset ();
+  let before = Sp_sim.Metrics.snapshot () in
+  Sp_sim.Metrics.incr_disk_reads ();
+  Sp_sim.Metrics.incr_disk_reads ();
+  Sp_sim.Metrics.incr_net_messages ();
+  Sp_sim.Metrics.add_net_bytes 100;
+  let after = Sp_sim.Metrics.snapshot () in
+  let d = Sp_sim.Metrics.diff ~before ~after in
+  Alcotest.(check int) "disk reads" 2 d.Sp_sim.Metrics.disk_reads;
+  Alcotest.(check int) "net messages" 1 d.Sp_sim.Metrics.net_messages;
+  Alcotest.(check int) "net bytes" 100 d.Sp_sim.Metrics.net_bytes;
+  Alcotest.(check int) "untouched counter" 0 d.Sp_sim.Metrics.page_ins
+
+let test_metrics_reset () =
+  Sp_sim.Metrics.incr_page_faults ();
+  Sp_sim.Metrics.reset ();
+  let s = Sp_sim.Metrics.snapshot () in
+  Alcotest.(check int) "zeroed" 0 s.Sp_sim.Metrics.page_faults
+
+let suite =
+  [
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "clock rejects negative" `Quick test_clock_rejects_negative;
+    Alcotest.test_case "measure" `Quick test_measure;
+    Alcotest.test_case "pp_duration" `Quick test_pp_duration;
+    Alcotest.test_case "with_model scopes" `Quick test_cost_model_with_model;
+    Alcotest.test_case "with_model restores on exn" `Quick
+      test_cost_model_restores_on_exn;
+    Alcotest.test_case "metrics diff" `Quick test_metrics_diff;
+    Alcotest.test_case "metrics reset" `Quick test_metrics_reset;
+  ]

@@ -1,0 +1,209 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module U = Sp_unionfs.Unionfs
+
+(* Union of a writable top over two read-only lowers, each a full SFS. *)
+let make_stack () =
+  let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+  let mk name =
+    Sp_coherency.Spring_sfs.make_split ~vmm ~name ~same_domain:false
+      (Util.fresh_disk ())
+  in
+  let top = mk "top" in
+  let lower1 = mk "lower1" in
+  let lower2 = mk "lower2" in
+  (* Populate the lower branches before unioning. *)
+  let seed fs name text =
+    let f = S.create fs (Util.name name) in
+    ignore (F.write f ~pos:0 (Util.bytes_of_string text))
+  in
+  seed lower1 "shared" "from lower1";
+  seed lower2 "shared" "from lower2";
+  seed lower1 "only1" "exclusive to lower1";
+  seed lower2 "only2" "exclusive to lower2";
+  S.mkdir lower1 (Util.name "docs");
+  seed lower1 "docs/readme" "lower1 readme";
+  let union = U.make ~vmm ~name:"union" () in
+  S.stack_on union top;
+  S.stack_on union lower1;
+  S.stack_on union lower2;
+  (vmm, top, lower1, lower2, union)
+
+let test_branch_order () =
+  Util.in_world (fun () ->
+      let _vmm, _top, _l1, _l2, union = make_stack () in
+      (* "shared" resolves to the first branch that has it (lower1). *)
+      Util.check_str "first branch wins" "from lower1"
+        (F.read (S.open_file union (Util.name "shared")) ~pos:0 ~len:11);
+      Alcotest.(check bool) "branch_of reports lower 0" true
+        (U.branch_of union (Util.name "shared") = `Lower 0);
+      Util.check_str "unique names resolve" "exclusive to lower2"
+        (F.read (S.open_file union (Util.name "only2")) ~pos:0 ~len:19))
+
+let test_union_listing () =
+  Util.in_world (fun () ->
+      let _vmm, _top, _l1, _l2, union = make_stack () in
+      Alcotest.(check (list string)) "merged listing"
+        [ "docs"; "only1"; "only2"; "shared" ]
+        (S.listdir union (Util.name "/"));
+      Alcotest.(check (list string)) "nested dir from lower" [ "readme" ]
+        (S.listdir union (Util.name "docs")))
+
+let test_copy_up_on_write () =
+  Util.in_world (fun () ->
+      let _vmm, top, l1, _l2, union = make_stack () in
+      let f = S.open_file union (Util.name "only1") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "MODIFIED"));
+      Util.check_str "union view updated" "MODIFIED"
+        (F.read f ~pos:0 ~len:8);
+      F.sync f;
+      (* The write landed in the top branch... *)
+      Util.check_str "copy-up to top" "MODIFIED"
+        (F.read (S.open_file top (Util.name "only1")) ~pos:0 ~len:8);
+      Alcotest.(check bool) "branch_of reports top" true
+        (U.branch_of union (Util.name "only1") = `Top);
+      (* ...and the read-only branch is untouched. *)
+      Util.check_str "lower untouched" "exclusive to lower1"
+        (F.read (S.open_file l1 (Util.name "only1")) ~pos:0 ~len:19))
+
+let test_copy_up_preserves_tail () =
+  Util.in_world (fun () ->
+      let _vmm, _top, _l1, _l2, union = make_stack () in
+      let f = S.open_file union (Util.name "only1") in
+      (* Partial overwrite: the copied-up file keeps the unwritten tail. *)
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "X"));
+      Util.check_str "tail preserved" "Xxclusive to lower1"
+        (F.read f ~pos:0 ~len:19))
+
+let test_nested_copy_up () =
+  Util.in_world (fun () ->
+      let _vmm, top, _l1, _l2, union = make_stack () in
+      let f = S.open_file union (Util.name "docs/readme") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "EDITED"));
+      F.sync f;
+      (* The directory chain was created in the top branch. *)
+      Util.check_str "nested copy-up" "EDITED readme"
+        (F.read (S.open_file top (Util.name "docs/readme")) ~pos:0 ~len:13))
+
+let test_create_goes_to_top () =
+  Util.in_world (fun () ->
+      let _vmm, top, _l1, _l2, union = make_stack () in
+      let f = S.create union (Util.name "fresh") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "new file"));
+      F.sync f;
+      Util.check_str "created in top" "new file"
+        (F.read (S.open_file top (Util.name "fresh")) ~pos:0 ~len:8);
+      Alcotest.check_raises "duplicate create rejected"
+        (Sp_core.Fserr.Already_exists "shared") (fun () ->
+          ignore (S.create union (Util.name "shared"))))
+
+let test_whiteout () =
+  Util.in_world (fun () ->
+      let _vmm, _top, l1, _l2, union = make_stack () in
+      S.remove union (Util.name "only1");
+      (* Hidden from the union... *)
+      Alcotest.check_raises "whited out" (Sp_core.Fserr.No_such_file "only1")
+        (fun () -> ignore (S.open_file union (Util.name "only1")));
+      Alcotest.(check bool) "hidden from listing" false
+        (List.mem "only1" (S.listdir union (Util.name "/")));
+      (* ...but still present in the read-only branch. *)
+      Util.check_str "lower branch intact" "exclusive to lower1"
+        (F.read (S.open_file l1 (Util.name "only1")) ~pos:0 ~len:19);
+      (* Re-creating replaces the whiteout with a fresh top file. *)
+      let f = S.create union (Util.name "only1") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "reborn"));
+      Util.check_str "recreated" "reborn"
+        (F.read (S.open_file union (Util.name "only1")) ~pos:0 ~len:6))
+
+let test_remove_shared_hides_all_branches () =
+  Util.in_world (fun () ->
+      let _vmm, _top, _l1, _l2, union = make_stack () in
+      S.remove union (Util.name "shared");
+      Alcotest.check_raises "both lower copies hidden"
+        (Sp_core.Fserr.No_such_file "shared") (fun () ->
+          ignore (S.open_file union (Util.name "shared"))))
+
+let test_mapped_access_with_copy_up () =
+  Util.in_world (fun () ->
+      let vmm, top, _l1, _l2, union = make_stack () in
+      let f = S.open_file union (Util.name "only1") in
+      let m = Sp_vm.Vmm.map vmm f.F.f_mem in
+      Util.check_str "mapping reads lower branch" "exclusive"
+        (Sp_vm.Vmm.read m ~pos:0 ~len:9);
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "EXCLUSIVE");
+      Sp_vm.Vmm.msync m;
+      (* The mapped write copied the file up. *)
+      Util.check_str "mapped write copied up" "EXCLUSIVE"
+        (F.read (S.open_file top (Util.name "only1")) ~pos:0 ~len:9))
+
+let test_whiteouts_invisible () =
+  Util.in_world (fun () ->
+      let _vmm, top, _l1, _l2, union = make_stack () in
+      S.remove union (Util.name "only2");
+      (* The whiteout implementation detail is visible in the top branch
+         but never through the union. *)
+      Alcotest.(check bool) "whiteout in top branch" true
+        (List.mem ".wh.only2" (S.listdir top (Util.name "/")));
+      Alcotest.(check bool) "whiteout hidden in union" false
+        (List.exists (fun n -> String.length n >= 4 && String.sub n 0 4 = ".wh.")
+           (S.listdir union (Util.name "/"))))
+
+let test_coherent_stack_on_union () =
+  (* §6.3 composition over the union: a coherency layer on top arbitrates
+     two cache managers. *)
+  Util.in_world (fun () ->
+      let vmm, _top, _l1, _l2, union = make_stack () in
+      let coh = Sp_coherency.Coherency_layer.make ~vmm ~name:"coh-union" () in
+      S.stack_on coh union;
+      let f = S.open_file coh (Util.name "shared") in
+      let vmm_b = Sp_vm.Vmm.create ~node:"b" "vmm_b" in
+      let mb = Sp_vm.Vmm.map vmm_b f.F.f_mem in
+      Util.check_str "b reads union through coherency" "from lower1"
+        (Sp_vm.Vmm.read mb ~pos:0 ~len:11);
+      Sp_vm.Vmm.write mb ~pos:0 (Util.bytes_of_string "COHERENT111");
+      Util.check_str "a sees b's write" "COHERENT111" (F.read f ~pos:0 ~len:11))
+
+(* Random interleaving of union writes and branch-aware reads against a
+   byte-array model. *)
+let prop_union_model =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 15) (pair (int_range 0 2) (int_range 0 2000)))
+  in
+  Util.qcheck_case ~count:15 "union writes match model" gen (fun ops ->
+      Util.in_world (fun () ->
+          let _vmm, _top, _l1, _l2, union = make_stack () in
+          let f = S.open_file union (Util.name "only1") in
+          let initial = "exclusive to lower1" in
+          let size = 4096 in
+          let model = Bytes.make size '\000' in
+          Bytes.blit_string initial 0 model 0 (String.length initial);
+          let len = ref (String.length initial) in
+          List.iteri
+            (fun i (_kind, pos) ->
+              let pos = pos mod (size - 64) in
+              let data = Util.pattern_bytes ~seed:(i + 5) 64 in
+              ignore (F.write f ~pos data);
+              Bytes.blit data 0 model pos 64;
+              len := max !len (pos + 64))
+            ops;
+          Bytes.equal (F.read f ~pos:0 ~len:size) (Bytes.sub model 0 !len)))
+
+let suite =
+  [
+    Alcotest.test_case "branch order" `Quick test_branch_order;
+    Alcotest.test_case "union listing" `Quick test_union_listing;
+    Alcotest.test_case "copy-up on write" `Quick test_copy_up_on_write;
+    Alcotest.test_case "copy-up preserves tail" `Quick test_copy_up_preserves_tail;
+    Alcotest.test_case "nested copy-up" `Quick test_nested_copy_up;
+    Alcotest.test_case "create goes to top" `Quick test_create_goes_to_top;
+    Alcotest.test_case "whiteout" `Quick test_whiteout;
+    Alcotest.test_case "remove shared hides all branches" `Quick
+      test_remove_shared_hides_all_branches;
+    Alcotest.test_case "mapped access with copy-up" `Quick
+      test_mapped_access_with_copy_up;
+    Alcotest.test_case "whiteouts invisible" `Quick test_whiteouts_invisible;
+    Alcotest.test_case "coherency layer over union" `Quick
+      test_coherent_stack_on_union;
+    prop_union_model;
+  ]

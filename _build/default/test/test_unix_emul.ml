@@ -1,0 +1,161 @@
+module U = Sp_unix.Unix_emul
+module S = Sp_core.Stackable
+
+let errno = Alcotest.testable (Fmt.of_to_string U.errno_to_string) ( = )
+let ok_int = Alcotest.(result int errno)
+let ok_unit = Alcotest.(result unit errno)
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected errno %s" (U.errno_to_string e)
+
+let make_process ?(with_compfs = false) () =
+  let vmm = Sp_vm.Vmm.create ~node:"local" "vmm0" in
+  let sfs =
+    Sp_coherency.Spring_sfs.make_split ~vmm ~name:"usfs" ~same_domain:false
+      (Util.fresh_disk ())
+  in
+  let root =
+    if with_compfs then begin
+      let comp = Sp_compfs.Compfs.make ~vmm ~name:"ucomp" () in
+      S.stack_on comp sfs;
+      comp
+    end
+    else sfs
+  in
+  U.create_process ~root ()
+
+let test_open_write_read () =
+  Util.in_world (fun () ->
+      let p = make_process () in
+      let fd = get (U.creat p "/hello.txt") in
+      Alcotest.check ok_int "write" (Ok 11) (U.write p fd (Bytes.of_string "hello world"));
+      (* Seek back and read sequentially. *)
+      Alcotest.check ok_int "lseek" (Ok 0) (U.lseek p fd 0 U.SEEK_SET);
+      Util.check_str "read" "hello" (get (U.read p fd 5));
+      Util.check_str "read advances" " world" (get (U.read p fd 6));
+      Util.check_str "eof returns short" "" (get (U.read p fd 10));
+      Alcotest.check ok_unit "close" (Ok ()) (U.close p fd))
+
+let test_open_flags () =
+  Util.in_world (fun () ->
+      let p = make_process () in
+      Alcotest.(check bool) "missing without O_CREAT" true
+        (U.openf p "/nope" [ U.O_RDONLY ] = Error U.ENOENT);
+      let fd = get (U.openf p "/f" [ U.O_CREAT; U.O_RDWR ]) in
+      ignore (get (U.write p fd (Bytes.of_string "0123456789")));
+      Alcotest.(check bool) "O_EXCL on existing" true
+        (U.openf p "/f" [ U.O_CREAT; U.O_EXCL ] = Error U.EEXIST);
+      (* O_TRUNC empties. *)
+      let fd2 = get (U.openf p "/f" [ U.O_RDWR; U.O_TRUNC ]) in
+      Alcotest.(check int) "truncated" 0 (get (U.fstat p fd2)).Sp_vm.Attr.len;
+      (* O_APPEND writes at the end regardless of seek. *)
+      let fd3 = get (U.openf p "/f" [ U.O_APPEND ]) in
+      ignore (get (U.write p fd3 (Bytes.of_string "AA")));
+      ignore (get (U.lseek p fd3 0 U.SEEK_SET));
+      ignore (get (U.write p fd3 (Bytes.of_string "BB")));
+      Util.check_str "appended" "AABB" (get (U.pread p fd3 ~pos:0 ~len:4)))
+
+let test_errno_mapping () =
+  Util.in_world (fun () ->
+      let p = make_process () in
+      Alcotest.(check bool) "EBADF" true (U.read p 99 4 = Error U.EBADF);
+      ignore (get (U.mkdir p "/d"));
+      Alcotest.(check bool) "EISDIR on open dir" true
+        (U.openf p "/d" [ U.O_RDONLY ] = Error U.EISDIR);
+      Alcotest.(check bool) "EEXIST on mkdir" true (U.mkdir p "/d" = Error U.EEXIST);
+      ignore (get (U.creat p "/d/x"));
+      Alcotest.(check bool) "ENOTEMPTY on rmdir" true (U.rmdir p "/d" = Error U.ENOTEMPTY);
+      ignore (get (U.unlink p "/d/x"));
+      Alcotest.check ok_unit "rmdir empty" (Ok ()) (U.rmdir p "/d");
+      (* Read-only descriptor refuses writes. *)
+      ignore (get (U.creat p "/ro"));
+      let fd = get (U.openf p "/ro" [ U.O_RDONLY ]) in
+      Alcotest.(check bool) "EACCES" true
+        (U.write p fd (Bytes.of_string "x") = Error U.EACCES))
+
+let test_cwd_and_relative_paths () =
+  Util.in_world (fun () ->
+      let p = make_process () in
+      ignore (get (U.mkdir p "/home"));
+      ignore (get (U.mkdir p "/home/user"));
+      Alcotest.check ok_unit "chdir" (Ok ()) (U.chdir p "/home/user");
+      Alcotest.(check string) "getcwd" "/home/user" (U.getcwd p);
+      let fd = get (U.creat p "notes.txt") in
+      ignore (get (U.write p fd (Bytes.of_string "relative")));
+      (* Visible by absolute path. *)
+      let fd2 = get (U.openf p "/home/user/notes.txt" [ U.O_RDONLY ]) in
+      Util.check_str "relative = absolute" "relative" (get (U.read p fd2 8));
+      Alcotest.(check bool) "chdir to file is ENOTDIR" true
+        (U.chdir p "notes.txt" = Error U.ENOTDIR))
+
+let test_dup_shares_offset () =
+  Util.in_world (fun () ->
+      let p = make_process () in
+      let fd = get (U.creat p "/dup") in
+      ignore (get (U.write p fd (Bytes.of_string "abcdef")));
+      ignore (get (U.lseek p fd 0 U.SEEK_SET));
+      let fd2 = get (U.dup p fd) in
+      Util.check_str "read via original" "ab" (get (U.read p fd 2));
+      Util.check_str "dup shares seek pointer" "cd" (get (U.read p fd2 2));
+      ignore (get (U.close p fd));
+      Util.check_str "dup survives close of sibling" "ef" (get (U.read p fd2 2)))
+
+let test_rename_link_readdir () =
+  Util.in_world (fun () ->
+      let p = make_process () in
+      let fd = get (U.creat p "/a") in
+      ignore (get (U.write p fd (Bytes.of_string "payload")));
+      ignore (get (U.fsync p fd));
+      Alcotest.check ok_unit "rename" (Ok ()) (U.rename p "/a" "/b");
+      Alcotest.(check bool) "old gone" true (U.stat p "/a" = Error U.ENOENT);
+      ignore (get (U.link p "/b" "/c"));
+      Alcotest.(check (list string)) "readdir" [ "b"; "c" ] (get (U.readdir p "/"));
+
+      let fd2 = get (U.openf p "/c" [ U.O_RDONLY ]) in
+      Util.check_str "hard link shares data" "payload" (get (U.read p fd2 7)))
+
+let test_lseek_whence () =
+  Util.in_world (fun () ->
+      let p = make_process () in
+      let fd = get (U.creat p "/s") in
+      ignore (get (U.write p fd (Bytes.of_string "0123456789")));
+      Alcotest.check ok_int "SEEK_END" (Ok 10) (U.lseek p fd 0 U.SEEK_END);
+      Alcotest.check ok_int "SEEK_CUR" (Ok 8) (U.lseek p fd (-2) U.SEEK_CUR);
+      Util.check_str "tail" "89" (get (U.read p fd 2));
+      Alcotest.(check bool) "negative target" true
+        (U.lseek p fd (-1) U.SEEK_SET = Error U.EINVAL);
+      (* Seeking past EOF then writing leaves a hole. *)
+      ignore (get (U.lseek p fd 20 U.SEEK_SET));
+      ignore (get (U.write p fd (Bytes.of_string "end")));
+      Util.check_str "hole reads zeros" "\000\000" (get (U.pread p fd ~pos:12 ~len:2)))
+
+let test_unix_on_compressed_stack () =
+  (* The same UNIX program runs unchanged over a compression stack — the
+     paper's extensibility pitch from the application's point of view. *)
+  Util.in_world (fun () ->
+      let p = make_process ~with_compfs:true () in
+      let fd = get (U.creat p "/app.log") in
+      let line = Bytes.of_string "log line: everything is fine\n" in
+      for _ = 1 to 100 do
+        ignore (get (U.write p fd line))
+      done;
+      ignore (get (U.fsync p fd));
+      Alcotest.(check int) "size via fstat" (100 * Bytes.length line)
+        (get (U.fstat p fd)).Sp_vm.Attr.len;
+      ignore (get (U.lseek p fd 0 U.SEEK_SET));
+      Util.check_str "reads back through compression" "log line"
+        (get (U.read p fd 8)))
+
+let suite =
+  [
+    Alcotest.test_case "open/write/read" `Quick test_open_write_read;
+    Alcotest.test_case "open flags" `Quick test_open_flags;
+    Alcotest.test_case "errno mapping" `Quick test_errno_mapping;
+    Alcotest.test_case "cwd and relative paths" `Quick test_cwd_and_relative_paths;
+    Alcotest.test_case "dup shares offset" `Quick test_dup_shares_offset;
+    Alcotest.test_case "rename/link/readdir" `Quick test_rename_link_readdir;
+    Alcotest.test_case "lseek whence" `Quick test_lseek_whence;
+    Alcotest.test_case "unix app on compressed stack" `Quick
+      test_unix_on_compressed_stack;
+  ]

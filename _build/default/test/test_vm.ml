@@ -1,0 +1,390 @@
+module V = Sp_vm.Vm_types
+
+let ps = V.page_size
+
+let setup () =
+  let vmm = Sp_vm.Vmm.create ~node:"local" "test" in
+  let ram = Sp_vm.Ram_pager.create ~label:"obj" () in
+  (vmm, ram)
+
+let test_page_geometry () =
+  Alcotest.(check int) "index" 0 (V.page_index 4095);
+  Alcotest.(check int) "index 2" 1 (V.page_index 4096);
+  Alcotest.(check int) "base" 4096 (V.page_base 5000);
+  Alcotest.(check (list int)) "covering" [ 0; 1 ]
+    (V.pages_covering ~offset:4000 ~size:200);
+  Alcotest.(check (list int)) "covering exact" [ 1 ]
+    (V.pages_covering ~offset:4096 ~size:4096);
+  Alcotest.(check (list int)) "empty" [] (V.pages_covering ~offset:0 ~size:0)
+
+let test_map_read_write () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.bytes_of_string "hello world");
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      Util.check_str "reads backing store" "hello"
+        (Sp_vm.Vmm.read m ~pos:0 ~len:5);
+      Sp_vm.Vmm.write m ~pos:6 (Util.bytes_of_string "spring");
+      Util.check_str "read back through cache" "hello spring"
+        (Sp_vm.Vmm.read m ~pos:0 ~len:12);
+      (* Not yet pushed to the pager. *)
+      Util.check_str "store unchanged before msync" "world"
+        (Sp_vm.Ram_pager.peek ram ~pos:6 ~len:5);
+      Sp_vm.Vmm.msync m;
+      Util.check_str "store updated after msync" "spring"
+        (Sp_vm.Ram_pager.peek ram ~pos:6 ~len:6))
+
+let test_faults_and_hits () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes (3 * ps));
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      let before = Sp_sim.Metrics.snapshot () in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:(2 * ps));
+      let mid = Sp_sim.Metrics.snapshot () in
+      let d1 = Sp_sim.Metrics.diff ~before ~after:mid in
+      Alcotest.(check int) "two faults for two pages" 2 d1.Sp_sim.Metrics.page_faults;
+      Alcotest.(check int) "two page-ins" 2 d1.Sp_sim.Metrics.page_ins;
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:(2 * ps));
+      let d2 = Sp_sim.Metrics.diff ~before:mid ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "no faults on hit" 0 d2.Sp_sim.Metrics.page_faults;
+      Alcotest.(check int) "no page-ins on hit" 0 d2.Sp_sim.Metrics.page_ins)
+
+let test_write_upgrades_mode () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes ps);
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:16);
+      (* page now cached read-only *)
+      let before = Sp_sim.Metrics.snapshot () in
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "X");
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "upgrade faults once" 1 d.Sp_sim.Metrics.page_faults;
+      (* second write hits *)
+      let before = Sp_sim.Metrics.snapshot () in
+      Sp_vm.Vmm.write m ~pos:1 (Util.bytes_of_string "Y");
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "no fault once writable" 0 d.Sp_sim.Metrics.page_faults)
+
+let test_cache_unification () =
+  (* Two equivalent memory objects must share the same cached pages. *)
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      let m1 = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      let m2 = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      Sp_vm.Vmm.write m1 ~pos:0 (Util.bytes_of_string "shared!");
+      Util.check_str "visible through second mapping without sync" "shared!"
+        (Sp_vm.Vmm.read m2 ~pos:0 ~len:7);
+      Alcotest.(check int) "one VMM entry" 1 (Sp_vm.Vmm.entry_count vmm);
+      Alcotest.(check int) "one channel at the pager" 1
+        (List.length (Sp_vm.Ram_pager.channels ram)))
+
+let test_two_vmms_two_channels () =
+  (* Figure 2: one memory object cached at two VMMs -> one channel per VMM. *)
+  Util.in_world (fun () ->
+      let vmm1 = Sp_vm.Vmm.create ~node:"n1" "vmm1" in
+      let vmm2 = Sp_vm.Vmm.create ~node:"n2" "vmm2" in
+      let ram = Sp_vm.Ram_pager.create ~label:"obj" () in
+      let _m1 = Sp_vm.Vmm.map vmm1 (Sp_vm.Ram_pager.memory_object ram) in
+      let _m2 = Sp_vm.Vmm.map vmm2 (Sp_vm.Ram_pager.memory_object ram) in
+      Alcotest.(check int) "two channels" 2
+        (List.length (Sp_vm.Ram_pager.channels ram)))
+
+let with_channel f =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes (2 * ps));
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:(2 * ps));
+      let ch =
+        match Sp_vm.Ram_pager.channels ram with
+        | [ ch ] -> ch
+        | _ -> Alcotest.fail "expected one channel"
+      in
+      f vmm ram m ch)
+
+let test_deny_writes () =
+  with_channel (fun _vmm _ram m ch ->
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "dirty data");
+      let extents =
+        V.deny_writes ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:(2 * ps)
+      in
+      (match extents with
+      | [ e ] ->
+          Alcotest.(check int) "extent offset" 0 e.V.ext_offset;
+          Util.check_str "extent has the dirty bytes" "dirty data"
+            (Bytes.sub e.V.ext_data 0 10)
+      | _ -> Alcotest.fail "expected exactly one dirty extent");
+      (* Page is still readable without fault (retained read-only)... *)
+      let before = Sp_sim.Metrics.snapshot () in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:4);
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "read hits after deny" 0 d.Sp_sim.Metrics.page_faults;
+      (* ...but writing faults again (mode downgraded). *)
+      let before = Sp_sim.Metrics.snapshot () in
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "x");
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "write faults after deny" 1 d.Sp_sim.Metrics.page_faults)
+
+let test_flush_back () =
+  with_channel (fun _vmm _ram m ch ->
+      Sp_vm.Vmm.write m ~pos:ps (Util.bytes_of_string "page two");
+      let extents =
+        V.flush_back ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:(2 * ps)
+      in
+      Alcotest.(check int) "one dirty extent" 1 (List.length extents);
+      Alcotest.(check int) "cache emptied" 0 (Sp_vm.Vmm.cached_pages m);
+      (* Next read faults. *)
+      let before = Sp_sim.Metrics.snapshot () in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:4);
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "fault after flush" 1 d.Sp_sim.Metrics.page_faults)
+
+let test_write_back_retains () =
+  with_channel (fun _vmm _ram m ch ->
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "keep me");
+      let extents =
+        V.write_back ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:(2 * ps)
+      in
+      Alcotest.(check int) "dirty data returned" 1 (List.length extents);
+      (* Still writable without a fault. *)
+      let before = Sp_sim.Metrics.snapshot () in
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "again");
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "no fault" 0 d.Sp_sim.Metrics.page_faults;
+      (* And a second write_back sees fresh dirty data. *)
+      let extents =
+        V.write_back ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:(2 * ps)
+      in
+      Alcotest.(check int) "second round dirty" 1 (List.length extents))
+
+let test_delete_range_discards () =
+  with_channel (fun _vmm ram m ch ->
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "DOOMED");
+      V.delete_range ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:ps;
+      (* Dirty data was discarded, not written back. *)
+      let store = Sp_vm.Ram_pager.peek ram ~pos:0 ~len:6 in
+      Alcotest.(check bool) "store does not contain DOOMED" false
+        (Bytes.to_string store = "DOOMED"))
+
+let test_populate_and_zero_fill () =
+  with_channel (fun _vmm _ram m ch ->
+      V.populate ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~access:V.Read_only
+        (Util.bytes_of_string "populated");
+      let before = Sp_sim.Metrics.snapshot () in
+      Util.check_str "populated data readable" "populated"
+        (Sp_vm.Vmm.read m ~pos:0 ~len:9);
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "no fault after populate" 0 d.Sp_sim.Metrics.page_faults;
+      V.zero_fill ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:ps;
+      Util.check_str "zero filled" "\000\000\000" (Sp_vm.Vmm.read m ~pos:0 ~len:3))
+
+let test_unmap_pushes_dirty () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "persist");
+      Sp_vm.Vmm.unmap m;
+      Util.check_str "dirty data reached pager" "persist"
+        (Sp_vm.Ram_pager.peek ram ~pos:0 ~len:7);
+      Alcotest.check_raises "use after unmap"
+        (Failure "Vmm: access through unmapped mapping") (fun () ->
+          ignore (Sp_vm.Vmm.read m ~pos:0 ~len:1)))
+
+let test_drop_caches () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      Sp_vm.Vmm.write m ~pos:0 (Util.bytes_of_string "save me");
+      Sp_vm.Vmm.drop_caches vmm;
+      Util.check_str "dirty pushed before drop" "save me"
+        (Sp_vm.Ram_pager.peek ram ~pos:0 ~len:7);
+      Alcotest.(check int) "pages dropped" 0 (Sp_vm.Vmm.cached_pages m);
+      (* Mapping still valid; next access faults data back in. *)
+      Util.check_str "refault works" "save me" (Sp_vm.Vmm.read m ~pos:0 ~len:7))
+
+let test_set_length () =
+  Util.in_world (fun () ->
+      let _vmm, ram = setup () in
+      let mem = Sp_vm.Ram_pager.memory_object ram in
+      V.set_length mem 100;
+      Alcotest.(check int) "grown" 100 (V.get_length mem);
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.bytes_of_string "0123456789");
+      V.set_length mem 4;
+      Alcotest.(check int) "shrunk" 4 (V.get_length mem);
+      V.set_length mem 10;
+      Util.check_str "tail zeroed by shrink" "0123\000\000"
+        (Sp_vm.Ram_pager.peek ram ~pos:0 ~len:6))
+
+(* qcheck property: any sequence of aligned writes through the mapping,
+   followed by msync, leaves the backing store equal to a model byte
+   array. *)
+let prop_writes_match_model =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (pair (int_range 0 (4 * ps)) (int_range 1 64)))
+  in
+  Util.qcheck_case ~count:50 "vmm writes match byte-array model" gen
+    (fun writes ->
+      Util.in_world (fun () ->
+          let vmm, ram = setup () in
+          let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+          let model = Bytes.make ((4 * ps) + 64) '\000' in
+          List.iteri
+            (fun i (pos, len) ->
+              let data = Util.pattern_bytes ~seed:(i + 1) len in
+              Sp_vm.Vmm.write m ~pos data;
+              Bytes.blit data 0 model pos len)
+            writes;
+          Sp_vm.Vmm.msync m;
+          let stored =
+            Sp_vm.Ram_pager.peek ram ~pos:0 ~len:(Bytes.length model)
+          in
+          (* Compare only written regions: unwritten pager bytes are zero in
+             both. *)
+          Bytes.equal stored model))
+
+let test_readahead () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes (16 * ps));
+      Sp_vm.Vmm.set_readahead vmm ~pages:7;
+      Alcotest.(check int) "window" 7 (Sp_vm.Vmm.readahead vmm);
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      let before = Sp_sim.Metrics.snapshot () in
+      (* Sequential read of 16 pages: first fault is not part of a run;
+         the second triggers an 8-page batch; etc. *)
+      for i = 0 to 15 do
+        ignore (Sp_vm.Vmm.read m ~pos:(i * ps) ~len:ps)
+      done;
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "page-ins collapse (%d <= 4)" d.Sp_sim.Metrics.page_ins)
+        true
+        (d.Sp_sim.Metrics.page_ins <= 4);
+      (* Data is still correct. *)
+      Util.check_bytes "sequential content intact"
+        (Util.pattern_bytes (16 * ps))
+        (Sp_vm.Vmm.read m ~pos:0 ~len:(16 * ps)))
+
+let test_readahead_random_access_not_triggered () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes (16 * ps));
+      Sp_vm.Vmm.set_readahead vmm ~pages:7;
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      let before = Sp_sim.Metrics.snapshot () in
+      (* Stride-2 access never continues a run. *)
+      for i = 0 to 7 do
+        ignore (Sp_vm.Vmm.read m ~pos:(2 * i * ps) ~len:16)
+      done;
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "one page-in per random fault" 8 d.Sp_sim.Metrics.page_ins)
+
+let test_readahead_writes_stay_coherent () =
+  (* Read-ahead pages are read-only; writing one must fault RW through the
+     pager like any other page. *)
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes (4 * ps));
+      Sp_vm.Vmm.set_readahead vmm ~pages:3;
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:ps);
+      ignore (Sp_vm.Vmm.read m ~pos:ps ~len:ps);
+      (* pages 1..3 now cached read-only via read-ahead *)
+      let before = Sp_sim.Metrics.snapshot () in
+      Sp_vm.Vmm.write m ~pos:(2 * ps) (Util.bytes_of_string "RW");
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "upgrade faulted" 1 d.Sp_sim.Metrics.page_faults;
+      Sp_vm.Vmm.msync m;
+      Util.check_str "write landed" "RW" (Sp_vm.Ram_pager.peek ram ~pos:(2 * ps) ~len:2))
+
+let test_capacity_bound () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes (16 * ps));
+      Sp_vm.Vmm.set_capacity vmm ~pages:(Some 4);
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      for i = 0 to 15 do
+        ignore (Sp_vm.Vmm.read m ~pos:(i * ps) ~len:16)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "cache bounded (%d <= 4)" (Sp_vm.Vmm.total_cached_pages vmm))
+        true
+        (Sp_vm.Vmm.total_cached_pages vmm <= 4);
+      Alcotest.(check bool) "evictions happened" true (Sp_vm.Vmm.evictions vmm >= 12);
+      (* Data still correct after refault. *)
+      Util.check_bytes "data intact under pressure"
+        (Bytes.sub (Util.pattern_bytes (16 * ps)) 0 ps)
+        (Sp_vm.Vmm.read m ~pos:0 ~len:ps))
+
+let test_eviction_preserves_dirty () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Vmm.set_capacity vmm ~pages:(Some 2);
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      (* Dirty several pages; eviction must push them to the pager, so no
+         update is lost even without msync. *)
+      for i = 0 to 7 do
+        Sp_vm.Vmm.write m ~pos:(i * ps) (Util.pattern_bytes ~seed:(i + 1) 64)
+      done;
+      Sp_vm.Vmm.msync m;
+      for i = 0 to 7 do
+        Util.check_bytes
+          (Printf.sprintf "page %d survived eviction" i)
+          (Util.pattern_bytes ~seed:(i + 1) 64)
+          (Sp_vm.Ram_pager.peek ram ~pos:(i * ps) ~len:64)
+      done)
+
+let test_lru_order () =
+  Util.in_world (fun () ->
+      let vmm, ram = setup () in
+      Sp_vm.Ram_pager.poke ram ~pos:0 (Util.pattern_bytes (8 * ps));
+      Sp_vm.Vmm.set_capacity vmm ~pages:(Some 3);
+      let m = Sp_vm.Vmm.map vmm (Sp_vm.Ram_pager.memory_object ram) in
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:4);        (* page 0 *)
+      ignore (Sp_vm.Vmm.read m ~pos:ps ~len:4);       (* page 1 *)
+      ignore (Sp_vm.Vmm.read m ~pos:(2 * ps) ~len:4); (* page 2 *)
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:4);        (* refresh page 0 *)
+      let before = Sp_sim.Metrics.snapshot () in
+      ignore (Sp_vm.Vmm.read m ~pos:(3 * ps) ~len:4); (* evicts page 1 (LRU) *)
+      ignore (Sp_vm.Vmm.read m ~pos:0 ~len:4);        (* page 0 still cached *)
+      let d = Sp_sim.Metrics.diff ~before ~after:(Sp_sim.Metrics.snapshot ()) in
+      Alcotest.(check int) "only the new page faulted" 1 d.Sp_sim.Metrics.page_faults)
+
+let test_capacity_validation () =
+  Util.in_world (fun () ->
+      let vmm, _ = setup () in
+      Alcotest.check_raises "zero rejected" (Invalid_argument "Vmm.set_capacity")
+        (fun () -> Sp_vm.Vmm.set_capacity vmm ~pages:(Some 0)))
+
+let suite =
+  [
+    Alcotest.test_case "page geometry" `Quick test_page_geometry;
+    Alcotest.test_case "map/read/write/msync" `Quick test_map_read_write;
+    Alcotest.test_case "faults then hits" `Quick test_faults_and_hits;
+    Alcotest.test_case "write upgrades mode" `Quick test_write_upgrades_mode;
+    Alcotest.test_case "equivalent objects share cache" `Quick test_cache_unification;
+    Alcotest.test_case "fig2: two VMMs, two channels" `Quick test_two_vmms_two_channels;
+    Alcotest.test_case "deny_writes" `Quick test_deny_writes;
+    Alcotest.test_case "flush_back" `Quick test_flush_back;
+    Alcotest.test_case "write_back retains" `Quick test_write_back_retains;
+    Alcotest.test_case "delete_range discards" `Quick test_delete_range_discards;
+    Alcotest.test_case "populate and zero_fill" `Quick test_populate_and_zero_fill;
+    Alcotest.test_case "unmap pushes dirty" `Quick test_unmap_pushes_dirty;
+    Alcotest.test_case "drop_caches" `Quick test_drop_caches;
+    Alcotest.test_case "set_length" `Quick test_set_length;
+    Alcotest.test_case "readahead batches sequential faults" `Quick test_readahead;
+    Alcotest.test_case "readahead skips random access" `Quick
+      test_readahead_random_access_not_triggered;
+    Alcotest.test_case "readahead pages upgrade correctly" `Quick
+      test_readahead_writes_stay_coherent;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "eviction preserves dirty data" `Quick
+      test_eviction_preserves_dirty;
+    Alcotest.test_case "lru order" `Quick test_lru_order;
+    Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+    prop_writes_match_model;
+  ]

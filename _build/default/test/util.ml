@@ -1,0 +1,39 @@
+(* Shared helpers for the test suites. *)
+
+(* Run [f] in a clean simulated world: fresh clock, metrics, fast cost
+   model (tests assert on event counts, not simulated time, unless they
+   install a model themselves). *)
+let in_world ?(model = Sp_sim.Cost_model.fast) f =
+  Sp_sim.Simclock.reset ();
+  Sp_sim.Metrics.reset ();
+  Sp_sim.Cost_model.with_model model f
+
+let check_bytes msg expected actual =
+  Alcotest.(check string) msg (Bytes.to_string expected) (Bytes.to_string actual)
+
+let check_str msg expected actual =
+  Alcotest.(check string) msg expected (Bytes.to_string actual)
+
+let bytes_of_string = Bytes.of_string
+
+(* Deterministic pseudo-random bytes (avoid stdlib Random to keep suites
+   reproducible regardless of seeding). *)
+let pattern_bytes ?(seed = 1) n =
+  let b = Bytes.create n in
+  let state = ref seed in
+  for i = 0 to n - 1 do
+    state := (!state * 1103515245) + 12345;
+    Bytes.set b i (Char.chr ((!state lsr 16) land 0xff))
+  done;
+  b
+
+let name = Sp_naming.Sname.of_string
+
+(* A formatted disk of [blocks] blocks (default 2048 = 8 MB). *)
+let fresh_disk ?(blocks = 2048) ?label () =
+  let disk = Sp_blockdev.Disk.create ?label ~blocks () in
+  Sp_sfs.Disk_layer.mkfs disk;
+  disk
+
+let qcheck_case ?count name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ?count ~name gen prop)
