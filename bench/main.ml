@@ -48,6 +48,29 @@ let simulated_tables () =
   Sp_benchlib.Macro.print ppf (Sp_benchlib.Macro.run ());
   Format.fprintf ppf "@."
 
+(* Optional per-layer breakdown (--profile): attribute the simulated time
+   of the Table 2 stacked hot paths to individual layer instances via
+   Sp_trace, alongside the aggregate tables above. *)
+let per_layer_breakdown () =
+  let ppf = Format.std_formatter in
+  reset_world ();
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 (fun () ->
+      let inst = Sp_benchlib.Workload.make_instance ~tag:"prof" Sp_benchlib.Workload.Stacked_two_domains in
+      let data = Bytes.make ps 'p' in
+      let (), trace =
+        Sp_trace.with_tracing ~root:"bench" (fun () ->
+            for _ = 1 to 10 do
+              ignore (F.write inst.W.i_file ~pos:0 data);
+              ignore (F.read inst.W.i_file ~pos:0 ~len:ps);
+              ignore (F.stat inst.W.i_file)
+            done;
+            S.sync inst.W.i_fs)
+      in
+      Format.fprintf ppf
+        "@.Per-layer breakdown: 10 x warm (write4k+read4k+stat) on the \
+         two-domain stack (paper_1993)@.%a@."
+        Sp_trace.pp_profile trace)
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel wall-clock benches                                 *)
 (* ------------------------------------------------------------------ *)
@@ -218,4 +241,5 @@ let run_bechamel () =
 
 let () =
   simulated_tables ();
+  if Array.exists (String.equal "--profile") Sys.argv then per_layer_breakdown ();
   run_bechamel ()

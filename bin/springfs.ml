@@ -165,6 +165,43 @@ let run_ls layers dir =
   Format.printf "%s: [%s]@." target (String.concat "; " (S.listdir top (path target)));
   0
 
+(* --- springfs profile --- *)
+
+let run_profile scenario layers ops size trace_out capacity =
+  if capacity < 2 then (
+    Format.eprintf "springfs: --capacity must be at least 2 (got %d)@." capacity;
+    exit 2);
+  let layers = if layers = [] then [ "coherency"; "compfs" ] else layers in
+  let run () =
+    match scenario with
+    | `Demo -> ignore (run_demo ())
+    | `Stack -> ignore (run_stack layers ops size false)
+    | `Tables -> ignore (run_tables [])
+  in
+  let scenario_name =
+    match scenario with `Demo -> "demo" | `Stack -> "stack" | `Tables -> "tables"
+  in
+  let (), trace =
+    Sp_trace.with_tracing ~capacity ~root:("springfs " ^ scenario_name) run
+  in
+  Format.printf "@.per-layer profile (%s, %d spans, %a simulated):@.%a@."
+    scenario_name
+    (List.length trace.Sp_trace.tr_spans)
+    Sp_sim.Simclock.pp_duration trace.Sp_trace.tr_total_ns Sp_trace.pp_profile
+    trace;
+  (match trace_out with
+  | Some file -> (
+      try
+        Sp_trace.write_chrome_json file trace;
+        Format.printf
+          "chrome trace written to %s (open in chrome://tracing or Perfetto)@."
+          file
+      with Sys_error msg ->
+        Format.eprintf "springfs: cannot write trace: %s@." msg;
+        exit 2)
+  | None -> ());
+  0
+
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -223,9 +260,42 @@ let versions_cmd =
   let doc = "demonstrate the file-versioning layer" in
   Cmd.v (Cmd.info "versions" ~doc) Term.(const run_versions $ const ())
 
+let profile_cmd =
+  let scenario =
+    let scenarios = [ ("demo", `Demo); ("stack", `Stack); ("tables", `Tables) ] in
+    Arg.(
+      required
+      & pos 0 (some (enum scenarios)) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario to profile: demo, stack or tables.")
+  in
+  let ops =
+    Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Operations (stack only).")
+  in
+  let size =
+    Arg.(value & opt int 4096 & info [ "size" ] ~docv:"BYTES" ~doc:"I/O size (stack only).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Also write a Chrome trace-event JSON file (chrome://tracing, Perfetto).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 262144
+      & info [ "capacity" ] ~docv:"SPANS"
+          ~doc:"Span ring-buffer capacity; oldest spans drop beyond this.")
+  in
+  let doc =
+    "run a scenario under span tracing and print the per-layer time attribution"
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run_profile $ scenario $ layers_arg $ ops $ size $ trace_out $ capacity)
+
 let main =
   let doc = "Spring extensible file systems (SOSP '93) — simulation driver" in
   Cmd.group (Cmd.info "springfs" ~version:"1.0.0" ~doc)
-    [ stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; versions_cmd ]
+    [ stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; versions_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' main)

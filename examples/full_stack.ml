@@ -1,7 +1,9 @@
 (* The paper's 4.5 walk-through: DFS stacked on COMPFS stacked on SFS,
    serving a remote client, with CFS interposing on the client side.
 
-   Run with: dune exec examples/full_stack.exe *)
+   Run with: dune exec examples/full_stack.exe
+   Pass [-- --trace-out FILE] to record the run as Chrome trace-event JSON
+   (open in chrome://tracing or Perfetto) plus a per-layer profile table. *)
 
 module F = Sp_core.File
 module S = Sp_core.Stackable
@@ -11,7 +13,15 @@ let path = Sp_naming.Sname.of_string
 
 let step fmt = Printf.printf ("-> " ^^ fmt ^^ "\n%!")
 
-let () =
+let trace_out =
+  let out = ref None in
+  Array.iteri
+    (fun i a -> if a = "--trace-out" && i + 1 < Array.length Sys.argv then
+        out := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !out
+
+let scenario () =
   let world = N.World.create () in
   let net = N.World.net world in
   let alpha = N.World.add_node world "alpha" in
@@ -78,3 +88,12 @@ let () =
 
   step "done (simulated time %s)"
     (Format.asprintf "%a" Sp_sim.Simclock.pp_duration (Sp_sim.Simclock.now ()))
+
+let () =
+  match trace_out with
+  | None -> scenario ()
+  | Some file ->
+      let (), trace = Sp_trace.with_tracing ~root:"full_stack" scenario in
+      Format.printf "@.per-layer profile:@.%a@." Sp_trace.pp_profile trace;
+      Sp_trace.write_chrome_json file trace;
+      Format.printf "chrome trace written to %s@." file

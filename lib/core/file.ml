@@ -16,17 +16,23 @@ type Sp_naming.Context.obj += File of t
 (* Data crossing the file interface is marshalled between client and
    server buffers — a copy the monolithic baseline does not pay twice. *)
 let read f ~pos ~len =
-  let data = Sp_obj.Door.call f.f_domain (fun () -> f.f_read ~pos ~len) in
+  let data = Sp_obj.Door.call ~op:"file.read" f.f_domain (fun () -> f.f_read ~pos ~len) in
   Sp_obj.Door.charge_copy (Bytes.length data);
   data
 
 let write f ~pos data =
   Sp_obj.Door.charge_copy (Bytes.length data);
-  Sp_obj.Door.call f.f_domain (fun () -> f.f_write ~pos data)
-let stat f = Sp_obj.Door.call f.f_domain f.f_stat
-let set_attr f attr = Sp_obj.Door.call f.f_domain (fun () -> f.f_set_attr attr)
-let truncate f len = Sp_obj.Door.call f.f_domain (fun () -> f.f_truncate len)
-let sync f = Sp_obj.Door.call f.f_domain f.f_sync
+  Sp_obj.Door.call ~op:"file.write" f.f_domain (fun () -> f.f_write ~pos data)
+
+let stat f = Sp_obj.Door.call ~op:"file.stat" f.f_domain f.f_stat
+
+let set_attr f attr =
+  Sp_obj.Door.call ~op:"file.set_attr" f.f_domain (fun () -> f.f_set_attr attr)
+
+let truncate f len =
+  Sp_obj.Door.call ~op:"file.truncate" f.f_domain (fun () -> f.f_truncate len)
+
+let sync f = Sp_obj.Door.call ~op:"file.sync" f.f_domain f.f_sync
 
 let read_all f =
   let attr = stat f in

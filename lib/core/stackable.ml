@@ -36,12 +36,20 @@ let open_file_cached ?principal cache fs path =
   | exception Sp_naming.Context.Unbound _ ->
       raise (Fserr.No_such_file (Sp_naming.Sname.to_string path))
 
-let create fs path = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_create path)
-let mkdir fs path = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_mkdir path)
-let remove fs path = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_remove path)
-let stack_on fs under = Sp_obj.Door.call fs.sfs_domain (fun () -> fs.sfs_stack_on under)
-let sync fs = Sp_obj.Door.call fs.sfs_domain fs.sfs_sync
-let drop_caches fs = Sp_obj.Door.call fs.sfs_domain fs.sfs_drop_caches
+let create fs path =
+  Sp_obj.Door.call ~op:"fs.create" fs.sfs_domain (fun () -> fs.sfs_create path)
+
+let mkdir fs path =
+  Sp_obj.Door.call ~op:"fs.mkdir" fs.sfs_domain (fun () -> fs.sfs_mkdir path)
+
+let remove fs path =
+  Sp_obj.Door.call ~op:"fs.remove" fs.sfs_domain (fun () -> fs.sfs_remove path)
+
+let stack_on fs under =
+  Sp_obj.Door.call ~op:"fs.stack_on" fs.sfs_domain (fun () -> fs.sfs_stack_on under)
+
+let sync fs = Sp_obj.Door.call ~op:"fs.sync" fs.sfs_domain fs.sfs_sync
+let drop_caches fs = Sp_obj.Door.call ~op:"fs.drop_caches" fs.sfs_domain fs.sfs_drop_caches
 let listdir fs path = Sp_naming.Context.list fs.sfs_ctx path
 
 let rec base fs =
@@ -57,7 +65,7 @@ let rename fs ~src ~dst =
   | () -> ()
   | exception Sp_naming.Context.Already_bound _ ->
       raise (Fserr.Already_exists (Sp_naming.Sname.to_string dst)));
-  Sp_obj.Door.call b.sfs_domain (fun () -> b.sfs_remove src)
+  Sp_obj.Door.call ~op:"fs.remove" b.sfs_domain (fun () -> b.sfs_remove src)
 
 let sole_under fs =
   match fs.sfs_unders () with

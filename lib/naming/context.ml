@@ -64,7 +64,7 @@ let rec walk ~principal ctx name =
   | Some (component, rest) when Sname.is_empty rest -> (ctx, component)
   | Some (component, rest) -> (
       let child =
-        Sp_obj.Door.call ctx.ctx_domain (fun () ->
+        Sp_obj.Door.call ~op:"name.resolve" ctx.ctx_domain (fun () ->
             check ctx ~principal Acl.Resolve;
             ctx.ctx_resolve1 component)
       in
@@ -76,7 +76,7 @@ let resolve ?(principal = "user") ctx name =
   if Sname.is_empty name then Context ctx
   else
     let parent, last = walk ~principal ctx name in
-    Sp_obj.Door.call parent.ctx_domain (fun () ->
+    Sp_obj.Door.call ~op:"name.resolve" parent.ctx_domain (fun () ->
         check parent ~principal Acl.Resolve;
         parent.ctx_resolve1 last)
 
@@ -87,26 +87,26 @@ let resolve_context ?principal ctx name =
 
 let bind ?(principal = "user") ctx name o =
   let parent, last = walk ~principal ctx name in
-  Sp_obj.Door.call parent.ctx_domain (fun () ->
+  Sp_obj.Door.call ~op:"name.bind" parent.ctx_domain (fun () ->
       check parent ~principal Acl.Bind;
       parent.ctx_bind1 last o)
 
 let rebind ?(principal = "user") ctx name o =
   let parent, last = walk ~principal ctx name in
-  Sp_obj.Door.call parent.ctx_domain (fun () ->
+  Sp_obj.Door.call ~op:"name.rebind" parent.ctx_domain (fun () ->
       check parent ~principal Acl.Bind;
       parent.ctx_rebind1 last o)
 
 let unbind ?(principal = "user") ctx name =
   let parent, last = walk ~principal ctx name in
-  Sp_obj.Door.call parent.ctx_domain (fun () ->
+  Sp_obj.Door.call ~op:"name.unbind" parent.ctx_domain (fun () ->
       check parent ~principal Acl.Unbind;
       parent.ctx_unbind1 last)
 
 let list ?(principal = "user") ctx name =
   match resolve ?principal:(Some principal) ctx name with
   | Context c ->
-      Sp_obj.Door.call c.ctx_domain (fun () ->
+      Sp_obj.Door.call ~op:"name.list" c.ctx_domain (fun () ->
           check c ~principal Acl.Resolve;
           c.ctx_list ())
   | _ -> raise (Unbound (Sname.to_string name ^ ": not a context"))
@@ -117,7 +117,7 @@ let mkdir_path ?(principal = "user") ctx name ~domain =
     | None -> ctx
     | Some (component, rest) ->
         let child =
-          Sp_obj.Door.call ctx.ctx_domain (fun () ->
+          Sp_obj.Door.call ~op:"name.mkdir" ctx.ctx_domain (fun () ->
               check ctx ~principal Acl.Resolve;
               match ctx.ctx_resolve1 component with
               | o -> o

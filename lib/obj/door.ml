@@ -13,26 +13,45 @@ let charge_invocation target =
     Sp_sim.Simclock.advance model.cross_domain_call_ns
   end
 
-let call target f =
+let invoke target f =
   charge_invocation target;
   let saved = !current_domain in
   current_domain := target;
   Fun.protect ~finally:(fun () -> current_domain := saved) f
+
+let call ?(op = "invoke") target f =
+  if Sp_trace.enabled () then
+    Sp_trace.span ~op
+      ~src:(Sdomain.name !current_domain)
+      ~dst:(Sdomain.name target) ~node:(Sdomain.node target)
+      (fun () -> invoke target f)
+  else invoke target f
 
 let from domain f =
   let saved = !current_domain in
   current_domain := domain;
   Fun.protect ~finally:(fun () -> current_domain := saved) f
 
-let kernel_call () =
+let charge_kernel_call () =
   let model = Sp_sim.Cost_model.current () in
   Sp_sim.Metrics.incr_kernel_calls ();
   Sp_sim.Simclock.advance model.kernel_call_ns
 
+let kernel_call () =
+  if Sp_trace.enabled () then
+    Sp_trace.span ~op:"kernel.trap"
+      ~src:(Sdomain.name !current_domain)
+      ~dst:"(kernel)"
+      ~node:(Sdomain.node !current_domain)
+      charge_kernel_call
+  else charge_kernel_call ()
+
 let charge_copy bytes =
   let model = Sp_sim.Cost_model.current () in
+  Sp_trace.note_copy bytes;
   Sp_sim.Simclock.advance (bytes * model.copy_per_byte_ns)
 
 let charge_cpu units =
   let model = Sp_sim.Cost_model.current () in
+  Sp_trace.note_cpu units;
   Sp_sim.Simclock.advance (units * model.cpu_op_ns)

@@ -16,8 +16,10 @@ val current : unit -> Sdomain.t
 val user_domain : Sdomain.t
 
 (** [call target f] invokes [f ()] as an operation of an object served by
-    domain [target]. *)
-val call : Sdomain.t -> (unit -> 'a) -> 'a
+    domain [target].  When {!Sp_trace} tracing is active the invocation is
+    recorded as a span named [op] (default ["invoke"]); call helpers pass
+    their operation name, e.g. [~op:"file.read"]. *)
+val call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
 
 (** [from domain f] runs [f ()] with [domain] as the current (client)
     domain; used by tests and examples to stand for an application

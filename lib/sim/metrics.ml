@@ -32,6 +32,8 @@ let zero =
 let state = ref zero
 
 let cross_domain_calls () = !state.cross_domain_calls
+let net_messages () = !state.net_messages
+let net_bytes () = !state.net_bytes
 
 let incr_cross_domain_calls () =
   state := { !state with cross_domain_calls = !state.cross_domain_calls + 1 }
@@ -66,6 +68,22 @@ let diff ~before ~after =
     net_bytes = after.net_bytes - before.net_bytes;
     coherency_actions = after.coherency_actions - before.coherency_actions;
     attr_fetches = after.attr_fetches - before.attr_fetches;
+  }
+
+let add a b =
+  {
+    cross_domain_calls = a.cross_domain_calls + b.cross_domain_calls;
+    local_calls = a.local_calls + b.local_calls;
+    kernel_calls = a.kernel_calls + b.kernel_calls;
+    page_faults = a.page_faults + b.page_faults;
+    page_ins = a.page_ins + b.page_ins;
+    page_outs = a.page_outs + b.page_outs;
+    disk_reads = a.disk_reads + b.disk_reads;
+    disk_writes = a.disk_writes + b.disk_writes;
+    net_messages = a.net_messages + b.net_messages;
+    net_bytes = a.net_bytes + b.net_bytes;
+    coherency_actions = a.coherency_actions + b.coherency_actions;
+    attr_fetches = a.attr_fetches + b.attr_fetches;
   }
 
 let reset () = state := zero

@@ -21,6 +21,12 @@ type snapshot = {
 }
 
 val cross_domain_calls : unit -> int
+
+(** Read a single counter without taking a full snapshot (symmetric with
+    {!cross_domain_calls}). *)
+val net_messages : unit -> int
+
+val net_bytes : unit -> int
 val incr_cross_domain_calls : unit -> unit
 val incr_local_calls : unit -> unit
 val incr_kernel_calls : unit -> unit
@@ -37,8 +43,15 @@ val incr_attr_fetches : unit -> unit
 (** Capture the current counter values. *)
 val snapshot : unit -> snapshot
 
+(** The all-zero snapshot. *)
+val zero : snapshot
+
 (** [diff ~before ~after] is the per-counter difference. *)
 val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** [add a b] is the per-counter sum (used when accumulating the deltas of
+    sibling trace spans). *)
+val add : snapshot -> snapshot -> snapshot
 
 (** Reset every counter to zero. *)
 val reset : unit -> unit

@@ -20,7 +20,8 @@ let bind t ~key ~make_pager (manager : Vm_types.cache_manager) =
       let id = t.next_id in
       let pager = make_pager ~id in
       let cache =
-        Sp_obj.Door.call manager.cm_domain (fun () -> manager.cm_connect ~key pager)
+        Sp_obj.Door.call ~op:"cache_manager.connect" manager.cm_domain (fun () ->
+            manager.cm_connect ~key pager)
       in
       let ch =
         {

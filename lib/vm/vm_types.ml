@@ -62,68 +62,85 @@ let narrow_fs_pager p =
 let narrow_fs_cache c =
   Sp_obj.Exten.narrow c.c_exten (function Fs_cache ops -> Some ops | _ -> None)
 
-let coherency_call domain f =
+let coherency_call ~op domain f =
   Sp_sim.Metrics.incr_coherency_actions ();
-  Sp_obj.Door.call domain f
+  Sp_obj.Door.call ~op domain f
 
 let flush_back c ~offset ~size =
-  coherency_call c.c_domain (fun () -> c.c_flush_back ~offset ~size)
+  coherency_call ~op:"cache.flush_back" c.c_domain (fun () ->
+      c.c_flush_back ~offset ~size)
 
 let deny_writes c ~offset ~size =
-  coherency_call c.c_domain (fun () -> c.c_deny_writes ~offset ~size)
+  coherency_call ~op:"cache.deny_writes" c.c_domain (fun () ->
+      c.c_deny_writes ~offset ~size)
 
 let write_back c ~offset ~size =
-  coherency_call c.c_domain (fun () -> c.c_write_back ~offset ~size)
+  coherency_call ~op:"cache.write_back" c.c_domain (fun () ->
+      c.c_write_back ~offset ~size)
 
 let delete_range c ~offset ~size =
-  coherency_call c.c_domain (fun () -> c.c_delete_range ~offset ~size)
+  coherency_call ~op:"cache.delete_range" c.c_domain (fun () ->
+      c.c_delete_range ~offset ~size)
 
 let zero_fill c ~offset ~size =
-  Sp_obj.Door.call c.c_domain (fun () -> c.c_zero_fill ~offset ~size)
+  Sp_obj.Door.call ~op:"cache.zero_fill" c.c_domain (fun () ->
+      c.c_zero_fill ~offset ~size)
 
 let populate c ~offset ~access data =
-  Sp_obj.Door.call c.c_domain (fun () -> c.c_populate ~offset ~access data)
+  Sp_obj.Door.call ~op:"cache.populate" c.c_domain (fun () ->
+      c.c_populate ~offset ~access data)
 
-let destroy_cache c = Sp_obj.Door.call c.c_domain c.c_destroy
+let destroy_cache c = Sp_obj.Door.call ~op:"cache.destroy" c.c_domain c.c_destroy
 
 let page_in p ~offset ~size ~access =
   Sp_sim.Metrics.incr_page_ins ();
-  Sp_obj.Door.call p.p_domain (fun () -> p.p_page_in ~offset ~size ~access)
+  Sp_obj.Door.call ~op:"pager.page_in" p.p_domain (fun () ->
+      p.p_page_in ~offset ~size ~access)
 
 let page_out p ~offset data =
   Sp_sim.Metrics.incr_page_outs ();
-  Sp_obj.Door.call p.p_domain (fun () -> p.p_page_out ~offset data)
+  Sp_obj.Door.call ~op:"pager.page_out" p.p_domain (fun () ->
+      p.p_page_out ~offset data)
 
 let write_out p ~offset data =
   Sp_sim.Metrics.incr_page_outs ();
-  Sp_obj.Door.call p.p_domain (fun () -> p.p_write_out ~offset data)
+  Sp_obj.Door.call ~op:"pager.write_out" p.p_domain (fun () ->
+      p.p_write_out ~offset data)
 
 let sync p ~offset data =
   Sp_sim.Metrics.incr_page_outs ();
-  Sp_obj.Door.call p.p_domain (fun () -> p.p_sync ~offset data)
+  Sp_obj.Door.call ~op:"pager.sync" p.p_domain (fun () -> p.p_sync ~offset data)
 
-let done_with p = Sp_obj.Door.call p.p_domain p.p_done_with
+let done_with p = Sp_obj.Door.call ~op:"pager.done_with" p.p_domain p.p_done_with
 
 let bind m manager access =
-  Sp_obj.Door.call m.m_domain (fun () -> m.m_bind manager access)
+  Sp_obj.Door.call ~op:"mem.bind" m.m_domain (fun () -> m.m_bind manager access)
 
-let get_length m = Sp_obj.Door.call m.m_domain m.m_get_length
-let set_length m len = Sp_obj.Door.call m.m_domain (fun () -> m.m_set_length len)
+let get_length m = Sp_obj.Door.call ~op:"mem.get_length" m.m_domain m.m_get_length
+
+let set_length m len =
+  Sp_obj.Door.call ~op:"mem.set_length" m.m_domain (fun () -> m.m_set_length len)
 
 let fs_get_attr p ops =
   Sp_sim.Metrics.incr_attr_fetches ();
-  Sp_obj.Door.call p.p_domain ops.fp_get_attr
+  Sp_obj.Door.call ~op:"fs_pager.get_attr" p.p_domain ops.fp_get_attr
 
-let fs_set_attr p ops attr = Sp_obj.Door.call p.p_domain (fun () -> ops.fp_set_attr attr)
+let fs_set_attr p ops attr =
+  Sp_obj.Door.call ~op:"fs_pager.set_attr" p.p_domain (fun () -> ops.fp_set_attr attr)
 
 let fs_attr_sync p ops attr =
-  Sp_obj.Door.call p.p_domain (fun () -> ops.fp_attr_sync attr)
+  Sp_obj.Door.call ~op:"fs_pager.attr_sync" p.p_domain (fun () ->
+      ops.fp_attr_sync attr)
 
-let fs_invalidate_attr c ops = Sp_obj.Door.call c.c_domain ops.fc_invalidate_attr
-let fs_write_back_attr c ops = Sp_obj.Door.call c.c_domain ops.fc_write_back_attr
+let fs_invalidate_attr c ops =
+  Sp_obj.Door.call ~op:"fs_cache.invalidate_attr" c.c_domain ops.fc_invalidate_attr
+
+let fs_write_back_attr c ops =
+  Sp_obj.Door.call ~op:"fs_cache.write_back_attr" c.c_domain ops.fc_write_back_attr
 
 let fs_populate_attr c ops attr =
-  Sp_obj.Door.call c.c_domain (fun () -> ops.fc_populate_attr attr)
+  Sp_obj.Door.call ~op:"fs_cache.populate_attr" c.c_domain (fun () ->
+      ops.fc_populate_attr attr)
 
 let page_size = 4096
 let page_index off = off / page_size

@@ -114,7 +114,7 @@ let evict_one t =
       if page.dirty then
         match entry.pager with
         | Some pager ->
-            Sp_obj.Door.call t.vmm_domain (fun () ->
+            Sp_obj.Door.call ~op:"vmm.evict" t.vmm_domain (fun () ->
                 Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data))
         | None -> ()
 
@@ -234,7 +234,7 @@ let fault m idx access =
   entry.last_fault <- idx;
   let size = (1 + extra) * ps in
   let data =
-    Sp_obj.Door.call m.m_vmm.vmm_domain (fun () ->
+    Sp_obj.Door.call ~op:"vmm.fault" m.m_vmm.vmm_domain (fun () ->
         Vm_types.page_in pager ~offset:(idx * ps) ~size ~access)
   in
   let slice i =
@@ -322,7 +322,7 @@ let push_dirty vmm entry =
       let dirty = Hashtbl.fold flush entry.pages [] in
       let ordered = List.sort (fun (a, _) (b, _) -> Int.compare a b) dirty in
       let out (idx, page) =
-        Sp_obj.Door.call vmm.vmm_domain (fun () ->
+        Sp_obj.Door.call ~op:"vmm.push_dirty" vmm.vmm_domain (fun () ->
             Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data));
         page.dirty <- false
       in
