@@ -46,6 +46,9 @@ let simulated_tables () =
   Format.fprintf ppf "@.";
   reset_world ();
   Sp_benchlib.Macro.print ppf (Sp_benchlib.Macro.run ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Faults.print ppf (Sp_benchlib.Faults.run ());
   Format.fprintf ppf "@."
 
 (* Optional per-layer breakdown (--profile): attribute the simulated time

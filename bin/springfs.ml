@@ -71,7 +71,11 @@ let run_tables which =
     Sp_benchlib.Ablations.print ppf (Sp_benchlib.Ablations.run_all ());
     Sp_benchlib.Ablations.print_depth_sweep ppf (Sp_benchlib.Ablations.depth_sweep ())
   end;
-  if want "macro" then Sp_benchlib.Macro.print ppf (Sp_benchlib.Macro.run ());
+  if want "macro" then begin
+    Sp_benchlib.Macro.print ppf (Sp_benchlib.Macro.run ());
+    Format.fprintf ppf "@."
+  end;
+  if want "faults" then Sp_benchlib.Faults.print ppf (Sp_benchlib.Faults.run ());
   0
 
 (* --- springfs demo --- *)
@@ -107,24 +111,103 @@ let run_demo () =
 
 (* --- springfs fsck --- *)
 
-let run_fsck ops =
-  let _world, alpha, sfs = setup_base () in
-  S.mkdir sfs (path "dir");
-  let f = S.create sfs (path "dir/file") in
-  for i = 0 to ops - 1 do
-    ignore (F.write f ~pos:(i * 512) (Bytes.make 512 (Char.chr (i land 0xff))))
-  done;
-  F.truncate f (max 1 (ops * 256));
-  ignore (S.create sfs (path "doomed"));
-  S.remove sfs (path "doomed");
-  S.sync sfs;
-  let problems = Sp_sfs.Fsck.check (N.disk alpha "disk0") in
-  if problems = [] then begin
-    Format.printf "fsck: volume consistent after %d operations@." ops;
-    0
-  end
+(* One-line machine-readable verdict: status, total count, then a count
+   per problem category (stable names, stable order). *)
+let fsck_summary problems =
+  let count pred = List.length (List.filter pred problems) in
+  let open Sp_sfs.Fsck in
+  let cats =
+    [
+      ("unreachable_inode", count (function Unreachable_inode _ -> true | _ -> false));
+      ("free_inode_referenced", count (function Free_inode_referenced _ -> true | _ -> false));
+      ("bad_kind", count (function Bad_kind _ -> true | _ -> false));
+      ("block_out_of_range", count (function Block_out_of_range _ -> true | _ -> false));
+      ("block_double_use", count (function Block_double_use _ -> true | _ -> false));
+      ("block_not_allocated", count (function Block_not_allocated _ -> true | _ -> false));
+      ("block_leak", count (function Block_leak _ -> true | _ -> false));
+      ("bad_nlink", count (function Bad_nlink _ -> true | _ -> false));
+    ]
+  in
+  Printf.sprintf "FSCK status=%s problems=%d%s"
+    (if problems = [] then "clean" else "inconsistent")
+    (List.length problems)
+    (String.concat ""
+       (List.filter_map
+          (fun (name, n) -> if n = 0 then None else Some (Printf.sprintf " %s=%d" name n))
+          cats))
+
+let run_fsck ops journal crash_at no_recover =
+  (match crash_at with
+  | Some n when n < 1 ->
+      Format.eprintf "springfs: --crash-at-write must be at least 1 (got %d)@." n;
+      exit 2
+  | _ -> ());
+  let disk = Sp_blockdev.Disk.create ~label:"fsckdev" ~blocks:8192 () in
+  Sp_sfs.Disk_layer.mkfs ~journal disk;
+  let sfs = Sp_sfs.Disk_layer.mount ~name:"fsck0" disk in
+  let workload () =
+    S.mkdir sfs (path "dir");
+    let f = S.create sfs (path "dir/file") in
+    for i = 0 to ops - 1 do
+      ignore (F.write f ~pos:(i * 512) (Bytes.make 512 (Char.chr (i land 0xff))))
+    done;
+    ignore (S.create sfs (path "doomed"));
+    S.sync sfs;
+    (* Second transaction reusing freed resources: a crash mid-flush here
+       can leave mixed old/new metadata on an unjournaled volume. *)
+    S.remove sfs (path "doomed");
+    let g = S.create sfs (path "dir/file2") in
+    ignore (F.write g ~pos:0 (Bytes.make 2048 'x'));
+    F.truncate f (max 1 (ops * 256));
+    S.sync sfs
+  in
+  (match crash_at with
+  | None -> workload ()
+  | Some n -> (
+      let plan =
+        Sp_fault.plan ~seed:n
+          [ Sp_fault.rule ~point:"disk.write" ~label:"fsckdev" ~after:(n - 1)
+              ~count:1 Sp_fault.Fail_stop ]
+      in
+      match Sp_fault.with_plan plan workload with
+      | () -> Format.printf "fsck: workload completed before write %d@." n
+      | exception Sp_fault.Crash msg -> Format.printf "fsck: %s@." msg));
+  if not no_recover then begin
+    let replayed = Sp_sfs.Disk_layer.recover disk in
+    if replayed > 0 then Format.printf "fsck: journal replayed %d block(s)@." replayed
+  end;
+  let problems = Sp_sfs.Fsck.check disk in
+  List.iter (Format.printf "fsck: %a@." Sp_sfs.Fsck.pp_problem) problems;
+  print_endline (fsck_summary problems);
+  if problems = [] then 0 else 1
+
+(* --- springfs crash --- *)
+
+let run_crash ops seed stride no_journal torn expect_inconsistent =
+  if stride < 1 then (
+    Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
+    exit 2);
+  if ops < 1 then (
+    Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
+    exit 2);
+  let journal = not no_journal in
+  let report = Sp_sfs.Crash_sweep.sweep ~stride ~torn ~journal ~ops ~seed () in
+  Format.printf "%a@." Sp_sfs.Crash_sweep.pp_report report;
+  print_endline (Sp_sfs.Crash_sweep.summary report);
+  let failures = report.Sp_sfs.Crash_sweep.rp_lost + report.Sp_sfs.Crash_sweep.rp_corrupt in
+  if expect_inconsistent then
+    if failures > 0 then begin
+      Format.printf "sweep found inconsistent states, as expected without a journal@.";
+      0
+    end
+    else begin
+      Format.eprintf "springfs: expected the sweep to find damage but every point survived@.";
+      1
+    end
+  else if failures = 0 then 0
   else begin
-    List.iter (Format.printf "fsck: %a@." Sp_sfs.Fsck.pp_problem) problems;
+    Format.eprintf "springfs: %d crash point(s) lost synced data or left the volume inconsistent@."
+      failures;
     1
   end
 
@@ -233,7 +316,9 @@ let tables_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"TABLE"
-          ~doc:"Subset to print: table2, table3, figures, ablations, macro (default all).")
+          ~doc:
+            "Subset to print: table2, table3, figures, ablations, macro, faults \
+             (default all).")
   in
   let doc = "regenerate the paper's evaluation tables (simulated)" in
   Cmd.v (Cmd.info "tables" ~doc) Term.(const run_tables $ which)
@@ -253,8 +338,58 @@ let fsck_cmd =
   let ops =
     Arg.(value & opt int 50 & info [ "ops" ] ~docv:"N" ~doc:"Workload size.")
   in
-  let doc = "run a workload, sync, and fsck the volume" in
-  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run_fsck $ ops)
+  let journal =
+    Arg.(value & flag & info [ "journal" ] ~doc:"Format the volume with a write-ahead journal.")
+  in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at-write" ] ~docv:"N"
+          ~doc:"Inject a fail-stop crash at the N-th device write of the workload.")
+  in
+  let no_recover =
+    Arg.(
+      value & flag
+      & info [ "no-recover" ] ~doc:"Skip journal replay before checking (show raw crash damage).")
+  in
+  let doc =
+    "run a workload, fsck the volume, and print a machine-readable verdict \
+     (exit 1 on inconsistencies)"
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run_fsck $ ops $ journal $ crash_at $ no_recover)
+
+let crash_cmd =
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N" ~doc:"Workload operations per run.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload/fault seed.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K" ~doc:"Crash at every K-th device write (default every write).")
+  in
+  let no_journal =
+    Arg.(value & flag & info [ "no-journal" ] ~doc:"Format without a journal (expect damage).")
+  in
+  let torn =
+    Arg.(value & flag & info [ "torn" ] ~doc:"Make the crashing write a torn (partial) write.")
+  in
+  let expect_inconsistent =
+    Arg.(
+      value & flag
+      & info [ "expect-inconsistent" ]
+          ~doc:"Invert the verdict: exit 0 only if the sweep finds at least one \
+                lost or corrupt state (for exercising the injector without a journal).")
+  in
+  let doc =
+    "sweep fail-stop crashes over every device write of a workload and verify \
+     recovery (journal on: every synced write must survive and fsck must be clean)"
+  in
+  Cmd.v (Cmd.info "crash" ~doc)
+    Term.(const run_crash $ ops $ seed $ stride $ no_journal $ torn $ expect_inconsistent)
 
 let versions_cmd =
   let doc = "demonstrate the file-versioning layer" in
@@ -296,6 +431,9 @@ let profile_cmd =
 let main =
   let doc = "Spring extensible file systems (SOSP '93) — simulation driver" in
   Cmd.group (Cmd.info "springfs" ~version:"1.0.0" ~doc)
-    [ stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; versions_cmd; profile_cmd ]
+    [
+      stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; crash_cmd; versions_cmd;
+      profile_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

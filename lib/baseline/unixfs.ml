@@ -216,12 +216,14 @@ let mount ?label disk =
   {
     disk;
     layout;
-    icache = I.cache_create disk layout;
+    icache = I.cache_create (Sp_sfs.Journal.raw disk) layout;
     ibitmap =
-      Sp_sfs.Bitmap.load disk ~start:layout.L.inode_bitmap_start
+      Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk)
+        ~start:layout.L.inode_bitmap_start
         ~blocks:layout.L.inode_bitmap_blocks ~bits:layout.L.inode_count;
     bbitmap =
-      Sp_sfs.Bitmap.load disk ~start:layout.L.block_bitmap_start
+      Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk)
+        ~start:layout.L.block_bitmap_start
         ~blocks:layout.L.block_bitmap_blocks ~bits:layout.L.total_blocks;
     bufcache = Hashtbl.create 256;
     ncache = Hashtbl.create 64;

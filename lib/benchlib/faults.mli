@@ -1,0 +1,29 @@
+(** Faults ablation: what the write-ahead journal costs and buys.
+
+    Two sub-tables printed beside Table 2/3: the write-path overhead of
+    journaling (same workload on an unjournaled vs journaled disk layer,
+    simulated time and device writes) as the transaction size varies, and
+    the crash-recovery time of {!Sp_sfs.Disk_layer.recover} as a function
+    of the interrupted transaction's size (the volume is crashed with an
+    {!Sp_fault} fail-stop at the first home write of a sealed commit).
+    All timings run under the [paper_1993] cost model. *)
+
+type overhead_row = {
+  o_txn_blocks : int;  (** data blocks written per transaction *)
+  o_txns : int;
+  o_raw_ns : int;  (** journal off: simulated time *)
+  o_raw_writes : int;  (** journal off: device writes *)
+  o_jl_ns : int;  (** journal on *)
+  o_jl_writes : int;
+}
+
+type recovery_row = {
+  r_txn_blocks : int;  (** blocks in the sealed, interrupted commit *)
+  r_replayed : int;  (** blocks replay copied home *)
+  r_recover_ns : int;  (** simulated time of [Disk_layer.recover] *)
+}
+
+type t = { overhead : overhead_row list; recovery : recovery_row list }
+
+val run : unit -> t
+val print : Format.formatter -> t -> unit

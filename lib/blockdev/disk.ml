@@ -42,6 +42,17 @@ let charge t n =
 
 let read t n =
   check t n;
+  (match Sp_fault.consult ~point:"disk.read" ~label:t.label with
+  | Sp_fault.Pass -> ()
+  | Sp_fault.Fail_io msg ->
+      (* The access was attempted: the head moved and time passed, but no
+         data came back. *)
+      charge t n;
+      raise (Sp_core.Fserr.Io_error msg)
+  | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
+  | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Dropped _ ->
+      (* not meaningful for a read; ignore *)
+      ());
   charge t n;
   t.reads <- t.reads + 1;
   Sp_sim.Metrics.incr_disk_reads ();
@@ -51,12 +62,35 @@ let write t n data =
   check t n;
   if Bytes.length data > block_size then
     invalid_arg (Printf.sprintf "Disk %s: write larger than a block" t.label);
-  charge t n;
-  t.writes <- t.writes + 1;
-  Sp_sim.Metrics.incr_disk_writes ();
-  let block = t.blocks.(n) in
-  Bytes.fill block 0 block_size '\000';
-  Bytes.blit data 0 block 0 (Bytes.length data)
+  (* Persist only a prefix of [data]; the tail of the block's previous
+     contents survives.  This is what makes unjournaled metadata updates
+     detectably inconsistent after a crash. *)
+  let torn_write fraction =
+    charge t n;
+    t.writes <- t.writes + 1;
+    Sp_sim.Metrics.incr_disk_writes ();
+    let len = Bytes.length data in
+    let keep = max 0 (min len (int_of_float (fraction *. float_of_int len))) in
+    Bytes.blit data 0 t.blocks.(n) 0 keep
+  in
+  match Sp_fault.consult ~point:"disk.write" ~label:t.label with
+  | Sp_fault.Fail_io msg ->
+      charge t n;
+      raise (Sp_core.Fserr.Io_error msg)
+  | Sp_fault.Torn fraction -> torn_write fraction
+  | Sp_fault.Torn_crash fraction ->
+      torn_write fraction;
+      raise (Sp_fault.Crash (Printf.sprintf "crash after torn write to %s[%d]" t.label n))
+  | (Sp_fault.Pass | Sp_fault.Delayed _ | Sp_fault.Dropped _) as outcome ->
+      (match outcome with
+      | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
+      | _ -> ());
+      charge t n;
+      t.writes <- t.writes + 1;
+      Sp_sim.Metrics.incr_disk_writes ();
+      let block = t.blocks.(n) in
+      Bytes.fill block 0 block_size '\000';
+      Bytes.blit data 0 block 0 (Bytes.length data)
 
 let stats t = { reads = t.reads; writes = t.writes; seeks = t.seeks }
 

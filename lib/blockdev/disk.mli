@@ -21,11 +21,16 @@ val label : t -> string
 val block_count : t -> int
 
 (** [read t n] returns a copy of block [n].  Raises [Invalid_argument] on
-    out-of-range indices. *)
+    out-of-range indices.  Consults the armed {!Sp_fault} plan at point
+    ["disk.read"] (label = the disk's label): injected faults surface as
+    [Sp_core.Fserr.Io_error] or [Sp_fault.Crash]. *)
 val read : t -> int -> bytes
 
 (** [write t n data] stores [data] (at most one block; shorter data is
-    zero-padded) into block [n]. *)
+    zero-padded) into block [n].  Consults {!Sp_fault} at ["disk.write"]:
+    besides [Io_error]/[Crash], a torn-write fault persists only a prefix
+    of [data] and leaves the tail of the previous block contents in
+    place. *)
 val write : t -> int -> bytes -> unit
 
 val stats : t -> stats

@@ -9,16 +9,16 @@ let attr_bytes = 64
 let proxy_fs_pager net ~src ~dst (ops : V.fs_pager_ops) =
   {
     V.fp_get_attr =
-      (fun () -> Net.rpc net ~src ~dst ~bytes:attr_bytes ops.V.fp_get_attr);
+      (fun () -> Net.rpc_retry net ~src ~dst ~bytes:attr_bytes ops.V.fp_get_attr);
     fp_set_attr =
-      (fun a -> Net.rpc net ~src ~dst ~bytes:attr_bytes (fun () -> ops.V.fp_set_attr a));
+      (fun a -> Net.rpc_retry net ~src ~dst ~bytes:attr_bytes (fun () -> ops.V.fp_set_attr a));
     fp_attr_sync =
-      (fun a -> Net.rpc net ~src ~dst ~bytes:attr_bytes (fun () -> ops.V.fp_attr_sync a));
+      (fun a -> Net.rpc_retry net ~src ~dst ~bytes:attr_bytes (fun () -> ops.V.fp_attr_sync a));
   }
 
 (* Calls travel client -> server. *)
 let proxy_pager net ~client ~server (p : V.pager_object) =
-  let rpc bytes f = Net.rpc net ~src:client ~dst:server ~bytes f in
+  let rpc bytes f = Net.rpc_retry net ~src:client ~dst:server ~bytes f in
   {
     p with
     V.p_page_in =
@@ -46,11 +46,11 @@ let extent_bytes extents =
 
 (* Calls travel server -> client (coherency callbacks). *)
 let proxy_cache net ~client ~server (c : V.cache_object) =
-  let rpc bytes f = Net.rpc net ~src:server ~dst:client ~bytes f in
+  let rpc bytes f = Net.rpc_retry net ~src:server ~dst:client ~bytes f in
   let ranged op ~offset ~size =
     let extents = rpc 32 (fun () -> op ~offset ~size) in
     (* The returned data rides back over the network too. *)
-    Net.rpc net ~src:client ~dst:server ~bytes:(extent_bytes extents) (fun () -> extents)
+    Net.rpc_retry net ~src:client ~dst:server ~bytes:(extent_bytes extents) (fun () -> extents)
   in
   {
     c with
@@ -98,18 +98,18 @@ let remote_mem net ~client ~server (mem : V.memory_object) =
               (fun ~key pager ->
                 let pager' = proxy_pager net ~client ~server pager in
                 let cache =
-                  Net.rpc net ~src:server ~dst:client ~bytes:128 (fun () ->
+                  Net.rpc_retry net ~src:server ~dst:client ~bytes:128 (fun () ->
                       mgr.V.cm_connect ~key pager')
                 in
                 proxy_cache net ~client ~server cache);
           }
         in
-        Net.rpc net ~src:client ~dst:server ~bytes:64 (fun () -> V.bind mem mgr' access));
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:64 (fun () -> V.bind mem mgr' access));
     m_get_length =
-      (fun () -> Net.rpc net ~src:client ~dst:server ~bytes:16 (fun () -> V.get_length mem));
+      (fun () -> Net.rpc_retry net ~src:client ~dst:server ~bytes:16 (fun () -> V.get_length mem));
     m_set_length =
       (fun len ->
-        Net.rpc net ~src:client ~dst:server ~bytes:16 (fun () -> V.set_length mem len));
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:16 (fun () -> V.set_length mem len));
   }
 
 let remote_file net ~client ~client_domain ~server (f : Sp_core.File.t) =
@@ -119,27 +119,27 @@ let remote_file net ~client ~client_domain ~server (f : Sp_core.File.t) =
     f_mem = remote_mem net ~client ~server f.Sp_core.File.f_mem;
     f_read =
       (fun ~pos ~len ->
-        Net.rpc net ~src:client ~dst:server ~bytes:len (fun () ->
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:len (fun () ->
             Sp_core.File.read f ~pos ~len));
     f_write =
       (fun ~pos data ->
-        Net.rpc net ~src:client ~dst:server ~bytes:(Bytes.length data) (fun () ->
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:(Bytes.length data) (fun () ->
             Sp_core.File.write f ~pos data));
     f_stat =
       (fun () ->
-        Net.rpc net ~src:client ~dst:server ~bytes:attr_bytes (fun () ->
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:attr_bytes (fun () ->
             Sp_core.File.stat f));
     f_set_attr =
       (fun a ->
-        Net.rpc net ~src:client ~dst:server ~bytes:attr_bytes (fun () ->
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:attr_bytes (fun () ->
             Sp_core.File.set_attr f a));
     f_truncate =
       (fun len ->
-        Net.rpc net ~src:client ~dst:server ~bytes:16 (fun () ->
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:16 (fun () ->
             Sp_core.File.truncate f len));
     f_sync =
       (fun () ->
-        Net.rpc net ~src:client ~dst:server ~bytes:16 (fun () -> Sp_core.File.sync f));
+        Net.rpc_retry net ~src:client ~dst:server ~bytes:16 (fun () -> Sp_core.File.sync f));
     f_exten = f.Sp_core.File.f_exten;
   }
 
@@ -271,7 +271,7 @@ let import ~net ~client_node server_sfs =
       Printf.sprintf "dfs-import:%s:%s" client_node (Sp_naming.Sname.to_string path)
     in
     let remote_resolve sub =
-      Net.rpc net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
+      Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
           Sp_naming.Context.resolve coh.Sp_core.Stackable.sfs_ctx sub)
     in
     let resolve1 component =
@@ -291,16 +291,16 @@ let import ~net ~client_node server_sfs =
       ctx_rebind1 = (fun _ _ -> invalid_arg (label ^ ": rebind via the server"));
       ctx_unbind1 =
         (fun component ->
-          Net.rpc net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
+          Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
               Sp_naming.Context.unbind coh.Sp_core.Stackable.sfs_ctx
                 (Sp_naming.Sname.append path component)));
       ctx_list =
         (fun () ->
-          Net.rpc net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
+          Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
               Sp_naming.Context.list coh.Sp_core.Stackable.sfs_ctx path));
     }
   in
-  let rpc_to_server bytes f = Net.rpc net ~src:client_node ~dst:s.s_node ~bytes f in
+  let rpc_to_server bytes f = Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes f in
   {
     Sp_core.Stackable.sfs_name = s.s_name ^ "@" ^ client_node;
     sfs_type = "dfs-import";

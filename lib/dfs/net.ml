@@ -1,23 +1,72 @@
-type stats = { messages : int; bytes : int }
+exception Timeout of string
 
-type t = { mutable messages : int; mutable bytes : int }
+type stats = { messages : int; bytes : int; retries : int }
 
-let create () = { messages = 0; bytes = 0 }
+type t = { mutable messages : int; mutable bytes : int; mutable retries : int }
+
+let create () = { messages = 0; bytes = 0; retries = 0 }
+
+(* One attempt: charge the wire cost and run [f].  An injected drop
+   charges a full round-trip-time window (the client waited for a reply
+   that never came) and raises [Timeout] — before [f] runs, so a dropped
+   request has no server-side effect. *)
+let attempt t ~src ~dst ~bytes f =
+  let model = Sp_sim.Cost_model.current () in
+  let label = src ^ "->" ^ dst in
+  (match Sp_fault.consult ~point:"net.rpc" ~label with
+  | Sp_fault.Pass -> ()
+  | Sp_fault.Dropped msg | Sp_fault.Fail_io msg ->
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + bytes;
+      Sp_sim.Metrics.incr_net_messages ();
+      Sp_sim.Metrics.add_net_bytes bytes;
+      Sp_sim.Simclock.advance model.net_rtt_ns;
+      raise (Timeout msg)
+  | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
+  | Sp_fault.Torn _ | Sp_fault.Torn_crash _ -> ());
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  Sp_sim.Metrics.incr_net_messages ();
+  Sp_sim.Metrics.add_net_bytes bytes;
+  Sp_sim.Simclock.advance (model.net_rtt_ns + (bytes * model.net_per_byte_ns));
+  f ()
 
 let rpc t ~src ~dst ~bytes f =
-  if String.equal src dst then f ()
-  else begin
-    let model = Sp_sim.Cost_model.current () in
-    t.messages <- t.messages + 1;
-    t.bytes <- t.bytes + bytes;
-    Sp_sim.Metrics.incr_net_messages ();
-    Sp_sim.Metrics.add_net_bytes bytes;
-    Sp_sim.Simclock.advance (model.net_rtt_ns + (bytes * model.net_per_byte_ns));
-    f ()
-  end
+  if String.equal src dst then f () else attempt t ~src ~dst ~bytes f
 
-let stats t : stats = { messages = t.messages; bytes = t.bytes }
+let rpc_retry ?(retries = 3) t ~src ~dst ~bytes f =
+  if String.equal src dst then f ()
+  else
+    let model = Sp_sim.Cost_model.current () in
+    let rec go attempt_no =
+      try attempt t ~src ~dst ~bytes f
+      with Timeout msg ->
+        if attempt_no > retries then
+          raise
+            (Sp_core.Fserr.Io_error
+               (Printf.sprintf "net %s->%s: %s (gave up after %d attempts)" src
+                  dst msg attempt_no))
+        else begin
+          t.retries <- t.retries + 1;
+          Sp_sim.Metrics.incr_net_retries ();
+          if Sp_trace.enabled () then
+            Sp_trace.instant ~name:"net.retry"
+              ~args:
+                [
+                  ("link", src ^ "->" ^ dst);
+                  ("attempt", string_of_int attempt_no);
+                ]
+              ();
+          (* Exponential backoff, deterministic: 1x, 2x, 4x ... the RTT. *)
+          Sp_sim.Simclock.advance (model.net_rtt_ns * (1 lsl (attempt_no - 1)));
+          go (attempt_no + 1)
+        end
+    in
+    go 1
+
+let stats t : stats = { messages = t.messages; bytes = t.bytes; retries = t.retries }
 
 let reset_stats t =
   t.messages <- 0;
-  t.bytes <- 0
+  t.bytes <- 0;
+  t.retries <- 0

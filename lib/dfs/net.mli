@@ -3,18 +3,36 @@
     Substitute for the paper's "private DFS protocol" transport: a
     latency/bandwidth cost model plus counters.  All nodes live in one
     process; an RPC is a cost-charged, metric-counted direct call.
-    Intra-node calls are free (and uncounted). *)
+    Intra-node calls are free (and uncounted).
+
+    Every remote attempt consults the armed {!Sp_fault} plan at point
+    ["net.rpc"] with label ["src->dst"]; an injected drop costs the client
+    a full round-trip window and raises {!Timeout} before the server-side
+    body runs. *)
+
+(** A send that received no reply (injected drop or transport failure). *)
+exception Timeout of string
 
 type t
 
-type stats = { messages : int; bytes : int }
+type stats = { messages : int; bytes : int; retries : int }
 
 val create : unit -> t
 
 (** [rpc t ~src ~dst ~bytes f] performs [f ()] as a remote invocation from
     node [src] to node [dst] carrying [bytes] of payload (request +
-    response combined). *)
+    response combined).  A single attempt: raises {!Timeout} on drop. *)
 val rpc : t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
+
+(** Like {!rpc} but retries {!Timeout}s with deterministic exponential
+    backoff (1x, 2x, 4x ... the model RTT), bumping
+    [Sp_sim.Metrics.net_retries] and emitting an [Sp_trace] instant per
+    retry.  After [retries] (default 3) failed retries the error becomes
+    [Sp_core.Fserr.Io_error], which file-system layers already handle.
+    Server-side exceptions pass through untouched — only transport
+    timeouts are retried. *)
+val rpc_retry :
+  ?retries:int -> t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
 
 val stats : t -> stats
 

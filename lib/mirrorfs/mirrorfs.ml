@@ -11,6 +11,7 @@ type layer = {
   mutable l_primary : Sp_core.Stackable.t option;
   mutable l_secondary : Sp_core.Stackable.t option;
   mutable l_degraded : replica option;
+  mutable l_failovers : int;
   l_channels : Sp_vm.Pager_lib.t;
   l_wrapped : (string, Sp_core.File.t) Hashtbl.t;  (* by path-independent key *)
 }
@@ -38,28 +39,68 @@ type pair = {
 let read_source l pair =
   match l.l_degraded with Some Primary -> pair.p_sec | _ -> pair.p_prim
 
-let write_targets l pair =
-  match l.l_degraded with
-  | Some Primary -> [ pair.p_sec ]
-  | Some Secondary -> [ pair.p_prim ]
-  | None -> [ pair.p_prim; pair.p_sec ]
+(* Automatic failover: an [Fserr.Io_error] from a replica (e.g. injected
+   by [Sp_fault]) marks it degraded, exactly as [set_degraded] would, and
+   the operation completes on the survivor.  [Sp_fault.Crash] is never
+   caught — a machine crash is not a device failure. *)
+let note_failover l which reason =
+  l.l_degraded <- Some which;
+  l.l_failovers <- l.l_failovers + 1;
+  if Sp_trace.enabled () then
+    Sp_trace.instant ~name:"mirrorfs.failover"
+      ~args:
+        [
+          ("layer", l.l_name);
+          ("replica", (match which with Primary -> "primary" | Secondary -> "secondary"));
+          ("reason", reason);
+        ]
+      ()
 
-let pair_len l pair = (Sp_core.File.stat (read_source l pair)).Sp_vm.Attr.len
+let with_read l pair f =
+  match f (read_source l pair) with
+  | v -> v
+  | exception Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+      note_failover l Primary reason;
+      f pair.p_sec
+
+(* Apply [f] to every live replica of the pair.  A replica whose write
+   fails is degraded as long as the other one took the write; when no
+   replica survives, the error propagates. *)
+let each_target l pair f =
+  let targets =
+    match l.l_degraded with
+    | Some Primary -> [ (Secondary, pair.p_sec) ]
+    | Some Secondary -> [ (Primary, pair.p_prim) ]
+    | None -> [ (Primary, pair.p_prim); (Secondary, pair.p_sec) ]
+  in
+  let failures =
+    List.filter_map
+      (fun (which, file) ->
+        match f file with
+        | () -> None
+        | exception Sp_core.Fserr.Io_error reason -> Some (which, reason))
+      targets
+  in
+  match failures with
+  | [] -> ()
+  | [ (which, reason) ] when List.length targets = 2 -> note_failover l which reason
+  | (_, reason) :: _ -> raise (Sp_core.Fserr.Io_error reason)
+
+let pair_len l pair = with_read l pair (fun f -> (Sp_core.File.stat f).Sp_vm.Attr.len)
 
 let upper_pager l pair ~id =
   let raw_push ~offset data =
     let len = pair_len l pair in
     let keep = min (Bytes.length data) (max 0 (len - offset)) in
     if keep > 0 then
-      List.iter
-        (fun f -> ignore (Sp_core.File.write f ~pos:offset (Bytes.sub data 0 keep)))
-        (write_targets l pair)
+      each_target l pair (fun f ->
+          ignore (Sp_core.File.write f ~pos:offset (Bytes.sub data 0 keep)))
   in
   let write_down x = raw_push ~offset:x.V.ext_offset x.V.ext_data in
   let page_in ~offset ~size ~access =
     Sp_coherency.Mrsw.before_grant pair.p_state ~channels:l.l_channels
       ~key:pair.p_key ~me:id ~access ~offset ~size ~write_down;
-    let data = Sp_core.File.read (read_source l pair) ~pos:offset ~len:size in
+    let data = with_read l pair (fun f -> Sp_core.File.read f ~pos:offset ~len:size) in
     let data =
       if Bytes.length data = size then data
       else begin
@@ -91,16 +132,14 @@ let upper_pager l pair ~id =
       [
         V.Fs_pager
           {
-            V.fp_get_attr = (fun () -> Sp_core.File.stat (read_source l pair));
+            V.fp_get_attr = (fun () -> with_read l pair (fun f -> Sp_core.File.stat f));
             fp_set_attr =
-              (fun a -> List.iter (fun f -> Sp_core.File.set_attr f a) (write_targets l pair));
+              (fun a -> each_target l pair (fun f -> Sp_core.File.set_attr f a));
             fp_attr_sync =
               (fun a ->
-                List.iter
-                  (fun f ->
+                each_target l pair (fun f ->
                     V.set_length f.Sp_core.File.f_mem a.Sp_vm.Attr.len;
-                    Sp_core.File.set_attr f a)
-                  (write_targets l pair));
+                    Sp_core.File.set_attr f a));
           };
       ];
   }
@@ -115,9 +154,8 @@ let truncate_pair l pair len =
         let extents = V.write_back ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size:cut in
         List.iter
           (fun x ->
-            List.iter
-              (fun f -> ignore (Sp_core.File.write f ~pos:x.V.ext_offset x.V.ext_data))
-              (write_targets l pair))
+            each_target l pair (fun f ->
+                ignore (Sp_core.File.write f ~pos:x.V.ext_offset x.V.ext_data)))
           extents;
         if len mod ps <> 0 then
           V.zero_fill ch.Sp_vm.Pager_lib.ch_cache ~offset:len ~size:(cut - len);
@@ -125,7 +163,7 @@ let truncate_pair l pair len =
       channels;
     Sp_coherency.Mrsw.drop_blocks_from pair.p_state ~block:(cut / ps)
   end;
-  List.iter (fun f -> Sp_core.File.truncate f len) (write_targets l pair)
+  each_target l pair (fun f -> Sp_core.File.truncate f len)
 
 let wrap_pair l pair =
   let mem =
@@ -143,13 +181,11 @@ let wrap_pair l pair =
   in
   let mapped =
     Sp_core.File.mapped_ops ~vmm:l.l_vmm ~mem
-      ~get_attr:(fun () -> Sp_core.File.stat (read_source l pair))
+      ~get_attr:(fun () -> with_read l pair (fun f -> Sp_core.File.stat f))
       ~set_attr_len:(fun len ->
-        List.iter
-          (fun f ->
+        each_target l pair (fun f ->
             if (Sp_core.File.stat f).Sp_vm.Attr.len < len then
-              V.set_length f.Sp_core.File.f_mem len)
-          (write_targets l pair))
+              V.set_length f.Sp_core.File.f_mem len))
   in
   {
     Sp_core.File.f_id = pair.p_key;
@@ -157,14 +193,13 @@ let wrap_pair l pair =
     f_mem = mem;
     f_read = mapped.Sp_core.File.mo_read;
     f_write = mapped.Sp_core.File.mo_write;
-    f_stat = (fun () -> Sp_core.File.stat (read_source l pair));
-    f_set_attr =
-      (fun a -> List.iter (fun f -> Sp_core.File.set_attr f a) (write_targets l pair));
+    f_stat = (fun () -> with_read l pair (fun f -> Sp_core.File.stat f));
+    f_set_attr = (fun a -> each_target l pair (fun f -> Sp_core.File.set_attr f a));
     f_truncate = (fun len -> truncate_pair l pair len);
     f_sync =
       (fun () ->
         mapped.Sp_core.File.mo_sync ();
-        List.iter Sp_core.File.sync (write_targets l pair));
+        each_target l pair Sp_core.File.sync);
     f_exten = [];
   }
 
@@ -179,7 +214,14 @@ let rec make_ctx l ~path =
     let prim, sec = replicas l in
     let sub = Sp_naming.Sname.append path component in
     let source = match l.l_degraded with Some Primary -> sec | _ -> prim in
-    match Sp_naming.Context.resolve source.Sp_core.Stackable.sfs_ctx sub with
+    let resolved =
+      match Sp_naming.Context.resolve source.Sp_core.Stackable.sfs_ctx sub with
+      | r -> r
+      | exception Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+          note_failover l Primary reason;
+          Sp_naming.Context.resolve sec.Sp_core.Stackable.sfs_ctx sub
+    in
+    match resolved with
     | Sp_naming.Context.Context _ ->
         Sp_naming.Context.Context (make_ctx l ~path:sub)
     | Sp_core.File.File _ -> (
@@ -210,7 +252,11 @@ let rec make_ctx l ~path =
   let list () =
     let prim, sec = replicas l in
     let source = match l.l_degraded with Some Primary -> sec | _ -> prim in
-    Sp_naming.Context.list source.Sp_core.Stackable.sfs_ctx path
+    match Sp_naming.Context.list source.Sp_core.Stackable.sfs_ctx path with
+    | listing -> listing
+    | exception Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+        note_failover l Primary reason;
+        Sp_naming.Context.list sec.Sp_core.Stackable.sfs_ctx path
   in
   {
     Sp_naming.Context.ctx_domain = l.l_domain;
@@ -249,6 +295,7 @@ let make ?(node = "local") ?domain ~vmm ~name () =
       l_primary = None;
       l_secondary = None;
       l_degraded = None;
+      l_failovers = 0;
       l_channels = Sp_vm.Pager_lib.create ();
       l_wrapped = Hashtbl.create 16;
     }
@@ -302,10 +349,16 @@ let make ?(node = "local") ?domain ~vmm ~name () =
         let prim, sec = replicas l in
         (match l.l_degraded with
         | Some Primary -> ()
-        | _ -> Sp_core.Stackable.sync prim);
+        | _ -> (
+            try Sp_core.Stackable.sync prim
+            with Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+              note_failover l Primary reason));
         match l.l_degraded with
         | Some Secondary -> ()
-        | _ -> Sp_core.Stackable.sync sec);
+        | _ -> (
+            try Sp_core.Stackable.sync sec
+            with Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+              note_failover l Secondary reason));
     sfs_drop_caches =
       (fun () ->
         let prim, sec = replicas l in
@@ -321,6 +374,7 @@ let creator ?(node = "local") ~vmm () =
 
 let set_degraded sfs replica = (layer_of sfs).l_degraded <- replica
 let degraded sfs = (layer_of sfs).l_degraded
+let failovers sfs = (layer_of sfs).l_failovers
 
 let lower_pair sfs path =
   let l = layer_of sfs in

@@ -4,9 +4,13 @@
     file systems to implement its function".  [stack_on] is called twice —
     first the primary, then the secondary.  Writes go to both replicas;
     reads are served from the primary, falling over to the secondary when
-    the primary is marked degraded (simulated device failure).  [verify]
-    compares replicas and [repair] copies the healthy replica over the
-    other, restoring redundancy after an outage. *)
+    the primary is marked degraded (simulated device failure).  A replica
+    that raises [Fserr.Io_error] — e.g. under an injected {!Sp_fault}
+    disk fault — is degraded {e automatically} as long as the other
+    replica can complete the operation; the error only propagates when
+    both replicas fail.  [verify] compares replicas and [repair] copies
+    the healthy replica over the other, restoring redundancy after an
+    outage. *)
 
 type replica = Primary | Secondary
 
@@ -26,6 +30,10 @@ val creator : ?node:string -> vmm:Sp_vm.Vmm.t -> unit -> Sp_core.Stackable.creat
 val set_degraded : Sp_core.Stackable.t -> replica option -> unit
 
 val degraded : Sp_core.Stackable.t -> replica option
+
+(** How many times this layer degraded a replica automatically after an
+    [Fserr.Io_error] (manual {!set_degraded} calls are not counted). *)
+val failovers : Sp_core.Stackable.t -> int
 
 (** [verify fs path] is [true] when both replicas hold identical content
     and length for the file at [path]. *)

@@ -19,7 +19,19 @@ let invoke target f =
   current_domain := target;
   Fun.protect ~finally:(fun () -> current_domain := saved) f
 
+(* Door invocations have no native error type, so injected failures
+   surface as [Sp_fault.Injected] (and [Fail_stop] as [Sp_fault.Crash],
+   raised by [consult] itself). *)
+let consult_fault op =
+  if Sp_fault.active () then
+    match Sp_fault.consult ~point:"door.call" ~label:op with
+    | Sp_fault.Pass -> ()
+    | Sp_fault.Fail_io msg | Sp_fault.Dropped msg -> raise (Sp_fault.Injected msg)
+    | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
+    | Sp_fault.Torn _ | Sp_fault.Torn_crash _ -> ()
+
 let call ?(op = "invoke") target f =
+  consult_fault op;
   if Sp_trace.enabled () then
     Sp_trace.span ~op
       ~src:(Sdomain.name !current_domain)

@@ -18,7 +18,9 @@ val user_domain : Sdomain.t
 (** [call target f] invokes [f ()] as an operation of an object served by
     domain [target].  When {!Sp_trace} tracing is active the invocation is
     recorded as a span named [op] (default ["invoke"]); call helpers pass
-    their operation name, e.g. [~op:"file.read"]. *)
+    their operation name, e.g. [~op:"file.read"].  Consults the armed
+    {!Sp_fault} plan at point ["door.call"] (label = [op]); injected
+    failures raise [Sp_fault.Injected] or [Sp_fault.Crash]. *)
 val call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
 
 (** [from domain f] runs [f ()] with [domain] as the current (client)

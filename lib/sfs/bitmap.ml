@@ -1,7 +1,7 @@
 let block_size = Sp_blockdev.Disk.block_size
 
 type t = {
-  disk : Sp_blockdev.Disk.t;
+  dev : Journal.dev;
   start : int;
   blocks : bytes array;  (* cached copies *)
   dirty : bool array;
@@ -9,15 +9,15 @@ type t = {
   mutable used : int;
 }
 
-let load disk ~start ~blocks ~bits =
-  let cached = Array.init blocks (fun i -> Sp_blockdev.Disk.read disk (start + i)) in
+let load dev ~start ~blocks ~bits =
+  let cached = Array.init blocks (fun i -> Journal.read dev (start + i)) in
   let count = ref 0 in
   for i = 0 to bits - 1 do
     let byte = Char.code (Bytes.get cached.(i / (block_size * 8)) (i / 8 mod block_size)) in
     if byte land (1 lsl (i mod 8)) <> 0 then incr count
   done;
   {
-    disk;
+    dev;
     start;
     blocks = cached;
     dirty = Array.make blocks false;
@@ -68,7 +68,7 @@ let flush t =
   Array.iteri
     (fun i dirty ->
       if dirty then begin
-        Sp_blockdev.Disk.write t.disk (t.start + i) t.blocks.(i);
+        Journal.write t.dev (t.start + i) t.blocks.(i);
         t.dirty.(i) <- false
       end)
     t.dirty

@@ -6,9 +6,10 @@
 
 type t
 
-(** [load disk ~start ~blocks ~bits] reads the bitmap occupying [blocks]
-    device blocks from [start]; only the first [bits] bits are valid. *)
-val load : Sp_blockdev.Disk.t -> start:int -> blocks:int -> bits:int -> t
+(** [load dev ~start ~blocks ~bits] reads the bitmap occupying [blocks]
+    device blocks from [start]; only the first [bits] bits are valid.
+    Unjournaled callers pass [Journal.raw disk]. *)
+val load : Journal.dev -> start:int -> blocks:int -> bits:int -> t
 
 val is_set : t -> int -> bool
 val set : t -> int -> unit

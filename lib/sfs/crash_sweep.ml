@@ -1,0 +1,228 @@
+module Disk = Sp_blockdev.Disk
+module Stackable = Sp_core.Stackable
+module File = Sp_core.File
+module Sname = Sp_naming.Sname
+module Rng = Sp_fault.Rng
+
+type outcome = Survived | Lost of string | Corrupt of string
+
+type report = {
+  rp_journal : bool;
+  rp_torn : bool;
+  rp_ops : int;
+  rp_seed : int;
+  rp_writes : int;
+  rp_points : int;
+  rp_survived : int;
+  rp_lost : int;
+  rp_corrupt : int;
+  rp_first_bad : (int * string) option;
+}
+
+let disk_blocks = 1024
+let root = Sname.of_components []
+let n_files = 6
+let max_pos = 12 * 1024
+let max_write = 4096
+
+(* A consistent cut the recovered volume may legally equal: the set of
+   files and their exact contents at some sync boundary. *)
+type snapshot = (string * bytes) list
+
+type sim = {
+  fs : Stackable.t;
+  expected : (string, bytes) Hashtbl.t;  (* live contents, incl. unsynced *)
+  mutable synced : snapshot;  (* as of the last completed sync *)
+  mutable pending : snapshot option;  (* set while a sync is in flight *)
+}
+
+let snapshot tbl =
+  Hashtbl.fold (fun name data acc -> (name, Bytes.copy data) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let do_sync st =
+  st.pending <- Some (snapshot st.expected);
+  Stackable.sync st.fs;
+  st.synced <- Option.get st.pending;
+  st.pending <- None
+
+(* The workload draws every decision from [rng] in strict operation
+   order and never inspects wall time or hash order, so a given seed
+   always produces the identical op and device-write sequence no matter
+   where (or whether) a crash rule fires. *)
+let write_step st rng =
+  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+  let path = Sname.of_components [ name ] in
+  let pos = Rng.int rng max_pos in
+  let len = 1 + Rng.int rng max_write in
+  let base = Rng.int rng 256 in
+  let data = Bytes.init len (fun i -> Char.chr ((base + i) land 0xff)) in
+  let f =
+    if Hashtbl.mem st.expected name then Stackable.open_file st.fs path
+    else begin
+      let f = Stackable.create st.fs path in
+      Hashtbl.replace st.expected name Bytes.empty;
+      f
+    end
+  in
+  ignore (File.write f ~pos data);
+  let old = Hashtbl.find st.expected name in
+  let buf = Bytes.make (max (Bytes.length old) (pos + len)) '\000' in
+  Bytes.blit old 0 buf 0 (Bytes.length old);
+  Bytes.blit data 0 buf pos len;
+  Hashtbl.replace st.expected name buf
+
+let remove_step st rng =
+  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+  if Hashtbl.mem st.expected name then begin
+    Stackable.remove st.fs (Sname.of_components [ name ]);
+    Hashtbl.remove st.expected name
+  end
+
+let run_ops st rng ops =
+  for i = 1 to ops do
+    (match Rng.int rng 12 with
+    | 10 -> remove_step st rng
+    | 11 -> do_sync st
+    | _ -> write_step st rng);
+    if i mod 5 = 0 then do_sync st
+  done;
+  do_sync st
+
+let label ~journal ~seed =
+  Printf.sprintf "crashsweep-%c%d" (if journal then 'j' else 'r') seed
+
+let setup ~journal ~seed =
+  let lbl = label ~journal ~seed in
+  let disk = Disk.create ~label:lbl ~blocks:disk_blocks () in
+  Disk_layer.mkfs ~journal disk;
+  let fs = Disk_layer.mount ~name:lbl disk in
+  (disk, { fs; expected = Hashtbl.create 8; synced = []; pending = None })
+
+let workload_writes ~journal ~ops ~seed =
+  let disk, st = setup ~journal ~seed in
+  let before = (Disk.stats disk).writes in
+  run_ops st (Rng.create seed) ops;
+  (Disk.stats disk).writes - before
+
+(* [matches fs2 snap] checks the remounted volume holds exactly the
+   files of [snap] with exactly their contents; returns a description of
+   the first divergence, or [None] on an exact match. *)
+let matches fs2 snap =
+  let names = List.sort String.compare (Stackable.listdir fs2 root) in
+  let snap_names = List.map fst snap in
+  if names <> snap_names then
+    Some
+      (Printf.sprintf "file set {%s} <> {%s}" (String.concat "," names)
+         (String.concat "," snap_names))
+  else
+    List.find_map
+      (fun (name, want) ->
+        let f = Stackable.open_file fs2 (Sname.of_components [ name ]) in
+        let got = File.read_all f in
+        if Bytes.equal got want then None
+        else
+          Some
+            (Printf.sprintf "%s: %d bytes on disk, expected %d%s" name
+               (Bytes.length got) (Bytes.length want)
+               (if Bytes.length got = Bytes.length want then
+                  " (content differs)"
+                else "")))
+      snap
+
+let run_point ?(torn = false) ~journal ~ops ~seed ~crash_at () =
+  let disk, st = setup ~journal ~seed in
+  let plan =
+    Sp_fault.plan ~seed:(seed + crash_at)
+      [
+        Sp_fault.rule ~point:"disk.write"
+          ~label:(label ~journal ~seed)
+          ~after:(crash_at - 1) ~count:1
+          (if torn then Sp_fault.Torn_write_crash else Sp_fault.Fail_stop);
+      ]
+  in
+  (match
+     Sp_fault.with_plan plan (fun () -> run_ops st (Rng.create seed) ops)
+   with
+  | () -> ()
+  | exception Sp_fault.Crash _ -> ());
+  ignore (Disk_layer.recover disk);
+  match Fsck.check disk with
+  | p :: rest ->
+      Corrupt
+        (Format.asprintf "%a%s" Fsck.pp_problem p
+           (if rest = [] then ""
+            else Printf.sprintf " (+%d more)" (List.length rest)))
+  | [] -> (
+      let fs2 = Disk_layer.mount ~name:(label ~journal ~seed ^ "-re") disk in
+      let cuts =
+        (match st.pending with
+        | Some s -> [ ("in-flight sync", s) ]
+        | None -> [])
+        @ [ ("last sync", st.synced) ]
+      in
+      if List.exists (fun (_, s) -> matches fs2 s = None) cuts then Survived
+      else
+        match cuts with
+        | (which, s) :: _ ->
+            Lost
+              (Printf.sprintf "vs %s: %s" which
+                 (Option.value ~default:"?" (matches fs2 s)))
+        | [] -> Lost "no snapshot to compare")
+
+let sweep ?(stride = 1) ?(torn = false) ~journal ~ops ~seed () =
+  if stride < 1 then invalid_arg "Crash_sweep.sweep: stride must be >= 1";
+  let writes = workload_writes ~journal ~ops ~seed in
+  let survived = ref 0 and lost = ref 0 and corrupt = ref 0 in
+  let points = ref 0 in
+  let first_bad = ref None in
+  let crash_at = ref 1 in
+  while !crash_at <= writes do
+    incr points;
+    (match run_point ~torn ~journal ~ops ~seed ~crash_at:!crash_at () with
+    | Survived -> incr survived
+    | Lost msg ->
+        incr lost;
+        if !first_bad = None then first_bad := Some (!crash_at, msg)
+    | Corrupt msg ->
+        incr corrupt;
+        if !first_bad = None then first_bad := Some (!crash_at, msg));
+    crash_at := !crash_at + stride
+  done;
+  {
+    rp_journal = journal;
+    rp_torn = torn;
+    rp_ops = ops;
+    rp_seed = seed;
+    rp_writes = writes;
+    rp_points = !points;
+    rp_survived = !survived;
+    rp_lost = !lost;
+    rp_corrupt = !corrupt;
+    rp_first_bad = !first_bad;
+  }
+
+let pp_outcome ppf = function
+  | Survived -> Format.fprintf ppf "survived"
+  | Lost msg -> Format.fprintf ppf "lost (%s)" msg
+  | Corrupt msg -> Format.fprintf ppf "corrupt (%s)" msg
+
+let summary r =
+  Printf.sprintf "CRASH-SWEEP journal=%s%s points=%d survived=%d lost=%d corrupt=%d"
+    (if r.rp_journal then "on" else "off")
+    (if r.rp_torn then " torn=on" else "")
+    r.rp_points r.rp_survived r.rp_lost r.rp_corrupt
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>crash sweep: journal=%s torn=%s ops=%d seed=%d@,\
+     device writes swept: %d (%d crash points)@,\
+     survived %d   lost %d   corrupt %d@]"
+    (if r.rp_journal then "on" else "off")
+    (if r.rp_torn then "on" else "off")
+    r.rp_ops r.rp_seed r.rp_writes r.rp_points r.rp_survived r.rp_lost
+    r.rp_corrupt;
+  match r.rp_first_bad with
+  | None -> ()
+  | Some (at, msg) ->
+      Format.fprintf ppf "@,first failure at write %d: %s" at msg

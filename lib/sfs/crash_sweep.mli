@@ -1,0 +1,63 @@
+(** Crash-consistency sweep harness.
+
+    Runs a deterministic workload (seeded by an explicit integer) against
+    a fresh disk-layer volume, crashes it at the [N]-th device write via
+    an {!Sp_fault} fail-stop (or torn-write-then-crash) rule, then
+    recovers: replay the journal, {!Fsck.check} the device, remount, and
+    compare the surviving files against the workload's own record of what
+    had been synced.
+
+    The invariant checked per crash point: the recovered volume is
+    Fsck-clean and its contents equal one of the two consistent cuts a
+    write-ahead journal guarantees — the state as of the last completed
+    sync, or (when the crash hit after the in-flight transaction was
+    sealed) the state the interrupted sync was committing.  Journaled
+    volumes must survive every point of the sweep; unjournaled volumes
+    are expected to fail at some points, which is how the sweep proves
+    the injector works.
+
+    Everything — workload, crash schedule, torn-write fractions — derives
+    from the seed, so a sweep replays bit-identically. *)
+
+type outcome =
+  | Survived
+  | Lost of string  (** Fsck clean, but contents match no consistent cut *)
+  | Corrupt of string  (** Fsck found inconsistencies after recovery *)
+
+type report = {
+  rp_journal : bool;
+  rp_torn : bool;
+  rp_ops : int;
+  rp_seed : int;
+  rp_writes : int;  (** device writes the full workload performs *)
+  rp_points : int;  (** crash points actually swept *)
+  rp_survived : int;
+  rp_lost : int;
+  rp_corrupt : int;
+  rp_first_bad : (int * string) option;  (** first failing crash point *)
+}
+
+(** Device writes the workload performs after mount (an exclusive upper
+    bound for useful crash points). *)
+val workload_writes : journal:bool -> ops:int -> seed:int -> int
+
+(** Run the workload once, crashing at the [crash_at]-th device write
+    (1-based; a [crash_at] beyond the workload's writes means no crash),
+    then recover and verify.  [torn] makes the crash write a torn block
+    first. *)
+val run_point :
+  ?torn:bool -> journal:bool -> ops:int -> seed:int -> crash_at:int -> unit ->
+  outcome
+
+(** Sweep crash points [1, 1+stride, ...] up to the workload's write
+    count (default [stride] 1). *)
+val sweep :
+  ?stride:int -> ?torn:bool -> journal:bool -> ops:int -> seed:int -> unit ->
+  report
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** One-line machine-readable summary, e.g.
+    ["CRASH-SWEEP journal=on points=163 survived=163 lost=0 corrupt=0"]. *)
+val summary : report -> string

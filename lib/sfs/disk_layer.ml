@@ -3,6 +3,7 @@ let bs = Sp_blockdev.Disk.block_size
 type fs = {
   name : string;
   disk : Sp_blockdev.Disk.t;
+  dev : Journal.dev;  (* all layer I/O goes through this *)
   layout : Layout.t;
   domain : Sp_obj.Sdomain.t;
   icache : Inode.cache;
@@ -37,7 +38,7 @@ let alloc_block fs =
   match Bitmap.find_free ~from:fs.layout.Layout.data_start fs.bbitmap with
   | Some b when b >= fs.layout.Layout.data_start ->
       Bitmap.set fs.bbitmap b;
-      Sp_blockdev.Disk.write fs.disk b (Bytes.make bs '\000');
+      Journal.write fs.dev b (Bytes.make bs '\000');
       b
   | Some _ | None -> raise (Sp_core.Fserr.No_space (fs.name ^ ": data blocks"))
 
@@ -55,13 +56,13 @@ let read_indirect fs b =
   match Hashtbl.find_opt fs.indcache b with
   | Some data -> data
   | None ->
-      let data = Sp_blockdev.Disk.read fs.disk b in
+      let data = Journal.read fs.dev b in
       Hashtbl.replace fs.indcache b data;
       data
 
 let write_indirect fs b data =
   Hashtbl.replace fs.indcache b (Bytes.copy data);
-  Sp_blockdev.Disk.write fs.disk b data
+  Journal.write fs.dev b data
 
 (* Disk block holding file block [n] of [inode], or 0 for a hole. *)
 let file_block fs inode n =
@@ -221,7 +222,7 @@ let read_range fs inode ~pos ~len =
       let in_block = off mod bs in
       let n = min (len - cursor) (bs - in_block) in
       if b <> 0 then begin
-        let data = Sp_blockdev.Disk.read fs.disk b in
+        let data = Journal.read fs.dev b in
         Bytes.blit data in_block out cursor n
       end;
       go (cursor + n)
@@ -238,11 +239,11 @@ let write_range fs ino inode ~pos data =
       let in_block = off mod bs in
       let n = min (len - cursor) (bs - in_block) in
       let b = ensure_block fs ino inode (off / bs) in
-      if n = bs then Sp_blockdev.Disk.write fs.disk b (Bytes.sub data cursor n)
+      if n = bs then Journal.write fs.dev b (Bytes.sub data cursor n)
       else begin
-        let block = Sp_blockdev.Disk.read fs.disk b in
+        let block = Journal.read fs.dev b in
         Bytes.blit data cursor block in_block n;
-        Sp_blockdev.Disk.write fs.disk b block
+        Journal.write fs.dev b block
       end;
       go (cursor + n)
     end
@@ -285,9 +286,9 @@ let set_length fs ino len =
     if len mod bs <> 0 then begin
       let b = file_block fs inode (len / bs) in
       if b <> 0 then begin
-        let block = Sp_blockdev.Disk.read fs.disk b in
+        let block = Journal.read fs.dev b in
         Bytes.fill block (len mod bs) (bs - (len mod bs)) '\000';
-        Sp_blockdev.Disk.write fs.disk b block
+        Journal.write fs.dev b block
       end
     end
   end;
@@ -441,7 +442,10 @@ let make_memory_object fs ino =
 let flush_all fs =
   Inode.flush fs.icache;
   Bitmap.flush fs.ibitmap;
-  Bitmap.flush fs.bbitmap
+  Bitmap.flush fs.bbitmap;
+  (* On a journaled dev everything above only reached the in-memory dirty
+     set; this seals it as one atomic transaction and copies it home. *)
+  Journal.commit fs.dev
 
 (* The disk layer serves read/write straight from the device: it has no
    data cache (Table 2's "reads and writes to the disk layer do require
@@ -627,17 +631,26 @@ let create_at fs path kind =
 (* Mount / mkfs / creator                                              *)
 (* ------------------------------------------------------------------ *)
 
-let mkfs disk =
-  let layout = Layout.compute ~total_blocks:(Sp_blockdev.Disk.block_count disk) in
+(* Default journal sizing: an eighth of the device, clamped to what one
+   commit header can describe and to a useful minimum. *)
+let journal_size ~total_blocks = min 128 (max 9 (total_blocks / 8))
+
+let mkfs ?(journal = false) disk =
+  let total_blocks = Sp_blockdev.Disk.block_count disk in
+  let journal_blocks = if journal then journal_size ~total_blocks else 0 in
+  let layout = Layout.compute ~journal_blocks ~total_blocks () in
   Sp_blockdev.Disk.write disk 0 (Layout.encode_superblock layout);
-  (* Zero the bitmaps. *)
+  (* Zero the bitmaps.  Formatting writes raw: there is nothing to
+     recover on a device that was never consistent. *)
   let zero = Bytes.make bs '\000' in
   for i = layout.Layout.inode_bitmap_start
       to layout.Layout.inode_table_start + layout.Layout.inode_table_blocks - 1 do
     Sp_blockdev.Disk.write disk i zero
   done;
+  if journal then Journal.init disk ~start:layout.Layout.journal_start;
+  let rdev = Journal.raw disk in
   let bbitmap =
-    Bitmap.load disk ~start:layout.Layout.block_bitmap_start
+    Bitmap.load rdev ~start:layout.Layout.block_bitmap_start
       ~blocks:layout.Layout.block_bitmap_blocks ~bits:layout.Layout.total_blocks
   in
   for i = 0 to layout.Layout.data_start - 1 do
@@ -645,12 +658,12 @@ let mkfs disk =
   done;
   Bitmap.flush bbitmap;
   let ibitmap =
-    Bitmap.load disk ~start:layout.Layout.inode_bitmap_start
+    Bitmap.load rdev ~start:layout.Layout.inode_bitmap_start
       ~blocks:layout.Layout.inode_bitmap_blocks ~bits:layout.Layout.inode_count
   in
   Bitmap.set ibitmap 0;
   Bitmap.flush ibitmap;
-  let icache = Inode.cache_create disk layout in
+  let icache = Inode.cache_create rdev layout in
   let now = Sp_sim.Simclock.now () in
   Inode.put icache 0
     {
@@ -671,18 +684,28 @@ let mount ?(node = "local") ?domain ~name disk =
   let domain =
     match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
   in
+  (* Attaching the journal replays any sealed-but-unapplied transaction:
+     mounting IS crash recovery. *)
+  let dev =
+    if layout.Layout.journal_blocks > 0 then
+      Journal.Journaled
+        (Journal.attach disk ~start:layout.Layout.journal_start
+           ~blocks:layout.Layout.journal_blocks)
+    else Journal.raw disk
+  in
   let fs =
     {
       name;
       disk;
+      dev;
       layout;
       domain;
-      icache = Inode.cache_create disk layout;
+      icache = Inode.cache_create dev layout;
       ibitmap =
-        Bitmap.load disk ~start:layout.Layout.inode_bitmap_start
+        Bitmap.load dev ~start:layout.Layout.inode_bitmap_start
           ~blocks:layout.Layout.inode_bitmap_blocks ~bits:layout.Layout.inode_count;
       bbitmap =
-        Bitmap.load disk ~start:layout.Layout.block_bitmap_start
+        Bitmap.load dev ~start:layout.Layout.block_bitmap_start
           ~blocks:layout.Layout.block_bitmap_blocks ~bits:layout.Layout.total_blocks;
       channels = Sp_vm.Pager_lib.create ();
       files = Hashtbl.create 32;
@@ -723,7 +746,7 @@ let mount ?(node = "local") ?domain ~name disk =
         Hashtbl.reset fs.indcache);
   }
 
-let creator ?(node = "local") ~get_disk () =
+let creator ?(node = "local") ?(journal = false) ~get_disk () =
   {
     Sp_core.Stackable.cr_type = "sfs_disk";
     cr_create =
@@ -731,9 +754,27 @@ let creator ?(node = "local") ~get_disk () =
         let disk = get_disk name in
         (match Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) with
         | _ -> ()
-        | exception Sp_core.Fserr.Io_error _ -> mkfs disk);
+        | exception Sp_core.Fserr.Io_error _ -> mkfs ~journal disk);
         mount ~node ~name disk);
   }
+
+(* Standalone crash recovery: replay the journal of an unmounted device.
+   [mount] does this implicitly; this entry point exists for tools (fsck,
+   the crash sweep) that want the replay count without mounting. *)
+let recover disk =
+  let layout = Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) in
+  if layout.Layout.journal_blocks > 0 then
+    Journal.replay disk ~start:layout.Layout.journal_start
+  else 0
+
+let journaled sfs = (fs_of sfs).layout.Layout.journal_blocks > 0
+
+let journal_stats sfs =
+  match (fs_of sfs).dev with
+  | Journal.Raw _ -> None
+  | Journal.Journaled t -> Some (Journal.stats t)
+
+let journal_pending sfs = Journal.pending (fs_of sfs).dev
 
 let free_blocks sfs =
   let fs = fs_of sfs in

@@ -14,24 +14,37 @@
     backed by the device, with the [fs_pager] attribute subclass available
     by narrowing. *)
 
-(** Format the device with an empty file system (root directory only). *)
-val mkfs : Sp_blockdev.Disk.t -> unit
+(** Format the device with an empty file system (root directory only).
+    With [~journal:true] a write-ahead journal area (see {!Journal}) is
+    reserved between the inode table and the data region; a subsequent
+    {!mount} then buffers writes and commits them atomically on sync, so
+    a crash at any point recovers to the last synced state. *)
+val mkfs : ?journal:bool -> Sp_blockdev.Disk.t -> unit
 
 (** [mount ~name disk] mounts a formatted device and returns the layer as
     a stackable file system.  [node] (default ["local"]) places the
     serving domain; [domain] overrides it entirely (used to co-locate the
     disk layer with another layer for the same-domain experiments).
-    Raises {!Sp_core.Fserr.Io_error} on an unformatted device. *)
+    Raises {!Sp_core.Fserr.Io_error} on an unformatted device.
+
+    Mounting a journaled volume replays any sealed-but-unapplied journal
+    transaction first: mounting is crash recovery. *)
 val mount :
   ?node:string -> ?domain:Sp_obj.Sdomain.t -> name:string ->
   Sp_blockdev.Disk.t -> Sp_core.Stackable.t
+
+(** Replay the journal of an unmounted device without mounting it;
+    returns the number of blocks copied home (0 on clean or unjournaled
+    volumes).  Raises {!Sp_core.Fserr.Io_error} on an unformatted
+    device. *)
+val recover : Sp_blockdev.Disk.t -> int
 
 (** [creator ~node ~get_disk] packages [mkfs]+[mount] as a stackable-fs
     creator: [cr_create ~name] formats (if needed) and mounts
     [get_disk name]. *)
 val creator :
-  ?node:string -> get_disk:(string -> Sp_blockdev.Disk.t) -> unit ->
-  Sp_core.Stackable.creator
+  ?node:string -> ?journal:bool -> get_disk:(string -> Sp_blockdev.Disk.t) ->
+  unit -> Sp_core.Stackable.creator
 
 (** {1 Introspection (tests, tools)} *)
 
@@ -46,3 +59,13 @@ val cached_inodes : Sp_core.Stackable.t -> int
 
 (** Live pager–cache channels served by this layer (Figure 2's count). *)
 val channel_count : Sp_core.Stackable.t -> int
+
+(** Whether the mounted volume has a journal. *)
+val journaled : Sp_core.Stackable.t -> bool
+
+(** Journal counters ([None] on unjournaled volumes). *)
+val journal_stats : Sp_core.Stackable.t -> Journal.stats option
+
+(** Buffered dirty blocks not yet committed (0 on unjournaled volumes,
+    where writes reach the device immediately). *)
+val journal_pending : Sp_core.Stackable.t -> int

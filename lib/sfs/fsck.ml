@@ -29,12 +29,13 @@ let check disk =
   let layout = Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) in
   let problems = ref [] in
   let report p = problems := p :: !problems in
+  let rdev = Journal.raw disk in
   let ibitmap =
-    Bitmap.load disk ~start:layout.Layout.inode_bitmap_start
+    Bitmap.load rdev ~start:layout.Layout.inode_bitmap_start
       ~blocks:layout.Layout.inode_bitmap_blocks ~bits:layout.Layout.inode_count
   in
   let bbitmap =
-    Bitmap.load disk ~start:layout.Layout.block_bitmap_start
+    Bitmap.load rdev ~start:layout.Layout.block_bitmap_start
       ~blocks:layout.Layout.block_bitmap_blocks ~bits:layout.Layout.total_blocks
   in
   let read_inode ino =

@@ -71,12 +71,12 @@ let apply_attr t (a : Sp_vm.Attr.t) =
 type slot = { inode : t; mutable dirty : bool }
 
 type cache = {
-  disk : Sp_blockdev.Disk.t;
+  dev : Journal.dev;
   layout : Layout.t;
   table : (int, slot) Hashtbl.t;
 }
 
-let cache_create disk layout = { disk; layout; table = Hashtbl.create 64 }
+let cache_create dev layout = { dev; layout; table = Hashtbl.create 64 }
 
 let block_of c ino = c.layout.Layout.inode_table_start + (ino / Layout.inodes_per_block)
 let offset_of ino = ino mod Layout.inodes_per_block * Layout.inode_size
@@ -87,7 +87,7 @@ let get c ino =
   match Hashtbl.find_opt c.table ino with
   | Some slot -> slot.inode
   | None ->
-      let block = Sp_blockdev.Disk.read c.disk (block_of c ino) in
+      let block = Journal.read c.dev (block_of c ino) in
       let inode = decode (Bytes.sub block (offset_of ino) Layout.inode_size) in
       Hashtbl.replace c.table ino { inode; dirty = false };
       inode
@@ -112,13 +112,13 @@ let flush c =
     c.table;
   Hashtbl.iter
     (fun block group ->
-      let data = Sp_blockdev.Disk.read c.disk block in
+      let data = Journal.read c.dev block in
       List.iter
         (fun (ino, slot) ->
           Bytes.blit (encode slot.inode) 0 data (offset_of ino) Layout.inode_size;
           slot.dirty <- false)
         group;
-      Sp_blockdev.Disk.write c.disk block data)
+      Journal.write c.dev block data)
     by_block
 
 let drop c =

@@ -31,7 +31,8 @@ val apply_attr : t -> Sp_vm.Attr.t -> unit
 
 type cache
 
-val cache_create : Sp_blockdev.Disk.t -> Layout.t -> cache
+(** Unjournaled callers pass [Journal.raw disk]. *)
+val cache_create : Journal.dev -> Layout.t -> cache
 
 (** Fetch inode [ino], from memory if cached. *)
 val get : cache -> int -> t

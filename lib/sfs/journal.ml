@@ -1,0 +1,198 @@
+let bs = Sp_blockdev.Disk.block_size
+let magic = 0x53504a4cl (* "SPJL" *)
+let header_bytes = 24 (* magic, state, seq, count, cksum *)
+let entry_bytes = 8 (* target block, data checksum *)
+let max_entries = (bs - header_bytes) / entry_bytes
+
+(* FNV-1a over a byte range, folded to 32 bits.  Not cryptographic — it
+   only has to make a torn (prefix-of-new + tail-of-old) block fail
+   verification. *)
+let cksum b =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Bytes.length b - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * 0x01000193 land 0xffffffff
+  done;
+  !h
+
+type t = {
+  disk : Sp_blockdev.Disk.t;
+  start : int;
+  blocks : int;
+  dirty : (int, bytes) Hashtbl.t;
+  mutable order : int list;  (* newest first *)
+  mutable seq : int;
+  mutable commits : int;
+  mutable journal_writes : int;
+  replayed : int;
+}
+
+type dev = Raw of Sp_blockdev.Disk.t | Journaled of t
+
+(* Header block: word 0 magic, word 1 state (0 clean / 1 committed),
+   words 2-3 seq, word 4 count, word 5 checksum (computed with the field
+   zeroed, over the header words and the entry table). *)
+let encode_header ~state ~seq ~entries =
+  let b = Bytes.make bs '\000' in
+  Bytes.set_int32_le b 0 magic;
+  Bytes.set_int32_le b 4 (Int32.of_int state);
+  Bytes.set_int64_le b 8 (Int64.of_int seq);
+  Bytes.set_int32_le b 16 (Int32.of_int (List.length entries));
+  List.iteri
+    (fun i (target, data_ck) ->
+      Bytes.set_int32_le b (header_bytes + (i * entry_bytes)) (Int32.of_int target);
+      Bytes.set_int32_le b (header_bytes + (i * entry_bytes) + 4) (Int32.of_int data_ck))
+    entries;
+  let covered = header_bytes + (List.length entries * entry_bytes) in
+  Bytes.set_int32_le b 20 (Int32.of_int (cksum (Bytes.sub b 0 covered)));
+  b
+
+(* Returns (state, seq, entries) or None for anything unformatted, torn
+   or otherwise unverifiable. *)
+let decode_header b =
+  if Bytes.length b < bs || Bytes.get_int32_le b 0 <> magic then None
+  else
+    let state = Int32.to_int (Bytes.get_int32_le b 4) in
+    let seq = Int64.to_int (Bytes.get_int64_le b 8) in
+    let count = Int32.to_int (Bytes.get_int32_le b 16) in
+    if (state <> 0 && state <> 1) || count < 0 || count > max_entries then None
+    else
+      let stored_ck = Int32.to_int (Bytes.get_int32_le b 20) in
+      let scratch = Bytes.sub b 0 (header_bytes + (count * entry_bytes)) in
+      Bytes.set_int32_le scratch 20 0l;
+      if cksum scratch land 0xffffffff <> stored_ck land 0xffffffff then None
+      else
+        let entries =
+          List.init count (fun i ->
+              ( Int32.to_int (Bytes.get_int32_le b (header_bytes + (i * entry_bytes))),
+                Int32.to_int (Bytes.get_int32_le b (header_bytes + (i * entry_bytes) + 4))
+              ))
+        in
+        Some (state, seq, entries)
+
+let init disk ~start =
+  Sp_blockdev.Disk.write disk start (encode_header ~state:0 ~seq:0 ~entries:[])
+
+let replay disk ~start =
+  match decode_header (Sp_blockdev.Disk.read disk start) with
+  | Some (1, seq, entries) ->
+      (* Sealed transaction: verify every journalled block against its
+         recorded checksum before touching home locations.  A torn journal
+         data block means the seal itself cannot be trusted — treat the
+         whole transaction as uncommitted (sound: the sync that wrote it
+         never returned to its caller). *)
+      let datas =
+        List.mapi (fun i (target, ck) ->
+            (target, ck, Sp_blockdev.Disk.read disk (start + 1 + i)))
+          entries
+      in
+      (* Int32 round-trips make high-bit checksums negative; mask both
+         sides back to 32 bits before comparing. *)
+      if List.for_all (fun (_, ck, data) -> cksum data = ck land 0xffffffff) datas
+      then begin
+        List.iter (fun (target, _, data) -> Sp_blockdev.Disk.write disk target data) datas;
+        Sp_blockdev.Disk.write disk start (encode_header ~state:0 ~seq ~entries:[]);
+        List.length datas
+      end
+      else begin
+        Sp_blockdev.Disk.write disk start (encode_header ~state:0 ~seq ~entries:[]);
+        0
+      end
+  | Some (_, _, _) | None -> 0
+
+let attach disk ~start ~blocks =
+  if blocks < 2 then invalid_arg "Journal.attach: area too small";
+  let replayed = replay disk ~start in
+  let seq =
+    match decode_header (Sp_blockdev.Disk.read disk start) with
+    | Some (_, seq, _) -> seq + 1
+    | None -> 1
+  in
+  {
+    disk;
+    start;
+    blocks;
+    dirty = Hashtbl.create 64;
+    order = [];
+    seq;
+    commits = 0;
+    journal_writes = 0;
+    replayed;
+  }
+
+let raw disk = Raw disk
+let disk = function Raw d -> d | Journaled t -> t.disk
+let capacity t = min max_entries (t.blocks - 1)
+
+let read dev n =
+  match dev with
+  | Raw d -> Sp_blockdev.Disk.read d n
+  | Journaled t -> (
+      match Hashtbl.find_opt t.dirty n with
+      | Some b -> Bytes.copy b
+      | None -> Sp_blockdev.Disk.read t.disk n)
+
+let write dev n data =
+  match dev with
+  | Raw d -> Sp_blockdev.Disk.write d n data
+  | Journaled t ->
+      if n < 0 || n >= Sp_blockdev.Disk.block_count t.disk then
+        invalid_arg (Printf.sprintf "Journal.write: block %d out of range" n);
+      if Bytes.length data > bs then invalid_arg "Journal.write: larger than a block";
+      (* Store a full zero-padded block, matching Disk.write semantics. *)
+      let block = Bytes.make bs '\000' in
+      Bytes.blit data 0 block 0 (Bytes.length data);
+      if not (Hashtbl.mem t.dirty n) then t.order <- n :: t.order;
+      Hashtbl.replace t.dirty n block
+
+let rec batches cap = function
+  | [] -> []
+  | blocks ->
+      let rec take n acc rest =
+        match rest with
+        | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let group, rest = take cap [] blocks in
+      group :: batches cap rest
+
+let commit_batch t group =
+  let datas = List.map (fun n -> (n, Hashtbl.find t.dirty n)) group in
+  (* 1. Journal data blocks. *)
+  List.iteri
+    (fun i (_, data) ->
+      Sp_blockdev.Disk.write t.disk (t.start + 1 + i) data;
+      t.journal_writes <- t.journal_writes + 1)
+    datas;
+  (* 2. Seal: checksummed commit header.  The transaction exists on disk
+     from this write onward. *)
+  let entries = List.map (fun (n, data) -> (n, cksum data)) datas in
+  Sp_blockdev.Disk.write t.disk t.start (encode_header ~state:1 ~seq:t.seq ~entries);
+  t.journal_writes <- t.journal_writes + 1;
+  (* 3. Home writes. *)
+  List.iter (fun (n, data) -> Sp_blockdev.Disk.write t.disk n data) datas;
+  (* 4. Mark clean. *)
+  Sp_blockdev.Disk.write t.disk t.start (encode_header ~state:0 ~seq:t.seq ~entries:[]);
+  t.journal_writes <- t.journal_writes + 1;
+  t.seq <- t.seq + 1;
+  t.commits <- t.commits + 1
+
+let commit dev =
+  match dev with
+  | Raw _ -> ()
+  | Journaled t ->
+      if t.order <> [] then begin
+        List.iter (commit_batch t) (batches (capacity t) (List.rev t.order));
+        Hashtbl.reset t.dirty;
+        t.order <- []
+      end
+
+let pending = function Raw _ -> 0 | Journaled t -> Hashtbl.length t.dirty
+
+type stats = { js_commits : int; js_journal_writes : int; js_replayed : int }
+
+let stats t =
+  {
+    js_commits = t.commits;
+    js_journal_writes = t.journal_writes;
+    js_replayed = t.replayed;
+  }

@@ -1,0 +1,75 @@
+(** Write-ahead (physical block) journal for the SFS disk layer.
+
+    Modelled on the journaling ext3 layers over ext2 (data=journal mode):
+    between commits, block writes buffer in memory; [commit] then writes
+    every dirty block to the journal area, seals the transaction with a
+    checksummed commit header, copies the blocks to their home locations,
+    and finally marks the journal clean.  A crash at any point leaves the
+    device in one of two recoverable states:
+
+    - commit header absent/unsealed → the transaction never happened;
+      the home locations still hold the previous contents;
+    - commit header sealed → [replay] (run automatically at [attach],
+      i.e. at mount) copies the journalled blocks home again.
+
+    Checksums over the header and each journalled block defeat torn
+    journal writes: a torn commit header or torn journal data block fails
+    verification and the transaction is treated as uncommitted.
+
+    The journal area is [1 + capacity] blocks placed before the layout's
+    [data_start], so {!Fsck} (which scans only the data region) never
+    sees it.  A commit whose dirty set exceeds the journal capacity is
+    split into several independently-atomic batches; crash atomicity then
+    holds per batch, not per sync — callers keep transactions small by
+    syncing regularly. *)
+
+type t
+
+(** A block device endpoint as the disk layer sees it: either the raw
+    device (unjournaled, writes go straight through) or a journaled view.
+    All disk-layer I/O goes through {!read}/{!write} on a [dev]. *)
+type dev = Raw of Sp_blockdev.Disk.t | Journaled of t
+
+(** Write a clean journal header at block [start] (used by [mkfs]). *)
+val init : Sp_blockdev.Disk.t -> start:int -> unit
+
+(** Replay a sealed transaction if the header at [start] holds one;
+    returns the number of blocks copied home (0 when clean, torn, or
+    unformatted).  Idempotent. *)
+val replay : Sp_blockdev.Disk.t -> start:int -> int
+
+(** [attach disk ~start ~blocks] replays any sealed transaction, then
+    returns a journal writing to the [blocks]-block area at [start]. *)
+val attach : Sp_blockdev.Disk.t -> start:int -> blocks:int -> t
+
+val raw : Sp_blockdev.Disk.t -> dev
+
+(** The underlying device (journaled or not). *)
+val disk : dev -> Sp_blockdev.Disk.t
+
+(** [read dev n]: dirty buffered blocks are served from memory (free,
+    like a cache); everything else comes from the device. *)
+val read : dev -> int -> bytes
+
+(** [write dev n data]: on a [Raw] dev, straight to the device; on a
+    [Journaled] dev, buffered in memory until {!commit}. *)
+val write : dev -> int -> bytes -> unit
+
+(** Commit buffered writes (no-op on [Raw] devs or when nothing is
+    dirty). *)
+val commit : dev -> unit
+
+(** Dirty blocks currently buffered (0 for [Raw]). *)
+val pending : dev -> int
+
+type stats = {
+  js_commits : int;  (** sealed transactions written *)
+  js_journal_writes : int;  (** device writes spent on the journal area *)
+  js_replayed : int;  (** blocks copied home by replay at attach *)
+}
+
+val stats : t -> stats
+
+(** Blocks one transaction can hold given the area size passed to
+    {!attach} (the commit header block is not counted). *)
+val capacity : t -> int

@@ -16,13 +16,17 @@ type t = {
   block_bitmap_blocks : int;
   inode_table_start : int;
   inode_table_blocks : int;
+  journal_start : int;
+  journal_blocks : int;
   data_start : int;
 }
 
 let div_ceil a b = (a + b - 1) / b
 
-let compute ~total_blocks =
+let compute ?(journal_blocks = 0) ~total_blocks () =
   if total_blocks < 16 then invalid_arg "Layout.compute: device too small";
+  if journal_blocks < 0 || journal_blocks = 1 then
+    invalid_arg "Layout.compute: journal needs a header block plus data slots";
   (* One inode per four data-ish blocks, at least 16. *)
   let inode_count = max 16 (total_blocks / 4) in
   let inode_bitmap_blocks = div_ceil inode_count bits_per_block in
@@ -31,7 +35,11 @@ let compute ~total_blocks =
   let inode_bitmap_start = 1 in
   let block_bitmap_start = inode_bitmap_start + inode_bitmap_blocks in
   let inode_table_start = block_bitmap_start + block_bitmap_blocks in
-  let data_start = inode_table_start + inode_table_blocks in
+  (* The journal sits between the metadata region and the data region, so
+     everything below [data_start] — journal included — is born allocated
+     in the block bitmap and invisible to Fsck's data scan. *)
+  let journal_start = inode_table_start + inode_table_blocks in
+  let data_start = journal_start + journal_blocks in
   if data_start >= total_blocks then
     invalid_arg "Layout.compute: no room for data blocks";
   {
@@ -43,6 +51,8 @@ let compute ~total_blocks =
     block_bitmap_blocks;
     inode_table_start;
     inode_table_blocks;
+    journal_start;
+    journal_blocks;
     data_start;
   }
 
@@ -65,6 +75,8 @@ let encode_superblock t =
   put 8 t.inode_table_start;
   put 9 t.inode_table_blocks;
   put 10 t.data_start;
+  put 11 t.journal_start;
+  put 12 t.journal_blocks;
   b
 
 let decode_superblock b =
@@ -83,5 +95,10 @@ let decode_superblock b =
     block_bitmap_blocks = get 7;
     inode_table_start = get 8;
     inode_table_blocks = get 9;
+    (* Words 11/12 decode as zero on images formatted before journaling
+       existed: journal_blocks = 0 means "no journal", so the version
+       number did not need to change. *)
+    journal_start = get 11;
+    journal_blocks = get 12;
     data_start = get 10;
   }

@@ -25,12 +25,17 @@ type t = {
   block_bitmap_blocks : int;
   inode_table_start : int;
   inode_table_blocks : int;
+  journal_start : int;  (** meaningless when [journal_blocks] is 0 *)
+  journal_blocks : int;  (** journal area size; 0 = unjournaled *)
   data_start : int;  (** first data block *)
 }
 
-(** Compute the layout for a device of [total_blocks] blocks.  Raises
-    [Invalid_argument] if the device is too small to hold any data. *)
-val compute : total_blocks:int -> t
+(** Compute the layout for a device of [total_blocks] blocks, reserving
+    [journal_blocks] (default 0, meaning no journal; otherwise >= 2:
+    header + data slots) between the inode table and the data region.
+    Raises [Invalid_argument] if the device is too small to hold any
+    data. *)
+val compute : ?journal_blocks:int -> total_blocks:int -> unit -> t
 
 (** Maximum file size in bytes under this layout (direct + single
     indirect + double indirect). *)

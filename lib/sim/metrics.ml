@@ -11,6 +11,8 @@ type snapshot = {
   net_bytes : int;
   coherency_actions : int;
   attr_fetches : int;
+  faults_injected : int;
+  net_retries : int;
 }
 
 let zero =
@@ -27,6 +29,8 @@ let zero =
     net_bytes = 0;
     coherency_actions = 0;
     attr_fetches = 0;
+    faults_injected = 0;
+    net_retries = 0;
   }
 
 let state = ref zero
@@ -52,6 +56,14 @@ let incr_coherency_actions () =
   state := { !state with coherency_actions = !state.coherency_actions + 1 }
 
 let incr_attr_fetches () = state := { !state with attr_fetches = !state.attr_fetches + 1 }
+
+let faults_injected () = !state.faults_injected
+let net_retries () = !state.net_retries
+
+let incr_faults_injected () =
+  state := { !state with faults_injected = !state.faults_injected + 1 }
+
+let incr_net_retries () = state := { !state with net_retries = !state.net_retries + 1 }
 let snapshot () = !state
 
 let diff ~before ~after =
@@ -68,6 +80,8 @@ let diff ~before ~after =
     net_bytes = after.net_bytes - before.net_bytes;
     coherency_actions = after.coherency_actions - before.coherency_actions;
     attr_fetches = after.attr_fetches - before.attr_fetches;
+    faults_injected = after.faults_injected - before.faults_injected;
+    net_retries = after.net_retries - before.net_retries;
   }
 
 let add a b =
@@ -84,6 +98,8 @@ let add a b =
     net_bytes = a.net_bytes + b.net_bytes;
     coherency_actions = a.coherency_actions + b.coherency_actions;
     attr_fetches = a.attr_fetches + b.attr_fetches;
+    faults_injected = a.faults_injected + b.faults_injected;
+    net_retries = a.net_retries + b.net_retries;
   }
 
 let reset () = state := zero
@@ -94,7 +110,8 @@ let pp ppf s =
      page_faults=%d page_ins=%d page_outs=%d@ \
      disk_reads=%d disk_writes=%d@ \
      net_messages=%d net_bytes=%d@ \
-     coherency_actions=%d attr_fetches=%d@]"
+     coherency_actions=%d attr_fetches=%d@ \
+     faults_injected=%d net_retries=%d@]"
     s.cross_domain_calls s.local_calls s.kernel_calls s.page_faults s.page_ins
     s.page_outs s.disk_reads s.disk_writes s.net_messages s.net_bytes
-    s.coherency_actions s.attr_fetches
+    s.coherency_actions s.attr_fetches s.faults_injected s.net_retries

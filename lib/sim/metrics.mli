@@ -18,6 +18,8 @@ type snapshot = {
   net_bytes : int;
   coherency_actions : int;  (** deny_writes/flush_back/write_back issued *)
   attr_fetches : int;  (** fs_pager attribute fetches that left a layer *)
+  faults_injected : int;  (** faults fired by an armed [Sp_fault] plan *)
+  net_retries : int;  (** RPC attempts repeated after drop/timeout *)
 }
 
 val cross_domain_calls : unit -> int
@@ -27,6 +29,8 @@ val cross_domain_calls : unit -> int
 val net_messages : unit -> int
 
 val net_bytes : unit -> int
+val faults_injected : unit -> int
+val net_retries : unit -> int
 val incr_cross_domain_calls : unit -> unit
 val incr_local_calls : unit -> unit
 val incr_kernel_calls : unit -> unit
@@ -39,6 +43,8 @@ val incr_net_messages : unit -> unit
 val add_net_bytes : int -> unit
 val incr_coherency_actions : unit -> unit
 val incr_attr_fetches : unit -> unit
+val incr_faults_injected : unit -> unit
+val incr_net_retries : unit -> unit
 
 (** Capture the current counter values. *)
 val snapshot : unit -> snapshot

@@ -17,8 +17,15 @@ type span = {
   sp_cpu_units : int;
 }
 
+type instant = {
+  in_name : string;
+  in_ts : int;
+  in_args : (string * string) list;
+}
+
 type trace = {
   tr_spans : span list;
+  tr_instants : instant list;
   tr_dropped : int;
   tr_total_ns : int;
   tr_root : int;
@@ -51,6 +58,7 @@ type state = {
   mutable recorded : int;
   mutable next_id : int;
   mutable stack : frame list;
+  mutable instants : instant list;  (** newest first; sparse, unbounded *)
 }
 
 let state : state option ref = ref None
@@ -134,6 +142,14 @@ let span ?(op = "invoke") ?(src = "?") ?(dst = "?") ?(node = "local") f =
       let fr = open_frame st ~op ~src ~dst ~node in
       Fun.protect ~finally:(fun () -> close_frame st fr) f
 
+let instant ~name ?(args = []) () =
+  match !state with
+  | None -> ()
+  | Some st ->
+      st.instants <-
+        { in_name = name; in_ts = Sp_sim.Simclock.now (); in_args = args }
+        :: st.instants
+
 let note_copy n =
   match !state with
   | Some { stack = fr :: _; _ } -> fr.fr_copy_bytes <- fr.fr_copy_bytes + n
@@ -162,6 +178,7 @@ let gather st ~root_id =
   in
   {
     tr_spans = !spans;
+    tr_instants = List.rev st.instants;
     tr_dropped = max 0 (st.recorded - st.capacity);
     tr_total_ns = total_ns;
     tr_root = root_id;
@@ -178,6 +195,7 @@ let with_tracing ?(capacity = 65536) ?(root = "workload") f =
       recorded = 0;
       next_id = 1;
       stack = [];
+      instants = [];
     }
   in
   state := Some st;
@@ -289,6 +307,11 @@ let pp_profile ppf trace =
   Format.fprintf ppf "%-26s %7d %10s %10s %5.1f%%@," "total"
     (List.length trace.tr_spans)
     (duration trace.tr_total_ns) (duration self_sum) (pct self_sum);
+  (match trace.tr_instants with
+  | [] -> ()
+  | instants ->
+      Format.fprintf ppf "%d instant event(s) (faults/retries/failovers)@,"
+        (List.length instants));
   if trace.tr_dropped > 0 then
     Format.fprintf ppf
       "warning: ring buffer overflowed, %d oldest spans dropped (self-times \
@@ -348,6 +371,22 @@ let chrome_json trace =
            sp.sp_metrics.M.disk_writes sp.sp_metrics.M.net_messages
            sp.sp_copy_bytes sp.sp_cpu_units))
     ordered;
+  List.iter
+    (fun inst ->
+      Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{"
+           (json_escape inst.in_name)
+           (float_of_int inst.in_ts /. 1000.0));
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        inst.in_args;
+      Buffer.add_string buf "}}")
+    trace.tr_instants;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

@@ -36,9 +36,19 @@ type span = {
   sp_cpu_units : int;  (** CPU work units charged inside (self) *)
 }
 
+(** A point event: something that happened at one simulated instant with
+    no duration — a fault injection, an RPC retry, a mirror failover.
+    Exported as Chrome trace ["i"] (instant) events. *)
+type instant = {
+  in_name : string;  (** e.g. ["fault:io_error"], ["net.retry"] *)
+  in_ts : int;  (** simulated ns *)
+  in_args : (string * string) list;
+}
+
 (** The result of a traced run. *)
 type trace = {
   tr_spans : span list;  (** completion order (children before parents) *)
+  tr_instants : instant list;  (** chronological *)
   tr_dropped : int;  (** spans lost to ring-buffer overflow *)
   tr_total_ns : int;  (** simulated time covered by the root span *)
   tr_root : int;  (** id of the synthetic root span *)
@@ -55,6 +65,11 @@ val enabled : unit -> bool
     raises. *)
 val span :
   ?op:string -> ?src:string -> ?dst:string -> ?node:string -> (unit -> 'a) -> 'a
+
+(** Record a point event at the current simulated time (no-op when
+    disabled).  Instants are kept outside the span ring buffer — they are
+    sparse (faults, retries) and must survive span overflow. *)
+val instant : name:string -> ?args:(string * string) list -> unit -> unit
 
 (** Attribute [n] bytes of marshalling copy to the innermost open span
     (no-op when disabled). *)

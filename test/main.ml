@@ -24,6 +24,8 @@ let () =
       ("node", Test_node.suite);
       ("integration", Test_integration.suite);
       ("faults", Test_faults.suite);
+      ("inject", Test_inject.suite);
+      ("crash", Test_crash.suite);
       ("fsck", Test_fsck.suite);
       ("table_shapes", Test_table_shapes.suite);
     ]

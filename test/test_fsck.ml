@@ -98,9 +98,9 @@ let test_detects_bitmap_leak () =
       ignore (S.create fs (Util.name "x"));
       S.sync fs;
       (* Mark a random free data block as allocated. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 in
+      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
       let bb =
-        Sp_sfs.Bitmap.load disk ~start:layout.Sp_sfs.Layout.block_bitmap_start
+        Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk) ~start:layout.Sp_sfs.Layout.block_bitmap_start
           ~blocks:layout.Sp_sfs.Layout.block_bitmap_blocks ~bits:2048
       in
       corrupt_and_expect "leaked block" disk
@@ -115,9 +115,9 @@ let test_detects_dangling_entry () =
       ignore (S.create fs (Util.name "x"));
       S.sync fs;
       (* Free inode 1 in the bitmap while the root entry still names it. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 in
+      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
       let ib =
-        Sp_sfs.Bitmap.load disk ~start:layout.Sp_sfs.Layout.inode_bitmap_start
+        Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk) ~start:layout.Sp_sfs.Layout.inode_bitmap_start
           ~blocks:layout.Sp_sfs.Layout.inode_bitmap_blocks
           ~bits:layout.Sp_sfs.Layout.inode_count
       in
@@ -133,7 +133,7 @@ let test_detects_bad_nlink () =
       ignore (S.create fs (Util.name "x"));
       S.sync fs;
       (* Stamp a wrong link count straight into the inode table. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 in
+      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
       corrupt_and_expect "bad link count" disk
         (fun () ->
           let tb = layout.Sp_sfs.Layout.inode_table_start in
@@ -149,7 +149,7 @@ let test_detects_unreachable_inode () =
       ignore (S.create fs (Util.name "orphan-to-be"));
       S.sync fs;
       (* Clobber the root directory entry without freeing the inode. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 in
+      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
       corrupt_and_expect "unreachable inode" disk
         (fun () ->
           (* The root dir's first data block is the first data block. *)

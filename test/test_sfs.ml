@@ -13,7 +13,7 @@ let mount ?(blocks = 2048) ?name () =
 (* --- Layout --- *)
 
 let test_layout_roundtrip () =
-  let layout = Sp_sfs.Layout.compute ~total_blocks:2048 in
+  let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
   let decoded = Sp_sfs.Layout.decode_superblock (Sp_sfs.Layout.encode_superblock layout) in
   Alcotest.(check int) "total" layout.Sp_sfs.Layout.total_blocks
     decoded.Sp_sfs.Layout.total_blocks;
@@ -29,7 +29,7 @@ let test_layout_roundtrip () =
 let test_layout_rejects_tiny () =
   Alcotest.check_raises "tiny device"
     (Invalid_argument "Layout.compute: device too small") (fun () ->
-      ignore (Sp_sfs.Layout.compute ~total_blocks:4))
+      ignore (Sp_sfs.Layout.compute ~total_blocks:4 ()))
 
 let test_bad_superblock () =
   Util.in_world (fun () ->
@@ -44,7 +44,7 @@ let test_bad_superblock () =
 let test_bitmap_alloc_free () =
   Util.in_world (fun () ->
       let disk = Sp_blockdev.Disk.create ~blocks:8 () in
-      let bm = Sp_sfs.Bitmap.load disk ~start:1 ~blocks:1 ~bits:100 in
+      let bm = Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk) ~start:1 ~blocks:1 ~bits:100 in
       Alcotest.(check (option int)) "first free" (Some 0) (Sp_sfs.Bitmap.find_free bm);
       Sp_sfs.Bitmap.set bm 0;
       Sp_sfs.Bitmap.set bm 1;
@@ -55,7 +55,7 @@ let test_bitmap_alloc_free () =
         (Sp_sfs.Bitmap.find_free bm);
       (* Persistence through flush/reload. *)
       Sp_sfs.Bitmap.flush bm;
-      let bm2 = Sp_sfs.Bitmap.load disk ~start:1 ~blocks:1 ~bits:100 in
+      let bm2 = Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk) ~start:1 ~blocks:1 ~bits:100 in
       Alcotest.(check bool) "bit 1 persisted" true (Sp_sfs.Bitmap.is_set bm2 1);
       Alcotest.(check bool) "bit 0 cleared" false (Sp_sfs.Bitmap.is_set bm2 0);
       Alcotest.(check int) "used persisted" 1 (Sp_sfs.Bitmap.used bm2))
@@ -63,7 +63,7 @@ let test_bitmap_alloc_free () =
 let test_bitmap_full () =
   Util.in_world (fun () ->
       let disk = Sp_blockdev.Disk.create ~blocks:8 () in
-      let bm = Sp_sfs.Bitmap.load disk ~start:1 ~blocks:1 ~bits:8 in
+      let bm = Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk) ~start:1 ~blocks:1 ~bits:8 in
       for i = 0 to 7 do Sp_sfs.Bitmap.set bm i done;
       Alcotest.(check (option int)) "full" None (Sp_sfs.Bitmap.find_free bm))
 
