@@ -75,7 +75,11 @@ let run_tables which =
     Sp_benchlib.Macro.print ppf (Sp_benchlib.Macro.run ());
     Format.fprintf ppf "@."
   end;
-  if want "faults" then Sp_benchlib.Faults.print ppf (Sp_benchlib.Faults.run ());
+  if want "faults" then begin
+    Sp_benchlib.Faults.print ppf (Sp_benchlib.Faults.run ());
+    Format.fprintf ppf "@."
+  end;
+  if want "failover" then Sp_benchlib.Failover.print ppf (Sp_benchlib.Failover.run ());
   0
 
 (* --- springfs demo --- *)
@@ -211,6 +215,57 @@ let run_crash ops seed stride no_journal torn expect_inconsistent =
     1
   end
 
+(* --- springfs failover --- *)
+
+let run_failover ops seed stride no_supervisor expect_unavailable =
+  if stride < 1 then (
+    Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
+    exit 2);
+  if ops < 1 then (
+    Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
+    exit 2);
+  let supervised = not no_supervisor in
+  let report =
+    Sp_failover.Layer_crash_sweep.sweep ~stride ~supervised ~ops ~seed ()
+  in
+  Format.printf "%a@." Sp_failover.Layer_crash_sweep.pp_report report;
+  print_endline (Sp_failover.Layer_crash_sweep.summary report);
+  let open Sp_failover.Layer_crash_sweep in
+  if expect_unavailable then
+    if
+      report.fr_unavailable = report.fr_points
+      && report.fr_points > 0
+      && report.fr_lost = 0 && report.fr_corrupt = 0
+    then begin
+      Format.printf
+        "every crash point left the stack unavailable, as expected without a \
+         supervisor@.";
+      0
+    end
+    else begin
+      Format.eprintf
+        "springfs: expected every point unavailable, got served=%d \
+         unavailable=%d lost=%d corrupt=%d@."
+        report.fr_served report.fr_unavailable report.fr_lost report.fr_corrupt;
+      1
+    end
+  else begin
+    let failures = report.fr_unavailable + report.fr_lost + report.fr_corrupt in
+    if failures = 0 then 0
+    else begin
+      (match report.fr_first_bad with
+      | Some (layer, op, msg) ->
+          Format.eprintf "springfs: first failure: layer %s, op %d: %s@." layer
+            op msg
+      | None -> ());
+      Format.eprintf
+        "springfs: %d crash point(s) became unavailable, lost synced data, or \
+         left the volume inconsistent@."
+        failures;
+      1
+    end
+  end
+
 (* --- springfs versions --- *)
 
 let run_versions () =
@@ -317,8 +372,8 @@ let tables_cmd =
       value & pos_all string []
       & info [] ~docv:"TABLE"
           ~doc:
-            "Subset to print: table2, table3, figures, ablations, macro, faults \
-             (default all).")
+            "Subset to print: table2, table3, figures, ablations, macro, faults, \
+             failover (default all).")
   in
   let doc = "regenerate the paper's evaluation tables (simulated)" in
   Cmd.v (Cmd.info "tables" ~doc) Term.(const run_tables $ which)
@@ -391,6 +446,39 @@ let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc)
     Term.(const run_crash $ ops $ seed $ stride $ no_journal $ torn $ expect_inconsistent)
 
+let failover_cmd =
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N" ~doc:"Workload operations per run.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload seed.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Kill at every K-th op boundary (default every op).")
+  in
+  let no_supervisor =
+    Arg.(
+      value & flag
+      & info [ "no-supervisor" ]
+          ~doc:"Run the same kills against an unsupervised stack (expect unavailable).")
+  in
+  let expect_unavailable =
+    Arg.(
+      value & flag
+      & info [ "expect-unavailable" ]
+          ~doc:"Invert the verdict: exit 0 only if every crash point left the \
+                stack unavailable (the unsupervised control).")
+  in
+  let doc =
+    "sweep layer-domain fail-stops over every (layer, op) point of a workload \
+     and verify the supervisor restarts the layer with no synced byte lost"
+  in
+  Cmd.v (Cmd.info "failover" ~doc)
+    Term.(const run_failover $ ops $ seed $ stride $ no_supervisor $ expect_unavailable)
+
 let versions_cmd =
   let doc = "demonstrate the file-versioning layer" in
   Cmd.v (Cmd.info "versions" ~doc) Term.(const run_versions $ const ())
@@ -432,8 +520,8 @@ let main =
   let doc = "Spring extensible file systems (SOSP '93) — simulation driver" in
   Cmd.group (Cmd.info "springfs" ~version:"1.0.0" ~doc)
     [
-      stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; crash_cmd; versions_cmd;
-      profile_cmd;
+      stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; crash_cmd; failover_cmd;
+      versions_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -50,7 +50,8 @@ let read t n =
       charge t n;
       raise (Sp_core.Fserr.Io_error msg)
   | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
-  | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Dropped _ ->
+  | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Dropped _
+  | Sp_fault.Domain_died _ ->
       (* not meaningful for a read; ignore *)
       ());
   charge t n;
@@ -81,7 +82,8 @@ let write t n data =
   | Sp_fault.Torn_crash fraction ->
       torn_write fraction;
       raise (Sp_fault.Crash (Printf.sprintf "crash after torn write to %s[%d]" t.label n))
-  | (Sp_fault.Pass | Sp_fault.Delayed _ | Sp_fault.Dropped _) as outcome ->
+  | (Sp_fault.Pass | Sp_fault.Delayed _ | Sp_fault.Dropped _
+    | Sp_fault.Domain_died _) as outcome ->
       (match outcome with
       | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
       | _ -> ());

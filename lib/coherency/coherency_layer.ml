@@ -14,6 +14,8 @@ type cfile = {
 
 type layer = {
   l_name : string;
+  l_epoch : int;  (* recovery epoch: bumped every time the same instance
+                     name is re-made, i.e. on supervised restart *)
   l_domain : Sp_obj.Sdomain.t;
   l_vmm : Sp_vm.Vmm.t;
   l_embedded : bool;
@@ -62,7 +64,7 @@ let poll_upper_attrs l cf =
             cf.attr_dirty <- true
         | None -> ())
   in
-  List.iter recall (Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:cf.key)
+  List.iter recall (Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:cf.key)
 
 let fetch_attr_l l cf =
   poll_upper_attrs l cf;
@@ -81,7 +83,7 @@ let fetch_attr_l l cf =
 (* Invalidate attribute caches of upper cache managers that are themselves
    file systems (the fs_cache subclass protocol of §4.3). *)
 let invalidate_upper_attrs l cf ~except =
-  let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:cf.key in
+  let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:cf.key in
   List.iter
     (fun ch ->
       if ch.Sp_vm.Pager_lib.ch_id <> except then
@@ -118,10 +120,10 @@ let write_down cf extents =
   let pager = lower_pager_of cf in
   List.iter (fun e -> V.write_out pager ~offset:e.V.ext_offset e.V.ext_data) extents
 
-let cache_of_channel l id =
-  Option.map
-    (fun ch -> ch.Sp_vm.Pager_lib.ch_cache)
-    (Sp_vm.Pager_lib.find l.l_channels ~id)
+(* [live_cache] fences channels of fail-stopped upper incarnations: the
+   [None] branches at every call site already treat a vanished channel as
+   "holder gone", which is exactly the recovery semantics we want. *)
+let cache_of_channel l id = Sp_vm.Pager_lib.live_cache l.l_channels ~id
 
 (* Make block [b] grantable to channel [me] in [access] mode by revoking
    conflicting holders. *)
@@ -325,7 +327,7 @@ let drop_cfile_caches l cf =
 let truncate_cfile l cf len =
   let old = (fetch_attr_l l cf).Sp_vm.Attr.len in
   if len < old then begin
-    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:cf.key in
+    let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:cf.key in
     let cut = (len + ps - 1) / ps * ps in
     if len mod ps <> 0 then begin
       let edge = len - (len mod ps) in
@@ -436,9 +438,15 @@ let make ?(node = "local") ?domain ?(embedded = false) ~vmm ~name () =
   let domain =
     match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
   in
+  let epoch =
+    match Hashtbl.find_opt instances name with
+    | Some old -> old.l_epoch + 1
+    | None -> 0
+  in
   let l =
     {
       l_name = name;
+      l_epoch = epoch;
       l_domain = domain;
       l_vmm = vmm;
       l_embedded = embedded;
@@ -537,6 +545,7 @@ let creator ?(node = "local") ~vmm () =
   }
 
 let channel_count sfs = Sp_vm.Pager_lib.channel_count (layer_of sfs).l_channels
+let recovery_epoch sfs = (layer_of sfs).l_epoch
 
 let invariant_holds sfs =
   let l = layer_of sfs in

@@ -43,6 +43,14 @@ val creator : ?node:string -> vmm:Sp_vm.Vmm.t -> unit -> Sp_core.Stackable.creat
 (** Upper pager–cache channels served for a given exported file. *)
 val channel_count : Sp_core.Stackable.t -> int
 
+(** Recovery epoch of the instance: 0 for a first make, incremented each
+    time the same instance name is re-made — i.e. on every supervised
+    restart.  Stale references to the previous incarnation are fenced at
+    the door ([Dead_domain]) and at the pager registry
+    ([Pager_lib.live_cache]); the epoch makes the incarnation count
+    observable. *)
+val recovery_epoch : Sp_core.Stackable.t -> int
+
 (** Check the MRSW invariant over every file's block state. *)
 val invariant_holds : Sp_core.Stackable.t -> bool
 

@@ -2,14 +2,16 @@ module V = Sp_vm.Vm_types
 
 let ps = V.page_size
 
-type t = Block_state.t
+type t = { bs : Block_state.t; mutable t_epoch : int }
 
-let create () = Block_state.create ()
+let create () = { bs = Block_state.create (); t_epoch = 0 }
+let epoch t = t.t_epoch
+let bump_epoch t = t.t_epoch <- t.t_epoch + 1
 
-let cache_of channels id =
-  Option.map
-    (fun ch -> ch.Sp_vm.Pager_lib.ch_cache)
-    (Sp_vm.Pager_lib.find channels ~id)
+(* Incarnation fencing (see [Pager_lib.live_cache]): holders served by a
+   fail-stopped domain read as absent, so every [None] branch below
+   quietly forgets them instead of calling into a dead layer. *)
+let cache_of channels id = Sp_vm.Pager_lib.live_cache channels ~id
 
 let before_grant t ~channels ~key:_ ~me ~access ~offset ~size ~write_down =
   let revoke_block b =
@@ -17,35 +19,35 @@ let before_grant t ~channels ~key:_ ~me ~access ~offset ~size ~write_down =
     let revoke (h : Block_state.holder) =
       if h.Block_state.h_channel <> me then
         match cache_of channels h.Block_state.h_channel with
-        | None -> Block_state.remove t b ~ch:h.Block_state.h_channel
+        | None -> Block_state.remove t.bs b ~ch:h.Block_state.h_channel
         | Some cache -> (
             match access with
             | V.Read_write ->
                 List.iter write_down (V.flush_back cache ~offset:off ~size:ps);
-                Block_state.remove t b ~ch:h.Block_state.h_channel
+                Block_state.remove t.bs b ~ch:h.Block_state.h_channel
             | V.Read_only ->
                 if h.Block_state.h_mode = V.Read_write then begin
                   List.iter write_down (V.deny_writes cache ~offset:off ~size:ps);
-                  Block_state.downgrade t b ~ch:h.Block_state.h_channel
+                  Block_state.downgrade t.bs b ~ch:h.Block_state.h_channel
                 end)
     in
-    List.iter revoke (Block_state.holders t b)
+    List.iter revoke (Block_state.holders t.bs b)
   in
   List.iter revoke_block (V.pages_covering ~offset ~size)
 
 let after_grant t ~me ~access ~offset ~size =
   List.iter
-    (fun b -> Block_state.record t b ~ch:me ~mode:access)
+    (fun b -> Block_state.record t.bs b ~ch:me ~mode:access)
     (V.pages_covering ~offset ~size)
 
 let on_push t ~me ~retain ~offset ~size =
   List.iter
     (fun b ->
       match retain with
-      | `Drop -> Block_state.remove t b ~ch:me
+      | `Drop -> Block_state.remove t.bs b ~ch:me
       | `Read_only ->
-          Block_state.record t b ~ch:me ~mode:V.Read_only;
-          Block_state.downgrade t b ~ch:me
+          Block_state.record t.bs b ~ch:me ~mode:V.Read_only;
+          Block_state.downgrade t.bs b ~ch:me
       | `Same -> ())
     (V.pages_covering ~offset ~size)
 
@@ -54,19 +56,19 @@ let sweep t ~channels ~key:_ action ~write_down =
     let off = b * ps in
     let revoke (h : Block_state.holder) =
       match cache_of channels h.Block_state.h_channel with
-      | None -> Block_state.remove t b ~ch:h.Block_state.h_channel
+      | None -> Block_state.remove t.bs b ~ch:h.Block_state.h_channel
       | Some cache -> (
           match action with
           | `Write_back -> List.iter write_down (V.write_back cache ~offset:off ~size:ps)
           | `Flush ->
               List.iter write_down (V.flush_back cache ~offset:off ~size:ps);
-              Block_state.remove t b ~ch:h.Block_state.h_channel)
+              Block_state.remove t.bs b ~ch:h.Block_state.h_channel)
     in
-    List.iter revoke (Block_state.holders t b)
+    List.iter revoke (Block_state.holders t.bs b)
   in
-  List.iter visit (Block_state.populated_blocks t)
+  List.iter visit (Block_state.populated_blocks t.bs)
 
-let remove_channel t ~ch = Block_state.remove_channel t ~ch
+let remove_channel t ~ch = Block_state.remove_channel t.bs ~ch
 
 let drop_blocks_from t ~block =
   List.iter
@@ -74,17 +76,18 @@ let drop_blocks_from t ~block =
       if b >= block then
         List.iter
           (fun (h : Block_state.holder) ->
-            Block_state.remove t b ~ch:h.Block_state.h_channel)
-          (Block_state.holders t b))
-    (Block_state.populated_blocks t)
+            Block_state.remove t.bs b ~ch:h.Block_state.h_channel)
+          (Block_state.holders t.bs b))
+    (Block_state.populated_blocks t.bs)
 
 let clear t =
+  bump_epoch t;
   List.iter
     (fun b ->
       List.iter
         (fun (h : Block_state.holder) ->
-          Block_state.remove t b ~ch:h.Block_state.h_channel)
-        (Block_state.holders t b))
-    (Block_state.populated_blocks t)
+          Block_state.remove t.bs b ~ch:h.Block_state.h_channel)
+        (Block_state.holders t.bs b))
+    (Block_state.populated_blocks t.bs)
 
-let invariant_holds t = Block_state.invariant_holds t
+let invariant_holds t = Block_state.invariant_holds t.bs

@@ -11,6 +11,14 @@ type t
 
 val create : unit -> t
 
+(** Recovery epoch of this protocol instance: 0 at creation, bumped by
+    {!bump_epoch} (and by {!clear}).  Layers bump it when the serving
+    incarnation behind the state restarts, so stale callbacks can be
+    recognised and dropped. *)
+val epoch : t -> int
+
+val bump_epoch : t -> unit
+
 (** Revoke conflicting holders of the blocks in the range before granting
     channel [me] the given access (deny writers for read-only grants,
     flush everyone for read-write grants). *)
@@ -56,7 +64,8 @@ val remove_channel : t -> ch:int -> unit
 (** Forget all holders of blocks with index >= [block] (after truncate). *)
 val drop_blocks_from : t -> block:int -> unit
 
-(** Forget everything (after the backing store changed under the layer). *)
+(** Forget everything (after the backing store changed under the layer).
+    Bumps the recovery epoch. *)
 val clear : t -> unit
 
 (** The MRSW invariant over the tracked state. *)

@@ -122,7 +122,7 @@ let load_header l e =
 (* Flush every upper cache of this file and drop its pages: the container
    changed underneath us, so decompressed data is stale. *)
 let invalidate_upper l e =
-  let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:e.e_key in
+  let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:e.e_key in
   let size = ((e.logical_len / ps) + 1) * ps in
   List.iter
     (fun ch -> V.delete_range ch.Sp_vm.Pager_lib.ch_cache ~offset:0 ~size)
@@ -271,7 +271,7 @@ let get_attr l e =
 let truncate_entry l e len =
   refresh_if_stale l e;
   if len < e.logical_len then begin
-    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:e.e_key in
+    let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:e.e_key in
     let cut = (len + ps - 1) / ps * ps in
     (* Push dirty upper pages below the cut down before dropping anything,
        zero the cached tail of the boundary page, then discard fully-cut
@@ -381,7 +381,13 @@ let make_entry l (lower : Sp_core.File.t) ~fresh =
   Hashtbl.replace l.l_files lower.Sp_core.File.f_id e;
   if l.l_coherent then
     ignore (V.bind lower.Sp_core.File.f_mem (manager l) V.Read_write);
-  if fresh then write_header l e else load_header l e;
+  (try if fresh then write_header l e else load_header l e
+   with ex ->
+     (* Unreadable container: forget the half-built entry so a later
+        open retries (or remove can clean up) instead of syncing
+        fabricated state. *)
+     Hashtbl.remove l.l_files lower.Sp_core.File.f_id;
+     raise ex);
   e
 
 let make_memory_object l e =

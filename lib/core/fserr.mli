@@ -14,5 +14,11 @@ exception Read_only of string
 
 exception Io_error of string
 
+(** The domain serving the invoked object has fail-stopped (alias of
+    [Sp_obj.Sdomain.Dead_domain], raised by the door itself).  Layers
+    never catch this; [Sp_supervise.call] turns it into a supervised
+    restart + retry. *)
+exception Dead_domain of string
+
 (** Render any of the above (or any other exception via [Printexc]). *)
 val to_string : exn -> string

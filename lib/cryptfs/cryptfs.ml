@@ -150,7 +150,7 @@ let rec upper_pager l e ~id =
 let truncate_entry l e len =
   let old = lower_len e in
   if len < old then begin
-    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:e.e_key in
+    let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:e.e_key in
     let cut = (len + ps - 1) / ps * ps in
     List.iter
       (fun ch ->

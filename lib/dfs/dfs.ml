@@ -252,17 +252,39 @@ let coherency_of sfs = coh_of (server_of sfs)
 (* ------------------------------------------------------------------ *)
 
 let import ~net ~client_node server_sfs =
-  let s = server_of server_sfs in
-  let coh = coh_of s in
+  let s0 = server_of server_sfs in
+  let sname = s0.s_name in
+  let server_node = s0.s_node in
   let client_domain =
-    Sp_obj.Sdomain.create ~node:client_node ("dfs-client:" ^ s.s_name)
+    Sp_obj.Sdomain.create ~node:client_node ("dfs-client:" ^ sname)
   in
   let memo : (string, Sp_core.File.t) Hashtbl.t = Hashtbl.create 16 in
+  (* The client holds the server by *name*, not by value: every operation
+     re-looks-up the current server incarnation, so a server restarted by
+     a supervisor is picked up transparently.  Memoized remote files wrap
+     the incarnation they were minted from; when the serving domain
+     changes they are forgotten (operations on handles minted from the
+     dead incarnation raise [Dead_domain] and must be re-opened, exactly
+     like local files across a layer restart). *)
+  let last_id = ref (Sp_obj.Sdomain.id s0.s_domain) in
+  let current () =
+    let s =
+      match Hashtbl.find_opt servers sname with
+      | Some s -> s
+      | None -> invalid_arg (sname ^ ": not a DFS server")
+    in
+    if Sp_obj.Sdomain.id s.s_domain <> !last_id then begin
+      Hashtbl.reset memo;
+      last_id := Sp_obj.Sdomain.id s.s_domain
+    end;
+    s
+  in
+  let coh_now () = coh_of (current ()) in
   let wrap_remote f =
     match Hashtbl.find_opt memo f.Sp_core.File.f_id with
     | Some r -> r
     | None ->
-        let r = remote_file net ~client:client_node ~client_domain ~server:s.s_node f in
+        let r = remote_file net ~client:client_node ~client_domain ~server:server_node f in
         Hashtbl.replace memo f.Sp_core.File.f_id r;
         r
   in
@@ -271,8 +293,8 @@ let import ~net ~client_node server_sfs =
       Printf.sprintf "dfs-import:%s:%s" client_node (Sp_naming.Sname.to_string path)
     in
     let remote_resolve sub =
-      Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
-          Sp_naming.Context.resolve coh.Sp_core.Stackable.sfs_ctx sub)
+      Net.rpc_retry net ~src:client_node ~dst:server_node ~bytes:64 (fun () ->
+          Sp_naming.Context.resolve (coh_now ()).Sp_core.Stackable.sfs_ctx sub)
     in
     let resolve1 component =
       let sub = Sp_naming.Sname.append path component in
@@ -291,18 +313,18 @@ let import ~net ~client_node server_sfs =
       ctx_rebind1 = (fun _ _ -> invalid_arg (label ^ ": rebind via the server"));
       ctx_unbind1 =
         (fun component ->
-          Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
-              Sp_naming.Context.unbind coh.Sp_core.Stackable.sfs_ctx
+          Net.rpc_retry net ~src:client_node ~dst:server_node ~bytes:64 (fun () ->
+              Sp_naming.Context.unbind (coh_now ()).Sp_core.Stackable.sfs_ctx
                 (Sp_naming.Sname.append path component)));
       ctx_list =
         (fun () ->
-          Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes:64 (fun () ->
-              Sp_naming.Context.list coh.Sp_core.Stackable.sfs_ctx path));
+          Net.rpc_retry net ~src:client_node ~dst:server_node ~bytes:64 (fun () ->
+              Sp_naming.Context.list (coh_now ()).Sp_core.Stackable.sfs_ctx path));
     }
   in
-  let rpc_to_server bytes f = Net.rpc_retry net ~src:client_node ~dst:s.s_node ~bytes f in
+  let rpc_to_server bytes f = Net.rpc_retry net ~src:client_node ~dst:server_node ~bytes f in
   {
-    Sp_core.Stackable.sfs_name = s.s_name ^ "@" ^ client_node;
+    Sp_core.Stackable.sfs_name = sname ^ "@" ^ client_node;
     sfs_type = "dfs-import";
     sfs_domain = client_domain;
     sfs_ctx = import_ctx (Sp_naming.Sname.of_components []);
@@ -314,12 +336,13 @@ let import ~net ~client_node server_sfs =
     sfs_create =
       (fun path ->
         let f =
-          rpc_to_server 64 (fun () -> Sp_core.Stackable.create coh path)
+          rpc_to_server 64 (fun () -> Sp_core.Stackable.create (coh_now ()) path)
         in
         wrap_remote f);
-    sfs_mkdir = (fun path -> rpc_to_server 64 (fun () -> Sp_core.Stackable.mkdir coh path));
+    sfs_mkdir =
+      (fun path -> rpc_to_server 64 (fun () -> Sp_core.Stackable.mkdir (coh_now ()) path));
     sfs_remove =
-      (fun path -> rpc_to_server 64 (fun () -> Sp_core.Stackable.remove coh path));
-    sfs_sync = (fun () -> rpc_to_server 16 (fun () -> Sp_core.Stackable.sync coh));
+      (fun path -> rpc_to_server 64 (fun () -> Sp_core.Stackable.remove (coh_now ()) path));
+    sfs_sync = (fun () -> rpc_to_server 16 (fun () -> Sp_core.Stackable.sync (coh_now ())));
     sfs_drop_caches = (fun () -> ());
   }

@@ -30,7 +30,15 @@ val rpc : t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
     retry.  After [retries] (default 3) failed retries the error becomes
     [Sp_core.Fserr.Io_error], which file-system layers already handle.
     Server-side exceptions pass through untouched — only transport
-    timeouts are retried. *)
+    timeouts are retried.
+
+    Simulated-delay cap: a call that exhausts its budget makes
+    [retries + 1] attempts, each charging at most one RTT window, plus
+    backoffs of [rtt * 2^(i-1)] after attempts [1..retries] — so the
+    total simulated delay is bounded by
+    [rtt * (retries + 1) + rtt * (2^retries - 1)] (with the default
+    [retries = 3]: 11 RTTs) plus the per-byte wire time of the successful
+    attempt, independent of the fault seed. *)
 val rpc_retry :
   ?retries:int -> t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
 

@@ -1,0 +1,431 @@
+(* Sibling of [Sp_sfs.Crash_sweep]: instead of crashing the machine at
+   every device write, fail-stop each *layer domain* of the demo stack at
+   every op boundary of a seeded workload, and check the supervised stack
+   resumes serving without losing a synced byte.
+
+   The verification model differs from the machine-crash sweep because a
+   layer crash is partial: layers below the dead one keep their in-memory
+   state, and VMM pages whose pager survived keep unsynced data, while
+   pages bound to a dead incarnation are reconciled (dirty ones lost).
+   So after the restart the durable floor is per *byte*, not per file:
+
+   - every file of the last synced cut that was not removed since must
+     still exist, and every byte of it NOT overwritten since that sync
+     must read back exactly;
+   - bytes written since the sync may hold the old or the new value;
+   - files created (removed) since the sync may or may not exist (their
+     creation may have reached the still-live base layer, or died with
+     the killed layer);
+   - no file may appear out of thin air.
+
+   After checking the floor, the sweep adopts what the stack actually
+   serves as the new expected state and runs the remaining ops, so the
+   final exact verification also proves the restarted stack serves
+   reads and writes correctly. *)
+
+module Disk = Sp_blockdev.Disk
+module Stackable = Sp_core.Stackable
+module File = Sp_core.File
+module Sname = Sp_naming.Sname
+module Rng = Sp_fault.Rng
+module DL = Sp_sfs.Disk_layer
+
+type outcome =
+  | Served
+  | Unavailable of string
+  | Lost of string
+  | Corrupt of string
+
+type report = {
+  fr_supervised : bool;
+  fr_ops : int;
+  fr_seed : int;
+  fr_layers : string list;
+  fr_points : int;
+  fr_served : int;
+  fr_unavailable : int;
+  fr_lost : int;
+  fr_corrupt : int;
+  fr_restarts : int;  (* level rebuilds across all points *)
+  fr_reconciled_clean : int;  (* clean pages dropped and refetched *)
+  fr_reconciled_lost : int;  (* dirty unsynced pages lost *)
+  fr_first_bad : (string * int * string) option;  (* layer, op, message *)
+}
+
+let disk_blocks = 2048
+let root = Sname.of_components []
+let n_files = 6
+let max_pos = 12 * 1024
+let max_write = 4096
+let layer_names = [ "lcs.disk"; "lcs.coh"; "lcs.crypt"; "lcs.comp" ]
+
+type snapshot = (string * bytes) list
+
+type sim = {
+  sup : Sp_supervise.t;
+  fs : Stackable.t;  (* the supervised handle (or the bare top) *)
+  disk : Disk.t;
+  vmm : Sp_vm.Vmm.t;
+  expected : (string, bytes) Hashtbl.t;
+  mutable synced : snapshot;
+  (* Since-sync tracking, for the per-byte durability floor. *)
+  dirty : (string, (int * int) list) Hashtbl.t;  (* written (pos, len) *)
+  created : (string, unit) Hashtbl.t;
+  removed : (string, unit) Hashtbl.t;
+}
+
+let snapshot tbl =
+  Hashtbl.fold (fun name data acc -> (name, Bytes.copy data) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let clear_since_sync st =
+  Hashtbl.reset st.dirty;
+  Hashtbl.reset st.created;
+  Hashtbl.reset st.removed
+
+let do_sync st =
+  Stackable.sync st.fs;
+  st.synced <- snapshot st.expected;
+  clear_since_sync st
+
+(* Workload identical in shape (and rng draw order) to Crash_sweep's. *)
+let write_step st rng =
+  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+  let path = Sname.of_components [ name ] in
+  let pos = Rng.int rng max_pos in
+  let len = 1 + Rng.int rng max_write in
+  let base = Rng.int rng 256 in
+  let data = Bytes.init len (fun i -> Char.chr ((base + i) land 0xff)) in
+  let f =
+    if Hashtbl.mem st.expected name then Stackable.open_file st.fs path
+    else begin
+      let f = Stackable.create st.fs path in
+      Hashtbl.replace st.expected name Bytes.empty;
+      Hashtbl.replace st.created name ();
+      Hashtbl.remove st.removed name;
+      f
+    end
+  in
+  ignore (File.write f ~pos data);
+  let old = Hashtbl.find st.expected name in
+  let buf = Bytes.make (max (Bytes.length old) (pos + len)) '\000' in
+  Bytes.blit old 0 buf 0 (Bytes.length old);
+  Bytes.blit data 0 buf pos len;
+  Hashtbl.replace st.expected name buf;
+  let prev = Option.value ~default:[] (Hashtbl.find_opt st.dirty name) in
+  Hashtbl.replace st.dirty name ((pos, len) :: prev)
+
+let remove_step st rng =
+  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+  if Hashtbl.mem st.expected name then begin
+    Stackable.remove st.fs (Sname.of_components [ name ]);
+    Hashtbl.remove st.expected name;
+    Hashtbl.remove st.dirty name;
+    Hashtbl.remove st.created name;
+    Hashtbl.replace st.removed name ()
+  end
+
+let step st rng i =
+  (match Rng.int rng 12 with
+  | 10 -> remove_step st rng
+  | 11 -> do_sync st
+  | _ -> write_step st rng);
+  if i mod 5 = 0 then do_sync st
+
+(* ------------------------------------------------------------------ *)
+(* Stack construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let build_sim ~supervised =
+  let disk = Disk.create ~label:"lcs.dev" ~blocks:disk_blocks () in
+  DL.mkfs ~journal:true disk;
+  let vmm = Sp_vm.Vmm.create ~node:"local" "lcs" in
+  let levels =
+    [
+      Sp_supervise.level ~name:"lcs.disk" (fun ~lower:_ ->
+          DL.mount ~name:"lcs.disk" disk);
+      Sp_supervise.level ~name:"lcs.coh" (fun ~lower ->
+          let fs = Sp_coherency.Coherency_layer.make ~vmm ~name:"lcs.coh" () in
+          Stackable.stack_on fs (Option.get lower);
+          fs);
+      Sp_supervise.level ~name:"lcs.crypt" (fun ~lower ->
+          let fs =
+            Sp_cryptfs.Cryptfs.make ~vmm ~name:"lcs.crypt" ~key:"sweep-key" ()
+          in
+          Stackable.stack_on fs (Option.get lower);
+          fs);
+      Sp_supervise.level ~name:"lcs.comp" (fun ~lower ->
+          let fs = Sp_compfs.Compfs.make ~vmm ~name:"lcs.comp" () in
+          Stackable.stack_on fs (Option.get lower);
+          fs);
+    ]
+  in
+  let sup = Sp_supervise.supervise ~name:"lcs" levels in
+  let fs = if supervised then Sp_supervise.handle sup else Sp_supervise.top sup in
+  if not supervised then Sp_supervise.unsupervise sup;
+  {
+    sup;
+    fs;
+    disk;
+    vmm;
+    expected = Hashtbl.create 8;
+    synced = [];
+    dirty = Hashtbl.create 8;
+    created = Hashtbl.create 8;
+    removed = Hashtbl.create 8;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A container whose header died with the crashed layer before ever
+   reaching a sync reads back as garbage, and the stack rejects it
+   ([Io_error]) rather than serve fabricated bytes.  For a file outside
+   the synced cut that loss is permitted — the application's recovery is
+   to remove the husk and move on.  A *synced* file turning unreadable is
+   real damage. *)
+let scavenge st =
+  let damaged = ref None in
+  List.iter
+    (fun name ->
+      let path = Sname.of_components [ name ] in
+      match ignore (File.read_all (Stackable.open_file st.fs path)) with
+      | () -> ()
+      | exception Sp_core.Fserr.Io_error msg ->
+          if List.mem_assoc name st.synced then begin
+            if !damaged = None then
+              damaged :=
+                Some
+                  (Printf.sprintf "synced file %s unreadable after restart: %s"
+                     name msg)
+          end
+          else begin
+            Stackable.remove st.fs path;
+            Hashtbl.remove st.expected name;
+            Hashtbl.remove st.dirty name;
+            Hashtbl.remove st.created name;
+            Hashtbl.replace st.removed name ()
+          end)
+    (Stackable.listdir st.fs root);
+  !damaged
+
+let read_back st =
+  let names = List.sort String.compare (Stackable.listdir st.fs root) in
+  List.map
+    (fun name ->
+      (name, File.read_all (Stackable.open_file st.fs (Sname.of_components [ name ]))))
+    names
+
+let interval_covers intervals j =
+  List.exists (fun (pos, len) -> j >= pos && j < pos + len) intervals
+
+(* The per-byte durability floor described at the top of the file. *)
+let check_floor st actual =
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !problem = None then problem := Some m) fmt in
+  List.iter
+    (fun (name, want) ->
+      if not (Hashtbl.mem st.removed name) then
+        match List.assoc_opt name actual with
+        | None -> fail "synced file %s vanished" name
+        | Some got ->
+            if Bytes.length got < Bytes.length want then
+              fail "synced file %s shrank: %d < %d bytes" name
+                (Bytes.length got) (Bytes.length want)
+            else
+              let dirty =
+                Option.value ~default:[] (Hashtbl.find_opt st.dirty name)
+              in
+              let n = Bytes.length want in
+              let j = ref 0 in
+              while !j < n && !problem = None do
+                if
+                  (not (interval_covers dirty !j))
+                  && Bytes.get got !j <> Bytes.get want !j
+                then
+                  fail "synced byte %s[%d] lost: %C <> %C" name !j
+                    (Bytes.get got !j) (Bytes.get want !j);
+                incr j
+              done)
+    st.synced;
+  List.iter
+    (fun (name, _) ->
+      let was_synced = List.mem_assoc name st.synced in
+      if (not was_synced) && not (Hashtbl.mem st.created name) then
+        fail "unexpected file %s appeared" name)
+    actual;
+  !problem
+
+(* Adopt what the stack actually serves as the new model state (it was
+   just synced, so it is also the new durable cut). *)
+let adopt st actual =
+  Hashtbl.reset st.expected;
+  List.iter (fun (name, data) -> Hashtbl.replace st.expected name (Bytes.copy data)) actual;
+  st.synced <- snapshot st.expected;
+  clear_since_sync st
+
+let exact_match st actual =
+  let want = snapshot st.expected in
+  let names l = List.map fst l in
+  if names actual <> names want then
+    Some
+      (Printf.sprintf "file set {%s} <> {%s}"
+         (String.concat "," (names actual))
+         (String.concat "," (names want)))
+  else
+    List.find_map
+      (fun ((name, got), (_, w)) ->
+        if Bytes.equal got w then None
+        else
+          Some
+            (Printf.sprintf "%s: %d bytes served, expected %d%s" name
+               (Bytes.length got) (Bytes.length w)
+               (if Bytes.length got = Bytes.length w then " (content differs)"
+                else "")))
+      (List.combine actual want)
+
+(* ------------------------------------------------------------------ *)
+(* One crash point                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_point ~supervised ~layer ~ops ~seed ~kill_at =
+  let st = build_sim ~supervised in
+  let rng = Rng.create seed in
+  let finish () = Sp_supervise.unsupervise st.sup in
+  let stats () =
+    let clean, lost = Sp_vm.Vmm.reconciled st.vmm in
+    (Sp_supervise.restarts st.sup, clean, lost)
+  in
+  let outcome =
+    Fun.protect ~finally:finish @@ fun () ->
+    match
+    let restarts0 = Sp_supervise.restarts st.sup in
+    for i = 1 to kill_at - 1 do
+      step st rng i
+    done;
+    (* Fail-stop the layer's current serving domain at the op boundary. *)
+    Sp_obj.Sdomain.kill (Sp_supervise.current st.sup layer).Stackable.sfs_domain;
+    (* Recovery: the next operation through the supervised handle trips
+       [Dead_domain] and triggers the restart; sync makes the recovered
+       state durable before we inspect it. *)
+    Stackable.sync st.fs;
+    let floor =
+      match scavenge st with
+      | Some _ as damaged -> damaged
+      | None -> check_floor st (read_back st)
+    in
+    (match floor with
+    | Some msg -> Error (Lost msg)
+    | None ->
+        adopt st (read_back st);
+        for i = kill_at to ops do
+          step st rng i
+        done;
+        do_sync st;
+        if supervised && Sp_supervise.restarts st.sup = restarts0 then
+          Error (Corrupt (layer ^ ": supervisor never restarted anything"))
+        else Ok ())
+    with
+    | Error o -> o
+    | exception Sp_core.Fserr.Dead_domain who -> Unavailable who
+    | exception Sp_supervise.Give_up msg -> Unavailable msg
+    | Ok () -> (
+        match Sp_sfs.Fsck.check st.disk with
+        | p :: rest ->
+            Corrupt
+              (Format.asprintf "%a%s" Sp_sfs.Fsck.pp_problem p
+                 (if rest = [] then ""
+                  else Printf.sprintf " (+%d more)" (List.length rest)))
+        | [] -> (
+            match exact_match st (read_back st) with
+            | Some msg -> Lost msg
+            | None -> Served))
+  in
+  (outcome, stats ())
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sweep ?(stride = 1) ?(supervised = true) ~ops ~seed () =
+  if stride < 1 then invalid_arg "Layer_crash_sweep.sweep: stride must be >= 1";
+  let served = ref 0
+  and unavailable = ref 0
+  and lost = ref 0
+  and corrupt = ref 0
+  and points = ref 0
+  and restarts = ref 0
+  and rec_clean = ref 0
+  and rec_lost = ref 0 in
+  let first_bad = ref None in
+  let bad layer at msg =
+    if !first_bad = None then first_bad := Some (layer, at, msg)
+  in
+  List.iter
+    (fun layer ->
+      let kill_at = ref 1 in
+      while !kill_at <= ops do
+        incr points;
+        let outcome, (rs, rc, rl) =
+          run_point ~supervised ~layer ~ops ~seed ~kill_at:!kill_at
+        in
+        restarts := !restarts + rs;
+        rec_clean := !rec_clean + rc;
+        rec_lost := !rec_lost + rl;
+        (match outcome with
+        | Served -> incr served
+        | Unavailable msg ->
+            incr unavailable;
+            bad layer !kill_at ("unavailable: " ^ msg)
+        | Lost msg ->
+            incr lost;
+            bad layer !kill_at msg
+        | Corrupt msg ->
+            incr corrupt;
+            bad layer !kill_at msg);
+        kill_at := !kill_at + stride
+      done)
+    layer_names;
+  {
+    fr_supervised = supervised;
+    fr_ops = ops;
+    fr_seed = seed;
+    fr_layers = layer_names;
+    fr_points = !points;
+    fr_served = !served;
+    fr_unavailable = !unavailable;
+    fr_lost = !lost;
+    fr_corrupt = !corrupt;
+    fr_restarts = !restarts;
+    fr_reconciled_clean = !rec_clean;
+    fr_reconciled_lost = !rec_lost;
+    fr_first_bad = !first_bad;
+  }
+
+let summary r =
+  Printf.sprintf
+    "LAYER-CRASH-SWEEP supervised=%s layers=%d points=%d served=%d \
+     unavailable=%d lost=%d corrupt=%d restarts=%d reconciled=%d+%d"
+    (if r.fr_supervised then "on" else "off")
+    (List.length r.fr_layers) r.fr_points r.fr_served r.fr_unavailable
+    r.fr_lost r.fr_corrupt r.fr_restarts r.fr_reconciled_clean
+    r.fr_reconciled_lost
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>layer crash sweep: supervised=%s ops=%d seed=%d@,\
+     layers: %s@,\
+     crash points: %d (every op boundary of every layer)@,\
+     served %d   unavailable %d   lost %d   corrupt %d@,\
+     level restarts %d   pages reconciled %d clean / %d lost@]"
+    (if r.fr_supervised then "on" else "off")
+    r.fr_ops r.fr_seed
+    (String.concat " -> " r.fr_layers)
+    r.fr_points r.fr_served r.fr_unavailable r.fr_lost r.fr_corrupt
+    r.fr_restarts r.fr_reconciled_clean r.fr_reconciled_lost;
+  match r.fr_first_bad with
+  | None -> ()
+  | Some (layer, at, msg) ->
+      Format.fprintf ppf "@,first failure: %s killed before op %d: %s" layer at
+        msg

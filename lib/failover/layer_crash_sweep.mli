@@ -1,0 +1,63 @@
+(** Layer-domain crash sweep (sibling of [Sp_sfs.Crash_sweep]).
+
+    Runs a seeded workload against the demo stack
+    (disk -> coherency -> cryptfs -> compfs, journal on) under
+    [Sp_supervise], fail-stopping each layer's serving domain at every
+    op boundary, and verifies that the supervised stack restarts the
+    layer, keeps serving, and never loses a synced byte — the per-byte
+    durability floor: bytes not written since the last completed sync
+    must read back exactly; bytes written since may hold the old or the
+    new value; files created or removed since may or may not exist.
+    After the floor check the sweep adopts the served state, runs the
+    remaining ops, and requires an exact match plus a clean fsck of the
+    underlying volume.
+
+    With [supervised:false] the same kills are applied to an
+    unsupervised stack; every point is then expected to end
+    [Unavailable] — the control demonstrating the supervisor is what
+    provides the resilience. *)
+
+type outcome =
+  | Served  (** restarted, no synced byte lost, exact final state, clean fsck *)
+  | Unavailable of string  (** a [Dead_domain] (or budget [Give_up]) escaped *)
+  | Lost of string  (** a synced byte (or file) did not survive *)
+  | Corrupt of string  (** fsck problems, or supervised but never restarted *)
+
+type report = {
+  fr_supervised : bool;
+  fr_ops : int;
+  fr_seed : int;
+  fr_layers : string list;
+  fr_points : int;
+  fr_served : int;
+  fr_unavailable : int;
+  fr_lost : int;
+  fr_corrupt : int;
+  fr_restarts : int;  (** level rebuilds across all points *)
+  fr_reconciled_clean : int;  (** clean pages dropped and refetched *)
+  fr_reconciled_lost : int;  (** dirty unsynced pages reported lost *)
+  fr_first_bad : (string * int * string) option;  (** layer, op, message *)
+}
+
+(** The layers swept, bottom to top. *)
+val layer_names : string list
+
+(** One crash point: kill [layer] before op [kill_at] (1-based) of an
+    [ops]-op workload.  Returns the outcome and this point's
+    [(restarts, reconciled_clean, reconciled_lost)]. *)
+val run_point :
+  supervised:bool ->
+  layer:string ->
+  ops:int ->
+  seed:int ->
+  kill_at:int ->
+  outcome * (int * int * int)
+
+(** Sweep every (layer, op boundary) pair; [stride] thins the op
+    boundaries tested (default 1 = all of them). *)
+val sweep : ?stride:int -> ?supervised:bool -> ops:int -> seed:int -> unit -> report
+
+(** One-line machine-readable verdict (CI greps this). *)
+val summary : report -> string
+
+val pp_report : Format.formatter -> report -> unit

@@ -33,6 +33,7 @@ type fault =
   | Torn_write_crash
   | Drop
   | Delay of int
+  | Domain_crash
 
 type rule = {
   r_point : string;
@@ -101,6 +102,7 @@ type outcome =
   | Torn_crash of float
   | Dropped of string
   | Delayed of int
+  | Domain_died of string
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -116,6 +118,7 @@ let describe = function
   | Torn_write_crash -> "torn_write_crash"
   | Drop -> "drop"
   | Delay ns -> Printf.sprintf "delay(%dns)" ns
+  | Domain_crash -> "domain_crash"
 
 let fire p ~point ~label fault =
   p.p_fired <- p.p_fired + 1;
@@ -132,6 +135,7 @@ let fire p ~point ~label fault =
   | Torn_write_crash -> Torn_crash (0.1 +. (0.8 *. Rng.float p.p_rng))
   | Drop -> Dropped ("injected drop at " ^ where)
   | Delay ns -> Delayed ns
+  | Domain_crash -> Domain_died where
 
 let consult ~point ~label =
   match !armed with

@@ -46,6 +46,13 @@ type fault =
   | Torn_write_crash  (** torn write immediately followed by {!Crash} *)
   | Drop  (** network message lost (→ [Net.Timeout]) *)
   | Delay of int  (** advance {!Sp_sim.Simclock} by this many ns *)
+  | Domain_crash
+      (** fail-stop one layer domain: consulted at the [domain.crash]
+          point (label = serving domain name) by [Sp_obj.Door.call];
+          the door marks the domain dead and raises
+          [Fserr.Dead_domain].  Unlike {!Fail_stop}, the rest of the
+          machine keeps running — recovery is a supervised layer
+          restart, not a reboot. *)
 
 type rule
 
@@ -100,6 +107,7 @@ type outcome =
   | Torn_crash of float
   | Dropped of string
   | Delayed of int
+  | Domain_died of string  (** the serving domain fail-stopped *)
 
 val consult : point:string -> label:string -> outcome
 (** Called by injection points on every operation.  Returns {!Pass} when

@@ -147,7 +147,7 @@ let upper_pager l pair ~id =
 let truncate_pair l pair len =
   let old = pair_len l pair in
   if len < old then begin
-    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:pair.p_key in
+    let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:pair.p_key in
     let cut = (len + ps - 1) / ps * ps in
     List.iter
       (fun ch ->
@@ -400,4 +400,8 @@ let repair sfs path =
   let data = Sp_core.File.read_all source in
   Sp_core.File.truncate target 0;
   ignore (Sp_core.File.write target ~pos:0 data);
-  Sp_core.File.sync target
+  Sp_core.File.sync target;
+  (* The twin is whole again: clear the degraded mark so a *later*
+     failure of either replica can fail over afresh instead of being
+     treated as a second fault on an already-degraded mirror. *)
+  l.l_degraded <- None

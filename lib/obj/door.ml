@@ -28,10 +28,31 @@ let consult_fault op =
     | Sp_fault.Pass -> ()
     | Sp_fault.Fail_io msg | Sp_fault.Dropped msg -> raise (Sp_fault.Injected msg)
     | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
-    | Sp_fault.Torn _ | Sp_fault.Torn_crash _ -> ()
+    | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Domain_died _ -> ()
+
+(* A [Domain_crash] rule at the [domain.crash] point (label = serving
+   domain name) fail-stops the target the first time a call reaches it.
+   The liveness test itself is one field read: the disarmed, all-alive
+   path costs nothing. *)
+let check_alive target =
+  if Sp_fault.active () then begin
+    match
+      Sp_fault.consult ~point:"domain.crash" ~label:(Sdomain.name target)
+    with
+    | Sp_fault.Domain_died _ -> Sdomain.kill target
+    | _ -> ()
+  end;
+  if not (Sdomain.alive target) then begin
+    if Sp_trace.enabled () then
+      Sp_trace.instant ~name:"door.dead_domain"
+        ~args:[ ("domain", Sdomain.name target) ]
+        ();
+    raise (Sdomain.Dead_domain (Sdomain.name target))
+  end
 
 let call ?(op = "invoke") target f =
   consult_fault op;
+  check_alive target;
   if Sp_trace.enabled () then
     Sp_trace.span ~op
       ~src:(Sdomain.name !current_domain)

@@ -20,7 +20,14 @@ val user_domain : Sdomain.t
     recorded as a span named [op] (default ["invoke"]); call helpers pass
     their operation name, e.g. [~op:"file.read"].  Consults the armed
     {!Sp_fault} plan at point ["door.call"] (label = [op]); injected
-    failures raise [Sp_fault.Injected] or [Sp_fault.Crash]. *)
+    failures raise [Sp_fault.Injected] or [Sp_fault.Crash].
+
+    The door is also where layer-domain fail-stop surfaces: an armed
+    [Domain_crash] rule at point ["domain.crash"] (label = target domain
+    name) kills the target on arrival, and any call to a dead domain
+    raises {!Sdomain.Dead_domain} (traced as a [door.dead_domain]
+    instant event).  With no plan armed the extra cost is one field
+    read, so the fast-path door cost is unchanged. *)
 val call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
 
 (** [from domain f] runs [f ()] with [domain] as the current (client)

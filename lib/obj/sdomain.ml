@@ -1,14 +1,19 @@
-type t = { id : int; name : string; node : string }
+exception Dead_domain of string
+
+type t = { id : int; name : string; node : string; mutable alive : bool }
 
 let counter = ref 0
 
 let create ?(node = "local") name =
   incr counter;
-  { id = !counter; name; node }
+  { id = !counter; name; node; alive = true }
 
 let name t = t.name
 let node t = t.node
 let id t = t.id
+let alive t = t.alive
+let kill t = t.alive <- false
+let revive t = t.alive <- true
 let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id
 let pp ppf t = Format.fprintf ppf "%s@%s#%d" t.name t.node t.id

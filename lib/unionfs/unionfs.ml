@@ -162,7 +162,7 @@ let truncate_ufile l u len =
   copy_up l u;
   let old = backing_len u in
   if len < old then begin
-    let channels = Sp_vm.Pager_lib.channels_for_key l.l_channels ~key:u.u_key in
+    let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:u.u_key in
     let cut = (len + ps - 1) / ps * ps in
     List.iter
       (fun ch ->

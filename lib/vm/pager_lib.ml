@@ -13,7 +13,17 @@ let create () = { next_id = 0; table = Hashtbl.create 16 }
 
 let bind t ~key ~make_pager (manager : Vm_types.cache_manager) =
   let slot = (manager.cm_id, key) in
-  match Hashtbl.find_opt t.table slot with
+  let existing =
+    match Hashtbl.find_opt t.table slot with
+    | Some ch when not (Sp_obj.Sdomain.alive ch.ch_cache.Vm_types.c_domain) ->
+        (* Same manager identity, dead serving domain: the manager's
+           previous incarnation crashed and a restarted one is binding
+           again.  Fence the stale channel and connect afresh. *)
+        Hashtbl.remove t.table slot;
+        None
+    | found -> found
+  in
+  match existing with
   | Some ch -> { Vm_types.cr_key = key; cr_channel_id = ch.ch_id }
   | None ->
       t.next_id <- t.next_id + 1;
@@ -55,6 +65,30 @@ let remove t id =
       t.table None
   in
   Option.iter (Hashtbl.remove t.table) slot
+
+(* Incarnation fencing: a channel whose cache object is served by a
+   fail-stopped domain belongs to a pre-crash incarnation of the cache
+   manager.  Calling back into it would raise [Dead_domain] inside the
+   (still-live) pager's own operation, so the channel is dropped instead
+   and its holder state is forgotten by the caller. *)
+let cache_if_live t ch =
+  if Sp_obj.Sdomain.alive ch.ch_cache.Vm_types.c_domain then Some ch.ch_cache
+  else begin
+    remove t ch.ch_id;
+    if Sp_trace.enabled () then
+      Sp_trace.instant ~name:"pager.fence"
+        ~args:[ ("cache", ch.ch_cache.Vm_types.c_label); ("key", ch.ch_key) ]
+        ();
+    None
+  end
+
+let live_cache t ~id =
+  match find t ~id with None -> None | Some ch -> cache_if_live t ch
+
+let live_channels_for_key t ~key =
+  List.filter
+    (fun ch -> Option.is_some (cache_if_live t ch))
+    (channels_for_key t ~key)
 
 let destroy_key t ~key =
   List.iter

@@ -47,6 +47,19 @@ val find : t -> id:int -> channel option
 (** Forget a channel (after [done_with] or cache destruction). *)
 val remove : t -> int -> unit
 
+(** [live_cache t ~id] is channel [id]'s cache object, {e unless} the
+    domain serving it has fail-stopped — then the channel is a leftover
+    of a pre-crash incarnation: it is dropped (traced as a
+    [pager.fence] instant) and [None] is returned, so pagers never call
+    back into a dead upper layer.  This is the pager-side half of epoch
+    fencing; the manager-side half is the VMM's reconcile on
+    re-connect. *)
+val live_cache : t -> id:int -> Vm_types.cache_object option
+
+(** [channels_for_key] restricted to channels whose cache domain is
+    alive; dead ones are fenced (dropped) as in {!live_cache}. *)
+val live_channels_for_key : t -> key:string -> channel list
+
 (** Tear down every channel caching [key]: invoke [destroy_cache] on each
     manager's cache object (Appendix A) and forget the channel.  Pagers
     call this when the backing object is deleted, so a later object that

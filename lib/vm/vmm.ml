@@ -25,6 +25,8 @@ type t = {
   mutable evicted : int;
   mutable evicting : bool;  (* reentrancy guard: page-out of a dirty victim
                                may fault pages back in through lower layers *)
+  mutable reconciled_clean : int;
+  mutable reconciled_lost : int;
 }
 
 type mapping = {
@@ -44,6 +46,8 @@ let create ~node name =
     tick = 0;
     evicted = 0;
     evicting = false;
+    reconciled_clean = 0;
+    reconciled_lost = 0;
   }
 
 let domain t = t.vmm_domain
@@ -113,6 +117,10 @@ let evict_one t =
       t.evicted <- t.evicted + 1;
       if page.dirty then
         match entry.pager with
+        | Some pager when not (Sp_obj.Sdomain.alive pager.Vm_types.p_domain) ->
+            (* the serving incarnation crashed before this page was pushed:
+               the data is lost, like dirty data at a machine crash *)
+            t.reconciled_lost <- t.reconciled_lost + 1
         | Some pager ->
             Sp_obj.Door.call ~op:"vmm.evict" t.vmm_domain (fun () ->
                 Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data))
@@ -195,6 +203,31 @@ let make_cache_object t entry =
     c_exten = [];
   }
 
+(* A connect from a pager in a different domain than the one already
+   bound means the previous serving incarnation crashed and a restarted
+   layer is reconnecting.  Reconcile cached pages per MRSW state: clean
+   pages (including dirty-then-synced ones) are dropped and refetched on
+   the next fault; dirty unsynced pages never reached the old pager and
+   are lost — the same contract as unsynced data at a machine crash. *)
+let reconcile t entry =
+  let clean = ref 0 and lost = ref 0 in
+  Hashtbl.iter
+    (fun _ (p : page) -> if p.dirty then incr lost else incr clean)
+    entry.pages;
+  Hashtbl.reset entry.pages;
+  entry.last_fault <- min_int;
+  t.reconciled_clean <- t.reconciled_clean + !clean;
+  t.reconciled_lost <- t.reconciled_lost + !lost;
+  if Sp_trace.enabled () then
+    Sp_trace.instant ~name:"vmm.reconcile"
+      ~args:
+        [
+          ("key", entry.e_key);
+          ("clean", string_of_int !clean);
+          ("lost", string_of_int !lost);
+        ]
+      ()
+
 let manager t =
   {
     Vm_types.cm_id = "vmm:" ^ t.vmm_name;
@@ -202,6 +235,12 @@ let manager t =
     cm_connect =
       (fun ~key pager ->
         let entry = entry_for t key in
+        (match entry.pager with
+        | Some old
+          when Sp_obj.Sdomain.id old.Vm_types.p_domain
+               <> Sp_obj.Sdomain.id pager.Vm_types.p_domain ->
+            reconcile t entry
+        | _ -> ());
         entry.pager <- Some pager;
         make_cache_object t entry);
   }
@@ -317,6 +356,10 @@ let write m ~pos data =
 let push_dirty vmm entry =
   match entry.pager with
   | None -> ()
+  | Some pager when not (Sp_obj.Sdomain.alive pager.Vm_types.p_domain) ->
+      (* pager incarnation crashed while we held its pages: reconcile
+         instead of calling into the dead domain *)
+      reconcile vmm entry
   | Some pager ->
       let flush idx (page : page) acc = if page.dirty then (idx, page) :: acc else acc in
       let dirty = Hashtbl.fold flush entry.pages [] in
@@ -365,3 +408,4 @@ let set_capacity t ~pages =
   | _ -> t.capacity <- pages
 
 let evictions t = t.evicted
+let reconciled t = (t.reconciled_clean, t.reconciled_lost)

@@ -89,3 +89,15 @@ val total_cached_pages : t -> int
 
 (** Pages evicted so far. *)
 val evictions : t -> int
+
+(** {1 Crash reconciliation}
+
+    When a pager reconnects for a key already bound to a pager in a
+    {e different} domain, the previous serving incarnation crashed.  The
+    VMM reconciles the stale pages per their MRSW state — clean pages
+    are dropped (next fault refetches from the restarted layer), dirty
+    unsynced pages are reported lost exactly like an unsynced machine
+    crash — and the entry starts fresh under the new incarnation. *)
+
+(** [(clean_dropped, dirty_lost)] page totals across all reconciles. *)
+val reconciled : t -> int * int

@@ -27,5 +27,6 @@ let () =
       ("inject", Test_inject.suite);
       ("crash", Test_crash.suite);
       ("fsck", Test_fsck.suite);
+      ("supervise", Test_supervise.suite);
       ("table_shapes", Test_table_shapes.suite);
     ]

@@ -102,6 +102,44 @@ let qcheck_random_crash_point_survives =
           let crash_at = 1 + (point mod max 1 writes) in
           CS.run_point ~journal:true ~ops ~seed ~crash_at () = CS.Survived))
 
+(* --- journal replay idempotency --- *)
+
+let image disk =
+  List.init (D.block_count disk) (fun i -> Bytes.to_string (D.read disk i))
+
+let test_recover_idempotent () =
+  (* Replaying the journal of a crashed image must be idempotent: a
+     second [recover] on the already-recovered image changes nothing. *)
+  Util.in_world (fun () ->
+      let disk = D.create ~label:"idem.dev" ~blocks:512 () in
+      DL.mkfs ~journal:true disk;
+      let fs = DL.mount ~name:"idem.fs" disk in
+      let f = S.create fs (Util.name "a") in
+      for i = 0 to 7 do
+        ignore (F.write f ~pos:(i * 4096) (Bytes.make 4096 (Char.chr (97 + i))))
+      done;
+      (* Crash at the first home write of the sealed commit: the journal
+         holds a full committed transaction awaiting replay. *)
+      let plan =
+        Sp_fault.plan
+          [
+            Sp_fault.rule ~point:"disk.write" ~label:"idem.dev" ~after:10
+              ~count:1 Sp_fault.Fail_stop;
+          ]
+      in
+      (try Sp_fault.with_plan plan (fun () -> S.sync fs)
+       with Sp_fault.Crash _ -> ());
+      let replayed1 = DL.recover disk in
+      let after_first = image disk in
+      let replayed2 = DL.recover disk in
+      let after_second = image disk in
+      Alcotest.(check bool) "first recover replays" true (replayed1 >= 0);
+      Alcotest.(check int) "second recover finds a clean journal" 0 replayed2;
+      Alcotest.(check bool) "images byte-identical" true
+        (List.for_all2 String.equal after_first after_second);
+      Alcotest.(check int) "fsck clean after double recovery" 0
+        (List.length (Sp_sfs.Fsck.check disk)))
+
 (* --- bitmap round-trip properties --- *)
 
 let qcheck_bitmap_matches_model =
@@ -146,6 +184,7 @@ let suite =
     Alcotest.test_case "unjournaled sweep finds damage" `Slow
       test_unjournaled_sweep_finds_damage;
     Alcotest.test_case "sweep deterministic" `Slow test_sweep_deterministic;
+    Alcotest.test_case "journal replay idempotent" `Quick test_recover_idempotent;
     qcheck_random_crash_point_survives;
     qcheck_bitmap_matches_model;
   ]

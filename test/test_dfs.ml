@@ -199,9 +199,49 @@ let prop_three_clients_linearize =
             ops;
           !ok))
 
+(* rpc_retry's backoff is deterministic per fault seed and its total
+   simulated delay is bounded by the cap documented in net.mli:
+   rtt * (retries + 1) attempt windows + rtt * (2^retries - 1) backoff
+   + the per-byte wire time of the successful attempt. *)
+let prop_rpc_retry_deterministic_and_bounded =
+  let gen = QCheck2.Gen.int_range 0 100_000 in
+  Util.qcheck_case ~count:50 "rpc_retry deterministic per seed, delay capped" gen
+    (fun seed ->
+      Util.in_world ~model:Sp_sim.Cost_model.paper_1993 (fun () ->
+          let model = Sp_sim.Cost_model.current () in
+          let bytes = 64 in
+          let retries = 3 in
+          let run () =
+            let net = Sp_dfs.Net.create () in
+            let plan =
+              Sp_fault.plan ~seed
+                [
+                  Sp_fault.rule ~point:"net.rpc" ~label:"qa->qb" ~count:retries
+                    ~prob:0.6 Sp_fault.Drop;
+                ]
+            in
+            let t0 = Sp_sim.Simclock.now () in
+            let r =
+              Sp_fault.with_plan plan (fun () ->
+                  Sp_dfs.Net.rpc_retry ~retries net ~src:"qa" ~dst:"qb" ~bytes
+                    (fun () -> 42))
+            in
+            (r, Sp_sim.Simclock.now () - t0, (Sp_dfs.Net.stats net).Sp_dfs.Net.retries)
+          in
+          let r1, d1, n1 = run () in
+          let r2, d2, n2 = run () in
+          let rtt = model.Sp_sim.Cost_model.net_rtt_ns in
+          let cap =
+            (rtt * (retries + 1))
+            + (rtt * ((1 lsl retries) - 1))
+            + (bytes * model.Sp_sim.Cost_model.net_per_byte_ns)
+          in
+          r1 = 42 && r2 = 42 && d1 = d2 && n1 = n2 && d1 <= cap))
+
 let suite =
   [
     Alcotest.test_case "remote read/write" `Quick test_remote_read_write;
+    prop_rpc_retry_deterministic_and_bounded;
     Alcotest.test_case "remote ops use the network" `Quick test_remote_ops_use_network;
     Alcotest.test_case "local/remote coherence" `Quick test_local_remote_coherence;
     Alcotest.test_case "remote mapping coherence" `Quick test_remote_mapping_coherence;

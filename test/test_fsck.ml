@@ -157,6 +157,33 @@ let test_detects_unreachable_inode () =
           Sp_blockdev.Disk.write disk b (Bytes.make 4096 '\000'))
         (function K.Unreachable_inode 1 -> true | _ -> false))
 
+(* --- CLI exit-code contract ---
+
+   README documents: [springfs fsck] exits 1 when the image is damaged
+   and 0 when it is clean (including clean-after-recovery).  Pin both
+   sides against the real binary.  Tests run from [_build/default/test/],
+   so the driver lives one directory up. *)
+
+let springfs = Filename.concat ".." (Filename.concat "bin" "springfs.exe")
+
+let run_cli args =
+  Sys.command (Filename.quote_command springfs args ~stdout:Filename.null)
+
+let test_cli_exit_codes () =
+  if not (Sys.file_exists springfs) then
+    Alcotest.skip ()
+  else begin
+    (* Crash write 24 lands mid-flush of the second (journaled)
+       transaction: without replay the image mixes old and new
+       metadata and fsck must exit 1. *)
+    Alcotest.(check int) "damaged image exits 1" 1
+      (run_cli [ "fsck"; "--journal"; "--crash-at-write"; "24"; "--no-recover" ]);
+    (* Same crash point, but recovery replays the journal first. *)
+    Alcotest.(check int) "recovered image exits 0" 0
+      (run_cli [ "fsck"; "--journal"; "--crash-at-write"; "24" ]);
+    Alcotest.(check int) "undamaged run exits 0" 0 (run_cli [ "fsck" ])
+  end
+
 let suite =
   [
     Alcotest.test_case "empty volume clean" `Quick test_empty_volume_clean;
@@ -169,4 +196,5 @@ let suite =
     Alcotest.test_case "detects bad nlink" `Quick test_detects_bad_nlink;
     Alcotest.test_case "detects unreachable inode" `Quick
       test_detects_unreachable_inode;
+    Alcotest.test_case "cli exit codes" `Quick test_cli_exit_codes;
   ]

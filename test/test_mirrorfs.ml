@@ -119,9 +119,53 @@ let test_mapped_access () =
       Util.check_str "mapped write replicated" "MIRROR"
         (F.read (S.open_file sfs_b (Util.name "m")) ~pos:0 ~len:6))
 
+let test_fail_repair_fail_other_twin () =
+  (* Regression: [repair] must reset the degraded mark, or a later
+     failure of the *other* replica cannot fail over (the Io_error used
+     to escape because the mirror still thought it was degraded). *)
+  Util.in_world (fun () ->
+      let vmm = Sp_vm.Vmm.create ~node:"local" "vmm-frf" in
+      let mk n label =
+        Sp_coherency.Spring_sfs.make_split ~vmm ~name:n ~same_domain:false
+          (Util.fresh_disk ~label ())
+      in
+      let mirror = M.make ~vmm ~name:"mirror-frf" () in
+      S.stack_on mirror (mk "frfA" "twinA");
+      S.stack_on mirror (mk "frfB" "twinB");
+      let f = S.create mirror (Util.name "t") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "v1"));
+      F.sync f;
+      (* Twin A's device fails mid-sync: the mirror degrades and the
+         write completes on twin B alone. *)
+      let fail label =
+        Sp_fault.plan [ Sp_fault.rule ~point:"disk.write" ~label Sp_fault.Io_error ]
+      in
+      Sp_fault.with_plan (fail "twinA") (fun () ->
+          ignore (F.write f ~pos:0 (Util.bytes_of_string "v2"));
+          F.sync f);
+      Alcotest.(check bool) "degraded after twin A fails" true
+        (M.degraded mirror <> None);
+      (* Twin A returns; repair heals it AND clears the degraded mark. *)
+      M.repair mirror (Util.name "t");
+      Alcotest.(check bool) "repair resets the degraded mark" true
+        (M.degraded mirror = None);
+      Alcotest.(check bool) "replicas identical after repair" true
+        (M.verify mirror (Util.name "t"));
+      (* Now the OTHER twin fails: the mirror must fail over again
+         instead of letting the Io_error escape. *)
+      Sp_fault.with_plan (fail "twinB") (fun () ->
+          ignore (F.write f ~pos:0 (Util.bytes_of_string "v3"));
+          F.sync f);
+      Alcotest.(check bool) "failed over to the repaired twin" true
+        (M.degraded mirror <> None);
+      Util.check_str "served after the second failover" "v3"
+        (F.read (S.open_file mirror (Util.name "t")) ~pos:0 ~len:2))
+
 let suite =
   [
     Alcotest.test_case "fig3: stacks on two underlays" `Quick test_fig3_two_underlays;
+    Alcotest.test_case "fail, repair, fail the other twin (regression)" `Quick
+      test_fail_repair_fail_other_twin;
     Alcotest.test_case "writes reach both replicas" `Quick test_writes_reach_both;
     Alcotest.test_case "failover on primary loss" `Quick test_failover_on_primary_loss;
     Alcotest.test_case "degraded write + repair" `Quick test_degraded_write_and_repair;
