@@ -52,6 +52,9 @@ let simulated_tables () =
   Format.fprintf ppf "@.";
   reset_world ();
   Sp_benchlib.Failover.print ppf (Sp_benchlib.Failover.run ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Scrub.print ppf (Sp_benchlib.Scrub.run ());
   Format.fprintf ppf "@."
 
 (* Optional per-layer breakdown (--profile): attribute the simulated time

@@ -79,7 +79,14 @@ let run_tables which =
     Sp_benchlib.Faults.print ppf (Sp_benchlib.Faults.run ());
     Format.fprintf ppf "@."
   end;
-  if want "failover" then Sp_benchlib.Failover.print ppf (Sp_benchlib.Failover.run ());
+  if want "failover" then begin
+    Sp_benchlib.Failover.print ppf (Sp_benchlib.Failover.run ());
+    Format.fprintf ppf "@."
+  end;
+  if want "scrub" then begin
+    Sp_benchlib.Scrub.print ppf (Sp_benchlib.Scrub.run ());
+    Format.fprintf ppf "@."
+  end;
   0
 
 (* --- springfs demo --- *)
@@ -130,6 +137,7 @@ let fsck_summary problems =
       ("block_not_allocated", count (function Block_not_allocated _ -> true | _ -> false));
       ("block_leak", count (function Block_leak _ -> true | _ -> false));
       ("bad_nlink", count (function Bad_nlink _ -> true | _ -> false));
+      ("checksum", count (function Checksum_mismatch _ -> true | _ -> false));
     ]
   in
   Printf.sprintf "FSCK status=%s problems=%d%s"
@@ -140,7 +148,7 @@ let fsck_summary problems =
           (fun (name, n) -> if n = 0 then None else Some (Printf.sprintf " %s=%d" name n))
           cats))
 
-let run_fsck ops journal crash_at no_recover =
+let run_fsck ops journal crash_at no_recover verify_checksums =
   (match crash_at with
   | Some n when n < 1 ->
       Format.eprintf "springfs: --crash-at-write must be at least 1 (got %d)@." n;
@@ -180,14 +188,14 @@ let run_fsck ops journal crash_at no_recover =
     let replayed = Sp_sfs.Disk_layer.recover disk in
     if replayed > 0 then Format.printf "fsck: journal replayed %d block(s)@." replayed
   end;
-  let problems = Sp_sfs.Fsck.check disk in
+  let problems = Sp_sfs.Fsck.check ~verify_checksums disk in
   List.iter (Format.printf "fsck: %a@." Sp_sfs.Fsck.pp_problem) problems;
   print_endline (fsck_summary problems);
   if problems = [] then 0 else 1
 
 (* --- springfs crash --- *)
 
-let run_crash ops seed stride no_journal torn expect_inconsistent =
+let run_crash ops seed stride no_journal no_checksums torn expect_inconsistent =
   if stride < 1 then (
     Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
     exit 2);
@@ -195,23 +203,78 @@ let run_crash ops seed stride no_journal torn expect_inconsistent =
     Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
     exit 2);
   let journal = not no_journal in
-  let report = Sp_sfs.Crash_sweep.sweep ~stride ~torn ~journal ~ops ~seed () in
+  let checksums = not no_checksums in
+  let report = Sp_sfs.Crash_sweep.sweep ~stride ~torn ~checksums ~journal ~ops ~seed () in
   Format.printf "%a@." Sp_sfs.Crash_sweep.pp_report report;
   print_endline (Sp_sfs.Crash_sweep.summary report);
-  let failures = report.Sp_sfs.Crash_sweep.rp_lost + report.Sp_sfs.Crash_sweep.rp_corrupt in
+  let open Sp_sfs.Crash_sweep in
+  (* Checksum-detected damage is still damage — a journaled volume must
+     recover to a state where nothing is flagged; only the inverted mode
+     treats detection as the expected (good) outcome. *)
+  let failures = report.rp_lost + report.rp_corrupt + report.rp_detected in
   if expect_inconsistent then
-    if failures > 0 then begin
+    if failures = 0 then begin
+      Format.eprintf
+        "springfs: expected the sweep to find damage but every point survived@.";
+      1
+    end
+    else if torn && checksums && report.rp_detected = 0 then begin
+      (* With checksums on, a torn unjournaled write must be positively
+         detected, not merely lost. *)
+      Format.eprintf
+        "springfs: torn sweep found damage but checksums never detected it@.";
+      1
+    end
+    else begin
       Format.printf "sweep found inconsistent states, as expected without a journal@.";
       0
     end
-    else begin
-      Format.eprintf "springfs: expected the sweep to find damage but every point survived@.";
-      1
-    end
   else if failures = 0 then 0
   else begin
-    Format.eprintf "springfs: %d crash point(s) lost synced data or left the volume inconsistent@."
+    Format.eprintf
+      "springfs: %d crash point(s) lost synced data, left the volume \
+       inconsistent, or tripped block checksums@."
       failures;
+    1
+  end
+
+(* --- springfs scrub --- *)
+
+let run_scrub ops seed stride no_checksums mirror expect_undetected =
+  if stride < 1 then (
+    Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
+    exit 2);
+  if ops < 1 then (
+    Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
+    exit 2);
+  let checksums = not no_checksums in
+  let module CS = Sp_integrity.Corruption_sweep in
+  let reports =
+    List.map
+      (fun kind -> CS.sweep ~stride ~checksums ~mirror ~kind ~ops ~seed ())
+      [ CS.Bitrot; CS.Misdirected; CS.Lost ]
+  in
+  List.iter
+    (fun r ->
+      Format.printf "%a@." CS.pp_report r;
+      print_endline (CS.summary r))
+    reports;
+  let silent = List.fold_left (fun acc r -> acc + r.CS.cr_silent) 0 reports in
+  if expect_undetected then
+    if silent = 0 then begin
+      Format.eprintf
+        "springfs: expected silent corruption without checksums but every point \
+         was absorbed or detected@.";
+      1
+    end
+    else begin
+      Format.printf "sweep served corrupt bytes silently, as expected without checksums@.";
+      0
+    end
+  else if silent = 0 then 0
+  else begin
+    Format.eprintf "springfs: %d injection point(s) served corrupt data undetected@."
+      silent;
     1
   end
 
@@ -373,7 +436,7 @@ let tables_cmd =
       & info [] ~docv:"TABLE"
           ~doc:
             "Subset to print: table2, table3, figures, ablations, macro, faults, \
-             failover (default all).")
+             failover, scrub (default all).")
   in
   let doc = "regenerate the paper's evaluation tables (simulated)" in
   Cmd.v (Cmd.info "tables" ~doc) Term.(const run_tables $ which)
@@ -408,11 +471,19 @@ let fsck_cmd =
       value & flag
       & info [ "no-recover" ] ~doc:"Skip journal replay before checking (show raw crash damage).")
   in
+  let verify_checksums =
+    Arg.(
+      value & flag
+      & info [ "verify-checksums" ]
+          ~doc:"Also hash every in-use block and compare against the checksum \
+                region (reported as checksum=N in the verdict line).")
+  in
   let doc =
     "run a workload, fsck the volume, and print a machine-readable verdict \
      (exit 1 on inconsistencies)"
   in
-  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run_fsck $ ops $ journal $ crash_at $ no_recover)
+  Cmd.v (Cmd.info "fsck" ~doc)
+    Term.(const run_fsck $ ops $ journal $ crash_at $ no_recover $ verify_checksums)
 
 let crash_cmd =
   let ops =
@@ -429,6 +500,13 @@ let crash_cmd =
   let no_journal =
     Arg.(value & flag & info [ "no-journal" ] ~doc:"Format without a journal (expect damage).")
   in
+  let no_checksums =
+    Arg.(
+      value & flag
+      & info [ "no-checksums" ]
+          ~doc:"Format without the per-block checksum region (damage the \
+                structural fsck cannot see then goes undetected).")
+  in
   let torn =
     Arg.(value & flag & info [ "torn" ] ~doc:"Make the crashing write a torn (partial) write.")
   in
@@ -444,7 +522,53 @@ let crash_cmd =
      recovery (journal on: every synced write must survive and fsck must be clean)"
   in
   Cmd.v (Cmd.info "crash" ~doc)
-    Term.(const run_crash $ ops $ seed $ stride $ no_journal $ torn $ expect_inconsistent)
+    Term.(
+      const run_crash $ ops $ seed $ stride $ no_journal $ no_checksums $ torn
+      $ expect_inconsistent)
+
+let scrub_cmd =
+  let ops =
+    Arg.(value & opt int 14 & info [ "ops" ] ~docv:"N" ~doc:"Workload operations per run.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload/fault seed.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Inject at every K-th device I/O (default every one).")
+  in
+  let no_checksums =
+    Arg.(
+      value & flag
+      & info [ "no-checksums" ]
+          ~doc:"Format without the per-block checksum region (bit rot in file \
+                data is then served silently).")
+  in
+  let mirror =
+    Arg.(
+      value & flag
+      & info [ "mirror" ]
+          ~doc:"Run the workload through a mirror of two volumes and corrupt \
+                the primary twin (expect self-healing repairs).")
+  in
+  let expect_undetected =
+    Arg.(
+      value & flag
+      & info [ "expect-undetected" ]
+          ~doc:"Invert the verdict: exit 0 only if the sweep served corrupt \
+                bytes silently at least once (the checksums-off control).")
+  in
+  let doc =
+    "sweep silent-corruption faults (bit rot, misdirected writes, lost writes) \
+     over every device I/O of a workload and verify each one is detected, \
+     repaired, or absorbed — never silently served"
+  in
+  Cmd.v (Cmd.info "scrub" ~doc)
+    Term.(
+      const run_scrub $ ops $ seed $ stride $ no_checksums $ mirror
+      $ expect_undetected)
 
 let failover_cmd =
   let ops =
@@ -520,7 +644,8 @@ let main =
   let doc = "Spring extensible file systems (SOSP '93) — simulation driver" in
   Cmd.group (Cmd.info "springfs" ~version:"1.0.0" ~doc)
     [
-      stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; crash_cmd; failover_cmd;
+      stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; crash_cmd; scrub_cmd;
+      failover_cmd;
       versions_cmd; profile_cmd;
     ]
 

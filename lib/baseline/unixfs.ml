@@ -230,7 +230,10 @@ let mount ?label disk =
   }
 
 let mkfs_and_mount ?label disk =
-  Sp_sfs.Disk_layer.mkfs disk;
+  (* The baseline predates the checksum region, and its caches write
+     through [Journal.raw] without maintaining one — format the
+     pre-checksum on-disk layout (csum_blocks = 0 decodes fine). *)
+  Sp_sfs.Disk_layer.mkfs ~checksums:false disk;
   mount ?label disk
 
 let alloc_inode t kind =

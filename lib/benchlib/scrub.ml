@@ -1,0 +1,228 @@
+(* Integrity ablation: what end-to-end checksums cost and what they buy.
+
+   Three panels, all under the paper_1993 cost model:
+
+   - the checksum tax: the same write/sync/cold-read workload on a
+     journaled volume with the checksum region disabled vs enabled
+     (extra device writes are the checksum blocks riding each journal
+     commit; extra time is hashing plus those writes);
+
+   - scrubber throughput: a filled volume with a few deliberately rotted
+     blocks, scanned detect-only, then again with a mirror twin supplying
+     replacements, then once more to show the volume comes back clean;
+
+   - mirror self-heal latency: a cold read of a mirrored file whose
+     primary copy has a rotted block, against the same cold read with
+     both twins clean (the difference is the detect + re-read + rewrite
+     bill). *)
+
+module D = Sp_blockdev.Disk
+module DL = Sp_sfs.Disk_layer
+module F = Sp_core.File
+module S = Sp_core.Stackable
+
+let ps = Sp_vm.Vm_types.page_size
+
+type overhead_row = {
+  o_checksums : bool;
+  o_ns : int;  (* simulated time for the whole workload *)
+  o_writes : int;  (* device writes it issued *)
+}
+
+type scrub_row = {
+  s_label : string;
+  s_scanned : int;
+  s_bad : int;
+  s_repaired : int;
+  s_ns : int;
+}
+
+type heal_row = {
+  h_pages : int;  (* file size *)
+  h_clean_ns : int;  (* cold read, both twins clean *)
+  h_heal_ns : int;  (* cold read that detects and heals one rotted copy *)
+  h_repairs : int;
+}
+
+type t = {
+  t_overhead : overhead_row list;
+  t_scrub : scrub_row list;
+  t_heal : heal_row list;
+}
+
+(* -------------------------------------------------------------- *)
+
+let overhead ~checksums =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
+  let tag = if checksums then "sc-ov-on" else "sc-ov-off" in
+  let disk = D.create ~label:tag ~blocks:2048 () in
+  DL.mkfs ~journal:true ~checksums disk;
+  let fs = DL.mount ~name:(tag ^ ".fs") disk in
+  D.reset_stats disk;
+  let t0 = Sp_sim.Simclock.now () in
+  let f = S.create fs (Sp_naming.Sname.of_string "big") in
+  for p = 0 to 63 do
+    ignore (F.write f ~pos:(p * ps) (Bytes.make ps 'o'))
+  done;
+  S.sync fs;
+  S.drop_caches fs;
+  for p = 0 to 63 do
+    ignore (F.read f ~pos:(p * ps) ~len:ps)
+  done;
+  let dt = Sp_sim.Simclock.now () - t0 in
+  { o_checksums = checksums; o_ns = dt; o_writes = (D.stats disk).D.writes }
+
+(* -------------------------------------------------------------- *)
+
+(* Fill a volume with one large file so the data area is in use. *)
+let filled tag =
+  let disk = D.create ~label:tag ~blocks:2048 () in
+  DL.mkfs ~journal:true disk;
+  let fs = DL.mount ~name:(tag ^ ".fs") disk in
+  let f = S.create fs (Sp_naming.Sname.of_string "fill") in
+  for p = 0 to 255 do
+    ignore (F.write f ~pos:(p * ps) (Bytes.make ps (Char.chr (0x40 + (p land 0x3f)))))
+  done;
+  S.sync fs;
+  disk
+
+(* Flip a byte in [n] in-use checksum-covered blocks, scanning from the
+   top of the device (the data area) down. *)
+let rot_blocks disk n =
+  let layout = Sp_sfs.Layout.decode_superblock (D.read disk 0) in
+  let c = Option.get (Sp_sfs.Csum.attach disk layout) in
+  let rotted = ref 0 in
+  let b = ref (layout.Sp_sfs.Layout.total_blocks - 1) in
+  while !rotted < n && !b > 0 do
+    if Sp_sfs.Csum.covers c !b then begin
+      let data = D.read disk !b in
+      if Bytes.exists (fun ch -> ch <> '\000') data then begin
+        Bytes.set data 0 (Char.chr (Char.code (Bytes.get data 0) lxor 0x01));
+        D.write disk !b data;
+        incr rotted
+      end
+    end;
+    decr b
+  done
+
+let scrub_rows () =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
+  let da = filled "sc-scrubA" in
+  let db = filled "sc-scrubB" in
+  rot_blocks da 3;
+  let row label r repaired =
+    {
+      s_label = label;
+      s_scanned = r.Sp_integrity.Scrubber.sr_scanned;
+      s_bad = r.Sp_integrity.Scrubber.sr_bad;
+      s_repaired = repaired;
+      s_ns = r.Sp_integrity.Scrubber.sr_ns;
+    }
+  in
+  let detect = Sp_integrity.Scrubber.run da in
+  let repair =
+    Sp_integrity.Scrubber.run
+      ~repair_with:(Sp_integrity.Scrubber.from_device db)
+      da
+  in
+  let clean = Sp_integrity.Scrubber.run da in
+  [
+    row "detect only" detect 0;
+    row "repair from twin" repair repair.Sp_integrity.Scrubber.sr_repaired;
+    row "re-scan after repair" clean 0;
+  ]
+
+(* -------------------------------------------------------------- *)
+
+let heal ~pages =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
+  let tag = Printf.sprintf "sc-heal%d" pages in
+  let mk lbl =
+    let d = D.create ~label:lbl ~blocks:2048 () in
+    DL.mkfs ~journal:true d;
+    (d, DL.mount ~name:lbl d)
+  in
+  let da, fa = mk (tag ^ "A") in
+  let _db, fb = mk (tag ^ "B") in
+  let vmm = Sp_vm.Vmm.create ~node:"local" (tag ^ ".vmm") in
+  let mirror = Sp_mirrorfs.Mirrorfs.make ~vmm ~name:(tag ^ ".m") () in
+  S.stack_on mirror fa;
+  S.stack_on mirror fb;
+  let f = S.create mirror (Sp_naming.Sname.of_string "h") in
+  for p = 0 to pages - 1 do
+    ignore (F.write f ~pos:(p * ps) (Bytes.make ps 'h'))
+  done;
+  S.sync mirror;
+  let cold_read () =
+    Sp_vm.Vmm.drop_caches vmm;
+    S.drop_caches mirror;
+    let t0 = Sp_sim.Simclock.now () in
+    ignore (F.read_all f);
+    Sp_sim.Simclock.now () - t0
+  in
+  let clean_ns = cold_read () in
+  (* Rot one data block of the primary copy directly on the device. *)
+  let layout = Sp_sfs.Layout.decode_superblock (D.read da 0) in
+  let c = Option.get (Sp_sfs.Csum.attach da layout) in
+  let b = ref (layout.Sp_sfs.Layout.total_blocks - 1) in
+  while
+    not
+      (Sp_sfs.Csum.covers c !b
+      && Bytes.length (D.read da !b) > 0
+      && Bytes.get (D.read da !b) 0 = 'h')
+  do
+    decr b
+  done;
+  let data = D.read da !b in
+  Bytes.set data 0 'X';
+  D.write da !b data;
+  let r0 = Sp_mirrorfs.Mirrorfs.repairs mirror in
+  let heal_ns = cold_read () in
+  {
+    h_pages = pages;
+    h_clean_ns = clean_ns;
+    h_heal_ns = heal_ns;
+    h_repairs = Sp_mirrorfs.Mirrorfs.repairs mirror - r0;
+  }
+
+(* -------------------------------------------------------------- *)
+
+let run () =
+  {
+    t_overhead = [ overhead ~checksums:false; overhead ~checksums:true ];
+    t_scrub = scrub_rows ();
+    t_heal = List.map (fun p -> heal ~pages:p) [ 4; 16; 64 ];
+  }
+
+let print ppf t =
+  Format.fprintf ppf
+    "@[<v>Integrity ablation: block checksums, scrubbing, self-healing (paper_1993 model)@,";
+  Format.fprintf ppf "  checksum tax (64-page write + sync + cold read-back):@,";
+  Format.fprintf ppf "  %-12s %-16s %s@," "checksums" "workload time" "device writes";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-12s %-16s %d@,"
+        (if r.o_checksums then "on" else "off")
+        (Format.asprintf "%a" Sp_sim.Simclock.pp_duration r.o_ns)
+        r.o_writes)
+    t.t_overhead;
+  Format.fprintf ppf "  scrub of a filled 2048-block volume, 3 rotted blocks:@,";
+  Format.fprintf ppf "  %-22s %-9s %-5s %-9s %s@," "pass" "scanned" "bad" "repaired"
+    "scan time";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-22s %-9d %-5d %-9d %s@," r.s_label r.s_scanned r.s_bad
+        r.s_repaired
+        (Format.asprintf "%a" Sp_sim.Simclock.pp_duration r.s_ns))
+    t.t_scrub;
+  Format.fprintf ppf "  mirror self-heal: cold read with one rotted primary block:@,";
+  Format.fprintf ppf "  %-8s %-16s %-18s %s@," "pages" "clean read" "read + self-heal"
+    "repairs";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-8d %-16s %-18s %d@," r.h_pages
+        (Format.asprintf "%a" Sp_sim.Simclock.pp_duration r.h_clean_ns)
+        (Format.asprintf "%a" Sp_sim.Simclock.pp_duration r.h_heal_ns)
+        r.h_repairs)
+    t.t_heal;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Integrity ablation: the cost of end-to-end block checksums and what
+    they buy — the checksum tax on a write/read workload, scrubber
+    throughput over a rotted volume (detect-only vs repairing from a
+    mirror twin), and mirror self-heal latency on a cold read. *)
+
+type overhead_row = { o_checksums : bool; o_ns : int; o_writes : int }
+
+type scrub_row = {
+  s_label : string;
+  s_scanned : int;
+  s_bad : int;
+  s_repaired : int;
+  s_ns : int;
+}
+
+type heal_row = {
+  h_pages : int;
+  h_clean_ns : int;
+  h_heal_ns : int;
+  h_repairs : int;
+}
+
+type t = {
+  t_overhead : overhead_row list;
+  t_scrub : scrub_row list;
+  t_heal : heal_row list;
+}
+
+val run : unit -> t
+val print : Format.formatter -> t -> unit

@@ -40,6 +40,14 @@ let charge t n =
   Sp_sim.Simclock.advance model.disk_per_block_ns;
   t.head <- n
 
+(* Flip one bit of the stored block: the rot is persistent — every later
+   read of [n] sees the same flipped bit.  The device still acks. *)
+let rot_block t n fraction =
+  let bit = min ((block_size * 8) - 1) (int_of_float (fraction *. float_of_int (block_size * 8))) in
+  let block = t.blocks.(n) in
+  let byte = bit / 8 in
+  Bytes.set block byte (Char.chr (Char.code (Bytes.get block byte) lxor (1 lsl (bit mod 8))))
+
 let read t n =
   check t n;
   (match Sp_fault.consult ~point:"disk.read" ~label:t.label with
@@ -50,8 +58,9 @@ let read t n =
       charge t n;
       raise (Sp_core.Fserr.Io_error msg)
   | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
+  | Sp_fault.Bit_rot fraction -> rot_block t n fraction
   | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Dropped _
-  | Sp_fault.Domain_died _ ->
+  | Sp_fault.Domain_died _ | Sp_fault.Misdirected _ | Sp_fault.Lost_write_ack ->
       (* not meaningful for a read; ignore *)
       ());
   charge t n;
@@ -74,6 +83,14 @@ let write t n data =
     let keep = max 0 (min len (int_of_float (fraction *. float_of_int len))) in
     Bytes.blit data 0 t.blocks.(n) 0 keep
   in
+  let store m =
+    charge t m;
+    t.writes <- t.writes + 1;
+    Sp_sim.Metrics.incr_disk_writes ();
+    let block = t.blocks.(m) in
+    Bytes.fill block 0 block_size '\000';
+    Bytes.blit data 0 block 0 (Bytes.length data)
+  in
   match Sp_fault.consult ~point:"disk.write" ~label:t.label with
   | Sp_fault.Fail_io msg ->
       charge t n;
@@ -82,17 +99,27 @@ let write t n data =
   | Sp_fault.Torn_crash fraction ->
       torn_write fraction;
       raise (Sp_fault.Crash (Printf.sprintf "crash after torn write to %s[%d]" t.label n))
+  | Sp_fault.Bit_rot fraction ->
+      (* the data rots on its way to the platter *)
+      store n;
+      rot_block t n fraction
+  | Sp_fault.Misdirected fraction ->
+      (* the block lands at a wrong LBA; the intended block is untouched *)
+      let count = Array.length t.blocks in
+      let m = min (count - 1) (int_of_float (fraction *. float_of_int count)) in
+      let m = if m = n then (m + 1) mod count else m in
+      store m
+  | Sp_fault.Lost_write_ack ->
+      (* acked and charged, but nothing reaches the media *)
+      charge t n;
+      t.writes <- t.writes + 1;
+      Sp_sim.Metrics.incr_disk_writes ()
   | (Sp_fault.Pass | Sp_fault.Delayed _ | Sp_fault.Dropped _
     | Sp_fault.Domain_died _) as outcome ->
       (match outcome with
       | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
       | _ -> ());
-      charge t n;
-      t.writes <- t.writes + 1;
-      Sp_sim.Metrics.incr_disk_writes ();
-      let block = t.blocks.(n) in
-      Bytes.fill block 0 block_size '\000';
-      Bytes.blit data 0 block 0 (Bytes.length data)
+      store n
 
 let stats t = { reads = t.reads; writes = t.writes; seeks = t.seeks }
 

@@ -23,14 +23,18 @@ val block_count : t -> int
 (** [read t n] returns a copy of block [n].  Raises [Invalid_argument] on
     out-of-range indices.  Consults the armed {!Sp_fault} plan at point
     ["disk.read"] (label = the disk's label): injected faults surface as
-    [Sp_core.Fserr.Io_error] or [Sp_fault.Crash]. *)
+    [Sp_core.Fserr.Io_error] or [Sp_fault.Crash]; a [Bitrot] fault flips
+    one bit of the stored block (persistently) and returns success. *)
 val read : t -> int -> bytes
 
 (** [write t n data] stores [data] (at most one block; shorter data is
     zero-padded) into block [n].  Consults {!Sp_fault} at ["disk.write"]:
     besides [Io_error]/[Crash], a torn-write fault persists only a prefix
     of [data] and leaves the tail of the previous block contents in
-    place. *)
+    place; [Bitrot] stores the data with one bit flipped;
+    [Misdirected_write] stores it at some other block, leaving [n]
+    untouched; [Lost_write] acks (and charges) without storing anything.
+    The last three report success — only checksums can tell. *)
 val write : t -> int -> bytes -> unit
 
 val stats : t -> stats

@@ -6,6 +6,7 @@ exception Directory_not_empty of string
 exception No_space of string
 exception Read_only of string
 exception Io_error of string
+exception Checksum_error of string
 exception Dead_domain = Sp_obj.Sdomain.Dead_domain
 
 let to_string = function
@@ -17,5 +18,6 @@ let to_string = function
   | No_space what -> "no space: " ^ what
   | Read_only what -> "read-only: " ^ what
   | Io_error what -> "i/o error: " ^ what
+  | Checksum_error what -> "checksum error: " ^ what
   | Dead_domain who -> "dead domain: " ^ who
   | e -> Printexc.to_string e

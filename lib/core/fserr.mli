@@ -14,6 +14,13 @@ exception Read_only of string
 
 exception Io_error of string
 
+(** Stored data does not match its recorded checksum: silent corruption
+    (bit rot, a misdirected or lost write) detected on read.  Distinct
+    from {!Io_error} — the device answered, but with the wrong bytes.
+    Mirrorfs catches this to serve from the healthy twin and rewrite the
+    bad one. *)
+exception Checksum_error of string
+
 (** The domain serving the invoked object has fail-stopped (alias of
     [Sp_obj.Sdomain.Dead_domain], raised by the door itself).  Layers
     never catch this; [Sp_supervise.call] turns it into a supervised

@@ -23,7 +23,8 @@ let attempt t ~src ~dst ~bytes f =
       Sp_sim.Simclock.advance model.net_rtt_ns;
       raise (Timeout msg)
   | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
-  | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Domain_died _ -> ());
+  | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Domain_died _
+    | Sp_fault.Bit_rot _ | Sp_fault.Misdirected _ | Sp_fault.Lost_write_ack -> ());
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + bytes;
   Sp_sim.Metrics.incr_net_messages ();

@@ -34,6 +34,9 @@ type fault =
   | Drop
   | Delay of int
   | Domain_crash
+  | Bitrot
+  | Misdirected_write
+  | Lost_write
 
 type rule = {
   r_point : string;
@@ -103,6 +106,9 @@ type outcome =
   | Dropped of string
   | Delayed of int
   | Domain_died of string
+  | Bit_rot of float
+  | Misdirected of float
+  | Lost_write_ack
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -119,6 +125,9 @@ let describe = function
   | Drop -> "drop"
   | Delay ns -> Printf.sprintf "delay(%dns)" ns
   | Domain_crash -> "domain_crash"
+  | Bitrot -> "bitrot"
+  | Misdirected_write -> "misdirected_write"
+  | Lost_write -> "lost_write"
 
 let fire p ~point ~label fault =
   p.p_fired <- p.p_fired + 1;
@@ -136,6 +145,9 @@ let fire p ~point ~label fault =
   | Drop -> Dropped ("injected drop at " ^ where)
   | Delay ns -> Delayed ns
   | Domain_crash -> Domain_died where
+  | Bitrot -> Bit_rot (Rng.float p.p_rng)
+  | Misdirected_write -> Misdirected (Rng.float p.p_rng)
+  | Lost_write -> Lost_write_ack
 
 let consult ~point ~label =
   match !armed with

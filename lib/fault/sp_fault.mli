@@ -53,6 +53,19 @@ type fault =
           [Fserr.Dead_domain].  Unlike {!Fail_stop}, the rest of the
           machine keeps running — recovery is a supervised layer
           restart, not a reboot. *)
+  | Bitrot
+      (** silent corruption at rest: one bit of the stored block flips
+          (persistently) before a [disk.read] returns it, or in the data
+          as a [disk.write] stores it.  The device reports success;
+          only checksums can tell. *)
+  | Misdirected_write
+      (** the block lands at a wrong LBA: some other block is
+          overwritten with the data, the intended block is untouched,
+          and the device acks.  Both the victim and the stale intended
+          block are silently wrong. *)
+  | Lost_write
+      (** the write is acked (and charged) but no bytes reach the
+          media; the previous contents survive unchanged. *)
 
 type rule
 
@@ -108,6 +121,11 @@ type outcome =
   | Dropped of string
   | Delayed of int
   | Domain_died of string  (** the serving domain fail-stopped *)
+  | Bit_rot of float
+      (** flip the bit at this fraction of the block's bit positions *)
+  | Misdirected of float
+      (** redirect the write to this fraction of the device's blocks *)
+  | Lost_write_ack  (** ack the write without storing anything *)
 
 val consult : point:string -> label:string -> outcome
 (** Called by injection points on every operation.  Returns {!Pass} when

@@ -1,0 +1,308 @@
+(* Silent-corruption sweep: the checksum counterpart of
+   [Sp_sfs.Crash_sweep].  Instead of crashing the machine at every device
+   write, it injects one silent corruption fault — bit rot, a misdirected
+   write, a lost write — at every device I/O of a seeded workload, then
+   checks what the system made of it.  The invariant: corrupted bytes are
+   never served as good data.  Every point must end detected (a
+   [Checksum_error] or other loud failure), repaired (the mirror healed
+   it), or absorbed (the damage was overwritten or freed before anyone
+   could read it) — a [Silent] outcome, where read-back data differs from
+   what was written with no error anywhere, is the failure the checksums
+   exist to rule out. *)
+
+module File = Sp_core.File
+module Stackable = Sp_core.Stackable
+module Disk = Sp_blockdev.Disk
+module Disk_layer = Sp_sfs.Disk_layer
+module Fsck = Sp_sfs.Fsck
+module Rng = Sp_fault.Rng
+module Sname = Sp_naming.Sname
+
+type kind = Bitrot | Misdirected | Lost
+
+type outcome =
+  | Absorbed
+  | Detected of string
+  | Repaired
+  | Silent of string
+
+type report = {
+  cr_kind : kind;
+  cr_checksums : bool;
+  cr_mirror : bool;
+  cr_ops : int;
+  cr_seed : int;
+  cr_io : int;
+  cr_points : int;
+  cr_absorbed : int;
+  cr_detected : int;
+  cr_repaired : int;
+  cr_silent : int;
+  cr_first_silent : (int * string) option;
+}
+
+let kind_name = function
+  | Bitrot -> "bitrot"
+  | Misdirected -> "misdirected"
+  | Lost -> "lost"
+
+(* Which device op the fault hooks, and the fault itself. *)
+let point_of = function Bitrot -> "disk.read" | Misdirected | Lost -> "disk.write"
+
+let fault_of = function
+  | Bitrot -> Sp_fault.Bitrot
+  | Misdirected -> Sp_fault.Misdirected_write
+  | Lost -> Sp_fault.Lost_write
+
+let disk_blocks = 1024
+let n_files = 6
+let max_pos = 12288
+let max_write = 4096
+
+type sim = {
+  top : Stackable.t;  (* where the workload runs: the volume or the mirror *)
+  expected : (string, bytes) Hashtbl.t;
+}
+
+let write_step st rng =
+  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+  let path = Sname.of_components [ name ] in
+  let pos = Rng.int rng max_pos in
+  let len = 1 + Rng.int rng max_write in
+  let base = Rng.int rng 256 in
+  let data = Bytes.init len (fun i -> Char.chr ((base + i) land 0xff)) in
+  let f =
+    if Hashtbl.mem st.expected name then Stackable.open_file st.top path
+    else begin
+      let f = Stackable.create st.top path in
+      Hashtbl.replace st.expected name Bytes.empty;
+      f
+    end
+  in
+  ignore (File.write f ~pos data);
+  let old = Hashtbl.find st.expected name in
+  let buf = Bytes.make (max (Bytes.length old) (pos + len)) '\000' in
+  Bytes.blit old 0 buf 0 (Bytes.length old);
+  Bytes.blit data 0 buf pos len;
+  Hashtbl.replace st.expected name buf
+
+(* Reads deliberately discard their results: the sweep never lets the
+   application "notice" corruption by comparing — detection must come
+   from the system (checksums raising, fsck flagging), or it does not
+   count. *)
+let read_step st rng =
+  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+  if Hashtbl.mem st.expected name then
+    ignore (File.read_all (Stackable.open_file st.top (Sname.of_components [ name ])))
+
+let remove_step st rng =
+  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+  if Hashtbl.mem st.expected name then begin
+    Stackable.remove st.top (Sname.of_components [ name ]);
+    Hashtbl.remove st.expected name
+  end
+
+let run_ops st rng ops =
+  for i = 1 to ops do
+    (match Rng.int rng 12 with
+    | 8 | 9 -> read_step st rng
+    | 10 -> remove_step st rng
+    | 11 -> Stackable.sync st.top
+    | _ -> write_step st rng);
+    if i mod 5 = 0 then Stackable.sync st.top
+  done;
+  Stackable.sync st.top
+
+let label ~kind ~checksums ~mirror ~seed =
+  Printf.sprintf "corr-%s%c%c%d" (kind_name kind)
+    (if checksums then 'c' else 'n')
+    (if mirror then 'm' else 's')
+    seed
+
+(* A loud failure: the system refused to serve or even mount the damaged
+   bytes.  [Sp_fault.Crash] is absent on purpose — this sweep injects no
+   crash faults, so one escaping would be a harness bug. *)
+let loud = function
+  | Sp_core.Fserr.Checksum_error _ | Sp_core.Fserr.Io_error _
+  | Sp_core.Fserr.No_such_file _ | Sp_core.Fserr.Not_a_directory _
+  | Sp_core.Fserr.Is_directory _ | Sp_core.Fserr.No_space _
+  | Invalid_argument _ | Failure _ ->
+      true
+  | _ -> false
+
+type setup = {
+  s_disks : Disk.t list;  (* fault target first *)
+  s_sim : sim;
+  s_mirror : Stackable.t option;
+  s_vmm : Sp_vm.Vmm.t option;
+  s_label : string;  (* disk label the fault rule targets *)
+}
+
+let setup ~kind ~checksums ~mirror ~seed =
+  let lbl = label ~kind ~checksums ~mirror ~seed in
+  if not mirror then begin
+    let disk = Disk.create ~label:lbl ~blocks:disk_blocks () in
+    Disk_layer.mkfs ~journal:true ~checksums disk;
+    let fs = Disk_layer.mount ~name:lbl disk in
+    {
+      s_disks = [ disk ];
+      s_sim = { top = fs; expected = Hashtbl.create 8 };
+      s_mirror = None;
+      s_vmm = None;
+      s_label = lbl;
+    }
+  end
+  else begin
+    let disk_a = Disk.create ~label:(lbl ^ "A") ~blocks:disk_blocks () in
+    let disk_b = Disk.create ~label:(lbl ^ "B") ~blocks:disk_blocks () in
+    Disk_layer.mkfs ~journal:true ~checksums disk_a;
+    Disk_layer.mkfs ~journal:true ~checksums disk_b;
+    let fs_a = Disk_layer.mount ~name:(lbl ^ "A") disk_a in
+    let fs_b = Disk_layer.mount ~name:(lbl ^ "B") disk_b in
+    let vmm = Sp_vm.Vmm.create ~node:"local" (lbl ^ "-vmm") in
+    let m = Sp_mirrorfs.Mirrorfs.make ~vmm ~name:(lbl ^ "-m") () in
+    Stackable.stack_on m fs_a;
+    Stackable.stack_on m fs_b;
+    {
+      s_disks = [ disk_a; disk_b ];
+      s_sim = { top = m; expected = Hashtbl.create 8 };
+      s_mirror = Some m;
+      s_vmm = Some vmm;
+      s_label = lbl ^ "A";  (* corruption always strikes the primary twin *)
+    }
+  end
+
+(* Device I/Os of the faulted kind the workload performs — the number of
+   injection points a sweep visits. *)
+let workload_io ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed () =
+  let s = setup ~kind ~checksums ~mirror ~seed in
+  let target = List.hd s.s_disks in
+  let before = Disk.stats target in
+  run_ops s.s_sim (Rng.create seed) ops;
+  let after = Disk.stats target in
+  match point_of kind with
+  | "disk.read" -> after.Disk.reads - before.Disk.reads
+  | _ -> after.Disk.writes - before.Disk.writes
+
+let compare_expected st top =
+  let want =
+    Hashtbl.fold (fun name data acc -> (name, data) :: acc) st.expected []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let got = List.sort String.compare (Stackable.listdir top (Sname.of_components [])) in
+  if got <> List.map fst want then
+    Some
+      (Printf.sprintf "file set {%s} <> {%s}" (String.concat "," got)
+         (String.concat "," (List.map fst want)))
+  else
+    List.find_map
+      (fun (name, data) ->
+        let back = File.read_all (Stackable.open_file top (Sname.of_components [ name ])) in
+        if Bytes.equal back data then None
+        else Some (Printf.sprintf "%s: read back %d byte(s) differing from what was written" name (Bytes.length back)))
+      want
+
+let run_point ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed ~at () =
+  let s = setup ~kind ~checksums ~mirror ~seed in
+  let plan =
+    Sp_fault.plan ~seed:(seed + at)
+      [
+        Sp_fault.rule ~point:(point_of kind) ~label:s.s_label ~after:(at - 1)
+          ~count:1 (fault_of kind);
+      ]
+  in
+  let attempt () =
+    (* Phase 1: the workload, with the fault armed. *)
+    Sp_fault.with_plan plan (fun () -> run_ops s.s_sim (Rng.create seed) ops);
+    (* Phase 2: verification, disarmed.  Reads must reach stored bytes. *)
+    match s.s_mirror with
+    | Some m -> (
+        Option.iter Sp_vm.Vmm.drop_caches s.s_vmm;
+        Stackable.drop_caches m;
+        match compare_expected s.s_sim m with
+        | Some divergence -> Silent divergence
+        | None ->
+            if Sp_mirrorfs.Mirrorfs.repairs m > 0 then Repaired else Absorbed)
+    | None -> (
+        let disk = List.hd s.s_disks in
+        match Fsck.check ~verify_checksums:checksums disk with
+        | p :: rest ->
+            Detected
+              (Format.asprintf "fsck: %a%s" Fsck.pp_problem p
+                 (if rest = [] then ""
+                  else Printf.sprintf " (+%d more)" (List.length rest)))
+        | [] -> (
+            let fs2 = Disk_layer.mount ~name:(s.s_label ^ "-v") disk in
+            match compare_expected s.s_sim fs2 with
+            | Some divergence -> Silent divergence
+            | None -> Absorbed))
+  in
+  match attempt () with
+  | outcome -> outcome
+  | exception e when loud e -> Detected (Sp_core.Fserr.to_string e)
+
+let sweep ?(stride = 1) ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed () =
+  if stride < 1 then invalid_arg "Corruption_sweep.sweep: stride must be >= 1";
+  let io = workload_io ~checksums ~mirror ~kind ~ops ~seed () in
+  let absorbed = ref 0 and detected = ref 0 and repaired = ref 0 and silent = ref 0 in
+  let points = ref 0 in
+  let first_silent = ref None in
+  let at = ref 1 in
+  while !at <= io do
+    incr points;
+    (match run_point ~checksums ~mirror ~kind ~ops ~seed ~at:!at () with
+    | Absorbed -> incr absorbed
+    | Detected _ -> incr detected
+    | Repaired -> incr repaired
+    | Silent msg ->
+        incr silent;
+        if !first_silent = None then first_silent := Some (!at, msg));
+    at := !at + stride
+  done;
+  {
+    cr_kind = kind;
+    cr_checksums = checksums;
+    cr_mirror = mirror;
+    cr_ops = ops;
+    cr_seed = seed;
+    cr_io = io;
+    cr_points = !points;
+    cr_absorbed = !absorbed;
+    cr_detected = !detected;
+    cr_repaired = !repaired;
+    cr_silent = !silent;
+    cr_first_silent = !first_silent;
+  }
+
+let pp_outcome ppf = function
+  | Absorbed -> Format.fprintf ppf "absorbed"
+  | Detected msg -> Format.fprintf ppf "detected (%s)" msg
+  | Repaired -> Format.fprintf ppf "repaired"
+  | Silent msg -> Format.fprintf ppf "SILENT (%s)" msg
+
+let summary r =
+  Printf.sprintf
+    "SCRUB-SWEEP kind=%s checksums=%s mirror=%s points=%d absorbed=%d \
+     detected=%d repaired=%d silent=%d"
+    (kind_name r.cr_kind)
+    (if r.cr_checksums then "on" else "off")
+    (if r.cr_mirror then "on" else "off")
+    r.cr_points r.cr_absorbed r.cr_detected r.cr_repaired r.cr_silent
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>corruption sweep: kind=%s checksums=%s mirror=%s ops=%d seed=%d@,\
+     device %s swept: %d (%d injection points)@,\
+     absorbed %d   detected %d   repaired %d   silent %d@]"
+    (kind_name r.cr_kind)
+    (if r.cr_checksums then "on" else "off")
+    (if r.cr_mirror then "on" else "off")
+    r.cr_ops r.cr_seed
+    (match point_of r.cr_kind with "disk.read" -> "reads" | _ -> "writes")
+    r.cr_io r.cr_points r.cr_absorbed r.cr_detected r.cr_repaired r.cr_silent;
+  match r.cr_first_silent with
+  | Some (at, msg) ->
+      Format.fprintf ppf "@,first silent corruption at %s %d: %s"
+        (match point_of r.cr_kind with "disk.read" -> "read" | _ -> "write")
+        at msg
+  | None -> ()

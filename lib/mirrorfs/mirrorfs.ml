@@ -4,6 +4,16 @@ let ps = V.page_size
 
 type replica = Primary | Secondary
 
+(* The file pair backing one exported file.  The lower handles are
+   mutable: when a replica fails during create/open the survivor's handle
+   stands in for it, and [repair] swaps a real handle back. *)
+type pair = {
+  p_key : string;
+  mutable p_prim : Sp_core.File.t;
+  mutable p_sec : Sp_core.File.t;
+  p_state : Sp_coherency.Mrsw.t;
+}
+
 type layer = {
   l_name : string;
   l_domain : Sp_obj.Sdomain.t;
@@ -12,8 +22,10 @@ type layer = {
   mutable l_secondary : Sp_core.Stackable.t option;
   mutable l_degraded : replica option;
   mutable l_failovers : int;
+  mutable l_repairs : int;
   l_channels : Sp_vm.Pager_lib.t;
   l_wrapped : (string, Sp_core.File.t) Hashtbl.t;  (* by path-independent key *)
+  l_pairs : (string, pair) Hashtbl.t;  (* same keys; for [repair] *)
 }
 
 let instances : (string, layer) Hashtbl.t = Hashtbl.create 4
@@ -28,16 +40,29 @@ let replicas l =
   | Some p, Some s -> (p, s)
   | _ -> raise (Sp_core.Stackable.Stack_error (l.l_name ^ ": needs two underlays"))
 
-(* The file pair backing one exported file. *)
-type pair = {
-  p_key : string;
-  p_prim : Sp_core.File.t;
-  p_sec : Sp_core.File.t;
-  p_state : Sp_coherency.Mrsw.t;
-}
-
 let read_source l pair =
   match l.l_degraded with Some Primary -> pair.p_sec | _ -> pair.p_prim
+
+let replica_name = function Primary -> "primary" | Secondary -> "secondary"
+
+(* Copy [data] over [target], replacing whatever (possibly corrupt)
+   content it held. *)
+let overwrite target data =
+  Sp_core.File.truncate target 0;
+  if Bytes.length data > 0 then ignore (Sp_core.File.write target ~pos:0 data);
+  Sp_core.File.sync target
+
+let note_repair l ~file which reason =
+  l.l_repairs <- l.l_repairs + 1;
+  Sp_sim.Metrics.incr_integrity_repairs ();
+  if Sp_trace.enabled () then
+    Sp_trace.instant ~name:"scrub.repair"
+      ~args:
+        [
+          ("layer", l.l_name); ("file", file); ("replica", replica_name which);
+          ("reason", reason);
+        ]
+      ()
 
 (* Automatic failover: an [Fserr.Io_error] from a replica (e.g. injected
    by [Sp_fault]) marks it degraded, exactly as [set_degraded] would, and
@@ -56,12 +81,69 @@ let note_failover l which reason =
         ]
       ()
 
+(* Self-healing: [bad]'s stored bytes failed checksum verification but the
+   other twin read clean — rewrite the bad twin from the good copy.  If
+   the rewrite itself fails, fall back to degrading the bad replica, the
+   same as an outright device failure. *)
+let heal l pair ~bad ~good reason =
+  let bad_f = match bad with Primary -> pair.p_prim | Secondary -> pair.p_sec in
+  match overwrite bad_f (Sp_core.File.read_all good) with
+  | () -> note_repair l ~file:pair.p_key bad reason
+  | exception (Sp_core.Fserr.Io_error _ | Sp_core.Fserr.Checksum_error _) ->
+      note_failover l bad reason
+
+(* Run the same create/open/mkdir/remove against both lower file systems,
+   tolerating the loss of one.  A degraded twin is never touched — its
+   directory tree is stale until [repair] reconciles it, so probing it
+   risks spurious [Already_exists]/[No_such_file] noise.  While both are
+   live, a device or checksum failure on either side degrades that
+   replica (directory metadata has no per-file heal path) and the
+   survivor's result stands in for the missing one.  The stand-in handle
+   is never reached while degraded — [read_source] and [each_target]
+   route around the failed replica — and [repair] swaps real lower
+   handles back in before the twin is trusted again.  When no replica
+   survives, the error propagates. *)
+let dual_acquire l ~prim_op ~sec_op =
+  match l.l_degraded with
+  | Some Primary ->
+      let s = sec_op () in
+      (s, s)
+  | Some Secondary ->
+      let p = prim_op () in
+      (p, p)
+  | None -> (
+      let attempt op =
+        match op () with
+        | f -> Ok f
+        | exception ((Sp_core.Fserr.Io_error r | Sp_core.Fserr.Checksum_error r) as e)
+          ->
+            Error (r, e)
+      in
+      let on_prim = attempt prim_op in
+      let on_sec = attempt sec_op in
+      match (on_prim, on_sec) with
+      | Ok p, Ok s -> (p, s)
+      | Ok p, Error (reason, _) ->
+          note_failover l Secondary reason;
+          (p, p)
+      | Error (reason, _), Ok s ->
+          note_failover l Primary reason;
+          (s, s)
+      | Error (_, e), Error _ -> raise e)
+
 let with_read l pair f =
   match f (read_source l pair) with
   | v -> v
   | exception Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
       note_failover l Primary reason;
       f pair.p_sec
+  | exception Sp_core.Fserr.Checksum_error reason when l.l_degraded = None ->
+      (* Silent corruption on the primary: serve the read from the
+         secondary, then rewrite the primary's bad copy in place —
+         redundancy is restored without degrading anything. *)
+      let v = f pair.p_sec in
+      heal l pair ~bad:Primary ~good:pair.p_sec reason;
+      v
 
 (* Apply [f] to every live replica of the pair.  A replica whose write
    fails is degraded as long as the other one took the write; when no
@@ -78,7 +160,8 @@ let each_target l pair f =
       (fun (which, file) ->
         match f file with
         | () -> None
-        | exception Sp_core.Fserr.Io_error reason -> Some (which, reason))
+        | exception Sp_core.Fserr.Io_error reason -> Some (which, reason)
+        | exception Sp_core.Fserr.Checksum_error reason -> Some (which, reason))
       targets
   in
   match failures with
@@ -166,6 +249,7 @@ let truncate_pair l pair len =
   each_target l pair (fun f -> Sp_core.File.truncate f len)
 
 let wrap_pair l pair =
+  Hashtbl.replace l.l_pairs pair.p_key pair;
   let mem =
     {
       V.m_domain = l.l_domain;
@@ -215,9 +299,12 @@ let rec make_ctx l ~path =
     let sub = Sp_naming.Sname.append path component in
     let source = match l.l_degraded with Some Primary -> sec | _ -> prim in
     let resolved =
+      (* Directory metadata has no per-file heal path: a checksum failure
+         while resolving degrades the replica, exactly like an I/O error. *)
       match Sp_naming.Context.resolve source.Sp_core.Stackable.sfs_ctx sub with
       | r -> r
-      | exception Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+      | exception (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+        when l.l_degraded = None ->
           note_failover l Primary reason;
           Sp_naming.Context.resolve sec.Sp_core.Stackable.sfs_ctx sub
     in
@@ -233,15 +320,10 @@ let rec make_ctx l ~path =
             Sp_sim.Simclock.advance (Sp_sim.Cost_model.current ()).open_state_ns;
             Sp_core.File.File f
         | None ->
-            let p_prim = Sp_core.Stackable.open_file prim sub in
-            let p_sec =
-              match Sp_core.Stackable.open_file sec sub with
-              | f -> f
-              | exception Sp_core.Fserr.No_such_file _ when l.l_degraded = Some Secondary
-                ->
-                  (* Secondary lost the file during an outage: recreate it
-                     empty; repair will fill it. *)
-                  Sp_core.Stackable.create sec sub
+            let p_prim, p_sec =
+              dual_acquire l
+                ~prim_op:(fun () -> Sp_core.Stackable.open_file prim sub)
+                ~sec_op:(fun () -> Sp_core.Stackable.open_file sec sub)
             in
             let f = wrap_pair l { p_key = key; p_prim; p_sec; p_state = Sp_coherency.Mrsw.create () } in
             Hashtbl.replace l.l_wrapped key f;
@@ -254,7 +336,8 @@ let rec make_ctx l ~path =
     let source = match l.l_degraded with Some Primary -> sec | _ -> prim in
     match Sp_naming.Context.list source.Sp_core.Stackable.sfs_ctx path with
     | listing -> listing
-    | exception Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+    | exception (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+      when l.l_degraded = None ->
         note_failover l Primary reason;
         Sp_naming.Context.list sec.Sp_core.Stackable.sfs_ctx path
   in
@@ -270,16 +353,30 @@ let rec make_ctx l ~path =
       (fun component ->
         let prim, sec = replicas l in
         let sub = Sp_naming.Sname.append path component in
-        Sp_vm.Pager_lib.destroy_key l.l_channels
-          ~key:(Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string sub));
-        Hashtbl.remove l.l_wrapped
-          (Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string sub));
+        let key =
+          Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string sub)
+        in
+        Sp_vm.Pager_lib.destroy_key l.l_channels ~key;
+        Hashtbl.remove l.l_wrapped key;
+        Hashtbl.remove l.l_pairs key;
         (match l.l_degraded with
         | Some Primary -> ()
-        | _ -> Sp_core.Stackable.remove prim sub);
+        | _ -> (
+            try Sp_core.Stackable.remove prim sub
+            with
+            | (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+            when l.l_degraded = None
+            ->
+              note_failover l Primary reason));
         match l.l_degraded with
         | Some Secondary -> ()
-        | _ -> ( try Sp_core.Stackable.remove sec sub with Sp_core.Fserr.No_such_file _ -> ()));
+        | _ -> (
+            try Sp_core.Stackable.remove sec sub with
+            | Sp_core.Fserr.No_such_file _ -> ()
+            | (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+            when l.l_degraded = None
+            ->
+              note_failover l Secondary reason));
     ctx_list = list;
   }
 
@@ -296,8 +393,10 @@ let make ?(node = "local") ?domain ~vmm ~name () =
       l_secondary = None;
       l_degraded = None;
       l_failovers = 0;
+      l_repairs = 0;
       l_channels = Sp_vm.Pager_lib.create ();
       l_wrapped = Hashtbl.create 16;
+      l_pairs = Hashtbl.create 16;
     }
   in
   Hashtbl.replace instances name l;
@@ -324,25 +423,34 @@ let make ?(node = "local") ?domain ~vmm ~name () =
         let key =
           Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path)
         in
-        let p_prim = Sp_core.Stackable.create prim path in
-        let p_sec = Sp_core.Stackable.create sec path in
+        let p_prim, p_sec =
+          dual_acquire l
+            ~prim_op:(fun () -> Sp_core.Stackable.create prim path)
+            ~sec_op:(fun () -> Sp_core.Stackable.create sec path)
+        in
         let f = wrap_pair l { p_key = key; p_prim; p_sec; p_state = Sp_coherency.Mrsw.create () } in
         Hashtbl.replace l.l_wrapped key f;
         f);
     sfs_mkdir =
       (fun path ->
         let prim, sec = replicas l in
-        Sp_core.Stackable.mkdir prim path;
-        Sp_core.Stackable.mkdir sec path);
+        ignore
+          (dual_acquire l
+             ~prim_op:(fun () -> Sp_core.Stackable.mkdir prim path)
+             ~sec_op:(fun () -> Sp_core.Stackable.mkdir sec path)));
     sfs_remove =
       (fun path ->
         let prim, sec = replicas l in
-        Sp_vm.Pager_lib.destroy_key l.l_channels
-          ~key:(Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path));
-        Hashtbl.remove l.l_wrapped
-          (Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path));
-        Sp_core.Stackable.remove prim path;
-        Sp_core.Stackable.remove sec path);
+        let key =
+          Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path)
+        in
+        Sp_vm.Pager_lib.destroy_key l.l_channels ~key;
+        Hashtbl.remove l.l_wrapped key;
+        Hashtbl.remove l.l_pairs key;
+        ignore
+          (dual_acquire l
+             ~prim_op:(fun () -> Sp_core.Stackable.remove prim path)
+             ~sec_op:(fun () -> Sp_core.Stackable.remove sec path)));
     sfs_sync =
       (fun () ->
         Hashtbl.iter (fun _ f -> Sp_core.File.sync f) l.l_wrapped;
@@ -351,19 +459,44 @@ let make ?(node = "local") ?domain ~vmm ~name () =
         | Some Primary -> ()
         | _ -> (
             try Sp_core.Stackable.sync prim
-            with Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+            with
+            | (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+            when l.l_degraded = None
+            ->
               note_failover l Primary reason));
         match l.l_degraded with
         | Some Secondary -> ()
         | _ -> (
             try Sp_core.Stackable.sync sec
-            with Sp_core.Fserr.Io_error reason when l.l_degraded = None ->
+            with
+            | (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+            when l.l_degraded = None
+            ->
               note_failover l Secondary reason));
     sfs_drop_caches =
       (fun () ->
+        (* A degraded replica is out of service: flushing its caches would
+           touch the very metadata that failed, so route around it until
+           [repair] brings it back. *)
         let prim, sec = replicas l in
-        Sp_core.Stackable.drop_caches prim;
-        Sp_core.Stackable.drop_caches sec);
+        (match l.l_degraded with
+        | Some Primary -> ()
+        | _ -> (
+            try Sp_core.Stackable.drop_caches prim
+            with
+            | (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+            when l.l_degraded = None
+            ->
+              note_failover l Primary reason));
+        match l.l_degraded with
+        | Some Secondary -> ()
+        | _ -> (
+            try Sp_core.Stackable.drop_caches sec
+            with
+            | (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+            when l.l_degraded = None
+            ->
+              note_failover l Secondary reason));
   }
 
 let creator ?(node = "local") ~vmm () =
@@ -375,6 +508,7 @@ let creator ?(node = "local") ~vmm () =
 let set_degraded sfs replica = (layer_of sfs).l_degraded <- replica
 let degraded sfs = (layer_of sfs).l_degraded
 let failovers sfs = (layer_of sfs).l_failovers
+let repairs sfs = (layer_of sfs).l_repairs
 
 let lower_pair sfs path =
   let l = layer_of sfs in
@@ -384,6 +518,56 @@ let lower_pair sfs path =
 let verify sfs path =
   let fp, fs = lower_pair sfs path in
   Bytes.equal (Sp_core.File.read_all fp) (Sp_core.File.read_all fs)
+
+(* Background scrub: walk every file, read both twins from their devices
+   (caches dropped first so verification actually reaches stored bytes),
+   and heal divergence.  A checksum failure identifies the wrong twin
+   directly; when both read clean but differ — a lost write leaves stale
+   data whose old checksum still matches — the non-degraded twin is
+   authoritative, as in {!repair}. *)
+let scrub sfs =
+  let l = layer_of sfs in
+  let prim, sec = replicas l in
+  Sp_core.Stackable.drop_caches prim;
+  Sp_core.Stackable.drop_caches sec;
+  let repaired = ref 0 in
+  let read_clean f =
+    match Sp_core.File.read_all f with
+    | data -> Some data
+    | exception Sp_core.Fserr.Checksum_error _ -> None
+  in
+  let fix path target which data =
+    overwrite target data;
+    incr repaired;
+    note_repair l ~file:(Sp_naming.Sname.to_string path) which "scrub"
+  in
+  let scrub_file path =
+    let fp = Sp_core.Stackable.open_file prim path in
+    let fs = Sp_core.Stackable.open_file sec path in
+    match (read_clean fp, read_clean fs) with
+    | Some p, Some s ->
+        if not (Bytes.equal p s) then (
+          match l.l_degraded with
+          | Some Primary -> fix path fp Primary s
+          | _ -> fix path fs Secondary p)
+    | None, Some s -> fix path fp Primary s
+    | Some p, None -> fix path fs Secondary p
+    | None, None -> ()
+    (* both twins damaged: nothing trustworthy to heal from; reads keep
+       raising Checksum_error, which is detection, not silence *)
+  in
+  let rec walk path =
+    List.iter
+      (fun component ->
+        let sub = Sp_naming.Sname.append path component in
+        match Sp_naming.Context.resolve prim.Sp_core.Stackable.sfs_ctx sub with
+        | Sp_naming.Context.Context _ -> walk sub
+        | Sp_core.File.File _ -> scrub_file sub
+        | _ -> ())
+      (Sp_naming.Context.list prim.Sp_core.Stackable.sfs_ctx path)
+  in
+  walk (Sp_naming.Sname.of_components []);
+  !repaired
 
 let repair sfs path =
   let l = layer_of sfs in
@@ -401,6 +585,17 @@ let repair sfs path =
   Sp_core.File.truncate target 0;
   ignore (Sp_core.File.write target ~pos:0 data);
   Sp_core.File.sync target;
+  (* A pair opened or created while the twin was down carries the
+     survivor's handle in the failed slot; now that the twin holds the
+     file again, swap the real lower handles back in. *)
+  (match
+     Hashtbl.find_opt l.l_pairs
+       (Printf.sprintf "mirrorfs:%s:%s" l.l_name (Sp_naming.Sname.to_string path))
+   with
+  | Some pair ->
+      pair.p_prim <- Sp_core.Stackable.open_file prim path;
+      pair.p_sec <- Sp_core.Stackable.open_file sec path
+  | None -> ());
   (* The twin is whole again: clear the degraded mark so a *later*
      failure of either replica can fail over afresh instead of being
      treated as a second fault on an already-degraded mirror. *)

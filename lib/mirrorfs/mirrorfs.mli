@@ -10,7 +10,14 @@
     replica can complete the operation; the error only propagates when
     both replicas fail.  [verify] compares replicas and [repair] copies
     the healthy replica over the other, restoring redundancy after an
-    outage. *)
+    outage.
+
+    Silent corruption is handled differently from device failure: a
+    replica that raises [Fserr.Checksum_error] on a read is {e healed} in
+    place — the read completes from the clean twin and the bad copy is
+    rewritten from it, without degrading anything ([repairs] counts these,
+    and each emits a ["scrub.repair"] trace instant).  [scrub] does the
+    same proactively for every file. *)
 
 type replica = Primary | Secondary
 
@@ -34,6 +41,20 @@ val degraded : Sp_core.Stackable.t -> replica option
 (** How many times this layer degraded a replica automatically after an
     [Fserr.Io_error] (manual {!set_degraded} calls are not counted). *)
 val failovers : Sp_core.Stackable.t -> int
+
+(** How many times a checksum-failing replica copy was rewritten from its
+    clean twin (read-path self-healing plus {!scrub} repairs). *)
+val repairs : Sp_core.Stackable.t -> int
+
+(** Walk every file, drop caches so reads reach stored bytes, and compare
+    the twins: a copy that fails checksum verification — or, when both
+    read clean but differ (a lost write leaves stale data under a stale
+    but self-consistent checksum), the non-authoritative one — is
+    rewritten from the other.  Returns the number of file copies
+    repaired.  A file whose both copies fail verification is left alone:
+    there is nothing trustworthy to heal from, and reads keep failing
+    loudly. *)
+val scrub : Sp_core.Stackable.t -> int
 
 (** [verify fs path] is [true] when both replicas hold identical content
     and length for the file at [path]. *)

@@ -81,6 +81,8 @@ module World = struct
     Sp_core.Stackable.register_creator creators_ctx
       (Sp_mirrorfs.Mirrorfs.creator ~node:node_name ~vmm ());
     Sp_core.Stackable.register_creator creators_ctx
+      (Sp_integrity.Integrityfs.creator ~node:node_name ~vmm ());
+    Sp_core.Stackable.register_creator creators_ctx
       (Sp_attrfs.Attrfs.creator ~node:node_name ());
     Sp_core.Stackable.register_creator creators_ctx
       (Sp_unionfs.Unionfs.creator ~node:node_name ~vmm ());

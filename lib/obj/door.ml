@@ -28,7 +28,8 @@ let consult_fault op =
     | Sp_fault.Pass -> ()
     | Sp_fault.Fail_io msg | Sp_fault.Dropped msg -> raise (Sp_fault.Injected msg)
     | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
-    | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Domain_died _ -> ()
+    | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Domain_died _
+    | Sp_fault.Bit_rot _ | Sp_fault.Misdirected _ | Sp_fault.Lost_write_ack -> ()
 
 (* A [Domain_crash] rule at the [domain.crash] point (label = serving
    domain name) fail-stops the target the first time a call reaches it.

@@ -4,11 +4,12 @@ module File = Sp_core.File
 module Sname = Sp_naming.Sname
 module Rng = Sp_fault.Rng
 
-type outcome = Survived | Lost of string | Corrupt of string
+type outcome = Survived | Lost of string | Corrupt of string | Detected of string
 
 type report = {
   rp_journal : bool;
   rp_torn : bool;
+  rp_checksums : bool;
   rp_ops : int;
   rp_seed : int;
   rp_writes : int;
@@ -16,6 +17,7 @@ type report = {
   rp_survived : int;
   rp_lost : int;
   rp_corrupt : int;
+  rp_detected : int;
   rp_first_bad : (int * string) option;
 }
 
@@ -92,15 +94,15 @@ let run_ops st rng ops =
 let label ~journal ~seed =
   Printf.sprintf "crashsweep-%c%d" (if journal then 'j' else 'r') seed
 
-let setup ~journal ~seed =
+let setup ~journal ~checksums ~seed =
   let lbl = label ~journal ~seed in
   let disk = Disk.create ~label:lbl ~blocks:disk_blocks () in
-  Disk_layer.mkfs ~journal disk;
+  Disk_layer.mkfs ~journal ~checksums disk;
   let fs = Disk_layer.mount ~name:lbl disk in
   (disk, { fs; expected = Hashtbl.create 8; synced = []; pending = None })
 
-let workload_writes ~journal ~ops ~seed =
-  let disk, st = setup ~journal ~seed in
+let workload_writes ?(checksums = true) ~journal ~ops ~seed () =
+  let disk, st = setup ~journal ~checksums ~seed in
   let before = (Disk.stats disk).writes in
   run_ops st (Rng.create seed) ops;
   (Disk.stats disk).writes - before
@@ -130,8 +132,8 @@ let matches fs2 snap =
                 else "")))
       snap
 
-let run_point ?(torn = false) ~journal ~ops ~seed ~crash_at () =
-  let disk, st = setup ~journal ~seed in
+let run_point ?(torn = false) ?(checksums = true) ~journal ~ops ~seed ~crash_at () =
+  let disk, st = setup ~journal ~checksums ~seed in
   let plan =
     Sp_fault.plan ~seed:(seed + crash_at)
       [
@@ -147,51 +149,74 @@ let run_point ?(torn = false) ~journal ~ops ~seed ~crash_at () =
   | () -> ()
   | exception Sp_fault.Crash _ -> ());
   ignore (Disk_layer.recover disk);
-  match Fsck.check disk with
-  | p :: rest ->
-      Corrupt
-        (Format.asprintf "%a%s" Fsck.pp_problem p
-           (if rest = [] then ""
-            else Printf.sprintf " (+%d more)" (List.length rest)))
+  let pp_first p rest =
+    Format.asprintf "%a%s" Fsck.pp_problem p
+      (if rest = [] then "" else Printf.sprintf " (+%d more)" (List.length rest))
+  in
+  let structural, mismatches =
+    List.partition
+      (function Fsck.Checksum_mismatch _ -> false | _ -> true)
+      (Fsck.check ~verify_checksums:checksums disk)
+  in
+  match structural with
+  | p :: rest -> Corrupt (pp_first p rest)
   | [] -> (
-      let fs2 = Disk_layer.mount ~name:(label ~journal ~seed ^ "-re") disk in
-      let cuts =
-        (match st.pending with
-        | Some s -> [ ("in-flight sync", s) ]
-        | None -> [])
-        @ [ ("last sync", st.synced) ]
-      in
-      if List.exists (fun (_, s) -> matches fs2 s = None) cuts then Survived
-      else
-        match cuts with
-        | (which, s) :: _ ->
-            Lost
-              (Printf.sprintf "vs %s: %s" which
-                 (Option.value ~default:"?" (matches fs2 s)))
-        | [] -> Lost "no snapshot to compare")
+      match mismatches with
+      | p :: rest ->
+          (* The graph still parses, but checksums prove blocks hold the
+             wrong bytes — the positive detection a torn unjournaled
+             write gets with checksums on. *)
+          Detected (pp_first p rest)
+      | [] -> (
+          (* Checksum errors during remount or reading back (metadata the
+             structural pass could not attribute) also count as positive
+             detection, never as silently-served data. *)
+          match
+            let fs2 = Disk_layer.mount ~name:(label ~journal ~seed ^ "-re") disk in
+            let cuts =
+              (match st.pending with
+              | Some s -> [ ("in-flight sync", s) ]
+              | None -> [])
+              @ [ ("last sync", st.synced) ]
+            in
+            if List.exists (fun (_, s) -> matches fs2 s = None) cuts then Survived
+            else
+              match cuts with
+              | (which, s) :: _ ->
+                  Lost
+                    (Printf.sprintf "vs %s: %s" which
+                       (Option.value ~default:"?" (matches fs2 s)))
+              | [] -> Lost "no snapshot to compare"
+          with
+          | outcome -> outcome
+          | exception Sp_core.Fserr.Checksum_error msg -> Detected msg))
 
-let sweep ?(stride = 1) ?(torn = false) ~journal ~ops ~seed () =
+let sweep ?(stride = 1) ?(torn = false) ?(checksums = true) ~journal ~ops ~seed () =
   if stride < 1 then invalid_arg "Crash_sweep.sweep: stride must be >= 1";
-  let writes = workload_writes ~journal ~ops ~seed in
-  let survived = ref 0 and lost = ref 0 and corrupt = ref 0 in
+  let writes = workload_writes ~checksums ~journal ~ops ~seed () in
+  let survived = ref 0 and lost = ref 0 and corrupt = ref 0 and detected = ref 0 in
   let points = ref 0 in
   let first_bad = ref None in
   let crash_at = ref 1 in
   while !crash_at <= writes do
     incr points;
-    (match run_point ~torn ~journal ~ops ~seed ~crash_at:!crash_at () with
+    (match run_point ~torn ~checksums ~journal ~ops ~seed ~crash_at:!crash_at () with
     | Survived -> incr survived
     | Lost msg ->
         incr lost;
         if !first_bad = None then first_bad := Some (!crash_at, msg)
     | Corrupt msg ->
         incr corrupt;
+        if !first_bad = None then first_bad := Some (!crash_at, msg)
+    | Detected msg ->
+        incr detected;
         if !first_bad = None then first_bad := Some (!crash_at, msg));
     crash_at := !crash_at + stride
   done;
   {
     rp_journal = journal;
     rp_torn = torn;
+    rp_checksums = checksums;
     rp_ops = ops;
     rp_seed = seed;
     rp_writes = writes;
@@ -199,6 +224,7 @@ let sweep ?(stride = 1) ?(torn = false) ~journal ~ops ~seed () =
     rp_survived = !survived;
     rp_lost = !lost;
     rp_corrupt = !corrupt;
+    rp_detected = !detected;
     rp_first_bad = !first_bad;
   }
 
@@ -206,22 +232,27 @@ let pp_outcome ppf = function
   | Survived -> Format.fprintf ppf "survived"
   | Lost msg -> Format.fprintf ppf "lost (%s)" msg
   | Corrupt msg -> Format.fprintf ppf "corrupt (%s)" msg
+  | Detected msg -> Format.fprintf ppf "detected (%s)" msg
 
 let summary r =
-  Printf.sprintf "CRASH-SWEEP journal=%s%s points=%d survived=%d lost=%d corrupt=%d"
+  Printf.sprintf
+    "CRASH-SWEEP journal=%s checksums=%s%s points=%d survived=%d lost=%d corrupt=%d \
+     detected=%d"
     (if r.rp_journal then "on" else "off")
+    (if r.rp_checksums then "on" else "off")
     (if r.rp_torn then " torn=on" else "")
-    r.rp_points r.rp_survived r.rp_lost r.rp_corrupt
+    r.rp_points r.rp_survived r.rp_lost r.rp_corrupt r.rp_detected
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>crash sweep: journal=%s torn=%s ops=%d seed=%d@,\
+    "@[<v>crash sweep: journal=%s torn=%s checksums=%s ops=%d seed=%d@,\
      device writes swept: %d (%d crash points)@,\
-     survived %d   lost %d   corrupt %d@]"
+     survived %d   lost %d   corrupt %d   checksum-detected %d@]"
     (if r.rp_journal then "on" else "off")
     (if r.rp_torn then "on" else "off")
+    (if r.rp_checksums then "on" else "off")
     r.rp_ops r.rp_seed r.rp_writes r.rp_points r.rp_survived r.rp_lost
-    r.rp_corrupt;
+    r.rp_corrupt r.rp_detected;
   match r.rp_first_bad with
   | None -> ()
   | Some (at, msg) ->

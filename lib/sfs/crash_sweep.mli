@@ -22,11 +22,15 @@
 type outcome =
   | Survived
   | Lost of string  (** Fsck clean, but contents match no consistent cut *)
-  | Corrupt of string  (** Fsck found inconsistencies after recovery *)
+  | Corrupt of string  (** Fsck found structural inconsistencies *)
+  | Detected of string
+      (** structure parses, but block checksums flagged wrong bytes — the
+          damage was positively detected, never silently served *)
 
 type report = {
   rp_journal : bool;
   rp_torn : bool;
+  rp_checksums : bool;
   rp_ops : int;
   rp_seed : int;
   rp_writes : int;  (** device writes the full workload performs *)
@@ -34,30 +38,36 @@ type report = {
   rp_survived : int;
   rp_lost : int;
   rp_corrupt : int;
+  rp_detected : int;  (** points where only checksums caught the damage *)
   rp_first_bad : (int * string) option;  (** first failing crash point *)
 }
 
 (** Device writes the workload performs after mount (an exclusive upper
-    bound for useful crash points). *)
-val workload_writes : journal:bool -> ops:int -> seed:int -> int
+    bound for useful crash points).  [checksums] (default true) formats
+    the volume with a checksum region, which changes the write count. *)
+val workload_writes : ?checksums:bool -> journal:bool -> ops:int -> seed:int -> unit -> int
 
 (** Run the workload once, crashing at the [crash_at]-th device write
     (1-based; a [crash_at] beyond the workload's writes means no crash),
     then recover and verify.  [torn] makes the crash write a torn block
-    first. *)
+    first.  With [checksums] (default true) recovery also verifies block
+    checksums: damage the structural fsck pass cannot see — an
+    unjournaled torn write, a crash between a raw data write and its
+    checksum write-through — comes back as {!Detected} rather than
+    passing silently or escaping as an exception. *)
 val run_point :
-  ?torn:bool -> journal:bool -> ops:int -> seed:int -> crash_at:int -> unit ->
-  outcome
+  ?torn:bool -> ?checksums:bool -> journal:bool -> ops:int -> seed:int ->
+  crash_at:int -> unit -> outcome
 
 (** Sweep crash points [1, 1+stride, ...] up to the workload's write
     count (default [stride] 1). *)
 val sweep :
-  ?stride:int -> ?torn:bool -> journal:bool -> ops:int -> seed:int -> unit ->
-  report
+  ?stride:int -> ?torn:bool -> ?checksums:bool -> journal:bool -> ops:int ->
+  seed:int -> unit -> report
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit
 
 (** One-line machine-readable summary, e.g.
-    ["CRASH-SWEEP journal=on points=163 survived=163 lost=0 corrupt=0"]. *)
+    ["CRASH-SWEEP journal=on checksums=on points=163 survived=163 lost=0 corrupt=0 detected=0"]. *)
 val summary : report -> string

@@ -1,0 +1,71 @@
+(** Per-block checksums for the SFS on-disk format.
+
+    The checksum region ({!Layout.t.csum_start}, sized by [Layout]) holds
+    one 32-bit FNV-1a checksum per device block, taken over the full
+    zero-padded block.  Every block is covered except the region itself
+    and the journal area: the journal already checksums its contents, and
+    covering the region would make updates recursive.
+
+    A [t] is the in-memory image of the region.  [Journal.write] calls
+    {!record} on every store and {!check} on every device read, so silent
+    corruption anywhere below — bit rot, a misdirected write, a lost
+    write — surfaces as {!Sp_core.Fserr.Checksum_error} instead of wrong
+    bytes.  On a journaled dev the dirty region blocks join the same
+    commit batch as the data they describe, preserving crash atomicity;
+    on a raw dev they are written through after the data.
+
+    Verifying and recording charge simulated CPU via
+    [Sp_obj.Door.charge_cpu] (free under the [fast] model, visible in the
+    [scrub] bench table under [paper_1993]). *)
+
+type t
+
+(** 32-bit FNV-1a over the given bytes (exposed for tests and for the
+    journal's commit entries). *)
+val cksum : bytes -> int
+
+(** Checksum of the zero-padded-to-a-block extension of the data. *)
+val cksum_padded : bytes -> int
+
+(** CPU cost of hashing [len] bytes, in [Door.charge_cpu] units. *)
+val work_units : int -> int
+
+(** Load the checksum region from the device; [None] when the layout has
+    no region ([csum_blocks = 0]). *)
+val attach : Sp_blockdev.Disk.t -> Layout.t -> t option
+
+(** Initialise and write the checksum region at [mkfs] time: the
+    zero-block checksum for every covered block, plus the actual contents
+    of the metadata blocks below [data_start].  Assumes the data region
+    is zero-filled (fresh device).  No-op when [csum_blocks = 0]. *)
+val format : Sp_blockdev.Disk.t -> Layout.t -> unit
+
+(** Is block [n] covered by a checksum? *)
+val covers : t -> int -> bool
+
+(** The region block holding the checksum entry for covered block [n]. *)
+val home : t -> int -> int
+
+(** Stored checksum for covered block [n]. *)
+val stored : t -> int -> int
+
+(** Update the in-memory entry for [n] (no-op when uncovered) and mark
+    its region block dirty.  The caller flushes dirty region blocks —
+    write-through on raw devs, same-batch on journaled commits. *)
+val record : t -> int -> bytes -> unit
+
+(** [true] when [n] is uncovered or the data matches its entry. *)
+val matches : t -> int -> bytes -> bool
+
+(** Raise [Fserr.Checksum_error] (bumping [Metrics.checksum_failures] and
+    emitting a trace instant) unless {!matches}. *)
+val check : t -> label:string -> int -> bytes -> unit
+
+(** Region blocks (absolute indices, sorted) recorded since the last
+    {!clear_dirty}. *)
+val dirty : t -> int list
+
+(** Copy of the current image of region block [cb] (absolute index). *)
+val image : t -> int -> bytes
+
+val clear_dirty : t -> unit

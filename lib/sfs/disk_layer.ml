@@ -635,10 +635,10 @@ let create_at fs path kind =
    commit header can describe and to a useful minimum. *)
 let journal_size ~total_blocks = min 128 (max 9 (total_blocks / 8))
 
-let mkfs ?(journal = false) disk =
+let mkfs ?(journal = false) ?(checksums = true) disk =
   let total_blocks = Sp_blockdev.Disk.block_count disk in
   let journal_blocks = if journal then journal_size ~total_blocks else 0 in
-  let layout = Layout.compute ~journal_blocks ~total_blocks () in
+  let layout = Layout.compute ~journal_blocks ~checksums ~total_blocks () in
   Sp_blockdev.Disk.write disk 0 (Layout.encode_superblock layout);
   (* Zero the bitmaps.  Formatting writes raw: there is nothing to
      recover on a device that was never consistent. *)
@@ -677,7 +677,10 @@ let mkfs ?(journal = false) disk =
       indirect = 0;
       double_indirect = 0;
     };
-  Inode.flush icache
+  Inode.flush icache;
+  (* Last: the region must record what the metadata blocks above ended up
+     holding.  Formatting writes raw, like everything else in mkfs. *)
+  Csum.format disk layout
 
 let mount ?(node = "local") ?domain ~name disk =
   let layout = Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) in
@@ -685,14 +688,18 @@ let mount ?(node = "local") ?domain ~name disk =
     match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
   in
   (* Attaching the journal replays any sealed-but-unapplied transaction:
-     mounting IS crash recovery. *)
-  let dev =
+     mounting IS crash recovery.  The checksum region loads afterwards so
+     it sees the replayed state (region blocks are journaled alongside
+     the data they describe). *)
+  let journal =
     if layout.Layout.journal_blocks > 0 then
-      Journal.Journaled
+      Some
         (Journal.attach disk ~start:layout.Layout.journal_start
            ~blocks:layout.Layout.journal_blocks)
-    else Journal.raw disk
+    else None
   in
+  let csum = Csum.attach disk layout in
+  let dev = Journal.make ?journal ?csum disk in
   let fs =
     {
       name;
@@ -746,7 +753,7 @@ let mount ?(node = "local") ?domain ~name disk =
         Hashtbl.reset fs.indcache);
   }
 
-let creator ?(node = "local") ?(journal = false) ~get_disk () =
+let creator ?(node = "local") ?(journal = false) ?(checksums = true) ~get_disk () =
   {
     Sp_core.Stackable.cr_type = "sfs_disk";
     cr_create =
@@ -754,7 +761,7 @@ let creator ?(node = "local") ?(journal = false) ~get_disk () =
         let disk = get_disk name in
         (match Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) with
         | _ -> ()
-        | exception Sp_core.Fserr.Io_error _ -> mkfs ~journal disk);
+        | exception Sp_core.Fserr.Io_error _ -> mkfs ~journal ~checksums disk);
         mount ~node ~name disk);
   }
 
@@ -768,11 +775,12 @@ let recover disk =
   else 0
 
 let journaled sfs = (fs_of sfs).layout.Layout.journal_blocks > 0
+let checksummed sfs = (fs_of sfs).layout.Layout.csum_blocks > 0
 
 let journal_stats sfs =
-  match (fs_of sfs).dev with
-  | Journal.Raw _ -> None
-  | Journal.Journaled t -> Some (Journal.stats t)
+  match Journal.journal (fs_of sfs).dev with
+  | None -> None
+  | Some t -> Some (Journal.stats t)
 
 let journal_pending sfs = Journal.pending (fs_of sfs).dev
 

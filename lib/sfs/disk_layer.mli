@@ -18,8 +18,14 @@
     With [~journal:true] a write-ahead journal area (see {!Journal}) is
     reserved between the inode table and the data region; a subsequent
     {!mount} then buffers writes and commits them atomically on sync, so
-    a crash at any point recovers to the last synced state. *)
-val mkfs : ?journal:bool -> Sp_blockdev.Disk.t -> unit
+    a crash at any point recovers to the last synced state.
+
+    With [~checksums:true] (the default) a per-block checksum region (see
+    {!Csum}) is reserved as well: every mounted read is verified, raising
+    [Fserr.Checksum_error] on silent corruption, and every write updates
+    the region — through the journal when there is one, so crash
+    atomicity covers the checksums too. *)
+val mkfs : ?journal:bool -> ?checksums:bool -> Sp_blockdev.Disk.t -> unit
 
 (** [mount ~name disk] mounts a formatted device and returns the layer as
     a stackable file system.  [node] (default ["local"]) places the
@@ -43,7 +49,8 @@ val recover : Sp_blockdev.Disk.t -> int
     creator: [cr_create ~name] formats (if needed) and mounts
     [get_disk name]. *)
 val creator :
-  ?node:string -> ?journal:bool -> get_disk:(string -> Sp_blockdev.Disk.t) ->
+  ?node:string -> ?journal:bool -> ?checksums:bool ->
+  get_disk:(string -> Sp_blockdev.Disk.t) ->
   unit -> Sp_core.Stackable.creator
 
 (** {1 Introspection (tests, tools)} *)
@@ -62,6 +69,9 @@ val channel_count : Sp_core.Stackable.t -> int
 
 (** Whether the mounted volume has a journal. *)
 val journaled : Sp_core.Stackable.t -> bool
+
+(** Whether the mounted volume has a checksum region. *)
+val checksummed : Sp_core.Stackable.t -> bool
 
 (** Journal counters ([None] on unjournaled volumes). *)
 val journal_stats : Sp_core.Stackable.t -> Journal.stats option

@@ -9,6 +9,7 @@ type problem =
   | Block_not_allocated of int
   | Block_leak of int
   | Bad_nlink of int * int * int
+  | Checksum_mismatch of int
 
 let pp_problem ppf = function
   | Unreachable_inode i -> Format.fprintf ppf "inode %d allocated but unreachable" i
@@ -23,9 +24,11 @@ let pp_problem ppf = function
   | Bad_nlink (i, expected, stored) ->
       Format.fprintf ppf "inode %d link count %d, directories reference it %d times"
         i stored expected
+  | Checksum_mismatch b ->
+      Format.fprintf ppf "block %d does not match its recorded checksum" b
 
 (* The checker reads the device directly; it never goes through a mount. *)
-let check disk =
+let check ?(verify_checksums = false) disk =
   let layout = Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) in
   let problems = ref [] in
   let report p = problems := p :: !problems in
@@ -164,4 +167,19 @@ let check disk =
     if Bitmap.is_set bbitmap b && not (Hashtbl.mem owners b) then
       report (Block_leak b)
   done;
+  (* Checksum region vs block contents: metadata plus every allocated,
+     referenced data block.  Unreferenced free blocks may legitimately
+     hold stale data from before a truncate — skip them. *)
+  (if verify_checksums then
+     match Csum.attach disk layout with
+     | None -> ()
+     | Some c ->
+         for b = 0 to layout.Layout.total_blocks - 1 do
+           let in_use =
+             b < layout.Layout.data_start || Hashtbl.mem owners b
+           in
+           if in_use && Csum.covers c b
+              && not (Csum.matches c b (Sp_blockdev.Disk.read disk b))
+           then report (Checksum_mismatch b)
+         done);
   List.rev !problems

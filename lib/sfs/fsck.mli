@@ -16,8 +16,16 @@ type problem =
   | Block_not_allocated of int  (** referenced block marked free *)
   | Block_leak of int  (** allocated block referenced by nobody *)
   | Bad_nlink of int * int * int  (** (ino, expected, stored) *)
+  | Checksum_mismatch of int
+      (** block contents do not match the checksum region *)
 
 val pp_problem : Format.formatter -> problem -> unit
 
-(** Run the check.  Returns [] for a consistent volume. *)
-val check : Sp_blockdev.Disk.t -> problem list
+(** Run the check.  Returns [] for a consistent volume.  With
+    [~verify_checksums:true] every in-use covered block (metadata plus
+    referenced data blocks) is also hashed and compared against the
+    checksum region, reporting {!Checksum_mismatch} — this is how torn or
+    silently corrupted writes are positively detected even when the
+    directory graph still parses.  No-op on volumes formatted without
+    checksums. *)
+val check : ?verify_checksums:bool -> Sp_blockdev.Disk.t -> problem list

@@ -26,7 +26,11 @@ type t = {
   replayed : int;
 }
 
-type dev = Raw of Sp_blockdev.Disk.t | Journaled of t
+type dev = {
+  d_disk : Sp_blockdev.Disk.t;
+  d_journal : t option;
+  d_csum : Csum.t option;
+}
 
 (* Header block: word 0 magic, word 1 state (0 clean / 1 committed),
    words 2-3 seq, word 4 count, word 5 checksum (computed with the field
@@ -119,22 +123,42 @@ let attach disk ~start ~blocks =
     replayed;
   }
 
-let raw disk = Raw disk
-let disk = function Raw d -> d | Journaled t -> t.disk
+let raw disk = { d_disk = disk; d_journal = None; d_csum = None }
+let make ?journal ?csum disk = { d_disk = disk; d_journal = journal; d_csum = csum }
+let disk dev = dev.d_disk
+let journal dev = dev.d_journal
+let checksums dev = dev.d_csum <> None
 let capacity t = min max_entries (t.blocks - 1)
 
 let read dev n =
-  match dev with
-  | Raw d -> Sp_blockdev.Disk.read d n
-  | Journaled t -> (
-      match Hashtbl.find_opt t.dirty n with
-      | Some b -> Bytes.copy b
-      | None -> Sp_blockdev.Disk.read t.disk n)
+  match dev.d_journal with
+  | Some t when Hashtbl.mem t.dirty n ->
+      (* Dirty buffered blocks are served from memory: their checksum is
+         recorded only at commit, so there is nothing to verify yet. *)
+      Bytes.copy (Hashtbl.find t.dirty n)
+  | _ ->
+      let data = Sp_blockdev.Disk.read dev.d_disk n in
+      (match dev.d_csum with
+      | Some c -> Csum.check c ~label:(Sp_blockdev.Disk.label dev.d_disk) n data
+      | None -> ());
+      data
 
 let write dev n data =
-  match dev with
-  | Raw d -> Sp_blockdev.Disk.write d n data
-  | Journaled t ->
+  match dev.d_journal with
+  | None -> (
+      Sp_blockdev.Disk.write dev.d_disk n data;
+      match dev.d_csum with
+      | Some c when Csum.covers c n ->
+          (* Write-through: data first, then the region block holding its
+             entry.  A crash between the two leaves a detectable (stale
+             checksum) window — raw devs never promised atomicity. *)
+          Csum.record c n data;
+          List.iter
+            (fun cb -> Sp_blockdev.Disk.write dev.d_disk cb (Csum.image c cb))
+            (Csum.dirty c);
+          Csum.clear_dirty c
+      | _ -> ())
+  | Some t ->
       if n < 0 || n >= Sp_blockdev.Disk.block_count t.disk then
         invalid_arg (Printf.sprintf "Journal.write: block %d out of range" n);
       if Bytes.length data > bs then invalid_arg "Journal.write: larger than a block";
@@ -144,19 +168,7 @@ let write dev n data =
       if not (Hashtbl.mem t.dirty n) then t.order <- n :: t.order;
       Hashtbl.replace t.dirty n block
 
-let rec batches cap = function
-  | [] -> []
-  | blocks ->
-      let rec take n acc rest =
-        match rest with
-        | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
-        | _ -> (List.rev acc, rest)
-      in
-      let group, rest = take cap [] blocks in
-      group :: batches cap rest
-
-let commit_batch t group =
-  let datas = List.map (fun n -> (n, Hashtbl.find t.dirty n)) group in
+let commit_batch t datas =
   (* 1. Journal data blocks. *)
   List.iteri
     (fun i (_, data) ->
@@ -177,16 +189,53 @@ let commit_batch t group =
   t.commits <- t.commits + 1
 
 let commit dev =
-  match dev with
-  | Raw _ -> ()
-  | Journaled t ->
+  match dev.d_journal with
+  | None -> ()
+  | Some t ->
       if t.order <> [] then begin
-        List.iter (commit_batch t) (batches (capacity t) (List.rev t.order));
+        let cap = capacity t in
+        (* Greedy batches that leave room for the batch's checksum-region
+           blocks: the entries describing a batch's data commit in the
+           same transaction as the data, so crash atomicity covers both
+           (per batch, as before). *)
+        let rec go = function
+          | [] -> ()
+          | blocks ->
+              let rec take acc csums rest =
+                match rest with
+                | [] -> (List.rev acc, rest)
+                | n :: tl ->
+                    let csums' =
+                      match dev.d_csum with
+                      | Some c when Csum.covers c n ->
+                          let cb = Csum.home c n in
+                          if List.mem cb csums then csums else cb :: csums
+                      | _ -> csums
+                    in
+                    if List.length acc + 1 + List.length csums' > cap && acc <> [] then
+                      (List.rev acc, rest)
+                    else take (n :: acc) csums' tl
+              in
+              let group, rest = take [] [] blocks in
+              let datas = List.map (fun n -> (n, Hashtbl.find t.dirty n)) group in
+              (match dev.d_csum with
+              | Some c ->
+                  List.iter (fun (n, data) -> Csum.record c n data) datas;
+                  let csum_datas =
+                    List.map (fun cb -> (cb, Csum.image c cb)) (Csum.dirty c)
+                  in
+                  Csum.clear_dirty c;
+                  commit_batch t (datas @ csum_datas)
+              | None -> commit_batch t datas);
+              go rest
+        in
+        go (List.rev t.order);
         Hashtbl.reset t.dirty;
         t.order <- []
       end
 
-let pending = function Raw _ -> 0 | Journaled t -> Hashtbl.length t.dirty
+let pending dev =
+  match dev.d_journal with None -> 0 | Some t -> Hashtbl.length t.dirty
 
 type stats = { js_commits : int; js_journal_writes : int; js_replayed : int }
 

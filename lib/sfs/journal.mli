@@ -25,10 +25,11 @@
 
 type t
 
-(** A block device endpoint as the disk layer sees it: either the raw
-    device (unjournaled, writes go straight through) or a journaled view.
-    All disk-layer I/O goes through {!read}/{!write} on a [dev]. *)
-type dev = Raw of Sp_blockdev.Disk.t | Journaled of t
+(** A block device endpoint as the disk layer sees it: the raw device
+    (unjournaled, writes go straight through) or a journaled view, either
+    optionally verified by a {!Csum} region.  All disk-layer I/O goes
+    through {!read}/{!write} on a [dev]. *)
+type dev
 
 (** Write a clean journal header at block [start] (used by [mkfs]). *)
 val init : Sp_blockdev.Disk.t -> start:int -> unit
@@ -42,24 +43,42 @@ val replay : Sp_blockdev.Disk.t -> start:int -> int
     returns a journal writing to the [blocks]-block area at [start]. *)
 val attach : Sp_blockdev.Disk.t -> start:int -> blocks:int -> t
 
+(** Unjournaled, unverified dev: straight passthrough to the device. *)
 val raw : Sp_blockdev.Disk.t -> dev
+
+(** [make ?journal ?csum disk] assembles a dev: an attached journal
+    buffers writes until {!commit}; an attached {!Csum} verifies every
+    device read and maintains the checksum region on every write. *)
+val make : ?journal:t -> ?csum:Csum.t -> Sp_blockdev.Disk.t -> dev
 
 (** The underlying device (journaled or not). *)
 val disk : dev -> Sp_blockdev.Disk.t
 
+(** The attached journal, if any. *)
+val journal : dev -> t option
+
+(** Whether a checksum region is attached. *)
+val checksums : dev -> bool
+
 (** [read dev n]: dirty buffered blocks are served from memory (free,
-    like a cache); everything else comes from the device. *)
+    like a cache); everything else comes from the device and, when a
+    [Csum] is attached, is verified against its recorded checksum —
+    raising [Fserr.Checksum_error] on mismatch. *)
 val read : dev -> int -> bytes
 
-(** [write dev n data]: on a [Raw] dev, straight to the device; on a
-    [Journaled] dev, buffered in memory until {!commit}. *)
+(** [write dev n data]: on a raw dev, straight to the device (followed by
+    a write-through of the affected checksum-region block when a [Csum]
+    is attached); on a journaled dev, buffered in memory until
+    {!commit}. *)
 val write : dev -> int -> bytes -> unit
 
-(** Commit buffered writes (no-op on [Raw] devs or when nothing is
-    dirty). *)
+(** Commit buffered writes (no-op on raw devs or when nothing is dirty).
+    With a [Csum] attached, each batch's dirty checksum-region blocks are
+    appended to that batch's transaction, so data and checksums commit
+    atomically together. *)
 val commit : dev -> unit
 
-(** Dirty blocks currently buffered (0 for [Raw]). *)
+(** Dirty blocks currently buffered (0 for raw devs). *)
 val pending : dev -> int
 
 type stats = {

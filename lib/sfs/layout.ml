@@ -16,6 +16,8 @@ type t = {
   block_bitmap_blocks : int;
   inode_table_start : int;
   inode_table_blocks : int;
+  csum_start : int;
+  csum_blocks : int;
   journal_start : int;
   journal_blocks : int;
   data_start : int;
@@ -23,7 +25,10 @@ type t = {
 
 let div_ceil a b = (a + b - 1) / b
 
-let compute ?(journal_blocks = 0) ~total_blocks () =
+(* 4-byte checksum per device block. *)
+let csum_entries_per_block = block_size / 4
+
+let compute ?(journal_blocks = 0) ?(checksums = false) ~total_blocks () =
   if total_blocks < 16 then invalid_arg "Layout.compute: device too small";
   if journal_blocks < 0 || journal_blocks = 1 then
     invalid_arg "Layout.compute: journal needs a header block plus data slots";
@@ -35,10 +40,15 @@ let compute ?(journal_blocks = 0) ~total_blocks () =
   let inode_bitmap_start = 1 in
   let block_bitmap_start = inode_bitmap_start + inode_bitmap_blocks in
   let inode_table_start = block_bitmap_start + block_bitmap_blocks in
-  (* The journal sits between the metadata region and the data region, so
-     everything below [data_start] — journal included — is born allocated
-     in the block bitmap and invisible to Fsck's data scan. *)
-  let journal_start = inode_table_start + inode_table_blocks in
+  (* The checksum region and the journal sit between the metadata region
+     and the data region, so everything below [data_start] — journal and
+     checksums included — is born allocated in the block bitmap and
+     invisible to Fsck's data scan. *)
+  let csum_start = inode_table_start + inode_table_blocks in
+  let csum_blocks =
+    if checksums then div_ceil total_blocks csum_entries_per_block else 0
+  in
+  let journal_start = csum_start + csum_blocks in
   let data_start = journal_start + journal_blocks in
   if data_start >= total_blocks then
     invalid_arg "Layout.compute: no room for data blocks";
@@ -51,6 +61,8 @@ let compute ?(journal_blocks = 0) ~total_blocks () =
     block_bitmap_blocks;
     inode_table_start;
     inode_table_blocks;
+    csum_start;
+    csum_blocks;
     journal_start;
     journal_blocks;
     data_start;
@@ -77,6 +89,8 @@ let encode_superblock t =
   put 10 t.data_start;
   put 11 t.journal_start;
   put 12 t.journal_blocks;
+  put 13 t.csum_start;
+  put 14 t.csum_blocks;
   b
 
 let decode_superblock b =
@@ -97,8 +111,11 @@ let decode_superblock b =
     inode_table_blocks = get 9;
     (* Words 11/12 decode as zero on images formatted before journaling
        existed: journal_blocks = 0 means "no journal", so the version
-       number did not need to change. *)
+       number did not need to change.  Words 13/14 do the same for the
+       checksum region: csum_blocks = 0 means "no checksums". *)
     journal_start = get 11;
     journal_blocks = get 12;
+    csum_start = get 13;
+    csum_blocks = get 14;
     data_start = get 10;
   }

@@ -25,17 +25,24 @@ type t = {
   block_bitmap_blocks : int;
   inode_table_start : int;
   inode_table_blocks : int;
+  csum_start : int;  (** meaningless when [csum_blocks] is 0 *)
+  csum_blocks : int;  (** checksum region size; 0 = no checksums *)
   journal_start : int;  (** meaningless when [journal_blocks] is 0 *)
   journal_blocks : int;  (** journal area size; 0 = unjournaled *)
   data_start : int;  (** first data block *)
 }
 
+(** Checksum-region entries (device blocks covered) per region block. *)
+val csum_entries_per_block : int
+
 (** Compute the layout for a device of [total_blocks] blocks, reserving
     [journal_blocks] (default 0, meaning no journal; otherwise >= 2:
-    header + data slots) between the inode table and the data region.
-    Raises [Invalid_argument] if the device is too small to hold any
-    data. *)
-val compute : ?journal_blocks:int -> total_blocks:int -> unit -> t
+    header + data slots) between the inode table and the data region,
+    and, when [checksums] is true (default false), a checksum region (one
+    4-byte checksum per device block) between the inode table and the
+    journal.  Raises [Invalid_argument] if the device is too small to
+    hold any data. *)
+val compute : ?journal_blocks:int -> ?checksums:bool -> total_blocks:int -> unit -> t
 
 (** Maximum file size in bytes under this layout (direct + single
     indirect + double indirect). *)

@@ -13,6 +13,8 @@ type snapshot = {
   attr_fetches : int;
   faults_injected : int;
   net_retries : int;
+  checksum_failures : int;
+  integrity_repairs : int;
 }
 
 let zero =
@@ -31,6 +33,8 @@ let zero =
     attr_fetches = 0;
     faults_injected = 0;
     net_retries = 0;
+    checksum_failures = 0;
+    integrity_repairs = 0;
   }
 
 let state = ref zero
@@ -64,6 +68,15 @@ let incr_faults_injected () =
   state := { !state with faults_injected = !state.faults_injected + 1 }
 
 let incr_net_retries () = state := { !state with net_retries = !state.net_retries + 1 }
+let checksum_failures () = !state.checksum_failures
+let integrity_repairs () = !state.integrity_repairs
+
+let incr_checksum_failures () =
+  state := { !state with checksum_failures = !state.checksum_failures + 1 }
+
+let incr_integrity_repairs () =
+  state := { !state with integrity_repairs = !state.integrity_repairs + 1 }
+
 let snapshot () = !state
 
 let diff ~before ~after =
@@ -82,6 +95,8 @@ let diff ~before ~after =
     attr_fetches = after.attr_fetches - before.attr_fetches;
     faults_injected = after.faults_injected - before.faults_injected;
     net_retries = after.net_retries - before.net_retries;
+    checksum_failures = after.checksum_failures - before.checksum_failures;
+    integrity_repairs = after.integrity_repairs - before.integrity_repairs;
   }
 
 let add a b =
@@ -100,6 +115,8 @@ let add a b =
     attr_fetches = a.attr_fetches + b.attr_fetches;
     faults_injected = a.faults_injected + b.faults_injected;
     net_retries = a.net_retries + b.net_retries;
+    checksum_failures = a.checksum_failures + b.checksum_failures;
+    integrity_repairs = a.integrity_repairs + b.integrity_repairs;
   }
 
 let reset () = state := zero
@@ -111,7 +128,9 @@ let pp ppf s =
      disk_reads=%d disk_writes=%d@ \
      net_messages=%d net_bytes=%d@ \
      coherency_actions=%d attr_fetches=%d@ \
-     faults_injected=%d net_retries=%d@]"
+     faults_injected=%d net_retries=%d@ \
+     checksum_failures=%d integrity_repairs=%d@]"
     s.cross_domain_calls s.local_calls s.kernel_calls s.page_faults s.page_ins
     s.page_outs s.disk_reads s.disk_writes s.net_messages s.net_bytes
     s.coherency_actions s.attr_fetches s.faults_injected s.net_retries
+    s.checksum_failures s.integrity_repairs

@@ -20,6 +20,8 @@ type snapshot = {
   attr_fetches : int;  (** fs_pager attribute fetches that left a layer *)
   faults_injected : int;  (** faults fired by an armed [Sp_fault] plan *)
   net_retries : int;  (** RPC attempts repeated after drop/timeout *)
+  checksum_failures : int;  (** reads whose data failed checksum verification *)
+  integrity_repairs : int;  (** corrupt blocks rewritten from a good copy *)
 }
 
 val cross_domain_calls : unit -> int
@@ -31,6 +33,8 @@ val net_messages : unit -> int
 val net_bytes : unit -> int
 val faults_injected : unit -> int
 val net_retries : unit -> int
+val checksum_failures : unit -> int
+val integrity_repairs : unit -> int
 val incr_cross_domain_calls : unit -> unit
 val incr_local_calls : unit -> unit
 val incr_kernel_calls : unit -> unit
@@ -45,6 +49,8 @@ val incr_coherency_actions : unit -> unit
 val incr_attr_fetches : unit -> unit
 val incr_faults_injected : unit -> unit
 val incr_net_retries : unit -> unit
+val incr_checksum_failures : unit -> unit
+val incr_integrity_repairs : unit -> unit
 
 (** Capture the current counter values. *)
 val snapshot : unit -> snapshot

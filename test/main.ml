@@ -27,6 +27,7 @@ let () =
       ("inject", Test_inject.suite);
       ("crash", Test_crash.suite);
       ("fsck", Test_fsck.suite);
+      ("integrity", Test_integrity.suite);
       ("supervise", Test_supervise.suite);
       ("table_shapes", Test_table_shapes.suite);
     ]

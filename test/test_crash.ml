@@ -83,8 +83,18 @@ let test_unjournaled_sweep_finds_damage () =
   Util.in_world (fun () ->
       let r = CS.sweep ~stride:1 ~journal:false ~ops:20 ~seed:11 () in
       Alcotest.(check bool) "sweep demonstrates inconsistency without a journal" true
-        (r.CS.rp_lost + r.CS.rp_corrupt >= 1);
+        (r.CS.rp_lost + r.CS.rp_corrupt + r.CS.rp_detected >= 1);
       Alcotest.(check bool) "and reports where" true (r.CS.rp_first_bad <> None))
+
+let test_torn_unjournaled_checksums_detect () =
+  (* A torn write on an unjournaled volume can shear a block in a way the
+     structural fsck cannot see.  With checksums on, every such point must
+     come back Detected (or honestly Lost/Corrupt) — never a clean
+     Survived serving sheared bytes as good data. *)
+  Util.in_world (fun () ->
+      let r = CS.sweep ~stride:2 ~torn:true ~journal:false ~ops:20 ~seed:11 () in
+      Alcotest.(check bool) "checksums positively detect torn writes" true
+        (r.CS.rp_detected >= 1))
 
 let test_sweep_deterministic () =
   Util.in_world (fun () ->
@@ -98,7 +108,7 @@ let qcheck_random_crash_point_survives =
     (fun (seed, point) ->
       Util.in_world (fun () ->
           let ops = 8 + (seed mod 5) in
-          let writes = CS.workload_writes ~journal:true ~ops ~seed in
+          let writes = CS.workload_writes ~journal:true ~ops ~seed () in
           let crash_at = 1 + (point mod max 1 writes) in
           CS.run_point ~journal:true ~ops ~seed ~crash_at () = CS.Survived))
 
@@ -183,6 +193,8 @@ let suite =
       test_torn_journaled_sweep_survives;
     Alcotest.test_case "unjournaled sweep finds damage" `Slow
       test_unjournaled_sweep_finds_damage;
+    Alcotest.test_case "torn unjournaled sweep: checksums detect" `Slow
+      test_torn_unjournaled_checksums_detect;
     Alcotest.test_case "sweep deterministic" `Slow test_sweep_deterministic;
     Alcotest.test_case "journal replay idempotent" `Quick test_recover_idempotent;
     qcheck_random_crash_point_survives;

@@ -98,7 +98,7 @@ let test_detects_bitmap_leak () =
       ignore (S.create fs (Util.name "x"));
       S.sync fs;
       (* Mark a random free data block as allocated. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
+      let layout = Sp_sfs.Layout.compute ~checksums:true ~total_blocks:2048 () in
       let bb =
         Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk) ~start:layout.Sp_sfs.Layout.block_bitmap_start
           ~blocks:layout.Sp_sfs.Layout.block_bitmap_blocks ~bits:2048
@@ -115,7 +115,7 @@ let test_detects_dangling_entry () =
       ignore (S.create fs (Util.name "x"));
       S.sync fs;
       (* Free inode 1 in the bitmap while the root entry still names it. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
+      let layout = Sp_sfs.Layout.compute ~checksums:true ~total_blocks:2048 () in
       let ib =
         Sp_sfs.Bitmap.load (Sp_sfs.Journal.raw disk) ~start:layout.Sp_sfs.Layout.inode_bitmap_start
           ~blocks:layout.Sp_sfs.Layout.inode_bitmap_blocks
@@ -133,7 +133,7 @@ let test_detects_bad_nlink () =
       ignore (S.create fs (Util.name "x"));
       S.sync fs;
       (* Stamp a wrong link count straight into the inode table. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
+      let layout = Sp_sfs.Layout.compute ~checksums:true ~total_blocks:2048 () in
       corrupt_and_expect "bad link count" disk
         (fun () ->
           let tb = layout.Sp_sfs.Layout.inode_table_start in
@@ -149,7 +149,7 @@ let test_detects_unreachable_inode () =
       ignore (S.create fs (Util.name "orphan-to-be"));
       S.sync fs;
       (* Clobber the root directory entry without freeing the inode. *)
-      let layout = Sp_sfs.Layout.compute ~total_blocks:2048 () in
+      let layout = Sp_sfs.Layout.compute ~checksums:true ~total_blocks:2048 () in
       corrupt_and_expect "unreachable inode" disk
         (fun () ->
           (* The root dir's first data block is the first data block. *)
@@ -173,14 +173,14 @@ let test_cli_exit_codes () =
   if not (Sys.file_exists springfs) then
     Alcotest.skip ()
   else begin
-    (* Crash write 24 lands mid-flush of the second (journaled)
+    (* Crash write 26 lands mid-flush of the second (journaled)
        transaction: without replay the image mixes old and new
        metadata and fsck must exit 1. *)
     Alcotest.(check int) "damaged image exits 1" 1
-      (run_cli [ "fsck"; "--journal"; "--crash-at-write"; "24"; "--no-recover" ]);
+      (run_cli [ "fsck"; "--journal"; "--crash-at-write"; "26"; "--no-recover" ]);
     (* Same crash point, but recovery replays the journal first. *)
     Alcotest.(check int) "recovered image exits 0" 0
-      (run_cli [ "fsck"; "--journal"; "--crash-at-write"; "24" ]);
+      (run_cli [ "fsck"; "--journal"; "--crash-at-write"; "26" ]);
     Alcotest.(check int) "undamaged run exits 0" 0 (run_cli [ "fsck" ])
   end
 

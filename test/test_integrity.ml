@@ -1,0 +1,292 @@
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module D = Sp_blockdev.Disk
+module DL = Sp_sfs.Disk_layer
+module I = Sp_integrity.Integrityfs
+module M = Sp_mirrorfs.Mirrorfs
+module Scrub = Sp_integrity.Scrubber
+module CS = Sp_integrity.Corruption_sweep
+
+let ps = Sp_vm.Vm_types.page_size
+
+(* ---------------- Integrityfs: the stackable checksum layer -------- *)
+
+let make_integrity_stack tag =
+  let vmm = Sp_vm.Vmm.create ~node:"local" (tag ^ "-vmm") in
+  let lower =
+    Sp_coherency.Spring_sfs.make_split ~vmm ~name:(tag ^ "-low") ~same_domain:false
+      (Util.fresh_disk ~label:(tag ^ "-disk") ())
+  in
+  let ifs = I.make ~vmm ~name:(tag ^ "-int") () in
+  S.stack_on ifs lower;
+  (vmm, lower, ifs)
+
+let test_integrityfs_passthrough () =
+  Util.in_world (fun () ->
+      let vmm, _lower, ifs = make_integrity_stack "ipass" in
+      let f = S.create ifs (Util.name "a") in
+      let data = Util.pattern_bytes (3 * ps) in
+      ignore (F.write f ~pos:0 data);
+      F.sync f;
+      Sp_vm.Vmm.drop_caches vmm;
+      Util.check_bytes "round-trip through the checksum layer" data (F.read_all f);
+      Alcotest.(check bool) "re-read pages verified against recorded sums" true
+        (I.verified ifs > 0);
+      Alcotest.(check int) "no failures" 0 (I.failures ifs))
+
+let test_integrityfs_detects_lower_mutation () =
+  Util.in_world (fun () ->
+      let vmm, lower, ifs = make_integrity_stack "irot" in
+      let f = S.create ifs (Util.name "a") in
+      ignore (F.write f ~pos:0 (Bytes.make (2 * ps) 'i'));
+      F.sync f;
+      (* Something below the layer silently changes bytes: write straight
+         to the lower file, bypassing integrityfs. *)
+      let low = S.open_file lower (Util.name "a") in
+      ignore (F.write low ~pos:7 (Util.bytes_of_string "TAMPER"));
+      F.sync low;
+      Sp_vm.Vmm.drop_caches vmm;
+      let fails0 = Sp_sim.Metrics.(snapshot ()).checksum_failures in
+      (match F.read f ~pos:0 ~len:ps with
+      | _ -> Alcotest.fail "tampered page served without a checksum error"
+      | exception Sp_core.Fserr.Checksum_error _ -> ());
+      Alcotest.(check int) "failure counted" 1 (I.failures ifs);
+      Alcotest.(check bool) "metric bumped" true
+        (Sp_sim.Metrics.(snapshot ()).checksum_failures > fails0);
+      (* Even a full-page overwrite faults the tampered page in first and
+         trips again — the layer never silently forgives.  Truncating
+         discards the recorded sums with the data; a rewrite then reads
+         clean. *)
+      (match F.write f ~pos:0 (Bytes.make ps 'j') with
+      | _ -> Alcotest.fail "overwrite of a tampered page must fault it in and trip"
+      | exception Sp_core.Fserr.Checksum_error _ -> ());
+      F.truncate f 0;
+      ignore (F.write f ~pos:0 (Bytes.make ps 'j'));
+      F.sync f;
+      Sp_vm.Vmm.drop_caches vmm;
+      Util.check_str "rewritten page reads clean" "jjjj" (F.read f ~pos:0 ~len:4))
+
+(* ---------------- Scrubber over the on-disk checksum region -------- *)
+
+(* Two identically-filled journaled volumes. *)
+let filled_twin tag =
+  let disk = D.create ~label:tag ~blocks:2048 () in
+  DL.mkfs ~journal:true disk;
+  let fs = DL.mount ~name:(tag ^ "-fs") disk in
+  let f = S.create fs (Util.name "fill") in
+  for p = 0 to 63 do
+    ignore (F.write f ~pos:(p * ps) (Bytes.make ps (Char.chr (0x41 + (p land 0xf)))))
+  done;
+  S.sync fs;
+  (disk, fs)
+
+(* Flip one bit in [n] in-use, checksum-covered blocks (scanning from the
+   top of the device, i.e. the data area). *)
+let rot_blocks disk n =
+  let layout = Sp_sfs.Layout.decode_superblock (D.read disk 0) in
+  let c = Option.get (Sp_sfs.Csum.attach disk layout) in
+  let rotted = ref [] in
+  let b = ref (layout.Sp_sfs.Layout.total_blocks - 1) in
+  while List.length !rotted < n && !b > 0 do
+    if Sp_sfs.Csum.covers c !b then begin
+      let data = D.read disk !b in
+      if Bytes.exists (fun ch -> ch <> '\000') data then begin
+        Bytes.set data 0 (Char.chr (Char.code (Bytes.get data 0) lxor 0x01));
+        D.write disk !b data;
+        rotted := !b :: !rotted
+      end
+    end;
+    decr b
+  done;
+  !rotted
+
+let test_scrubber_detects_and_repairs () =
+  Util.in_world (fun () ->
+      let da, fsa = filled_twin "scrubA" in
+      let db, _ = filled_twin "scrubB" in
+      let rotted = rot_blocks da 2 in
+      Alcotest.(check int) "two blocks rotted" 2 (List.length rotted);
+      let detect = Scrub.run da in
+      Alcotest.(check int) "detect-only finds both" 2 detect.Scrub.sr_bad;
+      Alcotest.(check int) "detect-only repairs nothing" 0 detect.Scrub.sr_repaired;
+      Alcotest.(check bool) "scans the data area" true (detect.Scrub.sr_scanned > 64);
+      let repair = Scrub.run ~repair_with:(Scrub.from_device db) da in
+      Alcotest.(check int) "repairs both from the twin" 2 repair.Scrub.sr_repaired;
+      let clean = Scrub.run da in
+      Alcotest.(check int) "volume clean after repair" 0 clean.Scrub.sr_bad;
+      (* And the repaired bytes are the right ones. *)
+      S.drop_caches fsa;
+      let got = F.read_all (S.open_file fsa (Util.name "fill")) in
+      Alcotest.(check char) "first page content restored" 'A' (Bytes.get got 0))
+
+let test_scrubber_without_checksum_region () =
+  Util.in_world (fun () ->
+      let disk = D.create ~label:"scrub-nocs" ~blocks:256 () in
+      DL.mkfs ~checksums:false disk;
+      let r = Scrub.run disk in
+      Alcotest.(check int) "nothing to scan without a checksum region" 0
+        r.Scrub.sr_scanned)
+
+(* ---------------- Mirror self-healing ------------------------------ *)
+
+let make_mirror tag =
+  let mk lbl =
+    let d = D.create ~label:lbl ~blocks:1024 () in
+    DL.mkfs ~journal:true d;
+    (d, DL.mount ~name:lbl d)
+  in
+  let da, fa = mk (tag ^ "A") in
+  let db, fb = mk (tag ^ "B") in
+  let vmm = Sp_vm.Vmm.create ~node:"local" (tag ^ "-vmm") in
+  let mirror = M.make ~vmm ~name:(tag ^ "-m") () in
+  S.stack_on mirror fa;
+  S.stack_on mirror fb;
+  (vmm, da, db, mirror)
+
+(* Rot the data block holding [marker]-filled content on [disk]. *)
+let rot_content_block disk marker =
+  let layout = Sp_sfs.Layout.decode_superblock (D.read disk 0) in
+  let c = Option.get (Sp_sfs.Csum.attach disk layout) in
+  let found = ref (-1) in
+  for b = layout.Sp_sfs.Layout.total_blocks - 1 downto 1 do
+    if !found < 0 && Sp_sfs.Csum.covers c b && Bytes.get (D.read disk b) 0 = marker
+    then found := b
+  done;
+  Alcotest.(check bool) "found a data block to rot" true (!found >= 0);
+  let data = D.read disk !found in
+  Bytes.set data 0 'X';
+  D.write disk !found data
+
+let test_mirror_self_heals_both_twins () =
+  Util.in_world (fun () ->
+      let vmm, da, db, mirror = make_mirror "heal2" in
+      let f = S.create mirror (Util.name "h") in
+      ignore (F.write f ~pos:0 (Bytes.make (2 * ps) 'h'));
+      F.sync f;
+      let cold_read () =
+        Sp_vm.Vmm.drop_caches vmm;
+        S.drop_caches mirror;
+        F.read_all f
+      in
+      (* Rot twin A: the read must be served from B (correct bytes), the
+         bad copy rewritten in place, and nothing degraded. *)
+      rot_content_block da 'h';
+      let got = cold_read () in
+      Alcotest.(check char) "served clean bytes from the good twin" 'h'
+        (Bytes.get got 0);
+      Alcotest.(check int) "one repair" 1 (M.repairs mirror);
+      Alcotest.(check int) "no failover" 0 (M.failovers mirror);
+      Alcotest.(check bool) "not degraded" true (M.degraded mirror = None);
+      Alcotest.(check bool) "twins identical again" true (M.verify mirror (Util.name "h"));
+      (* Rot twin B: ordinary reads are served by the primary and never
+         notice; the background scrub finds and heals it. *)
+      rot_content_block db 'h';
+      Alcotest.(check char) "reads still clean (primary serves)" 'h'
+        (Bytes.get (cold_read ()) 0);
+      let repaired = M.scrub mirror in
+      Alcotest.(check int) "scrub healed the secondary" 1 repaired;
+      Alcotest.(check int) "repair counter cumulative" 2 (M.repairs mirror);
+      Alcotest.(check bool) "twins identical after scrub" true
+        (M.verify mirror (Util.name "h"));
+      Alcotest.(check int) "scrub of a clean mirror repairs nothing" 0
+        (M.scrub mirror))
+
+(* ---------------- Corruption sweep --------------------------------- *)
+
+let test_sweep_checksums_catch_everything () =
+  List.iter
+    (fun kind ->
+      let r = CS.sweep ~stride:4 ~kind ~ops:10 ~seed:7 () in
+      Alcotest.(check int)
+        (Printf.sprintf "no silent corruption (%s)" (CS.kind_name kind))
+        0 r.CS.cr_silent;
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep visited points (%s)" (CS.kind_name kind))
+        true (r.CS.cr_points > 0))
+    [ CS.Bitrot; CS.Misdirected; CS.Lost ]
+
+let test_sweep_mirror_repairs () =
+  let r = CS.sweep ~stride:2 ~mirror:true ~kind:CS.Misdirected ~ops:14 ~seed:7 () in
+  Alcotest.(check int) "no silent corruption through the mirror" 0 r.CS.cr_silent;
+  Alcotest.(check bool) "mirror healed at least one point" true (r.CS.cr_repaired > 0)
+
+let test_sweep_control_without_checksums () =
+  (* The control that proves the harness can see silent corruption at
+     all: with the checksum region off, bit rot in file data is served
+     back without complaint. *)
+  let r = CS.sweep ~stride:1 ~checksums:false ~kind:CS.Bitrot ~ops:20 ~seed:7 () in
+  Alcotest.(check bool) "bit rot served silently without checksums" true
+    (r.CS.cr_silent > 0);
+  Alcotest.(check bool) "and the report names the first silent point" true
+    (r.CS.cr_first_silent <> None)
+
+let test_sweep_deterministic () =
+  let run () = CS.summary (CS.sweep ~stride:4 ~kind:CS.Misdirected ~ops:10 ~seed:3 ()) in
+  Alcotest.(check string) "same seed, same report" (run ()) (run ())
+
+(* ---------------- qcheck: single-bit flips never get through ------- *)
+
+let flip_case =
+  let gen = QCheck2.Gen.(pair small_nat (int_bound ((ps * 8) - 1))) in
+  let uniq = ref 0 in
+  Util.qcheck_case ~count:30 "single-bit flip in a checksummed block is detected"
+    gen (fun (seed, bit) ->
+      incr uniq;
+      Util.in_world (fun () ->
+          let tag = Printf.sprintf "qflip%d" !uniq in
+          let disk = D.create ~label:tag ~blocks:256 () in
+          DL.mkfs disk;
+          let fs = DL.mount ~name:(tag ^ "-fs") disk in
+          let f = S.create fs (Util.name "q") in
+          let data = Util.pattern_bytes ~seed:(seed + 1) ps in
+          ignore (F.write f ~pos:0 data);
+          S.sync fs;
+          (* Round trip holds before anything is flipped. *)
+          S.drop_caches fs;
+          let clean = Bytes.equal (F.read_all f) data in
+          (* Flip one bit of the stored data block behind the layer's
+             back, then read again: the flip must surface as a checksum
+             error, never as different bytes. *)
+          let layout = Sp_sfs.Layout.decode_superblock (D.read disk 0) in
+          let c = Option.get (Sp_sfs.Csum.attach disk layout) in
+          let blk = ref (-1) in
+          for b = layout.Sp_sfs.Layout.total_blocks - 1 downto 1 do
+            if !blk < 0 && Sp_sfs.Csum.covers c b then begin
+              let stored = D.read disk b in
+              if Bytes.equal stored data then blk := b
+            end
+          done;
+          if !blk < 0 then QCheck2.Test.fail_report "data block not found";
+          let stored = D.read disk !blk in
+          let byte = bit / 8 and k = bit mod 8 in
+          Bytes.set stored byte
+            (Char.chr (Char.code (Bytes.get stored byte) lxor (1 lsl k)));
+          D.write disk !blk stored;
+          S.drop_caches fs;
+          let detected =
+            match F.read_all f with
+            | _ -> false
+            | exception Sp_core.Fserr.Checksum_error _ -> true
+          in
+          clean && detected))
+
+let suite =
+  [
+    Alcotest.test_case "integrityfs: pass-through + verified counter" `Quick
+      test_integrityfs_passthrough;
+    Alcotest.test_case "integrityfs: detects lower-layer mutation" `Quick
+      test_integrityfs_detects_lower_mutation;
+    Alcotest.test_case "scrubber: detects rot and repairs from a twin" `Quick
+      test_scrubber_detects_and_repairs;
+    Alcotest.test_case "scrubber: no checksum region, nothing scanned" `Quick
+      test_scrubber_without_checksum_region;
+    Alcotest.test_case "mirror: self-heals rot on either twin" `Quick
+      test_mirror_self_heals_both_twins;
+    Alcotest.test_case "sweep: checksums leave nothing silent" `Slow
+      test_sweep_checksums_catch_everything;
+    Alcotest.test_case "sweep: mirror mode repairs" `Slow test_sweep_mirror_repairs;
+    Alcotest.test_case "sweep: checksums-off control is silent" `Slow
+      test_sweep_control_without_checksums;
+    Alcotest.test_case "sweep: deterministic" `Quick test_sweep_deterministic;
+    flip_case;
+  ]

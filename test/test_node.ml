@@ -16,6 +16,7 @@ let test_node_setup () =
           "compfs_creator";
           "cryptfs_creator";
           "dfs_creator";
+          "integrityfs_creator";
           "mirrorfs_creator";
           "sfs_disk_creator";
           "unionfs_creator";
