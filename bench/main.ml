@@ -42,6 +42,9 @@ let simulated_tables () =
   Sp_benchlib.Ablations.print ppf (Sp_benchlib.Ablations.run_all ());
   Format.fprintf ppf "@.";
   reset_world ();
+  Sp_benchlib.Bulk_bench.print ppf (Sp_benchlib.Bulk_bench.run ());
+  Format.fprintf ppf "@.";
+  reset_world ();
   Sp_benchlib.Ablations.print_depth_sweep ppf (Sp_benchlib.Ablations.depth_sweep ());
   Format.fprintf ppf "@.";
   reset_world ();
@@ -248,7 +251,114 @@ let run_bechamel () =
       print_results (Test.name test) results)
     [ bench_table2; bench_table3; bench_fig56; bench_dfs ]
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable rows (--json) and the perf guard (--check-perf)    *)
+(* ------------------------------------------------------------------ *)
+
+module PJ = Sp_benchlib.Perf_json
+
+(* Every deterministic simulated table as flat {table, label, ns} rows.
+   The simulation is exact, so the CI tolerance only absorbs deliberate
+   cost-model churn, never measurement noise. *)
+let collect_rows () =
+  let rows = ref [] in
+  let add table label ns = rows := { PJ.table; label; ns } :: !rows in
+  let config_names = [| "not stacked"; "one domain"; "two domains" |] in
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Table2.row) ->
+      let cached =
+        match r.cached with
+        | None -> ""
+        | Some true -> " cached"
+        | Some false -> " uncached"
+      in
+      Array.iteri
+        (fun i ns ->
+          add "table2"
+            (Printf.sprintf "%s%s, %s" r.operation cached config_names.(i))
+            ns)
+        r.ns)
+    (Sp_benchlib.Table2.run ());
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Table3.row) ->
+      add "table3" (r.operation ^ ", sunos") r.sunos_ns;
+      add "table3" (r.operation ^ ", spring") r.spring_ns)
+    (Sp_benchlib.Table3.run ());
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Ablations.result) ->
+      add "ablations" (r.label ^ ", baseline") r.baseline_ns;
+      add "ablations" (r.label ^ ", variant") r.variant_ns)
+    (Sp_benchlib.Ablations.run_all ());
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Bulk_bench.row) ->
+      add "bulk" (r.label ^ ", off") r.off_ns;
+      add "bulk" (r.label ^ ", on") r.on_ns)
+    (Sp_benchlib.Bulk_bench.run ());
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Macro.result) ->
+      add "macro" (Sp_benchlib.Workload.config_label r.config) r.total_ns)
+    (Sp_benchlib.Macro.run ());
+  List.rev !rows
+
+let write_json file =
+  let rows = collect_rows () in
+  let oc = open_out file in
+  output_string oc (PJ.to_string rows);
+  close_out oc;
+  Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) file
+
+let check_perf baseline_file =
+  let baseline =
+    let ic = open_in_bin baseline_file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    PJ.parse s
+  in
+  let fresh = collect_rows () in
+  let tolerance = 0.10 in
+  let verdicts = PJ.check ~tolerance ~baseline ~fresh in
+  let regressions = ref 0 in
+  List.iter
+    (function
+      | PJ.Regression (r, base) ->
+          incr regressions;
+          Printf.printf "REGRESSION %s/%s: %d ns -> %d ns (+%.1f%%)\n" r.table
+            r.label base r.ns
+            (100. *. (float_of_int r.ns /. float_of_int base -. 1.))
+      | PJ.Missing r ->
+          incr regressions;
+          Printf.printf "MISSING    %s/%s: baseline row absent from this run\n"
+            r.table r.label
+      | PJ.Improvement (r, base) ->
+          Printf.printf
+            "improved   %s/%s: %d ns -> %d ns (%.1f%%); refresh %s to lock in\n"
+            r.table r.label base r.ns
+            (100. *. (1. -. float_of_int r.ns /. float_of_int base))
+            baseline_file)
+    verdicts;
+  Printf.printf "PERF status=%s rows=%d baseline=%d tolerance=%.0f%%\n"
+    (if !regressions = 0 then "ok" else "regressed")
+    (List.length fresh) (List.length baseline) (100. *. tolerance);
+  if !regressions > 0 then exit 1
+
+let arg_value flag =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if String.equal Sys.argv.(i) flag then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () =
-  simulated_tables ();
-  if Array.exists (String.equal "--profile") Sys.argv then per_layer_breakdown ();
-  run_bechamel ()
+  match (arg_value "--json", arg_value "--check-perf") with
+  | Some file, _ -> write_json file
+  | None, Some baseline -> check_perf baseline
+  | None, None ->
+      simulated_tables ();
+      if Array.exists (String.equal "--profile") Sys.argv then per_layer_breakdown ();
+      run_bechamel ()

@@ -5,6 +5,10 @@ type result = { label : string; baseline_ns : int; variant_ns : int; note : stri
 (** §6.4: split-domain open with and without the name cache. *)
 val name_cache : unit -> result
 
+(** A DFS-imported remote file plus a client-side CFS and VMM (shared by
+    the remote-path ablations and {!Bulk_bench}). *)
+val make_remote : string -> Sp_core.File.t * Sp_cfs.Cfs.t * Sp_vm.Vmm.t
+
 (** §6.2 CFS: remote stat and 4KB read with and without CFS interposed. *)
 val cfs_stat : unit -> result
 
@@ -14,8 +18,8 @@ val cfs_read : unit -> result
     file (the VMM path CFS enables). *)
 val dfs_map_vs_rpc : unit -> result
 
-(** §8 extension: cold sequential read of a 128 KB file with the VMM
-    read-ahead window off vs 7 pages. *)
+(** §8 extension: cold sequential read of a 128 KB file with the VMM's
+    adaptive read-ahead off vs on (no manual window). *)
 val readahead : unit -> result
 
 (** Stacking-depth sweep: warm open and cached 4KB read cost for towers of

@@ -1,0 +1,14 @@
+(** Benchmarks for the bulk data path: zero-copy transfers ([Sp_bulk]),
+    adaptive read-ahead and clustered writeback, each measured with the
+    optimisation off and on under the [paper_1993] model. *)
+
+type row = {
+  label : string;
+  off_ns : int;  (** optimisation disabled *)
+  on_ns : int;  (** optimisation enabled (the default configuration) *)
+  note : string;
+}
+
+val run : unit -> row list
+
+val print : Format.formatter -> row list -> unit

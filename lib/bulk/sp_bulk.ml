@@ -1,0 +1,34 @@
+(** The bulk data path, re-exported under its subsystem name.
+
+    The mechanism lives in {!Sp_obj.Bulk} (the channel registry and
+    transfer scope) and {!Sp_obj.Door} ([data_call], [charge_transfer],
+    [charge_source_copy]) because the door is where Spring's stubs chose
+    between procedure call, cross-domain call, and the bulk-buffer path
+    (paper §6.4).  [Sp_bulk] is the library clients, benches, and tests
+    name: toggles, channel introspection, and a one-stop stats view.
+
+    Data-bearing call helpers must route through this path —
+    [Door.data_call] with an [~op] label plus one [charge_transfer] for
+    the payload — or copy accounting silently double-charges (see
+    CLAUDE.md conventions). *)
+
+include Sp_obj.Bulk
+
+type stats = {
+  channels : int;  (** bulk channels currently established *)
+  setups : int;  (** channels ever established (Metrics counter) *)
+  handoffs : int;  (** payloads handed over without a marshalling copy *)
+  copies : int;  (** payloads copied once into a shared bulk buffer *)
+}
+
+let stats () =
+  {
+    channels = channel_count ();
+    setups = Sp_sim.Metrics.bulk_setups ();
+    handoffs = Sp_sim.Metrics.bulk_handoffs ();
+    copies = Sp_sim.Metrics.bulk_copies ();
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "channels=%d setups=%d handoffs=%d copies=%d" s.channels
+    s.setups s.handoffs s.copies

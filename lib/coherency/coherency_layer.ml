@@ -180,6 +180,10 @@ let upper_pager l cf ~id =
     p_page_out = push `Drop;
     p_write_out = push `Read_only;
     p_sync = push `Same;
+    (* Vectored sync: callers retain their mode, so there is no block
+       state to update — forward the whole batch to the lower pager in a
+       single vectored crossing. *)
+    p_sync_v = (fun extents -> V.sync_v (lower_pager_of cf) extents);
     p_done_with =
       (fun () ->
         Block_state.remove_channel cf.state ~ch:id;

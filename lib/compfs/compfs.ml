@@ -340,6 +340,7 @@ let upper_pager l e ~id =
     p_page_out = push `Drop;
     p_write_out = push `Read_only;
     p_sync = push `Same;
+    p_sync_v = V.sync_each (push `Same);
     p_done_with =
       (fun () ->
         Sp_coherency.Mrsw.remove_channel e.e_state ~ch:id;

@@ -13,16 +13,20 @@ type t = {
 
 type Sp_naming.Context.obj += File of t
 
-(* Data crossing the file interface is marshalled between client and
-   server buffers — a copy the monolithic baseline does not pay twice. *)
+(* Data crossing the file interface rides the bulk path: same-domain
+   calls hand pages by reference, cross-domain calls charge exactly one
+   copy through the shared bulk buffer ([Door.charge_transfer]); with the
+   path disabled this degrades to the legacy full marshalling copy. *)
 let read f ~pos ~len =
-  let data = Sp_obj.Door.call ~op:"file.read" f.f_domain (fun () -> f.f_read ~pos ~len) in
-  Sp_obj.Door.charge_copy (Bytes.length data);
+  let data =
+    Sp_obj.Door.data_call ~op:"file.read" f.f_domain (fun () -> f.f_read ~pos ~len)
+  in
+  Sp_obj.Door.charge_transfer f.f_domain (Bytes.length data);
   data
 
 let write f ~pos data =
-  Sp_obj.Door.charge_copy (Bytes.length data);
-  Sp_obj.Door.call ~op:"file.write" f.f_domain (fun () -> f.f_write ~pos data)
+  Sp_obj.Door.charge_transfer f.f_domain (Bytes.length data);
+  Sp_obj.Door.data_call ~op:"file.write" f.f_domain (fun () -> f.f_write ~pos data)
 
 let stat f = Sp_obj.Door.call ~op:"file.stat" f.f_domain f.f_stat
 

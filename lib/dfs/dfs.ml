@@ -32,6 +32,9 @@ let proxy_pager net ~client ~server (p : V.pager_object) =
         rpc (Bytes.length data) (fun () -> p.V.p_write_out ~offset data));
     p_sync =
       (fun ~offset data -> rpc (Bytes.length data) (fun () -> p.V.p_sync ~offset data));
+    (* A clustered writeback batch crosses the wire as one RPC. *)
+    p_sync_v =
+      (fun extents -> rpc (V.extents_bytes extents) (fun () -> p.V.p_sync_v extents));
     p_done_with = (fun () -> rpc 16 p.V.p_done_with);
     p_exten =
       List.map

@@ -1,0 +1,32 @@
+(* Shared bulk-buffer channels between domain pairs, plus the dynamic
+   "a bulk transfer is in flight" scope that lets data sources hand pages
+   over by reference instead of charging a private copy.  See bulk.mli. *)
+
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let with_disabled f =
+  let saved = !enabled_flag in
+  enabled_flag := false;
+  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+
+(* Channels are symmetric: one mapping serves both transfer directions. *)
+let channels : (int * int, unit) Hashtbl.t = Hashtbl.create 64
+
+let channel_key a b =
+  let ia = Sdomain.id a and ib = Sdomain.id b in
+  if ia <= ib then (ia, ib) else (ib, ia)
+
+let established a b = Hashtbl.mem channels (channel_key a b)
+let establish a b = Hashtbl.replace channels (channel_key a b) ()
+let channel_count () = Hashtbl.length channels
+let reset () = Hashtbl.reset channels
+
+(* Depth of nested cross-domain data calls.  While positive, payload
+   copies at data *sources* are elided: the source writes straight into
+   the bulk buffer the boundary will charge for. *)
+let scope_depth = ref 0
+let in_scope () = !scope_depth > 0
+let enter_scope () = incr scope_depth
+let exit_scope () = decr scope_depth

@@ -61,6 +61,63 @@ let call ?(op = "invoke") target f =
       (fun () -> invoke target f)
   else invoke target f
 
+(* ------------------------------------------------------------------ *)
+(* Bulk data path (paper §6.4)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [charge_invocation], but for data-bearing calls: once a bulk
+   channel between the two domains exists, the crossing costs
+   [bulk_call_ns] (arguments ride in the pre-mapped buffer).  The
+   establishing call pays the full door cost plus the one-time mapping
+   setup.  Counted as a cross-domain call either way. *)
+let charge_data_invocation target =
+  let model = Sp_sim.Cost_model.current () in
+  if Sdomain.equal !current_domain target then begin
+    Sp_sim.Metrics.incr_local_calls ();
+    Sp_sim.Simclock.advance model.local_call_ns
+  end
+  else begin
+    Sp_sim.Metrics.incr_cross_domain_calls ();
+    if not (Bulk.enabled ()) then Sp_sim.Simclock.advance model.cross_domain_call_ns
+    else if Bulk.established !current_domain target then
+      Sp_sim.Simclock.advance model.bulk_call_ns
+    else begin
+      Bulk.establish !current_domain target;
+      Sp_sim.Metrics.incr_bulk_setups ();
+      if Sp_trace.enabled () then
+        Sp_trace.instant ~name:"bulk.setup"
+          ~args:
+            [
+              ("src", Sdomain.name !current_domain);
+              ("dst", Sdomain.name target);
+            ]
+          ();
+      Sp_sim.Simclock.advance (model.cross_domain_call_ns + model.bulk_setup_ns)
+    end
+  end
+
+let data_invoke target f =
+  charge_data_invocation target;
+  let scoped = Bulk.enabled () && not (Sdomain.equal !current_domain target) in
+  let saved = !current_domain in
+  current_domain := target;
+  if scoped then Bulk.enter_scope ();
+  Fun.protect
+    ~finally:(fun () ->
+      current_domain := saved;
+      if scoped then Bulk.exit_scope ())
+    f
+
+let data_call ?(op = "invoke") target f =
+  consult_fault op;
+  check_alive target;
+  if Sp_trace.enabled () then
+    Sp_trace.span ~op
+      ~src:(Sdomain.name !current_domain)
+      ~dst:(Sdomain.name target) ~node:(Sdomain.node target)
+      (fun () -> data_invoke target f)
+  else data_invoke target f
+
 let from domain f =
   let saved = !current_domain in
   current_domain := domain;
@@ -84,6 +141,33 @@ let charge_copy bytes =
   let model = Sp_sim.Cost_model.current () in
   Sp_trace.note_copy bytes;
   Sp_sim.Simclock.advance (bytes * model.copy_per_byte_ns)
+
+(* Payload accounting at a data-bearing interface boundary, relative to
+   the current (caller) domain.  Same-domain: pages are handed by
+   reference, zero marshalling copies.  Cross-domain: exactly one copy,
+   into the shared bulk buffer.  With the bulk path disabled this is the
+   legacy full marshalling copy ([fallback:true], the file interface) or
+   the historically unaccounted pager traffic ([fallback:false]). *)
+let charge_transfer ?(fallback = true) target bytes =
+  if bytes > 0 then
+    if not (Bulk.enabled ()) then begin
+      if fallback then charge_copy bytes
+    end
+    else if Sdomain.equal !current_domain target then
+      Sp_sim.Metrics.incr_bulk_handoffs ()
+    else begin
+      Sp_sim.Metrics.incr_bulk_copies ();
+      charge_copy bytes
+    end
+
+(* Payload copy at a data *source* (page cache -> caller buffer, disk
+   layer file body -> caller buffer).  Inside a cross-domain data call
+   the source writes straight into the bulk buffer the boundary charges
+   for, so the private copy is elided. *)
+let charge_source_copy bytes =
+  if bytes > 0 then
+    if Bulk.enabled () && Bulk.in_scope () then Sp_sim.Metrics.incr_bulk_handoffs ()
+    else charge_copy bytes
 
 let charge_cpu units =
   let model = Sp_sim.Cost_model.current () in

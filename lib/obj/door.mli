@@ -30,6 +30,31 @@ val user_domain : Sdomain.t
     read, so the fast-path door cost is unchanged. *)
 val call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
 
+(** [data_call target f] is {!call} for data-bearing operations
+    ([file.read], [pager.page_in], ...).  It costs the same as [call]
+    until a {!Bulk} channel between caller and [target] exists (the
+    establishing call additionally pays [bulk_setup_ns]); thereafter
+    cross-domain crossings cost only [bulk_call_ns].  While a
+    cross-domain [data_call] runs, {!charge_source_copy} elides source
+    copies — the payload lands directly in the bulk buffer, whose single
+    copy the caller charges via {!charge_transfer}.  Counts in
+    {!Sp_sim.Metrics} exactly like [call]. *)
+val data_call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
+
+(** [charge_transfer target bytes] accounts a payload crossing the
+    interface between the current domain and [target]: zero marshalling
+    copies same-domain (by-reference handoff), exactly one copy
+    cross-domain (into the shared bulk buffer).  With the bulk path
+    disabled, [fallback] selects the legacy accounting: [true] (default)
+    charges the old full marshalling copy (file interface), [false]
+    charges nothing (pager traffic, historically unaccounted). *)
+val charge_transfer : ?fallback:bool -> Sdomain.t -> int -> unit
+
+(** Charge a data-source copy ([Vmm.read]/[write], disk-layer file
+    bodies): a full copy normally, elided to a by-reference handoff
+    inside a cross-domain {!data_call}. *)
+val charge_source_copy : int -> unit
+
 (** [from domain f] runs [f ()] with [domain] as the current (client)
     domain; used by tests and examples to stand for an application
     program running in that domain. *)

@@ -168,6 +168,37 @@ let write dev n data =
       if not (Hashtbl.mem t.dirty n) then t.order <- n :: t.order;
       Hashtbl.replace t.dirty n block
 
+(* Vectored write: the blocks of one contiguous extent in ascending
+   order.  On a journaled dev this only buffers, like [write].  On a raw
+   checksummed dev the data blocks go out first — back to back, so the
+   head pays one seek plus a contiguous transfer — and the checksum
+   region is flushed once for the whole run instead of once per block.
+   The detectable stale-checksum crash window of per-block write-through
+   now spans the extent rather than one block; raw devs never promised
+   atomicity, and fsck/scrub flag the window either way. *)
+let write_vec dev writes =
+  match dev.d_journal with
+  | Some _ -> List.iter (fun (n, data) -> write dev n data) writes
+  | None ->
+      List.iter (fun (n, data) -> Sp_blockdev.Disk.write dev.d_disk n data) writes;
+      (match dev.d_csum with
+      | Some c ->
+          let recorded = ref false in
+          List.iter
+            (fun (n, data) ->
+              if Csum.covers c n then begin
+                Csum.record c n data;
+                recorded := true
+              end)
+            writes;
+          if !recorded then begin
+            List.iter
+              (fun cb -> Sp_blockdev.Disk.write dev.d_disk cb (Csum.image c cb))
+              (Csum.dirty c);
+            Csum.clear_dirty c
+          end
+      | None -> ())
+
 let commit_batch t datas =
   (* 1. Journal data blocks. *)
   List.iteri

@@ -72,6 +72,14 @@ val read : dev -> int -> bytes
     {!commit}. *)
 val write : dev -> int -> bytes -> unit
 
+(** [write_vec dev [(n, data); ...]]: one clustered-writeback extent,
+    blocks in ascending order.  Equivalent to [write] per block except on
+    a raw checksummed dev, where the data blocks go out back to back (one
+    seek plus a contiguous transfer under the device's head-adjacency
+    model) and the checksum region is flushed once for the whole extent
+    instead of once per block. *)
+val write_vec : dev -> (int * bytes) list -> unit
+
 (** Commit buffered writes (no-op on raw devs or when nothing is dirty).
     With a [Csum] attached, each batch's dirty checksum-region blocks are
     appended to that batch's transaction, so data and checksums commit

@@ -11,6 +11,9 @@ type t = {
   disk_per_block_ns : int;
   net_rtt_ns : int;
   net_per_byte_ns : int;
+  bulk_setup_ns : int;
+  bulk_call_ns : int;
+  readahead_max_pages : int;
 }
 
 (* Calibrated against Table 2/3 of the paper: cached 4KB read/write ~0.16ms,
@@ -30,6 +33,9 @@ let paper_1993 =
     disk_per_block_ns = 1_900_000;
     net_rtt_ns = 2_000_000;
     net_per_byte_ns = 800;
+    bulk_setup_ns = 150_000;
+    bulk_call_ns = 40_000;
+    readahead_max_pages = 32;
   }
 
 let fast =
@@ -46,6 +52,13 @@ let fast =
     disk_per_block_ns = 1;
     net_rtt_ns = 1;
     net_per_byte_ns = 0;
+    (* bulk_call_ns must equal cross_domain_call_ns and bulk_setup_ns must
+       be zero so the bulk path leaves fast-model totals unchanged;
+       readahead_max_pages = 0 keeps adaptive read-ahead windowless so
+       tests see deterministic page-in counts. *)
+    bulk_setup_ns = 0;
+    bulk_call_ns = 1;
+    readahead_max_pages = 0;
   }
 
 let model = ref paper_1993

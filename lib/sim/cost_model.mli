@@ -21,6 +21,17 @@ type t = {
   disk_per_block_ns : int;  (** media transfer time for one block *)
   net_rtt_ns : int;  (** network round trip, small message *)
   net_per_byte_ns : int;  (** network transfer cost per payload byte *)
+  bulk_setup_ns : int;
+      (** one-time cost of establishing a shared bulk buffer between two
+          domains (mapping pages into both address spaces); charged on the
+          first data-bearing call of a domain pair, never per call *)
+  bulk_call_ns : int;
+      (** cross-domain data-bearing door call once a bulk channel is
+          established (cheaper than [cross_domain_call_ns]: arguments ride
+          in the pre-mapped buffer) *)
+  readahead_max_pages : int;
+      (** cap on the adaptive per-entry read-ahead window ([Vmm]); 0
+          disables adaptive read-ahead entirely *)
 }
 
 (** Cost model approximating the paper's 40 MHz SPARCstation 10 with a

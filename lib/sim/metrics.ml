@@ -15,6 +15,11 @@ type snapshot = {
   net_retries : int;
   checksum_failures : int;
   integrity_repairs : int;
+  bulk_handoffs : int;
+  bulk_copies : int;
+  bulk_setups : int;
+  readahead_hits : int;
+  readahead_wasted : int;
 }
 
 let zero =
@@ -35,6 +40,11 @@ let zero =
     net_retries = 0;
     checksum_failures = 0;
     integrity_repairs = 0;
+    bulk_handoffs = 0;
+    bulk_copies = 0;
+    bulk_setups = 0;
+    readahead_hits = 0;
+    readahead_wasted = 0;
   }
 
 let state = ref zero
@@ -77,6 +87,19 @@ let incr_checksum_failures () =
 let incr_integrity_repairs () =
   state := { !state with integrity_repairs = !state.integrity_repairs + 1 }
 
+let bulk_handoffs () = !state.bulk_handoffs
+let bulk_copies () = !state.bulk_copies
+let bulk_setups () = !state.bulk_setups
+let readahead_hits () = !state.readahead_hits
+let readahead_wasted () = !state.readahead_wasted
+let incr_bulk_handoffs () = state := { !state with bulk_handoffs = !state.bulk_handoffs + 1 }
+let incr_bulk_copies () = state := { !state with bulk_copies = !state.bulk_copies + 1 }
+let incr_bulk_setups () = state := { !state with bulk_setups = !state.bulk_setups + 1 }
+let incr_readahead_hits () = state := { !state with readahead_hits = !state.readahead_hits + 1 }
+
+let incr_readahead_wasted () =
+  state := { !state with readahead_wasted = !state.readahead_wasted + 1 }
+
 let snapshot () = !state
 
 let diff ~before ~after =
@@ -97,6 +120,11 @@ let diff ~before ~after =
     net_retries = after.net_retries - before.net_retries;
     checksum_failures = after.checksum_failures - before.checksum_failures;
     integrity_repairs = after.integrity_repairs - before.integrity_repairs;
+    bulk_handoffs = after.bulk_handoffs - before.bulk_handoffs;
+    bulk_copies = after.bulk_copies - before.bulk_copies;
+    bulk_setups = after.bulk_setups - before.bulk_setups;
+    readahead_hits = after.readahead_hits - before.readahead_hits;
+    readahead_wasted = after.readahead_wasted - before.readahead_wasted;
   }
 
 let add a b =
@@ -117,6 +145,11 @@ let add a b =
     net_retries = a.net_retries + b.net_retries;
     checksum_failures = a.checksum_failures + b.checksum_failures;
     integrity_repairs = a.integrity_repairs + b.integrity_repairs;
+    bulk_handoffs = a.bulk_handoffs + b.bulk_handoffs;
+    bulk_copies = a.bulk_copies + b.bulk_copies;
+    bulk_setups = a.bulk_setups + b.bulk_setups;
+    readahead_hits = a.readahead_hits + b.readahead_hits;
+    readahead_wasted = a.readahead_wasted + b.readahead_wasted;
   }
 
 let reset () = state := zero
@@ -129,8 +162,11 @@ let pp ppf s =
      net_messages=%d net_bytes=%d@ \
      coherency_actions=%d attr_fetches=%d@ \
      faults_injected=%d net_retries=%d@ \
-     checksum_failures=%d integrity_repairs=%d@]"
+     checksum_failures=%d integrity_repairs=%d@ \
+     bulk_handoffs=%d bulk_copies=%d bulk_setups=%d@ \
+     readahead_hits=%d readahead_wasted=%d@]"
     s.cross_domain_calls s.local_calls s.kernel_calls s.page_faults s.page_ins
     s.page_outs s.disk_reads s.disk_writes s.net_messages s.net_bytes
     s.coherency_actions s.attr_fetches s.faults_injected s.net_retries
-    s.checksum_failures s.integrity_repairs
+    s.checksum_failures s.integrity_repairs s.bulk_handoffs s.bulk_copies
+    s.bulk_setups s.readahead_hits s.readahead_wasted

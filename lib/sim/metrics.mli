@@ -22,6 +22,13 @@ type snapshot = {
   net_retries : int;  (** RPC attempts repeated after drop/timeout *)
   checksum_failures : int;  (** reads whose data failed checksum verification *)
   integrity_repairs : int;  (** corrupt blocks rewritten from a good copy *)
+  bulk_handoffs : int;
+      (** payloads handed over without a marshalling copy (same-domain by
+          reference, or a source writing straight into a bulk buffer) *)
+  bulk_copies : int;  (** payloads copied once into a shared bulk buffer *)
+  bulk_setups : int;  (** bulk channels established (one per domain pair) *)
+  readahead_hits : int;  (** faults absorbed by a previously prefetched page *)
+  readahead_wasted : int;  (** prefetched pages retired without ever being hit *)
 }
 
 val cross_domain_calls : unit -> int
@@ -51,6 +58,16 @@ val incr_faults_injected : unit -> unit
 val incr_net_retries : unit -> unit
 val incr_checksum_failures : unit -> unit
 val incr_integrity_repairs : unit -> unit
+val bulk_handoffs : unit -> int
+val bulk_copies : unit -> int
+val bulk_setups : unit -> int
+val readahead_hits : unit -> int
+val readahead_wasted : unit -> int
+val incr_bulk_handoffs : unit -> unit
+val incr_bulk_copies : unit -> unit
+val incr_bulk_setups : unit -> unit
+val incr_readahead_hits : unit -> unit
+val incr_readahead_wasted : unit -> unit
 
 (** Capture the current counter values. *)
 val snapshot : unit -> snapshot

@@ -136,6 +136,7 @@ let upper_pager l u ~id =
     p_page_out = push `Drop;
     p_write_out = push `Read_only;
     p_sync = push `Same;
+    p_sync_v = V.sync_each (push `Same);
     p_done_with =
       (fun () ->
         Sp_coherency.Mrsw.remove_channel u.u_state ~ch:id;

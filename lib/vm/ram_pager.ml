@@ -47,6 +47,7 @@ let make_pager t =
     p_page_out = write;
     p_write_out = write;
     p_sync = write;
+    p_sync_v = Vm_types.sync_each write;
     p_done_with = (fun () -> ());
     p_exten = [];
   }

@@ -22,9 +22,18 @@ type pager_object = {
   p_page_out : offset:int -> bytes -> unit;
   p_write_out : offset:int -> bytes -> unit;
   p_sync : offset:int -> bytes -> unit;
+  p_sync_v : extent list -> unit;
   p_done_with : unit -> unit;
   p_exten : Sp_obj.Exten.t list;
 }
+
+(* Per-extent [p_sync] semantics over a vectored batch: the default
+   [p_sync_v] for pagers with no smarter clustering of their own. *)
+let sync_each sync extents =
+  List.iter (fun e -> sync ~offset:e.ext_offset e.ext_data) extents
+
+let extents_bytes extents =
+  List.fold_left (fun acc e -> acc + Bytes.length e.ext_data) 0 extents
 
 type cache_rights = { cr_key : string; cr_channel_id : int }
 
@@ -92,24 +101,44 @@ let populate c ~offset ~access data =
 
 let destroy_cache c = Sp_obj.Door.call ~op:"cache.destroy" c.c_domain c.c_destroy
 
+(* Pager traffic is data-bearing: it rides the bulk path
+   ([Door.data_call] + one [charge_transfer] per crossing).  Historically
+   this payload was unaccounted, so the disabled-path fallback charges
+   nothing ([~fallback:false]). *)
 let page_in p ~offset ~size ~access =
   Sp_sim.Metrics.incr_page_ins ();
-  Sp_obj.Door.call ~op:"pager.page_in" p.p_domain (fun () ->
-      p.p_page_in ~offset ~size ~access)
+  let data =
+    Sp_obj.Door.data_call ~op:"pager.page_in" p.p_domain (fun () ->
+        p.p_page_in ~offset ~size ~access)
+  in
+  Sp_obj.Door.charge_transfer ~fallback:false p.p_domain (Bytes.length data);
+  data
 
 let page_out p ~offset data =
   Sp_sim.Metrics.incr_page_outs ();
-  Sp_obj.Door.call ~op:"pager.page_out" p.p_domain (fun () ->
+  Sp_obj.Door.charge_transfer ~fallback:false p.p_domain (Bytes.length data);
+  Sp_obj.Door.data_call ~op:"pager.page_out" p.p_domain (fun () ->
       p.p_page_out ~offset data)
 
 let write_out p ~offset data =
   Sp_sim.Metrics.incr_page_outs ();
-  Sp_obj.Door.call ~op:"pager.write_out" p.p_domain (fun () ->
+  Sp_obj.Door.charge_transfer ~fallback:false p.p_domain (Bytes.length data);
+  Sp_obj.Door.data_call ~op:"pager.write_out" p.p_domain (fun () ->
       p.p_write_out ~offset data)
 
 let sync p ~offset data =
   Sp_sim.Metrics.incr_page_outs ();
-  Sp_obj.Door.call ~op:"pager.sync" p.p_domain (fun () -> p.p_sync ~offset data)
+  Sp_obj.Door.charge_transfer ~fallback:false p.p_domain (Bytes.length data);
+  Sp_obj.Door.data_call ~op:"pager.sync" p.p_domain (fun () -> p.p_sync ~offset data)
+
+(* One vectored crossing pushes a whole run of coalesced dirty extents:
+   one door call, one transfer charge, one [page_outs] count per batch. *)
+let sync_v p extents =
+  if extents <> [] then begin
+    Sp_sim.Metrics.incr_page_outs ();
+    Sp_obj.Door.charge_transfer ~fallback:false p.p_domain (extents_bytes extents);
+    Sp_obj.Door.data_call ~op:"pager.sync_v" p.p_domain (fun () -> p.p_sync_v extents)
+  end
 
 let done_with p = Sp_obj.Door.call ~op:"pager.done_with" p.p_domain p.p_done_with
 

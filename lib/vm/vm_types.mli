@@ -55,10 +55,22 @@ type pager_object = {
       (** write data to the pager; caller retains it read-only *)
   p_sync : offset:int -> bytes -> unit;
       (** write data to the pager; caller retains its mode *)
+  p_sync_v : extent list -> unit;
+      (** vectored [p_sync]: a batch of coalesced contiguous dirty runs
+          pushed in one crossing (clustered writeback); each extent has
+          [p_sync] semantics.  Pagers with no smarter handling use
+          {!sync_each}. *)
   p_done_with : unit -> unit;
       (** the cache manager closes its end of the channel *)
   p_exten : Sp_obj.Exten.t list;
 }
+
+(** [sync_each sync extents] applies a per-extent push function to each
+    extent in order — the default [p_sync_v] implementation. *)
+val sync_each : (offset:int -> bytes -> unit) -> extent list -> unit
+
+(** Total payload bytes across a batch of extents. *)
+val extents_bytes : extent list -> int
 
 (** Token identifying a pager–cache channel; equivalent memory objects yield
     rights with equal [cr_key], letting cache managers share cached pages. *)
@@ -124,6 +136,12 @@ val page_in : pager_object -> offset:int -> size:int -> access:access -> bytes
 val page_out : pager_object -> offset:int -> bytes -> unit
 val write_out : pager_object -> offset:int -> bytes -> unit
 val sync : pager_object -> offset:int -> bytes -> unit
+
+(** Push a batch of coalesced dirty runs in a single vectored crossing:
+    one door call, one payload transfer, one [page_outs] count for the
+    whole batch.  No-op on the empty list. *)
+val sync_v : pager_object -> extent list -> unit
+
 val done_with : pager_object -> unit
 val bind : memory_object -> cache_manager -> access -> cache_rights
 val get_length : memory_object -> int

@@ -5,6 +5,7 @@ type page = {
   mutable mode : Vm_types.access;
   mutable dirty : bool;
   mutable used : int;  (* LRU tick *)
+  mutable prefetched : bool;  (* brought in by read-ahead, not yet hit *)
 }
 
 type entry = {
@@ -13,13 +14,20 @@ type entry = {
   mutable pager : Vm_types.pager_object option;
   mutable mapped : int;  (* live mapping count *)
   mutable last_fault : int;  (* page index, for sequential-run detection *)
+  mutable ra_window : int;  (* adaptive read-ahead window, in pages *)
+  mutable ra_next : int;  (* fault index that continues the run: the first
+                             page past the last fetch (prefetched pages
+                             absorb intermediate faults, so [last_fault+1]
+                             alone would read a sequential run as random) *)
 }
 
 type t = {
   vmm_domain : Sp_obj.Sdomain.t;
   vmm_name : string;
   entries : (string, entry) Hashtbl.t;
-  mutable readahead_pages : int;
+  mutable readahead_pages : int;  (* manual override; 0 = adaptive *)
+  mutable adaptive : bool;
+  mutable clustered : bool;
   mutable capacity : int option;
   mutable tick : int;
   mutable evicted : int;
@@ -42,6 +50,8 @@ let create ~node name =
     vmm_name = name;
     entries = Hashtbl.create 32;
     readahead_pages = 0;
+    adaptive = true;
+    clustered = true;
     capacity = None;
     tick = 0;
     evicted = 0;
@@ -58,10 +68,15 @@ let entry_for t key =
   | None ->
       let e =
         { e_key = key; pages = Hashtbl.create 16; pager = None; mapped = 0;
-          last_fault = min_int }
+          last_fault = min_int; ra_window = 0; ra_next = min_int }
       in
       Hashtbl.replace t.entries key e;
       e
+
+(* A prefetched page leaving the cache (or being discarded) without ever
+   having absorbed a fault was wasted read-ahead. *)
+let note_retired (page : page) =
+  if page.prefetched then Sp_sim.Metrics.incr_readahead_wasted ()
 
 (* Collect modified extents for pages intersecting [offset, offset+size),
    applying [update] to each intersecting page and dropping those for which
@@ -80,7 +95,10 @@ let scan_range entry ~offset ~size ~collect_dirty ~clear_dirty ~downgrade ~drop 
         if clear_dirty then page.dirty <- false;
         if downgrade && page.mode = Vm_types.Read_write then
           page.mode <- Vm_types.Read_only;
-        if drop then doomed := idx :: !doomed
+        if drop then begin
+          note_retired page;
+          doomed := idx :: !doomed
+        end
   in
   List.iter visit (Vm_types.pages_covering ~offset ~size);
   List.iter (Hashtbl.remove entry.pages) !doomed;
@@ -115,15 +133,53 @@ let evict_one t =
          and must not pick the same victim again. *)
       Hashtbl.remove entry.pages idx;
       t.evicted <- t.evicted + 1;
+      note_retired page;
       if page.dirty then
         match entry.pager with
         | Some pager when not (Sp_obj.Sdomain.alive pager.Vm_types.p_domain) ->
             (* the serving incarnation crashed before this page was pushed:
                the data is lost, like dirty data at a machine crash *)
             t.reconciled_lost <- t.reconciled_lost + 1
-        | Some pager ->
+        | Some pager when not t.clustered ->
+            (* The victim is already out of the table, so its buffer can be
+               handed to the pager as-is — no defensive copy needed. *)
             Sp_obj.Door.call ~op:"vmm.evict" t.vmm_domain (fun () ->
-                Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data))
+                Vm_types.sync pager ~offset:(idx * ps) page.data)
+        | Some pager ->
+            (* Write-behind clustering: push the whole contiguous dirty run
+               around the victim in one vectored crossing.  The neighbours
+               stay cached, now clean. *)
+            let dirty_at i =
+              match Hashtbl.find_opt entry.pages i with
+              | Some p -> p.dirty
+              | None -> false
+            in
+            let lo = ref idx and hi = ref idx in
+            while dirty_at (!lo - 1) do
+              decr lo
+            done;
+            while dirty_at (!hi + 1) do
+              incr hi
+            done;
+            if !lo = idx && !hi = idx then
+              Sp_obj.Door.call ~op:"vmm.evict" t.vmm_domain (fun () ->
+                  Vm_types.sync pager ~offset:(idx * ps) page.data)
+            else begin
+              let n = !hi - !lo + 1 in
+              let buf = Bytes.create (n * ps) in
+              for i = !lo to !hi do
+                let src = if i = idx then page else Hashtbl.find entry.pages i in
+                Bytes.blit src.data 0 buf ((i - !lo) * ps) ps
+              done;
+              Sp_obj.Door.call ~op:"vmm.evict" t.vmm_domain (fun () ->
+                  Vm_types.sync_v pager
+                    [ { Vm_types.ext_offset = !lo * ps; ext_data = buf } ]);
+              for i = !lo to !hi do
+                match Hashtbl.find_opt entry.pages i with
+                | Some p -> p.dirty <- false
+                | None -> ()
+              done
+            end
         | None -> ()
 
 (* Insert a page, honouring the capacity bound.  While a victim's dirty
@@ -174,7 +230,7 @@ let make_cache_object t entry =
           if offset <= page_off && page_off + ps <= offset + size then
             insert_page t entry idx
               { data = Bytes.make ps '\000'; mode = Vm_types.Read_only; dirty = false;
-                used = 0 }
+                used = 0; prefetched = false }
           else
             match Hashtbl.find_opt entry.pages idx with
             | None -> ()
@@ -193,11 +249,13 @@ let make_cache_object t entry =
           let chunk = Bytes.make ps '\000' in
           let n = min ps (total - rel) in
           Bytes.blit data rel chunk 0 n;
-          insert_page t entry idx { data = chunk; mode = access; dirty = false; used = 0 }
+          insert_page t entry idx
+            { data = chunk; mode = access; dirty = false; used = 0; prefetched = false }
         in
         List.iter insert (Vm_types.pages_covering ~offset ~size:total));
     c_destroy =
       (fun () ->
+        Hashtbl.iter (fun _ p -> note_retired p) entry.pages;
         Hashtbl.reset entry.pages;
         entry.pager <- None);
     c_exten = [];
@@ -212,10 +270,14 @@ let make_cache_object t entry =
 let reconcile t entry =
   let clean = ref 0 and lost = ref 0 in
   Hashtbl.iter
-    (fun _ (p : page) -> if p.dirty then incr lost else incr clean)
+    (fun _ (p : page) ->
+      note_retired p;
+      if p.dirty then incr lost else incr clean)
     entry.pages;
   Hashtbl.reset entry.pages;
   entry.last_fault <- min_int;
+  entry.ra_window <- 0;
+  entry.ra_next <- min_int;
   t.reconciled_clean <- t.reconciled_clean + !clean;
   t.reconciled_lost <- t.reconciled_lost + !lost;
   if Sp_trace.enabled () then
@@ -264,13 +326,41 @@ let fault m idx access =
   let entry = m.m_entry in
   let pager = pager_of entry in
   (* Read-ahead: a read fault continuing a sequential run asks the pager
-     for more than strictly needed; anything extra comes back read-only. *)
+     for more than strictly needed; anything extra comes back read-only.
+     A manual window ([set_readahead]) is used as-is; otherwise the
+     per-entry adaptive window starts at two pages, doubles each time the
+     run continues (up to the cost model's cap) and collapses to zero on a
+     non-sequential fault.  [ra_next] — the first page past the last fetch
+     — recognises a run even when prefetched pages absorbed the
+     intermediate faults. *)
+  let vmm = m.m_vmm in
   let extra =
-    if access = Vm_types.Read_only && idx = entry.last_fault + 1 then
-      m.m_vmm.readahead_pages
+    if access <> Vm_types.Read_only then 0
+    else if vmm.readahead_pages > 0 then
+      if idx = entry.last_fault + 1 then vmm.readahead_pages else 0
+    else if vmm.adaptive && model.readahead_max_pages > 0 then begin
+      let sequential = idx = entry.ra_next || idx = entry.last_fault + 1 in
+      let window =
+        if sequential then
+          min model.readahead_max_pages (max 2 (entry.ra_window * 2))
+        else 0
+      in
+      if window <> entry.ra_window && Sp_trace.enabled () then
+        Sp_trace.instant ~name:"vmm.readahead"
+          ~args:
+            [
+              ("key", entry.e_key);
+              ("page", string_of_int idx);
+              ("window", string_of_int window);
+            ]
+          ();
+      entry.ra_window <- window;
+      window
+    end
     else 0
   in
   entry.last_fault <- idx;
+  entry.ra_next <- idx + 1 + extra;
   let size = (1 + extra) * ps in
   let data =
     Sp_obj.Door.call ~op:"vmm.fault" m.m_vmm.vmm_domain (fun () ->
@@ -290,25 +380,34 @@ let fault m idx access =
   let first =
     match slice 0 with Some d -> d | None -> Bytes.make ps '\000'
   in
-  let page = { data = first; mode = access; dirty = false; used = 0 } in
+  let page = { data = first; mode = access; dirty = false; used = 0; prefetched = false } in
   insert_page m.m_vmm entry idx page;
   for i = 1 to extra do
     match slice i with
     | Some d ->
         if not (Hashtbl.mem entry.pages (idx + i)) then
           insert_page m.m_vmm entry (idx + i)
-            { data = d; mode = Vm_types.Read_only; dirty = false; used = 0 }
+            { data = d; mode = Vm_types.Read_only; dirty = false; used = 0;
+              prefetched = true }
     | None -> ()
   done;
   page
+
+let note_hit (page : page) =
+  if page.prefetched then begin
+    page.prefetched <- false;
+    Sp_sim.Metrics.incr_readahead_hits ()
+  end
 
 let ensure m idx access =
   match Hashtbl.find_opt m.m_entry.pages idx with
   | Some page when access = Vm_types.Read_only ->
       touch m.m_vmm page;
+      note_hit page;
       page
   | Some page when page.mode = Vm_types.Read_write ->
       touch m.m_vmm page;
+      note_hit page;
       page
   | Some _ -> fault m idx Vm_types.Read_write
   | None -> fault m idx access
@@ -331,7 +430,7 @@ let read m ~pos ~len =
     end
   in
   go 0;
-  Sp_obj.Door.charge_copy len;
+  Sp_obj.Door.charge_source_copy len;
   out
 
 let write m ~pos data =
@@ -351,7 +450,7 @@ let write m ~pos data =
     end
   in
   go 0;
-  Sp_obj.Door.charge_copy len
+  Sp_obj.Door.charge_source_copy len
 
 let push_dirty vmm entry =
   match entry.pager with
@@ -364,12 +463,44 @@ let push_dirty vmm entry =
       let flush idx (page : page) acc = if page.dirty then (idx, page) :: acc else acc in
       let dirty = Hashtbl.fold flush entry.pages [] in
       let ordered = List.sort (fun (a, _) (b, _) -> Int.compare a b) dirty in
-      let out (idx, page) =
+      if ordered = [] then ()
+      else if not vmm.clustered then
+        (* Unclustered baseline: one crossing per dirty page. *)
+        List.iter
+          (fun (idx, page) ->
+            Sp_obj.Door.call ~op:"vmm.push_dirty" vmm.vmm_domain (fun () ->
+                Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data));
+            page.dirty <- false)
+          ordered
+      else begin
+        (* Clustered writeback: coalesce contiguous dirty pages into one
+           extent per run and push the whole batch in a single vectored
+           crossing. *)
+        let runs =
+          List.fold_left
+            (fun acc (idx, page) ->
+              match acc with
+              | ((prev, _) :: _ as run) :: rest when idx = prev + 1 ->
+                  ((idx, page) :: run) :: rest
+              | _ -> [ (idx, page) ] :: acc)
+            [] ordered
+          |> List.rev_map List.rev
+        in
+        let extents =
+          List.map
+            (fun run ->
+              let first = match run with (i, _) :: _ -> i | [] -> assert false in
+              let buf = Bytes.create (List.length run * ps) in
+              List.iteri
+                (fun i (_, page) -> Bytes.blit page.data 0 buf (i * ps) ps)
+                run;
+              { Vm_types.ext_offset = first * ps; ext_data = buf })
+            runs
+        in
         Sp_obj.Door.call ~op:"vmm.push_dirty" vmm.vmm_domain (fun () ->
-            Vm_types.sync pager ~offset:(idx * ps) (Bytes.copy page.data));
-        page.dirty <- false
-      in
-      List.iter out ordered
+            Vm_types.sync_v pager extents);
+        List.iter (fun (_, page) -> page.dirty <- false) ordered
+      end
 
 let msync m =
   check_live m;
@@ -390,6 +521,7 @@ let cached_pages m = Hashtbl.length m.m_entry.pages
 let drop_caches t =
   let drop _key entry =
     push_dirty t entry;
+    Hashtbl.iter (fun _ p -> note_retired p) entry.pages;
     Hashtbl.reset entry.pages
   in
   Hashtbl.iter drop t.entries
@@ -401,6 +533,10 @@ let set_readahead t ~pages =
   t.readahead_pages <- pages
 
 let readahead t = t.readahead_pages
+let set_adaptive t on = t.adaptive <- on
+let adaptive t = t.adaptive
+let set_clustered t on = t.clustered <- on
+let clustered t = t.clustered
 
 let set_capacity t ~pages =
   match pages with

@@ -43,8 +43,17 @@ val read : mapping -> pos:int -> len:int -> bytes
     memory object's length — file layers do that explicitly. *)
 val write : mapping -> pos:int -> bytes -> unit
 
-(** Push dirty pages to the pager ([sync]: data retained in current mode). *)
+(** Push dirty pages to the pager ([sync]: data retained in current mode).
+    With clustered writeback (the default) contiguous dirty pages coalesce
+    into one extent per run and the whole batch crosses to the pager in a
+    single vectored [sync_v]. *)
 val msync : mapping -> unit
+
+(** Enable/disable clustered writeback (on by default).  Off restores the
+    one-[sync]-per-dirty-page behaviour. *)
+val set_clustered : t -> bool -> unit
+
+val clustered : t -> bool
 
 (** The memory object backing this mapping. *)
 val memory_object : mapping -> Vm_types.memory_object
@@ -64,15 +73,30 @@ val entry_count : t -> int
     The paper's open problem: "allow a cache manager to convey to the
     pager the maximum and minimum amount of data required during a
     page-in; the pager is then given the opportunity to return more data
-    than strictly needed."  When read-ahead is enabled and a read fault
-    continues a sequential run, the VMM requests up to [pages] extra
-    pages in the same page-in; whatever the pager actually returns beyond
-    the faulting page is populated read-only. *)
+    than strictly needed."  When a read fault continues a sequential run,
+    the VMM requests extra pages in the same page-in; whatever the pager
+    actually returns beyond the faulting page is populated read-only and
+    marked prefetched.
 
-(** Set the read-ahead window in pages (0 disables; the default). *)
+    By default the window is {e adaptive} and per entry: it starts at two
+    pages, doubles each time the run continues (up to
+    {!Sp_sim.Cost_model.t.readahead_max_pages} — 0 under the [fast] model,
+    so tests see no read-ahead) and collapses to zero on a non-sequential
+    fault.  First-touch of a prefetched page counts
+    [Sp_sim.Metrics.readahead_hits]; a prefetched page retired untouched
+    counts [readahead_wasted]. *)
+
+(** Set a manual read-ahead window in pages, overriding the adaptive one
+    (0 restores adaptive behaviour; the default). *)
 val set_readahead : t -> pages:int -> unit
 
 val readahead : t -> int
+
+(** Enable/disable the adaptive window (on by default; only consulted when
+    no manual window is set). *)
+val set_adaptive : t -> bool -> unit
+
+val adaptive : t -> bool
 
 (** {1 Memory pressure}
 

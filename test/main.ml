@@ -29,5 +29,6 @@ let () =
       ("fsck", Test_fsck.suite);
       ("integrity", Test_integrity.suite);
       ("supervise", Test_supervise.suite);
+      ("bulk", Test_bulk.suite);
       ("table_shapes", Test_table_shapes.suite);
     ]

@@ -19,6 +19,7 @@ let test_pager_lib_registry () =
           p_page_out = (fun ~offset:_ _ -> ());
           p_write_out = (fun ~offset:_ _ -> ());
           p_sync = (fun ~offset:_ _ -> ());
+          p_sync_v = (fun _ -> ());
           p_done_with = (fun () -> ());
           p_exten = [];
         }

@@ -145,6 +145,7 @@ let test_pre_crash_callback_dropped () =
           p_page_out = (fun ~offset:_ _ -> ());
           p_write_out = (fun ~offset:_ _ -> ());
           p_sync = (fun ~offset:_ _ -> ());
+          p_sync_v = (fun _ -> ());
           p_done_with = (fun () -> ());
           p_exten = noext;
         }
