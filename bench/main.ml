@@ -58,6 +58,9 @@ let simulated_tables () =
   Format.fprintf ppf "@.";
   reset_world ();
   Sp_benchlib.Scrub.print ppf (Sp_benchlib.Scrub.run ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Scale.print ppf (Sp_benchlib.Scale.run ());
   Format.fprintf ppf "@."
 
 (* Optional per-layer breakdown (--profile): attribute the simulated time
@@ -303,6 +306,15 @@ let collect_rows () =
     (fun (r : Sp_benchlib.Macro.result) ->
       add "macro" (Sp_benchlib.Workload.config_label r.config) r.total_ns)
     (Sp_benchlib.Macro.run ());
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Scale.row) ->
+      let label fmt = Printf.sprintf "%d clients, %s" r.sc_clients fmt in
+      add "scale" (label "p50") r.sc_p50_ns;
+      add "scale" (label "p99") r.sc_p99_ns;
+      add "scale" (label "p999") r.sc_p999_ns;
+      add "scale" (label "elapsed") r.sc_elapsed_ns)
+    (Sp_benchlib.Scale.run ());
   List.rev !rows
 
 let write_json file =

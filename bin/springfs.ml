@@ -195,16 +195,23 @@ let run_fsck ops journal crash_at no_recover verify_checksums =
 
 (* --- springfs crash --- *)
 
-let run_crash ops seed stride no_journal no_checksums torn expect_inconsistent =
+let run_crash ops seed stride clients no_journal no_checksums torn
+    expect_inconsistent =
   if stride < 1 then (
     Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
     exit 2);
   if ops < 1 then (
     Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
     exit 2);
+  if clients < 1 then (
+    Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
+    exit 2);
   let journal = not no_journal in
   let checksums = not no_checksums in
-  let report = Sp_sfs.Crash_sweep.sweep ~stride ~torn ~checksums ~journal ~ops ~seed () in
+  let report =
+    Sp_sfs.Crash_sweep.sweep ~stride ~torn ~checksums ~clients ~journal ~ops
+      ~seed ()
+  in
   Format.printf "%a@." Sp_sfs.Crash_sweep.pp_report report;
   print_endline (Sp_sfs.Crash_sweep.summary report);
   let open Sp_sfs.Crash_sweep in
@@ -240,18 +247,22 @@ let run_crash ops seed stride no_journal no_checksums torn expect_inconsistent =
 
 (* --- springfs scrub --- *)
 
-let run_scrub ops seed stride no_checksums mirror expect_undetected =
+let run_scrub ops seed stride clients no_checksums mirror expect_undetected =
   if stride < 1 then (
     Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
     exit 2);
   if ops < 1 then (
     Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
     exit 2);
+  if clients < 1 then (
+    Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
+    exit 2);
   let checksums = not no_checksums in
   let module CS = Sp_integrity.Corruption_sweep in
   let reports =
     List.map
-      (fun kind -> CS.sweep ~stride ~checksums ~mirror ~kind ~ops ~seed ())
+      (fun kind ->
+        CS.sweep ~stride ~checksums ~mirror ~clients ~kind ~ops ~seed ())
       [ CS.Bitrot; CS.Misdirected; CS.Lost ]
   in
   List.iter
@@ -277,6 +288,38 @@ let run_scrub ops seed stride no_checksums mirror expect_undetected =
       silent;
     1
   end
+
+(* --- springfs scale --- *)
+
+let run_scale clients budget seed check =
+  if clients < 1 then (
+    Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
+    exit 2);
+  if budget < 1 then (
+    Format.eprintf "springfs: --budget must be at least 1 (got %d)@." budget;
+    exit 2);
+  let open Sp_benchlib.Scale in
+  let r = run_row ~budget ~clients ~seed () in
+  print Format.std_formatter [ r ];
+  Format.printf
+    "SCALE clients=%d ops=%d elapsed_ns=%d p50_ns=%d p99_ns=%d p999_ns=%d \
+     queue_ns=%d switches=%d@."
+    r.sc_clients r.sc_ops r.sc_elapsed_ns r.sc_p50_ns r.sc_p99_ns r.sc_p999_ns
+    r.sc_queue_ns r.sc_switches;
+  if not check then 0
+  else if r.sc_queue_ns <= 0 then begin
+    Format.eprintf
+      "springfs: --check: no queue time recorded — contention never formed@.";
+    1
+  end
+  else if r.sc_p50_ns <= 0 || r.sc_p99_ns <= r.sc_p50_ns then begin
+    Format.eprintf
+      "springfs: --check: expected p99 (%dns) above p50 (%dns) under \
+       contention@."
+      r.sc_p99_ns r.sc_p50_ns;
+    1
+  end
+  else 0
 
 (* --- springfs failover --- *)
 
@@ -497,6 +540,14 @@ let crash_cmd =
       value & opt int 1
       & info [ "stride" ] ~docv:"K" ~doc:"Crash at every K-th device write (default every write).")
   in
+  let clients =
+    Arg.(
+      value & opt int 1
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Run the workload as C concurrently scheduled clients ($(docv) \
+                operations each); recovery is verified against per-file \
+                version histories.")
+  in
   let no_journal =
     Arg.(value & flag & info [ "no-journal" ] ~doc:"Format without a journal (expect damage).")
   in
@@ -523,8 +574,8 @@ let crash_cmd =
   in
   Cmd.v (Cmd.info "crash" ~doc)
     Term.(
-      const run_crash $ ops $ seed $ stride $ no_journal $ no_checksums $ torn
-      $ expect_inconsistent)
+      const run_crash $ ops $ seed $ stride $ clients $ no_journal
+      $ no_checksums $ torn $ expect_inconsistent)
 
 let scrub_cmd =
   let ops =
@@ -538,6 +589,13 @@ let scrub_cmd =
       value & opt int 1
       & info [ "stride" ] ~docv:"K"
           ~doc:"Inject at every K-th device I/O (default every one).")
+  in
+  let clients =
+    Arg.(
+      value & opt int 1
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Run the workload as C concurrently scheduled clients ($(docv) \
+                operations each).")
   in
   let no_checksums =
     Arg.(
@@ -567,7 +625,7 @@ let scrub_cmd =
   in
   Cmd.v (Cmd.info "scrub" ~doc)
     Term.(
-      const run_scrub $ ops $ seed $ stride $ no_checksums $ mirror
+      const run_scrub $ ops $ seed $ stride $ clients $ no_checksums $ mirror
       $ expect_undetected)
 
 let failover_cmd =
@@ -602,6 +660,39 @@ let failover_cmd =
   in
   Cmd.v (Cmd.info "failover" ~doc)
     Term.(const run_failover $ ops $ seed $ stride $ no_supervisor $ expect_unavailable)
+
+let scale_cmd =
+  let clients =
+    Arg.(
+      value & opt int 64
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Concurrent clients, each a scheduler task on the shared stack.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 10000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Total operation budget for the row (each client runs \
+                budget/clients ops, at least one).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload seed.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit 1 unless contention actually formed: queue time recorded \
+                and p99 strictly above p50.")
+  in
+  let doc =
+    "run N concurrent clients over one shared stack and report throughput and \
+     tail latency (p50/p99/p999) under the 1993 cost model"
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run_scale $ clients $ budget $ seed $ check)
 
 let versions_cmd =
   let doc = "demonstrate the file-versioning layer" in
@@ -645,7 +736,7 @@ let main =
   Cmd.group (Cmd.info "springfs" ~version:"1.0.0" ~doc)
     [
       stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; crash_cmd; scrub_cmd;
-      failover_cmd;
+      failover_cmd; scale_cmd;
       versions_cmd; profile_cmd;
     ]
 

@@ -1,0 +1,145 @@
+(* Multi-client scale benchmark: N clients run as [Sp_sched] tasks over
+   one shared two-domain SFS stack under the [paper_1993] model, and the
+   row reports what contention does to the tail — throughput plus
+   p50/p99/p999 of the per-operation virtual latency.  The serialization
+   points are the real queueing resources (door stations into the lower
+   domain, the coherency Rwlock, the disk elevator), so p99/p50 spreading
+   apart as clients grow is the system's behaviour, not a model knob.
+
+   The op budget is fixed per row (each client runs [budget / clients]
+   ops, at least one), so rows compare the same amount of work at
+   different concurrency.  Arrivals are staggered by a fixed inter-client
+   gap to model clients joining over time rather than one thundering
+   herd at t=0.  Everything derives from the seed: one row is a single
+   deterministic discrete-event run. *)
+
+module F = Sp_core.File
+module S = Sp_core.Stackable
+module Rng = Sp_fault.Rng
+module Sname = Sp_naming.Sname
+
+let ps = Sp_vm.Vm_types.page_size
+
+type row = {
+  sc_clients : int;
+  sc_ops : int;  (** total operations completed across all clients *)
+  sc_elapsed_ns : int;  (** virtual time from first arrival to last completion *)
+  sc_throughput : float;  (** operations per simulated second *)
+  sc_p50_ns : int;
+  sc_p99_ns : int;
+  sc_p999_ns : int;
+  sc_queue_ns : int;  (** total time tasks spent waiting in queues *)
+  sc_switches : int;  (** scheduler dispatches *)
+}
+
+let n_files = 16
+let arrival_gap_ns = 2_000
+
+let pattern n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr ((i * 131) land 0xff))
+  done;
+  b
+
+let instances = ref 0
+
+(* A two-domain stack with a warm population of [n_files] shared files:
+   every op crosses a door into the lower domain, so the station queue is
+   always in play; syncs drive the journalless disk through the elevator. *)
+let setup ~tag =
+  incr instances;
+  let tag = Printf.sprintf "%s%d" tag !instances in
+  let vmm = Sp_vm.Vmm.create ~node:tag ("vmm-" ^ tag) in
+  let disk = Sp_blockdev.Disk.create ~label:("disk-" ^ tag) ~blocks:8192 () in
+  Sp_sfs.Disk_layer.mkfs disk;
+  let fs =
+    Sp_coherency.Spring_sfs.make_split ~node:tag ~vmm ~name:tag
+      ~same_domain:false disk
+  in
+  let files =
+    Array.init n_files (fun i ->
+        let f = S.create fs (Sname.of_string (Printf.sprintf "s%d" i)) in
+        ignore (F.write f ~pos:0 (pattern ps));
+        f)
+  in
+  S.sync fs;
+  (fs, files)
+
+(* The op mix: mostly warm 4KB reads, a fair share of 1KB writes, some
+   stats, and an occasional sync that forces writeback through the disk.
+   Files are shared — two clients hitting the same file contend on its
+   coherency lock, which is the point. *)
+let client_op files rng data =
+  let f = files.(Rng.int rng n_files) in
+  match Rng.int rng 16 with
+  | 0 -> F.sync f
+  | 1 | 2 -> ignore (F.stat f)
+  | 3 | 4 | 5 -> ignore (F.write f ~pos:(256 * Rng.int rng 12) data)
+  | _ -> ignore (F.read f ~pos:0 ~len:ps)
+
+let percentile sorted per_mille =
+  let n = Array.length sorted in
+  if n = 0 then 0 else sorted.(min (n - 1) (n * per_mille / 1000))
+
+let run_row ?(budget = 10_000) ~clients ~seed () =
+  if clients < 1 then invalid_arg "Scale.run_row: clients must be >= 1";
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
+  let fs, files = setup ~tag:"scale" in
+  let ops_per_client = max 1 (budget / clients) in
+  let total = clients * ops_per_client in
+  let samples = Array.make total 0 in
+  let filled = ref 0 in
+  let data = pattern 1024 in
+  let client k () =
+    let rng = Rng.create (seed + ((k + 1) * 2654435761)) in
+    Sp_sched.sleep (k * arrival_gap_ns);
+    for _ = 1 to ops_per_client do
+      let t0 = Sp_sim.Simclock.now () in
+      client_op files rng data;
+      samples.(!filled) <- Sp_sim.Simclock.now () - t0;
+      incr filled
+    done
+  in
+  let q0 = Sp_sim.Metrics.queue_ns () in
+  let t0 = Sp_sim.Simclock.now () in
+  let stats = Sp_sched.run ~seed (List.init clients client) in
+  let elapsed = max 1 (Sp_sim.Simclock.now () - t0) in
+  S.sync fs;
+  let queue = Sp_sim.Metrics.queue_ns () - q0 in
+  Array.sort compare samples;
+  {
+    sc_clients = clients;
+    sc_ops = total;
+    sc_elapsed_ns = elapsed;
+    sc_throughput = float_of_int total /. (float_of_int elapsed /. 1e9);
+    sc_p50_ns = percentile samples 500;
+    sc_p99_ns = percentile samples 990;
+    sc_p999_ns = percentile samples 999;
+    sc_queue_ns = queue;
+    sc_switches = stats.Sp_sched.st_switches;
+  }
+
+let default_clients = [ 10; 1_000; 100_000 ]
+
+let run ?(clients = default_clients) ?(budget = 10_000) ?(seed = 7) () =
+  List.map (fun c -> run_row ~budget ~clients:c ~seed ()) clients
+
+let print ppf rows =
+  Format.fprintf ppf
+    "Scale: concurrent clients on the shared two-domain stack (paper_1993, \
+     fixed op budget)@.";
+  Format.fprintf ppf "  %8s %9s %12s %12s %10s %10s %10s %7s@." "clients" "ops"
+    "elapsed" "ops/sec" "p50" "p99" "p999" "queued";
+  List.iter
+    (fun r ->
+      let ms ns = Printf.sprintf "%.1fms" (float_of_int ns /. 1e6) in
+      let us ns = Printf.sprintf "%.1fus" (float_of_int ns /. 1e3) in
+      Format.fprintf ppf "  %8d %9d %12s %12.0f %10s %10s %10s %6.0f%%@."
+        r.sc_clients r.sc_ops (ms r.sc_elapsed_ns) r.sc_throughput
+        (us r.sc_p50_ns) (us r.sc_p99_ns) (us r.sc_p999_ns)
+        (100.
+        *. float_of_int r.sc_queue_ns
+        /. float_of_int (max 1 r.sc_elapsed_ns)
+        /. float_of_int (max 1 r.sc_clients)))
+    rows

@@ -1,0 +1,28 @@
+(** Multi-client scale benchmark: N concurrent clients ([Sp_sched] tasks)
+    over one shared two-domain SFS stack under the [paper_1993] model,
+    reporting throughput and tail latency (p50/p99/p999 of the per-op
+    virtual latency) plus total queue-wait time.  Each row spends the
+    same fixed op budget ([budget / clients] ops per client, at least
+    one), with arrivals staggered by a fixed inter-client gap, so rows
+    compare equal work at different concurrency.  One row is one
+    deterministic discrete-event run. *)
+
+type row = {
+  sc_clients : int;
+  sc_ops : int;  (** total operations completed across all clients *)
+  sc_elapsed_ns : int;  (** virtual time from first arrival to last completion *)
+  sc_throughput : float;  (** operations per simulated second *)
+  sc_p50_ns : int;
+  sc_p99_ns : int;
+  sc_p999_ns : int;
+  sc_queue_ns : int;  (** total time tasks spent waiting in queues *)
+  sc_switches : int;  (** scheduler dispatches *)
+}
+
+(** One row at the given concurrency. *)
+val run_row : ?budget:int -> clients:int -> seed:int -> unit -> row
+
+(** The scale table (default 10 / 1k / 100k clients, 10k-op budget). *)
+val run : ?clients:int list -> ?budget:int -> ?seed:int -> unit -> row list
+
+val print : Format.formatter -> row list -> unit

@@ -9,6 +9,13 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable seeks : int;
+  (* Elevator queue (only used under an [Sp_sched] run): the device
+     serves one request at a time; concurrent requesters park in
+     [q_pending] and the releaser picks the next by SCAN order. *)
+  mutable q_busy : bool;
+  mutable q_pending : (int * int * (unit -> unit)) list;  (* block, seq, waker *)
+  mutable q_seq : int;
+  mutable q_epoch : int;
 }
 
 let create ?(label = "disk0") ~blocks () =
@@ -20,6 +27,10 @@ let create ?(label = "disk0") ~blocks () =
     reads = 0;
     writes = 0;
     seeks = 0;
+    q_busy = false;
+    q_pending = [];
+    q_seq = 0;
+    q_epoch = 0;
   }
 
 let label t = t.label
@@ -31,7 +42,7 @@ let check t n =
 
 (* Charge the latency of accessing block [n]: a seek (plus rotational delay)
    unless the head is already adjacent, then the media transfer. *)
-let charge t n =
+let charge_raw t n =
   let model = Sp_sim.Cost_model.current () in
   if n <> t.head && n <> t.head + 1 then begin
     t.seeks <- t.seeks + 1;
@@ -39,6 +50,60 @@ let charge t n =
   end;
   Sp_sim.Simclock.advance model.disk_per_block_ns;
   t.head <- n
+
+(* Take the device token, queueing behind the current request if the
+   device is busy.  A woken waiter receives the token directly from the
+   releaser, so [q_busy] stays set across the handoff. *)
+let acquire t n =
+  if t.q_epoch <> Sp_sched.epoch () then begin
+    (* an aborted previous run never released; drop its state *)
+    t.q_epoch <- Sp_sched.epoch ();
+    t.q_busy <- false;
+    t.q_pending <- []
+  end;
+  if not t.q_busy then t.q_busy <- true
+  else begin
+    t.q_seq <- t.q_seq + 1;
+    let seq = t.q_seq in
+    let t0 = Sp_sim.Simclock.now () in
+    Sp_sched.suspend ~on:("disk:" ^ t.label) (fun wake ->
+        t.q_pending <- (n, seq, wake) :: t.q_pending);
+    Sp_sched.note_queue (Sp_sim.Simclock.now () - t0)
+  end
+
+(* SCAN (elevator): prefer the smallest pending block at or past the
+   head, wrapping to the smallest overall; FIFO (seq) breaks ties. *)
+let release t =
+  match t.q_pending with
+  | [] -> t.q_busy <- false
+  | pending ->
+      let ahead (b, _, _) = b >= t.head in
+      let pick a b =
+        let (ba, sa, _) = a and (bb, sb, _) = b in
+        if (ba, sa) <= (bb, sb) then a else b
+      in
+      let best =
+        match List.filter ahead pending with
+        | x :: rest -> List.fold_left pick x rest
+        | [] -> (
+            match pending with
+            | x :: rest -> List.fold_left pick x rest
+            | [] -> assert false)
+      in
+      let (_, best_seq, wake) = best in
+      t.q_pending <-
+        List.filter (fun (_, s, _) -> s <> best_seq) t.q_pending;
+      wake ()
+
+(* Under a scheduler run the whole access (seek + rotate + transfer)
+   holds the device; the requester charges its own service time so busy
+   attribution stays with the task doing the I/O. *)
+let charge t n =
+  if Sp_sched.in_task () then begin
+    acquire t n;
+    Fun.protect ~finally:(fun () -> release t) (fun () -> charge_raw t n)
+  end
+  else charge_raw t n
 
 (* Flip one bit of the stored block: the rot is persistent — every later
    read of [n] sees the same flipped bit.  The device still acks. *)

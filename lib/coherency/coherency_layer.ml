@@ -8,6 +8,11 @@ type cfile = {
   mutable lower_pager : V.pager_object option;
   mutable lower_fs_pager : V.fs_pager_ops option;
   state : Block_state.t;
+  lock : Sp_sched.Rwlock.t;
+      (* serializes upper-initiated grant/push sections against concurrent
+         scheduler tasks; from-below cache callbacks stay lock-free (they
+         arrive under the lower layer's own serialization, and taking the
+         lock there could deadlock against a task calling down) *)
   mutable attr : Sp_vm.Attr.t option;
   mutable attr_dirty : bool;
 }
@@ -148,13 +153,21 @@ let make_way l cf ~me ~access b =
 
 let upper_pager l cf ~id =
   let page_in ~offset ~size ~access =
-    let blocks = V.pages_covering ~offset ~size in
-    List.iter (make_way l cf ~me:id ~access) blocks;
-    let data = V.page_in (lower_pager_of cf) ~offset ~size ~access in
-    List.iter (fun b -> Block_state.record cf.state b ~ch:id ~mode:access) blocks;
-    data
+    let section () =
+      let blocks = V.pages_covering ~offset ~size in
+      List.iter (make_way l cf ~me:id ~access) blocks;
+      let data = V.page_in (lower_pager_of cf) ~offset ~size ~access in
+      List.iter
+        (fun b -> Block_state.record cf.state b ~ch:id ~mode:access)
+        blocks;
+      data
+    in
+    match access with
+    | V.Read_only -> Sp_sched.Rwlock.with_read cf.lock section
+    | V.Read_write -> Sp_sched.Rwlock.with_write cf.lock section
   in
   let push retain ~offset data =
+    Sp_sched.Rwlock.with_write cf.lock @@ fun () ->
     let pager = lower_pager_of cf in
     (match retain with
     | `Drop -> V.page_out pager ~offset data
@@ -299,6 +312,7 @@ let manager l =
 
 (* Apply a coherency sweep to every populated block of [cf]. *)
 let sweep l cf action =
+  Sp_sched.Rwlock.with_write cf.lock @@ fun () ->
   let visit b =
     let off = b * ps in
     let revoke (h : Block_state.holder) =
@@ -372,6 +386,7 @@ let make_cfile l (lower : Sp_core.File.t) =
       lower_pager = None;
       lower_fs_pager = None;
       state = Block_state.create ();
+      lock = Sp_sched.Rwlock.create "coh";
       attr = None;
       attr_dirty = false;
     }

@@ -2,9 +2,23 @@ module V = Sp_vm.Vm_types
 
 let ps = V.page_size
 
-type t = { bs : Block_state.t; mutable t_epoch : int }
+type t = {
+  bs : Block_state.t;
+  mutable t_epoch : int;
+  t_lock : Sp_sched.Rwlock.t;
+}
 
-let create () = { bs = Block_state.create (); t_epoch = 0 }
+let create () =
+  { bs = Block_state.create (); t_epoch = 0; t_lock = Sp_sched.Rwlock.create "mrsw" }
+
+(* Serialize a whole grant section (revoke + produce + record) against
+   concurrent scheduler tasks: read-only grants may overlap (the revoke
+   and record steps are idempotent for RO holders), a read-write grant is
+   exclusive.  Outside a scheduler run this is just [f ()]. *)
+let granting t ~access f =
+  match access with
+  | V.Read_only -> Sp_sched.Rwlock.with_read t.t_lock f
+  | V.Read_write -> Sp_sched.Rwlock.with_write t.t_lock f
 let epoch t = t.t_epoch
 let bump_epoch t = t.t_epoch <- t.t_epoch + 1
 
@@ -52,6 +66,7 @@ let on_push t ~me ~retain ~offset ~size =
     (V.pages_covering ~offset ~size)
 
 let sweep t ~channels ~key:_ action ~write_down =
+  Sp_sched.Rwlock.with_write t.t_lock @@ fun () ->
   let visit b =
     let off = b * ps in
     let revoke (h : Block_state.holder) =

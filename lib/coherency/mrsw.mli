@@ -19,6 +19,13 @@ val epoch : t -> int
 
 val bump_epoch : t -> unit
 
+(** [granting t ~access f] runs the whole grant (or push) section [f] —
+    revoke, produce, record — holding the protocol's readers/writer lock:
+    read-only grants overlap, read-write grants and pushes are exclusive.
+    Reentrant per task; outside an [Sp_sched] run this is just [f ()].
+    {!sweep} takes the write side internally. *)
+val granting : t -> access:Sp_vm.Vm_types.access -> (unit -> 'a) -> 'a
+
 (** Revoke conflicting holders of the blocks in the range before granting
     channel [me] the given access (deny writers for read-only grants,
     flush everyone for read-write grants). *)

@@ -309,6 +309,7 @@ let upper_pager l e ~id =
   let write_down x = write_logical l e ~offset:x.V.ext_offset x.V.ext_data in
   let page_in ~offset ~size ~access =
     refresh_if_stale l e;
+    Sp_coherency.Mrsw.granting e.e_state ~access @@ fun () ->
     Sp_coherency.Mrsw.before_grant e.e_state ~channels:l.l_channels ~key:e.e_key
       ~me:id ~access ~offset ~size ~write_down;
     let out = Bytes.create size in
@@ -329,6 +330,7 @@ let upper_pager l e ~id =
   in
   let push retain ~offset data =
     refresh_if_stale l e;
+    Sp_coherency.Mrsw.granting e.e_state ~access:V.Read_write @@ fun () ->
     write_logical l e ~offset data;
     Sp_coherency.Mrsw.on_push e.e_state ~me:id ~retain ~offset
       ~size:(Bytes.length data)

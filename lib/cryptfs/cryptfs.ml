@@ -71,6 +71,7 @@ let rec upper_pager l e ~id =
     p.V.p_sync ~offset:x.V.ext_offset x.V.ext_data
   in
   let page_in ~offset ~size ~access =
+    Sp_coherency.Mrsw.granting e.e_state ~access @@ fun () ->
     Sp_coherency.Mrsw.before_grant e.e_state ~channels:l.l_channels ~key:e.e_key
       ~me:id ~access ~offset ~size ~write_down;
     let out = Bytes.create size in
@@ -90,6 +91,7 @@ let rec upper_pager l e ~id =
     out
   in
   let push retain ~offset data =
+    Sp_coherency.Mrsw.granting e.e_state ~access:V.Read_write @@ fun () ->
     (* Clip to the current length: pages arrive whole from caches, but the
        ciphertext file must stay exactly as long as the plaintext. *)
     let len = lower_len e in

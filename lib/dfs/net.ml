@@ -58,8 +58,12 @@ let rpc_retry ?(retries = 3) t ~src ~dst ~bytes f =
                   ("attempt", string_of_int attempt_no);
                 ]
               ();
-          (* Exponential backoff, deterministic: 1x, 2x, 4x ... the RTT. *)
-          Sp_sim.Simclock.advance (model.net_rtt_ns * (1 lsl (attempt_no - 1)));
+          (* Exponential backoff, deterministic: 1x, 2x, 4x ... the RTT.
+             An idle sleep, not a clock charge: under [Sp_sched] other
+             clients run during the window (and concurrently-retrying
+             clients back off in parallel), and the wait is not counted
+             as service time. *)
+          Sp_sched.sleep (model.net_rtt_ns * (1 lsl (attempt_no - 1)));
           go (attempt_no + 1)
         end
     in

@@ -30,6 +30,7 @@ type report = {
   cr_kind : kind;
   cr_checksums : bool;
   cr_mirror : bool;
+  cr_clients : int;
   cr_ops : int;
   cr_seed : int;
   cr_io : int;
@@ -59,13 +60,24 @@ let n_files = 6
 let max_pos = 12288
 let max_write = 4096
 
+(* Concurrent mode: each client owns [client_files] files of its own
+   ("c<k>f<j>"), so the shared expected-contents table never races — a
+   name is only ever written by one task, and the table update sits
+   between the same two suspension points as the write itself. *)
+let client_files = 3
+
+let fname ?client rng =
+  match client with
+  | None -> "f" ^ string_of_int (Rng.int rng n_files)
+  | Some k -> Printf.sprintf "c%df%d" k (Rng.int rng client_files)
+
 type sim = {
   top : Stackable.t;  (* where the workload runs: the volume or the mirror *)
   expected : (string, bytes) Hashtbl.t;
 }
 
-let write_step st rng =
-  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+let write_step ?client st rng =
+  let name = fname ?client rng in
   let path = Sname.of_components [ name ] in
   let pos = Rng.int rng max_pos in
   let len = 1 + Rng.int rng max_write in
@@ -90,28 +102,40 @@ let write_step st rng =
    application "notice" corruption by comparing — detection must come
    from the system (checksums raising, fsck flagging), or it does not
    count. *)
-let read_step st rng =
-  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+let read_step ?client st rng =
+  let name = fname ?client rng in
   if Hashtbl.mem st.expected name then
     ignore (File.read_all (Stackable.open_file st.top (Sname.of_components [ name ])))
 
-let remove_step st rng =
-  let name = "f" ^ string_of_int (Rng.int rng n_files) in
+let remove_step ?client st rng =
+  let name = fname ?client rng in
   if Hashtbl.mem st.expected name then begin
     Stackable.remove st.top (Sname.of_components [ name ]);
     Hashtbl.remove st.expected name
   end
 
-let run_ops st rng ops =
+let run_ops ?client st rng ops =
   for i = 1 to ops do
     (match Rng.int rng 12 with
-    | 8 | 9 -> read_step st rng
-    | 10 -> remove_step st rng
+    | 8 | 9 -> read_step ?client st rng
+    | 10 -> remove_step ?client st rng
     | 11 -> Stackable.sync st.top
-    | _ -> write_step st rng);
+    | _ -> write_step ?client st rng);
     if i mod 5 = 0 then Stackable.sync st.top
   done;
   Stackable.sync st.top
+
+(* [clients > 1]: the same op mix, one scheduler task per client on the
+   shared volume.  There is no crash here — a run either completes (and
+   the final state must read back exactly) or dies loudly, so the serial
+   expected-contents verification still applies verbatim. *)
+let run_workload st ~clients ~ops ~seed =
+  if clients = 1 then run_ops st (Rng.create seed) ops
+  else
+    let client k () =
+      run_ops ~client:k st (Rng.create (seed + ((k + 1) * 7919))) ops
+    in
+    ignore (Sp_sched.run ~seed (List.init clients client))
 
 let label ~kind ~checksums ~mirror ~seed =
   Printf.sprintf "corr-%s%c%c%d" (kind_name kind)
@@ -138,8 +162,15 @@ type setup = {
   s_label : string;  (* disk label the fault rule targets *)
 }
 
-let setup ~kind ~checksums ~mirror ~seed =
+(* Serial sweeps keep the historical geometry; concurrent ones scale the
+   volume so [clients * client_files] files never hit [No_space] (which
+   is loud and would masquerade as detection). *)
+let blocks_for clients =
+  if clients = 1 then disk_blocks else disk_blocks * (1 + ((clients + 7) / 8))
+
+let setup ~kind ~checksums ~mirror ~clients ~seed =
   let lbl = label ~kind ~checksums ~mirror ~seed in
+  let disk_blocks = blocks_for clients in
   if not mirror then begin
     let disk = Disk.create ~label:lbl ~blocks:disk_blocks () in
     Disk_layer.mkfs ~journal:true ~checksums disk;
@@ -174,11 +205,13 @@ let setup ~kind ~checksums ~mirror ~seed =
 
 (* Device I/Os of the faulted kind the workload performs — the number of
    injection points a sweep visits. *)
-let workload_io ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed () =
-  let s = setup ~kind ~checksums ~mirror ~seed in
+let workload_io ?(checksums = true) ?(mirror = false) ?(clients = 1) ~kind ~ops
+    ~seed () =
+  if clients < 1 then invalid_arg "Corruption_sweep: clients must be >= 1";
+  let s = setup ~kind ~checksums ~mirror ~clients ~seed in
   let target = List.hd s.s_disks in
   let before = Disk.stats target in
-  run_ops s.s_sim (Rng.create seed) ops;
+  run_workload s.s_sim ~clients ~ops ~seed;
   let after = Disk.stats target in
   match point_of kind with
   | "disk.read" -> after.Disk.reads - before.Disk.reads
@@ -202,8 +235,10 @@ let compare_expected st top =
         else Some (Printf.sprintf "%s: read back %d byte(s) differing from what was written" name (Bytes.length back)))
       want
 
-let run_point ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed ~at () =
-  let s = setup ~kind ~checksums ~mirror ~seed in
+let run_point ?(checksums = true) ?(mirror = false) ?(clients = 1) ~kind ~ops
+    ~seed ~at () =
+  if clients < 1 then invalid_arg "Corruption_sweep: clients must be >= 1";
+  let s = setup ~kind ~checksums ~mirror ~clients ~seed in
   let plan =
     Sp_fault.plan ~seed:(seed + at)
       [
@@ -213,7 +248,7 @@ let run_point ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed ~at () =
   in
   let attempt () =
     (* Phase 1: the workload, with the fault armed. *)
-    Sp_fault.with_plan plan (fun () -> run_ops s.s_sim (Rng.create seed) ops);
+    Sp_fault.with_plan plan (fun () -> run_workload s.s_sim ~clients ~ops ~seed);
     (* Phase 2: verification, disarmed.  Reads must reach stored bytes. *)
     match s.s_mirror with
     | Some m -> (
@@ -241,16 +276,17 @@ let run_point ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed ~at () =
   | outcome -> outcome
   | exception e when loud e -> Detected (Sp_core.Fserr.to_string e)
 
-let sweep ?(stride = 1) ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed () =
+let sweep ?(stride = 1) ?(checksums = true) ?(mirror = false) ?(clients = 1)
+    ~kind ~ops ~seed () =
   if stride < 1 then invalid_arg "Corruption_sweep.sweep: stride must be >= 1";
-  let io = workload_io ~checksums ~mirror ~kind ~ops ~seed () in
+  let io = workload_io ~checksums ~mirror ~clients ~kind ~ops ~seed () in
   let absorbed = ref 0 and detected = ref 0 and repaired = ref 0 and silent = ref 0 in
   let points = ref 0 in
   let first_silent = ref None in
   let at = ref 1 in
   while !at <= io do
     incr points;
-    (match run_point ~checksums ~mirror ~kind ~ops ~seed ~at:!at () with
+    (match run_point ~checksums ~mirror ~clients ~kind ~ops ~seed ~at:!at () with
     | Absorbed -> incr absorbed
     | Detected _ -> incr detected
     | Repaired -> incr repaired
@@ -263,6 +299,7 @@ let sweep ?(stride = 1) ?(checksums = true) ?(mirror = false) ~kind ~ops ~seed (
     cr_kind = kind;
     cr_checksums = checksums;
     cr_mirror = mirror;
+    cr_clients = clients;
     cr_ops = ops;
     cr_seed = seed;
     cr_io = io;
@@ -282,22 +319,24 @@ let pp_outcome ppf = function
 
 let summary r =
   Printf.sprintf
-    "SCRUB-SWEEP kind=%s checksums=%s mirror=%s points=%d absorbed=%d \
+    "SCRUB-SWEEP kind=%s checksums=%s mirror=%s%s points=%d absorbed=%d \
      detected=%d repaired=%d silent=%d"
     (kind_name r.cr_kind)
     (if r.cr_checksums then "on" else "off")
     (if r.cr_mirror then "on" else "off")
+    (if r.cr_clients > 1 then Printf.sprintf " clients=%d" r.cr_clients else "")
     r.cr_points r.cr_absorbed r.cr_detected r.cr_repaired r.cr_silent
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>corruption sweep: kind=%s checksums=%s mirror=%s ops=%d seed=%d@,\
+    "@[<v>corruption sweep: kind=%s checksums=%s mirror=%s clients=%d ops=%d \
+     seed=%d@,\
      device %s swept: %d (%d injection points)@,\
      absorbed %d   detected %d   repaired %d   silent %d@]"
     (kind_name r.cr_kind)
     (if r.cr_checksums then "on" else "off")
     (if r.cr_mirror then "on" else "off")
-    r.cr_ops r.cr_seed
+    r.cr_clients r.cr_ops r.cr_seed
     (match point_of r.cr_kind with "disk.read" -> "reads" | _ -> "writes")
     r.cr_io r.cr_points r.cr_absorbed r.cr_detected r.cr_repaired r.cr_silent;
   match r.cr_first_silent with

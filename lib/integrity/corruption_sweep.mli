@@ -39,7 +39,8 @@ type report = {
   cr_kind : kind;
   cr_checksums : bool;
   cr_mirror : bool;
-  cr_ops : int;
+  cr_clients : int;  (** concurrent clients (1 = the classic serial sweep) *)
+  cr_ops : int;  (** operations, per client when [cr_clients > 1] *)
   cr_seed : int;
   cr_io : int;  (** device I/Os of the faulted kind in the workload *)
   cr_points : int;  (** injection points actually swept *)
@@ -53,21 +54,26 @@ type report = {
 val kind_name : kind -> string
 
 (** Device I/Os (reads for {!Bitrot}, writes otherwise) the workload
-    performs — the number of points a full sweep visits. *)
+    performs — the number of points a full sweep visits.  With
+    [clients > 1] the workload runs as that many concurrently scheduled
+    [Sp_sched] tasks, each doing [ops] operations on its own files of the
+    shared volume (a run with no crash either completes — and must read
+    back exactly — or fails loudly, so verification is unchanged). *)
 val workload_io :
-  ?checksums:bool -> ?mirror:bool -> kind:kind -> ops:int -> seed:int -> unit -> int
+  ?checksums:bool -> ?mirror:bool -> ?clients:int -> kind:kind -> ops:int ->
+  seed:int -> unit -> int
 
 (** Build a fresh volume (or mirrored pair; corruption always strikes the
     primary twin), run the workload with the single fault armed at the
     [at]-th device I/O, then verify from stored bytes. *)
 val run_point :
-  ?checksums:bool -> ?mirror:bool -> kind:kind -> ops:int -> seed:int ->
-  at:int -> unit -> outcome
+  ?checksums:bool -> ?mirror:bool -> ?clients:int -> kind:kind -> ops:int ->
+  seed:int -> at:int -> unit -> outcome
 
 (** Sweep injection points [1, 1+stride, ...] across the workload. *)
 val sweep :
-  ?stride:int -> ?checksums:bool -> ?mirror:bool -> kind:kind -> ops:int ->
-  seed:int -> unit -> report
+  ?stride:int -> ?checksums:bool -> ?mirror:bool -> ?clients:int ->
+  kind:kind -> ops:int -> seed:int -> unit -> report
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

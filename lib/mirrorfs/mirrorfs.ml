@@ -181,6 +181,7 @@ let upper_pager l pair ~id =
   in
   let write_down x = raw_push ~offset:x.V.ext_offset x.V.ext_data in
   let page_in ~offset ~size ~access =
+    Sp_coherency.Mrsw.granting pair.p_state ~access @@ fun () ->
     Sp_coherency.Mrsw.before_grant pair.p_state ~channels:l.l_channels
       ~key:pair.p_key ~me:id ~access ~offset ~size ~write_down;
     let data = with_read l pair (fun f -> Sp_core.File.read f ~pos:offset ~len:size) in
@@ -196,6 +197,7 @@ let upper_pager l pair ~id =
     data
   in
   let push retain ~offset data =
+    Sp_coherency.Mrsw.granting pair.p_state ~access:V.Read_write @@ fun () ->
     raw_push ~offset data;
     Sp_coherency.Mrsw.on_push pair.p_state ~me:id ~retain ~offset
       ~size:(Bytes.length data)

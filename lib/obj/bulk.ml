@@ -30,3 +30,12 @@ let scope_depth = ref 0
 let in_scope () = !scope_depth > 0
 let enter_scope () = incr scope_depth
 let exit_scope () = decr scope_depth
+
+(* The scope depth tracks the current task's call chain, not the whole
+   machine: another interleaved task must not see a transfer in flight
+   (it would skip its own source copy).  Task-local, like the current
+   domain in [Door]. *)
+let () =
+  Sp_sched.register_tls (fun () ->
+      let d = !scope_depth in
+      fun () -> scope_depth := d)

@@ -2,6 +2,39 @@ let user_domain = Sdomain.create ~node:"local" "user"
 let current_domain = ref user_domain
 let current () = !current_domain
 
+(* The current domain is per-activity state: two interleaved scheduler
+   tasks are each inside their own call chain, and their save/restore
+   pairs in [invoke] do not nest across a suspension.  Registering it as
+   task-local makes the scheduler swap it on every switch. *)
+let () =
+  Sp_sched.register_tls (fun () ->
+      let d = !current_domain in
+      fun () -> current_domain := d)
+
+(* Under an [Sp_sched] run, the door-crossing cost into each domain is
+   served by a small queueing station: a domain has a handful of server
+   threads parked on its doors, so when many clients cross into it at
+   once the crossings queue (and the wait lands in [Metrics.queue_ns]).
+   Only the crossing charge is serialized — the invocation body runs
+   unserialized, since layers are internally re-entrant in the
+   simulation and serializing bodies would deadlock nested calls. *)
+let door_servers = 4
+let stations : (string, Sp_sched.Station.t) Hashtbl.t = Hashtbl.create 32
+
+let station_of target =
+  let key = Sdomain.node target ^ "/" ^ Sdomain.name target in
+  match Hashtbl.find_opt stations key with
+  | Some st -> st
+  | None ->
+      let st = Sp_sched.Station.create ~servers:door_servers ("door:" ^ key) in
+      Hashtbl.replace stations key st;
+      st
+
+(* Outside a scheduler task this is exactly [Simclock.advance]. *)
+let serve_crossing target ns =
+  if Sp_sched.in_task () then Sp_sched.Station.serve (station_of target) ns
+  else Sp_sim.Simclock.advance ns
+
 let charge_invocation target =
   let model = Sp_sim.Cost_model.current () in
   if Sdomain.equal !current_domain target then begin
@@ -10,7 +43,7 @@ let charge_invocation target =
   end
   else begin
     Sp_sim.Metrics.incr_cross_domain_calls ();
-    Sp_sim.Simclock.advance model.cross_domain_call_ns
+    serve_crossing target model.cross_domain_call_ns
   end
 
 let invoke target f =
@@ -78,9 +111,9 @@ let charge_data_invocation target =
   end
   else begin
     Sp_sim.Metrics.incr_cross_domain_calls ();
-    if not (Bulk.enabled ()) then Sp_sim.Simclock.advance model.cross_domain_call_ns
+    if not (Bulk.enabled ()) then serve_crossing target model.cross_domain_call_ns
     else if Bulk.established !current_domain target then
-      Sp_sim.Simclock.advance model.bulk_call_ns
+      serve_crossing target model.bulk_call_ns
     else begin
       Bulk.establish !current_domain target;
       Sp_sim.Metrics.incr_bulk_setups ();
@@ -92,7 +125,7 @@ let charge_data_invocation target =
               ("dst", Sdomain.name target);
             ]
           ();
-      Sp_sim.Simclock.advance (model.cross_domain_call_ns + model.bulk_setup_ns)
+      serve_crossing target (model.cross_domain_call_ns + model.bulk_setup_ns)
     end
   end
 

@@ -1,0 +1,655 @@
+(* Deterministic discrete-event scheduler over [Sp_sim.Simclock].
+
+   Simulated clients run as cooperatively interleaved tasks (OCaml effect
+   fibers).  A task never runs in parallel with another — the simulation
+   stays single-threaded and deterministic — but whenever a task charges
+   virtual time ([Simclock.advance], which every cost in the system goes
+   through), it suspends and other ready tasks run until the clock
+   reaches its wake time.  Service therefore overlaps by default;
+   *serialization* is introduced only where a queueing resource ([Station],
+   [Rwlock], the disk queue in [Sp_blockdev.Disk]) models contention.
+
+   Determinism rules:
+   - the ready queue is strict FIFO; the seed only shuffles the initial
+     task order (and is folded into the schedule digest);
+   - timers firing at the same instant wake in creation order;
+   - tasks must not use wall-clock or OS randomness (nothing in the repo
+     does).
+   Same seed + same task bodies => identical schedule, metrics, clock. *)
+
+module ED = Effect.Deep
+
+exception Deadlock of string
+
+(* Raised into blocked tasks when the run aborts (first task exception
+   wins, e.g. [Sp_fault.Crash]: the machine stops).  Task code should
+   never catch it. *)
+exception Aborted
+
+(* Task-local slots.  Globals that model *per-activity* state — the
+   current domain in [Sp_obj.Door], the bulk-transfer scope depth in
+   [Sp_obj.Bulk] — are only correct per task: two interleaved clients
+   are each in their own domain, and their save/restore pairs do not
+   nest across a suspension.  A library registers a [save] hook (capture
+   the value, return a restoring closure); the scheduler snapshots every
+   slot when a task suspends and reinstalls it when the task resumes.
+   New tasks start from the values at [run] entry, and the run restores
+   those same values on exit — normal or aborted. *)
+let tls_hooks : (unit -> unit -> unit) list ref = ref []
+let register_tls save = tls_hooks := save :: !tls_hooks
+let tls_snapshot () = List.map (fun save -> save ()) !tls_hooks
+let tls_restore snap = List.iter (fun restore -> restore ()) snap
+
+type task = {
+  t_id : int;  (* globally unique, for trace contexts *)
+  t_seq : int;  (* run-local ordinal, folded into the schedule digest *)
+  t_name : string;
+  mutable t_done : bool;
+  mutable t_kont : (unit, unit) ED.continuation option;
+  mutable t_blocked_on : string;
+  mutable t_joiners : (unit -> unit) list;
+  mutable t_ctx : (unit -> unit) list;  (* TLS snapshot while suspended *)
+}
+
+type _ Effect.t +=
+  | Wait : int -> unit Effect.t  (* service time: charged as busy *)
+  | Sleep : int -> unit Effect.t  (* idle wait: time passes, no busy charge *)
+  | Yield : unit Effect.t
+  | Suspend : (string * ((unit -> unit) -> unit)) -> unit Effect.t
+
+(* ------------------------------------------------------------------ *)
+(* Timer heap: binary min-heap on (wake time, insertion seq)           *)
+(* ------------------------------------------------------------------ *)
+
+module Heap = struct
+  type entry = { h_time : int; h_seq : int; h_task : task }
+  type t = { mutable a : entry array; mutable n : int }
+
+  let dummy =
+    {
+      h_time = 0;
+      h_seq = 0;
+      h_task =
+        {
+          t_id = -1;
+          t_seq = -1;
+          t_name = "";
+          t_done = true;
+          t_kont = None;
+          t_blocked_on = "";
+          t_joiners = [];
+          t_ctx = [];
+        };
+    }
+
+  let create () = { a = Array.make 64 dummy; n = 0 }
+  let is_empty t = t.n = 0
+  let lt x y = x.h_time < y.h_time || (x.h_time = y.h_time && x.h_seq < y.h_seq)
+
+  let push t e =
+    if t.n = Array.length t.a then begin
+      let a' = Array.make (2 * t.n) dummy in
+      Array.blit t.a 0 a' 0 t.n;
+      t.a <- a'
+    end;
+    t.a.(t.n) <- e;
+    t.n <- t.n + 1;
+    let i = ref (t.n - 1) in
+    while !i > 0 && lt t.a.(!i) t.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.a.(p) in
+      t.a.(p) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := p
+    done
+
+  let min t = t.a.(0)
+
+  let pop t =
+    let top = t.a.(0) in
+    t.n <- t.n - 1;
+    t.a.(0) <- t.a.(t.n);
+    t.a.(t.n) <- dummy;
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < t.n && lt t.a.(l) t.a.(!s) then s := l;
+      if r < t.n && lt t.a.(r) t.a.(!s) then s := r;
+      if !s = !i then continue_ := false
+      else begin
+        let tmp = t.a.(!s) in
+        t.a.(!s) <- t.a.(!i);
+        t.a.(!i) <- tmp;
+        i := !s
+      end
+    done;
+    top
+
+  let clear t = t.n <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type runnable = Start of task * (unit -> unit) | Resume of task
+
+type sched = {
+  ready : runnable Queue.t;
+  timers : Heap.t;
+  mutable live : int;  (* spawned, not yet finished *)
+  mutable timer_seq : int;
+  mutable switches : int;
+  mutable digest : int;
+  mutable aborting : bool;
+  mutable abort_exn : (exn * Printexc.raw_backtrace) option;
+  tasks : (int, task) Hashtbl.t;
+  baseline : (unit -> unit) list;  (* TLS values at [run] entry *)
+}
+
+let cur : sched option ref = ref None
+let active () = !cur <> None
+let in_task () = active () && Sp_sim.Sched_hook.in_task ()
+
+let current () =
+  if in_task () then Some (Sp_sim.Sched_hook.current ()) else None
+
+let sched () =
+  match !cur with
+  | Some s -> s
+  | None -> invalid_arg "Sp_sched: no scheduler active"
+
+(* Task ids are globally monotonic (never reset): trace contexts from
+   successive runs inside one [with_tracing] must not collide. *)
+let global_ids = ref 0
+
+(* Bumped at every [run].  Long-lived queueing resources (door stations,
+   the disk queue, Mrsw locks) compare it to lazily drop state an aborted
+   previous run left behind (a crashed task never runs its release). *)
+let run_epoch = ref 0
+let epoch () = !run_epoch
+
+let fold_digest s id = s.digest <- ((s.digest * 1_000_003) + id + 1) land max_int
+
+let make_ready s task =
+  if (not s.aborting) && not task.t_done then begin
+    task.t_blocked_on <- "";
+    Queue.push (Resume task) s.ready
+  end
+
+let finish s task res =
+  task.t_done <- true;
+  task.t_kont <- None;
+  s.live <- s.live - 1;
+  List.iter (fun wake -> wake ()) task.t_joiners;
+  task.t_joiners <- [];
+  match res with
+  | None -> ()
+  | Some (e, bt) -> (
+      match e with
+      | Aborted -> ()
+      | _ -> if s.abort_exn = None then s.abort_exn <- Some (e, bt))
+
+let handler s task =
+  {
+    ED.retc = (fun () -> finish s task None);
+    exnc = (fun e -> finish s task (Some (e, Printexc.get_raw_backtrace ())));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Wait ns ->
+            Some
+              (fun (k : (a, unit) ED.continuation) ->
+                if s.aborting then ED.continue k ()
+                else begin
+                  (* The wait is this task's own service time: charge busy
+                     now, wake when the wall clock has passed it. *)
+                  Sp_sim.Sched_hook.note_busy ns;
+                  Sp_trace.on_task_suspend ();
+                  task.t_ctx <- tls_snapshot ();
+                  task.t_kont <- Some k;
+                  task.t_blocked_on <- "timer";
+                  s.timer_seq <- s.timer_seq + 1;
+                  Heap.push s.timers
+                    {
+                      Heap.h_time = Sp_sim.Simclock.now () + ns;
+                      h_seq = s.timer_seq;
+                      h_task = task;
+                    }
+                end)
+        | Sleep ns ->
+            Some
+              (fun (k : (a, unit) ED.continuation) ->
+                if s.aborting then ED.continue k ()
+                else begin
+                  (* Idle wait (a backoff, a pause between arrivals): time
+                     passes but the task was not doing work, so no busy
+                     charge — it must not count as service time. *)
+                  Sp_trace.on_task_suspend ();
+                  task.t_ctx <- tls_snapshot ();
+                  task.t_kont <- Some k;
+                  task.t_blocked_on <- "sleep";
+                  s.timer_seq <- s.timer_seq + 1;
+                  Heap.push s.timers
+                    {
+                      Heap.h_time = Sp_sim.Simclock.now () + ns;
+                      h_seq = s.timer_seq;
+                      h_task = task;
+                    }
+                end)
+        | Yield ->
+            Some
+              (fun (k : (a, unit) ED.continuation) ->
+                if s.aborting then ED.continue k ()
+                else begin
+                  Sp_trace.on_task_suspend ();
+                  task.t_ctx <- tls_snapshot ();
+                  task.t_kont <- Some k;
+                  Queue.push (Resume task) s.ready
+                end)
+        | Suspend (what, register) ->
+            Some
+              (fun (k : (a, unit) ED.continuation) ->
+                if s.aborting then ED.discontinue k Aborted
+                else begin
+                  Sp_trace.on_task_suspend ();
+                  task.t_ctx <- tls_snapshot ();
+                  task.t_kont <- Some k;
+                  task.t_blocked_on <- what;
+                  register (fun () -> make_ready s task)
+                end)
+        | _ -> None);
+  }
+
+let new_task s ?name fn =
+  incr global_ids;
+  let id = !global_ids in
+  let task =
+    {
+      t_id = id;
+      (* Run-local ordinal: the digest must depend only on this run's
+         schedule, not on how many tasks earlier runs created. *)
+      t_seq = Hashtbl.length s.tasks;
+      t_name = (match name with Some n -> n | None -> Printf.sprintf "t%d" id);
+      t_done = false;
+      t_kont = None;
+      t_blocked_on = "";
+      t_joiners = [];
+      t_ctx = [];
+    }
+  in
+  Hashtbl.replace s.tasks id task;
+  s.live <- s.live + 1;
+  Queue.push (Start (task, fn)) s.ready;
+  task
+
+let spawn ?name fn = (new_task (sched ()) ?name fn).t_id
+
+let dispatch s r =
+  (* [ctx] is the TLS image to run the task under: its own snapshot on
+     resume, the run-entry baseline on first start.  After the task
+     yields control back (suspended or finished), the baseline comes
+     back so the scheduler loop — and the next task's start — see clean
+     globals. *)
+  let run_in task ctx f =
+    s.switches <- s.switches + 1;
+    fold_digest s task.t_seq;
+    Sp_sim.Sched_hook.set_current task.t_id;
+    tls_restore ctx;
+    f ();
+    tls_restore s.baseline;
+    Sp_sim.Sched_hook.set_current Sp_sim.Sched_hook.main_ctx
+  in
+  match r with
+  | Start (task, fn) ->
+      run_in task s.baseline (fun () ->
+          ED.match_with
+            (fun () ->
+              Sp_trace.span ~op:("task:" ^ task.t_name) ~src:"sched"
+                ~dst:("task:" ^ task.t_name) fn)
+            () (handler s task))
+  | Resume task -> (
+      match task.t_kont with
+      | None -> ()  (* finished or aborted since it was enqueued *)
+      | Some k ->
+          task.t_kont <- None;
+          run_in task task.t_ctx (fun () ->
+              Sp_trace.on_task_resume ();
+              ED.continue k ()))
+
+(* Discontinue every still-blocked task so their [Fun.protect] finalizers
+   run (releasing locks, closing trace frames) — the run's failure must
+   not leak global state into the next run in the same process.  Each
+   task unwinds under its own TLS snapshot; [run]'s finally puts the
+   baseline back afterwards. *)
+let abort_all s =
+  s.aborting <- true;
+  Queue.clear s.ready;
+  Heap.clear s.timers;
+  Hashtbl.iter
+    (fun _ task ->
+      match task.t_kont with
+      | Some k when not task.t_done ->
+          task.t_kont <- None;
+          Sp_sim.Sched_hook.set_current task.t_id;
+          tls_restore task.t_ctx;
+          (try ED.discontinue k Aborted with _ -> ());
+          Sp_sim.Sched_hook.set_current Sp_sim.Sched_hook.main_ctx
+      | _ -> ())
+    s.tasks
+
+let blocked_names s =
+  Hashtbl.fold
+    (fun _ t acc ->
+      if t.t_done then acc
+      else
+        Printf.sprintf "%s(%s)" t.t_name
+          (if t.t_blocked_on = "" then "?" else t.t_blocked_on)
+        :: acc)
+    s.tasks []
+  |> List.sort String.compare
+
+let rec loop s =
+  match s.abort_exn with
+  | Some (e, bt) ->
+      abort_all s;
+      Printexc.raise_with_backtrace e bt
+  | None ->
+      if not (Queue.is_empty s.ready) then begin
+        dispatch s (Queue.pop s.ready);
+        loop s
+      end
+      else if not (Heap.is_empty s.timers) then begin
+        let t = (Heap.min s.timers).Heap.h_time in
+        let dt = t - Sp_sim.Simclock.now () in
+        if dt > 0 then Sp_sim.Simclock.advance_raw dt;
+        while (not (Heap.is_empty s.timers)) && (Heap.min s.timers).Heap.h_time = t do
+          let e = Heap.pop s.timers in
+          make_ready s e.Heap.h_task
+        done;
+        loop s
+      end
+      else if s.live > 0 then begin
+        let names = String.concat ", " (blocked_names s) in
+        abort_all s;
+        raise (Deadlock ("all tasks blocked, no timers pending: " ^ names))
+      end
+
+type stats = { st_tasks : int; st_switches : int; st_digest : int }
+
+(* Tiny xorshift for the seeded initial shuffle — [Sp_fault]'s generator
+   lives above this library in the dependency order. *)
+let shuffle seed arr =
+  let state = ref (if seed = 0 then 0x9e3779b9 else seed land max_int) in
+  let next bound =
+    let x = !state in
+    let x = x lxor (x lsl 13) land max_int in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) land max_int in
+    state := x;
+    x mod bound
+  in
+  for i = Array.length arr - 1 downto 1 do
+    let j = next (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let run ?(seed = 0) fns =
+  if active () then invalid_arg "Sp_sched.run: scheduler already active";
+  let s =
+    {
+      ready = Queue.create ();
+      timers = Heap.create ();
+      live = 0;
+      timer_seq = 0;
+      switches = 0;
+      digest = (seed * 31) + 17;
+      aborting = false;
+      abort_exn = None;
+      tasks = Hashtbl.create 64;
+      baseline = tls_snapshot ();
+    }
+  in
+  incr run_epoch;
+  let arr = Array.of_list fns in
+  shuffle seed arr;
+  Array.iteri (fun i fn -> ignore (new_task s ~name:(Printf.sprintf "t%d" i) fn)) arr;
+  cur := Some s;
+  Sp_sim.Sched_hook.advance_hook := Some (fun ns -> Effect.perform (Wait ns));
+  Fun.protect
+    ~finally:(fun () ->
+      cur := None;
+      Sp_sim.Sched_hook.advance_hook := None;
+      Sp_sim.Sched_hook.set_current Sp_sim.Sched_hook.main_ctx;
+      tls_restore s.baseline)
+    (fun () -> loop s);
+  { st_tasks = Hashtbl.length s.tasks; st_switches = s.switches; st_digest = s.digest }
+
+(* ------------------------------------------------------------------ *)
+(* Task-facing primitives                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sleep ns =
+  if ns < 0 then invalid_arg "Sp_sched.sleep: negative duration";
+  if in_task () then (if ns > 0 then Effect.perform (Sleep ns))
+  else Sp_sim.Simclock.advance ns
+
+let yield () = if in_task () then Effect.perform Yield
+
+let suspend ~on register =
+  if not (in_task ()) then
+    invalid_arg "Sp_sched.suspend: not inside a scheduler task";
+  Effect.perform (Suspend (on, register))
+
+(* Record [dt] of queue waiting: global metric + current trace span. *)
+let note_queue dt =
+  if dt > 0 then begin
+    Sp_sim.Metrics.add_queue_ns dt;
+    Sp_trace.note_queue dt
+  end
+
+let join id =
+  match !cur with
+  | None -> ()
+  | Some s -> (
+      match Hashtbl.find_opt s.tasks id with
+      | None -> ()
+      | Some task ->
+          if not task.t_done then
+            suspend ~on:("join:" ^ task.t_name) (fun wake ->
+                task.t_joiners <- wake :: task.t_joiners))
+
+(* ------------------------------------------------------------------ *)
+(* Ivar: write-once cell                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Ivar = struct
+  type 'a t = { mutable v : 'a option; mutable waiters : (unit -> unit) list }
+
+  let create () = { v = None; waiters = [] }
+
+  let fill t x =
+    match t.v with
+    | Some _ -> invalid_arg "Sp_sched.Ivar.fill: already filled"
+    | None ->
+        t.v <- Some x;
+        let ws = List.rev t.waiters in
+        t.waiters <- [];
+        List.iter (fun w -> w ()) ws
+
+  let read t =
+    match t.v with
+    | Some x -> x
+    | None -> (
+        suspend ~on:"ivar" (fun wake -> t.waiters <- wake :: t.waiters);
+        match t.v with Some x -> x | None -> raise Aborted)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Station: an s-server FIFO queueing station                          *)
+(* ------------------------------------------------------------------ *)
+
+module Station = struct
+  type t = {
+    s_name : string;
+    s_servers : int;
+    mutable s_busy : int;
+    s_q : (unit -> unit) Queue.t;
+    mutable s_served : int;
+    mutable s_queued : int;
+    mutable s_epoch : int;
+  }
+
+  let create ?(servers = 1) name =
+    if servers < 1 then invalid_arg "Sp_sched.Station.create: servers < 1";
+    { s_name = name; s_servers = servers; s_busy = 0; s_q = Queue.create ();
+      s_served = 0; s_queued = 0; s_epoch = 0 }
+
+  (* Drop slot/queue state a previous, aborted run left behind. *)
+  let check_epoch st =
+    if st.s_epoch <> epoch () then begin
+      st.s_epoch <- epoch ();
+      st.s_busy <- 0;
+      Queue.clear st.s_q
+    end
+
+  let release st =
+    if Queue.is_empty st.s_q then st.s_busy <- st.s_busy - 1
+    else (Queue.pop st.s_q) ()  (* hand the slot to the queue head *)
+
+  let serve st ns =
+    if not (in_task ()) then Sp_sim.Simclock.advance ns
+    else begin
+      check_epoch st;
+      st.s_served <- st.s_served + 1;
+      if st.s_busy >= st.s_servers then begin
+        st.s_queued <- st.s_queued + 1;
+        let t0 = Sp_sim.Simclock.now () in
+        suspend ~on:("station:" ^ st.s_name) (fun wake -> Queue.push wake st.s_q);
+        note_queue (Sp_sim.Simclock.now () - t0)
+      end
+      else st.s_busy <- st.s_busy + 1;
+      (* Service time is real work: [advance] in a task charges busy. *)
+      Fun.protect
+        ~finally:(fun () -> release st)
+        (fun () -> Sp_sim.Simclock.advance ns)
+    end
+
+  let stats st = (st.s_served, st.s_queued)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock: fair (strict-FIFO) readers/writer lock                      *)
+(* ------------------------------------------------------------------ *)
+
+module Rwlock = struct
+  type t = {
+    rw_name : string;
+    mutable readers : int list;  (* task ids holding read access *)
+    mutable writer : int option;  (* task id holding write access *)
+    rw_q : ([ `R | `W ] * int * (unit -> unit)) Queue.t;
+    mutable rw_contended : int;
+    mutable rw_epoch : int;
+  }
+
+  let create name =
+    { rw_name = name; readers = []; writer = None; rw_q = Queue.create ();
+      rw_contended = 0; rw_epoch = 0 }
+
+  let check_epoch t =
+    if t.rw_epoch <> epoch () then begin
+      t.rw_epoch <- epoch ();
+      t.readers <- [];
+      t.writer <- None;
+      Queue.clear t.rw_q
+    end
+
+  let me () = Sp_sim.Sched_hook.current ()
+
+  let holds t id = t.writer = Some id || List.mem id t.readers
+
+  (* Admission is strict FIFO: a queued writer blocks readers that arrive
+     after it, so a steady reader stream cannot starve the writer. *)
+  let drain t =
+    let rec go () =
+      if (not (Queue.is_empty t.rw_q)) && t.writer = None then
+        match Queue.peek t.rw_q with
+        | `W, id, wake ->
+            if t.readers = [] then begin
+              ignore (Queue.pop t.rw_q);
+              t.writer <- Some id;
+              wake ()
+            end
+        | `R, id, wake ->
+            ignore (Queue.pop t.rw_q);
+            t.readers <- id :: t.readers;
+            wake ();
+            go ()
+    in
+    go ()
+
+  let wait_turn t kind =
+    t.rw_contended <- t.rw_contended + 1;
+    let t0 = Sp_sim.Simclock.now () in
+    suspend ~on:("rwlock:" ^ t.rw_name) (fun wake ->
+        Queue.push (kind, me (), wake) t.rw_q);
+    note_queue (Sp_sim.Simclock.now () - t0)
+
+  let acquire_read t =
+    if t.writer = None && Queue.is_empty t.rw_q then
+      t.readers <- me () :: t.readers
+    else wait_turn t `R  (* the granter records us as a reader *)
+
+  let release_read t =
+    let id = me () in
+    let rec drop = function
+      | [] -> []
+      | x :: rest -> if x = id then rest else x :: drop rest
+    in
+    t.readers <- drop t.readers;
+    if t.readers = [] then drain t
+
+  let acquire_write t =
+    if t.writer = None && t.readers = [] && Queue.is_empty t.rw_q then
+      t.writer <- Some (me ())
+    else wait_turn t `W
+
+  let release_write t =
+    t.writer <- None;
+    drain t
+
+  let with_read t f =
+    if not (in_task ()) then f ()
+    else if (check_epoch t; holds t (me ())) then f ()
+      (* reentrant: already have access *)
+    else begin
+      acquire_read t;
+      Fun.protect ~finally:(fun () -> release_read t) f
+    end
+
+  let with_write t f =
+    if not (in_task ()) then f ()
+    else if (check_epoch t; t.writer = Some (me ())) then f ()
+      (* reentrant write *)
+    else if List.mem (me ()) t.readers then
+      (* Upgrade would self-deadlock behind our own read hold; the grant
+         paths never do this, but a task that does keeps its read access. *)
+      f ()
+    else begin
+      acquire_write t;
+      Fun.protect ~finally:(fun () -> release_write t) f
+    end
+
+  let contended t = t.rw_contended
+end
+
+module Mutex = struct
+  type t = Rwlock.t
+
+  let create name = Rwlock.create name
+  let with_lock t f = Rwlock.with_write t f
+end

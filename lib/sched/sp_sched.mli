@@ -1,0 +1,143 @@
+(** Deterministic discrete-event scheduler: simulated clients as
+    cooperatively interleaved tasks over [Sp_sim.Simclock].
+
+    While a run is active, every [Simclock.advance] performed by a task
+    suspends it until virtual time passes (other ready tasks run in the
+    gap), so independent clients' service times overlap by default.
+    Contention is modelled explicitly with the queueing resources below:
+    a {!Station} serializes door crossings into a domain, {!Rwlock} makes
+    [Mrsw] grants block, and the disk keeps an elevator queue (in
+    [Sp_blockdev.Disk]).  Time spent waiting in any of these queues is
+    recorded in [Sp_sim.Metrics] ([queue_ns]) and on the waiting task's
+    open trace span.
+
+    Determinism: the ready queue is strict FIFO, same-instant timers wake
+    in creation order, and the seed only shuffles the initial task order.
+    Same seed + same task bodies give an identical schedule (see
+    {!stats}), metrics and final clock. *)
+
+(** All tasks are blocked and no timer is pending — a lost wakeup or a
+    lock cycle.  The run is aborted before this is raised. *)
+exception Deadlock of string
+
+(** Raised into still-blocked tasks when a run aborts (first task
+    exception wins — e.g. [Sp_fault.Crash], the machine stopping).  It
+    unwinds each task so [Fun.protect] finalizers restore global state.
+    Task code must never catch it. *)
+exception Aborted
+
+(** [true] while a [run] is executing (even from the scheduler's own
+    main loop, where no task is current). *)
+val active : unit -> bool
+
+(** [true] iff the caller is executing inside a scheduler task. *)
+val in_task : unit -> bool
+
+(** The current task's id, when [in_task ()]. *)
+val current : unit -> int option
+
+(** Generation counter, bumped at every [run].  Long-lived queueing
+    resources built on {!suspend} compare it to lazily drop queue state
+    an aborted previous run left behind (a crashed task never runs its
+    release path).  {!Station} and {!Rwlock} do this internally. *)
+val epoch : unit -> int
+
+type stats = {
+  st_tasks : int;  (** tasks that ran, including [spawn]ed ones *)
+  st_switches : int;  (** dispatches (context switches) *)
+  st_digest : int;  (** order-sensitive hash of the dispatch sequence *)
+}
+
+(** [run ?seed tasks] runs each thunk as a task until all (including any
+    [spawn]ed during the run) finish.  The seed shuffles the initial task
+    order.  If a task raises, all other tasks are unwound with {!Aborted}
+    and the first exception is re-raised.  Runs cannot nest. *)
+val run : ?seed:int -> (unit -> unit) list -> stats
+
+(** Create a task from inside a run; returns its id (see {!join}). *)
+val spawn : ?name:string -> (unit -> unit) -> int
+
+(** Suspend the calling task for [ns] virtual nanoseconds of {e idle}
+    time: the clock passes but nothing is charged as busy/service time
+    (use [Simclock.advance] for time the task is doing work — inside a
+    task it suspends just the same, but charges busy).  Backoffs and
+    inter-arrival pauses belong here.  Outside any run it simply advances
+    the clock. *)
+val sleep : int -> unit
+
+(** Let other ready tasks run; no virtual time passes. *)
+val yield : unit -> unit
+
+(** Block until task [id] finishes.  Returns immediately outside a run or
+    if the task is already done. *)
+val join : int -> unit
+
+(** [suspend ~on register] parks the calling task; [register] receives the
+    waker that makes it ready again.  [on] labels the wait in {!Deadlock}
+    reports.  Building block for custom queueing resources (the disk's
+    elevator queue uses it). *)
+val suspend : on:string -> ((unit -> unit) -> unit) -> unit
+
+(** Record queue-wait time: adds to [Metrics.queue_ns] and to the calling
+    task's open trace span. *)
+val note_queue : int -> unit
+
+(** [register_tls save] declares a global mutable as {e task-local}:
+    [save ()] captures its current value and returns a closure that
+    restores it.  The scheduler snapshots every registered slot when a
+    task suspends and reinstalls it when the task resumes, so state that
+    models per-activity context ([Sp_obj.Door]'s current domain, the
+    bulk-transfer scope depth) nests correctly under interleaving
+    instead of leaking between tasks.  Tasks start from the values at
+    [run] entry, and the run restores those values on exit — normal or
+    aborted.  Call once, at library initialisation. *)
+val register_tls : (unit -> unit -> unit) -> unit
+
+(** Write-once synchronization cell. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  (** Wakes all readers.  Filling twice is [Invalid_argument]. *)
+  val fill : 'a t -> 'a -> unit
+
+  (** Blocks until filled. *)
+  val read : 'a t -> 'a
+end
+
+(** An s-server FIFO queueing station: [serve st ns] waits for a free
+    server slot (queue time is recorded), then holds it for [ns] of
+    service time.  Outside a run it degrades to [Simclock.advance ns]. *)
+module Station : sig
+  type t
+
+  val create : ?servers:int -> string -> t
+  val serve : t -> int -> unit
+
+  (** (total served, of which had to queue) *)
+  val stats : t -> int * int
+end
+
+(** Fair readers/writer lock with strict-FIFO admission: a queued writer
+    blocks readers that arrive after it (no writer starvation).  Scoped
+    acquisition only; reentrant acquisition by the holding task runs the
+    body directly.  Outside a run both combinators just run [f]. *)
+module Rwlock : sig
+  type t
+
+  val create : string -> t
+  val with_read : t -> (unit -> 'a) -> 'a
+  val with_write : t -> (unit -> 'a) -> 'a
+
+  (** Number of acquisitions that had to queue. *)
+  val contended : t -> int
+end
+
+(** [Rwlock] in writer-only dress: a reentrant FIFO mutex. *)
+module Mutex : sig
+  type t
+
+  val create : string -> t
+  val with_lock : t -> (unit -> 'a) -> 'a
+end

@@ -10,6 +10,7 @@ type report = {
   rp_journal : bool;
   rp_torn : bool;
   rp_checksums : bool;
+  rp_clients : int;
   rp_ops : int;
   rp_seed : int;
   rp_writes : int;
@@ -101,11 +102,221 @@ let setup ~journal ~checksums ~seed =
   let fs = Disk_layer.mount ~name:lbl disk in
   (disk, { fs; expected = Hashtbl.create 8; synced = []; pending = None })
 
-let workload_writes ?(checksums = true) ~journal ~ops ~seed () =
-  let disk, st = setup ~journal ~checksums ~seed in
+(* ------------------------------------------------------------------ *)
+(* Concurrent-client mode                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* With [clients > 1] the workload runs as N scheduler tasks over one
+   volume, each owning a disjoint set of files ("c<k>f<j>").  The
+   single-snapshot verification above no longer works: a crash can land
+   between two clients' syncs, so there is no one cut the whole volume
+   must equal.  Instead each file keeps its full version history
+   (position 0 is the implicit "absent" before creation) plus a durable
+   floor — the version that was current when the latest *completed* sync
+   (by any client — every commit flushes the whole volume) started.
+   After recovery each surviving file must hold SOME version at or above
+   its floor: below the floor means a synced write was lost, no version
+   at all means corruption. *)
+
+type version = Absent | Content of bytes
+
+type fhist = {
+  mutable rev : version list;  (* newest first; positions n..1 *)
+  mutable n : int;
+  mutable floor : int;  (* 0 = nothing durable yet (implicit Absent) *)
+}
+
+let files_per_client = 3
+
+let hist_of world name =
+  match Hashtbl.find_opt world name with
+  | Some h -> h
+  | None ->
+      let h = { rev = []; n = 0; floor = 0 } in
+      Hashtbl.replace world name h;
+      h
+
+let hist_current h = match h.rev with [] -> Absent | v :: _ -> v
+
+let hist_push h v =
+  h.rev <- v :: h.rev;
+  h.n <- h.n + 1
+
+(* A completed sync makes (at least) every version current at its start
+   durable: the journal commit flushes the whole volume's buffered
+   writes, whoever issued them. *)
+let csync world fs =
+  let snap = Hashtbl.fold (fun _ h acc -> (h, h.n) :: acc) world [] in
+  Stackable.sync fs;
+  List.iter (fun (h, idx) -> if idx > h.floor then h.floor <- idx) snap
+
+let cwrite_step world fs rng k =
+  let name = Printf.sprintf "c%df%d" k (Rng.int rng files_per_client) in
+  let path = Sname.of_components [ name ] in
+  let pos = Rng.int rng max_pos in
+  let len = 1 + Rng.int rng max_write in
+  let base = Rng.int rng 256 in
+  let data = Bytes.init len (fun i -> Char.chr ((base + i) land 0xff)) in
+  let h = hist_of world name in
+  let old, f =
+    match hist_current h with
+    | Content b -> (b, Stackable.open_file fs path)
+    | Absent ->
+        let f = Stackable.create fs path in
+        (* The empty just-created file is its own committable version:
+           the create and the first write are separately-locked ops, so
+           another client's sync can land between them and make the bare
+           creation durable. *)
+        hist_push h (Content Bytes.empty);
+        (Bytes.empty, f)
+  in
+  ignore (File.write f ~pos data);
+  let buf = Bytes.make (max (Bytes.length old) (pos + len)) '\000' in
+  Bytes.blit old 0 buf 0 (Bytes.length old);
+  Bytes.blit data 0 buf pos len;
+  (* No suspension point between the write returning and this push: the
+     history always reflects every completed write. *)
+  hist_push h (Content buf)
+
+let cremove_step world fs rng k =
+  let name = Printf.sprintf "c%df%d" k (Rng.int rng files_per_client) in
+  let h = hist_of world name in
+  match hist_current h with
+  | Absent -> ()
+  | Content _ ->
+      Stackable.remove fs (Sname.of_components [ name ]);
+      hist_push h Absent
+
+let run_clients world fs ~clients ~ops ~seed =
+  let client k () =
+    let rng = Rng.create (seed + ((k + 1) * 7919)) in
+    for i = 1 to ops do
+      (match Rng.int rng 12 with
+      | 10 -> cremove_step world fs rng k
+      | 11 -> csync world fs
+      | _ -> cwrite_step world fs rng k);
+      if i mod 5 = 0 then csync world fs
+    done;
+    csync world fs
+  in
+  ignore (Sp_sched.run ~seed (List.init clients client))
+
+(* Does the on-disk state of one file ([got = None] if absent) match any
+   version at or above the durable floor? *)
+let matches_hist h got =
+  let rec go i = function
+    | [] -> ( (* position 0: the implicit pre-creation Absent *)
+        match got with None -> h.floor <= 0 | Some _ -> false)
+    | v :: rest ->
+        (i >= h.floor
+        &&
+        match (v, got) with
+        | Absent, None -> true
+        | Content b, Some g -> Bytes.equal b g
+        | _ -> false)
+        || go (i - 1) rest
+  in
+  go h.n h.rev
+
+let matches_world world fs2 =
+  let on_disk = List.sort String.compare (Stackable.listdir fs2 root) in
+  match
+    List.find_opt (fun name -> not (Hashtbl.mem world name)) on_disk
+  with
+  | Some name -> Some (Printf.sprintf "unexpected file %s on disk" name)
+  | None ->
+      Hashtbl.fold
+        (fun name h acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              let got =
+                if List.mem name on_disk then
+                  Some
+                    (File.read_all
+                       (Stackable.open_file fs2 (Sname.of_components [ name ])))
+                else None
+              in
+              if matches_hist h got then None
+              else
+                Some
+                  (Printf.sprintf
+                     "%s: %s matches no version >= durable floor %d (of %d)"
+                     name
+                     (match got with
+                     | None -> "absent"
+                     | Some g -> Printf.sprintf "%d bytes" (Bytes.length g))
+                     h.floor h.n))
+        world None
+
+let setup_concurrent ~journal ~checksums ~seed =
+  let lbl = label ~journal ~seed in
+  let disk = Disk.create ~label:lbl ~blocks:(2 * disk_blocks) () in
+  Disk_layer.mkfs ~journal ~checksums disk;
+  let fs = Disk_layer.mount ~name:lbl disk in
+  (disk, fs, Hashtbl.create 32)
+
+let workload_writes_concurrent ~checksums ~journal ~clients ~ops ~seed () =
+  let disk, fs, world = setup_concurrent ~journal ~checksums ~seed in
   let before = (Disk.stats disk).writes in
-  run_ops st (Rng.create seed) ops;
+  run_clients world fs ~clients ~ops ~seed;
   (Disk.stats disk).writes - before
+
+let run_point_concurrent ~torn ~checksums ~journal ~clients ~ops ~seed ~crash_at
+    () =
+  let disk, fs, world = setup_concurrent ~journal ~checksums ~seed in
+  let plan =
+    Sp_fault.plan ~seed:(seed + crash_at)
+      [
+        Sp_fault.rule ~point:"disk.write"
+          ~label:(label ~journal ~seed)
+          ~after:(crash_at - 1) ~count:1
+          (if torn then Sp_fault.Torn_write_crash else Sp_fault.Fail_stop);
+      ]
+  in
+  (match
+     Sp_fault.with_plan plan (fun () ->
+         run_clients world fs ~clients ~ops ~seed)
+   with
+  | () -> ()
+  | exception Sp_fault.Crash _ -> ());
+  ignore (Disk_layer.recover disk);
+  let pp_first p rest =
+    Format.asprintf "%a%s" Fsck.pp_problem p
+      (if rest = [] then "" else Printf.sprintf " (+%d more)" (List.length rest))
+  in
+  let structural, mismatches =
+    List.partition
+      (function Fsck.Checksum_mismatch _ -> false | _ -> true)
+      (Fsck.check ~verify_checksums:checksums disk)
+  in
+  match structural with
+  | p :: rest -> Corrupt (pp_first p rest)
+  | [] -> (
+      match mismatches with
+      | p :: rest -> Detected (pp_first p rest)
+      | [] -> (
+          match
+            let fs2 =
+              Disk_layer.mount ~name:(label ~journal ~seed ^ "-re") disk
+            in
+            match matches_world world fs2 with
+            | None -> Survived
+            | Some msg -> Lost msg
+          with
+          | outcome -> outcome
+          | exception Sp_core.Fserr.Checksum_error msg -> Detected msg))
+
+let workload_writes ?(checksums = true) ?(clients = 1) ~journal ~ops ~seed () =
+  if clients < 1 then invalid_arg "Crash_sweep: clients must be >= 1";
+  if clients > 1 then
+    workload_writes_concurrent ~checksums ~journal ~clients ~ops ~seed ()
+  else begin
+    let disk, st = setup ~journal ~checksums ~seed in
+    let before = (Disk.stats disk).writes in
+    run_ops st (Rng.create seed) ops;
+    (Disk.stats disk).writes - before
+  end
 
 (* [matches fs2 snap] checks the remounted volume holds exactly the
    files of [snap] with exactly their contents; returns a description of
@@ -132,7 +343,13 @@ let matches fs2 snap =
                 else "")))
       snap
 
-let run_point ?(torn = false) ?(checksums = true) ~journal ~ops ~seed ~crash_at () =
+let run_point ?(torn = false) ?(checksums = true) ?(clients = 1) ~journal ~ops
+    ~seed ~crash_at () =
+  if clients < 1 then invalid_arg "Crash_sweep: clients must be >= 1";
+  if clients > 1 then
+    run_point_concurrent ~torn ~checksums ~journal ~clients ~ops ~seed
+      ~crash_at ()
+  else
   let disk, st = setup ~journal ~checksums ~seed in
   let plan =
     Sp_fault.plan ~seed:(seed + crash_at)
@@ -191,16 +408,20 @@ let run_point ?(torn = false) ?(checksums = true) ~journal ~ops ~seed ~crash_at 
           | outcome -> outcome
           | exception Sp_core.Fserr.Checksum_error msg -> Detected msg))
 
-let sweep ?(stride = 1) ?(torn = false) ?(checksums = true) ~journal ~ops ~seed () =
+let sweep ?(stride = 1) ?(torn = false) ?(checksums = true) ?(clients = 1)
+    ~journal ~ops ~seed () =
   if stride < 1 then invalid_arg "Crash_sweep.sweep: stride must be >= 1";
-  let writes = workload_writes ~checksums ~journal ~ops ~seed () in
+  let writes = workload_writes ~checksums ~clients ~journal ~ops ~seed () in
   let survived = ref 0 and lost = ref 0 and corrupt = ref 0 and detected = ref 0 in
   let points = ref 0 in
   let first_bad = ref None in
   let crash_at = ref 1 in
   while !crash_at <= writes do
     incr points;
-    (match run_point ~torn ~checksums ~journal ~ops ~seed ~crash_at:!crash_at () with
+    (match
+       run_point ~torn ~checksums ~clients ~journal ~ops ~seed
+         ~crash_at:!crash_at ()
+     with
     | Survived -> incr survived
     | Lost msg ->
         incr lost;
@@ -217,6 +438,7 @@ let sweep ?(stride = 1) ?(torn = false) ?(checksums = true) ~journal ~ops ~seed 
     rp_journal = journal;
     rp_torn = torn;
     rp_checksums = checksums;
+    rp_clients = clients;
     rp_ops = ops;
     rp_seed = seed;
     rp_writes = writes;
@@ -236,23 +458,24 @@ let pp_outcome ppf = function
 
 let summary r =
   Printf.sprintf
-    "CRASH-SWEEP journal=%s checksums=%s%s points=%d survived=%d lost=%d corrupt=%d \
+    "CRASH-SWEEP journal=%s checksums=%s%s%s points=%d survived=%d lost=%d corrupt=%d \
      detected=%d"
     (if r.rp_journal then "on" else "off")
     (if r.rp_checksums then "on" else "off")
     (if r.rp_torn then " torn=on" else "")
+    (if r.rp_clients > 1 then Printf.sprintf " clients=%d" r.rp_clients else "")
     r.rp_points r.rp_survived r.rp_lost r.rp_corrupt r.rp_detected
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>crash sweep: journal=%s torn=%s checksums=%s ops=%d seed=%d@,\
+    "@[<v>crash sweep: journal=%s torn=%s checksums=%s clients=%d ops=%d seed=%d@,\
      device writes swept: %d (%d crash points)@,\
      survived %d   lost %d   corrupt %d   checksum-detected %d@]"
     (if r.rp_journal then "on" else "off")
     (if r.rp_torn then "on" else "off")
     (if r.rp_checksums then "on" else "off")
-    r.rp_ops r.rp_seed r.rp_writes r.rp_points r.rp_survived r.rp_lost
-    r.rp_corrupt r.rp_detected;
+    r.rp_clients r.rp_ops r.rp_seed r.rp_writes r.rp_points r.rp_survived
+    r.rp_lost r.rp_corrupt r.rp_detected;
   match r.rp_first_bad with
   | None -> ()
   | Some (at, msg) ->

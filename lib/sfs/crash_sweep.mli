@@ -31,7 +31,8 @@ type report = {
   rp_journal : bool;
   rp_torn : bool;
   rp_checksums : bool;
-  rp_ops : int;
+  rp_clients : int;  (** concurrent clients (1 = the classic serial sweep) *)
+  rp_ops : int;  (** operations, per client when [rp_clients > 1] *)
   rp_seed : int;
   rp_writes : int;  (** device writes the full workload performs *)
   rp_points : int;  (** crash points actually swept *)
@@ -44,8 +45,13 @@ type report = {
 
 (** Device writes the workload performs after mount (an exclusive upper
     bound for useful crash points).  [checksums] (default true) formats
-    the volume with a checksum region, which changes the write count. *)
-val workload_writes : ?checksums:bool -> journal:bool -> ops:int -> seed:int -> unit -> int
+    the volume with a checksum region, which changes the write count.
+    With [clients > 1] the workload runs as that many concurrently
+    interleaved [Sp_sched] tasks, each doing [ops] operations on its own
+    disjoint files of the shared volume. *)
+val workload_writes :
+  ?checksums:bool -> ?clients:int -> journal:bool -> ops:int -> seed:int ->
+  unit -> int
 
 (** Run the workload once, crashing at the [crash_at]-th device write
     (1-based; a [crash_at] beyond the workload's writes means no crash),
@@ -54,16 +60,22 @@ val workload_writes : ?checksums:bool -> journal:bool -> ops:int -> seed:int -> 
     checksums: damage the structural fsck pass cannot see — an
     unjournaled torn write, a crash between a raw data write and its
     checksum write-through — comes back as {!Detected} rather than
-    passing silently or escaping as an exception. *)
+    passing silently or escaping as an exception.
+
+    With [clients > 1] the workload is the concurrent one: verification
+    switches to per-file version histories with a durable floor — each
+    recovered file must match some version at least as new as the one
+    current at the last completed sync (any client's sync commits the
+    whole volume). *)
 val run_point :
-  ?torn:bool -> ?checksums:bool -> journal:bool -> ops:int -> seed:int ->
-  crash_at:int -> unit -> outcome
+  ?torn:bool -> ?checksums:bool -> ?clients:int -> journal:bool -> ops:int ->
+  seed:int -> crash_at:int -> unit -> outcome
 
 (** Sweep crash points [1, 1+stride, ...] up to the workload's write
     count (default [stride] 1). *)
 val sweep :
-  ?stride:int -> ?torn:bool -> ?checksums:bool -> journal:bool -> ops:int ->
-  seed:int -> unit -> report
+  ?stride:int -> ?torn:bool -> ?checksums:bool -> ?clients:int ->
+  journal:bool -> ops:int -> seed:int -> unit -> report
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -19,6 +19,13 @@ type fs = {
       (* indirect-block cache (write-through): metadata, like the i-node
          cache, so sequential data I/O does not thrash the head between
          indirect and data blocks *)
+  lock : Sp_sched.Mutex.t;
+      (* serializes mutating operations and sync against concurrent
+         scheduler tasks: a journal commit interleaved with buffered
+         writes (or two interleaved allocations) would corrupt the
+         volume.  Reads stay outside it so the disk elevator sees
+         concurrent I/O.  Reentrant per task (sync from inside a write
+         path is fine). *)
 }
 
 (* Registry linking exported stackable_fs values back to their state, for
@@ -29,6 +36,8 @@ let fs_of (sfs : Sp_core.Stackable.t) =
   match Hashtbl.find_opt instances sfs.Sp_core.Stackable.sfs_name with
   | Some fs -> fs
   | None -> invalid_arg (sfs.Sp_core.Stackable.sfs_name ^ ": not a disk layer")
+
+let locked fs f = Sp_sched.Mutex.with_lock fs.lock f
 
 (* ------------------------------------------------------------------ *)
 (* Block allocation                                                    *)
@@ -415,11 +424,13 @@ let file_key fs ino = Printf.sprintf "%s/ino%d" fs.name ino
 let make_pager fs ino =
   let get_attr () = Inode.to_attr (Inode.get fs.icache ino) in
   let set_attr a =
+    locked fs @@ fun () ->
     let inode = Inode.get fs.icache ino in
     Inode.apply_attr inode a;
     Inode.mark_dirty fs.icache ino
   in
   let attr_sync (a : Sp_vm.Attr.t) =
+    locked fs @@ fun () ->
     let inode = Inode.get fs.icache ino in
     if a.Sp_vm.Attr.len <> inode.Inode.len then set_length fs ino a.Sp_vm.Attr.len;
     let inode = Inode.get fs.icache ino in
@@ -427,6 +438,7 @@ let make_pager fs ino =
     Inode.mark_dirty fs.icache ino
   in
   let write ~offset data =
+    locked fs @@ fun () ->
     let inode = Inode.get fs.icache ino in
     write_range fs ino inode ~pos:offset data
   in
@@ -447,6 +459,7 @@ let make_pager fs ino =
        commits the whole cluster in one journal batch. *)
     p_sync_v =
       Sp_vm.Vm_types.sync_each (fun ~offset data ->
+          locked fs @@ fun () ->
           let inode = Inode.get fs.icache ino in
           write_range_vec fs ino inode ~pos:offset data);
     p_done_with = (fun () -> ());
@@ -471,7 +484,7 @@ let make_memory_object fs ino =
           ~make_pager:(fun ~id:_ -> make_pager fs ino)
           manager);
     m_get_length = (fun () -> (Inode.get fs.icache ino).Inode.len);
-    m_set_length = (fun len -> set_length fs ino len);
+    m_set_length = (fun len -> locked fs (fun () -> set_length fs ino len));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -479,6 +492,7 @@ let make_memory_object fs ino =
 (* ------------------------------------------------------------------ *)
 
 let flush_all fs =
+  locked fs @@ fun () ->
   Inode.flush fs.icache;
   Bitmap.flush fs.ibitmap;
   Bitmap.flush fs.bbitmap;
@@ -509,6 +523,7 @@ let make_file fs ino =
         end);
     f_write =
       (fun ~pos data ->
+        locked fs @@ fun () ->
         let inode = Inode.get fs.icache ino in
         write_range fs ino inode ~pos data;
         let len = Bytes.length data in
@@ -520,10 +535,11 @@ let make_file fs ino =
     f_stat = get_attr;
     f_set_attr =
       (fun a ->
+        locked fs @@ fun () ->
         let inode = Inode.get fs.icache ino in
         Inode.apply_attr inode a;
         Inode.mark_dirty fs.icache ino);
-    f_truncate = (fun len -> set_length fs ino len);
+    f_truncate = (fun len -> locked fs (fun () -> set_length fs ino len));
     f_sync = (fun () -> flush_all fs);
     f_exten = [];
   }
@@ -568,6 +584,7 @@ and make_ctx fs ino =
         end
   in
   let bind1 component obj =
+    locked fs @@ fun () ->
     Dirent.check_name component;
     let inode = dir () in
     if dir_lookup fs ino inode component <> None then
@@ -592,6 +609,7 @@ and make_ctx fs ino =
     | _ -> invalid_arg (label ^ ": disk layer binds only its own files")
   in
   let unbind1 component =
+    locked fs @@ fun () ->
     let inode = dir () in
     match dir_lookup fs ino inode component with
     | None -> raise (Sp_naming.Context.Unbound (label ^ "/" ^ component))
@@ -612,6 +630,7 @@ and make_ctx fs ino =
         end
   in
   let rebind1 component obj =
+    locked fs @@ fun () ->
     (match dir_lookup fs ino (dir ()) component with
     | Some _ -> unbind1 component
     | None -> ());
@@ -656,6 +675,7 @@ let walk_parent fs path =
       (List.fold_left step 0 parents, last)
 
 let create_at fs path kind =
+  locked fs @@ fun () ->
   let parent, name = walk_parent fs path in
   Dirent.check_name name;
   let pnode = Inode.get fs.icache parent in
@@ -758,6 +778,7 @@ let mount ?(node = "local") ?domain ~name disk =
       ctxs = Hashtbl.create 8;
       dcache = Hashtbl.create 8;
       indcache = Hashtbl.create 8;
+      lock = Sp_sched.Mutex.create ("sfs:" ^ name);
     }
   in
   Hashtbl.replace instances name fs;
@@ -777,6 +798,7 @@ let mount ?(node = "local") ?domain ~name disk =
     sfs_mkdir = (fun path -> ignore (create_at fs path Inode.Dir));
     sfs_remove =
       (fun path ->
+        locked fs @@ fun () ->
         let parent, name' = walk_parent fs path in
         let ctx = ctx_of fs parent in
         match ctx.Sp_naming.Context.ctx_unbind1 name' with
@@ -786,6 +808,7 @@ let mount ?(node = "local") ?domain ~name disk =
     sfs_sync = (fun () -> flush_all fs);
     sfs_drop_caches =
       (fun () ->
+        locked fs @@ fun () ->
         flush_all fs;
         Inode.drop fs.icache;
         Hashtbl.reset fs.dcache;

@@ -20,6 +20,7 @@ type snapshot = {
   bulk_setups : int;
   readahead_hits : int;
   readahead_wasted : int;
+  queue_ns : int;
 }
 
 let zero =
@@ -45,6 +46,7 @@ let zero =
     bulk_setups = 0;
     readahead_hits = 0;
     readahead_wasted = 0;
+    queue_ns = 0;
   }
 
 let state = ref zero
@@ -100,6 +102,9 @@ let incr_readahead_hits () = state := { !state with readahead_hits = !state.read
 let incr_readahead_wasted () =
   state := { !state with readahead_wasted = !state.readahead_wasted + 1 }
 
+let queue_ns () = !state.queue_ns
+let add_queue_ns n = state := { !state with queue_ns = !state.queue_ns + n }
+
 let snapshot () = !state
 
 let diff ~before ~after =
@@ -125,6 +130,7 @@ let diff ~before ~after =
     bulk_setups = after.bulk_setups - before.bulk_setups;
     readahead_hits = after.readahead_hits - before.readahead_hits;
     readahead_wasted = after.readahead_wasted - before.readahead_wasted;
+    queue_ns = after.queue_ns - before.queue_ns;
   }
 
 let add a b =
@@ -150,6 +156,7 @@ let add a b =
     bulk_setups = a.bulk_setups + b.bulk_setups;
     readahead_hits = a.readahead_hits + b.readahead_hits;
     readahead_wasted = a.readahead_wasted + b.readahead_wasted;
+    queue_ns = a.queue_ns + b.queue_ns;
   }
 
 let reset () = state := zero
@@ -164,9 +171,10 @@ let pp ppf s =
      faults_injected=%d net_retries=%d@ \
      checksum_failures=%d integrity_repairs=%d@ \
      bulk_handoffs=%d bulk_copies=%d bulk_setups=%d@ \
-     readahead_hits=%d readahead_wasted=%d@]"
+     readahead_hits=%d readahead_wasted=%d@ \
+     queue_ns=%d@]"
     s.cross_domain_calls s.local_calls s.kernel_calls s.page_faults s.page_ins
     s.page_outs s.disk_reads s.disk_writes s.net_messages s.net_bytes
     s.coherency_actions s.attr_fetches s.faults_injected s.net_retries
     s.checksum_failures s.integrity_repairs s.bulk_handoffs s.bulk_copies
-    s.bulk_setups s.readahead_hits s.readahead_wasted
+    s.bulk_setups s.readahead_hits s.readahead_wasted s.queue_ns

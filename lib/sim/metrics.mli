@@ -29,6 +29,9 @@ type snapshot = {
   bulk_setups : int;  (** bulk channels established (one per domain pair) *)
   readahead_hits : int;  (** faults absorbed by a previously prefetched page *)
   readahead_wasted : int;  (** prefetched pages retired without ever being hit *)
+  queue_ns : int;
+      (** virtual time tasks spent waiting for a contended resource (door
+          station, disk queue, Mrsw lock) before being served *)
 }
 
 val cross_domain_calls : unit -> int
@@ -68,6 +71,8 @@ val incr_bulk_copies : unit -> unit
 val incr_bulk_setups : unit -> unit
 val incr_readahead_hits : unit -> unit
 val incr_readahead_wasted : unit -> unit
+val queue_ns : unit -> int
+val add_queue_ns : int -> unit
 
 (** Capture the current counter values. *)
 val snapshot : unit -> snapshot

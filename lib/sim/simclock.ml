@@ -4,7 +4,14 @@ let now () = !time_ns
 
 let advance ns =
   if ns < 0 then invalid_arg "Simclock.advance: negative duration";
-  time_ns := !time_ns + ns
+  if ns > 0 then
+    match !Sched_hook.advance_hook with
+    | Some hook when Sched_hook.in_task () -> hook ns
+    | _ ->
+        time_ns := !time_ns + ns;
+        Sched_hook.note_busy ns
+
+let advance_raw ns = time_ns := !time_ns + ns
 
 let reset () = time_ns := 0
 

@@ -4,6 +4,7 @@ type span = {
   sp_id : int;
   sp_parent : int;
   sp_depth : int;
+  sp_task : int;
   sp_op : string;
   sp_src : string;
   sp_dst : string;
@@ -11,6 +12,7 @@ type span = {
   sp_start : int;
   sp_stop : int;
   sp_self_ns : int;
+  sp_queue_ns : int;
   sp_metrics : M.snapshot;
   sp_self_metrics : M.snapshot;
   sp_copy_bytes : int;
@@ -28,27 +30,50 @@ type trace = {
   tr_instants : instant list;
   tr_dropped : int;
   tr_total_ns : int;
+  tr_busy_ns : int;
   tr_root : int;
 }
 
 (* An open span.  Child inclusive time and metrics accumulate into the
    parent as children close, so a completed span carries its self figures
    directly and aggregation never needs to rebuild the tree (which would
-   break when the ring buffer drops spans). *)
+   break when the ring buffer drops spans).
+
+   Self time is *busy* time (Sched_hook per-context clocks), not wall
+   time: under the discrete-event scheduler a frame stays open across its
+   task's suspensions, during which the wall clock moves for other tasks'
+   work.  With no scheduler active busy and wall deltas coincide, so the
+   classic partition invariant (self times sum to the root's elapsed
+   time) is unchanged; under concurrency the invariant becomes "self
+   times sum to total busy time" ([tr_busy_ns]), per task and overall. *)
 type frame = {
   fr_id : int;
   fr_parent : int;
   fr_depth : int;
+  fr_task : int;
   fr_op : string;
   fr_src : string;
   fr_dst : string;
   fr_node : string;
   fr_start : int;
+  fr_busy0 : int;
   fr_metrics0 : M.snapshot;
+  fr_stolen0 : M.snapshot;
   mutable fr_child_ns : int;
   mutable fr_child_metrics : M.snapshot;
+  mutable fr_queue_ns : int;
   mutable fr_copy_bytes : int;
   mutable fr_cpu_units : int;
+}
+
+(* Per-execution-context (main, or one task) trace state.  [stolen]
+   accumulates the global-metrics delta consumed by *other* contexts
+   while this one was suspended, so a frame's inclusive metrics can be
+   corrected to what its own context actually did. *)
+type ctx = {
+  mutable stack : frame list;
+  mutable stolen : M.snapshot;
+  mutable pause_at : M.snapshot option;
 }
 
 type state = {
@@ -57,37 +82,66 @@ type state = {
   mutable next_slot : int;
   mutable recorded : int;
   mutable next_id : int;
-  mutable stack : frame list;
+  mutable root_id : int;
+  main : ctx;
+  tasks : (int, ctx) Hashtbl.t;
   mutable instants : instant list;  (** newest first; sparse, unbounded *)
 }
 
 let state : state option ref = ref None
 let enabled () = match !state with None -> false | Some _ -> true
 
+let fresh_ctx () = { stack = []; stolen = M.zero; pause_at = None }
+
+let ctx_of st id =
+  if id < 0 then st.main
+  else
+    match Hashtbl.find_opt st.tasks id with
+    | Some c -> c
+    | None ->
+        let c = fresh_ctx () in
+        Hashtbl.replace st.tasks id c;
+        c
+
+let cur_ctx st = ctx_of st (Sp_sim.Sched_hook.current ())
+
 let open_frame st ~op ~src ~dst ~node =
   let id = st.next_id in
   st.next_id <- id + 1;
+  let task = Sp_sim.Sched_hook.current () in
+  let c = ctx_of st task in
   let parent, depth =
-    match st.stack with [] -> (0, 0) | f :: _ -> (f.fr_id, f.fr_depth + 1)
+    match c.stack with
+    | f :: _ -> (f.fr_id, f.fr_depth + 1)
+    | [] ->
+        (* A task's outermost frame hangs off the synthetic root (which
+           lives in the main context) for tree rendering; its time and
+           metrics do NOT accumulate into the root — cross-context busy
+           time is not the root's own. *)
+        if task >= 0 && st.root_id > 0 then (st.root_id, 1) else (0, 0)
   in
   let fr =
     {
       fr_id = id;
       fr_parent = parent;
       fr_depth = depth;
+      fr_task = task;
       fr_op = op;
       fr_src = src;
       fr_dst = dst;
       fr_node = node;
       fr_start = Sp_sim.Simclock.now ();
+      fr_busy0 = Sp_sim.Sched_hook.busy_of task;
       fr_metrics0 = M.snapshot ();
+      fr_stolen0 = c.stolen;
       fr_child_ns = 0;
       fr_child_metrics = M.zero;
+      fr_queue_ns = 0;
       fr_copy_bytes = 0;
       fr_cpu_units = 0;
     }
   in
-  st.stack <- fr :: st.stack;
+  c.stack <- fr :: c.stack;
   fr
 
 let record st sp =
@@ -96,8 +150,9 @@ let record st sp =
   st.recorded <- st.recorded + 1
 
 let close_frame st fr =
-  (match st.stack with
-  | f :: rest when f == fr -> st.stack <- rest
+  let c = ctx_of st fr.fr_task in
+  (match c.stack with
+  | f :: rest when f == fr -> c.stack <- rest
   | _ ->
       (* Only reachable if a span body tampered with the stack; drop down
          to (and including) [fr] so accounting can continue. *)
@@ -106,15 +161,19 @@ let close_frame st fr =
         | _ :: rest -> pop rest
         | [] -> []
       in
-      st.stack <- pop st.stack);
+      c.stack <- pop c.stack);
   let stop = Sp_sim.Simclock.now () in
-  let incl_ns = stop - fr.fr_start in
-  let incl_m = M.diff ~before:fr.fr_metrics0 ~after:(M.snapshot ()) in
+  let incl_ns = Sp_sim.Sched_hook.busy_of fr.fr_task - fr.fr_busy0 in
+  let incl_raw = M.diff ~before:fr.fr_metrics0 ~after:(M.snapshot ()) in
+  (* Subtract what other contexts did while this one was suspended. *)
+  let stolen_delta = M.diff ~before:fr.fr_stolen0 ~after:c.stolen in
+  let incl_m = M.diff ~before:stolen_delta ~after:incl_raw in
   let sp =
     {
       sp_id = fr.fr_id;
       sp_parent = fr.fr_parent;
       sp_depth = fr.fr_depth;
+      sp_task = fr.fr_task;
       sp_op = fr.fr_op;
       sp_src = fr.fr_src;
       sp_dst = fr.fr_dst;
@@ -122,13 +181,14 @@ let close_frame st fr =
       sp_start = fr.fr_start;
       sp_stop = stop;
       sp_self_ns = incl_ns - fr.fr_child_ns;
+      sp_queue_ns = fr.fr_queue_ns;
       sp_metrics = incl_m;
       sp_self_metrics = M.diff ~before:fr.fr_child_metrics ~after:incl_m;
       sp_copy_bytes = fr.fr_copy_bytes;
       sp_cpu_units = fr.fr_cpu_units;
     }
   in
-  (match st.stack with
+  (match c.stack with
   | parent :: _ ->
       parent.fr_child_ns <- parent.fr_child_ns + incl_ns;
       parent.fr_child_metrics <- M.add parent.fr_child_metrics incl_m
@@ -152,15 +212,48 @@ let instant ~name ?(args = []) () =
 
 let note_copy n =
   match !state with
-  | Some { stack = fr :: _; _ } -> fr.fr_copy_bytes <- fr.fr_copy_bytes + n
-  | _ -> ()
+  | Some st -> (
+      match (cur_ctx st).stack with
+      | fr :: _ -> fr.fr_copy_bytes <- fr.fr_copy_bytes + n
+      | [] -> ())
+  | None -> ()
 
 let note_cpu n =
   match !state with
-  | Some { stack = fr :: _; _ } -> fr.fr_cpu_units <- fr.fr_cpu_units + n
-  | _ -> ()
+  | Some st -> (
+      match (cur_ctx st).stack with
+      | fr :: _ -> fr.fr_cpu_units <- fr.fr_cpu_units + n
+      | [] -> ())
+  | None -> ()
 
-let gather st ~root_id =
+let note_queue n =
+  match !state with
+  | Some st -> (
+      match (cur_ctx st).stack with
+      | fr :: _ -> fr.fr_queue_ns <- fr.fr_queue_ns + n
+      | [] -> ())
+  | None -> ()
+
+(* Scheduler hooks: bracket a task's suspension so the global-metrics
+   delta other contexts produce meanwhile is charged to [stolen], not to
+   the task's open frames. *)
+let on_task_suspend () =
+  match !state with
+  | None -> ()
+  | Some st -> (cur_ctx st).pause_at <- Some (M.snapshot ())
+
+let on_task_resume () =
+  match !state with
+  | None -> ()
+  | Some st -> (
+      let c = cur_ctx st in
+      match c.pause_at with
+      | None -> ()
+      | Some snap ->
+          c.pause_at <- None;
+          c.stolen <- M.add c.stolen (M.diff ~before:snap ~after:(M.snapshot ())))
+
+let gather st ~root_id ~busy_ns =
   let n = min st.recorded st.capacity in
   let first =
     if st.recorded <= st.capacity then 0 else st.next_slot (* oldest survivor *)
@@ -181,6 +274,7 @@ let gather st ~root_id =
     tr_instants = List.rev st.instants;
     tr_dropped = max 0 (st.recorded - st.capacity);
     tr_total_ns = total_ns;
+    tr_busy_ns = busy_ns;
     tr_root = root_id;
   }
 
@@ -194,19 +288,28 @@ let with_tracing ?(capacity = 65536) ?(root = "workload") f =
       next_slot = 0;
       recorded = 0;
       next_id = 1;
-      stack = [];
+      root_id = 0;
+      main = fresh_ctx ();
+      tasks = Hashtbl.create 16;
       instants = [];
     }
   in
   state := Some st;
+  let busy0 = Sp_sim.Sched_hook.total_busy () in
   let root_fr = open_frame st ~op:root ~src:"user" ~dst:"user" ~node:"local" in
+  st.root_id <- root_fr.fr_id;
   match f () with
   | result ->
       (* Spans close themselves via [Fun.protect]; anything still open here
          besides the root means a caller leaked a frame — close those too so
          the root's accounting stays consistent. *)
+      Hashtbl.iter
+        (fun _ c ->
+          List.iter (fun fr -> close_frame st fr) c.stack;
+          c.stack <- [])
+        st.tasks;
       while
-        match st.stack with
+        match st.main.stack with
         | fr :: _ when fr != root_fr ->
             close_frame st fr;
             true
@@ -216,7 +319,9 @@ let with_tracing ?(capacity = 65536) ?(root = "workload") f =
       done;
       close_frame st root_fr;
       state := None;
-      (result, gather st ~root_id:root_fr.fr_id)
+      ( result,
+        gather st ~root_id:root_fr.fr_id
+          ~busy_ns:(Sp_sim.Sched_hook.total_busy () - busy0) )
   | exception e ->
       state := None;
       raise e
@@ -231,6 +336,7 @@ type layer_stats = {
   agg_count : int;
   agg_total_ns : int;
   agg_self_ns : int;
+  agg_queue_ns : int;
   agg_crossings : int;
   agg_local_calls : int;
   agg_disk_reads : int;
@@ -254,6 +360,7 @@ let aggregate trace =
               agg_count = 0;
               agg_total_ns = 0;
               agg_self_ns = 0;
+              agg_queue_ns = 0;
               agg_crossings = 0;
               agg_local_calls = 0;
               agg_disk_reads = 0;
@@ -268,6 +375,7 @@ let aggregate trace =
           agg_count = prev.agg_count + 1;
           agg_total_ns = prev.agg_total_ns + (sp.sp_stop - sp.sp_start);
           agg_self_ns = prev.agg_self_ns + sp.sp_self_ns;
+          agg_queue_ns = prev.agg_queue_ns + sp.sp_queue_ns;
           agg_crossings =
             prev.agg_crossings + sp.sp_self_metrics.M.cross_domain_calls;
           agg_local_calls = prev.agg_local_calls + sp.sp_self_metrics.M.local_calls;
@@ -284,29 +392,38 @@ let duration ns = Format.asprintf "%a" Sp_sim.Simclock.pp_duration ns
 
 let pp_profile ppf trace =
   let stats = aggregate trace in
+  let busy =
+    if trace.tr_busy_ns > 0 then trace.tr_busy_ns else trace.tr_total_ns
+  in
   Format.fprintf ppf "@[<v>";
-  Format.fprintf ppf "%-26s %7s %10s %10s %6s %6s %6s %9s %10s %8s@,"
-    "layer instance" "calls" "total" "self" "self%" "xdom" "local" "disk r/w"
-    "copy" "cpu";
-  Format.fprintf ppf "%s@," (String.make 110 '-');
+  Format.fprintf ppf "%-26s %7s %10s %10s %6s %9s %6s %6s %9s %10s %8s@,"
+    "layer instance" "calls" "total" "self" "self%" "queued" "xdom" "local"
+    "disk r/w" "copy" "cpu";
+  Format.fprintf ppf "%s@," (String.make 120 '-');
   let pct self =
-    if trace.tr_total_ns = 0 then 0.0
-    else 100.0 *. float_of_int self /. float_of_int trace.tr_total_ns
+    if busy = 0 then 0.0 else 100.0 *. float_of_int self /. float_of_int busy
   in
   List.iter
     (fun s ->
-      Format.fprintf ppf "%-26s %7d %10s %10s %5.1f%% %6d %6d %4d/%-4d %10d %8d@,"
+      Format.fprintf ppf
+        "%-26s %7d %10s %10s %5.1f%% %9s %6d %6d %4d/%-4d %10d %8d@,"
         (if s.agg_node = "local" then s.agg_layer
          else s.agg_layer ^ "@" ^ s.agg_node)
         s.agg_count (duration s.agg_total_ns) (duration s.agg_self_ns)
-        (pct s.agg_self_ns) s.agg_crossings s.agg_local_calls s.agg_disk_reads
-        s.agg_disk_writes s.agg_copy_bytes s.agg_cpu_units)
+        (pct s.agg_self_ns) (duration s.agg_queue_ns) s.agg_crossings
+        s.agg_local_calls s.agg_disk_reads s.agg_disk_writes s.agg_copy_bytes
+        s.agg_cpu_units)
     stats;
-  Format.fprintf ppf "%s@," (String.make 110 '-');
+  Format.fprintf ppf "%s@," (String.make 120 '-');
   let self_sum = List.fold_left (fun acc s -> acc + s.agg_self_ns) 0 stats in
-  Format.fprintf ppf "%-26s %7d %10s %10s %5.1f%%@," "total"
+  let queue_sum = List.fold_left (fun acc s -> acc + s.agg_queue_ns) 0 stats in
+  Format.fprintf ppf "%-26s %7d %10s %10s %5.1f%% %9s@," "total"
     (List.length trace.tr_spans)
-    (duration trace.tr_total_ns) (duration self_sum) (pct self_sum);
+    (duration busy) (duration self_sum) (pct self_sum) (duration queue_sum);
+  if trace.tr_busy_ns > trace.tr_total_ns then
+    Format.fprintf ppf
+      "(%s of wall time; busy exceeds wall when concurrent tasks overlap)@,"
+      (duration trace.tr_total_ns);
   (match trace.tr_instants with
   | [] -> ()
   | instants ->
@@ -339,6 +456,9 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Each task renders as its own Chrome thread; the main context is tid 1. *)
+let tid_of sp = if sp.sp_task < 0 then 1 else sp.sp_task + 2
+
 let chrome_json trace =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
@@ -359,13 +479,14 @@ let chrome_json trace =
       Buffer.add_string buf ",";
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"door\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"src\":\"%s\",\"dst\":\"%s\",\"node\":\"%s\",\"span_id\":%d,\"parent\":%d,\"depth\":%d,\"self_ns\":%d,\"cross_domain_calls\":%d,\"local_calls\":%d,\"kernel_calls\":%d,\"page_faults\":%d,\"disk_reads\":%d,\"disk_writes\":%d,\"net_messages\":%d,\"copy_bytes\":%d,\"cpu_units\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"door\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"src\":\"%s\",\"dst\":\"%s\",\"node\":\"%s\",\"task\":%d,\"span_id\":%d,\"parent\":%d,\"depth\":%d,\"self_ns\":%d,\"queue_ns\":%d,\"cross_domain_calls\":%d,\"local_calls\":%d,\"kernel_calls\":%d,\"page_faults\":%d,\"disk_reads\":%d,\"disk_writes\":%d,\"net_messages\":%d,\"copy_bytes\":%d,\"cpu_units\":%d}}"
            (json_escape (sp.sp_op ^ " \xc2\xbb " ^ sp.sp_dst))
            (float_of_int sp.sp_start /. 1000.0)
            (float_of_int (sp.sp_stop - sp.sp_start) /. 1000.0)
+           (tid_of sp)
            (json_escape sp.sp_src) (json_escape sp.sp_dst)
-           (json_escape sp.sp_node) sp.sp_id sp.sp_parent sp.sp_depth
-           sp.sp_self_ns sp.sp_metrics.M.cross_domain_calls
+           (json_escape sp.sp_node) sp.sp_task sp.sp_id sp.sp_parent sp.sp_depth
+           sp.sp_self_ns sp.sp_queue_ns sp.sp_metrics.M.cross_domain_calls
            sp.sp_metrics.M.local_calls sp.sp_metrics.M.kernel_calls
            sp.sp_metrics.M.page_faults sp.sp_metrics.M.disk_reads
            sp.sp_metrics.M.disk_writes sp.sp_metrics.M.net_messages

@@ -13,23 +13,39 @@
     allocation, so the [fast] cost model, [dune runtest], and the benchmark
     tables are unaffected.  Completed spans land in a fixed-capacity ring
     buffer; when a workload overflows it, the oldest spans are dropped and
-    the drop count is reported in the resulting {!trace}. *)
+    the drop count is reported in the resulting {!trace}.
+
+    {2 Concurrency}
+
+    Under an active [Sp_sched] run each task keeps its own span stack, so
+    interleaved tasks don't corrupt each other's nesting.  Self-time is
+    measured on the per-context {e busy} clocks ([Sp_sim.Sched_hook]), not
+    on the wall clock: a frame that stays open across its task's
+    suspension is not charged for the time other tasks spent running.
+    With no scheduler active, busy and wall deltas coincide and the
+    original invariant (self-times sum to [tr_total_ns]) holds; under
+    concurrency they sum to [tr_busy_ns] instead.  Metrics deltas are
+    corrected the same way (counters other contexts bumped while a task
+    was suspended are subtracted from its open spans). *)
 
 (** A completed span.  Metric deltas come in two flavours: [sp_metrics] is
-    inclusive (everything that happened while the span was open) and
+    inclusive (everything this context did while the span was open) and
     [sp_self_metrics] excludes child spans, so self columns sum to global
     totals across a trace. *)
 type span = {
   sp_id : int;  (** unique within a trace, 1-based, allocation order *)
   sp_parent : int;  (** parent span id; 0 for the root *)
   sp_depth : int;  (** root span = 0, first door crossing = 1, ... *)
+  sp_task : int;  (** scheduler task id, or [-1] for the main context *)
   sp_op : string;  (** operation name, e.g. ["file.read"] *)
   sp_src : string;  (** calling domain name *)
   sp_dst : string;  (** serving domain (layer instance) name *)
   sp_node : string;  (** node hosting the serving domain *)
   sp_start : int;  (** simulated ns at entry *)
   sp_stop : int;  (** simulated ns at exit *)
-  sp_self_ns : int;  (** [stop - start] minus time inside child spans *)
+  sp_self_ns : int;  (** own busy time minus time inside child spans *)
+  sp_queue_ns : int;
+      (** of [sp_self_ns], time spent waiting in a resource queue *)
   sp_metrics : Sp_sim.Metrics.snapshot;  (** inclusive metrics delta *)
   sp_self_metrics : Sp_sim.Metrics.snapshot;  (** delta minus children *)
   sp_copy_bytes : int;  (** marshalling bytes charged inside (self) *)
@@ -51,6 +67,9 @@ type trace = {
   tr_instants : instant list;  (** chronological *)
   tr_dropped : int;  (** spans lost to ring-buffer overflow *)
   tr_total_ns : int;  (** simulated time covered by the root span *)
+  tr_busy_ns : int;
+      (** busy time across all contexts; equals [tr_total_ns] when no
+          scheduler ran, exceeds it when concurrent tasks overlapped *)
   tr_root : int;  (** id of the synthetic root span *)
 }
 
@@ -60,9 +79,9 @@ type trace = {
 val enabled : unit -> bool
 
 (** [span ~op ~src ~dst ~node f] runs [f ()] inside a fresh span nested
-    under the innermost open span.  When tracing is disabled this is
-    exactly [f ()].  The span is closed (and recorded) even if [f]
-    raises. *)
+    under the innermost open span of the calling context.  When tracing is
+    disabled this is exactly [f ()].  The span is closed (and recorded)
+    even if [f] raises. *)
 val span :
   ?op:string -> ?src:string -> ?dst:string -> ?node:string -> (unit -> 'a) -> 'a
 
@@ -79,9 +98,24 @@ val note_copy : int -> unit
     disabled). *)
 val note_cpu : int -> unit
 
+(** Attribute [n] ns of queue wait to the innermost open span of the
+    calling context (no-op when disabled).  [Sp_sched.note_queue] calls
+    this alongside bumping [Metrics.queue_ns]. *)
+val note_queue : int -> unit
+
+(** {1 Scheduler hooks}
+
+    Called by [Sp_sched] around task suspension.  They bracket the
+    global-metrics delta produced by {e other} contexts while this one
+    slept, so it can be subtracted from the task's open spans.  No-ops
+    when tracing is disabled. *)
+
+val on_task_suspend : unit -> unit
+val on_task_resume : unit -> unit
+
 (** [with_tracing f] records spans during [f ()], wrapped in a synthetic
     root span so that the self-times of all recorded spans sum exactly to
-    the total simulated time of the run.  Returns [f]'s result and the
+    the total busy time of the run.  Returns [f]'s result and the
     trace.  Raises [Invalid_argument] if tracing is already active; if [f]
     raises, tracing is torn down and the exception propagates. *)
 val with_tracing :
@@ -99,6 +133,7 @@ type layer_stats = {
   agg_count : int;  (** spans served by this instance *)
   agg_total_ns : int;
   agg_self_ns : int;
+  agg_queue_ns : int;  (** queue waits recorded in this instance's spans *)
   agg_crossings : int;  (** cross-domain calls, self *)
   agg_local_calls : int;  (** local (same-domain) calls, self *)
   agg_disk_reads : int;  (** disk block reads, self *)
@@ -118,8 +153,9 @@ val pp_profile : Format.formatter -> trace -> unit
 (** {1 Chrome trace-event export} *)
 
 (** Serialise the trace in Chrome trace-event JSON (one complete ["X"]
-    event per span, timestamps in microseconds of simulated time); the
-    result opens in [chrome://tracing] or Perfetto. *)
+    event per span, timestamps in microseconds of simulated time; each
+    scheduler task renders as its own thread); the result opens in
+    [chrome://tracing] or Perfetto. *)
 val chrome_json : trace -> string
 
 (** Write {!chrome_json} to a file. *)

@@ -110,6 +110,7 @@ let upper_pager l u ~id =
   in
   let write_down x = raw_push ~offset:x.V.ext_offset x.V.ext_data in
   let page_in ~offset ~size ~access =
+    Sp_coherency.Mrsw.granting u.u_state ~access @@ fun () ->
     Sp_coherency.Mrsw.before_grant u.u_state ~channels:l.l_channels ~key:u.u_key
       ~me:id ~access ~offset ~size ~write_down;
     let data = Sp_core.File.read u.u_backing ~pos:offset ~len:size in
@@ -125,6 +126,7 @@ let upper_pager l u ~id =
     data
   in
   let push retain ~offset data =
+    Sp_coherency.Mrsw.granting u.u_state ~access:V.Read_write @@ fun () ->
     raw_push ~offset data;
     Sp_coherency.Mrsw.on_push u.u_state ~me:id ~retain ~offset
       ~size:(Bytes.length data)

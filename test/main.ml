@@ -2,6 +2,7 @@ let () =
   Alcotest.run "springfs"
     [
       ("sim", Test_sim.suite);
+      ("sched", Test_sched.suite);
       ("trace", Test_trace.suite);
       ("obj", Test_obj.suite);
       ("naming", Test_naming.suite);

@@ -112,6 +112,32 @@ let qcheck_random_crash_point_survives =
           let crash_at = 1 + (point mod max 1 writes) in
           CS.run_point ~journal:true ~ops ~seed ~crash_at () = CS.Survived))
 
+(* --- concurrent clients --- *)
+
+let test_concurrent_sweep_survives () =
+  Util.in_world (fun () ->
+      let r = CS.sweep ~stride:11 ~clients:8 ~journal:true ~ops:4 ~seed:7 () in
+      Alcotest.(check int) "eight clients" 8 r.CS.rp_clients;
+      Alcotest.(check bool) "swept some points" true (r.CS.rp_points >= 5);
+      Alcotest.(check int) "nothing lost" 0 r.CS.rp_lost;
+      Alcotest.(check int) "nothing corrupt" 0 r.CS.rp_corrupt;
+      Alcotest.(check int) "nothing merely detected" 0 r.CS.rp_detected;
+      Alcotest.(check int) "all survived" r.CS.rp_points r.CS.rp_survived)
+
+let qcheck_concurrent_crash_point_survives =
+  let gen = QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 10_000)) in
+  Util.qcheck_case ~count:8
+    "journal survives a random crash under concurrent clients" gen
+    (fun (seed, point) ->
+      Util.in_world (fun () ->
+          let clients = 2 + (seed mod 5) in
+          let writes =
+            CS.workload_writes ~clients ~journal:true ~ops:4 ~seed ()
+          in
+          let crash_at = 1 + (point mod max 1 writes) in
+          CS.run_point ~clients ~journal:true ~ops:4 ~seed ~crash_at ()
+          = CS.Survived))
+
 (* --- journal replay idempotency --- *)
 
 let image disk =
@@ -196,7 +222,10 @@ let suite =
     Alcotest.test_case "torn unjournaled sweep: checksums detect" `Slow
       test_torn_unjournaled_checksums_detect;
     Alcotest.test_case "sweep deterministic" `Slow test_sweep_deterministic;
+    Alcotest.test_case "concurrent sweep survives" `Slow
+      test_concurrent_sweep_survives;
     Alcotest.test_case "journal replay idempotent" `Quick test_recover_idempotent;
     qcheck_random_crash_point_survives;
+    qcheck_concurrent_crash_point_survives;
     qcheck_bitmap_matches_model;
   ]

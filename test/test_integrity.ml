@@ -224,6 +224,19 @@ let test_sweep_deterministic () =
   let run () = CS.summary (CS.sweep ~stride:4 ~kind:CS.Misdirected ~ops:10 ~seed:3 ()) in
   Alcotest.(check string) "same seed, same report" (run ()) (run ())
 
+let test_concurrent_sweep_nothing_silent () =
+  Util.in_world (fun () ->
+      List.iter
+        (fun kind ->
+          let r = CS.sweep ~stride:9 ~clients:8 ~kind ~ops:6 ~seed:7 () in
+          Alcotest.(check int) "eight clients" 8 r.CS.cr_clients;
+          Alcotest.(check bool)
+            (CS.kind_name kind ^ ": swept some points")
+            true (r.CS.cr_points >= 4);
+          Alcotest.(check int) (CS.kind_name kind ^ ": nothing silent") 0
+            r.CS.cr_silent)
+        [ CS.Bitrot; CS.Misdirected; CS.Lost ])
+
 (* ---------------- qcheck: single-bit flips never get through ------- *)
 
 let flip_case =
@@ -288,5 +301,7 @@ let suite =
     Alcotest.test_case "sweep: checksums-off control is silent" `Slow
       test_sweep_control_without_checksums;
     Alcotest.test_case "sweep: deterministic" `Quick test_sweep_deterministic;
+    Alcotest.test_case "sweep: concurrent clients, nothing silent" `Slow
+      test_concurrent_sweep_nothing_silent;
     flip_case;
   ]

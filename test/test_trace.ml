@@ -103,6 +103,50 @@ let test_self_time_partitions_total () =
       Alcotest.(check int) "self crossings sum to the root's inclusive delta"
         root.T.sp_metrics.M.cross_domain_calls crossings)
 
+(* Under the scheduler the partition target changes from wall time to
+   busy time: two interleaved tasks' spans each get exactly the service
+   time they charged, queue waits land in [sp_queue_ns], and the span
+   self-times sum to [tr_busy_ns] (which exceeds wall time whenever the
+   tasks overlap at all). *)
+let test_two_task_interleave_partitions_busy () =
+  Util.in_world ~model:Sp_sim.Cost_model.paper_1993 (fun () ->
+      let d = Sp_obj.Sdomain.create "t_il_srv" in
+      let task () =
+        for _ = 1 to 3 do
+          Sp_obj.Door.call ~op:"il.work" d (fun () ->
+              Sp_sim.Simclock.advance 1_000)
+        done
+      in
+      let (), trace =
+        T.with_tracing (fun () -> ignore (Sp_sched.run ~seed:3 [ task; task ]))
+      in
+      Alcotest.(check int) "nothing dropped" 0 trace.T.tr_dropped;
+      Alcotest.(check bool) "two tasks overlapped: busy exceeds wall" true
+        (trace.T.tr_busy_ns > trace.T.tr_total_ns);
+      let span_sum =
+        List.fold_left (fun acc sp -> acc + sp.T.sp_self_ns) 0 trace.T.tr_spans
+      in
+      Alcotest.(check int) "span self-times sum to total busy"
+        trace.T.tr_busy_ns span_sum;
+      (* Every work span belongs to a real task and none to the main
+         context; each charged exactly its own service time plus the
+         door crossing. *)
+      let works = List.filter (fun sp -> sp.T.sp_op = "il.work") trace.T.tr_spans in
+      Alcotest.(check int) "all six work spans recorded" 6 (List.length works);
+      List.iter
+        (fun sp ->
+          Alcotest.(check bool) "work span is task-owned" true (sp.T.sp_task >= 0);
+          Alcotest.(check bool) "span charged at least its advance" true
+            (sp.T.sp_self_ns >= 1_000))
+        works;
+      let tasks =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun sp -> if sp.T.sp_op = "il.work" then Some sp.T.sp_task else None)
+             works)
+      in
+      Alcotest.(check int) "work spans span both tasks" 2 (List.length tasks))
+
 (* --- disabled path --- *)
 
 let test_disabled_is_identical () =
@@ -293,6 +337,8 @@ let suite =
     Alcotest.test_case "nesting matches stack depth" `Quick test_stack_depth;
     Alcotest.test_case "self-time partitions total" `Quick
       test_self_time_partitions_total;
+    Alcotest.test_case "two-task interleave partitions busy" `Quick
+      test_two_task_interleave_partitions_busy;
     Alcotest.test_case "disabled tracing changes nothing" `Quick
       test_disabled_is_identical;
     Alcotest.test_case "exception tears tracing down" `Quick
