@@ -61,6 +61,9 @@ let simulated_tables () =
   Format.fprintf ppf "@.";
   reset_world ();
   Sp_benchlib.Scale.print ppf (Sp_benchlib.Scale.run ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Namespace.print ppf (Sp_benchlib.Namespace.run ());
   Format.fprintf ppf "@."
 
 (* Optional per-layer breakdown (--profile): attribute the simulated time
@@ -315,6 +318,28 @@ let collect_rows () =
       add "scale" (label "p999") r.sc_p999_ns;
       add "scale" (label "elapsed") r.sc_elapsed_ns)
     (Sp_benchlib.Scale.run ());
+  reset_world ();
+  let ns = Sp_benchlib.Namespace.run () in
+  List.iter
+    (fun (r : Sp_benchlib.Namespace.open_row) ->
+      (match r.no_flat_ns with
+      | Some flat ->
+          add "namespace"
+            (Printf.sprintf "cold open, flat, %d entries" r.no_entries)
+            flat
+      | None -> ());
+      add "namespace"
+        (Printf.sprintf "cold open, indexed, %d entries" r.no_entries)
+        r.no_indexed_ns)
+    ns.Sp_benchlib.Namespace.t_opens;
+  let c = ns.Sp_benchlib.Namespace.t_cache in
+  add "namespace" "open, two domains, name-cache miss" c.nc_cold_ns;
+  add "namespace" "open, two domains, name-cache hit" c.nc_warm_ns;
+  add "namespace" "name-cache hit ratio (percent)" c.nc_hit_pct;
+  let r = ns.Sp_benchlib.Namespace.t_readdir in
+  add "namespace"
+    (Printf.sprintf "readdir stream, %d entries" r.nr_entries)
+    r.nr_ns;
   List.rev !rows
 
 let write_json file =

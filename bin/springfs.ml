@@ -138,6 +138,7 @@ let fsck_summary problems =
       ("block_leak", count (function Block_leak _ -> true | _ -> false));
       ("bad_nlink", count (function Bad_nlink _ -> true | _ -> false));
       ("checksum", count (function Checksum_mismatch _ -> true | _ -> false));
+      ("dirindex", count (function Dir_index _ -> true | _ -> false));
     ]
   in
   Printf.sprintf "FSCK status=%s problems=%d%s"
@@ -291,7 +292,7 @@ let run_scrub ops seed stride clients no_checksums mirror expect_undetected =
 
 (* --- springfs scale --- *)
 
-let run_scale clients budget seed check =
+let run_scale clients budget seed dir_heavy check =
   if clients < 1 then (
     Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
     exit 2);
@@ -299,7 +300,7 @@ let run_scale clients budget seed check =
     Format.eprintf "springfs: --budget must be at least 1 (got %d)@." budget;
     exit 2);
   let open Sp_benchlib.Scale in
-  let r = run_row ~budget ~clients ~seed () in
+  let r = run_row ~budget ~dir_heavy ~clients ~seed () in
   print Format.std_formatter [ r ];
   Format.printf
     "SCALE clients=%d ops=%d elapsed_ns=%d p50_ns=%d p99_ns=%d p999_ns=%d \
@@ -398,16 +399,74 @@ let run_versions () =
 
 (* --- springfs ls --- *)
 
-let run_ls layers dir =
-  let _world, alpha, sfs = setup_base () in
+(* With [--files N] this is the namespace-at-scale scenario: build one
+   directory of N files (the flat format upgrades itself to the hash
+   index past 128 entries) and stream it back with cursor readdir.
+   Periodic sync + drop_caches keeps the live heap bounded by the cache
+   sizes, not the file count; the traversal never materialises the
+   listing.  The volume skips checksums (pure namespace exercise) and
+   sizes its inode table to the file count. *)
+let run_ls layers dir files =
+  let _world, alpha, sfs =
+    if files = 0 then setup_base ()
+    else begin
+      let world = N.World.create () in
+      let alpha = N.World.add_node world "alpha" in
+      let disk = N.add_disk alpha ~name:"disk0" ~blocks:((files / 8) + 131072) in
+      Sp_sfs.Disk_layer.mkfs ~checksums:false ~inodes:(files + 64) disk;
+      (world, alpha, N.mount_sfs alpha ~disk_name:"disk0" ~name:"sfs0")
+    end
+  in
   let spec = List.mapi (fun i t -> (t, Printf.sprintf "%s%d" t i)) layers in
   let top = N.build_stack alpha ~base:sfs spec in
-  S.mkdir top (path "example");
-  ignore (S.create top (path "example/a"));
-  ignore (S.create top (path "example/b"));
-  let target = if dir = "" then "example" else dir in
-  Format.printf "%s: [%s]@." target (String.concat "; " (S.listdir top (path target)));
-  0
+  if files = 0 then begin
+    S.mkdir top (path "example");
+    ignore (S.create top (path "example/a"));
+    ignore (S.create top (path "example/b"));
+    let target = if dir = "" then "example" else dir in
+    let names =
+      List.sort String.compare
+        (S.fold_dir top (path target) (fun acc n -> n :: acc) [])
+    in
+    Format.printf "%s: [%s]@." target (String.concat "; " names);
+    0
+  end
+  else begin
+    let dirname = if dir = "" then "big" else dir in
+    S.mkdir top (path dirname);
+    let t0 = Sp_sim.Simclock.now () in
+    for i = 0 to files - 1 do
+      ignore (S.create top (path (Printf.sprintf "%s/f%07d" dirname i)));
+      if (i + 1) mod 65536 = 0 then begin
+        S.sync top;
+        S.drop_caches top
+      end
+    done;
+    S.sync top;
+    S.drop_caches top;
+    let t_build = Sp_sim.Simclock.now () - t0 in
+    let t1 = Sp_sim.Simclock.now () in
+    let count = S.fold_dir top (path dirname) (fun n _ -> n + 1) 0 in
+    let t_list = Sp_sim.Simclock.now () - t1 in
+    let probe = Printf.sprintf "%s/f%07d" dirname (files - 1) in
+    let t2 = Sp_sim.Simclock.now () in
+    ignore (S.open_file top (path probe));
+    let t_open = Sp_sim.Simclock.now () - t2 in
+    Gc.compact ();
+    let live_mb = Gc.((stat ()).live_words) * 8 / 1048576 in
+    Format.printf "%s: built %d files (sim %a)@." dirname files
+      Sp_sim.Simclock.pp_duration t_build;
+    Format.printf "cursor readdir streamed %d entries (sim %a)@." count
+      Sp_sim.Simclock.pp_duration t_list;
+    Format.printf "open %s: sim %a@." probe Sp_sim.Simclock.pp_duration t_open;
+    Format.printf "live heap after traversal: %d MB@." live_mb;
+    if count <> files then begin
+      Format.eprintf "springfs: expected %d entries, readdir returned %d@."
+        files count;
+      1
+    end
+    else 0
+  end
 
 (* --- springfs profile --- *)
 
@@ -492,8 +551,17 @@ let ls_cmd =
   let dir =
     Arg.(value & opt string "" & info [ "dir" ] ~docv:"PATH" ~doc:"Directory to list.")
   in
+  let files =
+    Arg.(
+      value & opt int 0
+      & info [ "files" ] ~docv:"N"
+          ~doc:
+            "Build a directory of $(docv) files and stream it back with \
+             cursor readdir (namespace-at-scale scenario; 0 runs the tiny \
+             demo listing).")
+  in
   let doc = "build a stack and list a directory through it" in
-  Cmd.v (Cmd.info "ls" ~doc) Term.(const run_ls $ layers_arg $ dir)
+  Cmd.v (Cmd.info "ls" ~doc) Term.(const run_ls $ layers_arg $ dir $ files)
 
 let fsck_cmd =
   let ops =
@@ -680,6 +748,14 @@ let scale_cmd =
       value & opt int 7
       & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload seed.")
   in
+  let dir_heavy =
+    Arg.(
+      value & flag
+      & info [ "dir-heavy" ]
+          ~doc:"Swap the op mix for a namespace-heavy one: opens by compound \
+                name, cursor readdir batches, and create/remove churn \
+                against a shared indexed directory.")
+  in
   let check =
     Arg.(
       value & flag
@@ -692,7 +768,7 @@ let scale_cmd =
      tail latency (p50/p99/p999) under the 1993 cost model"
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run_scale $ clients $ budget $ seed $ check)
+    Term.(const run_scale $ clients $ budget $ seed $ dir_heavy $ check)
 
 let versions_cmd =
   let doc = "demonstrate the file-versioning layer" in

@@ -163,11 +163,16 @@ let rec make_ctx l ~path =
     | Sp_naming.Context.Context _ -> Sp_naming.Context.Context (make_ctx l ~path:sub)
     | other -> other
   in
-  let list () =
-    let lower = lower_of l in
-    List.filter
+  let readdir1 ~cookie ~limit =
+    Sp_dir.Cursor.filter
       (fun n -> not (is_shadow n))
-      (Sp_naming.Context.list lower.Sp_core.Stackable.sfs_ctx path)
+      (fun ~cookie ~limit ->
+        Sp_core.Stackable.readdir (lower_of l) path ~cookie ~limit)
+      ~cookie ~limit
+  in
+  let list () =
+    List.sort String.compare
+      (Sp_dir.Cursor.drain (fun ~cookie ~limit -> readdir1 ~cookie ~limit))
   in
   {
     Sp_naming.Context.ctx_domain = l.l_domain;
@@ -188,6 +193,7 @@ let rec make_ctx l ~path =
         Sp_naming.Context.unbind (lower_of l).Sp_core.Stackable.sfs_ctx
           (Sp_naming.Sname.append path c));
     ctx_list = list;
+    ctx_readdir1 = readdir1;
   }
 
 let remove_shadow_if_any l path =

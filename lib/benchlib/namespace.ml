@@ -1,0 +1,171 @@
+(* Namespace-at-scale benchmark: open latency against directory size for
+   the flat layout vs the hashed index, name-cache behaviour under the
+   macro mix, and cursor-readdir throughput.  Everything is a
+   deterministic simulation under [paper_1993]; cold numbers follow a
+   [drop_caches], so the flat baseline pays one disk read per directory
+   block on every lookup while the index pays the root plus one bucket
+   chain. *)
+
+module S = Sp_core.Stackable
+module Sname = Sp_naming.Sname
+module W = Workload
+
+type open_row = {
+  no_entries : int;
+  no_flat_ns : int option;
+  no_indexed_ns : int;
+}
+
+type cache_row = {
+  nc_opens : int;
+  nc_hits : int;
+  nc_misses : int;
+  nc_hit_pct : int;
+  nc_cold_ns : int;
+  nc_warm_ns : int;
+}
+
+type readdir_row = { nr_entries : int; nr_ns : int; nr_per_entry_ns : int }
+
+type t = {
+  t_opens : open_row list;
+  t_cache : cache_row;
+  t_readdir : readdir_row;
+}
+
+let sizes = [ 1_024; 4_096; 32_768; 1_048_576 ]
+
+(* Flat creation re-reads the whole directory per create (quadratic), so
+   the flat baseline stops here; the trend is established well before. *)
+let flat_budget = 4_096
+
+let instances = ref 0
+
+let fname i = Printf.sprintf "d/f%05d" i
+
+(* A bare disk layer: no coherency layer, one domain, so the row
+   isolates directory mechanics rather than stack crossings. *)
+let setup_dir ~dir_index ~entries =
+  incr instances;
+  let name = Printf.sprintf "ns%d" !instances in
+  let disk =
+    Sp_blockdev.Disk.create ~label:("disk-" ^ name)
+      ~blocks:((entries / 4) + 4096)
+      ()
+  in
+  Sp_sfs.Disk_layer.mkfs ~checksums:false ~inodes:(entries + 64) disk;
+  let fs = Sp_sfs.Disk_layer.mount ~dir_index ~name disk in
+  S.mkdir fs (Sname.of_string "d");
+  for i = 0 to entries - 1 do
+    ignore (S.create fs (Sname.of_string (fname i)));
+    (* Evict periodically or the million-entry build drowns in live
+       [File.t]s and cached inodes (the ls scenario does the same). *)
+    if (i + 1) land 0xffff = 0 then S.drop_caches fs
+  done;
+  fs
+
+(* Mean cold open over a spread of positions in the directory —
+   first, last, and middles — so flat rows average the linear scan
+   rather than sampling one lucky offset. *)
+let cold_open_ns fs ~entries =
+  let samples = 8 in
+  let total = ref 0 in
+  for k = 0 to samples - 1 do
+    let i = k * (entries - 1) / (samples - 1) in
+    let path = Sname.of_string (fname i) in
+    total :=
+      !total
+      + W.avg_ns_cold ~iters:2
+          ~cool:(fun () -> S.drop_caches fs)
+          (fun () -> ignore (S.open_file fs path))
+  done;
+  !total / samples
+
+let open_rows () =
+  List.map
+    (fun entries ->
+      let indexed =
+        let fs = setup_dir ~dir_index:true ~entries in
+        cold_open_ns fs ~entries
+      in
+      let flat =
+        if entries > flat_budget then None
+        else
+          Some
+            (let fs = setup_dir ~dir_index:false ~entries in
+             cold_open_ns fs ~entries)
+      in
+      { no_entries = entries; no_flat_ns = flat; no_indexed_ns = indexed })
+    sizes
+
+(* Name cache under the macro open mix: the two-domain stack (every
+   uncached resolve crosses two doors), [rounds] passes over the same
+   working set.  Round one misses and fills; later rounds hit. *)
+let cache_row () =
+  let files = 64 and rounds = 6 in
+  let inst = W.make_instance ~tag:"nscache" Stacked_two_domains in
+  let fs = inst.W.i_fs in
+  let names =
+    Array.init files (fun i -> Sname.of_string (Printf.sprintf "f%03d" i))
+  in
+  Array.iter (fun n -> ignore (S.create fs n)) names;
+  S.sync fs;
+  let cache = Sp_naming.Name_cache.create ~capacity:(2 * files) () in
+  let round () =
+    let t0 = Sp_sim.Simclock.now () in
+    Array.iter (fun n -> ignore (S.open_file_cached cache fs n)) names;
+    Sp_sim.Simclock.now () - t0
+  in
+  let cold = round () in
+  let warm = ref 0 in
+  for _ = 2 to rounds do
+    warm := !warm + round ()
+  done;
+  let st = Sp_naming.Name_cache.stats cache in
+  let opens = rounds * files in
+  {
+    nc_opens = opens;
+    nc_hits = st.Sp_naming.Name_cache.hits;
+    nc_misses = st.Sp_naming.Name_cache.misses;
+    nc_hit_pct = 100 * st.Sp_naming.Name_cache.hits / opens;
+    nc_cold_ns = cold / files;
+    nc_warm_ns = !warm / ((rounds - 1) * files);
+  }
+
+let readdir_row () =
+  let entries = 32_768 in
+  let fs = setup_dir ~dir_index:true ~entries in
+  S.drop_caches fs;
+  let t0 = Sp_sim.Simclock.now () in
+  let seen = S.fold_dir fs (Sname.of_string "d") (fun acc _ -> acc + 1) 0 in
+  let ns = Sp_sim.Simclock.now () - t0 in
+  assert (seen = entries);
+  { nr_entries = entries; nr_ns = ns; nr_per_entry_ns = ns / entries }
+
+let run () =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
+  { t_opens = open_rows (); t_cache = cache_row (); t_readdir = readdir_row () }
+
+let print ppf t =
+  Format.fprintf ppf
+    "Namespace: cold open latency vs directory size (paper_1993, bare disk \
+     layer)@.";
+  Format.fprintf ppf "  %10s %12s %12s@." "entries" "flat" "indexed";
+  List.iter
+    (fun r ->
+      let us ns = Printf.sprintf "%.1fus" (float_of_int ns /. 1e3) in
+      Format.fprintf ppf "  %10d %12s %12s@." r.no_entries
+        (match r.no_flat_ns with Some ns -> us ns | None -> "-")
+        (us r.no_indexed_ns))
+    t.t_opens;
+  let c = t.t_cache in
+  Format.fprintf ppf
+    "  name cache (two domains, %d opens): %d%% hits; miss %.1fus, hit %.1fus@."
+    c.nc_opens c.nc_hit_pct
+    (float_of_int c.nc_cold_ns /. 1e3)
+    (float_of_int c.nc_warm_ns /. 1e3);
+  let r = t.t_readdir in
+  Format.fprintf ppf
+    "  readdir: %d entries streamed cold in %.1fms (%dns/entry)@." r.nr_entries
+    (float_of_int r.nr_ns /. 1e6)
+    r.nr_per_entry_ns

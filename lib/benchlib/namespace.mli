@@ -1,0 +1,45 @@
+(** Namespace-at-scale benchmark (ISSUE 7): what the hashed directory
+    index and the coherent name cache buy.
+
+    Three tables, all deterministic under [paper_1993]:
+
+    - {b cold open vs directory size}, flat layout (mounted with
+      [~dir_index:false]) against the hashed index.  Opens are sampled
+      after [drop_caches], so a flat lookup re-reads the whole
+      directory (linear in size) while an indexed lookup reads the
+      root plus one bucket chain (flat curve).
+    - {b name cache} under the macro open/read/stat mix on the
+      two-domain stack: hit ratio plus warm-hit and cold-miss open
+      latency.  A warm hit resolves without any door crossing.
+    - {b readdir throughput}: cursor-streaming a large indexed
+      directory cold, per-entry cost included. *)
+
+type open_row = {
+  no_entries : int;  (** files in the directory *)
+  no_flat_ns : int option;  (** cold open, flat layout; [None] above the flat build budget *)
+  no_indexed_ns : int;  (** cold open, hashed index *)
+}
+
+type cache_row = {
+  nc_opens : int;  (** opens issued through the cache *)
+  nc_hits : int;
+  nc_misses : int;
+  nc_hit_pct : int;  (** hits * 100 / opens *)
+  nc_cold_ns : int;  (** mean open latency on a cache miss (full walk) *)
+  nc_warm_ns : int;  (** mean open latency on a cache hit *)
+}
+
+type readdir_row = {
+  nr_entries : int;
+  nr_ns : int;  (** cold cursor stream of the whole directory *)
+  nr_per_entry_ns : int;
+}
+
+type t = {
+  t_opens : open_row list;
+  t_cache : cache_row;
+  t_readdir : readdir_row;
+}
+
+val run : unit -> t
+val print : Format.formatter -> t -> unit

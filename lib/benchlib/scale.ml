@@ -35,6 +35,11 @@ type row = {
 let n_files = 16
 let arrival_gap_ns = 2_000
 
+(* Directory-heavy mode: a shared directory big enough to have upgraded
+   to the hashed index, so namespace ops (opens by path, readdir
+   batches, create/remove churn) hit the index under contention. *)
+let n_dir_files = 192
+
 let pattern n =
   let b = Bytes.create n in
   for i = 0 to n - 1 do
@@ -47,7 +52,7 @@ let instances = ref 0
 (* A two-domain stack with a warm population of [n_files] shared files:
    every op crosses a door into the lower domain, so the station queue is
    always in play; syncs drive the journalless disk through the elevator. *)
-let setup ~tag =
+let setup ?(dir_heavy = false) ~tag () =
   incr instances;
   let tag = Printf.sprintf "%s%d" tag !instances in
   let vmm = Sp_vm.Vmm.create ~node:tag ("vmm-" ^ tag) in
@@ -63,6 +68,12 @@ let setup ~tag =
         ignore (F.write f ~pos:0 (pattern ps));
         f)
   in
+  if dir_heavy then begin
+    S.mkdir fs (Sname.of_string "dir");
+    for i = 0 to n_dir_files - 1 do
+      ignore (S.create fs (Sname.of_string (Printf.sprintf "dir/g%03d" i)))
+    done
+  end;
   S.sync fs;
   (fs, files)
 
@@ -78,14 +89,38 @@ let client_op files rng data =
   | 3 | 4 | 5 -> ignore (F.write f ~pos:(256 * Rng.int rng 12) data)
   | _ -> ignore (F.read f ~pos:0 ~len:ps)
 
+(* Namespace mix: opens by compound name (two lookups through the index),
+   cursor readdir batches, stats, and create/remove churn that mutates
+   the shared indexed directory under the layer lock. *)
+let dir_name = Sname.of_string "dir"
+
+let client_dir_op fs rng ~client ~op =
+  match Rng.int rng 16 with
+  | 0 | 1 ->
+      let tmp = Sname.of_string (Printf.sprintf "dir/t%d_%d" client op) in
+      ignore (S.create fs tmp);
+      S.remove fs tmp
+  | 2 | 3 | 4 ->
+      ignore (S.readdir fs dir_name ~cookie:0 ~limit:32)
+  | 5 | 6 ->
+      let f =
+        S.open_file fs
+          (Sname.of_string (Printf.sprintf "dir/g%03d" (Rng.int rng n_dir_files)))
+      in
+      ignore (F.stat f)
+  | _ ->
+      ignore
+        (S.open_file fs
+           (Sname.of_string (Printf.sprintf "dir/g%03d" (Rng.int rng n_dir_files))))
+
 let percentile sorted per_mille =
   let n = Array.length sorted in
   if n = 0 then 0 else sorted.(min (n - 1) (n * per_mille / 1000))
 
-let run_row ?(budget = 10_000) ~clients ~seed () =
+let run_row ?(budget = 10_000) ?(dir_heavy = false) ~clients ~seed () =
   if clients < 1 then invalid_arg "Scale.run_row: clients must be >= 1";
   Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
-  let fs, files = setup ~tag:"scale" in
+  let fs, files = setup ~dir_heavy ~tag:"scale" () in
   let ops_per_client = max 1 (budget / clients) in
   let total = clients * ops_per_client in
   let samples = Array.make total 0 in
@@ -94,9 +129,10 @@ let run_row ?(budget = 10_000) ~clients ~seed () =
   let client k () =
     let rng = Rng.create (seed + ((k + 1) * 2654435761)) in
     Sp_sched.sleep (k * arrival_gap_ns);
-    for _ = 1 to ops_per_client do
+    for op = 1 to ops_per_client do
       let t0 = Sp_sim.Simclock.now () in
-      client_op files rng data;
+      if dir_heavy then client_dir_op fs rng ~client:k ~op
+      else client_op files rng data;
       samples.(!filled) <- Sp_sim.Simclock.now () - t0;
       incr filled
     done

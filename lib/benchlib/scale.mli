@@ -19,8 +19,10 @@ type row = {
   sc_switches : int;  (** scheduler dispatches *)
 }
 
-(** One row at the given concurrency. *)
-val run_row : ?budget:int -> clients:int -> seed:int -> unit -> row
+(** One row at the given concurrency.  [dir_heavy] swaps the op mix for
+    a namespace one — opens by compound name, cursor readdir batches,
+    and create/remove churn against a shared indexed directory. *)
+val run_row : ?budget:int -> ?dir_heavy:bool -> clients:int -> seed:int -> unit -> row
 
 (** The scale table (default 10 / 1k / 100k clients, 10k-op budget). *)
 val run : ?clients:int list -> ?budget:int -> ?seed:int -> unit -> row list

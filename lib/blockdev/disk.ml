@@ -4,7 +4,10 @@ type stats = { reads : int; writes : int; seeks : int }
 
 type t = {
   label : string;
-  blocks : bytes array;
+  blocks : bytes option array;
+      (* lazily materialised: [None] reads as zeros.  A million-file
+         volume touches a sliver of its address space; a dense array of
+         zero blocks would cost gigabytes of host memory up front. *)
   mutable head : int;  (* current head position, block index *)
   mutable reads : int;
   mutable writes : int;
@@ -22,7 +25,7 @@ let create ?(label = "disk0") ~blocks () =
   if blocks <= 0 then invalid_arg "Disk.create: blocks must be positive";
   {
     label;
-    blocks = Array.init blocks (fun _ -> Bytes.make block_size '\000');
+    blocks = Array.make blocks None;
     head = 0;
     reads = 0;
     writes = 0;
@@ -39,6 +42,18 @@ let block_count t = Array.length t.blocks
 let check t n =
   if n < 0 || n >= Array.length t.blocks then
     invalid_arg (Printf.sprintf "Disk %s: block %d out of range" t.label n)
+
+let materialize t n =
+  match t.blocks.(n) with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make block_size '\000' in
+      t.blocks.(n) <- Some b;
+      b
+
+let all_zero data =
+  let rec go i = i >= Bytes.length data || (Bytes.get data i = '\000' && go (i + 1)) in
+  go 0
 
 (* Charge the latency of accessing block [n]: a seek (plus rotational delay)
    unless the head is already adjacent, then the media transfer. *)
@@ -109,7 +124,7 @@ let charge t n =
    read of [n] sees the same flipped bit.  The device still acks. *)
 let rot_block t n fraction =
   let bit = min ((block_size * 8) - 1) (int_of_float (fraction *. float_of_int (block_size * 8))) in
-  let block = t.blocks.(n) in
+  let block = materialize t n in
   let byte = bit / 8 in
   Bytes.set block byte (Char.chr (Char.code (Bytes.get block byte) lxor (1 lsl (bit mod 8))))
 
@@ -131,7 +146,9 @@ let read t n =
   charge t n;
   t.reads <- t.reads + 1;
   Sp_sim.Metrics.incr_disk_reads ();
-  Bytes.copy t.blocks.(n)
+  match t.blocks.(n) with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make block_size '\000'
 
 let write t n data =
   check t n;
@@ -146,15 +163,20 @@ let write t n data =
     Sp_sim.Metrics.incr_disk_writes ();
     let len = Bytes.length data in
     let keep = max 0 (min len (int_of_float (fraction *. float_of_int len))) in
-    Bytes.blit data 0 t.blocks.(n) 0 keep
+    Bytes.blit data 0 (materialize t n) 0 keep
   in
   let store m =
     charge t m;
     t.writes <- t.writes + 1;
     Sp_sim.Metrics.incr_disk_writes ();
-    let block = t.blocks.(m) in
-    Bytes.fill block 0 block_size '\000';
-    Bytes.blit data 0 block 0 (Bytes.length data)
+    (* Writing zeros to a never-written block (mkfs clearing bitmaps and
+       inode tables) leaves it unmaterialised. *)
+    match t.blocks.(m) with
+    | None when all_zero data -> ()
+    | _ ->
+        let block = materialize t m in
+        Bytes.fill block 0 block_size '\000';
+        Bytes.blit data 0 block 0 (Bytes.length data)
   in
   match Sp_fault.consult ~point:"disk.write" ~label:t.label with
   | Sp_fault.Fail_io msg ->

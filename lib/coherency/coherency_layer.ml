@@ -510,6 +510,9 @@ let make ?(node = "local") ?domain ?(embedded = false) ~vmm ~name () =
       ctx_rebind1 = (fun c o -> (get_ctx ()).Sp_naming.Context.ctx_rebind1 c o);
       ctx_unbind1 = (fun c -> (get_ctx ()).Sp_naming.Context.ctx_unbind1 c);
       ctx_list = (fun () -> (get_ctx ()).Sp_naming.Context.ctx_list ());
+      ctx_readdir1 =
+        (fun ~cookie ~limit ->
+          (get_ctx ()).Sp_naming.Context.ctx_readdir1 ~cookie ~limit);
     }
   in
   let self =
@@ -552,7 +555,20 @@ let make ?(node = "local") ?domain ?(embedded = false) ~vmm ~name () =
         (fun () ->
           iter_cfiles l (fun cf -> sync_cfile l cf);
           Sp_core.Stackable.sync (lower_of l));
-      sfs_drop_caches = (fun () -> iter_cfiles l (fun cf -> drop_cfile_caches l cf));
+      sfs_drop_caches =
+        (fun () ->
+          (* Evict, don't just flush: the cfile table otherwise grows
+             with every file ever touched, which unbounds the heap of a
+             bulk build (the million-file scenario).  Evicted state is
+             rebuilt on demand at the next open.  Forward down so the
+             whole stack sheds its caches. *)
+          iter_cfiles l (fun cf ->
+              drop_cfile_caches l cf;
+              Sp_vm.Pager_lib.destroy_key l.l_channels ~key:cf.key);
+          Hashtbl.reset l.l_files;
+          Hashtbl.reset l.l_wrapped;
+          Sp_vm.Vmm.drop_caches l.l_vmm;
+          Sp_core.Stackable.drop_caches (lower_of l));
     }
   in
   self

@@ -62,6 +62,11 @@ let rec make ~domain ~label ~lower ~wrap_file ?on_miss ?on_file () =
     ctx_rebind1 = (fun c o -> Sp_naming.Context.rebind lower (single c) o);
     ctx_unbind1 = (fun c -> Sp_naming.Context.unbind lower (single c));
     ctx_list = (fun () -> Sp_naming.Context.list lower (Sp_naming.Sname.of_components []));
+    ctx_readdir1 =
+      (fun ~cookie ~limit ->
+        Sp_naming.Context.readdir lower
+          (Sp_naming.Sname.of_components [])
+          ~cookie ~limit);
   }
 
 let invalidate ctx =

@@ -36,21 +36,51 @@ let open_file_cached ?principal cache fs path =
   | exception Sp_naming.Context.Unbound _ ->
       raise (Fserr.No_such_file (Sp_naming.Sname.to_string path))
 
+(* The fs helpers mutate bindings inside the layer (bypassing
+   [Context.bind]/[unbind]), so they broadcast the coherence signal
+   themselves. *)
+let note_change path =
+  match List.rev (Sp_naming.Sname.components path) with
+  | last :: _ -> Sp_naming.Name_coherence.note_change last
+  | [] -> ()
+
 let create fs path =
-  Sp_obj.Door.call ~op:"fs.create" fs.sfs_domain (fun () -> fs.sfs_create path)
+  let f =
+    Sp_obj.Door.call ~op:"fs.create" fs.sfs_domain (fun () -> fs.sfs_create path)
+  in
+  note_change path;
+  f
 
 let mkdir fs path =
-  Sp_obj.Door.call ~op:"fs.mkdir" fs.sfs_domain (fun () -> fs.sfs_mkdir path)
+  Sp_obj.Door.call ~op:"fs.mkdir" fs.sfs_domain (fun () -> fs.sfs_mkdir path);
+  note_change path
 
 let remove fs path =
-  Sp_obj.Door.call ~op:"fs.remove" fs.sfs_domain (fun () -> fs.sfs_remove path)
+  Sp_obj.Door.call ~op:"fs.remove" fs.sfs_domain (fun () -> fs.sfs_remove path);
+  note_change path
 
 let stack_on fs under =
   Sp_obj.Door.call ~op:"fs.stack_on" fs.sfs_domain (fun () -> fs.sfs_stack_on under)
 
 let sync fs = Sp_obj.Door.call ~op:"fs.sync" fs.sfs_domain fs.sfs_sync
 let drop_caches fs = Sp_obj.Door.call ~op:"fs.drop_caches" fs.sfs_domain fs.sfs_drop_caches
-let listdir fs path = Sp_naming.Context.list fs.sfs_ctx path
+let readdir ?principal fs path ~cookie ~limit =
+  Sp_naming.Context.readdir ?principal fs.sfs_ctx path ~cookie ~limit
+
+let fold_dir ?principal ?batch fs path f init =
+  Sp_dir.Cursor.fold ?batch
+    (fun ~cookie ~limit -> readdir ?principal fs path ~cookie ~limit)
+    f init
+
+let iter_dir ?principal ?batch fs path f =
+  fold_dir ?principal ?batch fs path (fun () name -> f name) ()
+
+(* Compatibility wrapper: drain the cursor.  Internal consumers stream
+   with [readdir]/[fold_dir]; this stays for call sites that genuinely
+   want the whole (small) listing at once.  Sorted, as [ctx_list] was. *)
+let listdir fs path =
+  List.sort String.compare
+    (Sp_dir.Cursor.drain (fun ~cookie ~limit -> readdir fs path ~cookie ~limit))
 
 let rec base fs =
   match fs.sfs_unders () with [ under ] -> base under | _ -> fs
@@ -65,7 +95,8 @@ let rename fs ~src ~dst =
   | () -> ()
   | exception Sp_naming.Context.Already_bound _ ->
       raise (Fserr.Already_exists (Sp_naming.Sname.to_string dst)));
-  Sp_obj.Door.call ~op:"fs.remove" b.sfs_domain (fun () -> b.sfs_remove src)
+  Sp_obj.Door.call ~op:"fs.remove" b.sfs_domain (fun () -> b.sfs_remove src);
+  note_change src
 
 let sole_under fs =
   match fs.sfs_unders () with

@@ -52,7 +52,35 @@ val stack_on : t -> t -> unit
 val sync : t -> unit
 val drop_caches : t -> unit
 
-(** List names bound in a directory of the file system. *)
+(** One bounded readdir batch (cookie 0 starts a scan; [None] as the
+    next cookie means exhausted).  Batches may be shorter than [limit]
+    when a filtering layer sits in the stack — key termination on the
+    cookie, not the batch size. *)
+val readdir :
+  ?principal:string ->
+  t ->
+  Sp_naming.Sname.t ->
+  cookie:int ->
+  limit:int ->
+  string list * int option
+
+(** Stream a directory in bounded batches ([batch] defaults to
+    {!Sp_dir.Cursor.default_batch}) without materialising it. *)
+val fold_dir :
+  ?principal:string ->
+  ?batch:int ->
+  t ->
+  Sp_naming.Sname.t ->
+  ('a -> string -> 'a) ->
+  'a ->
+  'a
+
+val iter_dir :
+  ?principal:string -> ?batch:int -> t -> Sp_naming.Sname.t -> (string -> unit) -> unit
+
+(** List names bound in a directory of the file system, sorted — a
+    compatibility wrapper that drains {!readdir}; prefer the streaming
+    helpers for potentially large directories. *)
 val listdir : t -> Sp_naming.Sname.t -> string list
 
 (** [rename fs ~src ~dst] moves a regular file by binding it under the new

@@ -265,6 +265,9 @@ let make ?(node = "local") ?domain ~vmm ~name ~key () =
       ctx_rebind1 = (fun c o -> (get_ctx ()).Sp_naming.Context.ctx_rebind1 c o);
       ctx_unbind1 = (fun c -> (get_ctx ()).Sp_naming.Context.ctx_unbind1 c);
       ctx_list = (fun () -> (get_ctx ()).Sp_naming.Context.ctx_list ());
+      ctx_readdir1 =
+        (fun ~cookie ~limit ->
+          (get_ctx ()).Sp_naming.Context.ctx_readdir1 ~cookie ~limit);
     }
   in
   {

@@ -207,6 +207,9 @@ let make_server ?(node = "local") ~net ~vmm ~name () =
         (fun c o -> delegate (fun ctx -> ctx.Sp_naming.Context.ctx_rebind1 c o));
       ctx_unbind1 = (fun c -> delegate (fun ctx -> ctx.Sp_naming.Context.ctx_unbind1 c));
       ctx_list = (fun () -> delegate (fun ctx -> ctx.Sp_naming.Context.ctx_list ()));
+      ctx_readdir1 =
+        (fun ~cookie ~limit ->
+          delegate (fun ctx -> ctx.Sp_naming.Context.ctx_readdir1 ~cookie ~limit));
     }
   in
   {
@@ -323,6 +326,13 @@ let import ~net ~client_node server_sfs =
         (fun () ->
           Net.rpc_retry net ~src:client_node ~dst:server_node ~bytes:64 (fun () ->
               Sp_naming.Context.list (coh_now ()).Sp_core.Stackable.sfs_ctx path));
+      ctx_readdir1 =
+        (* One RPC per batch: the remote cursor streams a big directory
+           without ever shipping the whole listing. *)
+        (fun ~cookie ~limit ->
+          Net.rpc_retry net ~src:client_node ~dst:server_node ~bytes:64 (fun () ->
+              Sp_naming.Context.readdir (coh_now ()).Sp_core.Stackable.sfs_ctx
+                path ~cookie ~limit));
     }
   in
   let rpc_to_server bytes f = Net.rpc_retry net ~src:client_node ~dst:server_node ~bytes f in

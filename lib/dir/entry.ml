@@ -1,0 +1,42 @@
+(* Fixed-size 64-byte directory entry — the on-disk unit both flat and
+   indexed directories store.  Layout: ino (int32le, bytes 0-3), is_dir
+   flag (byte 4, 0 or 1), name length (byte 5, 0 marks a free slot),
+   name bytes (6..).  The codec lives here, below the disk layer, so the
+   index (Sp_dir.Index) and the offline checkers can share it. *)
+
+let entry_size = 64
+let max_name = entry_size - 6
+
+type t = { ino : int; is_dir : bool; name : string }
+
+let check_name name =
+  if String.length name = 0 then invalid_arg "Dirent: empty name";
+  if String.length name > max_name then
+    invalid_arg (Printf.sprintf "Dirent: name longer than %d bytes" max_name);
+  String.iter
+    (function
+      | '/' | '\000' -> invalid_arg "Dirent: name contains '/' or NUL"
+      | _ -> ())
+    name
+
+let encode e =
+  check_name e.name;
+  let b = Bytes.make entry_size '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int e.ino);
+  Bytes.set_uint8 b 4 (if e.is_dir then 1 else 0);
+  Bytes.set_uint8 b 5 (String.length e.name);
+  Bytes.blit_string e.name 0 b 6 (String.length e.name);
+  b
+
+let decode b off =
+  let name_len = Bytes.get_uint8 b (off + 5) in
+  if name_len = 0 then None
+  else
+    Some
+      {
+        ino = Int32.to_int (Bytes.get_int32_le b off);
+        is_dir = Bytes.get_uint8 b (off + 4) = 1;
+        name = Bytes.sub_string b (off + 6) name_len;
+      }
+
+let free_slot = Bytes.make entry_size '\000'

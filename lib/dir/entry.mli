@@ -1,0 +1,23 @@
+(** Fixed-size 64-byte directory entry codec, shared by the flat
+    directory format, the hash index ({!Index}) and the offline
+    checkers. *)
+
+val entry_size : int
+
+(** Longest representable name (58 bytes). *)
+val max_name : int
+
+type t = { ino : int; is_dir : bool; name : string }
+
+(** Raises [Invalid_argument] on names that cannot be stored: empty,
+    longer than {!max_name}, or containing ['/'] or NUL. *)
+val check_name : string -> unit
+
+val encode : t -> bytes
+
+(** [decode b off] reads the entry at byte offset [off]; [None] for a
+    free slot (name length byte = 0). *)
+val decode : bytes -> int -> t option
+
+(** An all-zero slot (what removal writes). *)
+val free_slot : bytes

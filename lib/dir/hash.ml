@@ -1,0 +1,14 @@
+(* FNV-1a folded to 32 bits — the same cheap non-cryptographic hash the
+   journal and checksum region use.  The index stores nothing derived
+   from OCaml's polymorphic hash, so images are stable across compiler
+   versions. *)
+
+let fnv1a name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    name;
+  !h
+
+(* Fold to 30 bits so the bucket computation stays on positive ints. *)
+let bucket name ~buckets = fnv1a name land 0x3fffffff mod buckets

@@ -1,0 +1,7 @@
+(** Name hashing for indexed directories. *)
+
+(** 32-bit FNV-1a of the name. *)
+val fnv1a : string -> int
+
+(** [bucket name ~buckets] maps a name to its bucket in [0, buckets). *)
+val bucket : string -> buckets:int -> int

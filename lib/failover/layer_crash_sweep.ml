@@ -207,11 +207,17 @@ let scavenge st =
             Hashtbl.remove st.created name;
             Hashtbl.replace st.removed name ()
           end)
-    (Stackable.listdir st.fs root);
+    (* Snapshot the listing before the loop: the body removes entries,
+       and a readdir cursor is only weakly consistent under mutation. *)
+    (List.sort String.compare
+       (Stackable.fold_dir st.fs root (fun acc n -> n :: acc) []));
   !damaged
 
 let read_back st =
-  let names = List.sort String.compare (Stackable.listdir st.fs root) in
+  let names =
+    List.sort String.compare
+      (Stackable.fold_dir st.fs root (fun acc n -> n :: acc) [])
+  in
   List.map
     (fun name ->
       (name, File.read_all (Stackable.open_file st.fs (Sname.of_components [ name ]))))

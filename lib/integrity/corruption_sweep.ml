@@ -222,7 +222,10 @@ let compare_expected st top =
     Hashtbl.fold (fun name data acc -> (name, data) :: acc) st.expected []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  let got = List.sort String.compare (Stackable.listdir top (Sname.of_components [])) in
+  let got =
+    List.sort String.compare
+      (Stackable.fold_dir top (Sname.of_components []) (fun acc n -> n :: acc) [])
+  in
   if got <> List.map fst want then
     Some
       (Printf.sprintf "file set {%s} <> {%s}" (String.concat "," got)

@@ -344,6 +344,22 @@ let rec make_ctx l ~path =
         note_failover l Primary reason;
         Sp_naming.Context.list sec.Sp_core.Stackable.sfs_ctx path
   in
+  (* The twins hold identical directories, so a cursor taken from one
+     replica stays valid on the other after a mid-scan failover. *)
+  let readdir1 ~cookie ~limit =
+    let prim, sec = replicas l in
+    let source = match l.l_degraded with Some Primary -> sec | _ -> prim in
+    match
+      Sp_naming.Context.readdir source.Sp_core.Stackable.sfs_ctx path ~cookie
+        ~limit
+    with
+    | batch -> batch
+    | exception (Sp_core.Fserr.Io_error reason | Sp_core.Fserr.Checksum_error reason)
+      when l.l_degraded = None ->
+        note_failover l Primary reason;
+        Sp_naming.Context.readdir sec.Sp_core.Stackable.sfs_ctx path ~cookie
+          ~limit
+  in
   {
     Sp_naming.Context.ctx_domain = l.l_domain;
     ctx_label = label;
@@ -381,6 +397,7 @@ let rec make_ctx l ~path =
             ->
               note_failover l Secondary reason));
     ctx_list = list;
+    ctx_readdir1 = readdir1;
   }
 
 let make ?(node = "local") ?domain ~vmm ~name () =

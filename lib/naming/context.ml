@@ -10,6 +10,7 @@ type t = {
   ctx_rebind1 : string -> obj -> unit;
   ctx_unbind1 : string -> unit;
   ctx_list : unit -> string list;
+  ctx_readdir1 : cookie:int -> limit:int -> string list * int option;
 }
 
 type obj += Context of t
@@ -37,6 +38,7 @@ let make ~domain ~label ?(acl = Acl.open_acl) () =
     else raise (Unbound (label ^ "/" ^ component))
   in
   let list () = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table []) in
+  let readdir1 ~cookie ~limit = Sp_dir.Cursor.of_list (list ()) ~cookie ~limit in
   {
     ctx_domain = domain;
     ctx_label = label;
@@ -47,6 +49,7 @@ let make ~domain ~label ?(acl = Acl.open_acl) () =
     ctx_rebind1 = rebind1;
     ctx_unbind1 = unbind1;
     ctx_list = list;
+    ctx_readdir1 = readdir1;
   }
 
 let check ctx ~principal perm =
@@ -89,19 +92,22 @@ let bind ?(principal = "user") ctx name o =
   let parent, last = walk ~principal ctx name in
   Sp_obj.Door.call ~op:"name.bind" parent.ctx_domain (fun () ->
       check parent ~principal Acl.Bind;
-      parent.ctx_bind1 last o)
+      parent.ctx_bind1 last o);
+  Name_coherence.note_change last
 
 let rebind ?(principal = "user") ctx name o =
   let parent, last = walk ~principal ctx name in
   Sp_obj.Door.call ~op:"name.rebind" parent.ctx_domain (fun () ->
       check parent ~principal Acl.Bind;
-      parent.ctx_rebind1 last o)
+      parent.ctx_rebind1 last o);
+  Name_coherence.note_change last
 
 let unbind ?(principal = "user") ctx name =
   let parent, last = walk ~principal ctx name in
   Sp_obj.Door.call ~op:"name.unbind" parent.ctx_domain (fun () ->
       check parent ~principal Acl.Unbind;
-      parent.ctx_unbind1 last)
+      parent.ctx_unbind1 last);
+  Name_coherence.note_change last
 
 let list ?(principal = "user") ctx name =
   match resolve ?principal:(Some principal) ctx name with
@@ -109,6 +115,17 @@ let list ?(principal = "user") ctx name =
       Sp_obj.Door.call ~op:"name.list" c.ctx_domain (fun () ->
           check c ~principal Acl.Resolve;
           c.ctx_list ())
+  | _ -> raise (Unbound (Sname.to_string name ^ ": not a context"))
+
+(* One bounded readdir batch.  Each batch re-resolves [name] and pays
+   one door crossing, so a long scan costs O(entries / limit) calls —
+   never a whole-directory materialisation on either side. *)
+let readdir ?(principal = "user") ctx name ~cookie ~limit =
+  match resolve ~principal ctx name with
+  | Context c ->
+      Sp_obj.Door.call ~op:"name.readdir" c.ctx_domain (fun () ->
+          check c ~principal Acl.Resolve;
+          c.ctx_readdir1 ~cookie ~limit)
   | _ -> raise (Unbound (Sname.to_string name ^ ": not a context"))
 
 let mkdir_path ?(principal = "user") ctx name ~domain =

@@ -25,6 +25,11 @@ type t = {
   ctx_rebind1 : string -> obj -> unit;  (** bind, replacing any existing binding *)
   ctx_unbind1 : string -> unit;  (** raises {!Unbound} *)
   ctx_list : unit -> string list;  (** bound names, sorted *)
+  ctx_readdir1 : cookie:int -> limit:int -> string list * int option;
+      (** one bounded batch of bound names from an opaque cookie (0
+          starts a scan); [None] as the next cookie means exhausted.
+          Weakly consistent under concurrent mutation, like POSIX
+          readdir. *)
 }
 
 type obj += Context of t
@@ -62,6 +67,17 @@ val unbind : ?principal:string -> t -> Sname.t -> unit
 (** List the names bound in the context denoted by [name] (use an empty
     name for the context itself). *)
 val list : ?principal:string -> t -> Sname.t -> string list
+
+(** One bounded readdir batch from the context denoted by [name]: the
+    streaming alternative to {!list}.  Each batch pays one door
+    crossing; neither side materialises the whole directory. *)
+val readdir :
+  ?principal:string ->
+  t ->
+  Sname.t ->
+  cookie:int ->
+  limit:int ->
+  string list * int option
 
 (** [mkdir_path ctx name ~domain] resolves [name], creating intermediate
     hash-table contexts (served by [domain]) as needed, and returns the

@@ -1,33 +1,129 @@
-type stats = { hits : int; misses : int; invalidations : int }
+(* An LRU name cache with negative entries.
+
+   Entries live in [table]; recency is an integer stamp bumped on every
+   touch, and eviction scans for the minimum — exact LRU semantics with
+   O(1) hits, paying O(capacity) only on the (capacity-bounded) evict.
+   A negative entry records that a name was unbound when last walked, so
+   repeated failing lookups also skip the context chain.
+
+   Coherence: the cache subscribes to {!Name_coherence} at creation.
+   Component broadcasts (bind/rebind/unbind anywhere) drop every entry
+   whose path mentions the component; the restart fence is checked
+   lazily — an entry stamped under an older epoch is discarded on
+   lookup, so objects minted from a dead domain incarnation never hit. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  negative_hits : int;
+}
+
+type entry = {
+  value : (Context.obj, string) result;  (* [Error msg]: cached Unbound *)
+  components : string list;
+  epoch : int;  (* Name_coherence fence epoch at insert *)
+  mutable stamp : int;  (* recency; larger = more recent *)
+}
 
 type t = {
-  table : (string, Context.obj) Hashtbl.t;
+  table : (string, entry) Hashtbl.t;
   capacity : int;
+  mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable negative_hits : int;
 }
 
-let create ~capacity () =
-  { table = Hashtbl.create capacity; capacity; hits = 0; misses = 0; invalidations = 0 }
+let drop_where t pred =
+  let doomed =
+    Hashtbl.fold (fun k e acc -> if pred e then k :: acc else acc) t.table []
+  in
+  List.iter
+    (fun k ->
+      Hashtbl.remove t.table k;
+      t.invalidations <- t.invalidations + 1)
+    doomed
 
-let evict_one t =
-  match Hashtbl.fold (fun k _ _ -> Some k) t.table None with
-  | Some k -> Hashtbl.remove t.table k
-  | None -> ()
+let create ~capacity () =
+  let t =
+    {
+      table = Hashtbl.create capacity;
+      capacity;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+      negative_hits = 0;
+    }
+  in
+  Name_coherence.subscribe (fun component ->
+      drop_where t (fun e -> List.mem component e.components));
+  t
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, s) when s <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+      t.table None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+
+let insert t key components value =
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.table key
+    { value; components; epoch = Name_coherence.epoch (); stamp = t.clock }
+
+let trace_instant kind key =
+  if Sp_trace.enabled () then
+    Sp_trace.instant ~name:("ncache." ^ kind) ~args:[ ("name", key) ] ()
 
 let resolve t ?principal root name =
   let key = Sname.to_string name in
-  match Hashtbl.find_opt t.table key with
-  | Some o ->
+  let live =
+    match Hashtbl.find_opt t.table key with
+    | Some e when e.epoch = Name_coherence.epoch () -> Some e
+    | Some _ ->
+        (* cached before the last supervised restart: fence it out *)
+        Hashtbl.remove t.table key;
+        t.invalidations <- t.invalidations + 1;
+        None
+    | None -> None
+  in
+  match live with
+  | Some ({ value = Ok o; _ } as e) ->
+      touch t e;
       t.hits <- t.hits + 1;
+      Sp_sim.Metrics.incr_name_cache_hits ();
+      trace_instant "hit" key;
       o
-  | None ->
+  | Some ({ value = Error msg; _ } as e) ->
+      touch t e;
+      t.negative_hits <- t.negative_hits + 1;
+      Sp_sim.Metrics.incr_name_cache_negative_hits ();
+      trace_instant "neg" key;
+      raise (Context.Unbound msg)
+  | None -> (
       t.misses <- t.misses + 1;
-      let o = Context.resolve ?principal root name in
-      if Hashtbl.length t.table >= t.capacity then evict_one t;
-      Hashtbl.replace t.table key o;
-      o
+      Sp_sim.Metrics.incr_name_cache_misses ();
+      trace_instant "miss" key;
+      let components = Sname.components name in
+      match Context.resolve ?principal root name with
+      | o ->
+          insert t key components (Ok o);
+          o
+      | exception Context.Unbound msg ->
+          insert t key components (Error msg);
+          raise (Context.Unbound msg))
 
 let invalidate t name =
   let key = Sname.to_string name in
@@ -38,4 +134,10 @@ let invalidate t name =
 
 let clear t = Hashtbl.reset t.table
 
-let stats t = { hits = t.hits; misses = t.misses; invalidations = t.invalidations }
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    negative_hits = t.negative_hits;
+  }

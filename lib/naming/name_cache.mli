@@ -4,18 +4,31 @@
     "can be eliminated" by name caching, which Spring was implementing to
     remove remote name-resolution costs.  A [Name_cache.t] caches full
     compound-name resolutions against one root context; hits avoid walking
-    the context chain (and hence all door crossings). *)
+    the context chain (and hence all door crossings).
+
+    The cache is an LRU and also holds {e negative} entries: a resolution
+    that raised [Context.Unbound] is remembered, so repeated failing
+    lookups skip the walk too.  Coherence comes from {!Name_coherence}:
+    bind/rebind/unbind broadcasts drop entries mentioning the changed
+    component (positive and negative alike), and supervised restarts
+    fence out everything cached from the dead incarnation. *)
 
 type t
 
-type stats = { hits : int; misses : int; invalidations : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** entries dropped by name, component or fence *)
+  negative_hits : int;  (** lookups answered "unbound" from the cache *)
+}
 
-(** [create ~capacity ()] makes an empty cache.  When full, an arbitrary
-    entry is evicted (the 1993 prototype used a small direct-mapped
-    cache; eviction policy is not load-bearing for the experiments). *)
+(** [create ~capacity ()] makes an empty cache holding at most
+    [capacity] entries, evicting the least recently used.  The cache
+    subscribes to {!Name_coherence} for the life of the process. *)
 val create : capacity:int -> unit -> t
 
-(** Resolve through the cache. *)
+(** Resolve through the cache.  Raises [Context.Unbound] on a negative
+    hit without touching the context chain. *)
 val resolve : t -> ?principal:string -> Context.t -> Sname.t -> Context.obj
 
 (** Drop a cached entry (called after unbind/rebind of that name). *)

@@ -1,0 +1,26 @@
+(* The name-cache coherence hub: a process-wide broadcast channel from
+   namespace mutators to every live name cache.
+
+   Two signals keep caches coherent:
+
+   - [note_change c]: some binding whose last component is [c] was
+     bound, rebound or unbound somewhere.  Caches drop every entry
+     whose path mentions [c] — a superset of the affected names, which
+     is safe (the next resolution re-walks) and cheap to compute
+     without knowing which root the mutation happened under.
+   - [fence ()]: a supervised domain restarted.  Rather than track
+     which cached objects came from the dead incarnation, the global
+     epoch bumps and caches lazily discard anything minted before it
+     (stale doors would raise [Dead_domain] anyway; the fence turns
+     that into a clean miss).
+
+   Subscribers are registered for the life of the process; caches are
+   few and long-lived, so no unsubscription machinery. *)
+
+let epoch_counter = ref 0
+let subscribers : (string -> unit) list ref = ref []
+
+let epoch () = !epoch_counter
+let fence () = incr epoch_counter
+let subscribe f = subscribers := f :: !subscribers
+let note_change component = List.iter (fun f -> f component) !subscribers

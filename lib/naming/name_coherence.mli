@@ -1,0 +1,22 @@
+(** Coherence protocol between namespace mutators and name caches.
+
+    Mutation entry points ({!Context.bind}/[rebind]/[unbind], the
+    [Stackable] path helpers) broadcast the changed binding's last
+    component with {!note_change}; {!Name_cache} instances subscribe and
+    drop every entry mentioning that component.  Supervised restarts
+    call {!fence}, bumping a global epoch that invalidates all entries
+    cached before it (incarnation fencing: cached objects may hold
+    doors into the dead incarnation). *)
+
+(** Current fence epoch; caches stamp entries with it at insert. *)
+val epoch : unit -> int
+
+(** Bump the epoch: every entry cached before this call is stale. *)
+val fence : unit -> unit
+
+(** Register an invalidation callback; called with the last component
+    of every changed binding.  Subscriptions last for the process. *)
+val subscribe : (string -> unit) -> unit
+
+(** Broadcast that a binding ending in [component] changed. *)
+val note_change : string -> unit

@@ -24,6 +24,7 @@ let create ~shared ~domain =
       ctx_rebind1 = overlay.Context.ctx_rebind1;
       ctx_unbind1 = overlay.Context.ctx_unbind1;
       ctx_list = list;
+      ctx_readdir1 = (fun ~cookie ~limit -> Sp_dir.Cursor.of_list (list ()) ~cookie ~limit);
     }
   in
   { overlay; shared; view }

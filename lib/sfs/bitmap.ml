@@ -7,6 +7,7 @@ type t = {
   dirty : bool array;
   bits : int;
   mutable used : int;
+  mutable hint : int;  (* next-free search start: everything below is set *)
 }
 
 let load dev ~start ~blocks ~bits =
@@ -23,6 +24,7 @@ let load dev ~start ~blocks ~bits =
     dirty = Array.make blocks false;
     bits;
     used = !count;
+    hint = 0;
   }
 
 let locate t i =
@@ -51,15 +53,31 @@ let clear t i =
   if v land (1 lsl bit) <> 0 then begin
     Bytes.set t.blocks.(block) byte (Char.chr (v land lnot (1 lsl bit)));
     t.dirty.(block) <- true;
-    t.used <- t.used - 1
+    t.used <- t.used - 1;
+    if i < t.hint then t.hint <- i
   end
 
+(* The hint makes sequential allocation O(1) amortised instead of an
+   O(bits) scan per call (which turned bulk file creation quadratic):
+   the scan starts at the lowest index that might be free and [clear]
+   pulls the hint back down.  The wraparound covers every bit, so
+   semantics match the plain scan. *)
 let find_free ?(from = 0) t =
-  let rec go i =
-    if i >= t.bits then None else if not (is_set t i) then Some i else go (i + 1)
+  let rec go i stop =
+    if i >= stop then None else if not (is_set t i) then Some i else go (i + 1) stop
   in
-  let start = if from < 0 || from >= t.bits then 0 else from in
-  match go start with Some i -> Some i | None -> if start = 0 then None else go 0
+  let base = if from < 0 || from >= t.bits then 0 else from in
+  let lo = if t.hint > base && t.hint < t.bits then t.hint else base in
+  let r =
+    match go lo t.bits with
+    | Some _ as r -> r
+    | None -> (
+        match (if lo > base then go base lo else None) with
+        | Some _ as r -> r
+        | None -> if base > 0 then go 0 base else None)
+  in
+  (match r with Some i -> t.hint <- i + 1 | None -> ());
+  r
 
 let used t = t.used
 let capacity t = t.bits

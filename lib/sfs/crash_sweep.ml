@@ -219,7 +219,10 @@ let matches_hist h got =
   go h.n h.rev
 
 let matches_world world fs2 =
-  let on_disk = List.sort String.compare (Stackable.listdir fs2 root) in
+  let on_disk =
+    List.sort String.compare
+      (Stackable.fold_dir fs2 root (fun acc n -> n :: acc) [])
+  in
   match
     List.find_opt (fun name -> not (Hashtbl.mem world name)) on_disk
   with
@@ -322,7 +325,10 @@ let workload_writes ?(checksums = true) ?(clients = 1) ~journal ~ops ~seed () =
    files of [snap] with exactly their contents; returns a description of
    the first divergence, or [None] on an exact match. *)
 let matches fs2 snap =
-  let names = List.sort String.compare (Stackable.listdir fs2 root) in
+  let names =
+    List.sort String.compare
+      (Stackable.fold_dir fs2 root (fun acc n -> n :: acc) [])
+  in
   let snap_names = List.map fst snap in
   if names <> snap_names then
     Some

@@ -1,36 +1,5 @@
-let entry_size = 64
-let max_name = entry_size - 6
+(* The 64-byte entry codec moved below the disk layer (Sp_dir shares it
+   between the flat format, the hash index and the offline checkers);
+   this alias keeps the disk layer's vocabulary. *)
 
-type t = { ino : int; is_dir : bool; name : string }
-
-let check_name name =
-  if String.length name = 0 then invalid_arg "Dirent: empty name";
-  if String.length name > max_name then
-    invalid_arg (Printf.sprintf "Dirent: name longer than %d bytes" max_name);
-  String.iter
-    (function
-      | '/' | '\000' -> invalid_arg "Dirent: name contains '/' or NUL"
-      | _ -> ())
-    name
-
-let encode e =
-  check_name e.name;
-  let b = Bytes.make entry_size '\000' in
-  Bytes.set_int32_le b 0 (Int32.of_int e.ino);
-  Bytes.set_uint8 b 4 (if e.is_dir then 1 else 0);
-  Bytes.set_uint8 b 5 (String.length e.name);
-  Bytes.blit_string e.name 0 b 6 (String.length e.name);
-  b
-
-let decode b off =
-  let name_len = Bytes.get_uint8 b (off + 5) in
-  if name_len = 0 then None
-  else
-    Some
-      {
-        ino = Int32.to_int (Bytes.get_int32_le b off);
-        is_dir = Bytes.get_uint8 b (off + 4) = 1;
-        name = Bytes.sub_string b (off + 6) name_len;
-      }
-
-let free_slot = Bytes.make entry_size '\000'
+include Sp_dir.Entry

@@ -2,9 +2,10 @@
 
     A directory's data is an array of fixed-size 64-byte entries: inode
     number, kind tag, and a name of up to {!max_name} bytes.  Free slots
-    have inode number 0 *and* an empty name (inode 0 is the root
-    directory, which is never itself an entry target's child... it is,
-    however, never stored as an entry because the root has no parent). *)
+    have inode number 0 *and* an empty name.  The codec itself lives in
+    {!Sp_dir.Entry}, shared with the hash index and the offline
+    checkers; this module aliases it so disk-layer code keeps saying
+    [Dirent]. *)
 
 (** Entry size in bytes. *)
 val entry_size : int
@@ -12,7 +13,7 @@ val entry_size : int
 (** Maximum name length in bytes. *)
 val max_name : int
 
-type t = { ino : int; is_dir : bool; name : string }
+type t = Sp_dir.Entry.t = { ino : int; is_dir : bool; name : string }
 
 (** [encode e] is the 64-byte on-disk form.  Raises [Invalid_argument] if
     the name is empty, too long, or contains ['/'] or ['\000']. *)

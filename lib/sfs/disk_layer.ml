@@ -13,12 +13,21 @@ type fs = {
   files : (int, Sp_core.File.t) Hashtbl.t;
   ctxs : (int, Sp_naming.Context.t) Hashtbl.t;
   dcache : (int, Dirent.t list) Hashtbl.t;
-      (* directory-entry cache: with the i-node cache, lets open and stat
-         run without disk I/O (paper Table 2 note) *)
+      (* flat-directory entry cache: with the i-node cache, lets open and
+         stat run without disk I/O (paper Table 2 note).  Indexed
+         directories bypass it and use [dirblk] instead. *)
+  dirblk : (int * int, bytes) Hashtbl.t;
+      (* (dir inode, file block) -> block cache for indexed directories,
+         write-through: warm index lookups cost no disk I/O *)
   indcache : (int, bytes) Hashtbl.t;
       (* indirect-block cache (write-through): metadata, like the i-node
          cache, so sequential data I/O does not thrash the head between
          indirect and data blocks *)
+  dir_index : bool;
+      (* mount-time policy switch: when false, flat directories never
+         upgrade to the hashed index (directories already indexed on
+         disk stay indexed — the format test decides).  Exists for the
+         flat-baseline benchmark; real mounts leave it on. *)
   lock : Sp_sched.Mutex.t;
       (* serializes mutating operations and sync against concurrent
          scheduler tasks: a journal commit interleaved with buffered
@@ -146,6 +155,50 @@ let ensure_block fs ino inode n =
         ptr_set l2 (n' mod ppb) fresh;
         write_indirect fs l2_block l2;
         fresh
+      end
+    end
+
+(* Free file block [fb]'s disk block and zero its mapping pointer,
+   leaving a hole (reads return zeros).  Index rebuilds punch the old
+   extent out this way after the root flips. *)
+let punch_file_block fs ino inode fb =
+  Hashtbl.remove fs.dirblk (ino, fb);
+  let dirty () = Inode.mark_dirty fs.icache ino in
+  if fb < Layout.n_direct then begin
+    let b = inode.Inode.direct.(fb) in
+    if b <> 0 then begin
+      free_block fs b;
+      inode.Inode.direct.(fb) <- 0;
+      dirty ()
+    end
+  end
+  else
+    let n = fb - Layout.n_direct in
+    if n < ppb then begin
+      if inode.Inode.indirect <> 0 then begin
+        let table = Bytes.copy (read_indirect fs inode.Inode.indirect) in
+        let b = ptr_get table n in
+        if b <> 0 then begin
+          free_block fs b;
+          ptr_set table n 0;
+          write_indirect fs inode.Inode.indirect table
+        end
+      end
+    end
+    else begin
+      let n = n - ppb in
+      if inode.Inode.double_indirect <> 0 then begin
+        let l1 = read_indirect fs inode.Inode.double_indirect in
+        let l2_block = ptr_get l1 (n / ppb) in
+        if l2_block <> 0 then begin
+          let l2 = Bytes.copy (read_indirect fs l2_block) in
+          let b = ptr_get l2 (n mod ppb) in
+          if b <> 0 then begin
+            free_block fs b;
+            ptr_set l2 (n mod ppb) 0;
+            write_indirect fs l2_block l2
+          end
+        end
       end
     end
 
@@ -351,7 +404,10 @@ let free_inode fs ino =
   Bitmap.clear fs.ibitmap ino;
   Hashtbl.remove fs.files ino;
   Hashtbl.remove fs.ctxs ino;
-  Hashtbl.remove fs.dcache ino
+  Hashtbl.remove fs.dcache ino;
+  Hashtbl.filter_map_inplace
+    (fun (i, _) data -> if i = ino then None else Some data)
+    fs.dirblk
 
 (* ------------------------------------------------------------------ *)
 (* Directories                                                         *)
@@ -359,8 +415,7 @@ let free_inode fs ino =
 
 let es = Dirent.entry_size
 
-let dir_entries_uncached fs inode =
-  let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
+let decode_dir data =
   let rec go off acc =
     if off + es > Bytes.length data then List.rev acc
     else
@@ -370,7 +425,11 @@ let dir_entries_uncached fs inode =
   in
   go 0 []
 
-(* [ino] is only used as the cache key; [inode] must be its inode. *)
+let dir_entries_uncached fs inode =
+  decode_dir (read_range fs inode ~pos:0 ~len:inode.Inode.len)
+
+(* [ino] is only used as the cache key; [inode] must be its inode.
+   Flat directories only — indexed directories go through [dir_io]. *)
 let dir_entries_at fs ino inode =
   match Hashtbl.find_opt fs.dcache ino with
   | Some entries -> entries
@@ -379,41 +438,130 @@ let dir_entries_at fs ino inode =
       Hashtbl.replace fs.dcache ino entries;
       entries
 
-let dir_lookup fs ino inode name =
-  List.find_opt (fun e -> String.equal e.Dirent.name name) (dir_entries_at fs ino inode)
+(* Index block I/O over the directory's own data blocks: reads come
+   through the write-through [dirblk] cache (the indexed analog of
+   [dcache]), writes route through the journalled dev so index updates
+   commit atomically with everything else.  [Index] never mutates a
+   block it read, so the cache hands out its bytes directly. *)
+let dir_block fs ino inode fb =
+  match Hashtbl.find_opt fs.dirblk (ino, fb) with
+  | Some data -> data
+  | None ->
+      let b = file_block fs inode fb in
+      let data = if b = 0 then Bytes.make bs '\000' else Journal.read fs.dev b in
+      Hashtbl.replace fs.dirblk (ino, fb) data;
+      data
 
-let dir_add fs ino inode entry =
-  (* Reuse the first free slot, else append. *)
-  let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
-  let rec find_slot off =
-    if off + es > Bytes.length data then inode.Inode.len
-    else match Dirent.decode data off with Some _ -> find_slot (off + es) | None -> off
+let dir_io fs ino inode =
+  {
+    Sp_dir.Index.read = (fun fb -> dir_block fs ino inode fb);
+    write =
+      (fun fb data ->
+        let b = ensure_block fs ino inode fb in
+        Hashtbl.replace fs.dirblk (ino, fb) data;
+        Journal.write fs.dev b data);
+  }
+
+(* Format test: an index root's magic + flag bytes cannot occur in a
+   flat block, and flat directories under 64 entries short-circuit on
+   length alone. *)
+let dir_indexed fs ino inode =
+  inode.Inode.len >= bs && Sp_dir.Index.is_index_root (dir_block fs ino inode 0)
+
+(* On a journalled volume a shadow rebuild must fit one commit batch,
+   so bucket growth stops at 64 (chains then deepen instead — lookups
+   stay O(chain), never wrong).  Unjournaled volumes write through and
+   grow to the policy cap. *)
+let bucket_cap fs = if Journal.journal fs.dev <> None then 64 else 65536
+
+(* Shadow-rebuild the index past the current extent ([start] blocks),
+   flip the root, then punch the superseded blocks out of the mapping.
+   Also the flat->indexed upgrade (old extent = the flat blocks). *)
+let dir_rebuild fs ino inode entries ~start =
+  let io = dir_io fs ino inode in
+  let buckets =
+    Sp_dir.Index.target_buckets ~cap:(bucket_cap fs)
+      ~entries:(List.length entries) ()
   in
-  let slot = find_slot 0 in
-  write_range fs ino inode ~pos:slot (Dirent.encode entry);
-  if slot + es > inode.Inode.len then begin
-    inode.Inode.len <- slot + es;
-    Inode.mark_dirty fs.icache ino
-  end;
-  inode.Inode.mtime <- Sp_sim.Simclock.now ();
+  let nblocks = Sp_dir.Index.build io ~entries ~buckets ~start in
+  for fb = 1 to start - 1 do
+    punch_file_block fs ino inode fb
+  done;
+  inode.Inode.len <- nblocks * bs;
   Inode.mark_dirty fs.icache ino;
   Hashtbl.remove fs.dcache ino
 
+let dir_lookup fs ino inode name =
+  if dir_indexed fs ino inode then Sp_dir.Index.lookup (dir_io fs ino inode) name
+  else
+    List.find_opt
+      (fun e -> String.equal e.Dirent.name name)
+      (dir_entries_at fs ino inode)
+
+let dir_add fs ino inode entry =
+  if dir_indexed fs ino inode then begin
+    let io = dir_io fs ino inode in
+    Sp_dir.Index.add io entry;
+    let h = Sp_dir.Index.read_header io in
+    if h.Sp_dir.Index.nblocks * bs > inode.Inode.len then
+      inode.Inode.len <- h.Sp_dir.Index.nblocks * bs;
+    if Sp_dir.Index.grow_due ~cap:(bucket_cap fs) h then
+      dir_rebuild fs ino inode (Sp_dir.Index.entries io)
+        ~start:h.Sp_dir.Index.nblocks;
+    inode.Inode.mtime <- Sp_sim.Simclock.now ();
+    Inode.mark_dirty fs.icache ino
+  end
+  else begin
+    (* Reuse the first free slot, else append. *)
+    let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
+    let rec find_slot off =
+      if off + es > Bytes.length data then inode.Inode.len
+      else match Dirent.decode data off with Some _ -> find_slot (off + es) | None -> off
+    in
+    let slot = find_slot 0 in
+    write_range fs ino inode ~pos:slot (Dirent.encode entry);
+    if slot + es > inode.Inode.len then begin
+      inode.Inode.len <- slot + es;
+      Inode.mark_dirty fs.icache ino
+    end;
+    inode.Inode.mtime <- Sp_sim.Simclock.now ();
+    Inode.mark_dirty fs.icache ino;
+    Hashtbl.remove fs.dcache ino;
+    let flat = decode_dir data in
+    if fs.dir_index && List.length flat + 1 > Sp_dir.Index.upgrade_threshold then
+      dir_rebuild fs ino inode (entry :: flat)
+        ~start:((inode.Inode.len + bs - 1) / bs)
+  end
+
 let dir_remove fs ino inode name =
-  let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
-  let rec go off =
-    if off + es > Bytes.length data then
-      raise (Sp_core.Fserr.No_such_file (fs.name ^ "/" ^ name))
-    else
-      match Dirent.decode data off with
-      | Some e when String.equal e.Dirent.name name ->
-          write_range fs ino inode ~pos:off Dirent.free_slot;
-          inode.Inode.mtime <- Sp_sim.Simclock.now ();
-          Inode.mark_dirty fs.icache ino;
-          Hashtbl.remove fs.dcache ino
-      | _ -> go (off + es)
-  in
-  go 0
+  if dir_indexed fs ino inode then begin
+    (* Indexed directories never downgrade (ext-style). *)
+    if not (Sp_dir.Index.remove (dir_io fs ino inode) name) then
+      raise (Sp_core.Fserr.No_such_file (fs.name ^ "/" ^ name));
+    inode.Inode.mtime <- Sp_sim.Simclock.now ();
+    Inode.mark_dirty fs.icache ino
+  end
+  else begin
+    let data = read_range fs inode ~pos:0 ~len:inode.Inode.len in
+    let rec go off =
+      if off + es > Bytes.length data then
+        raise (Sp_core.Fserr.No_such_file (fs.name ^ "/" ^ name))
+      else
+        match Dirent.decode data off with
+        | Some e when String.equal e.Dirent.name name ->
+            write_range fs ino inode ~pos:off Dirent.free_slot;
+            inode.Inode.mtime <- Sp_sim.Simclock.now ();
+            Inode.mark_dirty fs.icache ino;
+            Hashtbl.remove fs.dcache ino
+        | _ -> go (off + es)
+    in
+    go 0
+  end
+
+let dir_entry_count fs ino inode =
+  if dir_indexed fs ino inode then
+    (Sp_dir.Index.read_header (dir_io fs ino inode)).Sp_dir.Index.entries
+  else List.length (dir_entries_at fs ino inode)
 
 (* ------------------------------------------------------------------ *)
 (* Pager / memory objects                                              *)
@@ -616,7 +764,7 @@ and make_ctx fs ino =
     | Some e ->
         if e.Dirent.is_dir then begin
           let child = Inode.get fs.icache e.Dirent.ino in
-          if dir_entries_at fs e.Dirent.ino child <> [] then
+          if dir_entry_count fs e.Dirent.ino child <> 0 then
             raise (Sp_core.Fserr.Directory_not_empty (label ^ "/" ^ component));
           dir_remove fs ino inode component;
           free_inode fs e.Dirent.ino
@@ -636,9 +784,24 @@ and make_ctx fs ino =
     | None -> ());
     bind1 component obj
   in
+  (* Indexed directories stream straight off the index in file-block
+     order (the cookie is the index's own resume position); flat ones
+     cursor over the cached listing.  Either way a batch never
+     materialises more than [limit] names. *)
+  let readdir1 ~cookie ~limit =
+    let inode = dir () in
+    if dir_indexed fs ino inode then begin
+      let page, next = Sp_dir.Index.fold_page (dir_io fs ino inode) ~cookie ~limit in
+      (List.map (fun e -> e.Dirent.name) page, next)
+    end
+    else
+      Sp_dir.Cursor.of_list
+        (List.map (fun e -> e.Dirent.name) (dir_entries_at fs ino inode))
+        ~cookie ~limit
+  in
   let list () =
     List.sort String.compare
-      (List.map (fun e -> e.Dirent.name) (dir_entries_at fs ino (dir ())))
+      (Sp_dir.Cursor.drain (fun ~cookie ~limit -> readdir1 ~cookie ~limit))
   in
   {
     Sp_naming.Context.ctx_domain = fs.domain;
@@ -650,6 +813,7 @@ and make_ctx fs ino =
     ctx_rebind1 = rebind1;
     ctx_unbind1 = unbind1;
     ctx_list = list;
+    ctx_readdir1 = readdir1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -694,10 +858,10 @@ let create_at fs path kind =
    commit header can describe and to a useful minimum. *)
 let journal_size ~total_blocks = min 128 (max 9 (total_blocks / 8))
 
-let mkfs ?(journal = false) ?(checksums = true) disk =
+let mkfs ?(journal = false) ?(checksums = true) ?inodes disk =
   let total_blocks = Sp_blockdev.Disk.block_count disk in
   let journal_blocks = if journal then journal_size ~total_blocks else 0 in
-  let layout = Layout.compute ~journal_blocks ~checksums ~total_blocks () in
+  let layout = Layout.compute ~journal_blocks ~checksums ?inodes ~total_blocks () in
   Sp_blockdev.Disk.write disk 0 (Layout.encode_superblock layout);
   (* Zero the bitmaps.  Formatting writes raw: there is nothing to
      recover on a device that was never consistent. *)
@@ -741,7 +905,7 @@ let mkfs ?(journal = false) ?(checksums = true) disk =
      holding.  Formatting writes raw, like everything else in mkfs. *)
   Csum.format disk layout
 
-let mount ?(node = "local") ?domain ~name disk =
+let mount ?(node = "local") ?domain ?(dir_index = true) ~name disk =
   let layout = Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) in
   let domain =
     match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
@@ -777,7 +941,9 @@ let mount ?(node = "local") ?domain ~name disk =
       files = Hashtbl.create 32;
       ctxs = Hashtbl.create 8;
       dcache = Hashtbl.create 8;
+      dirblk = Hashtbl.create 8;
       indcache = Hashtbl.create 8;
+      dir_index;
       lock = Sp_sched.Mutex.create ("sfs:" ^ name);
     }
   in
@@ -810,8 +976,13 @@ let mount ?(node = "local") ?domain ~name disk =
       (fun () ->
         locked fs @@ fun () ->
         flush_all fs;
+        (* Channels pin the upper layer's per-file cache state through
+           their cache objects; destroying them cascades the eviction. *)
+        Sp_vm.Pager_lib.destroy_all fs.channels;
+        Hashtbl.reset fs.files;
         Inode.drop fs.icache;
         Hashtbl.reset fs.dcache;
+        Hashtbl.reset fs.dirblk;
         Hashtbl.reset fs.indcache);
   }
 

@@ -24,8 +24,14 @@
     {!Csum}) is reserved as well: every mounted read is verified, raising
     [Fserr.Checksum_error] on silent corruption, and every write updates
     the region — through the journal when there is one, so crash
-    atomicity covers the checksums too. *)
-val mkfs : ?journal:bool -> ?checksums:bool -> Sp_blockdev.Disk.t -> unit
+    atomicity covers the checksums too.
+
+    [inodes] overrides the default inode-table sizing (see
+    {!Layout.compute}) — a million-file volume needs more inodes than the
+    one-per-four-blocks ratio provides without paying for a
+    proportionally huge device. *)
+val mkfs :
+  ?journal:bool -> ?checksums:bool -> ?inodes:int -> Sp_blockdev.Disk.t -> unit
 
 (** [mount ~name disk] mounts a formatted device and returns the layer as
     a stackable file system.  [node] (default ["local"]) places the
@@ -34,9 +40,15 @@ val mkfs : ?journal:bool -> ?checksums:bool -> Sp_blockdev.Disk.t -> unit
     Raises {!Sp_core.Fserr.Io_error} on an unformatted device.
 
     Mounting a journaled volume replays any sealed-but-unapplied journal
-    transaction first: mounting is crash recovery. *)
+    transaction first: mounting is crash recovery.
+
+    [dir_index] (default [true]) controls whether flat directories
+    upgrade to the hashed index when they outgrow
+    {!Sp_dir.Index.upgrade_threshold}; [false] keeps them flat — the
+    baseline the namespace benchmark measures linear lookup against.
+    Directories already indexed on disk stay indexed either way. *)
 val mount :
-  ?node:string -> ?domain:Sp_obj.Sdomain.t -> name:string ->
+  ?node:string -> ?domain:Sp_obj.Sdomain.t -> ?dir_index:bool -> name:string ->
   Sp_blockdev.Disk.t -> Sp_core.Stackable.t
 
 (** Replay the journal of an unmounted device without mounting it;

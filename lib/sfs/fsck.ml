@@ -10,6 +10,7 @@ type problem =
   | Block_leak of int
   | Bad_nlink of int * int * int
   | Checksum_mismatch of int
+  | Dir_index of int * string
 
 let pp_problem ppf = function
   | Unreachable_inode i -> Format.fprintf ppf "inode %d allocated but unreachable" i
@@ -26,6 +27,8 @@ let pp_problem ppf = function
         i stored expected
   | Checksum_mismatch b ->
       Format.fprintf ppf "block %d does not match its recorded checksum" b
+  | Dir_index (ino, what) ->
+      Format.fprintf ppf "inode %d directory index: %s" ino what
 
 (* The checker reads the device directly; it never goes through a mount. *)
 let check ?(verify_checksums = false) disk =
@@ -111,6 +114,42 @@ let check ?(verify_checksums = false) disk =
     go 0;
     out
   in
+  (* File-block -> disk-block mapping (holes read as zeros).  Indexed
+     directories can spill into the double-indirect tree, which
+     [read_range] does not reach. *)
+  let file_block (inode : Inode.t) fb =
+    if fb < Layout.n_direct then inode.Inode.direct.(fb)
+    else
+      let fb = fb - Layout.n_direct in
+      if fb < Layout.ptrs_per_block then
+        if inode.Inode.indirect = 0 then 0
+        else
+          Int32.to_int
+            (Bytes.get_int32_le
+               (Sp_blockdev.Disk.read disk inode.Inode.indirect) (fb * 4))
+      else
+        let fb = fb - Layout.ptrs_per_block in
+        if inode.Inode.double_indirect = 0 then 0
+        else
+          let l1 = Sp_blockdev.Disk.read disk inode.Inode.double_indirect in
+          let l2b =
+            Int32.to_int (Bytes.get_int32_le l1 (fb / Layout.ptrs_per_block * 4))
+          in
+          if l2b = 0 then 0
+          else
+            Int32.to_int
+              (Bytes.get_int32_le (Sp_blockdev.Disk.read disk l2b)
+                 (fb mod Layout.ptrs_per_block * 4))
+  in
+  let dir_io inode =
+    {
+      Sp_dir.Index.read =
+        (fun fb ->
+          let b = file_block inode fb in
+          if b = 0 then Bytes.make bs '\000' else Sp_blockdev.Disk.read disk b);
+      write = (fun _ _ -> invalid_arg "fsck: directory index is read-only");
+    }
+  in
   (* Walk the directory graph from the root. *)
   let reachable : (int, int) Hashtbl.t = Hashtbl.create 64 in
   (* ino -> reference count *)
@@ -121,35 +160,65 @@ let check ?(verify_checksums = false) disk =
   let rec walk_dir ino =
     let inode = read_inode ino in
     claim_tree ino inode;
-    let data = read_range inode inode.Inode.len in
-    let rec entries off =
-      if off + Dirent.entry_size <= Bytes.length data then begin
-        (match Dirent.decode data off with
-        | None -> ()
-        | Some e ->
-            if e.Dirent.ino < 0 || e.Dirent.ino >= layout.Layout.inode_count then
-              report (Free_inode_referenced (e.Dirent.ino, e.Dirent.name))
-            else if not (Bitmap.is_set ibitmap e.Dirent.ino) then
-              report (Free_inode_referenced (e.Dirent.ino, e.Dirent.name))
-            else begin
-              let child = read_inode e.Dirent.ino in
-              let kind_ok =
-                match child.Inode.kind with
-                | Inode.Dir -> e.Dirent.is_dir
-                | Inode.File -> not e.Dirent.is_dir
-                | Inode.Free -> false
-              in
-              if not kind_ok then report (Bad_kind (e.Dirent.ino, e.Dirent.name));
-              let first_visit = not (Hashtbl.mem reachable e.Dirent.ino) in
-              bump e.Dirent.ino;
-              if e.Dirent.is_dir && first_visit then walk_dir e.Dirent.ino
-              else if (not e.Dirent.is_dir) && first_visit then
-                claim_tree e.Dirent.ino child
-            end);
-        entries (off + Dirent.entry_size)
+    let check_entry (e : Dirent.t) =
+      if e.Dirent.ino < 0 || e.Dirent.ino >= layout.Layout.inode_count then
+        report (Free_inode_referenced (e.Dirent.ino, e.Dirent.name))
+      else if not (Bitmap.is_set ibitmap e.Dirent.ino) then
+        report (Free_inode_referenced (e.Dirent.ino, e.Dirent.name))
+      else begin
+        let child = read_inode e.Dirent.ino in
+        let kind_ok =
+          match child.Inode.kind with
+          | Inode.Dir -> e.Dirent.is_dir
+          | Inode.File -> not e.Dirent.is_dir
+          | Inode.Free -> false
+        in
+        if not kind_ok then report (Bad_kind (e.Dirent.ino, e.Dirent.name));
+        let first_visit = not (Hashtbl.mem reachable e.Dirent.ino) in
+        bump e.Dirent.ino;
+        if e.Dirent.is_dir && first_visit then walk_dir e.Dirent.ino
+        else if (not e.Dirent.is_dir) && first_visit then
+          claim_tree e.Dirent.ino child
       end
     in
-    entries 0
+    let io = dir_io inode in
+    if inode.Inode.len >= bs && Sp_dir.Index.is_index_root (io.Sp_dir.Index.read 0)
+    then begin
+      (* Indexed directory: verify the index structure, then walk its
+         entries leaf by leaf (never materialising the whole listing). *)
+      let r = Sp_dir.Index.check io in
+      if r.Sp_dir.Index.ck_dangling > 0 then
+        report
+          (Dir_index
+             (ino, Printf.sprintf "%d dangling slot(s)" r.Sp_dir.Index.ck_dangling));
+      if r.Sp_dir.Index.ck_mismatch > 0 then
+        report
+          (Dir_index
+             ( ino,
+               Printf.sprintf "%d entr(ies) in the wrong bucket"
+                 r.Sp_dir.Index.ck_mismatch ));
+      if r.Sp_dir.Index.ck_unreachable > 0 then
+        report
+          (Dir_index
+             ( ino,
+               Printf.sprintf "%d unreachable entr(ies)"
+                 r.Sp_dir.Index.ck_unreachable ));
+      if r.Sp_dir.Index.ck_badcount then
+        report (Dir_index (ino, "header entry count disagrees with leaves"));
+      Sp_dir.Index.iter io check_entry
+    end
+    else begin
+      let data = read_range inode inode.Inode.len in
+      let rec entries off =
+        if off + Dirent.entry_size <= Bytes.length data then begin
+          (match Dirent.decode data off with
+          | None -> ()
+          | Some e -> check_entry e);
+          entries (off + Dirent.entry_size)
+        end
+      in
+      entries 0
+    end
   in
   bump 0;
   walk_dir 0;

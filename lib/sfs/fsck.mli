@@ -18,6 +18,10 @@ type problem =
   | Bad_nlink of int * int * int  (** (ino, expected, stored) *)
   | Checksum_mismatch of int
       (** block contents do not match the checksum region *)
+  | Dir_index of int * string
+      (** (ino, defect) — the directory's hash index is damaged:
+          dangling slots, entries hashed into the wrong bucket,
+          unreachable entries or a lying header count *)
 
 val pp_problem : Format.formatter -> problem -> unit
 

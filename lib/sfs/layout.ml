@@ -28,12 +28,16 @@ let div_ceil a b = (a + b - 1) / b
 (* 4-byte checksum per device block. *)
 let csum_entries_per_block = block_size / 4
 
-let compute ?(journal_blocks = 0) ?(checksums = false) ~total_blocks () =
+let compute ?(journal_blocks = 0) ?(checksums = false) ?inodes ~total_blocks () =
   if total_blocks < 16 then invalid_arg "Layout.compute: device too small";
   if journal_blocks < 0 || journal_blocks = 1 then
     invalid_arg "Layout.compute: journal needs a header block plus data slots";
-  (* One inode per four data-ish blocks, at least 16. *)
-  let inode_count = max 16 (total_blocks / 4) in
+  (* One inode per four data-ish blocks by default, at least 16; an
+     explicit [inodes] overrides the ratio (the superblock records the
+     count, so remounts see the same table). *)
+  let inode_count =
+    match inodes with Some n -> max 16 n | None -> max 16 (total_blocks / 4)
+  in
   let inode_bitmap_blocks = div_ceil inode_count bits_per_block in
   let block_bitmap_blocks = div_ceil total_blocks bits_per_block in
   let inode_table_blocks = div_ceil inode_count inodes_per_block in

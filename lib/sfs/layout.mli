@@ -40,9 +40,12 @@ val csum_entries_per_block : int
     header + data slots) between the inode table and the data region,
     and, when [checksums] is true (default false), a checksum region (one
     4-byte checksum per device block) between the inode table and the
-    journal.  Raises [Invalid_argument] if the device is too small to
-    hold any data. *)
-val compute : ?journal_blocks:int -> ?checksums:bool -> total_blocks:int -> unit -> t
+    journal.  [inodes] overrides the default one-inode-per-four-blocks
+    sizing of the inode table (min 16).  Raises [Invalid_argument] if the
+    device is too small to hold any data. *)
+val compute :
+  ?journal_blocks:int -> ?checksums:bool -> ?inodes:int -> total_blocks:int ->
+  unit -> t
 
 (** Maximum file size in bytes under this layout (direct + single
     indirect + double indirect). *)

@@ -20,6 +20,9 @@ type snapshot = {
   bulk_setups : int;
   readahead_hits : int;
   readahead_wasted : int;
+  name_cache_hits : int;
+  name_cache_misses : int;
+  name_cache_negative_hits : int;
   queue_ns : int;
 }
 
@@ -46,6 +49,9 @@ let zero =
     bulk_setups = 0;
     readahead_hits = 0;
     readahead_wasted = 0;
+    name_cache_hits = 0;
+    name_cache_misses = 0;
+    name_cache_negative_hits = 0;
     queue_ns = 0;
   }
 
@@ -102,6 +108,20 @@ let incr_readahead_hits () = state := { !state with readahead_hits = !state.read
 let incr_readahead_wasted () =
   state := { !state with readahead_wasted = !state.readahead_wasted + 1 }
 
+let name_cache_hits () = !state.name_cache_hits
+let name_cache_misses () = !state.name_cache_misses
+let name_cache_negative_hits () = !state.name_cache_negative_hits
+
+let incr_name_cache_hits () =
+  state := { !state with name_cache_hits = !state.name_cache_hits + 1 }
+
+let incr_name_cache_misses () =
+  state := { !state with name_cache_misses = !state.name_cache_misses + 1 }
+
+let incr_name_cache_negative_hits () =
+  state :=
+    { !state with name_cache_negative_hits = !state.name_cache_negative_hits + 1 }
+
 let queue_ns () = !state.queue_ns
 let add_queue_ns n = state := { !state with queue_ns = !state.queue_ns + n }
 
@@ -130,6 +150,10 @@ let diff ~before ~after =
     bulk_setups = after.bulk_setups - before.bulk_setups;
     readahead_hits = after.readahead_hits - before.readahead_hits;
     readahead_wasted = after.readahead_wasted - before.readahead_wasted;
+    name_cache_hits = after.name_cache_hits - before.name_cache_hits;
+    name_cache_misses = after.name_cache_misses - before.name_cache_misses;
+    name_cache_negative_hits =
+      after.name_cache_negative_hits - before.name_cache_negative_hits;
     queue_ns = after.queue_ns - before.queue_ns;
   }
 
@@ -156,6 +180,10 @@ let add a b =
     bulk_setups = a.bulk_setups + b.bulk_setups;
     readahead_hits = a.readahead_hits + b.readahead_hits;
     readahead_wasted = a.readahead_wasted + b.readahead_wasted;
+    name_cache_hits = a.name_cache_hits + b.name_cache_hits;
+    name_cache_misses = a.name_cache_misses + b.name_cache_misses;
+    name_cache_negative_hits =
+      a.name_cache_negative_hits + b.name_cache_negative_hits;
     queue_ns = a.queue_ns + b.queue_ns;
   }
 
@@ -172,9 +200,11 @@ let pp ppf s =
      checksum_failures=%d integrity_repairs=%d@ \
      bulk_handoffs=%d bulk_copies=%d bulk_setups=%d@ \
      readahead_hits=%d readahead_wasted=%d@ \
+     name_cache_hits=%d name_cache_misses=%d name_cache_negative_hits=%d@ \
      queue_ns=%d@]"
     s.cross_domain_calls s.local_calls s.kernel_calls s.page_faults s.page_ins
     s.page_outs s.disk_reads s.disk_writes s.net_messages s.net_bytes
     s.coherency_actions s.attr_fetches s.faults_injected s.net_retries
     s.checksum_failures s.integrity_repairs s.bulk_handoffs s.bulk_copies
-    s.bulk_setups s.readahead_hits s.readahead_wasted s.queue_ns
+    s.bulk_setups s.readahead_hits s.readahead_wasted s.name_cache_hits
+    s.name_cache_misses s.name_cache_negative_hits s.queue_ns

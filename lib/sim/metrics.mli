@@ -29,6 +29,10 @@ type snapshot = {
   bulk_setups : int;  (** bulk channels established (one per domain pair) *)
   readahead_hits : int;  (** faults absorbed by a previously prefetched page *)
   readahead_wasted : int;  (** prefetched pages retired without ever being hit *)
+  name_cache_hits : int;  (** resolutions served from a {!Sp_naming.Name_cache} *)
+  name_cache_misses : int;  (** resolutions that had to walk the context chain *)
+  name_cache_negative_hits : int;
+      (** lookups answered "unbound" from a cached negative entry *)
   queue_ns : int;
       (** virtual time tasks spent waiting for a contended resource (door
           station, disk queue, Mrsw lock) before being served *)
@@ -71,6 +75,12 @@ val incr_bulk_copies : unit -> unit
 val incr_bulk_setups : unit -> unit
 val incr_readahead_hits : unit -> unit
 val incr_readahead_wasted : unit -> unit
+val name_cache_hits : unit -> int
+val name_cache_misses : unit -> int
+val name_cache_negative_hits : unit -> int
+val incr_name_cache_hits : unit -> unit
+val incr_name_cache_misses : unit -> unit
+val incr_name_cache_negative_hits : unit -> unit
 val queue_ns : unit -> int
 val add_queue_ns : int -> unit
 

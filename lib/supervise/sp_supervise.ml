@@ -111,6 +111,10 @@ let restart t =
             ]
           ()
     done;
+    (* Incarnation fence: name caches may hold objects minted by the dead
+       incarnations; bump the coherence epoch so every pre-restart entry
+       misses instead of handing out a dead door. *)
+    Sp_naming.Name_coherence.fence ();
     match t.s_rebind with
     | Some (ctx, sname) -> Sp_naming.Context.rebind ctx sname (S.Fs (top t))
     | None -> ()
@@ -185,6 +189,10 @@ let make_proxy t =
           ctx_op "name.unbind" (fun c -> c.Sp_naming.Context.ctx_unbind1 comp));
       ctx_list =
         (fun () -> ctx_op "name.list" (fun c -> c.Sp_naming.Context.ctx_list ()));
+      ctx_readdir1 =
+        (fun ~cookie ~limit ->
+          ctx_op "name.readdir" (fun c ->
+              c.Sp_naming.Context.ctx_readdir1 ~cookie ~limit));
     }
   in
   {

@@ -265,21 +265,54 @@ let rec make_ctx l ~path =
         Sp_core.File.File (wrap_file l sub ~in_top:(idx = 0) f)
     | Some (_, _, other) -> other
   in
-  let list () =
-    let branches = top_of l :: l.l_lowers in
-    let union =
-      List.concat_map
-        (fun fs ->
-          match resolve_opt fs path with
-          | Some (Sp_naming.Context.Context _) -> Sp_core.Stackable.listdir fs path
-          | _ -> [])
-        branches
-    in
-    let visible name =
+  (* Streaming union merge.  The cookie encodes (branch, sub-cookie):
+     branch index in the high bits, the branch's own readdir cookie in
+     the low 36.  A name from branch [idx] is visible unless it is a
+     whiteout, whited out from the top, or shadowed by (present in) an
+     earlier branch — the earlier branch's scan already emitted it, so
+     probing gives exact-once without cross-batch state. *)
+  let branch_stride = 0x10_0000_0000 in
+  let readdir1 ~cookie ~limit =
+    let branches = Array.of_list (top_of l :: l.l_lowers) in
+    let nbranches = Array.length branches in
+    let visible idx name =
       (not (is_whiteout name))
-      && not (whited_out l (Sp_naming.Sname.append path name))
+      && (not (whited_out l (Sp_naming.Sname.append path name)))
+      &&
+      let rec shadowed i =
+        i < idx
+        && (resolve_opt branches.(i) (Sp_naming.Sname.append path name) <> None
+           || shadowed (i + 1))
+      in
+      not (shadowed 0)
     in
-    List.sort_uniq String.compare (List.filter visible union)
+    let rec scan idx sub =
+      let names, next_sub =
+        Sp_core.Stackable.readdir branches.(idx) path ~cookie:sub ~limit
+      in
+      let names = List.filter (visible idx) names in
+      match next_sub with
+      | Some s -> (names, Some ((idx * branch_stride) + s))
+      | None ->
+          (* Branch exhausted: hand the cursor to the next branch.  The
+             batch may be short or empty — consumers key on the cookie. *)
+          if idx + 1 >= nbranches then (names, None)
+          else (names, Some ((idx + 1) * branch_stride))
+    and start_at idx =
+      if idx >= nbranches then ([], None)
+      else
+        match resolve_opt branches.(idx) path with
+        | Some (Sp_naming.Context.Context _) -> scan idx 0
+        | _ -> start_at (idx + 1)
+    in
+    let idx = cookie / branch_stride and sub = cookie mod branch_stride in
+    if idx >= nbranches then ([], None)
+    else if sub = 0 then start_at idx
+    else scan idx sub
+  in
+  let list () =
+    List.sort_uniq String.compare
+      (Sp_dir.Cursor.drain (fun ~cookie ~limit -> readdir1 ~cookie ~limit))
   in
   {
     Sp_naming.Context.ctx_domain = l.l_domain;
@@ -291,6 +324,7 @@ let rec make_ctx l ~path =
     ctx_rebind1 = (fun _ _ -> invalid_arg (label ^ ": rebind unsupported"));
     ctx_unbind1 = (fun _ -> invalid_arg (label ^ ": unbind via remove"));
     ctx_list = list;
+    ctx_readdir1 = readdir1;
   }
 
 (* ------------------------------------------------------------------ *)

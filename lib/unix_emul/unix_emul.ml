@@ -117,8 +117,17 @@ let mkdir p path = guard (fun () -> S.mkdir p.p_root (abspath p path))
 
 let rmdir p path =
   let name = abspath p path in
-  let* listing = guard (fun () -> S.listdir p.p_root name) in
-  if listing <> [] then Error ENOTEMPTY
+  (* Emptiness probe: one cursor batch is enough for a non-empty
+     directory; filtering layers may return short batches with a live
+     cookie, so terminate on the cookie, never on a batch being empty. *)
+  let rec empty cookie =
+    match S.readdir p.p_root name ~cookie ~limit:16 with
+    | _ :: _, _ -> false
+    | [], None -> true
+    | [], Some c -> empty c
+  in
+  let* is_empty = guard (fun () -> empty 0) in
+  if not is_empty then Error ENOTEMPTY
   else guard (fun () -> S.remove p.p_root name)
 
 let rename p src dst =
@@ -139,7 +148,10 @@ let stat p path =
   | Error EISDIR -> Ok (Sp_vm.Attr.fresh Sp_vm.Attr.Directory)
   | Error e -> Error e
 
-let readdir p path = guard (fun () -> S.listdir p.p_root (abspath p path))
+let readdir p path =
+  guard (fun () ->
+      List.sort String.compare
+        (S.fold_dir p.p_root (abspath p path) (fun acc n -> n :: acc) []))
 
 let chdir p path =
   let name = abspath p path in

@@ -47,21 +47,23 @@ let version_path path n =
 let versions_of l path =
   let lower = lower_of l in
   let dirs, last = split_path path in
-  let listing =
-    Sp_core.Stackable.listdir lower (Sp_naming.Sname.of_components dirs)
-  in
   let suffix = "." ^ last in
-  List.filter_map
-    (fun name ->
-      if not (is_version_name name) then None
-      else
-        let body = String.sub name 2 (String.length name - 2) in
-        match String.index_opt body '.' with
-        | Some dot
-          when String.sub body dot (String.length body - dot) = suffix ->
-            int_of_string_opt (String.sub body 0 dot)
-        | _ -> None)
-    listing
+  let version_of name =
+    if not (is_version_name name) then None
+    else
+      let body = String.sub name 2 (String.length name - 2) in
+      match String.index_opt body '.' with
+      | Some dot when String.sub body dot (String.length body - dot) = suffix ->
+          int_of_string_opt (String.sub body 0 dot)
+      | _ -> None
+  in
+  (* Stream the lower directory rather than materialise it: the version
+     sidecars are a sparse subset of a possibly huge listing. *)
+  Sp_core.Stackable.fold_dir lower
+    (Sp_naming.Sname.of_components dirs)
+    (fun acc name ->
+      match version_of name with Some n -> n :: acc | None -> acc)
+    []
   |> List.sort Int.compare
 
 let snapshot sfs path =
@@ -130,10 +132,19 @@ let rec make_ctx l ~path =
     | Sp_naming.Context.Context _ -> Sp_naming.Context.Context (make_ctx l ~path:sub)
     | other -> other
   in
-  let list () =
-    List.filter
+  (* Stream the lower directory and drop version sidecars per batch:
+     filtered batches may come back short, so consumers follow the
+     cookie. *)
+  let readdir1 ~cookie ~limit =
+    Sp_dir.Cursor.filter
       (fun n -> not (is_version_name n))
-      (Sp_core.Stackable.listdir (lower_of l) path)
+      (fun ~cookie ~limit ->
+        Sp_core.Stackable.readdir (lower_of l) path ~cookie ~limit)
+      ~cookie ~limit
+  in
+  let list () =
+    List.sort String.compare
+      (Sp_dir.Cursor.drain (fun ~cookie ~limit -> readdir1 ~cookie ~limit))
   in
   {
     Sp_naming.Context.ctx_domain = l.l_domain;
@@ -154,6 +165,7 @@ let rec make_ctx l ~path =
         Sp_naming.Context.unbind (lower_of l).Sp_core.Stackable.sfs_ctx
           (Sp_naming.Sname.append path c));
     ctx_list = list;
+    ctx_readdir1 = readdir1;
   }
 
 let make ?(node = "local") ?domain ~name () =

@@ -97,4 +97,13 @@ let destroy_key t ~key =
       remove t ch.ch_id)
     (channels_for_key t ~key)
 
+(* Tear down every channel (drop_caches): the cache objects capture the
+   manager-side per-file state, so leaving dead channels behind pins it.
+   Destroys cascade manager-side ([c_destroy] evicts the holder), so the
+   table is cleared first to keep reentrant callbacks away from it. *)
+let destroy_all t =
+  let chs = channels t in
+  Hashtbl.reset t.table;
+  List.iter (fun ch -> Vm_types.destroy_cache ch.ch_cache) chs
+
 let channel_count t = Hashtbl.length t.table

@@ -66,5 +66,10 @@ val live_channels_for_key : t -> key:string -> channel list
     reuses the identity cannot alias stale caches. *)
 val destroy_key : t -> key:string -> unit
 
+(** Tear down every channel of every key — the drop_caches analog of
+    {!destroy_key}.  The destroy cascades manager-side, so per-file
+    state captured by the cache objects is released too. *)
+val destroy_all : t -> unit
+
 (** Number of live channels (Figure 2's observable). *)
 val channel_count : t -> int

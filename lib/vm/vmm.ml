@@ -319,12 +319,23 @@ let pager_of entry =
   | Some p -> p
   | None -> failwith ("Vmm: no pager bound for cache entry " ^ entry.e_key)
 
+(* A mapping whose channel was torn down (drop_caches destroyed the
+   cache object, which cleared [entry.pager]) reconnects on the next
+   fault: the mapping still holds the memory object, and re-binding it
+   re-establishes the channel under the same key. *)
+let pager_of_mapping m =
+  let entry = m.m_entry in
+  (match entry.pager with
+  | Some _ -> ()
+  | None -> ignore (Vm_types.bind m.m_mem (manager m.m_vmm) Vm_types.Read_write));
+  pager_of entry
+
 let fault m idx access =
   let model = Sp_sim.Cost_model.current () in
   Sp_sim.Metrics.incr_page_faults ();
   Sp_sim.Simclock.advance model.page_fault_ns;
   let entry = m.m_entry in
-  let pager = pager_of entry in
+  let pager = pager_of_mapping m in
   (* Read-ahead: a read fault continuing a sequential run asks the pager
      for more than strictly needed; anything extra comes back read-only.
      A manual window ([set_readahead]) is used as-is; otherwise the
@@ -524,7 +535,16 @@ let drop_caches t =
     Hashtbl.iter (fun _ p -> note_retired p) entry.pages;
     Hashtbl.reset entry.pages
   in
-  Hashtbl.iter drop t.entries
+  Hashtbl.iter drop t.entries;
+  (* Evict the entry records of unmapped files too: a live mapping holds
+     its entry through the mapped count, but entries for files nobody
+     maps any more only pin memory (a bulk build touches millions). *)
+  let idle =
+    Hashtbl.fold
+      (fun key e acc -> if e.mapped = 0 then key :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) idle
 
 let entry_count t = Hashtbl.length t.entries
 

@@ -32,4 +32,5 @@ let () =
       ("supervise", Test_supervise.suite);
       ("bulk", Test_bulk.suite);
       ("table_shapes", Test_table_shapes.suite);
+      ("dir", Test_dir.suite);
     ]
