@@ -57,6 +57,9 @@ let simulated_tables () =
   Sp_benchlib.Failover.print ppf (Sp_benchlib.Failover.run ());
   Format.fprintf ppf "@.";
   reset_world ();
+  Sp_benchlib.Failover.print_avail ppf (Sp_benchlib.Failover.avail ());
+  Format.fprintf ppf "@.";
+  reset_world ();
   Sp_benchlib.Scrub.print ppf (Sp_benchlib.Scrub.run ());
   Format.fprintf ppf "@.";
   reset_world ();
@@ -318,6 +321,14 @@ let collect_rows () =
       add "scale" (label "p999") r.sc_p999_ns;
       add "scale" (label "elapsed") r.sc_elapsed_ns)
     (Sp_benchlib.Scale.run ());
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Failover.avail_row) ->
+      let label fmt = Printf.sprintf "%d clients, %s" r.a_clients fmt in
+      add "availability" (label "worst recover") r.a_recover_ns;
+      add "availability" (label "ops served") r.a_op_served;
+      add "availability" (label "retried") r.a_retried)
+    (Sp_benchlib.Failover.avail ());
   reset_world ();
   let ns = Sp_benchlib.Namespace.run () in
   List.iter

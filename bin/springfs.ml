@@ -292,7 +292,7 @@ let run_scrub ops seed stride clients no_checksums mirror expect_undetected =
 
 (* --- springfs scale --- *)
 
-let run_scale clients budget seed dir_heavy check =
+let run_scale clients budget seed dir_heavy stack check =
   if clients < 1 then (
     Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
     exit 2);
@@ -300,8 +300,13 @@ let run_scale clients budget seed dir_heavy check =
     Format.eprintf "springfs: --budget must be at least 1 (got %d)@." budget;
     exit 2);
   let open Sp_benchlib.Scale in
-  let r = run_row ~budget ~dir_heavy ~clients ~seed () in
-  print Format.std_formatter [ r ];
+  let r = run_row ~budget ~dir_heavy ~deep:(stack = `Deep) ~clients ~seed () in
+  let label =
+    match stack with
+    | `Deep -> "the deep stack (compression over a mirror of two bases)"
+    | `Base -> "the shared two-domain stack"
+  in
+  print ~label Format.std_formatter [ r ];
   Format.printf
     "SCALE clients=%d ops=%d elapsed_ns=%d p50_ns=%d p99_ns=%d p999_ns=%d \
      queue_ns=%d switches=%d@."
@@ -324,16 +329,32 @@ let run_scale clients budget seed dir_heavy check =
 
 (* --- springfs failover --- *)
 
-let run_failover ops seed stride no_supervisor expect_unavailable =
+let run_failover ops seed stride clients deadline_ms no_supervisor
+    expect_unavailable =
   if stride < 1 then (
     Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
     exit 2);
   if ops < 1 then (
     Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
     exit 2);
+  if clients < 1 then (
+    Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
+    exit 2);
+  (match deadline_ms with
+  | Some d when d < 1 ->
+      Format.eprintf "springfs: --deadline-ms must be at least 1 (got %d)@." d;
+      exit 2
+  | _ -> ());
+  (* The default SLO scales with offered load: queueing alone makes tail
+     latency grow roughly linearly in the client count (see `scale`), so a
+     fixed deadline would fail on queue depth rather than on failover. *)
+  let deadline_ms =
+    match deadline_ms with Some d -> d | None -> max 1000 (100 * clients)
+  in
   let supervised = not no_supervisor in
   let report =
-    Sp_failover.Layer_crash_sweep.sweep ~stride ~supervised ~ops ~seed ()
+    Sp_failover.Layer_crash_sweep.sweep ~stride ~supervised ~clients
+      ~op_deadline_ns:(deadline_ms * 1_000_000) ~ops ~seed ()
   in
   Format.printf "%a@." Sp_failover.Layer_crash_sweep.pp_report report;
   print_endline (Sp_failover.Layer_crash_sweep.summary report);
@@ -709,6 +730,23 @@ let failover_cmd =
       & info [ "stride" ] ~docv:"K"
           ~doc:"Kill at every K-th op boundary (default every op).")
   in
+  let clients =
+    Arg.(
+      value & opt int 1
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Run the workload as C concurrent scheduler clients; the kill \
+                lands at a global op boundary while the others keep calling \
+                through Sp_avail deadlines and retries.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-operation deadline (virtual milliseconds) enforced in \
+                concurrent mode; an overrun fails the point.  Defaults to \
+                max(1000, 100 x clients), since queueing makes tail latency \
+                scale with the client count.")
+  in
   let no_supervisor =
     Arg.(
       value & flag
@@ -727,7 +765,9 @@ let failover_cmd =
      and verify the supervisor restarts the layer with no synced byte lost"
   in
   Cmd.v (Cmd.info "failover" ~doc)
-    Term.(const run_failover $ ops $ seed $ stride $ no_supervisor $ expect_unavailable)
+    Term.(
+      const run_failover $ ops $ seed $ stride $ clients $ deadline_ms
+      $ no_supervisor $ expect_unavailable)
 
 let scale_cmd =
   let clients =
@@ -756,6 +796,15 @@ let scale_cmd =
                 name, cursor readdir batches, and create/remove churn \
                 against a shared indexed directory.")
   in
+  let stack =
+    let stacks = [ ("base", `Base); ("deep", `Deep) ] in
+    Arg.(
+      value
+      & opt (enum stacks) `Base
+      & info [ "stack" ] ~docv:"STACK"
+          ~doc:"Stack to drive: base (the two-domain SFS) or deep \
+                (compression over a mirror of two two-domain bases).")
+  in
   let check =
     Arg.(
       value & flag
@@ -768,7 +817,7 @@ let scale_cmd =
      tail latency (p50/p99/p999) under the 1993 cost model"
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run_scale $ clients $ budget $ seed $ dir_heavy $ check)
+    Term.(const run_scale $ clients $ budget $ seed $ dir_heavy $ stack $ check)
 
 let versions_cmd =
   let doc = "demonstrate the file-versioning layer" in

@@ -80,6 +80,70 @@ let row ~pages =
 
 let run () = List.map (fun p -> row ~pages:p) [ 4; 16; 64 ]
 
+(* Availability under live load: the concurrent layer-crash sweep at
+   increasing client counts.  Each row samples a few kill points per
+   layer (stride = clients, so two boundaries per layer) and reports the
+   client-visible bill: ops that needed an availability retry, ops shed
+   or failed, and the worst kill -> served-again gap.  The deadline
+   scales with the client count like the CLI default — queueing alone
+   makes tail latency grow with load. *)
+
+type avail_row = {
+  a_clients : int;
+  a_points : int;  (* kill points sampled *)
+  a_served : int;  (* of which fully served *)
+  a_lost : int;
+  a_corrupt : int;
+  a_op_served : int;  (* client ops completed across all points *)
+  a_retried : int;  (* of which only after an availability retry *)
+  a_shed : int;
+  a_failed : int;
+  a_deadline_misses : int;
+  a_recover_ns : int;  (* worst kill -> first-served-again gap *)
+}
+
+let avail_row ~clients =
+  let r =
+    Sp_failover.Layer_crash_sweep.sweep ~stride:clients ~clients
+      ~op_deadline_ns:(max 1_000_000_000 (clients * 100_000_000))
+      ~ops:16 ~seed:7 ()
+  in
+  let open Sp_failover.Layer_crash_sweep in
+  {
+    a_clients = clients;
+    a_points = r.fr_points;
+    a_served = r.fr_served;
+    a_lost = r.fr_lost;
+    a_corrupt = r.fr_corrupt;
+    a_op_served = r.fr_op_served;
+    a_retried = r.fr_op_retried;
+    a_shed = r.fr_op_shed;
+    a_failed = r.fr_op_failed;
+    a_deadline_misses = r.fr_deadline_misses;
+    a_recover_ns = r.fr_max_recover_ns;
+  }
+
+let avail () = List.map (fun c -> avail_row ~clients:c) [ 10; 64; 1000 ]
+
+let print_avail ppf rows =
+  Format.fprintf ppf
+    "@[<v>Availability under load: layer kills with live concurrent clients@,";
+  Format.fprintf ppf
+    "  (sampled kill points per layer; every client op under an Sp_avail@,";
+  Format.fprintf ppf
+    "   deadline, retry and circuit breaker; deadline = max(1s, 100ms x \
+     clients))@,";
+  Format.fprintf ppf "  %8s %7s %7s %10s %8s %6s %7s %9s %s@," "clients"
+    "points" "served" "ops" "retried" "shed" "failed" "misses" "worst recover";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %8d %7d %7d %10d %8d %6d %7d %9d %s@," r.a_clients
+        r.a_points r.a_served r.a_op_served r.a_retried r.a_shed r.a_failed
+        r.a_deadline_misses
+        (Format.asprintf "%a" Sp_sim.Simclock.pp_duration r.a_recover_ns))
+    rows;
+  Format.fprintf ppf "@]"
+
 let print ppf t =
   Format.fprintf ppf
     "@[<v>Failover ablation: supervised pager-layer restart (paper_1993 model)@,";

@@ -52,15 +52,32 @@ let instances = ref 0
 (* A two-domain stack with a warm population of [n_files] shared files:
    every op crosses a door into the lower domain, so the station queue is
    always in play; syncs drive the journalless disk through the elevator. *)
-let setup ?(dir_heavy = false) ~tag () =
+let setup ?(dir_heavy = false) ?(deep = false) ~tag () =
   incr instances;
   let tag = Printf.sprintf "%s%d" tag !instances in
   let vmm = Sp_vm.Vmm.create ~node:tag ("vmm-" ^ tag) in
-  let disk = Sp_blockdev.Disk.create ~label:("disk-" ^ tag) ~blocks:8192 () in
-  Sp_sfs.Disk_layer.mkfs disk;
-  let fs =
-    Sp_coherency.Spring_sfs.make_split ~node:tag ~vmm ~name:tag
+  let base suffix =
+    let disk =
+      Sp_blockdev.Disk.create ~label:("disk-" ^ tag ^ suffix) ~blocks:8192 ()
+    in
+    Sp_sfs.Disk_layer.mkfs disk;
+    Sp_coherency.Spring_sfs.make_split ~node:tag ~vmm ~name:(tag ^ suffix)
       ~same_domain:false disk
+  in
+  let fs =
+    if not deep then base ""
+    else begin
+      (* Deep stack: compression over a mirror of two two-domain bases —
+         five layer instances, so every op crosses several doors and the
+         mirror fans writes out to both replicas. *)
+      let fa = base "a" and fb = base "b" in
+      let mirror = Sp_mirrorfs.Mirrorfs.make ~node:tag ~vmm ~name:(tag ^ ".m") () in
+      S.stack_on mirror fa;
+      S.stack_on mirror fb;
+      let comp = Sp_compfs.Compfs.make ~node:tag ~vmm ~name:(tag ^ ".z") () in
+      S.stack_on comp mirror;
+      comp
+    end
   in
   let files =
     Array.init n_files (fun i ->
@@ -117,10 +134,11 @@ let percentile sorted per_mille =
   let n = Array.length sorted in
   if n = 0 then 0 else sorted.(min (n - 1) (n * per_mille / 1000))
 
-let run_row ?(budget = 10_000) ?(dir_heavy = false) ~clients ~seed () =
+let run_row ?(budget = 10_000) ?(dir_heavy = false) ?(deep = false) ~clients
+    ~seed () =
   if clients < 1 then invalid_arg "Scale.run_row: clients must be >= 1";
   Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
-  let fs, files = setup ~dir_heavy ~tag:"scale" () in
+  let fs, files = setup ~dir_heavy ~deep ~tag:"scale" () in
   let ops_per_client = max 1 (budget / clients) in
   let total = clients * ops_per_client in
   let samples = Array.make total 0 in
@@ -161,10 +179,9 @@ let default_clients = [ 10; 1_000; 100_000 ]
 let run ?(clients = default_clients) ?(budget = 10_000) ?(seed = 7) () =
   List.map (fun c -> run_row ~budget ~clients:c ~seed ()) clients
 
-let print ppf rows =
+let print ?(label = "the shared two-domain stack") ppf rows =
   Format.fprintf ppf
-    "Scale: concurrent clients on the shared two-domain stack (paper_1993, \
-     fixed op budget)@.";
+    "Scale: concurrent clients on %s (paper_1993, fixed op budget)@." label;
   Format.fprintf ppf "  %8s %9s %12s %12s %10s %10s %10s %7s@." "clients" "ops"
     "elapsed" "ops/sec" "p50" "p99" "p999" "queued";
   List.iter

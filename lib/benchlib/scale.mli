@@ -21,10 +21,22 @@ type row = {
 
 (** One row at the given concurrency.  [dir_heavy] swaps the op mix for
     a namespace one — opens by compound name, cursor readdir batches,
-    and create/remove churn against a shared indexed directory. *)
-val run_row : ?budget:int -> ?dir_heavy:bool -> clients:int -> seed:int -> unit -> row
+    and create/remove churn against a shared indexed directory.  [deep]
+    swaps the stack for a deep one: compression over a mirror of two
+    two-domain bases, so each op crosses several doors and writes fan
+    out to both replicas. *)
+val run_row :
+  ?budget:int ->
+  ?dir_heavy:bool ->
+  ?deep:bool ->
+  clients:int ->
+  seed:int ->
+  unit ->
+  row
 
 (** The scale table (default 10 / 1k / 100k clients, 10k-op budget). *)
 val run : ?clients:int list -> ?budget:int -> ?seed:int -> unit -> row list
 
-val print : Format.formatter -> row list -> unit
+(** [label] names the stack in the table header (the deep stack of
+    [run_row ~deep:true] is not the default two-domain one). *)
+val print : ?label:string -> Format.formatter -> row list -> unit

@@ -33,6 +33,15 @@ type layer = {
   l_files : (string, centry) Hashtbl.t;  (* by lower file id *)
   l_wrapped : (string, Sp_core.File.t * Sp_core.File.t) Hashtbl.t;
       (* lower file id -> (lower file, wrapper) *)
+  l_lock : Sp_sched.Mutex.t;
+      (* Container operations are multi-step read-modify-write cycles
+         (append, compact, rescan) whose container I/O suspends the task
+         under [Sp_sched]; two concurrent syncs — or a sync and a cache
+         eviction — would interleave those cycles and corrupt the chunk
+         log.  One reentrant lock for the whole instance, not one per
+         file: an eviction inside a locked section can push another
+         file's dirty page back through this layer, and per-file locks
+         would deadlock on that re-entry. *)
 }
 
 let instances : (string, layer) Hashtbl.t = Hashtbl.create 4
@@ -46,6 +55,8 @@ let lower_of l =
   match l.l_lower with
   | Some fs -> fs
   | None -> raise (Sp_core.Stackable.Stack_error (l.l_name ^ ": not stacked yet"))
+
+let locked l f = Sp_sched.Mutex.with_lock l.l_lock f
 
 (* ------------------------------------------------------------------ *)
 (* Container access: plain file interface (Figure 5) or pager channel
@@ -95,17 +106,47 @@ let write_header l e =
   container_write l e ~pos:0 b;
   e.header_dirty <- false
 
+(* A chunk is valid iff its payload actually decompresses to at most a
+   page.  Cheap structural checks alone are not enough: a crash can
+   commit the page holding a chunk's header while the page holding its
+   payload dies with a killed layer incarnation, leaving a
+   plausible-looking header over garbage. *)
+let chunk_payload_ok compressed =
+  match Lz.decompress compressed with
+  | d -> Bytes.length d <= ps
+  | exception Invalid_argument _ -> false
+
+(* Roll-forward recovery over the chunk log, like journal replay: scan
+   validates every chunk and truncates the log at the first invalid one.
+   The synced prefix is always consistent (the lower journal commits a
+   sync atomically), so anything past the tear is unsynced data a crash
+   is allowed to lose; truncating re-exposes the newest surviving chunk
+   of each page.  Subsequent appends overwrite the torn region. *)
 let scan_index l e =
   Hashtbl.reset e.idx;
   let rec go pos =
     if pos + chunk_header <= e.tail then begin
       let h = container_read l e ~pos ~len:chunk_header in
-      if Bytes.get_uint16_le h 0 <> chunk_magic then
-        raise (Sp_core.Fserr.Io_error (e.e_key ^ ": corrupt chunk log"));
-      let page = Bytes.get_uint16_le h 2 in
-      let clen = Int32.to_int (Bytes.get_int32_le h 4) in
-      Hashtbl.replace e.idx page (pos + chunk_header, clen);
-      go (pos + chunk_header + clen)
+      let ok =
+        Bytes.length h >= chunk_header
+        && Bytes.get_uint16_le h 0 = chunk_magic
+        &&
+        let clen = Int32.to_int (Bytes.get_int32_le h 4) in
+        clen >= 0
+        && pos + chunk_header + clen <= e.tail
+        && chunk_payload_ok
+             (container_read l e ~pos:(pos + chunk_header) ~len:clen)
+      in
+      if ok then begin
+        let page = Bytes.get_uint16_le h 2 in
+        let clen = Int32.to_int (Bytes.get_int32_le h 4) in
+        Hashtbl.replace e.idx page (pos + chunk_header, clen);
+        go (pos + chunk_header + clen)
+      end
+      else begin
+        e.tail <- pos;
+        e.header_dirty <- true
+      end
     end
   in
   go ps;
@@ -145,7 +186,14 @@ let read_logical_page l e page =
   | Some (off, clen) ->
       let compressed = container_read l e ~pos:off ~len:clen in
       Sp_obj.Door.charge_cpu (Lz.work_units clen);
-      let data = Lz.decompress compressed in
+      (* The scan validated this chunk, so a failure here means the
+         container rotted underneath us mid-run: fail loudly with the
+         stack's I/O error, never leak [Invalid_argument]. *)
+      let data =
+        try Lz.decompress compressed
+        with Invalid_argument msg ->
+          raise (Sp_core.Fserr.Io_error (e.e_key ^ ": " ^ msg))
+      in
       if Bytes.length data = ps then data
       else begin
         let padded = Bytes.make ps '\000' in
@@ -264,11 +312,13 @@ let manager l =
 (* ------------------------------------------------------------------ *)
 
 let get_attr l e =
+  locked l @@ fun () ->
   refresh_if_stale l e;
   let a = Sp_core.File.stat e.e_lower in
   Sp_vm.Attr.with_len a e.logical_len
 
 let truncate_entry l e len =
+  locked l @@ fun () ->
   refresh_if_stale l e;
   if len < e.logical_len then begin
     let channels = Sp_vm.Pager_lib.live_channels_for_key l.l_channels ~key:e.e_key in
@@ -308,6 +358,7 @@ let truncate_entry l e len =
 let upper_pager l e ~id =
   let write_down x = write_logical l e ~offset:x.V.ext_offset x.V.ext_data in
   let page_in ~offset ~size ~access =
+    locked l @@ fun () ->
     refresh_if_stale l e;
     Sp_coherency.Mrsw.granting e.e_state ~access @@ fun () ->
     Sp_coherency.Mrsw.before_grant e.e_state ~channels:l.l_channels ~key:e.e_key
@@ -329,6 +380,7 @@ let upper_pager l e ~id =
     out
   in
   let push retain ~offset data =
+    locked l @@ fun () ->
     refresh_if_stale l e;
     Sp_coherency.Mrsw.granting e.e_state ~access:V.Read_write @@ fun () ->
     write_logical l e ~offset data;
@@ -355,6 +407,7 @@ let upper_pager l e ~id =
             fp_set_attr = (fun a -> Sp_core.File.set_attr e.e_lower a);
             fp_attr_sync =
               (fun a ->
+                locked l @@ fun () ->
                 let len = a.Sp_vm.Attr.len in
                 if len < e.logical_len then truncate_entry l e len
                 else if len > e.logical_len then begin
@@ -404,12 +457,14 @@ let make_memory_object l e =
           mgr);
     m_get_length =
       (fun () ->
+        locked l @@ fun () ->
         refresh_if_stale l e;
         e.logical_len);
     m_set_length = (fun len -> truncate_entry l e len);
   }
 
 let sync_entry l e =
+  locked l @@ fun () ->
   Sp_coherency.Mrsw.sweep e.e_state ~channels:l.l_channels ~key:e.e_key `Write_back
     ~write_down:(fun x -> write_logical l e ~offset:x.V.ext_offset x.V.ext_data);
   compact l e
@@ -443,6 +498,7 @@ let wrap_entry l e =
   }
 
 let wrap_file l ~fresh (lower : Sp_core.File.t) =
+  locked l @@ fun () ->
   match Hashtbl.find_opt l.l_wrapped lower.Sp_core.File.f_id with
   | Some (stored, f) when stored == lower -> f
   | Some _ | None ->
@@ -469,6 +525,7 @@ let make ?(node = "local") ?domain ?(coherent = true) ~vmm ~name () =
       l_channels = Sp_vm.Pager_lib.create ();
       l_files = Hashtbl.create 16;
       l_wrapped = Hashtbl.create 16;
+      l_lock = Sp_sched.Mutex.create ("compfs:" ^ name);
     }
   in
   Hashtbl.replace instances name l;
@@ -539,15 +596,19 @@ let make ?(node = "local") ?domain ?(coherent = true) ~vmm ~name () =
         Sp_core.Stackable.remove lower path);
     sfs_sync =
       (fun () ->
-        Hashtbl.iter (fun _ e -> sync_entry l e) l.l_files;
+        (* Snapshot first: sync_entry yields, and a concurrent open may
+           add files while we iterate. *)
+        let es = Hashtbl.fold (fun _ e acc -> e :: acc) l.l_files [] in
+        List.iter (sync_entry l) es;
         Sp_core.Stackable.sync (lower_of l));
     sfs_drop_caches =
       (fun () ->
-        Hashtbl.iter
-          (fun _ e ->
+        let es = Hashtbl.fold (fun _ e acc -> e :: acc) l.l_files [] in
+        List.iter
+          (fun e ->
             sync_entry l e;
             e.stale <- true)
-          l.l_files);
+          es);
   }
 
 let creator ?(node = "local") ?(coherent = true) ~vmm () =
@@ -573,5 +634,6 @@ let container_bytes sfs path =
 
 let logical_bytes sfs path =
   let l, e = entry_at sfs path in
+  locked l @@ fun () ->
   refresh_if_stale l e;
   e.logical_len

@@ -19,7 +19,16 @@
       state, so direct container writes become visible upstream.
 
     Upward, COMPFS is a non-coherent pager: per §6.3 a coherent stack is
-    obtained by stacking a coherency layer (or DFS) on top of it. *)
+    obtained by stacking a coherency layer (or DFS) on top of it.
+
+    Crash recovery: the chunk log is validated on (re)scan like a
+    journal — each chunk's payload must decompress — and is truncated at
+    the first invalid chunk (a crash can commit a chunk's header page
+    while its payload page dies with a killed layer incarnation).  The
+    synced prefix is always consistent, so truncation only ever discards
+    unsynced data and re-exposes each page's newest surviving chunk.  A
+    chunk that rots {e after} the scan fails the read loudly with
+    [Fserr.Io_error]. *)
 
 (** [make ~vmm ~name ()] creates an instance; stack on exactly one
     underlying file system.  [coherent] defaults to [true] (Figure 6). *)

@@ -8,6 +8,7 @@ exception Read_only of string
 exception Io_error of string
 exception Checksum_error of string
 exception Dead_domain = Sp_obj.Sdomain.Dead_domain
+exception Timed_out = Sp_sched.Deadline_exceeded
 
 let to_string = function
   | No_such_file p -> "no such file: " ^ p
@@ -20,4 +21,5 @@ let to_string = function
   | Io_error what -> "i/o error: " ^ what
   | Checksum_error what -> "checksum error: " ^ what
   | Dead_domain who -> "dead domain: " ^ who
+  | Timed_out what -> "timed out: " ^ what
   | e -> Printexc.to_string e

@@ -27,5 +27,11 @@ exception Checksum_error of string
     restart + retry. *)
 exception Dead_domain of string
 
+(** The op overran its [Sp_sched.with_deadline] (alias of
+    [Sp_sched.Deadline_exceeded]): raised at a door-call boundary, from a
+    cancelled station-queue wait, or by a backoff that would sleep past
+    the deadline.  The payload names where it expired. *)
+exception Timed_out of string
+
 (** Render any of the above (or any other exception via [Printexc]). *)
 val to_string : exn -> string

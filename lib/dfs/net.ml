@@ -2,9 +2,15 @@ exception Timeout of string
 
 type stats = { messages : int; bytes : int; retries : int }
 
-type t = { mutable messages : int; mutable bytes : int; mutable retries : int }
+type t = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable retries : int;
+  rng : Sp_fault.Rng.t;  (* jitter stream for retry backoff *)
+}
 
-let create () = { messages = 0; bytes = 0; retries = 0 }
+let create ?(seed = 0x0df5) () =
+  { messages = 0; bytes = 0; retries = 0; rng = Sp_fault.Rng.create seed }
 
 (* One attempt: charge the wire cost and run [f].  An injected drop
    charges a full round-trip-time window (the client waited for a reply
@@ -13,6 +19,7 @@ let create () = { messages = 0; bytes = 0; retries = 0 }
 let attempt t ~src ~dst ~bytes f =
   let model = Sp_sim.Cost_model.current () in
   let label = src ^ "->" ^ dst in
+  Sp_sched.check_deadline ~on:("net:" ^ label);
   (match Sp_fault.consult ~point:"net.rpc" ~label with
   | Sp_fault.Pass -> ()
   | Sp_fault.Dropped msg | Sp_fault.Fail_io msg ->
@@ -39,6 +46,17 @@ let rpc_retry ?(retries = 3) t ~src ~dst ~bytes f =
   if String.equal src dst then f ()
   else
     let model = Sp_sim.Cost_model.current () in
+    (* Unified availability backoff ([Sp_avail.Backoff]): exponential in
+       the RTT (1x, 2x, 4x ...), seeded downward jitter so concurrently
+       retrying clients desynchronize, idle sleep so under [Sp_sched]
+       other clients run through the window and the wait is not counted
+       as service time.  Jitter only subtracts, so the documented delay
+       cap still holds. *)
+    let policy =
+      Sp_avail.Backoff.make ~base_ns:model.net_rtt_ns
+        ~max_delay_ns:(model.net_rtt_ns * (1 lsl max 0 (min (retries - 1) 16)))
+        ~max_attempts:(retries + 1) ()
+    in
     let rec go attempt_no =
       try attempt t ~src ~dst ~bytes f
       with Timeout msg ->
@@ -58,12 +76,9 @@ let rpc_retry ?(retries = 3) t ~src ~dst ~bytes f =
                   ("attempt", string_of_int attempt_no);
                 ]
               ();
-          (* Exponential backoff, deterministic: 1x, 2x, 4x ... the RTT.
-             An idle sleep, not a clock charge: under [Sp_sched] other
-             clients run during the window (and concurrently-retrying
-             clients back off in parallel), and the wait is not counted
-             as service time. *)
-          Sp_sched.sleep (model.net_rtt_ns * (1 lsl (attempt_no - 1)));
+          Sp_avail.Backoff.pause
+            ~on:("net:" ^ src ^ "->" ^ dst)
+            policy ~rng:t.rng ~attempt:attempt_no;
           go (attempt_no + 1)
         end
     in

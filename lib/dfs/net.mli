@@ -17,28 +17,34 @@ type t
 
 type stats = { messages : int; bytes : int; retries : int }
 
-val create : unit -> t
+(** [seed] initialises the retry-backoff jitter stream (deterministic
+    per [t]; two nets created with the same seed replay the same
+    delays). *)
+val create : ?seed:int -> unit -> t
 
 (** [rpc t ~src ~dst ~bytes f] performs [f ()] as a remote invocation from
     node [src] to node [dst] carrying [bytes] of payload (request +
     response combined).  A single attempt: raises {!Timeout} on drop. *)
 val rpc : t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
 
-(** Like {!rpc} but retries {!Timeout}s with deterministic exponential
-    backoff (1x, 2x, 4x ... the model RTT), bumping
+(** Like {!rpc} but retries {!Timeout}s with the unified
+    [Sp_avail.Backoff] policy: exponential in the model RTT (1x, 2x,
+    4x ...), seeded downward jitter, slept as idle time — bumping
     [Sp_sim.Metrics.net_retries] and emitting an [Sp_trace] instant per
     retry.  After [retries] (default 3) failed retries the error becomes
     [Sp_core.Fserr.Io_error], which file-system layers already handle.
     Server-side exceptions pass through untouched — only transport
-    timeouts are retried.
+    timeouts are retried.  Under an ambient [Sp_sched.with_deadline],
+    an attempt or a backoff that would cross the deadline raises
+    [Fserr.Timed_out] instead.
 
     Simulated-delay cap: a call that exhausts its budget makes
     [retries + 1] attempts, each charging at most one RTT window, plus
-    backoffs of [rtt * 2^(i-1)] after attempts [1..retries] — so the
-    total simulated delay is bounded by
-    [rtt * (retries + 1) + rtt * (2^retries - 1)] (with the default
-    [retries = 3]: 11 RTTs) plus the per-byte wire time of the successful
-    attempt, independent of the fault seed. *)
+    backoffs of at most [rtt * 2^(i-1)] after attempts [1..retries]
+    (jitter only shortens them) — so the total simulated delay is
+    bounded by [rtt * (retries + 1) + rtt * (2^retries - 1)] (with the
+    default [retries = 3]: 11 RTTs) plus the per-byte wire time of the
+    successful attempt, independent of the fault and jitter seeds. *)
 val rpc_retry :
   ?retries:int -> t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
 

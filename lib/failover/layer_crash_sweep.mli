@@ -15,7 +15,20 @@
     With [supervised:false] the same kills are applied to an
     unsupervised stack; every point is then expected to end
     [Unavailable] — the control demonstrating the supervisor is what
-    provides the resilience. *)
+    provides the resilience.
+
+    With [clients > 1] the workload runs as N concurrent [Sp_sched]
+    tasks (one private file each, writes and syncs only — idempotent
+    under retry), every op wrapped in [Sp_avail.call] with a deadline,
+    and the kill lands at a swept {e global} op boundary while the other
+    clients keep calling.  Verification switches to an event-ordered
+    per-byte model: a byte is pinned iff its newest covering write
+    completed before the last pre-kill sync (the durability floor) or
+    started after the kill; vulnerable-window and failed writes are
+    indeterminate; never-written bytes must be zero.  A point is
+    [Served] only if, additionally, no op failed loudly, no op overran
+    its deadline, fsck is clean, and the supervisor actually
+    restarted. *)
 
 type outcome =
   | Served  (** restarted, no synced byte lost, exact final state, clean fsck *)
@@ -27,6 +40,7 @@ type report = {
   fr_supervised : bool;
   fr_ops : int;
   fr_seed : int;
+  fr_clients : int;
   fr_layers : string list;
   fr_points : int;
   fr_served : int;
@@ -36,6 +50,12 @@ type report = {
   fr_restarts : int;  (** level rebuilds across all points *)
   fr_reconciled_clean : int;  (** clean pages dropped and refetched *)
   fr_reconciled_lost : int;  (** dirty unsynced pages reported lost *)
+  fr_op_served : int;  (** concurrent mode: client ops completed *)
+  fr_op_retried : int;  (** of which only after availability retry *)
+  fr_op_shed : int;  (** ops fast-failed by an open circuit breaker *)
+  fr_op_failed : int;  (** ops that surfaced a loud failure *)
+  fr_deadline_misses : int;  (** ops that overran their deadline *)
+  fr_max_recover_ns : int;  (** worst kill -> first-served-again gap *)
   fr_first_bad : (string * int * string) option;  (** layer, op, message *)
 }
 
@@ -54,8 +74,22 @@ val run_point :
   outcome * (int * int * int)
 
 (** Sweep every (layer, op boundary) pair; [stride] thins the op
-    boundaries tested (default 1 = all of them). *)
-val sweep : ?stride:int -> ?supervised:bool -> ops:int -> seed:int -> unit -> report
+    boundaries tested (default 1 = all of them).  [clients] (default 1)
+    switches to the concurrent mode described above, with per-client ops
+    [max 2 (ops / clients)] and global boundaries [clients * that];
+    [op_deadline_ns] (default 1s virtual — several times the worst
+    observed restart window under [paper_1993], so it bounds hangs
+    without failing ops that legitimately ride through a restart) is the
+    per-op deadline enforced through [Sp_avail.call]. *)
+val sweep :
+  ?stride:int ->
+  ?supervised:bool ->
+  ?clients:int ->
+  ?op_deadline_ns:int ->
+  ops:int ->
+  seed:int ->
+  unit ->
+  report
 
 (** One-line machine-readable verdict (CI greps this). *)
 val summary : report -> string

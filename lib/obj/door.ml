@@ -76,6 +76,14 @@ let check_alive target =
     | Sp_fault.Domain_died _ -> Sdomain.kill target
     | _ -> ()
   end;
+  (* The caller's own domain may have been killed while this fiber was
+     suspended inside it.  Its threads died with the domain: the next
+     crossing stops the fiber, whichever direction it faces — otherwise a
+     zombie fiber of the old incarnation keeps mutating shared lower-layer
+     state while the restarted one is already serving.  One field read on
+     the live path. *)
+  if not (Sdomain.alive !current_domain) then
+    raise (Sdomain.Dead_domain (Sdomain.name !current_domain));
   if not (Sdomain.alive target) then begin
     if Sp_trace.enabled () then
       Sp_trace.instant ~name:"door.dead_domain"
@@ -84,15 +92,28 @@ let check_alive target =
     raise (Sdomain.Dead_domain (Sdomain.name target))
   end
 
-let call ?(op = "invoke") target f =
-  consult_fault op;
-  check_alive target;
-  if Sp_trace.enabled () then
-    Sp_trace.span ~op
-      ~src:(Sdomain.name !current_domain)
-      ~dst:(Sdomain.name target) ~node:(Sdomain.node target)
-      (fun () -> invoke target f)
-  else invoke target f
+(* Deadline enforcement lives at the door: every call boundary checks
+   the ambient deadline (one ref read when unset), and the crossing's
+   station wait is cancellable (see [Sp_sched.Station]), so a caller
+   queued into a saturated domain gets [Deadline_exceeded] instead of
+   waiting forever.  [?deadline_ns] scopes a fresh (or tighter) deadline
+   over just this call. *)
+let with_opt_deadline deadline_ns f =
+  match deadline_ns with
+  | None -> f ()
+  | Some ns -> Sp_sched.with_deadline ~ns f
+
+let call ?(op = "invoke") ?deadline_ns target f =
+  with_opt_deadline deadline_ns (fun () ->
+      Sp_sched.check_deadline ~on:op;
+      consult_fault op;
+      check_alive target;
+      if Sp_trace.enabled () then
+        Sp_trace.span ~op
+          ~src:(Sdomain.name !current_domain)
+          ~dst:(Sdomain.name target) ~node:(Sdomain.node target)
+          (fun () -> invoke target f)
+      else invoke target f)
 
 (* ------------------------------------------------------------------ *)
 (* Bulk data path (paper §6.4)                                         *)
@@ -141,15 +162,17 @@ let data_invoke target f =
       if scoped then Bulk.exit_scope ())
     f
 
-let data_call ?(op = "invoke") target f =
-  consult_fault op;
-  check_alive target;
-  if Sp_trace.enabled () then
-    Sp_trace.span ~op
-      ~src:(Sdomain.name !current_domain)
-      ~dst:(Sdomain.name target) ~node:(Sdomain.node target)
-      (fun () -> data_invoke target f)
-  else data_invoke target f
+let data_call ?(op = "invoke") ?deadline_ns target f =
+  with_opt_deadline deadline_ns (fun () ->
+      Sp_sched.check_deadline ~on:op;
+      consult_fault op;
+      check_alive target;
+      if Sp_trace.enabled () then
+        Sp_trace.span ~op
+          ~src:(Sdomain.name !current_domain)
+          ~dst:(Sdomain.name target) ~node:(Sdomain.node target)
+          (fun () -> data_invoke target f)
+      else data_invoke target f)
 
 let from domain f =
   let saved = !current_domain in

@@ -27,8 +27,14 @@ val user_domain : Sdomain.t
     name) kills the target on arrival, and any call to a dead domain
     raises {!Sdomain.Dead_domain} (traced as a [door.dead_domain]
     instant event).  With no plan armed the extra cost is one field
-    read, so the fast-path door cost is unchanged. *)
-val call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
+    read, so the fast-path door cost is unchanged.
+
+    [?deadline_ns] scopes an [Sp_sched.with_deadline] over the call
+    (tightening any enclosing deadline).  Every call checks the ambient
+    deadline at entry and its crossing's queue wait is cancellable, so
+    an overrun raises [Sp_sched.Deadline_exceeded] (= [Fserr.Timed_out])
+    instead of blocking forever behind a dead or saturated domain. *)
+val call : ?op:string -> ?deadline_ns:int -> Sdomain.t -> (unit -> 'a) -> 'a
 
 (** [data_call target f] is {!call} for data-bearing operations
     ([file.read], [pager.page_in], ...).  It costs the same as [call]
@@ -38,8 +44,9 @@ val call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
     cross-domain [data_call] runs, {!charge_source_copy} elides source
     copies — the payload lands directly in the bulk buffer, whose single
     copy the caller charges via {!charge_transfer}.  Counts in
-    {!Sp_sim.Metrics} exactly like [call]. *)
-val data_call : ?op:string -> Sdomain.t -> (unit -> 'a) -> 'a
+    {!Sp_sim.Metrics} exactly like [call], and enforces [?deadline_ns]
+    and the ambient deadline the same way. *)
+val data_call : ?op:string -> ?deadline_ns:int -> Sdomain.t -> (unit -> 'a) -> 'a
 
 (** [charge_transfer target bytes] accounts a payload crossing the
     interface between the current domain and [target]: zero marshalling

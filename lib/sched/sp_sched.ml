@@ -26,6 +26,8 @@ exception Deadlock of string
    never catch it. *)
 exception Aborted
 
+exception Deadline_exceeded of string
+
 (* Task-local slots.  Globals that model *per-activity* state — the
    current domain in [Sp_obj.Door], the bulk-transfer scope depth in
    [Sp_obj.Bulk] — are only correct per task: two interleaved clients
@@ -39,6 +41,39 @@ let tls_hooks : (unit -> unit -> unit) list ref = ref []
 let register_tls save = tls_hooks := save :: !tls_hooks
 let tls_snapshot () = List.map (fun save -> save ()) !tls_hooks
 let tls_restore snap = List.iter (fun restore -> restore ()) snap
+
+(* ------------------------------------------------------------------ *)
+(* Per-op deadlines                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The ambient deadline is an absolute virtual instant, task-local like
+   the current domain: each task (or the main context) carries its own.
+   Enforcement is cooperative — [check_deadline] at op boundaries (the
+   door checks on every call) plus a cancellation timer on [Station]
+   queue waits, so a call blocked behind a saturated or dead domain is
+   released instead of waiting forever.  The no-deadline path is one ref
+   read. *)
+let cur_deadline : int option ref = ref None
+
+let () =
+  register_tls (fun () ->
+      let d = !cur_deadline in
+      fun () -> cur_deadline := d)
+
+let deadline () = !cur_deadline
+
+let check_deadline ~on =
+  match !cur_deadline with
+  | Some d when Sp_sim.Simclock.now () > d -> raise (Deadline_exceeded on)
+  | _ -> ()
+
+let with_deadline ~ns f =
+  if ns < 0 then invalid_arg "Sp_sched.with_deadline: negative duration";
+  let d = Sp_sim.Simclock.now () + ns in
+  let d = match !cur_deadline with Some d0 -> min d0 d | None -> d in
+  let saved = !cur_deadline in
+  cur_deadline := Some d;
+  Fun.protect ~finally:(fun () -> cur_deadline := saved) f
 
 type task = {
   t_id : int;  (* globally unique, for trace contexts *)
@@ -62,25 +97,13 @@ type _ Effect.t +=
 (* ------------------------------------------------------------------ *)
 
 module Heap = struct
-  type entry = { h_time : int; h_seq : int; h_task : task }
+  (* Entries fire a closure, not a task: task wake-ups are one client
+     ([h_fire = make_ready]), deadline cancellations another.  A stale
+     entry (its purpose already served) must guard itself and no-op. *)
+  type entry = { h_time : int; h_seq : int; h_fire : unit -> unit }
   type t = { mutable a : entry array; mutable n : int }
 
-  let dummy =
-    {
-      h_time = 0;
-      h_seq = 0;
-      h_task =
-        {
-          t_id = -1;
-          t_seq = -1;
-          t_name = "";
-          t_done = true;
-          t_kont = None;
-          t_blocked_on = "";
-          t_joiners = [];
-          t_ctx = [];
-        };
-    }
+  let dummy = { h_time = 0; h_seq = 0; h_fire = ignore }
 
   let create () = { a = Array.make 64 dummy; n = 0 }
   let is_empty t = t.n = 0
@@ -216,7 +239,7 @@ let handler s task =
                     {
                       Heap.h_time = Sp_sim.Simclock.now () + ns;
                       h_seq = s.timer_seq;
-                      h_task = task;
+                      h_fire = (fun () -> make_ready s task);
                     }
                 end)
         | Sleep ns ->
@@ -236,7 +259,7 @@ let handler s task =
                     {
                       Heap.h_time = Sp_sim.Simclock.now () + ns;
                       h_seq = s.timer_seq;
-                      h_task = task;
+                      h_fire = (fun () -> make_ready s task);
                     }
                 end)
         | Yield ->
@@ -367,7 +390,7 @@ let rec loop s =
         if dt > 0 then Sp_sim.Simclock.advance_raw dt;
         while (not (Heap.is_empty s.timers)) && (Heap.min s.timers).Heap.h_time = t do
           let e = Heap.pop s.timers in
-          make_ready s e.Heap.h_task
+          e.Heap.h_fire ()
         done;
         loop s
       end
@@ -445,6 +468,23 @@ let suspend ~on register =
     invalid_arg "Sp_sched.suspend: not inside a scheduler task";
   Effect.perform (Suspend (on, register))
 
+(* Schedule [fire] at absolute virtual instant [time] on the current
+   run's timer heap (clamped to now if already past).  No-op outside a
+   run: without a scheduler nothing ever suspends, so there is no
+   pending wait to cancel.  The closure must guard itself — it may fire
+   after its purpose is already served. *)
+let at_time time fire =
+  match !cur with
+  | None -> ()
+  | Some s ->
+      s.timer_seq <- s.timer_seq + 1;
+      Heap.push s.timers
+        {
+          Heap.h_time = max time (Sp_sim.Simclock.now ());
+          h_seq = s.timer_seq;
+          h_fire = fire;
+        }
+
 (* Record [dt] of queue waiting: global metric + current trace span. *)
 let note_queue dt =
   if dt > 0 then begin
@@ -494,11 +534,22 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Station = struct
+  (* A queued caller with an ambient deadline arms a cancellation timer:
+     if the timer fires while the entry is still [`Waiting] it flips to
+     [`Expired] and wakes the task, which raises [Deadline_exceeded]
+     *without ever owning a server slot*.  [release] skips expired
+     entries when handing the slot on, so an abandoned wait can never
+     strand a server. *)
+  type waiter = {
+    mutable w_state : [ `Waiting | `Granted | `Expired ];
+    mutable w_wake : unit -> unit;
+  }
+
   type t = {
     s_name : string;
     s_servers : int;
     mutable s_busy : int;
-    s_q : (unit -> unit) Queue.t;
+    s_q : waiter Queue.t;
     mutable s_served : int;
     mutable s_queued : int;
     mutable s_epoch : int;
@@ -517,9 +568,18 @@ module Station = struct
       Queue.clear st.s_q
     end
 
-  let release st =
+  let rec release st =
     if Queue.is_empty st.s_q then st.s_busy <- st.s_busy - 1
-    else (Queue.pop st.s_q) ()  (* hand the slot to the queue head *)
+    else begin
+      let w = Queue.pop st.s_q in
+      match w.w_state with
+      | `Waiting ->
+          (* hand the slot to the queue head *)
+          w.w_state <- `Granted;
+          w.w_wake ()
+      | `Expired -> release st  (* gave up while queued: skip it *)
+      | `Granted -> assert false  (* granted entries leave the queue *)
+    end
 
   let serve st ns =
     if not (in_task ()) then Sp_sim.Simclock.advance ns
@@ -528,9 +588,24 @@ module Station = struct
       st.s_served <- st.s_served + 1;
       if st.s_busy >= st.s_servers then begin
         st.s_queued <- st.s_queued + 1;
+        let w = { w_state = `Waiting; w_wake = ignore } in
+        (match deadline () with
+        | Some d ->
+            at_time d (fun () ->
+                if w.w_state = `Waiting then begin
+                  w.w_state <- `Expired;
+                  w.w_wake ()
+                end)
+        | None -> ());
         let t0 = Sp_sim.Simclock.now () in
-        suspend ~on:("station:" ^ st.s_name) (fun wake -> Queue.push wake st.s_q);
-        note_queue (Sp_sim.Simclock.now () - t0)
+        suspend ~on:("station:" ^ st.s_name) (fun wake ->
+            w.w_wake <- wake;
+            Queue.push w st.s_q);
+        note_queue (Sp_sim.Simclock.now () - t0);
+        (* Raised before the protect below: we never acquired a slot, so
+           there is nothing to release. *)
+        if w.w_state = `Expired then
+          raise (Deadline_exceeded ("station:" ^ st.s_name))
       end
       else st.s_busy <- st.s_busy + 1;
       (* Service time is real work: [advance] in a task charges busy. *)

@@ -26,6 +26,14 @@ exception Deadlock of string
     Task code must never catch it. *)
 exception Aborted
 
+(** Raised when an operation overruns the ambient {!with_deadline}: by
+    {!check_deadline} at an op boundary, or from inside a {!Station}
+    queue wait whose cancellation timer fired.  The payload names the
+    operation or resource (["station:door:fs"], ["net:read"]...).
+    [Fserr.Timed_out] is an alias, so layer code can match it without
+    depending on this library. *)
+exception Deadline_exceeded of string
+
 (** [true] while a [run] is executing (even from the scheduler's own
     main loop, where no task is current). *)
 val active : unit -> bool
@@ -82,6 +90,25 @@ val suspend : on:string -> ((unit -> unit) -> unit) -> unit
     task's open trace span. *)
 val note_queue : int -> unit
 
+(** [with_deadline ~ns f] runs [f] with the ambient deadline set to
+    [now + ns] virtual nanoseconds — or the enclosing deadline if that is
+    sooner (deadlines only tighten when nested).  The deadline is
+    task-local: it travels with the task across suspensions and does not
+    leak to other tasks.  Enforcement is cooperative: {!check_deadline}
+    at op boundaries (the door checks on every call), plus a cancellation
+    timer on {!Station} queue waits so a caller parked behind a dead or
+    saturated domain is released with {!Deadline_exceeded} instead of
+    waiting forever.  Works outside a run too (pure clock comparison; no
+    queue waits exist there to cancel). *)
+val with_deadline : ns:int -> (unit -> 'a) -> 'a
+
+(** The ambient absolute deadline, if any. *)
+val deadline : unit -> int option
+
+(** Raise {!Deadline_exceeded} labelled [on] if the ambient deadline has
+    passed.  One ref read when no deadline is set. *)
+val check_deadline : on:string -> unit
+
 (** [register_tls save] declares a global mutable as {e task-local}:
     [save ()] captures its current value and returns a closure that
     restores it.  The scheduler snapshots every registered slot when a
@@ -108,7 +135,10 @@ end
 
 (** An s-server FIFO queueing station: [serve st ns] waits for a free
     server slot (queue time is recorded), then holds it for [ns] of
-    service time.  Outside a run it degrades to [Simclock.advance ns]. *)
+    service time.  Outside a run it degrades to [Simclock.advance ns].
+    If the caller's ambient {!with_deadline} expires while it is still
+    queued, the wait is cancelled and {!Deadline_exceeded} raised — the
+    slot is handed to the next live waiter, never stranded. *)
 module Station : sig
   type t
 

@@ -24,6 +24,10 @@ type snapshot = {
   name_cache_misses : int;
   name_cache_negative_hits : int;
   queue_ns : int;
+  avail_shed : int;
+  avail_retried : int;
+  avail_failed : int;
+  avail_degraded : int;
 }
 
 let zero =
@@ -53,6 +57,10 @@ let zero =
     name_cache_misses = 0;
     name_cache_negative_hits = 0;
     queue_ns = 0;
+    avail_shed = 0;
+    avail_retried = 0;
+    avail_failed = 0;
+    avail_degraded = 0;
   }
 
 let state = ref zero
@@ -125,6 +133,17 @@ let incr_name_cache_negative_hits () =
 let queue_ns () = !state.queue_ns
 let add_queue_ns n = state := { !state with queue_ns = !state.queue_ns + n }
 
+let avail_shed () = !state.avail_shed
+let avail_retried () = !state.avail_retried
+let avail_failed () = !state.avail_failed
+let avail_degraded () = !state.avail_degraded
+let incr_avail_shed () = state := { !state with avail_shed = !state.avail_shed + 1 }
+let incr_avail_retried () = state := { !state with avail_retried = !state.avail_retried + 1 }
+let incr_avail_failed () = state := { !state with avail_failed = !state.avail_failed + 1 }
+
+let incr_avail_degraded () =
+  state := { !state with avail_degraded = !state.avail_degraded + 1 }
+
 let snapshot () = !state
 
 let diff ~before ~after =
@@ -155,6 +174,10 @@ let diff ~before ~after =
     name_cache_negative_hits =
       after.name_cache_negative_hits - before.name_cache_negative_hits;
     queue_ns = after.queue_ns - before.queue_ns;
+    avail_shed = after.avail_shed - before.avail_shed;
+    avail_retried = after.avail_retried - before.avail_retried;
+    avail_failed = after.avail_failed - before.avail_failed;
+    avail_degraded = after.avail_degraded - before.avail_degraded;
   }
 
 let add a b =
@@ -185,6 +208,10 @@ let add a b =
     name_cache_negative_hits =
       a.name_cache_negative_hits + b.name_cache_negative_hits;
     queue_ns = a.queue_ns + b.queue_ns;
+    avail_shed = a.avail_shed + b.avail_shed;
+    avail_retried = a.avail_retried + b.avail_retried;
+    avail_failed = a.avail_failed + b.avail_failed;
+    avail_degraded = a.avail_degraded + b.avail_degraded;
   }
 
 let reset () = state := zero
@@ -201,10 +228,12 @@ let pp ppf s =
      bulk_handoffs=%d bulk_copies=%d bulk_setups=%d@ \
      readahead_hits=%d readahead_wasted=%d@ \
      name_cache_hits=%d name_cache_misses=%d name_cache_negative_hits=%d@ \
-     queue_ns=%d@]"
+     queue_ns=%d@ \
+     avail_shed=%d avail_retried=%d avail_failed=%d avail_degraded=%d@]"
     s.cross_domain_calls s.local_calls s.kernel_calls s.page_faults s.page_ins
     s.page_outs s.disk_reads s.disk_writes s.net_messages s.net_bytes
     s.coherency_actions s.attr_fetches s.faults_injected s.net_retries
     s.checksum_failures s.integrity_repairs s.bulk_handoffs s.bulk_copies
     s.bulk_setups s.readahead_hits s.readahead_wasted s.name_cache_hits
-    s.name_cache_misses s.name_cache_negative_hits s.queue_ns
+    s.name_cache_misses s.name_cache_negative_hits s.queue_ns s.avail_shed
+    s.avail_retried s.avail_failed s.avail_degraded

@@ -36,6 +36,13 @@ type snapshot = {
   queue_ns : int;
       (** virtual time tasks spent waiting for a contended resource (door
           station, disk queue, Mrsw lock) before being served *)
+  avail_shed : int;
+      (** ops fast-failed by an open [Sp_avail] circuit breaker instead of
+          queueing behind a dead domain *)
+  avail_retried : int;  (** ops that succeeded only after availability retry *)
+  avail_failed : int;
+      (** ops that exhausted retry/deadline and surfaced an error *)
+  avail_degraded : int;  (** ops served by a degraded (read-only) fallback *)
 }
 
 val cross_domain_calls : unit -> int
@@ -83,6 +90,14 @@ val incr_name_cache_misses : unit -> unit
 val incr_name_cache_negative_hits : unit -> unit
 val queue_ns : unit -> int
 val add_queue_ns : int -> unit
+val avail_shed : unit -> int
+val avail_retried : unit -> int
+val avail_failed : unit -> int
+val avail_degraded : unit -> int
+val incr_avail_shed : unit -> unit
+val incr_avail_retried : unit -> unit
+val incr_avail_failed : unit -> unit
+val incr_avail_degraded : unit -> unit
 
 (** Capture the current counter values. *)
 val snapshot : unit -> snapshot

@@ -24,6 +24,12 @@ type t = {
   s_entries : entry array;
   mutable s_restarts : int;
   mutable s_proxy : S.t option;
+  (* A restart is in flight: under [Sp_sched] the backoff sleep and the
+     rebuild suspend, so other client tasks run mid-restart.  They must
+     not start a second rebuild of the same stack — [restart] bounces
+     them with [Dead_domain] and their retry policy backs off. *)
+  mutable s_restarting : bool;
+  mutable s_gave_up : string option;
 }
 
 (* Domain name -> owning supervisor.  [Dead_domain] carries the domain
@@ -64,8 +70,21 @@ let current t name =
 
 let restarts t = t.s_restarts
 let level_restarts t name = (Option.get (entry_named t name)).e_restarts
+let name t = t.s_name
+let restarting t = t.s_restarting
+let gave_up t = t.s_gave_up
+let find who = Hashtbl.find_opt registry who
 
 let kill t name = Sp_obj.Sdomain.kill (current t name).S.sfs_domain
+
+let scan_lowest_dead t =
+  let n = Array.length t.s_entries in
+  let lowest = ref n in
+  for i = n - 1 downto 0 do
+    if not (Sp_obj.Sdomain.alive t.s_entries.(i).e_cur.S.sfs_domain) then
+      lowest := i
+  done;
+  !lowest
 
 (* Restart from the lowest dead level up (rest-for-one): layers above a
    restarted layer hold closures over the dead incarnation, and stacks
@@ -73,51 +92,67 @@ let kill t name = Sp_obj.Sdomain.kill (current t name).S.sfs_domain
    top is killed and rebuilt bottom-up on the still-live lower layer. *)
 let restart t =
   let n = Array.length t.s_entries in
-  let lowest_dead = ref n in
-  for i = n - 1 downto 0 do
-    if not (Sp_obj.Sdomain.alive t.s_entries.(i).e_cur.S.sfs_domain) then
-      lowest_dead := i
-  done;
-  if !lowest_dead < n then begin
-    let i = !lowest_dead in
-    let e = t.s_entries.(i) in
-    if e.e_restarts >= t.s_budget then
-      raise
-        (Give_up
-           (Printf.sprintf "%s: restart budget (%d) exhausted for level %s"
-              t.s_name t.s_budget e.e_level.lv_name));
-    (* Deterministic exponential backoff, simulated time only. *)
-    Sp_sim.Simclock.advance (t.s_backoff_ns * (1 lsl min e.e_restarts 16));
-    for j = i to n - 1 do
-      (* Fence every level from the dead one up: stale references to these
-         incarnations (cached file handles, pager channels) must fail or
-         be fenced, never reach a half-connected stack. *)
-      Sp_obj.Sdomain.kill t.s_entries.(j).e_cur.S.sfs_domain
-    done;
-    for j = i to n - 1 do
-      let ej = t.s_entries.(j) in
-      let lower = if j = 0 then t.s_base else Some t.s_entries.(j - 1).e_cur in
-      ej.e_cur <- ej.e_level.lv_build ~lower;
-      ej.e_restarts <- ej.e_restarts + 1;
-      t.s_restarts <- t.s_restarts + 1;
-      register_entry t ej;
-      if Sp_trace.enabled () then
-        Sp_trace.instant ~name:"supervise.restart"
-          ~args:
-            [
-              ("supervisor", t.s_name);
-              ("level", ej.e_level.lv_name);
-              ("incarnation", string_of_int (ej.e_restarts + 1));
-            ]
-          ()
-    done;
-    (* Incarnation fence: name caches may hold objects minted by the dead
-       incarnations; bump the coherence epoch so every pre-restart entry
-       misses instead of handing out a dead door. *)
-    Sp_naming.Name_coherence.fence ();
-    match t.s_rebind with
-    | Some (ctx, sname) -> Sp_naming.Context.rebind ctx sname (S.Fs (top t))
-    | None -> ()
+  let i0 = scan_lowest_dead t in
+  if i0 < n then begin
+    let e = t.s_entries.(i0) in
+    if t.s_restarting then
+      (* Another task is already mid-restart of this stack (asleep in the
+         backoff or rebuilding).  Don't double-rebuild: bounce the caller
+         with [Dead_domain] so its retry policy backs off until the
+         in-flight restart lands. *)
+      raise (Sp_obj.Sdomain.Dead_domain e.e_level.lv_name);
+    if e.e_restarts >= t.s_budget then begin
+      let msg =
+        Printf.sprintf "%s: restart budget (%d) exhausted for level %s"
+          t.s_name t.s_budget e.e_level.lv_name
+      in
+      t.s_gave_up <- Some msg;
+      raise (Give_up msg)
+    end;
+    t.s_restarting <- true;
+    Fun.protect
+      ~finally:(fun () -> t.s_restarting <- false)
+      (fun () ->
+        (* Deterministic exponential backoff.  Idle, not busy: under a
+           scheduler [sleep] lets other client tasks run through the
+           restart window (they hit the [s_restarting] fence above);
+           outside a run it just advances the clock as before. *)
+        Sp_sched.sleep (t.s_backoff_ns * (1 lsl min e.e_restarts 16));
+        (* More levels may have died while we slept. *)
+        let i = min i0 (scan_lowest_dead t) in
+        for j = i to n - 1 do
+          (* Fence every level from the dead one up: stale references to
+             these incarnations (cached file handles, pager channels) must
+             fail or be fenced, never reach a half-connected stack. *)
+          Sp_obj.Sdomain.kill t.s_entries.(j).e_cur.S.sfs_domain
+        done;
+        for j = i to n - 1 do
+          let ej = t.s_entries.(j) in
+          let lower =
+            if j = 0 then t.s_base else Some t.s_entries.(j - 1).e_cur
+          in
+          ej.e_cur <- ej.e_level.lv_build ~lower;
+          ej.e_restarts <- ej.e_restarts + 1;
+          t.s_restarts <- t.s_restarts + 1;
+          register_entry t ej;
+          if Sp_trace.enabled () then
+            Sp_trace.instant ~name:"supervise.restart"
+              ~args:
+                [
+                  ("supervisor", t.s_name);
+                  ("level", ej.e_level.lv_name);
+                  ("incarnation", string_of_int (ej.e_restarts + 1));
+                ]
+              ()
+        done;
+        (* Incarnation fence: name caches may hold objects minted by the
+           dead incarnations; bump the coherence epoch so every
+           pre-restart entry misses instead of handing out a dead door. *)
+        Sp_naming.Name_coherence.fence ();
+        match t.s_rebind with
+        | Some (ctx, sname) ->
+            Sp_naming.Context.rebind ctx sname (S.Fs (top t))
+        | None -> ())
   end
 
 let call f =
@@ -244,6 +279,8 @@ let supervise ?(budget = 8) ?(backoff_ns = 1_000_000) ?rebind ?base ~name
       s_entries = Array.of_list entries;
       s_restarts = 0;
       s_proxy = None;
+      s_restarting = false;
+      s_gave_up = None;
     }
   in
   Array.iter (register_entry t) t.s_entries;

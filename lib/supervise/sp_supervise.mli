@@ -36,7 +36,8 @@ type t
 (** [supervise ~name levels] builds the stack bottom-up and registers
     every level.  [budget] bounds restarts {e per level} (default 8;
     {!Give_up} beyond it).  [backoff_ns] is the base of the per-level
-    exponential backoff charged to the simulated clock before a restart
+    exponential backoff slept (idle — [Sp_sched.sleep], so under a
+    scheduler other clients run through the window) before a restart
     (default 1ms; the [n]-th restart of a level waits [backoff_ns * 2^n]).
     [rebind] names a (context, name) binding updated to the current top
     incarnation after every restart.  [base] is an unsupervised file
@@ -69,7 +70,11 @@ val current : t -> string -> Sp_core.Stackable.t
     domain, restarts the dead level (and everything above it) and
     retries [f].  Unsupervised dead domains re-raise.  If the domain's
     current incarnation is alive — [f] tripped over a stale pre-restart
-    reference — it retries once without restarting, then re-raises. *)
+    reference — it retries once without restarting, then re-raises.
+
+    Under [Sp_sched], a restart already in flight on another task is not
+    duplicated: the caller gets [Dead_domain] back immediately and should
+    back off and retry ([Sp_avail.call] does). *)
 val call : (unit -> 'a) -> 'a
 
 (** Kill the named level's current serving domain (fail-stop: the next
@@ -85,3 +90,17 @@ val level_restarts : t -> string -> int
 
 (** Deregister every level (test hygiene: the registry is global). *)
 val unsupervise : t -> unit
+
+(** The supervisor owning the named domain/level, if any ([Dead_domain]
+    payloads route here). *)
+val find : string -> t option
+
+(** The supervisor's name. *)
+val name : t -> string
+
+(** A restart of this stack is currently in flight (its owner is asleep
+    in the backoff or rebuilding). *)
+val restarting : t -> bool
+
+(** The [Give_up] message, once the restart budget has been exhausted. *)
+val gave_up : t -> string option

@@ -30,6 +30,7 @@ let () =
       ("fsck", Test_fsck.suite);
       ("integrity", Test_integrity.suite);
       ("supervise", Test_supervise.suite);
+      ("avail", Test_avail.suite);
       ("bulk", Test_bulk.suite);
       ("table_shapes", Test_table_shapes.suite);
       ("dir", Test_dir.suite);
