@@ -67,6 +67,9 @@ let simulated_tables () =
   Format.fprintf ppf "@.";
   reset_world ();
   Sp_benchlib.Namespace.print ppf (Sp_benchlib.Namespace.run ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Dfs_bench.print ppf (Sp_benchlib.Dfs_bench.run ());
   Format.fprintf ppf "@."
 
 (* Optional per-layer breakdown (--profile): attribute the simulated time
@@ -351,6 +354,17 @@ let collect_rows () =
   add "namespace"
     (Printf.sprintf "readdir stream, %d entries" r.nr_entries)
     r.nr_ns;
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Dfs_bench.row) ->
+      let label fmt = Printf.sprintf "%d nodes, %s" r.d_nodes fmt in
+      add "dfs" (label "elapsed") r.d_elapsed_ns;
+      add "dfs" (label "control elapsed") r.d_ctl_elapsed_ns;
+      add "dfs" (label "warm hits") r.d_warm_hits;
+      add "dfs"
+        (label "control messages per 32 opens")
+        (int_of_float (r.d_ctl_open_msgs *. 32.)))
+    (Sp_benchlib.Dfs_bench.run ());
   List.rev !rows
 
 let write_json file =

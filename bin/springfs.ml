@@ -394,6 +394,87 @@ let run_failover ops seed stride clients deadline_ms no_supervisor
     end
   end
 
+(* --- springfs dfs-sweep --- *)
+
+let run_dfs_sweep nodes clients ops seed stride partition no_leases deadline_ms
+    expect_unavailable =
+  if nodes < 1 then (
+    Format.eprintf "springfs: --nodes must be at least 1 (got %d)@." nodes;
+    exit 2);
+  if clients < 1 then (
+    Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
+    exit 2);
+  if partition && clients < 2 then (
+    Format.eprintf "springfs: --partition needs at least 2 clients@.";
+    exit 2);
+  if stride < 1 then (
+    Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
+    exit 2);
+  if ops < 1 then (
+    Format.eprintf "springfs: --ops must be at least 1 (got %d)@." ops;
+    exit 2);
+  (match deadline_ms with
+  | Some d when d < 1 ->
+      Format.eprintf "springfs: --deadline-ms must be at least 1 (got %d)@." d;
+      exit 2
+  | _ -> ());
+  (* Load-scaled SLO like `failover`, but much looser: a cluster op is
+     an RPC into a shard whose device serves clients/nodes closed-loop
+     queues through two journaled twins behind a mirror, and a store
+     restart replays both journals before the first retried op lands —
+     the op tail under a kill runs to seconds, not the failover sweep's
+     hundreds of milliseconds. *)
+  let deadline_ms =
+    match deadline_ms with Some d -> d | None -> max 3000 (1000 * clients)
+  in
+  let lease_ns = if no_leases then 0 else Sp_cluster.Cluster.default_lease_ns in
+  let report =
+    Sp_cluster.Shard_crash_sweep.sweep ~stride ~partition ~lease_ns
+      ~op_deadline_ns:(deadline_ms * 1_000_000) ~nodes ~clients ~ops ~seed ()
+  in
+  Format.printf "%a@." Sp_cluster.Shard_crash_sweep.pp_report report;
+  print_endline (Sp_cluster.Shard_crash_sweep.summary report);
+  let open Sp_cluster.Shard_crash_sweep in
+  if expect_unavailable then
+    if
+      report.dr_unavailable = report.dr_points
+      && report.dr_points > 0
+      && report.dr_lost = 0 && report.dr_corrupt = 0
+    then begin
+      Format.printf
+        "every point left the partitioned client without warm service, as \
+         expected without leases@.";
+      0
+    end
+    else begin
+      (match report.dr_first_bad with
+      | Some (mode, at, msg) ->
+          Format.eprintf "springfs: first failure: %s, boundary %d: %s@." mode
+            at msg
+      | None -> ());
+      Format.eprintf
+        "springfs: expected every point unavailable, got served=%d \
+         unavailable=%d lost=%d corrupt=%d@."
+        report.dr_served report.dr_unavailable report.dr_lost report.dr_corrupt;
+      1
+    end
+  else begin
+    let failures = report.dr_unavailable + report.dr_lost + report.dr_corrupt in
+    if failures = 0 then 0
+    else begin
+      (match report.dr_first_bad with
+      | Some (mode, at, msg) ->
+          Format.eprintf "springfs: first failure: %s, boundary %d: %s@." mode
+            at msg
+      | None -> ());
+      Format.eprintf
+        "springfs: %d sweep point(s) lost data, served stale bindings, or \
+         went unavailable@."
+        failures;
+      1
+    end
+  end
+
 (* --- springfs versions --- *)
 
 let run_versions () =
@@ -769,6 +850,72 @@ let failover_cmd =
       const run_failover $ ops $ seed $ stride $ clients $ deadline_ms
       $ no_supervisor $ expect_unavailable)
 
+let dfs_sweep_cmd =
+  let nodes =
+    Arg.(
+      value & opt int 3
+      & info [ "nodes" ] ~docv:"N" ~doc:"Shard server nodes in the cluster.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Concurrent scheduler clients, one lease cache each.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 48
+      & info [ "ops" ] ~docv:"N" ~doc:"Total workload op budget per point.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload seed.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 7
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Fault at every K-th global op boundary (1 = all of them).")
+  in
+  let partition =
+    Arg.(
+      value & flag
+      & info [ "partition" ]
+          ~doc:"Instead of killing shard domains, cut the network between a \
+                rotating victim client and the hot shard: warm lease-held \
+                service must continue until the lease expires, then fail \
+                loudly, never stalely.")
+  in
+  let no_leases =
+    Arg.(
+      value & flag
+      & info [ "no-leases" ]
+          ~doc:"Run leaseless (no client caching): the control arm.  With \
+                --partition, every point is expected unavailable.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-operation deadline (virtual milliseconds).  Defaults to \
+                max(1000, 100 x clients).")
+  in
+  let expect_unavailable =
+    Arg.(
+      value & flag
+      & info [ "expect-unavailable" ]
+          ~doc:"Invert the verdict: exit 0 only if every point ended \
+                unavailable (the leaseless partition control).")
+  in
+  let doc =
+    "sweep shard-node kills (or client partitions) over every strided op \
+     boundary of a concurrent workload against the sharded DFS and verify \
+     durability, lease safety and bounded recovery on every shard"
+  in
+  Cmd.v (Cmd.info "dfs-sweep" ~doc)
+    Term.(
+      const run_dfs_sweep $ nodes $ clients $ ops $ seed $ stride $ partition
+      $ no_leases $ deadline_ms $ expect_unavailable)
+
 let scale_cmd =
   let clients =
     Arg.(
@@ -861,7 +1008,7 @@ let main =
   Cmd.group (Cmd.info "springfs" ~version:"1.0.0" ~doc)
     [
       stack_cmd; tables_cmd; demo_cmd; ls_cmd; fsck_cmd; crash_cmd; scrub_cmd;
-      failover_cmd; scale_cmd;
+      failover_cmd; dfs_sweep_cmd; scale_cmd;
       versions_cmd; profile_cmd;
     ]
 

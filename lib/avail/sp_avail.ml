@@ -56,7 +56,11 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Breaker = struct
-  type state = Closed | Open of { b_until : int; b_reason : string }
+  type state =
+    | Closed
+    | Open of { b_until : int; b_reason : string }
+    | Half_open of { h_reason : string }  (* one probe in flight *)
+
   type t = { br_name : string; mutable br_state : state; mutable br_trips : int }
 
   let table : (string, t) Hashtbl.t = Hashtbl.create 8
@@ -84,16 +88,48 @@ module Breaker = struct
         ~args:[ ("breaker", name); ("reason", reason) ]
         ()
 
-  (* [Some reason] while the cooldown holds; once it elapses the breaker
-     is half-open — callers get [None] and the next outcome decides
-     (success [note_ok] closes it, failure re-trips). *)
+  (* [Some reason] while the cooldown holds.  The first caller to find
+     the cooldown elapsed flips the breaker to [Half_open] and gets
+     [None]: it *is* the probe.  Everyone else sees [Half_open] and is
+     held off until the probe's outcome decides — [note_ok] closes,
+     [trip] re-opens, [abort_probe] (probe died without an outcome)
+     re-arms an already-elapsed [Open] so the next caller probes.
+     The flip and the return are one atomic step (no suspension), so
+     under [Sp_sched] exactly one concurrent task is admitted. *)
   let blocking name =
-    match (get name).br_state with
+    let b = get name in
+    match b.br_state with
     | Closed -> None
+    | Half_open { h_reason } -> Some ("probe in flight: " ^ h_reason)
     | Open { b_until; b_reason } ->
         if b_until = max_int || Sp_sim.Simclock.now () < b_until then
           Some b_reason
-        else None
+        else begin
+          b.br_state <- Half_open { h_reason = b_reason };
+          if Sp_trace.enabled () then
+            Sp_trace.instant ~name:"avail.half_open"
+              ~args:[ ("breaker", name) ]
+              ();
+          None
+        end
+
+  (* Is the current caller the admitted half-open probe?  Only
+     meaningful immediately after {!blocking} returned [None], before
+     any suspension point. *)
+  let probing name =
+    match (get name).br_state with Half_open _ -> true | _ -> false
+
+  (* The probe died without reaching [note_ok] or [trip] (deadline,
+     unexpected exception).  Revert to an already-elapsed [Open] so the
+     next caller becomes the probe — otherwise a dead probe would shed
+     every future caller forever. *)
+  let abort_probe name =
+    let b = get name in
+    match b.br_state with
+    | Half_open { h_reason } ->
+        b.br_state <-
+          Open { b_until = Sp_sim.Simclock.now (); b_reason = h_reason }
+    | Closed | Open _ -> ()
 
   let note_ok name =
     let b = get name in
@@ -147,6 +183,13 @@ let call ?deadline_ns ?(policy = Backoff.default) ?rng ?degraded ~name f =
         | Some g -> serve_degraded g
         | None -> raise (Unavailable (name ^ ": " ^ reason)))
     | None ->
+        (* If blocking just flipped an elapsed-cooldown breaker to
+           half-open, this caller is the single admitted probe and must
+           leave the breaker decided: success closes it (note_ok),
+           terminal failure re-trips it, and anything that escapes
+           undecided (deadline, unexpected exception) aborts the probe
+           so the stack isn't shed forever behind a dead probe. *)
+        let am_probe = Breaker.probing name in
         let rec go attempt =
           match Sp_supervise.call f with
           | v ->
@@ -181,7 +224,12 @@ let call ?deadline_ns ?(policy = Backoff.default) ?rng ?degraded ~name f =
                 conclude (Unavailable (name ^ ": retries exhausted on " ^ who))
               end
         in
-        go 1
+        if not am_probe then go 1
+        else (
+          try go 1
+          with e ->
+            Breaker.abort_probe name;
+            raise e)
   in
   match deadline_ns with
   | None -> body ()

@@ -63,16 +63,32 @@ end
 (** Per-name circuit breaker.  {!call} trips it on terminal failures
     (permanently on [Sp_supervise.Give_up], for a cooldown on retry
     exhaustion); while open, callers shed instead of queueing behind the
-    corpse.  An elapsed cooldown half-opens: the next caller probes, and
-    its outcome closes or re-trips the breaker. *)
+    corpse.  An elapsed cooldown half-opens: exactly {e one} caller is
+    admitted as the probe (the first to call {!blocking} after the
+    cooldown — atomic, no suspension point, so concurrent [Sp_sched]
+    tasks cannot both be admitted); every other caller sheds until the
+    probe's outcome closes ({!note_ok}) or re-trips ({!trip}) the
+    breaker, or the probe dies undecided ({!abort_probe}). *)
 module Breaker : sig
   (** [trip ~reason name] opens the breaker for [cooldown_ns] of virtual
       time (default 10ms; [max_int] = permanently). *)
   val trip : ?cooldown_ns:int -> reason:string -> string -> unit
 
-  (** [Some reason] while the breaker holds callers off; [None] when
-      closed or half-open (cooldown elapsed — probe allowed). *)
+  (** [Some reason] while the breaker holds callers off (cooldown still
+      running, or a half-open probe already in flight); [None] when
+      closed — or when this call just flipped an elapsed cooldown to
+      half-open, making the caller the single admitted probe. *)
   val blocking : string -> string option
+
+  (** [true] while a half-open probe is in flight.  Immediately after
+      {!blocking} returned [None] (before any suspension point) this
+      tells the caller whether it is that probe. *)
+  val probing : string -> bool
+
+  (** The half-open probe died without an outcome (deadline, unexpected
+      exception): revert to an already-elapsed open so the next caller
+      probes.  No-op unless half-open. *)
+  val abort_probe : string -> unit
 
   (** Record a successful probe: closes the breaker if open. *)
   val note_ok : string -> unit

@@ -1,0 +1,139 @@
+(* Clustered DFS benchmark: the sharded, lease-cached cluster under a
+   closed-loop client load (paper_1993 model).
+
+   Two questions per row:
+
+   - Sharding: does aggregate throughput grow with node count?  Every
+     client owns one top-level component, components hash across the N
+     shards, so server-side work spreads over the nodes while the total
+     op budget stays fixed — elapsed time should fall as N grows.
+
+   - Leases: what does the lease cache buy?  Each row runs an identical
+     leaseless control ([lease_ns = 0]) and reports both arms' elapsed
+     time plus the directly-measured messages-per-reopen: a lease-held
+     reopen is zero-message; the control pays RPCs for every open. *)
+
+module F = Sp_core.File
+module CL = Sp_cluster.Cluster
+module N = Sp_naming.Sname
+
+type row = {
+  d_nodes : int;
+  d_clients : int;
+  d_ops : int;  (* client ops completed, both arms alike *)
+  d_elapsed_ns : int;  (* leased arm makespan *)
+  d_throughput : float;  (* leased ops per simulated second *)
+  d_warm_hits : int;  (* opens served with zero messages *)
+  d_ctl_elapsed_ns : int;  (* leaseless control makespan *)
+  d_open_msgs : float;  (* messages per warm reopen (leased) *)
+  d_ctl_open_msgs : float;  (* messages per reopen, leaseless *)
+}
+
+let clients = 8
+let ops_per_client = 48
+let arrival_gap_ns = 2_000
+let instances = ref 0
+
+(* One arm: C closed-loop clients, each on its own top-level component
+   (so placement spreads by hash), mostly warm reopens and reads with a
+   write/sync share.  Returns (elapsed, opens, warm hits). *)
+let arm ?lease_ns ~nodes ~seed () =
+  incr instances;
+  let tag = Printf.sprintf "dfsb%d" !instances in
+  let net = Sp_dfs.Net.create ~seed () in
+  let t = CL.make ~name:tag ?lease_ns ~net ~nodes () in
+  Fun.protect ~finally:(fun () -> CL.shutdown t) @@ fun () ->
+  let warm = ref 0 in
+  let data = Bytes.make 4096 'd' and patch = Bytes.make 1024 'w' in
+  let client k () =
+    Sp_sched.sleep (k * arrival_gap_ns);
+    let c = CL.connect t ~node:(Printf.sprintf "%s-c%d" tag k) in
+    let dir = Printf.sprintf "c%d" k in
+    CL.mkdir c (N.of_string dir);
+    let path = N.of_string (dir ^ "/f") in
+    let f = CL.create c path in
+    ignore (F.write f ~pos:0 data);
+    CL.sync_path c path;
+    for i = 1 to ops_per_client do
+      let g = CL.open_file c path in
+      if i mod 4 = 0 then begin
+        ignore (F.write g ~pos:0 patch);
+        if i mod 8 = 0 then CL.sync_path c path
+      end
+      else ignore (F.read g ~pos:0 ~len:1024)
+    done;
+    warm := !warm + (CL.client_stats c).CL.cs_warm_hits
+  in
+  let t0 = Sp_sim.Simclock.now () in
+  ignore (Sp_sched.run ~seed (List.init clients client));
+  let elapsed = max 1 (Sp_sim.Simclock.now () - t0) in
+  (elapsed, !warm)
+
+(* Messages per reopen, measured directly: one client, one warmed file,
+   32 back-to-back opens.  Leased this is 0; leaseless it is the
+   per-open RPC bill. *)
+let open_msgs ?lease_ns ~nodes ~seed () =
+  incr instances;
+  let tag = Printf.sprintf "dfsb%d" !instances in
+  let net = Sp_dfs.Net.create ~seed () in
+  let t = CL.make ~name:tag ?lease_ns ~net ~nodes () in
+  Fun.protect ~finally:(fun () -> CL.shutdown t) @@ fun () ->
+  let c = CL.connect t ~node:(tag ^ "-m") in
+  CL.mkdir c (N.of_string "m");
+  let path = N.of_string "m/f" in
+  let f = CL.create c path in
+  ignore (F.write f ~pos:0 (Bytes.make 512 'm'));
+  CL.sync_path c path;
+  ignore (CL.open_file c path);
+  let m0 = (Sp_dfs.Net.stats net).Sp_dfs.Net.messages in
+  for _ = 1 to 32 do
+    ignore (CL.open_file c path)
+  done;
+  float_of_int ((Sp_dfs.Net.stats net).Sp_dfs.Net.messages - m0) /. 32.
+
+let run_row ~nodes ~seed =
+  Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
+  let elapsed, warm = arm ~nodes ~seed () in
+  let ctl_elapsed, _ = arm ~lease_ns:0 ~nodes ~seed () in
+  let total = clients * ops_per_client in
+  {
+    d_nodes = nodes;
+    d_clients = clients;
+    d_ops = total;
+    d_elapsed_ns = elapsed;
+    d_throughput = float_of_int total /. (float_of_int elapsed /. 1e9);
+    d_warm_hits = warm;
+    d_ctl_elapsed_ns = ctl_elapsed;
+    d_open_msgs = open_msgs ~nodes ~seed ();
+    d_ctl_open_msgs = open_msgs ~lease_ns:0 ~nodes ~seed ();
+  }
+
+let run ?(nodes = [ 1; 2; 4; 8 ]) ?(seed = 7) () =
+  List.map (fun n -> run_row ~nodes:n ~seed) nodes
+
+let print ppf rows =
+  Format.fprintf ppf
+    "DFS scaling: sharded cluster, lease cache vs leaseless control \
+     (paper_1993)@.";
+  Format.fprintf ppf
+    "  (%d closed-loop clients, one top-level component each, fixed op \
+     budget)@."
+    clients;
+  Format.fprintf ppf "  %6s %7s %12s %12s %10s %11s %11s@." "nodes" "ops"
+    "elapsed" "ops/sec" "warm" "msgs/open" "ctl msgs";
+  List.iter
+    (fun r ->
+      let ms ns = Printf.sprintf "%.1fms" (float_of_int ns /. 1e6) in
+      Format.fprintf ppf "  %6d %7d %12s %12.0f %10d %11.1f %11.1f@." r.d_nodes
+        r.d_ops (ms r.d_elapsed_ns) r.d_throughput r.d_warm_hits r.d_open_msgs
+        r.d_ctl_open_msgs)
+    rows;
+  (match rows with
+  | r :: _ ->
+      Format.fprintf ppf
+        "  (leaseless control at %d node%s: elapsed %s vs %s leased)@."
+        r.d_nodes
+        (if r.d_nodes = 1 then "" else "s")
+        (Printf.sprintf "%.1fms" (float_of_int r.d_ctl_elapsed_ns /. 1e6))
+        (Printf.sprintf "%.1fms" (float_of_int r.d_elapsed_ns /. 1e6))
+  | [] -> ())

@@ -1,0 +1,81 @@
+(** Shard crash/partition sweep for {!Sp_cluster} — the clustered
+    sibling of [Sp_failover.Layer_crash_sweep].
+
+    A fresh N-shard cluster is built per point; C concurrent [Sp_sched]
+    client tasks run a seeded workload (slot writes to a private file,
+    periodic syncs, hot-directory churn driving invalidation pushes),
+    every op under [Sp_avail.call] with a deadline.
+
+    {e Kill mode} (default) fail-stops one shard's serving domain at
+    every (strided) global op boundary — alternating the DFS front and
+    the storage level, whose rebuild remounts the journaled twins.  A
+    point is [Served] only if the event-ordered per-slot durability
+    floor holds, no warm serve ever crossed a lease bound, every op
+    completed or failed within its deadline, fsck of every shard's twin
+    disks is clean, and the supervisor actually restarted.
+
+    {e Partition mode} cuts the network between a rotating victim
+    client and the hot shard instead.  [Served] requires: warm
+    (zero-message) service while partitioned and lease-held, the lease
+    expiry valve firing afterwards (no serve past the bound, ever), the
+    lost invalidation pushes shed through the breaker, and the mutated
+    content observed after healing.  With [lease_ns = 0] every point
+    must end [Unavailable] — the leaseless control. *)
+
+type outcome =
+  | Served
+  | Unavailable of string  (** no warm service / a loud failure escaped *)
+  | Lost of string  (** a pinned slot value, or lease safety, was violated *)
+  | Corrupt of string  (** fsck damage, or the harness contract broke *)
+
+type report = {
+  dr_nodes : int;
+  dr_clients : int;
+  dr_ops : int;  (** per-client ops actually run *)
+  dr_seed : int;
+  dr_lease_ns : int;
+  dr_partition : bool;
+  dr_points : int;
+  dr_served : int;
+  dr_unavailable : int;
+  dr_lost : int;
+  dr_corrupt : int;
+  dr_restarts : int;
+  dr_warm_hits : int;  (** opens served from lease caches, zero messages *)
+  dr_cold_opens : int;
+  dr_inval_sent : int;
+  dr_inval_shed : int;
+  dr_inval_lapsed : int;
+      (** pushes skipped because the holder's lease had already lapsed *)
+  dr_stale_blocked : int;  (** cache entries refused: lease lapsed *)
+  dr_stale_serves : int;  (** warm serves past the lease bound — must be 0 *)
+  dr_wrong_shard : int;  (** shard-map re-fetches *)
+  dr_op_served : int;
+  dr_op_retried : int;
+  dr_op_shed : int;
+  dr_op_failed : int;
+  dr_deadline_misses : int;
+  dr_max_recover_ns : int;  (** worst kill -> first-served-again gap *)
+  dr_first_bad : (string * int * string) option;  (** mode, point, message *)
+}
+
+(** Sweep every (strided) global op boundary.  [ops] is the total op
+    budget; each client runs [max 8 (ops / clients)] ops.
+    [op_deadline_ns] (default 1s virtual) bounds every client op
+    through [Sp_avail.call]. *)
+val sweep :
+  ?stride:int ->
+  ?partition:bool ->
+  ?lease_ns:int ->
+  ?op_deadline_ns:int ->
+  nodes:int ->
+  clients:int ->
+  ops:int ->
+  seed:int ->
+  unit ->
+  report
+
+(** One-line machine-readable verdict (CI greps this). *)
+val summary : report -> string
+
+val pp_report : Format.formatter -> report -> unit

@@ -85,18 +85,55 @@ let listdir fs path =
 let rec base fs =
   match fs.sfs_unders () with [ under ] -> base under | _ -> fs
 
+(* Per-(base fs, directory) write locks serializing rename's
+   lookup/link/unlink cycle.  Without them two tasks renaming the same
+   name race through the unlocked window between [open_file] and
+   [remove] (door crossings suspend under [Sp_sched]) and both "win":
+   last-wins leaves the file bound under two names or removes it twice.
+   Keyed by instance name so fresh test instances never share a lock. *)
+let rename_locks : (string, Sp_sched.Rwlock.t) Hashtbl.t = Hashtbl.create 16
+
+let dir_key b path =
+  let dir =
+    match List.rev (Sp_naming.Sname.components path) with
+    | _ :: rev_dir -> String.concat "/" (List.rev rev_dir)
+    | [] -> ""
+  in
+  b.sfs_name ^ ":" ^ dir
+
+let dir_lock key =
+  match Hashtbl.find_opt rename_locks key with
+  | Some l -> l
+  | None ->
+      let l = Sp_sched.Rwlock.create ("rename:" ^ key) in
+      Hashtbl.replace rename_locks key l;
+      l
+
 let rename fs ~src ~dst =
   (* Bindings of a linear stack live in its base layer; perform the
      relink there.  Upper layers re-wrap the same underlying file under
      the new name automatically. *)
   let b = base fs in
-  let file = open_file b src in
-  (match Sp_naming.Context.bind b.sfs_ctx dst (File.File file) with
-  | () -> ()
-  | exception Sp_naming.Context.Already_bound _ ->
-      raise (Fserr.Already_exists (Sp_naming.Sname.to_string dst)));
-  Sp_obj.Door.call ~op:"fs.remove" b.sfs_domain (fun () -> b.sfs_remove src);
-  note_change src
+  (* Sorted-key acquisition so two cross-directory renames in opposite
+     directions cannot ABBA-deadlock; equal keys collapse to one lock
+     (the write lock is not reentrant). *)
+  let locks =
+    List.map dir_lock
+      (List.sort_uniq String.compare [ dir_key b src; dir_key b dst ])
+  in
+  let rec locked = function
+    | [] ->
+        let file = open_file b src in
+        (match Sp_naming.Context.bind b.sfs_ctx dst (File.File file) with
+        | () -> ()
+        | exception Sp_naming.Context.Already_bound _ ->
+            raise (Fserr.Already_exists (Sp_naming.Sname.to_string dst)));
+        Sp_obj.Door.call ~op:"fs.remove" b.sfs_domain (fun () ->
+            b.sfs_remove src);
+        note_change src
+    | l :: rest -> Sp_sched.Rwlock.with_write l (fun () -> locked rest)
+  in
+  locked locks
 
 let sole_under fs =
   match fs.sfs_unders () with

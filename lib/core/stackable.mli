@@ -87,9 +87,13 @@ val listdir : t -> Sp_naming.Sname.t -> string list
     name and unbinding the old one at the stack's base layer — in Spring a
     rename is a name-space operation, not a file operation; upper layers
     re-wrap the file under its new name on the next resolution.  Raises
-    {!Fserr.Already_exists} if [dst] is bound.  Sidecar state keyed by
-    name (extended attributes, version history) stays under the old
-    name. *)
+    {!Fserr.Already_exists} if [dst] is bound.  The whole
+    lookup/link/unlink cycle holds per-directory write locks (source and
+    destination directories, acquired in sorted order), so two
+    [Sp_sched] tasks racing to rename the same name serialize: one wins,
+    the other observes the post-rename namespace ([Fserr.No_such_file]).
+    Sidecar state keyed by name (extended attributes, version history)
+    stays under the old name. *)
 val rename : t -> src:Sp_naming.Sname.t -> dst:Sp_naming.Sname.t -> unit
 
 (** The single underlying file system of a layer, raising {!Stack_error}

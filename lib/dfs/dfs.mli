@@ -45,3 +45,17 @@ val import :
 (** The embedded coherency layer of a server (tests: channel counts,
     invariants). *)
 val coherency_of : Sp_core.Stackable.t -> Sp_core.Stackable.t
+
+(** [remote_file net ~client ~client_domain ~server f] wraps a
+    server-side file as the remote proxy {!import} would hand out:
+    read/write/stat/sync become [rpc_retry] calls from [client] to
+    [server], and the memory object forwards binds across the network.
+    Exposed for layers (e.g. [Sp_cluster]) that run their own
+    resolution protocol but reuse the DFS data path. *)
+val remote_file :
+  Net.t ->
+  client:string ->
+  client_domain:Sp_obj.Sdomain.t ->
+  server:string ->
+  Sp_core.File.t ->
+  Sp_core.File.t

@@ -1,33 +1,57 @@
 exception Timeout of string
 
-type stats = { messages : int; bytes : int; retries : int }
+type stats = { messages : int; bytes : int; retries : int; dedup_hits : int }
 
 type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable retries : int;
+  mutable dedup_hits : int;
   rng : Sp_fault.Rng.t;  (* jitter stream for retry backoff *)
 }
 
 let create ?(seed = 0x0df5) () =
-  { messages = 0; bytes = 0; retries = 0; rng = Sp_fault.Rng.create seed }
+  {
+    messages = 0;
+    bytes = 0;
+    retries = 0;
+    dedup_hits = 0;
+    rng = Sp_fault.Rng.create seed;
+  }
 
-(* One attempt: charge the wire cost and run [f].  An injected drop
-   charges a full round-trip-time window (the client waited for a reply
-   that never came) and raises [Timeout] — before [f] runs, so a dropped
-   request has no server-side effect. *)
+(* One attempt: charge the wire cost and run [f].  Two distinct loss
+   modes, both surfacing as [Timeout] at the client:
+   - [Drop]: the request was lost in flight — [f] never runs, no
+     server-side effect.
+   - [Io_error] ([Fail_io]): the request arrived and [f] ran, but the
+     *reply* was lost — the server-side effect happened and the client
+     cannot know.  This is the lost-ack case idempotency tokens exist
+     for: a naive retry of a mutating RPC would double-apply.
+   Either way the client charges a full round-trip window (it waited for
+   a reply that never came). *)
 let attempt t ~src ~dst ~bytes f =
   let model = Sp_sim.Cost_model.current () in
   let label = src ^ "->" ^ dst in
   Sp_sched.check_deadline ~on:("net:" ^ label);
   (match Sp_fault.consult ~point:"net.rpc" ~label with
   | Sp_fault.Pass -> ()
-  | Sp_fault.Dropped msg | Sp_fault.Fail_io msg ->
+  | Sp_fault.Dropped msg ->
       t.messages <- t.messages + 1;
       t.bytes <- t.bytes + bytes;
       Sp_sim.Metrics.incr_net_messages ();
       Sp_sim.Metrics.add_net_bytes bytes;
       Sp_sim.Simclock.advance model.net_rtt_ns;
+      raise (Timeout msg)
+  | Sp_fault.Fail_io msg ->
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + bytes;
+      Sp_sim.Metrics.incr_net_messages ();
+      Sp_sim.Metrics.add_net_bytes bytes;
+      Sp_sim.Simclock.advance (model.net_rtt_ns + (bytes * model.net_per_byte_ns));
+      (* Reply loss: the server executes, then the ack evaporates.  A
+         server-side exception still propagates — we model the fault as
+         hitting only the reply of an op that completed. *)
+      ignore (f ());
       raise (Timeout msg)
   | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
   | Sp_fault.Torn _ | Sp_fault.Torn_crash _ | Sp_fault.Domain_died _
@@ -42,10 +66,32 @@ let attempt t ~src ~dst ~bytes f =
 let rpc t ~src ~dst ~bytes f =
   if String.equal src dst then f () else attempt t ~src ~dst ~bytes f
 
-let rpc_retry ?(retries = 3) t ~src ~dst ~bytes f =
+let rpc_retry ?(retries = 3) ?(idem = true) t ~src ~dst ~bytes f =
   if String.equal src dst then f ()
   else
     let model = Sp_sim.Cost_model.current () in
+    (* Idempotency token: each rpc_retry call is one logical RPC, and
+       every retry re-sends the same token.  [memo] is the server's
+       dedup-window entry for that token — filled only when [f] actually
+       ran on the server (including reply-loss attempts), consulted only
+       when a retry reaches the server.  The entry's lifetime is the
+       call's (window eviction = the closure going out of scope), so a
+       token can never collide across calls. *)
+    let memo = ref None in
+    let body () =
+      match !memo with
+      | Some v when idem ->
+          t.dedup_hits <- t.dedup_hits + 1;
+          if Sp_trace.enabled () then
+            Sp_trace.instant ~name:"net.dedup"
+              ~args:[ ("link", src ^ "->" ^ dst) ]
+              ();
+          v
+      | _ ->
+          let v = f () in
+          memo := Some v;
+          v
+    in
     (* Unified availability backoff ([Sp_avail.Backoff]): exponential in
        the RTT (1x, 2x, 4x ...), seeded downward jitter so concurrently
        retrying clients desynchronize, idle sleep so under [Sp_sched]
@@ -58,7 +104,7 @@ let rpc_retry ?(retries = 3) t ~src ~dst ~bytes f =
         ~max_attempts:(retries + 1) ()
     in
     let rec go attempt_no =
-      try attempt t ~src ~dst ~bytes f
+      try attempt t ~src ~dst ~bytes body
       with Timeout msg ->
         if attempt_no > retries then
           raise
@@ -84,9 +130,16 @@ let rpc_retry ?(retries = 3) t ~src ~dst ~bytes f =
     in
     go 1
 
-let stats t : stats = { messages = t.messages; bytes = t.bytes; retries = t.retries }
+let stats t : stats =
+  {
+    messages = t.messages;
+    bytes = t.bytes;
+    retries = t.retries;
+    dedup_hits = t.dedup_hits;
+  }
 
 let reset_stats t =
   t.messages <- 0;
   t.bytes <- 0;
-  t.retries <- 0
+  t.retries <- 0;
+  t.dedup_hits <- 0

@@ -6,16 +6,23 @@
     Intra-node calls are free (and uncounted).
 
     Every remote attempt consults the armed {!Sp_fault} plan at point
-    ["net.rpc"] with label ["src->dst"]; an injected drop costs the client
-    a full round-trip window and raises {!Timeout} before the server-side
-    body runs. *)
+    ["net.rpc"] with label ["src->dst"].  Two loss modes, both surfacing
+    as {!Timeout}: [Drop] loses the {e request} (the server-side body
+    never runs), [Io_error] loses the {e reply} (the body ran — the
+    lost-ack case that makes naive retry of a mutating RPC
+    double-apply). *)
 
-(** A send that received no reply (injected drop or transport failure). *)
+(** A send that received no reply (request or reply lost in flight). *)
 exception Timeout of string
 
 type t
 
-type stats = { messages : int; bytes : int; retries : int }
+type stats = {
+  messages : int;
+  bytes : int;
+  retries : int;
+  dedup_hits : int;  (** retries answered from the server's dedup window *)
+}
 
 (** [seed] initialises the retry-backoff jitter stream (deterministic
     per [t]; two nets created with the same seed replay the same
@@ -38,15 +45,33 @@ val rpc : t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
     an attempt or a backoff that would cross the deadline raises
     [Fserr.Timed_out] instead.
 
+    Idempotency (default [idem = true]): every retry of one [rpc_retry]
+    call carries the same per-call token; the server keeps a dedup
+    window keyed by token, so a retry after a {e lost ack} (the body ran,
+    the reply evaporated) returns the recorded result instead of
+    re-executing — counted in [stats.dedup_hits] with an [Sp_trace]
+    instant [net.dedup].  [~idem:false] restores the naive re-execute
+    behaviour (control for tests).  Only successful executions enter the
+    window; a server-side exception always propagates unrecorded.
+
     Simulated-delay cap: a call that exhausts its budget makes
-    [retries + 1] attempts, each charging at most one RTT window, plus
+    [retries + 1] attempts, each charging at most one RTT window
+    (a reply-loss attempt also charges its per-byte wire time), plus
     backoffs of at most [rtt * 2^(i-1)] after attempts [1..retries]
     (jitter only shortens them) — so the total simulated delay is
     bounded by [rtt * (retries + 1) + rtt * (2^retries - 1)] (with the
-    default [retries = 3]: 11 RTTs) plus the per-byte wire time of the
-    successful attempt, independent of the fault and jitter seeds. *)
+    default [retries = 3]: 11 RTTs) plus the per-byte wire time of
+    each attempt that reached the server, independent of the fault and
+    jitter seeds. *)
 val rpc_retry :
-  ?retries:int -> t -> src:string -> dst:string -> bytes:int -> (unit -> 'a) -> 'a
+  ?retries:int ->
+  ?idem:bool ->
+  t ->
+  src:string ->
+  dst:string ->
+  bytes:int ->
+  (unit -> 'a) ->
+  'a
 
 val stats : t -> stats
 

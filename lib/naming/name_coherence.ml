@@ -14,13 +14,32 @@
      (stale doors would raise [Dead_domain] anyway; the fence turns
      that into a clean miss).
 
-   Subscribers are registered for the life of the process; caches are
-   few and long-lived, so no unsubscription machinery. *)
+   Name caches subscribe for the life of the process ([subscribe]);
+   shorter-lived listeners — a cluster shard watching its own node's
+   namespace to push lease invalidations, torn down and rebuilt per
+   sweep point — take a handle and detach ([subscribe_handle] /
+   [unsubscribe]), otherwise every rebuilt instance would leave a dead
+   callback firing into freed state forever. *)
+
+type sub = { sub_id : int; sub_f : string -> unit }
 
 let epoch_counter = ref 0
-let subscribers : (string -> unit) list ref = ref []
+let subscribers : sub list ref = ref []
+let next_id = ref 0
 
 let epoch () = !epoch_counter
 let fence () = incr epoch_counter
-let subscribe f = subscribers := f :: !subscribers
-let note_change component = List.iter (fun f -> f component) !subscribers
+
+let subscribe_handle f =
+  incr next_id;
+  let s = { sub_id = !next_id; sub_f = f } in
+  subscribers := s :: !subscribers;
+  s.sub_id
+
+let subscribe f = ignore (subscribe_handle f)
+
+let unsubscribe id =
+  subscribers := List.filter (fun s -> s.sub_id <> id) !subscribers
+
+let note_change component =
+  List.iter (fun s -> s.sub_f component) !subscribers

@@ -18,5 +18,14 @@ val fence : unit -> unit
     of every changed binding.  Subscriptions last for the process. *)
 val subscribe : (string -> unit) -> unit
 
+(** Like {!subscribe}, returning a handle for {!unsubscribe}.  For
+    listeners shorter-lived than the process (a cluster shard pushing
+    lease invalidations, rebuilt per sweep point). *)
+val subscribe_handle : (string -> unit) -> int
+
+(** Detach a {!subscribe_handle} subscription; unknown ids are
+    ignored. *)
+val unsubscribe : int -> unit
+
 (** Broadcast that a binding ending in [component] changed. *)
 val note_change : string -> unit

@@ -923,6 +923,15 @@ let mount ?(node = "local") ?domain ?(dir_index = true) ~name disk =
   in
   let csum = Csum.attach disk layout in
   let dev = Journal.make ?journal ?csum disk in
+  (* Incarnation fence: a fiber suspended inside this mount (a device
+     charge is a suspension point) whose domain has since been killed
+     must die instead of resuming its I/O — a supervisor may already
+     have remounted the same disk and replayed the journal, and a
+     zombie's raw writes would tear the successor's blocks behind its
+     checksums.  One field read when the domain is alive. *)
+  Journal.fence dev (fun () ->
+      if not (Sp_obj.Sdomain.alive domain) then
+        raise (Sp_obj.Sdomain.Dead_domain (Sp_obj.Sdomain.name domain)));
   let fs =
     {
       name;

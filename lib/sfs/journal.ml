@@ -30,6 +30,10 @@ type dev = {
   d_disk : Sp_blockdev.Disk.t;
   d_journal : t option;
   d_csum : Csum.t option;
+  (* Incarnation fence (see {!fence}): consulted before every device
+     write so a fiber of a killed mount cannot keep mutating the raw
+     disk behind a remounted, journal-replayed successor. *)
+  mutable d_fence : unit -> unit;
 }
 
 (* Header block: word 0 magic, word 1 state (0 clean / 1 committed),
@@ -123,8 +127,13 @@ let attach disk ~start ~blocks =
     replayed;
   }
 
-let raw disk = { d_disk = disk; d_journal = None; d_csum = None }
-let make ?journal ?csum disk = { d_disk = disk; d_journal = journal; d_csum = csum }
+let raw disk =
+  { d_disk = disk; d_journal = None; d_csum = None; d_fence = (fun () -> ()) }
+
+let make ?journal ?csum disk =
+  { d_disk = disk; d_journal = journal; d_csum = csum; d_fence = (fun () -> ()) }
+
+let fence dev f = dev.d_fence <- f
 let disk dev = dev.d_disk
 let journal dev = dev.d_journal
 let checksums dev = dev.d_csum <> None
@@ -137,6 +146,7 @@ let read dev n =
          recorded only at commit, so there is nothing to verify yet. *)
       Bytes.copy (Hashtbl.find t.dirty n)
   | _ ->
+      dev.d_fence ();
       let data = Sp_blockdev.Disk.read dev.d_disk n in
       (match dev.d_csum with
       | Some c -> Csum.check c ~label:(Sp_blockdev.Disk.label dev.d_disk) n data
@@ -146,6 +156,7 @@ let read dev n =
 let write dev n data =
   match dev.d_journal with
   | None -> (
+      dev.d_fence ();
       Sp_blockdev.Disk.write dev.d_disk n data;
       match dev.d_csum with
       | Some c when Csum.covers c n ->
@@ -154,7 +165,9 @@ let write dev n data =
              checksum) window — raw devs never promised atomicity. *)
           Csum.record c n data;
           List.iter
-            (fun cb -> Sp_blockdev.Disk.write dev.d_disk cb (Csum.image c cb))
+            (fun cb ->
+              dev.d_fence ();
+              Sp_blockdev.Disk.write dev.d_disk cb (Csum.image c cb))
             (Csum.dirty c);
           Csum.clear_dirty c
       | _ -> ())
@@ -180,7 +193,11 @@ let write_vec dev writes =
   match dev.d_journal with
   | Some _ -> List.iter (fun (n, data) -> write dev n data) writes
   | None ->
-      List.iter (fun (n, data) -> Sp_blockdev.Disk.write dev.d_disk n data) writes;
+      List.iter
+        (fun (n, data) ->
+          dev.d_fence ();
+          Sp_blockdev.Disk.write dev.d_disk n data)
+        writes;
       (match dev.d_csum with
       | Some c ->
           let recorded = ref false in
@@ -193,27 +210,40 @@ let write_vec dev writes =
             writes;
           if !recorded then begin
             List.iter
-              (fun cb -> Sp_blockdev.Disk.write dev.d_disk cb (Csum.image c cb))
+              (fun cb ->
+                dev.d_fence ();
+                Sp_blockdev.Disk.write dev.d_disk cb (Csum.image c cb))
               (Csum.dirty c);
             Csum.clear_dirty c
           end
       | None -> ())
 
-let commit_batch t datas =
+let commit_batch ~fence t datas =
+  (* The fence runs before every device write: each [Disk.write] charge
+     is a suspension point, and a fiber resumed there after its mount's
+     domain died must stop — its successor may already have replayed the
+     journal and be writing its own transactions to the same area. *)
   (* 1. Journal data blocks. *)
   List.iteri
     (fun i (_, data) ->
+      fence ();
       Sp_blockdev.Disk.write t.disk (t.start + 1 + i) data;
       t.journal_writes <- t.journal_writes + 1)
     datas;
   (* 2. Seal: checksummed commit header.  The transaction exists on disk
      from this write onward. *)
   let entries = List.map (fun (n, data) -> (n, cksum data)) datas in
+  fence ();
   Sp_blockdev.Disk.write t.disk t.start (encode_header ~state:1 ~seq:t.seq ~entries);
   t.journal_writes <- t.journal_writes + 1;
   (* 3. Home writes. *)
-  List.iter (fun (n, data) -> Sp_blockdev.Disk.write t.disk n data) datas;
+  List.iter
+    (fun (n, data) ->
+      fence ();
+      Sp_blockdev.Disk.write t.disk n data)
+    datas;
   (* 4. Mark clean. *)
+  fence ();
   Sp_blockdev.Disk.write t.disk t.start (encode_header ~state:0 ~seq:t.seq ~entries:[]);
   t.journal_writes <- t.journal_writes + 1;
   t.seq <- t.seq + 1;
@@ -256,8 +286,8 @@ let commit dev =
                     List.map (fun cb -> (cb, Csum.image c cb)) (Csum.dirty c)
                   in
                   Csum.clear_dirty c;
-                  commit_batch t (datas @ csum_datas)
-              | None -> commit_batch t datas);
+                  commit_batch ~fence:dev.d_fence t (datas @ csum_datas)
+              | None -> commit_batch ~fence:dev.d_fence t datas);
               go rest
         in
         go (List.rev t.order);

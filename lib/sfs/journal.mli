@@ -51,6 +51,16 @@ val raw : Sp_blockdev.Disk.t -> dev
     device read and maintains the checksum region on every write. *)
 val make : ?journal:t -> ?csum:Csum.t -> Sp_blockdev.Disk.t -> dev
 
+(** [fence dev f] installs an incarnation fence: [f] runs before every
+    device read or write issued through [dev] (including each block of a
+    {!commit}).  The disk layer points it at its domain's liveness so a
+    fiber resumed from a device-charge suspension after its mount was
+    killed dies ([Sdomain.Dead_domain]) instead of tearing the raw disk
+    behind a remounted, journal-replayed successor.  Mid-commit deaths
+    leave exactly the torn-transaction states {!replay} already
+    tolerates.  Default: no-op. *)
+val fence : dev -> (unit -> unit) -> unit
+
 (** The underlying device (journaled or not). *)
 val disk : dev -> Sp_blockdev.Disk.t
 

@@ -34,4 +34,5 @@ let () =
       ("bulk", Test_bulk.suite);
       ("table_shapes", Test_table_shapes.suite);
       ("dir", Test_dir.suite);
+      ("cluster", Test_cluster.suite);
     ]

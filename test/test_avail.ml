@@ -223,6 +223,39 @@ let test_breaker_shed_and_degraded () =
       Alcotest.(check int) "counted degraded" 1
         (Sp_sim.Metrics.avail_degraded () - degraded0))
 
+(* The half-open protocol under contention: once the cooldown elapses,
+   exactly one of N concurrent tasks is admitted as the probe (the
+   admission in [Breaker.blocking] is atomic — no suspension point);
+   everyone else sheds until the probe's outcome, and a successful
+   probe closes the breaker. *)
+let test_breaker_half_open_single_probe () =
+  Util.in_world (fun () ->
+      let name = "tav-half" in
+      A.Breaker.reset name;
+      A.Breaker.trip ~cooldown_ns:1_000 ~reason:"forced" name;
+      Alcotest.(check bool) "open during cooldown" true
+        (A.Breaker.blocking name <> None);
+      let admitted = ref 0 and shed = ref 0 in
+      let caller () =
+        Sp_sched.sleep 2_000;
+        (* past the cooldown: all eight wake at the same instant *)
+        match A.Breaker.blocking name with
+        | None ->
+            Alcotest.(check bool) "admitted caller is the probe" true
+              (A.Breaker.probing name);
+            incr admitted;
+            (* hold the probe across a suspension so every other task
+               observes the half-open window before the outcome lands *)
+            Sp_sched.sleep 5_000;
+            A.Breaker.note_ok name
+        | Some _ -> incr shed
+      in
+      ignore (Sp_sched.run ~seed:11 (List.init 8 (fun _ -> caller)));
+      Alcotest.(check int) "exactly one probe admitted" 1 !admitted;
+      Alcotest.(check int) "every other caller shed" 7 !shed;
+      Alcotest.(check bool) "probe success closed the breaker" true
+        (A.Breaker.blocking name = None))
+
 (* --- concurrent layer-crash sweep smoke --- *)
 
 let test_concurrent_sweep_smoke () =
@@ -254,6 +287,8 @@ let suite =
       test_retried_through_restart;
     Alcotest.test_case "breaker: exhaustion trips, shed, degraded" `Quick
       test_breaker_shed_and_degraded;
+    Alcotest.test_case "breaker: half-open admits exactly one probe" `Quick
+      test_breaker_half_open_single_probe;
     Alcotest.test_case "sweep: concurrent smoke (2 clients)" `Quick
       test_concurrent_sweep_smoke;
   ]

@@ -239,6 +239,38 @@ let test_rename () =
         Alcotest.fail "rename over existing should fail"
       with Sp_core.Fserr.Already_exists _ -> ())
 
+(* Two tasks rename the same source concurrently.  Door crossings
+   suspend under [Sp_sched] (paper_1993 charges them), so without the
+   per-directory rename lock both tasks pass the lookup before either
+   removes — last-wins leaves the file bound under two names.  With the
+   lock exactly one wins and the loser fails loudly. *)
+let test_concurrent_rename_race () =
+  Util.in_world ~model:Sp_sim.Cost_model.paper_1993 (fun () ->
+      let _vmm, sfs = make_sfs () in
+      let f = S.create sfs (Util.name "race-src") in
+      ignore (F.write f ~pos:0 (Util.bytes_of_string "single copy"));
+      F.sync f;
+      let wins = ref 0 and losses = ref 0 in
+      let mover dst () =
+        match S.rename sfs ~src:(Util.name "race-src") ~dst:(Util.name dst) with
+        | () -> incr wins
+        | exception Sp_core.Fserr.No_such_file _ -> incr losses
+      in
+      ignore (Sp_sched.run ~seed:5 [ mover "race-a"; mover "race-b" ]);
+      Alcotest.(check int) "exactly one rename won" 1 !wins;
+      Alcotest.(check int) "the loser failed loudly" 1 !losses;
+      let bound p =
+        match S.open_file sfs (Util.name p) with
+        | _ -> 1
+        | exception Sp_core.Fserr.No_such_file _ -> 0
+      in
+      Alcotest.(check int) "source unbound" 0 (bound "race-src");
+      Alcotest.(check int) "bound under exactly one destination" 1
+        (bound "race-a" + bound "race-b");
+      let survivor = if bound "race-a" = 1 then "race-a" else "race-b" in
+      Util.check_str "content preserved under the winner" "single copy"
+        (F.read (S.open_file sfs (Util.name survivor)) ~pos:0 ~len:11))
+
 let test_cached_fs_view () =
   Util.in_world ~model:Sp_sim.Cost_model.paper_1993 (fun () ->
       let _vmm, sfs = make_sfs () in
@@ -279,5 +311,7 @@ let suite =
       test_interpose_names_requires_bind_permission;
     Alcotest.test_case "mapped context on_miss" `Quick test_mapped_context_on_miss;
     Alcotest.test_case "rename through stack" `Quick test_rename;
+    Alcotest.test_case "rename: concurrent same-source race" `Quick
+      test_concurrent_rename_race;
     Alcotest.test_case "6.4: cached-fs view" `Quick test_cached_fs_view;
   ]

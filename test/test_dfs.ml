@@ -238,9 +238,46 @@ let prop_rpc_retry_deterministic_and_bounded =
           in
           r1 = 42 && r2 = 42 && d1 = d2 && n1 = n2 && d1 <= cap))
 
+(* The lost-ack case: the server-side body runs, the reply evaporates
+   (Io_error at net.rpc = reply loss), and the retry must be answered
+   from the server's dedup window instead of re-executing.  The
+   [~idem:false] control shows the naive double-apply the tokens
+   prevent. *)
+let test_lost_ack_idempotent_retry () =
+  Util.in_world (fun () ->
+      let net = Sp_dfs.Net.create () in
+      let lost_ack () =
+        Sp_fault.plan
+          [ Sp_fault.rule ~point:"net.rpc" ~label:"qa->qb" ~count:1 Sp_fault.Io_error ]
+      in
+      let runs = ref 0 in
+      let r =
+        Sp_fault.with_plan (lost_ack ()) (fun () ->
+            Sp_dfs.Net.rpc_retry net ~src:"qa" ~dst:"qb" ~bytes:64 (fun () ->
+                incr runs;
+                !runs))
+      in
+      Alcotest.(check int) "body executed exactly once" 1 !runs;
+      Alcotest.(check int) "retry answered with the recorded result" 1 r;
+      Alcotest.(check int) "dedup hit counted" 1
+        (Sp_dfs.Net.stats net).Sp_dfs.Net.dedup_hits;
+      (* control: without tokens the same fault double-applies *)
+      let runs' = ref 0 in
+      ignore
+        (Sp_fault.with_plan (lost_ack ()) (fun () ->
+             Sp_dfs.Net.rpc_retry ~idem:false net ~src:"qa" ~dst:"qb" ~bytes:64
+               (fun () ->
+                 incr runs';
+                 !runs')));
+      Alcotest.(check int) "naive retry re-executed the body" 2 !runs';
+      Alcotest.(check int) "no dedup without tokens" 1
+        (Sp_dfs.Net.stats net).Sp_dfs.Net.dedup_hits)
+
 let suite =
   [
     Alcotest.test_case "remote read/write" `Quick test_remote_read_write;
+    Alcotest.test_case "rpc_retry: lost ack deduped, not re-executed" `Quick
+      test_lost_ack_idempotent_retry;
     prop_rpc_retry_deterministic_and_bounded;
     Alcotest.test_case "remote ops use the network" `Quick test_remote_ops_use_network;
     Alcotest.test_case "local/remote coherence" `Quick test_local_remote_coherence;
