@@ -70,6 +70,9 @@ let simulated_tables () =
   Format.fprintf ppf "@.";
   reset_world ();
   Sp_benchlib.Dfs_bench.print ppf (Sp_benchlib.Dfs_bench.run ());
+  Format.fprintf ppf "@.";
+  reset_world ();
+  Sp_benchlib.Journal_bench.print ppf (Sp_benchlib.Journal_bench.run ());
   Format.fprintf ppf "@."
 
 (* Optional per-layer breakdown (--profile): attribute the simulated time
@@ -365,6 +368,16 @@ let collect_rows () =
         (label "control messages per 32 opens")
         (int_of_float (r.d_ctl_open_msgs *. 32.)))
     (Sp_benchlib.Dfs_bench.run ());
+  reset_world ();
+  List.iter
+    (fun (r : Sp_benchlib.Journal_bench.row) ->
+      let label fmt = Printf.sprintf "%d clients, %s" r.sc_clients fmt in
+      add "journal" (label "syncs") r.sc_syncs;
+      add "journal" (label "commits") r.sc_commits;
+      add "journal" (label "absorbed") r.sc_absorbed;
+      add "journal" (label "sync p99") r.sc_sync_p99_ns;
+      add "journal" (label "elapsed") r.sc_elapsed_ns)
+    (Sp_benchlib.Journal_bench.run ());
   List.rev !rows
 
 let write_json file =

@@ -196,7 +196,7 @@ let run_fsck ops journal crash_at no_recover verify_checksums =
 
 (* --- springfs crash --- *)
 
-let run_crash ops seed stride clients no_journal no_checksums torn
+let run_crash ops seed stride clients sync_heavy no_journal no_checksums torn
     expect_inconsistent =
   if stride < 1 then (
     Format.eprintf "springfs: --stride must be at least 1 (got %d)@." stride;
@@ -210,8 +210,8 @@ let run_crash ops seed stride clients no_journal no_checksums torn
   let journal = not no_journal in
   let checksums = not no_checksums in
   let report =
-    Sp_sfs.Crash_sweep.sweep ~stride ~torn ~checksums ~clients ~journal ~ops
-      ~seed ()
+    Sp_sfs.Crash_sweep.sweep ~stride ~torn ~checksums ~clients ~sync_heavy
+      ~journal ~ops ~seed ()
   in
   Format.printf "%a@." Sp_sfs.Crash_sweep.pp_report report;
   print_endline (Sp_sfs.Crash_sweep.summary report);
@@ -292,26 +292,44 @@ let run_scrub ops seed stride clients no_checksums mirror expect_undetected =
 
 (* --- springfs scale --- *)
 
-let run_scale clients budget seed dir_heavy stack check =
+let run_scale clients budget seed dir_heavy sync_heavy stack check =
   if clients < 1 then (
     Format.eprintf "springfs: --clients must be at least 1 (got %d)@." clients;
     exit 2);
   if budget < 1 then (
     Format.eprintf "springfs: --budget must be at least 1 (got %d)@." budget;
     exit 2);
+  if sync_heavy && (dir_heavy || stack = `Deep) then (
+    Format.eprintf
+      "springfs: --sync-heavy runs the base stack and op mix (drop \
+       --dir-heavy / --stack deep)@.";
+    exit 2);
   let open Sp_benchlib.Scale in
-  let r = run_row ~budget ~dir_heavy ~deep:(stack = `Deep) ~clients ~seed () in
+  let r =
+    run_row ~budget ~dir_heavy ~deep:(stack = `Deep) ~sync_heavy ~clients ~seed
+      ()
+  in
   let label =
-    match stack with
-    | `Deep -> "the deep stack (compression over a mirror of two bases)"
-    | `Base -> "the shared two-domain stack"
+    if sync_heavy then "the journaled two-domain stack (sync-heavy mix)"
+    else
+      match stack with
+      | `Deep -> "the deep stack (compression over a mirror of two bases)"
+      | `Base -> "the shared two-domain stack"
   in
   print ~label Format.std_formatter [ r ];
-  Format.printf
-    "SCALE clients=%d ops=%d elapsed_ns=%d p50_ns=%d p99_ns=%d p999_ns=%d \
-     queue_ns=%d switches=%d@."
-    r.sc_clients r.sc_ops r.sc_elapsed_ns r.sc_p50_ns r.sc_p99_ns r.sc_p999_ns
-    r.sc_queue_ns r.sc_switches;
+  if sync_heavy then
+    Format.printf
+      "SCALE clients=%d ops=%d elapsed_ns=%d p50_ns=%d p99_ns=%d p999_ns=%d \
+       queue_ns=%d switches=%d syncs=%d commits=%d absorbed=%d sync_p99_ns=%d@."
+      r.sc_clients r.sc_ops r.sc_elapsed_ns r.sc_p50_ns r.sc_p99_ns
+      r.sc_p999_ns r.sc_queue_ns r.sc_switches r.sc_syncs r.sc_commits
+      r.sc_absorbed r.sc_sync_p99_ns
+  else
+    Format.printf
+      "SCALE clients=%d ops=%d elapsed_ns=%d p50_ns=%d p99_ns=%d p999_ns=%d \
+       queue_ns=%d switches=%d@."
+      r.sc_clients r.sc_ops r.sc_elapsed_ns r.sc_p50_ns r.sc_p99_ns
+      r.sc_p999_ns r.sc_queue_ns r.sc_switches;
   if not check then 0
   else if r.sc_queue_ns <= 0 then begin
     Format.eprintf
@@ -323,6 +341,15 @@ let run_scale clients budget seed dir_heavy stack check =
       "springfs: --check: expected p99 (%dns) above p50 (%dns) under \
        contention@."
       r.sc_p99_ns r.sc_p50_ns;
+    1
+  end
+  else if sync_heavy && clients > 1 && r.sc_absorbed <= 0 then begin
+    (* The sync-heavy smoke exists to prove group commit engages: with
+       concurrent clients some syncs must ride another caller's commit. *)
+    Format.eprintf
+      "springfs: --check: sync-heavy run absorbed no syncs (commits=%d \
+       syncs=%d) — group commit never engaged@."
+      r.sc_commits r.sc_syncs;
     1
   end
   else 0
@@ -718,6 +745,14 @@ let crash_cmd =
                 operations each); recovery is verified against per-file \
                 version histories.")
   in
+  let sync_heavy =
+    Arg.(
+      value & flag
+      & info [ "sync-heavy" ]
+          ~doc:"Sync every 2 ops instead of 5, so crash points land inside \
+                commit (and, with --clients, group-commit leader/follower) \
+                windows.")
+  in
   let no_journal =
     Arg.(value & flag & info [ "no-journal" ] ~doc:"Format without a journal (expect damage).")
   in
@@ -744,7 +779,7 @@ let crash_cmd =
   in
   Cmd.v (Cmd.info "crash" ~doc)
     Term.(
-      const run_crash $ ops $ seed $ stride $ clients $ no_journal
+      const run_crash $ ops $ seed $ stride $ clients $ sync_heavy $ no_journal
       $ no_checksums $ torn $ expect_inconsistent)
 
 let scrub_cmd =
@@ -943,6 +978,15 @@ let scale_cmd =
                 name, cursor readdir batches, and create/remove churn \
                 against a shared indexed directory.")
   in
+  let sync_heavy =
+    Arg.(
+      value & flag
+      & info [ "sync-heavy" ]
+          ~doc:"Swap the op mix for a durability-heavy one on a journaled \
+                base: every op writes 1KB and every 4th op syncs, so \
+                concurrent syncs batch into journal group commits (reported \
+                as syncs/commits/absorbed in the SCALE line).")
+  in
   let stack =
     let stacks = [ ("base", `Base); ("deep", `Deep) ] in
     Arg.(
@@ -957,14 +1001,17 @@ let scale_cmd =
       value & flag
       & info [ "check" ]
           ~doc:"Exit 1 unless contention actually formed: queue time recorded \
-                and p99 strictly above p50.")
+                and p99 strictly above p50 (with --sync-heavy and clients > \
+                1, also at least one absorbed sync).")
   in
   let doc =
     "run N concurrent clients over one shared stack and report throughput and \
      tail latency (p50/p99/p999) under the 1993 cost model"
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run_scale $ clients $ budget $ seed $ dir_heavy $ stack $ check)
+    Term.(
+      const run_scale $ clients $ budget $ seed $ dir_heavy $ sync_heavy
+      $ stack $ check)
 
 let versions_cmd =
   let doc = "demonstrate the file-versioning layer" in

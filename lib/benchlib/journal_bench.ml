@@ -1,0 +1,35 @@
+(* Journal group-commit benchmark: the sync-heavy scale mix (all 1KB
+   writes, every 4th op followed by a sync on the same file) over a
+   journaled two-domain base, at growing concurrency.
+
+   The question per row: how many concurrent syncs does one journal
+   commit retire?  At 1 client every sync is its own commit (nothing to
+   batch — the absorbed count must stay 0); as clients grow, syncs pile
+   into the leader's commit-delay window and syncs-per-commit climbs,
+   which is exactly the sync-call p99 not exploding with client count. *)
+
+type row = Scale.row
+
+let run_row ~clients ~seed () = Scale.run_row ~sync_heavy:true ~clients ~seed ()
+
+let default_clients = [ 1; 64; 1_000 ]
+
+let run ?(clients = default_clients) ?(seed = 7) () =
+  List.map (fun c -> run_row ~clients:c ~seed ()) clients
+
+let print ppf rows =
+  Format.fprintf ppf
+    "Journal group commit: sync-heavy clients on the journaled two-domain \
+     stack (paper_1993)@.";
+  Format.fprintf ppf "  %8s %7s %9s %8s %10s %11s %10s@." "clients" "syncs"
+    "commits" "absorbed" "syncs/cmt" "sync p99" "op p99";
+  List.iter
+    (fun r ->
+      let us ns = Printf.sprintf "%.1fus" (float_of_int ns /. 1e3) in
+      Format.fprintf ppf "  %8d %7d %9d %8d %10.1f %11s %10s@."
+        r.Scale.sc_clients r.Scale.sc_syncs r.Scale.sc_commits
+        r.Scale.sc_absorbed
+        (float_of_int r.Scale.sc_syncs
+        /. float_of_int (max 1 r.Scale.sc_commits))
+        (us r.Scale.sc_sync_p99_ns) (us r.Scale.sc_p99_ns))
+    rows

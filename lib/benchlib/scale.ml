@@ -30,10 +30,19 @@ type row = {
   sc_p999_ns : int;
   sc_queue_ns : int;  (** total time tasks spent waiting in queues *)
   sc_switches : int;  (** scheduler dispatches *)
+  sc_syncs : int;  (** client-issued syncs (sync-heavy mode; else 0) *)
+  sc_commits : int;  (** journal transactions those syncs produced *)
+  sc_absorbed : int;  (** syncs absorbed into another caller's commit *)
+  sc_sync_p99_ns : int;  (** p99 latency of the sync calls themselves *)
 }
 
 let n_files = 16
 let arrival_gap_ns = 2_000
+
+(* Sync-heavy mode: every client syncs after every [sync_every]-th write,
+   so durability — not the read path — is the bottleneck and concurrent
+   syncs pile into the journal's group-commit window. *)
+let sync_every = 4
 
 (* Directory-heavy mode: a shared directory big enough to have upgraded
    to the hashed index, so namespace ops (opens by path, readdir
@@ -52,7 +61,7 @@ let instances = ref 0
 (* A two-domain stack with a warm population of [n_files] shared files:
    every op crosses a door into the lower domain, so the station queue is
    always in play; syncs drive the journalless disk through the elevator. *)
-let setup ?(dir_heavy = false) ?(deep = false) ~tag () =
+let setup ?(dir_heavy = false) ?(deep = false) ?(sync_heavy = false) ~tag () =
   incr instances;
   let tag = Printf.sprintf "%s%d" tag !instances in
   let vmm = Sp_vm.Vmm.create ~node:tag ("vmm-" ^ tag) in
@@ -60,7 +69,10 @@ let setup ?(dir_heavy = false) ?(deep = false) ~tag () =
     let disk =
       Sp_blockdev.Disk.create ~label:("disk-" ^ tag ^ suffix) ~blocks:8192 ()
     in
-    Sp_sfs.Disk_layer.mkfs disk;
+    (* Sync-heavy rows measure commit batching, so the base is journaled;
+       the other mixes keep the journalless disk the elevator rows were
+       calibrated against. *)
+    Sp_sfs.Disk_layer.mkfs ~journal:sync_heavy disk;
     Sp_coherency.Spring_sfs.make_split ~node:tag ~vmm ~name:(tag ^ suffix)
       ~same_domain:false disk
   in
@@ -130,38 +142,68 @@ let client_dir_op fs rng ~client ~op =
         (S.open_file fs
            (Sname.of_string (Printf.sprintf "dir/g%03d" (Rng.int rng n_dir_files))))
 
+(* Sync-heavy mix: every op is a 1KB write, and every [sync_every]-th op
+   follows it with a sync on the same file.  Per-file coherency locks let
+   different files' syncs reach the disk layer concurrently, which is
+   what gives the journal's group commit syncs to absorb. *)
+let client_sync_op files rng data ~op ~record_sync =
+  let f = files.(Rng.int rng n_files) in
+  ignore (F.write f ~pos:(256 * Rng.int rng 12) data);
+  if op mod sync_every = 0 then begin
+    let t0 = Sp_sim.Simclock.now () in
+    F.sync f;
+    record_sync (Sp_sim.Simclock.now () - t0)
+  end
+
 let percentile sorted per_mille =
   let n = Array.length sorted in
   if n = 0 then 0 else sorted.(min (n - 1) (n * per_mille / 1000))
 
-let run_row ?(budget = 10_000) ?(dir_heavy = false) ?(deep = false) ~clients
-    ~seed () =
+let journal_stats_of fs =
+  match Sp_sfs.Disk_layer.journal_stats (Sp_coherency.Spring_sfs.disk_layer fs) with
+  | Some s -> (s.Sp_sfs.Journal.js_commits, s.Sp_sfs.Journal.js_absorbed_syncs)
+  | None -> (0, 0)
+
+let run_row ?(budget = 10_000) ?(dir_heavy = false) ?(deep = false)
+    ?(sync_heavy = false) ~clients ~seed () =
   if clients < 1 then invalid_arg "Scale.run_row: clients must be >= 1";
+  if sync_heavy && (dir_heavy || deep) then
+    invalid_arg "Scale.run_row: sync_heavy uses the base stack and op mix";
   Sp_sim.Cost_model.with_model Sp_sim.Cost_model.paper_1993 @@ fun () ->
-  let fs, files = setup ~dir_heavy ~deep ~tag:"scale" () in
+  let fs, files = setup ~dir_heavy ~deep ~sync_heavy ~tag:"scale" () in
   let ops_per_client = max 1 (budget / clients) in
   let total = clients * ops_per_client in
   let samples = Array.make total 0 in
   let filled = ref 0 in
+  let sync_samples = ref [] in
+  let syncs = ref 0 in
   let data = pattern 1024 in
   let client k () =
     let rng = Rng.create (seed + ((k + 1) * 2654435761)) in
     Sp_sched.sleep (k * arrival_gap_ns);
     for op = 1 to ops_per_client do
       let t0 = Sp_sim.Simclock.now () in
-      if dir_heavy then client_dir_op fs rng ~client:k ~op
-      else client_op files rng data;
+      (if sync_heavy then
+         client_sync_op files rng data ~op ~record_sync:(fun ns ->
+             incr syncs;
+             sync_samples := ns :: !sync_samples)
+       else if dir_heavy then client_dir_op fs rng ~client:k ~op
+       else client_op files rng data);
       samples.(!filled) <- Sp_sim.Simclock.now () - t0;
       incr filled
     done
   in
+  let commits0, absorbed0 = if sync_heavy then journal_stats_of fs else (0, 0) in
   let q0 = Sp_sim.Metrics.queue_ns () in
   let t0 = Sp_sim.Simclock.now () in
   let stats = Sp_sched.run ~seed (List.init clients client) in
   let elapsed = max 1 (Sp_sim.Simclock.now () - t0) in
+  let commits1, absorbed1 = if sync_heavy then journal_stats_of fs else (0, 0) in
   S.sync fs;
   let queue = Sp_sim.Metrics.queue_ns () - q0 in
   Array.sort compare samples;
+  let sync_sorted = Array.of_list !sync_samples in
+  Array.sort compare sync_sorted;
   {
     sc_clients = clients;
     sc_ops = total;
@@ -172,6 +214,10 @@ let run_row ?(budget = 10_000) ?(dir_heavy = false) ?(deep = false) ~clients
     sc_p999_ns = percentile samples 999;
     sc_queue_ns = queue;
     sc_switches = stats.Sp_sched.st_switches;
+    sc_syncs = !syncs;
+    sc_commits = commits1 - commits0;
+    sc_absorbed = absorbed1 - absorbed0;
+    sc_sync_p99_ns = percentile sync_sorted 990;
   }
 
 let default_clients = [ 10; 1_000; 100_000 ]

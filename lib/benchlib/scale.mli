@@ -17,6 +17,10 @@ type row = {
   sc_p999_ns : int;
   sc_queue_ns : int;  (** total time tasks spent waiting in queues *)
   sc_switches : int;  (** scheduler dispatches *)
+  sc_syncs : int;  (** client-issued syncs (sync-heavy mode; else 0) *)
+  sc_commits : int;  (** journal transactions those syncs produced *)
+  sc_absorbed : int;  (** syncs absorbed into another caller's commit *)
+  sc_sync_p99_ns : int;  (** p99 latency of the sync calls themselves *)
 }
 
 (** One row at the given concurrency.  [dir_heavy] swaps the op mix for
@@ -24,11 +28,16 @@ type row = {
     and create/remove churn against a shared indexed directory.  [deep]
     swaps the stack for a deep one: compression over a mirror of two
     two-domain bases, so each op crosses several doors and writes fan
-    out to both replicas. *)
+    out to both replicas.  [sync_heavy] journals the base volume and
+    swaps the mix for all-writes with a sync every 4th op per client —
+    the row then also reports syncs, journal commits, absorbed syncs and
+    sync-call p99, which is what the journal group-commit table plots
+    ([sync_heavy] excludes [dir_heavy]/[deep]). *)
 val run_row :
   ?budget:int ->
   ?dir_heavy:bool ->
   ?deep:bool ->
+  ?sync_heavy:bool ->
   clients:int ->
   seed:int ->
   unit ->

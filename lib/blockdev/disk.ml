@@ -150,7 +150,12 @@ let read t n =
   | Some b -> Bytes.copy b
   | None -> Bytes.make block_size '\000'
 
-let write t n data =
+(* One block write with a pluggable latency charge: [write] passes the
+   elevator-acquiring [charge]; [write_vec] holds the elevator across the
+   whole extent and passes bare [charge_raw].  The fault plan is consulted
+   per block either way, so a crash-at-every-write sweep sees the same
+   injection points whether the blocks went out singly or vectored. *)
+let write_with ~charge t n data =
   check t n;
   if Bytes.length data > block_size then
     invalid_arg (Printf.sprintf "Disk %s: write larger than a block" t.label);
@@ -207,6 +212,31 @@ let write t n data =
       | Sp_fault.Delayed ns -> Sp_sim.Simclock.advance ns
       | _ -> ());
       store n
+
+let write t n data = write_with ~charge t n data
+
+(* Vectored write: the whole extent goes out as one elevator request —
+   the device is acquired once, each block then pays only [charge_raw]
+   (adjacent blocks skip the seek), and concurrent requesters cannot
+   interleave and drag the head away mid-extent.  [check] (the caller's
+   incarnation fence) runs before every block, and the fault plan is
+   consulted per block, exactly as for N separate [write]s. *)
+let write_vec ?(check = fun () -> ()) t writes =
+  match writes with
+  | [] -> ()
+  | (n0, _) :: _ ->
+      let go () =
+        List.iter
+          (fun (n, data) ->
+            check ();
+            write_with ~charge:(fun t n -> charge_raw t n) t n data)
+          writes
+      in
+      if Sp_sched.in_task () then begin
+        acquire t n0;
+        Fun.protect ~finally:(fun () -> release t) go
+      end
+      else go ()
 
 let stats t = { reads = t.reads; writes = t.writes; seeks = t.seeks }
 

@@ -37,6 +37,17 @@ val read : t -> int -> bytes
     The last three report success — only checksums can tell. *)
 val write : t -> int -> bytes -> unit
 
+(** [write_vec ?check t [(n, data); ...]] writes the blocks as one
+    elevator request: under a scheduler run the device is acquired once
+    for the whole extent, so adjacent blocks pay only the per-block
+    transfer and no concurrent request can move the head mid-extent.
+    [check] (default no-op) runs before every block — callers pass their
+    incarnation fence so a fiber whose mount died mid-extent stops
+    instead of finishing the vector.  {!Sp_fault} is consulted per block
+    at ["disk.write"], exactly as for N separate {!write}s, so
+    crash-sweep injection points are preserved. *)
+val write_vec : ?check:(unit -> unit) -> t -> (int * bytes) list -> unit
+
 val stats : t -> stats
 
 val reset_stats : t -> unit

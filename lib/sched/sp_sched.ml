@@ -647,6 +647,12 @@ module Rwlock = struct
 
   let holds t id = t.writer = Some id || List.mem id t.readers
 
+  let held_write t =
+    in_task ()
+    &&
+    (check_epoch t;
+     t.writer = Some (me ()))
+
   (* Admission is strict FIFO: a queued writer blocks readers that arrive
      after it, so a steady reader stream cannot starve the writer. *)
   let drain t =
@@ -727,4 +733,5 @@ module Mutex = struct
 
   let create name = Rwlock.create name
   let with_lock t f = Rwlock.with_write t f
+  let held t = Rwlock.held_write t
 end

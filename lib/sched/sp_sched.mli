@@ -170,4 +170,10 @@ module Mutex : sig
 
   val create : string -> t
   val with_lock : t -> (unit -> 'a) -> 'a
+
+  (** Whether the calling task currently holds [t] (always false outside
+      a run).  Lets a would-be group-commit follower detect that it is
+      already inside the lock's critical section — parking there would
+      deadlock the leader. *)
+  val held : t -> bool
 end

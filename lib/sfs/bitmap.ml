@@ -81,6 +81,7 @@ let find_free ?(from = 0) t =
 
 let used t = t.used
 let capacity t = t.bits
+let clean t = not (Array.exists Fun.id t.dirty)
 
 let flush t =
   Array.iteri

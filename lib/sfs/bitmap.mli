@@ -25,3 +25,6 @@ val capacity : t -> int
 
 (** Write dirty bitmap blocks back to the device. *)
 val flush : t -> unit
+
+(** No cached block is dirty: a [flush] would write nothing. *)
+val clean : t -> bool

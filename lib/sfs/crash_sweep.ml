@@ -10,6 +10,7 @@ type report = {
   rp_journal : bool;
   rp_torn : bool;
   rp_checksums : bool;
+  rp_sync_heavy : bool;
   rp_clients : int;
   rp_ops : int;
   rp_seed : int;
@@ -82,13 +83,17 @@ let remove_step st rng =
     Hashtbl.remove st.expected name
   end
 
-let run_ops st rng ops =
+(* [sync_every]: ops between the periodic syncs.  The default (5) is the
+   classic sweep; the sync-heavy mode (2) makes crash points land inside
+   commit windows far more often — with concurrent clients that means
+   inside the leader/follower group-commit protocol. *)
+let run_ops ?(sync_every = 5) st rng ops =
   for i = 1 to ops do
     (match Rng.int rng 12 with
     | 10 -> remove_step st rng
     | 11 -> do_sync st
     | _ -> write_step st rng);
-    if i mod 5 = 0 then do_sync st
+    if i mod sync_every = 0 then do_sync st
   done;
   do_sync st
 
@@ -187,7 +192,7 @@ let cremove_step world fs rng k =
       Stackable.remove fs (Sname.of_components [ name ]);
       hist_push h Absent
 
-let run_clients world fs ~clients ~ops ~seed =
+let run_clients ?(sync_every = 5) world fs ~clients ~ops ~seed =
   let client k () =
     let rng = Rng.create (seed + ((k + 1) * 7919)) in
     for i = 1 to ops do
@@ -195,7 +200,7 @@ let run_clients world fs ~clients ~ops ~seed =
       | 10 -> cremove_step world fs rng k
       | 11 -> csync world fs
       | _ -> cwrite_step world fs rng k);
-      if i mod 5 = 0 then csync world fs
+      if i mod sync_every = 0 then csync world fs
     done;
     csync world fs
   in
@@ -259,14 +264,15 @@ let setup_concurrent ~journal ~checksums ~seed =
   let fs = Disk_layer.mount ~name:lbl disk in
   (disk, fs, Hashtbl.create 32)
 
-let workload_writes_concurrent ~checksums ~journal ~clients ~ops ~seed () =
+let workload_writes_concurrent ~sync_every ~checksums ~journal ~clients ~ops
+    ~seed () =
   let disk, fs, world = setup_concurrent ~journal ~checksums ~seed in
   let before = (Disk.stats disk).writes in
-  run_clients world fs ~clients ~ops ~seed;
+  run_clients ~sync_every world fs ~clients ~ops ~seed;
   (Disk.stats disk).writes - before
 
-let run_point_concurrent ~torn ~checksums ~journal ~clients ~ops ~seed ~crash_at
-    () =
+let run_point_concurrent ~torn ~checksums ~sync_every ~journal ~clients ~ops
+    ~seed ~crash_at () =
   let disk, fs, world = setup_concurrent ~journal ~checksums ~seed in
   let plan =
     Sp_fault.plan ~seed:(seed + crash_at)
@@ -279,7 +285,7 @@ let run_point_concurrent ~torn ~checksums ~journal ~clients ~ops ~seed ~crash_at
   in
   (match
      Sp_fault.with_plan plan (fun () ->
-         run_clients world fs ~clients ~ops ~seed)
+         run_clients ~sync_every world fs ~clients ~ops ~seed)
    with
   | () -> ()
   | exception Sp_fault.Crash _ -> ());
@@ -310,14 +316,19 @@ let run_point_concurrent ~torn ~checksums ~journal ~clients ~ops ~seed ~crash_at
           | outcome -> outcome
           | exception Sp_core.Fserr.Checksum_error msg -> Detected msg))
 
-let workload_writes ?(checksums = true) ?(clients = 1) ~journal ~ops ~seed () =
+let sync_interval sync_heavy = if sync_heavy then 2 else 5
+
+let workload_writes ?(checksums = true) ?(clients = 1) ?(sync_heavy = false)
+    ~journal ~ops ~seed () =
   if clients < 1 then invalid_arg "Crash_sweep: clients must be >= 1";
+  let sync_every = sync_interval sync_heavy in
   if clients > 1 then
-    workload_writes_concurrent ~checksums ~journal ~clients ~ops ~seed ()
+    workload_writes_concurrent ~sync_every ~checksums ~journal ~clients ~ops
+      ~seed ()
   else begin
     let disk, st = setup ~journal ~checksums ~seed in
     let before = (Disk.stats disk).writes in
-    run_ops st (Rng.create seed) ops;
+    run_ops ~sync_every st (Rng.create seed) ops;
     (Disk.stats disk).writes - before
   end
 
@@ -349,12 +360,13 @@ let matches fs2 snap =
                 else "")))
       snap
 
-let run_point ?(torn = false) ?(checksums = true) ?(clients = 1) ~journal ~ops
-    ~seed ~crash_at () =
+let run_point ?(torn = false) ?(checksums = true) ?(clients = 1)
+    ?(sync_heavy = false) ~journal ~ops ~seed ~crash_at () =
   if clients < 1 then invalid_arg "Crash_sweep: clients must be >= 1";
+  let sync_every = sync_interval sync_heavy in
   if clients > 1 then
-    run_point_concurrent ~torn ~checksums ~journal ~clients ~ops ~seed
-      ~crash_at ()
+    run_point_concurrent ~torn ~checksums ~sync_every ~journal ~clients ~ops
+      ~seed ~crash_at ()
   else
   let disk, st = setup ~journal ~checksums ~seed in
   let plan =
@@ -367,7 +379,8 @@ let run_point ?(torn = false) ?(checksums = true) ?(clients = 1) ~journal ~ops
       ]
   in
   (match
-     Sp_fault.with_plan plan (fun () -> run_ops st (Rng.create seed) ops)
+     Sp_fault.with_plan plan (fun () ->
+         run_ops ~sync_every st (Rng.create seed) ops)
    with
   | () -> ()
   | exception Sp_fault.Crash _ -> ());
@@ -415,9 +428,11 @@ let run_point ?(torn = false) ?(checksums = true) ?(clients = 1) ~journal ~ops
           | exception Sp_core.Fserr.Checksum_error msg -> Detected msg))
 
 let sweep ?(stride = 1) ?(torn = false) ?(checksums = true) ?(clients = 1)
-    ~journal ~ops ~seed () =
+    ?(sync_heavy = false) ~journal ~ops ~seed () =
   if stride < 1 then invalid_arg "Crash_sweep.sweep: stride must be >= 1";
-  let writes = workload_writes ~checksums ~clients ~journal ~ops ~seed () in
+  let writes =
+    workload_writes ~checksums ~clients ~sync_heavy ~journal ~ops ~seed ()
+  in
   let survived = ref 0 and lost = ref 0 and corrupt = ref 0 and detected = ref 0 in
   let points = ref 0 in
   let first_bad = ref None in
@@ -425,7 +440,7 @@ let sweep ?(stride = 1) ?(torn = false) ?(checksums = true) ?(clients = 1)
   while !crash_at <= writes do
     incr points;
     (match
-       run_point ~torn ~checksums ~clients ~journal ~ops ~seed
+       run_point ~torn ~checksums ~clients ~sync_heavy ~journal ~ops ~seed
          ~crash_at:!crash_at ()
      with
     | Survived -> incr survived
@@ -444,6 +459,7 @@ let sweep ?(stride = 1) ?(torn = false) ?(checksums = true) ?(clients = 1)
     rp_journal = journal;
     rp_torn = torn;
     rp_checksums = checksums;
+    rp_sync_heavy = sync_heavy;
     rp_clients = clients;
     rp_ops = ops;
     rp_seed = seed;
@@ -469,17 +485,19 @@ let summary r =
     (if r.rp_journal then "on" else "off")
     (if r.rp_checksums then "on" else "off")
     (if r.rp_torn then " torn=on" else "")
-    (if r.rp_clients > 1 then Printf.sprintf " clients=%d" r.rp_clients else "")
+    ((if r.rp_sync_heavy then " sync-heavy=on" else "")
+    ^ if r.rp_clients > 1 then Printf.sprintf " clients=%d" r.rp_clients else "")
     r.rp_points r.rp_survived r.rp_lost r.rp_corrupt r.rp_detected
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>crash sweep: journal=%s torn=%s checksums=%s clients=%d ops=%d seed=%d@,\
+    "@[<v>crash sweep: journal=%s torn=%s checksums=%s%s clients=%d ops=%d seed=%d@,\
      device writes swept: %d (%d crash points)@,\
      survived %d   lost %d   corrupt %d   checksum-detected %d@]"
     (if r.rp_journal then "on" else "off")
     (if r.rp_torn then "on" else "off")
     (if r.rp_checksums then "on" else "off")
+    (if r.rp_sync_heavy then " sync-heavy" else "")
     r.rp_clients r.rp_ops r.rp_seed r.rp_writes r.rp_points r.rp_survived
     r.rp_lost r.rp_corrupt r.rp_detected;
   match r.rp_first_bad with

@@ -31,6 +31,9 @@ type report = {
   rp_journal : bool;
   rp_torn : bool;
   rp_checksums : bool;
+  rp_sync_heavy : bool;
+      (** sync every 2 ops instead of 5 — crash points land inside commit
+          (and, concurrently, group-commit leader/follower) windows *)
   rp_clients : int;  (** concurrent clients (1 = the classic serial sweep) *)
   rp_ops : int;  (** operations, per client when [rp_clients > 1] *)
   rp_seed : int;
@@ -48,10 +51,12 @@ type report = {
     the volume with a checksum region, which changes the write count.
     With [clients > 1] the workload runs as that many concurrently
     interleaved [Sp_sched] tasks, each doing [ops] operations on its own
-    disjoint files of the shared volume. *)
+    disjoint files of the shared volume.  [sync_heavy] (default false)
+    doubles the periodic sync rate (every 2 ops instead of 5), so the
+    sweep's crash points fall inside commit windows far more often. *)
 val workload_writes :
-  ?checksums:bool -> ?clients:int -> journal:bool -> ops:int -> seed:int ->
-  unit -> int
+  ?checksums:bool -> ?clients:int -> ?sync_heavy:bool -> journal:bool ->
+  ops:int -> seed:int -> unit -> int
 
 (** Run the workload once, crashing at the [crash_at]-th device write
     (1-based; a [crash_at] beyond the workload's writes means no crash),
@@ -68,14 +73,14 @@ val workload_writes :
     current at the last completed sync (any client's sync commits the
     whole volume). *)
 val run_point :
-  ?torn:bool -> ?checksums:bool -> ?clients:int -> journal:bool -> ops:int ->
-  seed:int -> crash_at:int -> unit -> outcome
+  ?torn:bool -> ?checksums:bool -> ?clients:int -> ?sync_heavy:bool ->
+  journal:bool -> ops:int -> seed:int -> crash_at:int -> unit -> outcome
 
 (** Sweep crash points [1, 1+stride, ...] up to the workload's write
     count (default [stride] 1). *)
 val sweep :
   ?stride:int -> ?torn:bool -> ?checksums:bool -> ?clients:int ->
-  journal:bool -> ops:int -> seed:int -> unit -> report
+  ?sync_heavy:bool -> journal:bool -> ops:int -> seed:int -> unit -> report
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

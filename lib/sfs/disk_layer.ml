@@ -1,5 +1,13 @@
 let bs = Sp_blockdev.Disk.block_size
 
+(* Group-commit window (see [flush_all]): the leader that opened it
+   seals it when its commit-delay expires; syncs arriving before the
+   seal park on [gw_done] and are covered by the leader's transaction. *)
+type gc_window = {
+  gw_done : (unit, exn) result Sp_sched.Ivar.t;
+  mutable gw_sealed : bool;
+}
+
 type fs = {
   name : string;
   disk : Sp_blockdev.Disk.t;
@@ -35,6 +43,11 @@ type fs = {
          volume.  Reads stay outside it so the disk elevator sees
          concurrent I/O.  Reentrant per task (sync from inside a write
          path is fine). *)
+  group_commit : bool;
+      (* mount-time policy: when true (the default), concurrent syncs
+         elect a leader whose single commit covers the union dirty set;
+         off exists for the equivalence tests and A/B benchmarks. *)
+  mutable gc : gc_window option;  (* the currently open window, if any *)
 }
 
 (* Registry linking exported stackable_fs values back to their state, for
@@ -639,14 +652,89 @@ let make_memory_object fs ino =
 (* File objects                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let flush_all fs =
+(* Nothing a flush would write: no buffered journal blocks, no dirty
+   cached inode, no dirty bitmap block.  O(1), called without the lock —
+   safe because a caller's own completed write always leaves something
+   dirty (there is no suspension point between a write reaching the
+   dev/cache and its dirty mark), so the fast path can never skip work
+   the caller is entitled to have synced. *)
+let fs_clean fs =
+  Journal.pending fs.dev = 0
+  && Inode.clean fs.icache
+  && Bitmap.clean fs.ibitmap
+  && Bitmap.clean fs.bbitmap
+
+let flush_direct fs =
   locked fs @@ fun () ->
+  (* The span wraps the whole flush so profiles attribute the commit to
+     exactly one task — the leader (or solo caller); absorbed followers
+     never open it. *)
+  Sp_trace.span ~op:"journal.commit" @@ fun () ->
   Inode.flush fs.icache;
   Bitmap.flush fs.ibitmap;
   Bitmap.flush fs.bbitmap;
   (* On a journaled dev everything above only reached the in-memory dirty
      set; this seals it as one atomic transaction and copies it home. *)
   Journal.commit fs.dev
+
+(* Group commit.  Under concurrent scheduler tasks, the first sync to
+   arrive becomes the leader: it opens a window, waits the model's
+   commit delay (idle — other clients keep running and their syncs park
+   on the window), then seals the window and runs one commit over the
+   union dirty set.  A follower whose sync parked before the seal is
+   covered by that commit — every write it completed before calling sync
+   is in the dirty set the leader flushes — so it returns (or re-raises
+   the leader's failure) without touching the device.  A sync that finds
+   the window already sealed waits it out and starts over.
+
+   The leader seals with no suspension point between waking from the
+   delay and setting [gw_sealed], and followers check [gw_sealed] with
+   no suspension point before parking, so no sync can slip between the
+   seal and the commit's enumeration of the dirty set uncovered.
+
+   Callers already inside the fs lock (drop_caches, a writeback path
+   re-entering sync) must not park — the leader needs that lock to
+   commit — and take the direct path; so does everything outside a
+   scheduler run, where there is no concurrency to absorb. *)
+let rec flush_all fs =
+  if fs_clean fs then ()
+  else if
+    (not fs.group_commit)
+    || (not (Sp_sched.in_task ()))
+    || Sp_sched.Mutex.held fs.lock
+  then flush_direct fs
+  else
+    match fs.gc with
+    | Some w when not w.gw_sealed ->
+        (* Follower: the window is still open, so our completed writes
+           are in the dirty set the leader will commit. *)
+        Journal.note_absorbed fs.dev;
+        (match Sp_sched.Ivar.read w.gw_done with
+        | Ok () -> ()
+        | Error e -> raise e)
+    | Some w ->
+        (* Sealed: too late to be covered.  Wait for it to land (its
+           outcome is not ours to report) and start over. *)
+        ignore (Sp_sched.Ivar.read w.gw_done : (unit, exn) result);
+        flush_all fs
+    | None ->
+        (* Leader. *)
+        let w = { gw_done = Sp_sched.Ivar.create (); gw_sealed = false } in
+        fs.gc <- Some w;
+        Sp_sched.sleep (Sp_sim.Cost_model.current ()).commit_delay_ns;
+        w.gw_sealed <- true;
+        let result =
+          match flush_direct fs with () -> Ok () | exception e -> Error e
+        in
+        (* Clear the window before waking anyone: no suspension point
+           between here and the fill, so every later sync sees a fresh
+           start.  Guarded by identity — if this leader died mid-commit
+           ([Dead_domain]) a successor incarnation may already have
+           installed its own window. *)
+        (match fs.gc with Some w' when w' == w -> fs.gc <- None | _ -> ());
+        if result = Ok () then Journal.note_group_commit fs.dev;
+        Sp_sched.Ivar.fill w.gw_done result;
+        (match result with Ok () -> () | Error e -> raise e)
 
 (* The disk layer serves read/write straight from the device: it has no
    data cache (Table 2's "reads and writes to the disk layer do require
@@ -905,7 +993,8 @@ let mkfs ?(journal = false) ?(checksums = true) ?inodes disk =
      holding.  Formatting writes raw, like everything else in mkfs. *)
   Csum.format disk layout
 
-let mount ?(node = "local") ?domain ?(dir_index = true) ~name disk =
+let mount ?(node = "local") ?domain ?(dir_index = true) ?(group_commit = true)
+    ~name disk =
   let layout = Layout.decode_superblock (Sp_blockdev.Disk.read disk 0) in
   let domain =
     match domain with Some d -> d | None -> Sp_obj.Sdomain.create ~node name
@@ -954,6 +1043,8 @@ let mount ?(node = "local") ?domain ?(dir_index = true) ~name disk =
       indcache = Hashtbl.create 8;
       dir_index;
       lock = Sp_sched.Mutex.create ("sfs:" ^ name);
+      group_commit;
+      gc = None;
     }
   in
   Hashtbl.replace instances name fs;

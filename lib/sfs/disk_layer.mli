@@ -46,9 +46,19 @@ val mkfs :
     upgrade to the hashed index when they outgrow
     {!Sp_dir.Index.upgrade_threshold}; [false] keeps them flat — the
     baseline the namespace benchmark measures linear lookup against.
-    Directories already indexed on disk stay indexed either way. *)
+    Directories already indexed on disk stay indexed either way.
+
+    [group_commit] (default [true]) controls sync coalescing under
+    concurrent scheduler tasks: the first sync elects itself leader,
+    waits the model's [commit_delay_ns] (idle), then runs one commit
+    over the union dirty set; syncs arriving before the seal park and
+    return when that commit lands — a sync never returns before a
+    sealed commit covers its writes.  A clean volume's sync returns
+    immediately, charging no device I/O.  [false] restores
+    one-commit-per-sync (the equivalence-test / A-B baseline). *)
 val mount :
-  ?node:string -> ?domain:Sp_obj.Sdomain.t -> ?dir_index:bool -> name:string ->
+  ?node:string -> ?domain:Sp_obj.Sdomain.t -> ?dir_index:bool ->
+  ?group_commit:bool -> name:string ->
   Sp_blockdev.Disk.t -> Sp_core.Stackable.t
 
 (** Replay the journal of an unmounted device without mounting it;

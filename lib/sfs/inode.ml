@@ -74,9 +74,13 @@ type cache = {
   dev : Journal.dev;
   layout : Layout.t;
   table : (int, slot) Hashtbl.t;
+  mutable dirty_count : int;
+      (* maintained so the sync fast path can see "nothing dirty" in O(1)
+         instead of scanning the cache *)
 }
 
-let cache_create dev layout = { dev; layout; table = Hashtbl.create 64 }
+let cache_create dev layout =
+  { dev; layout; table = Hashtbl.create 64; dirty_count = 0 }
 
 let block_of c ino = c.layout.Layout.inode_table_start + (ino / Layout.inodes_per_block)
 let offset_of ino = ino mod Layout.inodes_per_block * Layout.inode_size
@@ -94,10 +98,18 @@ let get c ino =
 
 let mark_dirty c ino =
   match Hashtbl.find_opt c.table ino with
-  | Some slot -> slot.dirty <- true
+  | Some slot ->
+      if not slot.dirty then begin
+        slot.dirty <- true;
+        c.dirty_count <- c.dirty_count + 1
+      end
   | None -> invalid_arg (Printf.sprintf "Inode.mark_dirty: inode %d not cached" ino)
 
-let put c ino inode = Hashtbl.replace c.table ino { inode; dirty = true }
+let put c ino inode =
+  (match Hashtbl.find_opt c.table ino with
+  | Some slot when slot.dirty -> ()
+  | Some _ | None -> c.dirty_count <- c.dirty_count + 1);
+  Hashtbl.replace c.table ino { inode; dirty = true }
 
 let flush c =
   (* Group dirty inodes by table block to write each block once. *)
@@ -119,10 +131,12 @@ let flush c =
           slot.dirty <- false)
         group;
       Journal.write c.dev block data)
-    by_block
+    by_block;
+  c.dirty_count <- 0
 
 let drop c =
   flush c;
   Hashtbl.reset c.table
 
 let cached_count c = Hashtbl.length c.table
+let clean c = c.dirty_count = 0

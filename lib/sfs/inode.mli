@@ -52,3 +52,7 @@ val drop : cache -> unit
 
 (** Number of cached inodes. *)
 val cached_count : cache -> int
+
+(** No cached inode is dirty: a [flush] would write nothing.  O(1) — the
+    sync fast path consults this per call. *)
+val clean : cache -> bool

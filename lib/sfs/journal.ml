@@ -23,6 +23,8 @@ type t = {
   mutable seq : int;
   mutable commits : int;
   mutable journal_writes : int;
+  mutable group_commits : int;  (* leader-run commits under a group window *)
+  mutable absorbed : int;  (* syncs that rode a leader's commit *)
   replayed : int;
 }
 
@@ -124,6 +126,8 @@ let attach disk ~start ~blocks =
     seq;
     commits = 0;
     journal_writes = 0;
+    group_commits = 0;
+    absorbed = 0;
     replayed;
   }
 
@@ -219,17 +223,16 @@ let write_vec dev writes =
       | None -> ())
 
 let commit_batch ~fence t datas =
-  (* The fence runs before every device write: each [Disk.write] charge
-     is a suspension point, and a fiber resumed there after its mount's
+  (* The fence runs before every device write: each device charge is a
+     suspension point, and a fiber resumed there after its mount's
      domain died must stop — its successor may already have replayed the
      journal and be writing its own transactions to the same area. *)
-  (* 1. Journal data blocks. *)
-  List.iteri
-    (fun i (_, data) ->
-      fence ();
-      Sp_blockdev.Disk.write t.disk (t.start + 1 + i) data;
-      t.journal_writes <- t.journal_writes + 1)
-    datas;
+  (* 1. Journal data blocks: one vectored elevator request into the
+     contiguous journal area — one seek, back-to-back transfers, and no
+     concurrent request can drag the head away between blocks. *)
+  Sp_blockdev.Disk.write_vec ~check:fence t.disk
+    (List.mapi (fun i (_, data) -> (t.start + 1 + i, data)) datas);
+  t.journal_writes <- t.journal_writes + List.length datas;
   (* 2. Seal: checksummed commit header.  The transaction exists on disk
      from this write onward. *)
   let entries = List.map (fun (n, data) -> (n, cksum data)) datas in
@@ -242,10 +245,16 @@ let commit_batch ~fence t datas =
       fence ();
       Sp_blockdev.Disk.write t.disk n data)
     datas;
-  (* 4. Mark clean. *)
-  fence ();
-  Sp_blockdev.Disk.write t.disk t.start (encode_header ~state:0 ~seq:t.seq ~entries:[]);
-  t.journal_writes <- t.journal_writes + 1;
+  (* The clean mark is NOT written here: consecutive batches of one
+     commit pipeline — the next batch's sealed header (higher seq)
+     supersedes this one, and [commit] writes a single clean mark after
+     the last batch.  Soundness of the elision: batch k's home writes
+     all complete before batch k+1's journal writes begin, so when a
+     crash leaves the header sealing batch k while the journal area
+     already holds (some of) batch k+1's data, the per-entry checksum
+     verification in [replay] fails and the transaction is treated as
+     uncommitted — correct, because batch k is already home; an
+     accidental checksum match can only re-copy identical bytes. *)
   t.seq <- t.seq + 1;
   t.commits <- t.commits + 1
 
@@ -291,6 +300,14 @@ let commit dev =
               go rest
         in
         go (List.rev t.order);
+        (* One clean mark for the whole commit (clean-marks between
+           batches are elided — see [commit_batch]).  Carries the last
+           sealed seq so [attach] keeps seq monotonically increasing
+           across remounts. *)
+        dev.d_fence ();
+        Sp_blockdev.Disk.write t.disk t.start
+          (encode_header ~state:0 ~seq:(t.seq - 1) ~entries:[]);
+        t.journal_writes <- t.journal_writes + 1;
         Hashtbl.reset t.dirty;
         t.order <- []
       end
@@ -298,11 +315,32 @@ let commit dev =
 let pending dev =
   match dev.d_journal with None -> 0 | Some t -> Hashtbl.length t.dirty
 
-type stats = { js_commits : int; js_journal_writes : int; js_replayed : int }
+(* Group-commit accounting, bumped by the disk layer's sync path: the
+   journal only records what happened, the leader/follower protocol
+   itself lives in [Disk_layer.flush_all]. *)
+let note_group_commit dev =
+  match dev.d_journal with
+  | None -> ()
+  | Some t -> t.group_commits <- t.group_commits + 1
+
+let note_absorbed dev =
+  match dev.d_journal with
+  | None -> ()
+  | Some t -> t.absorbed <- t.absorbed + 1
+
+type stats = {
+  js_commits : int;
+  js_journal_writes : int;
+  js_replayed : int;
+  js_group_commits : int;
+  js_absorbed_syncs : int;
+}
 
 let stats t =
   {
     js_commits = t.commits;
     js_journal_writes = t.journal_writes;
     js_replayed = t.replayed;
+    js_group_commits = t.group_commits;
+    js_absorbed_syncs = t.absorbed;
   }

@@ -21,7 +21,19 @@
     sees it.  A commit whose dirty set exceeds the journal capacity is
     split into several independently-atomic batches; crash atomicity then
     holds per batch, not per sync — callers keep transactions small by
-    syncing regularly. *)
+    syncing regularly.
+
+    Batches pipeline: the journal-area data blocks of a batch go out as
+    one vectored elevator request (the area is contiguous — one seek,
+    back-to-back transfers), and the clean-mark header write between
+    consecutive batches of one commit is elided — the next batch's sealed
+    header, carrying a higher seq, supersedes the previous seal, and one
+    clean mark is written after the last batch.  Replay stays sound
+    because a batch's home copies all complete before the next batch
+    reuses the journal area: a sealed header whose journal blocks have
+    been partly overwritten by the next batch fails per-entry checksum
+    verification and is treated as uncommitted — correctly, since the
+    batch it describes is already home. *)
 
 type t
 
@@ -99,10 +111,22 @@ val commit : dev -> unit
 (** Dirty blocks currently buffered (0 for raw devs). *)
 val pending : dev -> int
 
+(** Count a leader-run group commit / an absorbed sync against the dev's
+    journal (no-op on raw devs).  Called by the disk layer's sync path —
+    the leader/follower protocol lives there, the journal only keeps the
+    books. *)
+val note_group_commit : dev -> unit
+
+val note_absorbed : dev -> unit
+
 type stats = {
   js_commits : int;  (** sealed transactions written *)
   js_journal_writes : int;  (** device writes spent on the journal area *)
   js_replayed : int;  (** blocks copied home by replay at attach *)
+  js_group_commits : int;  (** commits run by a group-commit leader *)
+  js_absorbed_syncs : int;
+      (** syncs that returned by riding another caller's commit instead
+          of running their own *)
 }
 
 val stats : t -> stats

@@ -14,6 +14,7 @@ type t = {
   bulk_setup_ns : int;
   bulk_call_ns : int;
   readahead_max_pages : int;
+  commit_delay_ns : int;
 }
 
 (* Calibrated against Table 2/3 of the paper: cached 4KB read/write ~0.16ms,
@@ -36,6 +37,9 @@ let paper_1993 =
     bulk_setup_ns = 150_000;
     bulk_call_ns = 40_000;
     readahead_max_pages = 32;
+    (* Well under one disk access (~13.7ms seek+rotate+transfer): a
+       leader's wait costs a fraction of the commit it amortises. *)
+    commit_delay_ns = 2_000_000;
   }
 
 let fast =
@@ -59,6 +63,9 @@ let fast =
     bulk_setup_ns = 0;
     bulk_call_ns = 1;
     readahead_max_pages = 0;
+    (* commit_delay_ns = 0 keeps the group-commit leader from sleeping, so
+       fast-model tests see deterministic single-task sync behaviour. *)
+    commit_delay_ns = 0;
   }
 
 let model = ref paper_1993

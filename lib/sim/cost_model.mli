@@ -32,6 +32,10 @@ type t = {
   readahead_max_pages : int;
       (** cap on the adaptive per-entry read-ahead window ([Vmm]); 0
           disables adaptive read-ahead entirely *)
+  commit_delay_ns : int;
+      (** group-commit window: how long a sync leader waits (idle) for
+          concurrent syncs to join its transaction before sealing; 0
+          disables the wait (the leader seals immediately) *)
 }
 
 (** Cost model approximating the paper's 40 MHz SPARCstation 10 with a
